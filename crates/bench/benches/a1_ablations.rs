@@ -1,0 +1,250 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * A1a — occlusion patch size vs explanation fidelity (E4 ablation);
+//! * A1b — MBPTA block size vs pWCET bound (E2 ablation);
+//! * A1c — monitor target FPR vs shift-rejection/availability trade (E1/E6
+//!   ablation);
+//! * A1d — explainer family comparison (occlusion vs gradient vs
+//!   integrated gradients vs RISE) at equal fidelity budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_nn::Engine;
+use safex_platform::platform::{Platform, PlatformConfig};
+use safex_platform::TraceProgram;
+use safex_scenarios::shift::Shift;
+use safex_supervision::observation::observe;
+use safex_supervision::supervisor::{Mahalanobis, Supervisor};
+use safex_supervision::{CalibratedMonitor, Verdict};
+use safex_tensor::DetRng;
+use safex_timing::mbpta::{analyze, MbptaConfig};
+use safex_xai::fidelity;
+use safex_xai::saliency::{
+    gradient_saliency, integrated_gradient_saliency, occlusion_saliency, rise_saliency,
+    OcclusionConfig,
+};
+
+fn ablate_patch_size() {
+    let (_, test, model_a, _) = workload();
+    let mut engine = Engine::new(model_a.clone());
+    let subjects: Vec<_> = test
+        .samples()
+        .iter()
+        .filter(|s| s.salient.is_some())
+        .take(20)
+        .collect();
+    println!("\n=== A1a: occlusion patch size vs fidelity ===");
+    println!("{:<7} {:>14} {:>8}", "patch", "pointing-game", "IoU");
+    for patch in [1usize, 2, 3, 5, 7] {
+        let config = OcclusionConfig {
+            patch,
+            ..Default::default()
+        };
+        let pairs: Vec<_> = subjects
+            .iter()
+            .map(|s| {
+                (
+                    occlusion_saliency(&mut engine, &s.input, s.label, &config)
+                        .expect("occlusion"),
+                    s.salient.expect("filtered"),
+                )
+            })
+            .collect();
+        let r = fidelity::evaluate_batch(&pairs).expect("evaluate");
+        println!(
+            "{:<7} {:>13.0}% {:>8.2}",
+            patch,
+            r.pointing_game * 100.0,
+            r.mean_iou
+        );
+    }
+}
+
+fn ablate_block_size() {
+    let (_, _, model_a, _) = workload();
+    let program = TraceProgram::from_model(model_a, 256);
+    let platform = Platform::new(PlatformConfig::time_randomized()).expect("platform");
+    let samples = platform
+        .measure(&program, 1000, &mut DetRng::new(21))
+        .expect("measure");
+    println!("\n=== A1b: MBPTA block size vs pWCET bound ===");
+    println!("{:<7} {:>8} {:>12} {:>12}", "block", "blocks", "pWCET@1e-9", "pWCET@1e-12");
+    for block in [5usize, 10, 20, 50, 100] {
+        let config = MbptaConfig {
+            block_size: block,
+            ..Default::default()
+        };
+        match analyze(&samples, &config) {
+            Ok(result) => println!(
+                "{:<7} {:>8} {:>12.0} {:>12.0}",
+                block,
+                result.blocks,
+                result.pwcet.bound_at(1e-9).expect("bound"),
+                result.pwcet.bound_at(1e-12).expect("bound")
+            ),
+            Err(e) => println!("{:<7} {e}", block),
+        }
+    }
+    println!("(stable bounds across block sizes corroborate the Gumbel fit)");
+}
+
+fn ablate_target_fpr() {
+    let (train, test, model_a, _) = workload();
+    let mut engine = Engine::new(model_a.clone());
+    let train_obs: Vec<_> = train
+        .samples()
+        .iter()
+        .map(|s| observe(&mut engine, &s.input).expect("observe"))
+        .collect();
+    let mut supervisor = Mahalanobis::new();
+    supervisor.fit(&train_obs, &train.labels()).expect("fit");
+    let id_scores: Vec<f64> = train_obs
+        .iter()
+        .map(|o| supervisor.score(o).expect("score"))
+        .collect();
+    let mut rng = DetRng::new(5);
+    let shifted = Shift::GaussianNoise(0.35).apply(test, &mut rng).expect("shift");
+
+    println!("\n=== A1c: monitor target FPR vs rejection/availability ===");
+    println!(
+        "{:<12} {:>15} {:>16}",
+        "target-FPR", "nominal-reject", "shift-reject"
+    );
+    for fpr in [0.01f64, 0.05, 0.10, 0.20] {
+        let monitor = CalibratedMonitor::fit(
+            Box::new({
+                let mut s = Mahalanobis::new();
+                s.fit(&train_obs, &train.labels()).expect("fit");
+                s
+            }),
+            &id_scores,
+            fpr,
+        )
+        .expect("calibrate");
+        let mut reject_rate = |data: &safex_scenarios::Dataset| -> f64 {
+            let mut rejects = 0usize;
+            for s in data.samples() {
+                let obs = observe(&mut engine, &s.input).expect("observe");
+                if let (Verdict::Reject, _) = monitor.check(&obs).expect("check") {
+                    rejects += 1;
+                }
+            }
+            rejects as f64 / data.len() as f64
+        };
+        println!(
+            "{:<12} {:>14.1}% {:>15.1}%",
+            fpr,
+            reject_rate(test) * 100.0,
+            reject_rate(&shifted) * 100.0
+        );
+    }
+    println!("(tighter FPR keeps availability; looser FPR catches milder shift)");
+}
+
+fn ablate_explainer_family() {
+    let (_, test, model_a, _) = workload();
+    let mut engine = Engine::new(model_a.clone());
+    let subjects: Vec<_> = test
+        .samples()
+        .iter()
+        .filter(|s| s.salient.is_some())
+        .take(15)
+        .collect();
+    println!("\n=== A1d: explainer family comparison ===");
+    println!("{:<22} {:>14} {:>8}", "explainer", "pointing-game", "IoU");
+    let mut rows: Vec<(&str, Vec<(safex_xai::SaliencyMap, safex_scenarios::Region)>)> =
+        Vec::new();
+    let occ: Vec<_> = subjects
+        .iter()
+        .map(|s| {
+            (
+                occlusion_saliency(&mut engine, &s.input, s.label, &OcclusionConfig::default())
+                    .expect("occ"),
+                s.salient.expect("filtered"),
+            )
+        })
+        .collect();
+    rows.push(("occlusion", occ));
+    let grad: Vec<_> = subjects
+        .iter()
+        .map(|s| {
+            (
+                gradient_saliency(&mut engine, &s.input, s.label, 0.05).expect("grad"),
+                s.salient.expect("filtered"),
+            )
+        })
+        .collect();
+    rows.push(("gradient", grad));
+    let ig: Vec<_> = subjects
+        .iter()
+        .map(|s| {
+            (
+                integrated_gradient_saliency(&mut engine, &s.input, s.label, 0.0, 4, 0.05)
+                    .expect("ig"),
+                s.salient.expect("filtered"),
+            )
+        })
+        .collect();
+    rows.push(("integrated-gradients", ig));
+    let mut rng = DetRng::new(13);
+    let rise: Vec<_> = subjects
+        .iter()
+        .map(|s| {
+            (
+                rise_saliency(&mut engine, &s.input, s.label, 500, 0.5, &mut rng)
+                    .expect("rise"),
+                s.salient.expect("filtered"),
+            )
+        })
+        .collect();
+    rows.push(("rise", rise));
+    for (name, pairs) in rows {
+        let r = fidelity::evaluate_batch(&pairs).expect("evaluate");
+        println!(
+            "{:<22} {:>13.0}% {:>8.2}",
+            name,
+            r.pointing_game * 100.0,
+            r.mean_iou
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    ablate_patch_size();
+    ablate_block_size();
+    ablate_target_fpr();
+    ablate_explainer_family();
+
+    // Time the two new explainers for the cost comparison.
+    let (_, test, model_a, _) = workload();
+    let mut engine = Engine::new(model_a.clone());
+    let sample = test
+        .samples()
+        .iter()
+        .find(|s| s.salient.is_some())
+        .expect("object")
+        .clone();
+    let mut group = c.benchmark_group("a1_explainer_cost");
+    group.sample_size(10);
+    group.bench_function("integrated_gradients_4steps", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                integrated_gradient_saliency(&mut engine, &sample.input, sample.label, 0.0, 4, 0.05)
+                    .expect("ig"),
+            )
+        })
+    });
+    group.bench_function("rise_500masks", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            std::hint::black_box(
+                rise_saliency(&mut engine, &sample.input, sample.label, 500, 0.5, &mut rng)
+                    .expect("rise"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

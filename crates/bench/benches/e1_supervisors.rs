@@ -1,0 +1,83 @@
+//! Experiment E1: supervisor OOD-detection quality table + scoring cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_nn::Engine;
+use safex_scenarios::shift::Shift;
+use safex_supervision::observation::{observe, Observation};
+use safex_supervision::roc;
+use safex_supervision::supervisor::{
+    LogitMargin, Mahalanobis, Reconstruction, SoftmaxThreshold, Supervisor,
+};
+use safex_tensor::DetRng;
+
+fn observations(engine: &mut Engine, data: &safex_scenarios::Dataset) -> Vec<Observation> {
+    data.samples()
+        .iter()
+        .map(|s| observe(engine, &s.input).expect("observe"))
+        .collect()
+}
+
+fn print_table() -> (Vec<Box<dyn Supervisor>>, Vec<Observation>) {
+    let (train, test, model_a, _) = workload();
+    let mut engine = Engine::new(model_a.clone());
+    let mut rng = DetRng::new(1);
+    let ood = Shift::GaussianNoise(0.5).apply(test, &mut rng).expect("shift");
+
+    let train_obs = observations(&mut engine, train);
+    let id_obs = observations(&mut engine, test);
+    let ood_obs = observations(&mut engine, &ood);
+
+    let mut mahalanobis = Mahalanobis::new();
+    mahalanobis.fit(&train_obs, &train.labels()).expect("fit");
+    let mut reconstruction = Reconstruction::new(8).expect("new");
+    reconstruction.fit(&train_obs, &train.labels()).expect("fit");
+
+    let supervisors: Vec<Box<dyn Supervisor>> = vec![
+        Box::new(SoftmaxThreshold::new()),
+        Box::new(LogitMargin::new()),
+        Box::new(mahalanobis),
+        Box::new(reconstruction),
+    ];
+
+    println!("\n=== E1: supervisor quality (model acc {:.2}) ===", safex_bench::model_a_accuracy());
+    println!(
+        "{:<18} {:>7} {:>10} {:>11}",
+        "supervisor", "AUROC", "TPR@FPR5%", "FPR@TPR95%"
+    );
+    for sup in &supervisors {
+        let id: Vec<f64> = id_obs.iter().map(|o| sup.score(o).expect("score")).collect();
+        let ood: Vec<f64> = ood_obs.iter().map(|o| sup.score(o).expect("score")).collect();
+        let s = roc::summarize(&id, &ood).expect("roc");
+        println!(
+            "{:<18} {:>7.3} {:>10.3} {:>11.3}",
+            sup.name(),
+            s.auroc,
+            s.tpr_at_fpr5,
+            s.fpr_at_tpr95
+        );
+    }
+    println!();
+    (supervisors, id_obs)
+}
+
+fn bench(c: &mut Criterion) {
+    let (supervisors, obs) = print_table();
+    let mut group = c.benchmark_group("e1_supervisor_scoring");
+    group.sample_size(30);
+    for sup in &supervisors {
+        group.bench_function(sup.name(), |b| {
+            b.iter(|| {
+                let mut total = 0.0f64;
+                for o in &obs {
+                    total += sup.score(o).expect("score");
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

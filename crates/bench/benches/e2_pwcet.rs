@@ -1,0 +1,87 @@
+//! Experiment E2: pWCET curves per platform configuration + analysis cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_platform::platform::{Platform, PlatformConfig};
+use safex_platform::TraceProgram;
+use safex_tensor::DetRng;
+use safex_timing::mbpta::{analyze, MbptaConfig};
+
+fn program() -> TraceProgram {
+    let (_, _, model_a, _) = workload();
+    TraceProgram::from_model(model_a, 256)
+}
+
+fn print_table(program: &TraceProgram) -> Vec<f64> {
+    println!("\n=== E2: pWCET per platform configuration ===");
+    println!(
+        "{:<36} {:>10} {:>10} {:>6} {:>12}",
+        "platform", "mean", "HWM", "iid", "pWCET@1e-12"
+    );
+    let configs: Vec<(&str, PlatformConfig)> = vec![
+        ("deterministic-lru", PlatformConfig::deterministic()),
+        ("time-randomized", PlatformConfig::time_randomized()),
+        (
+            "randomized+3corunners",
+            PlatformConfig::time_randomized().with_co_runners(3),
+        ),
+        (
+            "randomized+3corunners-partitioned",
+            PlatformConfig::time_randomized().with_co_runners(3).partitioned(),
+        ),
+    ];
+    let mut samples_for_bench = Vec::new();
+    for (name, config) in configs {
+        let platform = Platform::new(config).expect("platform");
+        let samples = platform
+            .measure(program, 400, &mut DetRng::new(12))
+            .expect("measure");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let hwm = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        match analyze(&samples, &MbptaConfig::default()) {
+            Ok(result) => {
+                println!(
+                    "{:<36} {:>10.0} {:>10.0} {:>6} {:>12.0}",
+                    name,
+                    mean,
+                    hwm,
+                    if result.admissible() { "pass" } else { "FAIL" },
+                    result.pwcet.bound_at(1e-12).expect("bound")
+                );
+                if samples_for_bench.is_empty() {
+                    samples_for_bench = samples;
+                }
+            }
+            Err(_) => {
+                println!(
+                    "{:<36} {:>10.0} {:>10.0} {:>6} {:>12}",
+                    name, mean, hwm, "n/a", "=HWM (no variance)"
+                );
+            }
+        }
+    }
+    println!();
+    samples_for_bench
+}
+
+fn bench(c: &mut Criterion) {
+    let program = program();
+    let samples = print_table(&program);
+    let platform = Platform::new(PlatformConfig::time_randomized()).expect("platform");
+
+    let mut group = c.benchmark_group("e2_timing");
+    group.sample_size(20);
+    group.bench_function("platform_single_run", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            std::hint::black_box(platform.run(&program, &mut rng).expect("run").cycles)
+        })
+    });
+    group.bench_function("mbpta_analyze_400_samples", |b| {
+        b.iter(|| std::hint::black_box(analyze(&samples, &MbptaConfig::default()).expect("ok")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment E3: safety-pattern behaviour under fault injection +
+//! per-decision cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_nn::{Engine, QEngine, QModel};
+use safex_patterns::channel::{Channel, ModelChannel, QuantChannel};
+use safex_patterns::fault::{FaultModel, FaultyChannel};
+use safex_patterns::pattern::{Bare, MonitorActuator, SafetyPattern, TwoOutOfThree};
+use safex_tensor::DetRng;
+
+const FAULT: FaultModel = FaultModel {
+    wrong_class: 0.06,
+    stuck: 0.02,
+    crash: 0.02,
+};
+
+fn faulty_primary(seed: u64) -> Box<dyn Channel> {
+    let (_, _, model_a, _) = workload();
+    let inner = ModelChannel::new("primary", Engine::new(model_a.clone()));
+    Box::new(
+        FaultyChannel::new(Box::new(inner), FAULT, 4, DetRng::new(seed)).expect("fault model"),
+    )
+}
+
+fn build_patterns() -> Vec<(&'static str, Box<dyn SafetyPattern>)> {
+    let (_, _, model_a, model_b) = workload();
+    // Reference row: the bare model with NO fault injection, so the
+    // fault-induced increase in wrong acts is readable from the table.
+    let clean = Bare::new(Box::new(ModelChannel::new(
+        "clean",
+        Engine::new(model_a.clone()),
+    )));
+    let bare = Bare::new(faulty_primary(1));
+    let monitor = MonitorActuator::new(faulty_primary(2), 0.6, 0).expect("config");
+    let qtwin = QuantChannel::new(
+        "quant",
+        QEngine::new(QModel::quantize(model_a).expect("quantize")),
+    );
+    let diverse = ModelChannel::new("diverse", Engine::new(model_b.clone()));
+    let voter =
+        TwoOutOfThree::new(faulty_primary(3), Box::new(qtwin), Box::new(diverse)).expect("voter");
+    vec![
+        ("bare (no faults)", Box::new(clean)),
+        ("bare", Box::new(bare)),
+        ("monitor_actuator", Box::new(monitor)),
+        ("two_out_of_three", Box::new(voter)),
+    ]
+}
+
+fn print_table() {
+    let (_, test, _, _) = workload();
+    println!("\n=== E3: patterns under {:.0}% fault injection ===", FAULT.total() * 100.0);
+    println!(
+        "{:<18} {:>13} {:>13} {:>9}",
+        "pattern", "wrong-acts", "conservative", "cost/dec"
+    );
+    for (name, mut pattern) in build_patterns() {
+        let mut wrong = 0u64;
+        let mut conservative = 0u64;
+        let mut cost = 0u64;
+        let mut decisions = 0u64;
+        for _ in 0..10 {
+            for s in test.samples() {
+                let d = pattern.decide(&s.input).expect("decide");
+                decisions += 1;
+                cost += u64::from(d.total_cost());
+                if d.action.is_conservative() {
+                    conservative += 1;
+                } else if d.action.class() != Some(s.label) {
+                    wrong += 1;
+                }
+            }
+        }
+        println!(
+            "{:<18} {:>12.1}% {:>12.1}% {:>9.2}",
+            name,
+            100.0 * wrong as f64 / decisions as f64,
+            100.0 * conservative as f64 / decisions as f64,
+            cost as f64 / decisions as f64
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let (_, test, _, _) = workload();
+    let inputs: Vec<&[f32]> = test.samples().iter().map(|s| s.input.as_slice()).collect();
+    let mut group = c.benchmark_group("e3_pattern_decide");
+    group.sample_size(30);
+    for (name, mut pattern) in build_patterns() {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let input = inputs[i % inputs.len()];
+                i += 1;
+                std::hint::black_box(pattern.decide(input).expect("decide"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Experiment E4: explanation fidelity table + explainer cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_nn::Engine;
+use safex_xai::fidelity;
+use safex_xai::saliency::{gradient_saliency, occlusion_saliency, OcclusionConfig};
+
+fn print_table() {
+    let (_, test, model_a, _) = workload();
+    let mut engine = Engine::new(model_a.clone());
+    let subjects: Vec<_> = test
+        .samples()
+        .iter()
+        .filter(|s| s.salient.is_some())
+        .take(25)
+        .collect();
+
+    let mut occ_pairs = Vec::new();
+    let mut grad_pairs = Vec::new();
+    for s in &subjects {
+        let truth = s.salient.expect("filtered");
+        occ_pairs.push((
+            occlusion_saliency(&mut engine, &s.input, s.label, &OcclusionConfig::default())
+                .expect("occlusion"),
+            truth,
+        ));
+        grad_pairs.push((
+            gradient_saliency(&mut engine, &s.input, s.label, 0.05).expect("gradient"),
+            truth,
+        ));
+    }
+    println!(
+        "\n=== E4: explanation fidelity (model acc {:.2}, {} subjects) ===",
+        safex_bench::model_a_accuracy(),
+        subjects.len()
+    );
+    println!(
+        "{:<11} {:>14} {:>8} {:>8}",
+        "explainer", "pointing-game", "IoU", "mass"
+    );
+    for (name, pairs) in [("occlusion", &occ_pairs), ("gradient", &grad_pairs)] {
+        let r = fidelity::evaluate_batch(pairs).expect("evaluate");
+        println!(
+            "{:<11} {:>13.0}% {:>8.2} {:>8.2}",
+            name,
+            r.pointing_game * 100.0,
+            r.mean_iou,
+            r.mean_mass
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let (_, test, model_a, _) = workload();
+    let mut engine = Engine::new(model_a.clone());
+    let sample = test
+        .samples()
+        .iter()
+        .find(|s| s.salient.is_some())
+        .expect("object sample")
+        .clone();
+
+    let mut group = c.benchmark_group("e4_explainers");
+    group.sample_size(20);
+    group.bench_function("occlusion_16x16", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                occlusion_saliency(
+                    &mut engine,
+                    &sample.input,
+                    sample.label,
+                    &OcclusionConfig::default(),
+                )
+                .expect("occlusion"),
+            )
+        })
+    });
+    group.bench_function("gradient_16x16", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                gradient_saliency(&mut engine, &sample.input, sample.label, 0.05)
+                    .expect("gradient"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

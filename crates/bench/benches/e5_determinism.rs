@@ -1,0 +1,86 @@
+//! Experiment E5: determinism table (jitter, reproducibility, quantisation
+//! cost) + float vs fixed-point inference throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_nn::{Engine, QEngine, QModel};
+use safex_tensor::fixed::Q16_16;
+
+fn print_table() {
+    let (_, test, model_a, _) = workload();
+    let mut fe = Engine::new(model_a.clone());
+    let qmodel = QModel::quantize(model_a).expect("quantize");
+    let mut qe = QEngine::new(qmodel);
+
+    // Bit-exact repetition check over the whole test set.
+    let mut float_identical = true;
+    let mut quant_identical = true;
+    let mut agreement = 0usize;
+    let mut max_dev = 0.0f32;
+    for s in test.samples() {
+        let f1 = fe.infer(&s.input).expect("infer").to_vec();
+        let f2 = fe.infer(&s.input).expect("infer").to_vec();
+        float_identical &= f1 == f2;
+
+        let q: Vec<Q16_16> = s.input.iter().map(|&v| Q16_16::from_f32(v)).collect();
+        let q1: Vec<Q16_16> = qe.infer(&q).expect("infer").to_vec();
+        let q2: Vec<Q16_16> = qe.infer(&q).expect("infer").to_vec();
+        quant_identical &= q1 == q2;
+
+        let fc = argmax(&f1);
+        let qc = argmax(&q1.iter().map(|v| v.to_f32()).collect::<Vec<_>>());
+        if fc == qc {
+            agreement += 1;
+        }
+        for (f, qv) in f1.iter().zip(&q1) {
+            max_dev = max_dev.max((f - qv.to_f32()).abs());
+        }
+    }
+    println!("\n=== E5: determinism and quantisation ===");
+    println!(
+        "float engine bit-identical across runs: {}",
+        if float_identical { "yes" } else { "NO" }
+    );
+    println!(
+        "fixed-point engine bit-identical across runs: {}",
+        if quant_identical { "yes" } else { "NO" }
+    );
+    println!(
+        "float/quant class agreement: {:.1}% ({} frames)",
+        100.0 * agreement as f64 / test.len() as f64,
+        test.len()
+    );
+    println!("max output probability deviation: {max_dev:.4}");
+    println!();
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = (0usize, f32::NEG_INFINITY);
+    for (i, &x) in v.iter().enumerate() {
+        if x > best.1 {
+            best = (i, x);
+        }
+    }
+    best.0
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let (_, test, model_a, _) = workload();
+    let mut fe = Engine::new(model_a.clone());
+    let mut qe = QEngine::new(QModel::quantize(model_a).expect("quantize"));
+    let input = test.samples()[0].input.clone();
+    let qinput: Vec<Q16_16> = input.iter().map(|&v| Q16_16::from_f32(v)).collect();
+
+    let mut group = c.benchmark_group("e5_inference");
+    group.bench_function("float_engine", |b| {
+        b.iter(|| std::hint::black_box(fe.infer(&input).expect("infer")[0]))
+    });
+    group.bench_function("fixed_point_engine", |b| {
+        b.iter(|| std::hint::black_box(qe.infer(&qinput).expect("infer")[0]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

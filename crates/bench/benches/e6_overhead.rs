@@ -1,0 +1,73 @@
+//! Experiment E6: criticality ladder — decision cost per SIL.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_core::assemble::{self, AssemblySpec};
+use safex_patterns::Sil;
+
+fn pipeline_for(sil: Sil) -> safex_core::SafePipeline {
+    let (train, _, model_a, model_b) = workload();
+    let spec = AssemblySpec {
+        sil,
+        fallback_class: 0,
+        confidence_floor: 0.4,
+        input_range: (-1.0, 2.0),
+        ..Default::default()
+    };
+    assemble::for_sil(
+        &format!("bench-{sil}"),
+        &spec,
+        &[model_a.clone(), model_b.clone()],
+        &train.inputs_owned(),
+        &train.labels(),
+    )
+    .expect("assemble")
+}
+
+fn print_table() {
+    let (_, test, _, _) = workload();
+    println!("\n=== E6: per-SIL decision cost (channel + monitor evals) ===");
+    println!(
+        "{:<5} {:<17} {:>10} {:>13}",
+        "SIL", "pattern", "cost/dec", "conservative"
+    );
+    for sil in Sil::ALL {
+        let mut pipeline = pipeline_for(sil);
+        let mut cost = 0u64;
+        for s in test.samples() {
+            let d = pipeline.decide(&s.input).expect("decide");
+            cost += u64::from(d.total_cost());
+        }
+        println!(
+            "{:<5} {:<17} {:>10.2} {:>12.1}%",
+            sil.to_string(),
+            pipeline.pattern_name(),
+            cost as f64 / pipeline.decision_count() as f64,
+            pipeline.conservative_rate() * 100.0
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let (_, test, _, _) = workload();
+    let inputs: Vec<&[f32]> = test.samples().iter().map(|s| s.input.as_slice()).collect();
+    let mut group = c.benchmark_group("e6_pipeline_decide");
+    group.sample_size(30);
+    for sil in Sil::ALL {
+        let mut pipeline = pipeline_for(sil);
+        group.bench_function(format!("{sil}_{}", pipeline.pattern_name()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let input = inputs[i % inputs.len()];
+                i += 1;
+                std::hint::black_box(pipeline.decide(input).expect("decide"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

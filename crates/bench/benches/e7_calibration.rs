@@ -1,0 +1,70 @@
+//! Experiment E7: calibration table (ECE/Brier before vs after
+//! temperature scaling) + fitting cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_nn::Engine;
+use safex_supervision::observation::observe;
+use safex_xai::calibration::{brier_score, expected_calibration_error, TemperatureScaling};
+
+fn logits_and_labels() -> (Vec<Vec<f32>>, Vec<usize>) {
+    let (_, test, model_a, _) = workload();
+    let mut engine = Engine::new(model_a.clone());
+    let mut logits = Vec::new();
+    let mut labels = Vec::new();
+    for s in test.samples() {
+        let obs = observe(&mut engine, &s.input).expect("observe");
+        logits.push(obs.logits);
+        labels.push(s.label);
+    }
+    (logits, labels)
+}
+
+fn print_table(logits: &[Vec<f32>], labels: &[usize]) -> TemperatureScaling {
+    let ts = TemperatureScaling::fit(logits, labels).expect("fit");
+    println!("\n=== E7: calibration (fitted T = {:.3}) ===", ts.temperature());
+    println!("{:<22} {:>8} {:>8}", "transform", "ECE", "Brier");
+    for (name, t) in [
+        ("identity (T=1)", TemperatureScaling::identity()),
+        ("temperature-scaled", ts),
+    ] {
+        let probs: Vec<Vec<f32>> = logits.iter().map(|z| t.apply(z)).collect();
+        println!(
+            "{:<22} {:>8.3} {:>8.3}",
+            name,
+            expected_calibration_error(&probs, labels, 10).expect("ece"),
+            brier_score(&probs, labels).expect("brier")
+        );
+    }
+    println!();
+    ts
+}
+
+fn bench(c: &mut Criterion) {
+    let (logits, labels) = logits_and_labels();
+    let ts = print_table(&logits, &labels);
+
+    let mut group = c.benchmark_group("e7_calibration");
+    group.sample_size(20);
+    group.bench_function("temperature_fit", |b| {
+        b.iter(|| std::hint::black_box(TemperatureScaling::fit(&logits, &labels).expect("fit")))
+    });
+    group.bench_function("temperature_apply_batch", |b| {
+        b.iter(|| {
+            let probs: Vec<Vec<f32>> = logits.iter().map(|z| ts.apply(z)).collect();
+            std::hint::black_box(probs)
+        })
+    });
+    group.bench_function("ece_10bins", |b| {
+        let probs: Vec<Vec<f32>> = logits.iter().map(|z| ts.apply(z)).collect();
+        b.iter(|| {
+            std::hint::black_box(
+                expected_calibration_error(&probs, &labels, 10).expect("ece"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

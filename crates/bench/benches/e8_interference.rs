@@ -1,0 +1,85 @@
+//! Experiment E8: co-runner interference — slowdown and pWCET inflation
+//! vs contending cores, shared vs partitioned L2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_platform::platform::{Platform, PlatformConfig};
+use safex_platform::TraceProgram;
+use safex_tensor::DetRng;
+use safex_timing::mbpta::{analyze, MbptaConfig};
+
+fn program() -> TraceProgram {
+    let (_, _, model_a, _) = workload();
+    TraceProgram::from_model(model_a, 256)
+}
+
+fn print_table(program: &TraceProgram) {
+    println!("\n=== E8: co-runner interference ===");
+    println!(
+        "{:<13} {:<12} {:>10} {:>10} {:>12} {:>10}",
+        "co-runners", "L2", "mean", "HWM", "pWCET@1e-9", "slowdown"
+    );
+    let mut baseline_mean = 0.0f64;
+    for &co in &[0usize, 1, 2, 3] {
+        for (l2, partitioned) in [("shared", false), ("partitioned", true)] {
+            if co == 0 && partitioned {
+                continue; // identical to shared with no contenders
+            }
+            let mut config = PlatformConfig::time_randomized().with_co_runners(co);
+            if partitioned {
+                config = config.partitioned();
+            }
+            let platform = Platform::new(config).expect("platform");
+            let samples = platform
+                .measure(program, 300, &mut DetRng::new(11))
+                .expect("measure");
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let hwm = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if co == 0 {
+                baseline_mean = mean;
+            }
+            let bound = analyze(&samples, &MbptaConfig::default())
+                .ok()
+                .and_then(|r| r.pwcet.bound_at(1e-9).ok());
+            println!(
+                "{:<13} {:<12} {:>10.0} {:>10.0} {:>12} {:>9.2}x",
+                co,
+                l2,
+                mean,
+                hwm,
+                bound.map_or("n/a".to_string(), |b| format!("{b:.0}")),
+                mean / baseline_mean
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let program = program();
+    print_table(&program);
+
+    let mut group = c.benchmark_group("e8_measure");
+    group.sample_size(10);
+    for (name, config) in [
+        ("alone", PlatformConfig::time_randomized()),
+        (
+            "contended_shared",
+            PlatformConfig::time_randomized().with_co_runners(3),
+        ),
+        (
+            "contended_partitioned",
+            PlatformConfig::time_randomized().with_co_runners(3).partitioned(),
+        ),
+    ] {
+        let platform = Platform::new(config).expect("platform");
+        group.bench_function(name, |b| {
+            let mut rng = DetRng::new(2);
+            b.iter(|| std::hint::black_box(platform.run(&program, &mut rng).expect("run").cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+#![forbid(unsafe_code)]
+//! Shared workload construction for the SAFEXPLAIN benchmark harness.
+//!
+//! Each `benches/eN_*.rs` target regenerates one experiment from
+//! `DESIGN.md`'s index: it prints the experiment's table/series (so
+//! `cargo bench` reproduces the numbers recorded in `EXPERIMENTS.md`) and
+//! then times the operations that experiment stresses.
+
+use std::sync::OnceLock;
+
+use safex_nn::{Engine, Model};
+use safex_scenarios::automotive::{self, AutomotiveConfig};
+use safex_scenarios::Dataset;
+use safex_tensor::DetRng;
+
+/// The shared automotive workload: `(train, test, trained model A,
+/// trained model B)`. Built once per process.
+pub fn workload() -> &'static (Dataset, Dataset, Model, Model) {
+    static W: OnceLock<(Dataset, Dataset, Model, Model)> = OnceLock::new();
+    W.get_or_init(|| {
+        let mut rng = DetRng::new(9001);
+        let data = automotive::generate(
+            &AutomotiveConfig {
+                samples_per_class: 60,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("generate");
+        let (train, test) = data.split(0.7, &mut rng).expect("split");
+        let a = safexplain::demo::train_mlp(&train, 60, 17).expect("train a");
+        let b = safexplain::demo::train_mlp(&train, 60, 18).expect("train b");
+        (train, test, a, b)
+    })
+}
+
+/// Test-set accuracy of the shared model A (for table headers).
+pub fn model_a_accuracy() -> f64 {
+    let (_, test, a, _) = workload();
+    let mut engine = Engine::new(a.clone());
+    safexplain::demo::accuracy(&mut engine, test).expect("accuracy")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_once_and_is_learnable() {
+        let (train, test, a, b) = workload();
+        assert!(train.len() > test.len());
+        assert_ne!(a.digest(), b.digest());
+        assert!(model_a_accuracy() > 0.6);
+    }
+}

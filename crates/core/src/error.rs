@@ -1,0 +1,101 @@
+//! Error type for pipeline assembly and operation.
+
+use std::error::Error;
+use std::fmt;
+
+use safex_nn::NnError;
+use safex_patterns::PatternError;
+use safex_supervision::SupervisionError;
+
+/// Errors produced by the core pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The pipeline was assembled inconsistently; the message explains.
+    BadAssembly(String),
+    /// The configured pattern is weaker than the SIL recommendation and
+    /// under-provisioning was not explicitly allowed.
+    UnderProvisioned {
+        /// The target SIL.
+        sil: safex_patterns::Sil,
+        /// The recommended minimum pattern.
+        recommended: &'static str,
+        /// The configured pattern.
+        configured: &'static str,
+    },
+    /// A pattern-level failure during a decision.
+    Pattern(PatternError),
+    /// A supervision failure during assembly.
+    Supervision(SupervisionError),
+    /// An inference failure during assembly.
+    Nn(NnError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadAssembly(msg) => write!(f, "bad pipeline assembly: {msg}"),
+            CoreError::UnderProvisioned {
+                sil,
+                recommended,
+                configured,
+            } => write!(
+                f,
+                "pattern {configured} is below the {sil} recommendation ({recommended}); \
+                 call allow_under_provisioned() to accept the risk"
+            ),
+            CoreError::Pattern(e) => write!(f, "pattern error: {e}"),
+            CoreError::Supervision(e) => write!(f, "supervision error: {e}"),
+            CoreError::Nn(e) => write!(f, "inference error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Pattern(e) => Some(e),
+            CoreError::Supervision(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for CoreError {
+    fn from(e: PatternError) -> Self {
+        CoreError::Pattern(e)
+    }
+}
+
+impl From<SupervisionError> for CoreError {
+    fn from(e: SupervisionError) -> Self {
+        CoreError::Supervision(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::BadAssembly("no pattern".into());
+        assert!(e.to_string().contains("no pattern"));
+        assert!(e.source().is_none());
+        let e = CoreError::from(NnError::EmptyModel);
+        assert!(e.source().is_some());
+        let e = CoreError::UnderProvisioned {
+            sil: safex_patterns::Sil::Sil4,
+            recommended: "two_out_of_three",
+            configured: "bare",
+        };
+        assert!(e.to_string().contains("two_out_of_three"));
+    }
+}

@@ -1,0 +1,369 @@
+//! The certifiable inference pipeline.
+
+use safex_patterns::criticality::PatternKind;
+use safex_patterns::decision::Action;
+use safex_patterns::pattern::SafetyPattern;
+use safex_patterns::{Decision, Sil};
+use safex_trace::record::{RecordKind, Value};
+use safex_trace::EvidenceChain;
+
+use crate::error::CoreError;
+
+/// A deployed pipeline: a safety pattern plus evidence recording and
+/// operational statistics.
+pub struct SafePipeline {
+    name: String,
+    sil: Sil,
+    pattern: Box<dyn SafetyPattern>,
+    chain: Option<EvidenceChain>,
+    decisions: u64,
+    conservative: u64,
+}
+
+impl std::fmt::Debug for SafePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SafePipeline")
+            .field("name", &self.name)
+            .field("sil", &self.sil)
+            .field("pattern", &self.pattern.name())
+            .field("decisions", &self.decisions)
+            .field("conservative", &self.conservative)
+            .field("traced", &self.chain.is_some())
+            .finish()
+    }
+}
+
+impl SafePipeline {
+    /// The pipeline name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The target integrity level.
+    pub fn sil(&self) -> Sil {
+        self.sil
+    }
+
+    /// The active pattern's name.
+    pub fn pattern_name(&self) -> &'static str {
+        self.pattern.name()
+    }
+
+    /// Decisions made so far.
+    pub fn decision_count(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Conservative (fallback/safe-stop) decisions made so far.
+    pub fn conservative_count(&self) -> u64 {
+        self.conservative
+    }
+
+    /// Fraction of decisions that went conservative (0 when none made).
+    pub fn conservative_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            return 0.0;
+        }
+        self.conservative as f64 / self.decisions as f64
+    }
+
+    /// Renders a decision for one input, recording evidence if enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern infrastructure failures as
+    /// [`CoreError::Pattern`].
+    pub fn decide(&mut self, input: &[f32]) -> Result<Decision, CoreError> {
+        let decision = self.pattern.decide(input)?;
+        self.decisions += 1;
+        if decision.action.is_conservative() {
+            self.conservative += 1;
+        }
+        if let Some(chain) = &mut self.chain {
+            let (action_tag, class, reason): (&str, i64, String) = match decision.action {
+                Action::Proceed { class, .. } => ("proceed", class as i64, String::new()),
+                Action::Fallback { class, reason } => {
+                    ("fallback", class as i64, reason.to_string())
+                }
+                Action::SafeStop { reason } => ("safe_stop", -1, reason.to_string()),
+                // `Action` is #[non_exhaustive]; record unknown variants
+                // conservatively.
+                _ => ("unknown", -1, String::new()),
+            };
+            chain.append(
+                RecordKind::PatternDecision,
+                vec![
+                    ("pipeline".into(), Value::Str(self.name.clone())),
+                    ("action".into(), Value::Str(action_tag.into())),
+                    ("class".into(), Value::U64(class.max(0) as u64)),
+                    ("stopped".into(), Value::Bool(class < 0)),
+                    ("reason".into(), Value::Str(reason)),
+                    ("cost".into(), Value::U64(decision.total_cost() as u64)),
+                ],
+            );
+        }
+        Ok(decision)
+    }
+
+    /// The evidence chain, if tracing is enabled.
+    pub fn evidence(&self) -> Option<&EvidenceChain> {
+        self.chain.as_ref()
+    }
+
+    /// Mutable evidence access, so callers can append their own campaign
+    /// records (dataset generation, training, timing analyses).
+    pub fn evidence_mut(&mut self) -> Option<&mut EvidenceChain> {
+        self.chain.as_mut()
+    }
+
+    /// Verifies the evidence chain (trivially `Ok` when tracing is off).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadAssembly`] describing the first chain
+    /// defect.
+    pub fn verify_evidence(&self) -> Result<(), CoreError> {
+        if let Some(chain) = &self.chain {
+            chain
+                .verify()
+                .map_err(|d| CoreError::BadAssembly(format!("evidence chain broken: {d}")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SafePipeline`].
+pub struct PipelineBuilder {
+    name: String,
+    sil: Sil,
+    pattern: Option<Box<dyn SafetyPattern>>,
+    campaign: Option<String>,
+    allow_under_provisioned: bool,
+}
+
+impl std::fmt::Debug for PipelineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("name", &self.name)
+            .field("sil", &self.sil)
+            .field("pattern", &self.pattern.as_ref().map(|p| p.name()))
+            .field("campaign", &self.campaign)
+            .finish()
+    }
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline for a named function at a target SIL.
+    pub fn new(name: impl Into<String>, sil: Sil) -> Self {
+        PipelineBuilder {
+            name: name.into(),
+            sil,
+            pattern: None,
+            campaign: None,
+            allow_under_provisioned: false,
+        }
+    }
+
+    /// Sets the safety pattern (required).
+    pub fn pattern(mut self, pattern: Box<dyn SafetyPattern>) -> Self {
+        self.pattern = Some(pattern);
+        self
+    }
+
+    /// Enables evidence recording into a named campaign chain.
+    pub fn evidence(mut self, campaign: impl Into<String>) -> Self {
+        self.campaign = Some(campaign.into());
+        self
+    }
+
+    /// Accepts a pattern weaker than the SIL recommendation (the check
+    /// otherwise fails the build — certification would flag it anyway).
+    pub fn allow_under_provisioned(mut self) -> Self {
+        self.allow_under_provisioned = true;
+        self
+    }
+
+    /// Builds the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadAssembly`] when no pattern is set, or
+    /// [`CoreError::UnderProvisioned`] when the pattern is below the SIL
+    /// recommendation and that was not explicitly allowed.
+    pub fn build(self) -> Result<SafePipeline, CoreError> {
+        let pattern = self
+            .pattern
+            .ok_or_else(|| CoreError::BadAssembly("no safety pattern configured".into()))?;
+        if !self.allow_under_provisioned {
+            let recommended = self.sil.recommended_pattern();
+            if let Some(configured) = kind_from_name(pattern.name()) {
+                if configured < recommended {
+                    return Err(CoreError::UnderProvisioned {
+                        sil: self.sil,
+                        recommended: recommended.name(),
+                        configured: pattern.name(),
+                    });
+                }
+            }
+        }
+        Ok(SafePipeline {
+            name: self.name,
+            sil: self.sil,
+            pattern,
+            chain: self.campaign.map(EvidenceChain::new),
+            decisions: 0,
+            conservative: 0,
+        })
+    }
+}
+
+/// Maps a pattern's stable name back to its [`PatternKind`] for the
+/// provisioning check (unknown/custom patterns are not checked).
+fn kind_from_name(name: &str) -> Option<PatternKind> {
+    match name {
+        "bare" => Some(PatternKind::Bare),
+        "monitor_actuator" => Some(PatternKind::MonitorActuator),
+        "simplex" => Some(PatternKind::Simplex),
+        "safety_bag" => Some(PatternKind::SafetyBag),
+        "recovery_block" => Some(PatternKind::RecoveryBlock),
+        "two_out_of_three" => Some(PatternKind::TwoOutOfThree),
+        "cascade" => Some(PatternKind::Cascade),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_patterns::channel::{ConstantChannel, RuleChannel};
+    use safex_patterns::pattern::{Bare, MonitorActuator, TwoOutOfThree};
+
+    fn bare() -> Box<dyn SafetyPattern> {
+        Box::new(Bare::new(Box::new(ConstantChannel::new("c", 1))))
+    }
+
+    #[test]
+    fn builder_requires_pattern() {
+        assert!(matches!(
+            PipelineBuilder::new("p", Sil::Sil1).build(),
+            Err(CoreError::BadAssembly(_))
+        ));
+    }
+
+    #[test]
+    fn under_provisioning_check() {
+        // Bare at SIL3 without the waiver: rejected.
+        assert!(matches!(
+            PipelineBuilder::new("p", Sil::Sil3).pattern(bare()).build(),
+            Err(CoreError::UnderProvisioned { .. })
+        ));
+        // With the waiver: accepted.
+        assert!(PipelineBuilder::new("p", Sil::Sil3)
+            .pattern(bare())
+            .allow_under_provisioned()
+            .build()
+            .is_ok());
+        // A 2oo3 at SIL1 exceeds the recommendation: fine.
+        let two = TwoOutOfThree::new(
+            Box::new(ConstantChannel::new("a", 0)),
+            Box::new(ConstantChannel::new("b", 0)),
+            Box::new(ConstantChannel::new("c", 0)),
+        )
+        .unwrap();
+        assert!(PipelineBuilder::new("p", Sil::Sil1)
+            .pattern(Box::new(two))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn decide_counts_and_records() {
+        // Monitor-actuator over a rule channel whose confidence is 1.0.
+        let ma = MonitorActuator::new(
+            Box::new(RuleChannel::new("r", |x: &[f32]| usize::from(x[0] > 0.5))),
+            0.5,
+            0,
+        )
+        .unwrap();
+        let mut p = PipelineBuilder::new("demo", Sil::Sil1)
+            .pattern(Box::new(ma))
+            .evidence("t")
+            .build()
+            .unwrap();
+        p.decide(&[0.9]).unwrap();
+        p.decide(&[0.1]).unwrap();
+        assert_eq!(p.decision_count(), 2);
+        assert_eq!(p.conservative_count(), 0);
+        assert_eq!(p.conservative_rate(), 0.0);
+        let chain = p.evidence().unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(
+            chain.records()[0].field("action"),
+            Some(&Value::Str("proceed".into()))
+        );
+        p.verify_evidence().unwrap();
+    }
+
+    #[test]
+    fn conservative_decisions_tracked() {
+        // Confidence floor of 1.0 trips on the model channel below.
+        let ma = MonitorActuator::new(
+            Box::new(RuleChannel::new("r", |_: &[f32]| 0)),
+            1.0,
+            2, // temporal consistency holds the first frame back
+        )
+        .unwrap();
+        let mut p = PipelineBuilder::new("demo", Sil::Sil1)
+            .pattern(Box::new(ma))
+            .evidence("t")
+            .build()
+            .unwrap();
+        let d = p.decide(&[0.0]).unwrap();
+        assert!(d.action.is_conservative());
+        assert_eq!(p.conservative_rate(), 1.0);
+        let rec = &p.evidence().unwrap().records()[0];
+        assert_eq!(rec.field("action"), Some(&Value::Str("safe_stop".into())));
+        assert_eq!(rec.field("stopped"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn evidence_optional() {
+        let mut p = PipelineBuilder::new("quiet", Sil::Sil1)
+            .pattern(bare())
+            .allow_under_provisioned()
+            .build()
+            .unwrap();
+        p.decide(&[0.0]).unwrap();
+        assert!(p.evidence().is_none());
+        p.verify_evidence().unwrap();
+    }
+
+    #[test]
+    fn evidence_mut_allows_campaign_records() {
+        let mut p = PipelineBuilder::new("demo", Sil::Sil2)
+            .pattern(bare())
+            .allow_under_provisioned()
+            .evidence("t")
+            .build()
+            .unwrap();
+        p.evidence_mut()
+            .unwrap()
+            .append(RecordKind::ModelTrained, vec![]);
+        p.decide(&[0.0]).unwrap();
+        assert_eq!(p.evidence().unwrap().len(), 2);
+        p.verify_evidence().unwrap();
+    }
+
+    #[test]
+    fn accessors() {
+        let p = PipelineBuilder::new("acc", Sil::Sil2)
+            .pattern(bare())
+            .allow_under_provisioned()
+            .build()
+            .unwrap();
+        assert_eq!(p.name(), "acc");
+        assert_eq!(p.sil(), Sil::Sil2);
+        assert_eq!(p.pattern_name(), "bare");
+        assert!(format!("{p:?}").contains("acc"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Certification reports: one JSON artefact binding everything together.
+
+use safex_trace::json::Json;
+
+use crate::pipeline::SafePipeline;
+
+/// A certification report for one deployed pipeline.
+///
+/// Collects the identity and behaviour of the pipeline plus whatever
+/// analysis results the campaign produced (timing bounds, supervisor
+/// metrics, objective coverage). Serialises to deterministic JSON via
+/// [`CertificationReport::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertificationReport {
+    pipeline_name: String,
+    sil: String,
+    pattern: String,
+    decisions: u64,
+    conservative_rate: f64,
+    evidence_head: Option<String>,
+    evidence_len: Option<u64>,
+    pwcet: Option<(f64, f64)>,
+    supervisor_auroc: Option<f64>,
+    objective_coverage: Option<f64>,
+    notes: Vec<String>,
+}
+
+impl CertificationReport {
+    /// Snapshots a pipeline's identity and statistics.
+    pub fn from_pipeline(pipeline: &SafePipeline) -> Self {
+        CertificationReport {
+            pipeline_name: pipeline.name().to_string(),
+            sil: pipeline.sil().to_string(),
+            pattern: pipeline.pattern_name().to_string(),
+            decisions: pipeline.decision_count(),
+            conservative_rate: pipeline.conservative_rate(),
+            evidence_head: pipeline
+                .evidence()
+                .map(|c| format!("{:016x}", c.head_hash())),
+            evidence_len: pipeline.evidence().map(|c| c.len() as u64),
+            pwcet: None,
+            supervisor_auroc: None,
+            objective_coverage: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a pWCET result: `(exceedance probability, cycle bound)`.
+    pub fn with_pwcet(mut self, exceedance: f64, bound: f64) -> Self {
+        self.pwcet = Some((exceedance, bound));
+        self
+    }
+
+    /// Attaches the supervisor's AUROC from the OOD evaluation.
+    pub fn with_supervisor_auroc(mut self, auroc: f64) -> Self {
+        self.supervisor_auroc = Some(auroc);
+        self
+    }
+
+    /// Attaches verification-objective coverage from `safex-fusa`.
+    pub fn with_objective_coverage(mut self, coverage: f64) -> Self {
+        self.objective_coverage = Some(coverage);
+        self
+    }
+
+    /// Appends a free-text note (assumption, caveat, waiver).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The pipeline name.
+    pub fn pipeline_name(&self) -> &str {
+        &self.pipeline_name
+    }
+
+    /// Serialises to deterministic JSON.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.set("pipeline", Json::from(self.pipeline_name.as_str()))
+            .set("sil", Json::from(self.sil.as_str()))
+            .set("pattern", Json::from(self.pattern.as_str()))
+            .set("decisions", Json::from(self.decisions))
+            .set("conservative_rate", Json::from(self.conservative_rate));
+        if let Some(head) = &self.evidence_head {
+            root.set("evidence_head", Json::from(head.as_str()));
+        }
+        if let Some(len) = self.evidence_len {
+            root.set("evidence_records", Json::from(len));
+        }
+        if let Some((p, bound)) = self.pwcet {
+            let mut t = Json::object();
+            t.set("exceedance", Json::from(p));
+            t.set("bound_cycles", Json::from(bound));
+            root.set("pwcet", t);
+        }
+        if let Some(a) = self.supervisor_auroc {
+            root.set("supervisor_auroc", Json::from(a));
+        }
+        if let Some(c) = self.objective_coverage {
+            root.set("objective_coverage", Json::from(c));
+        }
+        if !self.notes.is_empty() {
+            root.set(
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::from(n.as_str())).collect()),
+            );
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineBuilder;
+    use safex_patterns::channel::ConstantChannel;
+    use safex_patterns::pattern::Bare;
+    use safex_patterns::Sil;
+
+    fn pipeline() -> SafePipeline {
+        PipelineBuilder::new("demo", Sil::Sil1)
+            .pattern(Box::new(Bare::new(Box::new(ConstantChannel::new("c", 0)))))
+            .allow_under_provisioned()
+            .evidence("demo")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn report_snapshots_pipeline() {
+        let mut p = pipeline();
+        p.decide(&[0.0]).unwrap();
+        let report = CertificationReport::from_pipeline(&p);
+        assert_eq!(report.pipeline_name(), "demo");
+        let json = report.to_json().to_string_compact();
+        assert!(json.contains("\"pipeline\":\"demo\""));
+        assert!(json.contains("\"sil\":\"SIL1\""));
+        assert!(json.contains("\"pattern\":\"bare\""));
+        assert!(json.contains("\"decisions\":1"));
+        assert!(json.contains("evidence_head"));
+        assert!(json.contains("\"evidence_records\":1"));
+    }
+
+    #[test]
+    fn optional_sections() {
+        let p = pipeline();
+        let report = CertificationReport::from_pipeline(&p)
+            .with_pwcet(1e-12, 123456.0)
+            .with_supervisor_auroc(0.97)
+            .with_objective_coverage(0.8)
+            .with_note("simulated platform per DESIGN.md");
+        let json = report.to_json().to_string_compact();
+        assert!(json.contains("\"exceedance\":0.000000000001"));
+        assert!(json.contains("\"bound_cycles\":123456"));
+        assert!(json.contains("\"supervisor_auroc\":0.97"));
+        assert!(json.contains("\"objective_coverage\":0.8"));
+        assert!(json.contains("simulated platform"));
+    }
+
+    #[test]
+    fn no_evidence_pipeline_omits_section() {
+        let p = PipelineBuilder::new("quiet", Sil::Sil1)
+            .pattern(Box::new(Bare::new(Box::new(ConstantChannel::new("c", 0)))))
+            .allow_under_provisioned()
+            .build()
+            .unwrap();
+        let json = CertificationReport::from_pipeline(&p)
+            .to_json()
+            .to_string_compact();
+        assert!(!json.contains("evidence_head"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let p = pipeline();
+        let a = CertificationReport::from_pipeline(&p).to_json().to_string_compact();
+        let b = CertificationReport::from_pipeline(&p).to_json().to_string_compact();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,321 @@
+//! GSN-style safety cases: goals, strategies, solutions.
+//!
+//! A Goal Structuring Notation case argues from a top goal ("the DL-based
+//! perception function is acceptably safe") through strategies
+//! ("argument over the four SAFEXPLAIN pillars") down to solutions —
+//! concrete evidence references. The completeness check every assessor
+//! performs is mechanical: no undeveloped leaf goals.
+
+use std::fmt;
+
+use crate::error::FusaError;
+
+/// Node type in a GSN structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A claim to be supported.
+    Goal,
+    /// An argument approach decomposing a goal.
+    Strategy,
+    /// Evidence discharging a goal (reference string).
+    Solution(String),
+}
+
+/// A stable node handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// One GSN node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// External identifier (e.g. "G1", "S1", "Sn3").
+    pub tag: String,
+    /// Statement text.
+    pub statement: String,
+    /// Node type.
+    pub kind: NodeKind,
+    /// Parent node (None for the root goal).
+    pub parent: Option<NodeId>,
+}
+
+/// A GSN safety case: a tree rooted at a top-level goal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetyCase {
+    nodes: Vec<Node>,
+}
+
+impl SafetyCase {
+    /// Creates a case with its root goal.
+    pub fn new(root_tag: impl Into<String>, root_statement: impl Into<String>) -> Self {
+        SafetyCase {
+            nodes: vec![Node {
+                tag: root_tag.into(),
+                statement: root_statement.into(),
+                kind: NodeKind::Goal,
+                parent: None,
+            }],
+        }
+    }
+
+    /// The root goal's id.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Adds a sub-goal under a goal or strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusaError::UnknownId`] / [`FusaError::DuplicateId`] /
+    /// [`FusaError::BadStructure`] (goals cannot hang off solutions).
+    pub fn add_goal(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        statement: impl Into<String>,
+    ) -> Result<NodeId, FusaError> {
+        self.add_node(parent, tag, statement, NodeKind::Goal)
+    }
+
+    /// Adds a strategy under a goal.
+    ///
+    /// # Errors
+    ///
+    /// As [`SafetyCase::add_goal`], plus strategies may only attach to
+    /// goals.
+    pub fn add_strategy(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        statement: impl Into<String>,
+    ) -> Result<NodeId, FusaError> {
+        if !matches!(self.node(parent)?.kind, NodeKind::Goal) {
+            return Err(FusaError::BadStructure(
+                "strategies may only attach to goals".into(),
+            ));
+        }
+        self.add_node(parent, tag, statement, NodeKind::Strategy)
+    }
+
+    /// Adds a solution (evidence) under a goal.
+    ///
+    /// # Errors
+    ///
+    /// As [`SafetyCase::add_goal`], plus solutions may only attach to
+    /// goals.
+    pub fn add_solution(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        statement: impl Into<String>,
+        evidence: impl Into<String>,
+    ) -> Result<NodeId, FusaError> {
+        if !matches!(self.node(parent)?.kind, NodeKind::Goal) {
+            return Err(FusaError::BadStructure(
+                "solutions may only attach to goals".into(),
+            ));
+        }
+        self.add_node(parent, tag, statement, NodeKind::Solution(evidence.into()))
+    }
+
+    fn add_node(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        statement: impl Into<String>,
+        kind: NodeKind,
+    ) -> Result<NodeId, FusaError> {
+        let tag = tag.into();
+        if self.nodes.iter().any(|n| n.tag == tag) {
+            return Err(FusaError::DuplicateId(tag));
+        }
+        if parent.0 >= self.nodes.len() {
+            return Err(FusaError::UnknownId(format!("node #{}", parent.0)));
+        }
+        if matches!(self.nodes[parent.0].kind, NodeKind::Solution(_)) {
+            return Err(FusaError::BadStructure(
+                "nothing may attach to a solution".into(),
+            ));
+        }
+        self.nodes.push(Node {
+            tag,
+            statement: statement.into(),
+            kind,
+            parent: Some(parent),
+        });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    fn node(&self, id: NodeId) -> Result<&Node, FusaError> {
+        self.nodes
+            .get(id.0)
+            .ok_or_else(|| FusaError::UnknownId(format!("node #{}", id.0)))
+    }
+
+    /// Direct children of a node.
+    pub fn children(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent == Some(id))
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the case has only its root (never fully empty).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Goals that are *undeveloped*: no children at all. A complete case
+    /// has none.
+    pub fn undeveloped_goals(&self) -> Vec<&Node> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| {
+                matches!(n.kind, NodeKind::Goal) && self.children(NodeId(*i)).is_empty()
+            })
+            .map(|(_, n)| n)
+            .collect()
+    }
+
+    /// Strategies with no sub-goals (also incomplete).
+    pub fn dangling_strategies(&self) -> Vec<&Node> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| {
+                matches!(n.kind, NodeKind::Strategy) && self.children(NodeId(*i)).is_empty()
+            })
+            .map(|(_, n)| n)
+            .collect()
+    }
+
+    /// Whether the argument is complete: every goal is developed and
+    /// every strategy has sub-goals.
+    pub fn is_complete(&self) -> bool {
+        self.undeveloped_goals().is_empty() && self.dangling_strategies().is_empty()
+    }
+
+    /// Renders the case as an indented text outline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(NodeId(0), 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, id: NodeId, depth: usize, out: &mut String) {
+        let n = &self.nodes[id.0];
+        let prefix = match &n.kind {
+            NodeKind::Goal => "G",
+            NodeKind::Strategy => "S",
+            NodeKind::Solution(_) => "Sn",
+        };
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!("[{prefix}] {}: {}", n.tag, n.statement));
+        if let NodeKind::Solution(ev) = &n.kind {
+            out.push_str(&format!(" (evidence: {ev})"));
+        }
+        out.push('\n');
+        for child in self.children(id) {
+            self.render_node(child, depth + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for SafetyCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pillar_case() -> SafetyCase {
+        let mut case = SafetyCase::new("G1", "DL perception is acceptably safe");
+        let s1 = case
+            .add_strategy(case.root(), "S1", "argue over SAFEXPLAIN pillars")
+            .unwrap();
+        let g_xai = case
+            .add_goal(s1, "G2", "predictions carry trust evidence")
+            .unwrap();
+        case.add_solution(g_xai, "Sn1", "supervisor AUROC report", "E1-report")
+            .unwrap();
+        let g_time = case.add_goal(s1, "G3", "deadline met with 1e-12 bound").unwrap();
+        case.add_solution(g_time, "Sn2", "MBPTA pWCET analysis", "E2-report")
+            .unwrap();
+        case
+    }
+
+    #[test]
+    fn complete_case_checks_out() {
+        let case = pillar_case();
+        assert!(case.is_complete());
+        assert!(case.undeveloped_goals().is_empty());
+        assert_eq!(case.len(), 6);
+        assert!(!case.is_empty());
+    }
+
+    #[test]
+    fn undeveloped_goal_detected() {
+        let mut case = pillar_case();
+        let s1 = NodeId(1);
+        case.add_goal(s1, "G4", "explanations are faithful").unwrap();
+        assert!(!case.is_complete());
+        let undeveloped = case.undeveloped_goals();
+        assert_eq!(undeveloped.len(), 1);
+        assert_eq!(undeveloped[0].tag, "G4");
+    }
+
+    #[test]
+    fn dangling_strategy_detected() {
+        let mut case = SafetyCase::new("G1", "top");
+        case.add_strategy(case.root(), "S1", "argue somehow").unwrap();
+        assert!(!case.is_complete());
+        assert_eq!(case.dangling_strategies().len(), 1);
+    }
+
+    #[test]
+    fn structure_rules() {
+        let mut case = SafetyCase::new("G1", "top");
+        let sn = case
+            .add_solution(case.root(), "Sn1", "evidence", "ref")
+            .unwrap();
+        // Nothing attaches to a solution.
+        assert!(case.add_goal(sn, "G2", "x").is_err());
+        // Strategy cannot attach to a solution either.
+        assert!(case.add_strategy(sn, "S1", "x").is_err());
+        // Solutions/strategies only under goals.
+        let s = case.add_strategy(case.root(), "S1", "strategy").unwrap();
+        assert!(case.add_solution(s, "Sn2", "x", "ref").is_err());
+        assert!(case.add_strategy(s, "S2", "x").is_err());
+        // But goals under strategies are fine.
+        assert!(case.add_goal(s, "G2", "subgoal").is_ok());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids() {
+        let mut case = SafetyCase::new("G1", "top");
+        assert!(case.add_goal(case.root(), "G1", "dup").is_err());
+        assert!(case.add_goal(NodeId(99), "G2", "x").is_err());
+    }
+
+    #[test]
+    fn render_outline() {
+        let case = pillar_case();
+        let text = case.render();
+        assert!(text.contains("[G] G1"));
+        assert!(text.contains("  [S] S1"));
+        assert!(text.contains("    [G] G2"));
+        assert!(text.contains("(evidence: E1-report)"));
+        assert_eq!(case.to_string(), text);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for the FUSA framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by registries and safety cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FusaError {
+    /// An id was reused.
+    DuplicateId(String),
+    /// A referenced id does not exist.
+    UnknownId(String),
+    /// A decomposition violates the integrity algebra.
+    BadDecomposition(String),
+    /// A structural rule was violated (cycle, wrong node type, ...).
+    BadStructure(String),
+}
+
+impl fmt::Display for FusaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusaError::DuplicateId(id) => write!(f, "duplicate id {id}"),
+            FusaError::UnknownId(id) => write!(f, "unknown id {id}"),
+            FusaError::BadDecomposition(msg) => write!(f, "invalid decomposition: {msg}"),
+            FusaError::BadStructure(msg) => write!(f, "invalid structure: {msg}"),
+        }
+    }
+}
+
+impl Error for FusaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(FusaError::DuplicateId("REQ-1".into())
+            .to_string()
+            .contains("REQ-1"));
+    }
+}

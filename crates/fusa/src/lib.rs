@@ -1,0 +1,45 @@
+#![forbid(unsafe_code)]
+//! # safex-fusa
+//!
+//! Functional-safety (FUSA) process scaffolding: the certification
+//! framework the SAFEXPLAIN paper keeps referring to — safety
+//! requirements with integrity levels, SIL decomposition, verification
+//! objectives with pass/fail evidence, and GSN-style safety-case goal
+//! structures.
+//!
+//! The paper's core diagnosis is that *"the data-dependent and stochastic
+//! nature of DL algorithms clashes with current FUSA practice, which
+//! instead builds on deterministic, verifiable, and pass/fail test-based
+//! software"*. This crate implements that FUSA practice so the rest of the
+//! workspace can demonstrably plug into it: every experiment result can be
+//! attached as evidence to a verification objective, and objective
+//! coverage rolls up into a safety-case completeness check.
+//!
+//! * [`requirement`] — requirements registry with SIL allocation and
+//!   ISO 26262-style decomposition validation.
+//! * [`objective`] — verification objectives (test / analysis /
+//!   simulation / review) with status tracking and coverage queries.
+//! * [`case`] — GSN goal structures (goals, strategies, solutions) with
+//!   completeness checking and a text renderer.
+//!
+//! ## Example
+//!
+//! ```
+//! use safex_fusa::requirement::{Registry, RequirementKind};
+//! use safex_patterns::Sil;
+//!
+//! let mut reg = Registry::new();
+//! let top = reg.add("REQ-1", "Detect obstacles within 100 ms", Sil::Sil3,
+//!                   RequirementKind::Functional, None).unwrap();
+//! let child = reg.add("REQ-1.1", "DL channel proposes obstacle class", Sil::Sil1,
+//!                     RequirementKind::Functional, Some(top)).unwrap();
+//! assert_eq!(reg.children(top).len(), 1);
+//! # let _ = child;
+//! ```
+
+pub mod case;
+pub mod error;
+pub mod objective;
+pub mod requirement;
+
+pub use error::FusaError;

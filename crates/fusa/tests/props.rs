@@ -1,0 +1,100 @@
+//! Property-based tests for the FUSA framework.
+
+use proptest::prelude::*;
+use safex_fusa::case::SafetyCase;
+use safex_fusa::objective::{ObjectiveLedger, VerificationMethod};
+use safex_fusa::requirement::{Registry, RequirementKind};
+use safex_patterns::Sil;
+
+fn sil_from(level: u8) -> Sil {
+    Sil::from_level(level.clamp(1, 4)).expect("clamped to valid range")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decomposition validation accepts exactly the child sets whose SIL
+    /// levels sum to at least the parent's.
+    #[test]
+    fn decomposition_rule_is_the_sum_rule(
+        parent_level in 1u8..=4,
+        child_levels in prop::collection::vec(1u8..=4, 2..5),
+    ) {
+        let mut reg = Registry::new();
+        let parent = reg
+            .add("TOP", "top", sil_from(parent_level), RequirementKind::Functional, None)
+            .expect("add");
+        for (i, &lvl) in child_levels.iter().enumerate() {
+            reg.add(
+                format!("C{i}"),
+                "child",
+                sil_from(lvl),
+                RequirementKind::Functional,
+                Some(parent),
+            )
+            .expect("add");
+        }
+        let sum: u8 = child_levels.iter().map(|&l| l.clamp(1, 4)).sum();
+        let valid = reg.validate_decomposition(parent).is_ok();
+        prop_assert_eq!(valid, sum >= parent_level.clamp(1, 4));
+    }
+
+    /// Coverage is always in [0, 1], equals 1 exactly when every
+    /// requirement has at least one objective and all are passed.
+    #[test]
+    fn coverage_bounded_and_exact(
+        statuses in prop::collection::vec(0u8..3, 1..10),
+    ) {
+        let mut reg = Registry::new();
+        let mut ledger = ObjectiveLedger::new();
+        for (i, &status) in statuses.iter().enumerate() {
+            let req = reg
+                .add(format!("R{i}"), "req", Sil::Sil2, RequirementKind::Functional, None)
+                .expect("add");
+            // status 0 = no objective; 1 = passed; 2 = failed.
+            if status > 0 {
+                let obj = ledger
+                    .add(&reg, format!("O{i}"), req, VerificationMethod::Test, "t")
+                    .expect("obj");
+                if status == 1 {
+                    ledger.pass(obj, "ev").expect("pass");
+                } else {
+                    ledger.fail(obj, "why").expect("fail");
+                }
+            }
+        }
+        let coverage = ledger.coverage(&reg);
+        prop_assert!((0.0..=1.0).contains(&coverage));
+        let expected =
+            statuses.iter().filter(|&&s| s == 1).count() as f64 / statuses.len() as f64;
+        prop_assert!((coverage - expected).abs() < 1e-12);
+    }
+
+    /// Any tree built goal -> strategy -> goal -> solution is complete,
+    /// and dropping the solutions makes it incomplete.
+    #[test]
+    fn case_completeness_tracks_solutions(branches in 1usize..6) {
+        let mut complete = SafetyCase::new("G0", "top");
+        let strategy = complete
+            .add_strategy(complete.root(), "S0", "argue")
+            .expect("strategy");
+        let mut incomplete = SafetyCase::new("G0", "top");
+        let strategy2 = incomplete
+            .add_strategy(incomplete.root(), "S0", "argue")
+            .expect("strategy");
+        for i in 0..branches {
+            let g = complete
+                .add_goal(strategy, format!("G{}", i + 1), "claim")
+                .expect("goal");
+            complete
+                .add_solution(g, format!("Sn{}", i + 1), "evidence", "ref")
+                .expect("solution");
+            incomplete
+                .add_goal(strategy2, format!("G{}", i + 1), "claim")
+                .expect("goal");
+        }
+        prop_assert!(complete.is_complete());
+        prop_assert!(!incomplete.is_complete());
+        prop_assert_eq!(incomplete.undeveloped_goals().len(), branches);
+    }
+}

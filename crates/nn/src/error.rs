@@ -1,0 +1,103 @@
+//! Error type for model construction, inference, and training.
+
+use std::error::Error;
+use std::fmt;
+
+use safex_tensor::{Shape, TensorError};
+
+/// Errors produced by the `safex-nn` library.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor-level failure (shape mismatch, bad kernel dimensions, ...).
+    Tensor(TensorError),
+    /// A layer cannot accept the output shape of its predecessor.
+    LayerIncompatible {
+        /// Zero-based index of the offending layer.
+        layer: usize,
+        /// Human-readable description of the incompatibility.
+        reason: String,
+    },
+    /// The input supplied to inference does not match the model's input
+    /// shape.
+    InputShape {
+        /// Shape the model expects.
+        expected: Shape,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// A model with no layers was built or executed.
+    EmptyModel,
+    /// Training-specific failure (bad hyperparameter, label out of range,
+    /// non-finite loss).
+    Training(String),
+    /// Quantisation failed (e.g. weights exceed the representable range so
+    /// badly that the calibrated scale underflows).
+    Quantisation(String),
+    /// Model (de)serialisation failed: I/O error, malformed stream, or a
+    /// content-digest mismatch.
+    Serialization(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::LayerIncompatible { layer, reason } => {
+                write!(f, "layer {layer} incompatible: {reason}")
+            }
+            NnError::InputShape { expected, actual } => write!(
+                f,
+                "input has {actual} elements but model expects shape {expected}"
+            ),
+            NnError::EmptyModel => write!(f, "model has no layers"),
+            NnError::Training(msg) => write!(f, "training error: {msg}"),
+            NnError::Quantisation(msg) => write!(f, "quantisation error: {msg}"),
+            NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = NnError::EmptyModel;
+        assert_eq!(e.to_string(), "model has no layers");
+        let e = NnError::InputShape {
+            expected: Shape::vector(4),
+            actual: 3,
+        };
+        assert!(e.to_string().contains("3 elements"));
+    }
+
+    #[test]
+    fn source_chains_tensor_error() {
+        let e = NnError::from(TensorError::EmptyInput);
+        assert!(e.source().is_some());
+        assert!(NnError::EmptyModel.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,594 @@
+//! Layer definitions: parameters plus shape semantics.
+//!
+//! A [`Layer`] owns its parameters (if any) and knows how to map an input
+//! [`Shape`] to an output shape. Execution lives in [`crate::engine`] so
+//! that buffer management stays in one place.
+
+use safex_tensor::ops::conv2d_output_dims;
+use safex_tensor::{DetRng, Shape};
+
+use crate::error::NnError;
+use crate::init::Init;
+
+/// A fully-connected layer: `y = W x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    pub(crate) weights: Vec<f32>, // outputs x inputs, row-major
+    pub(crate) bias: Vec<f32>,    // outputs
+    pub(crate) inputs: usize,
+    pub(crate) outputs: usize,
+}
+
+impl DenseLayer {
+    /// Creates a dense layer with the given initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerIncompatible`] if either dimension is zero.
+    pub fn new(
+        inputs: usize,
+        outputs: usize,
+        init: Init,
+        rng: &mut DetRng,
+    ) -> Result<Self, NnError> {
+        if inputs == 0 || outputs == 0 {
+            return Err(NnError::LayerIncompatible {
+                layer: 0,
+                reason: "dense dimensions must be non-zero".into(),
+            });
+        }
+        let mut weights = vec![0.0f32; inputs * outputs];
+        init.fill(&mut weights, inputs, outputs, rng);
+        Ok(DenseLayer {
+            weights,
+            bias: vec![0.0; outputs],
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Number of input features.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output features.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Weight matrix, row-major `outputs x inputs`.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable weight matrix (used by the trainer and by fault injectors).
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Mutable bias vector.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+}
+
+/// A 2-D convolution layer over CHW inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2dLayer {
+    pub(crate) weights: Vec<f32>, // out_c x in_c x k x k
+    pub(crate) bias: Vec<f32>,    // out_c
+    pub(crate) in_channels: usize,
+    pub(crate) out_channels: usize,
+    pub(crate) kernel: usize,
+    pub(crate) stride: usize,
+    pub(crate) padding: usize,
+}
+
+impl Conv2dLayer {
+    /// Creates a square-kernel convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerIncompatible`] for zero channels, zero
+    /// kernel, or zero stride.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        init: Init,
+        rng: &mut DetRng,
+    ) -> Result<Self, NnError> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0 {
+            return Err(NnError::LayerIncompatible {
+                layer: 0,
+                reason: "conv2d channels, kernel and stride must be non-zero".into(),
+            });
+        }
+        let mut weights = vec![0.0f32; out_channels * in_channels * kernel * kernel];
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        init.fill(&mut weights, fan_in, fan_out, rng);
+        Ok(Conv2dLayer {
+            weights,
+            bias: vec![0.0; out_channels],
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Square kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each border.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Weight tensor, `out_c x in_c x k x k` row-major.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable weights (trainer / fault injection).
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Mutable bias.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+}
+
+/// A frozen (inference-mode) batch normalisation layer.
+///
+/// Normalises per channel (rank-3 CHW input) or per feature (rank-1
+/// input) with statistics frozen at training time:
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta`.
+///
+/// In a FUSA deployment BN is usually *folded* into the preceding
+/// dense/conv layer ([`crate::model::Model::fold_batchnorm`]); the
+/// standalone layer exists so unfolded models execute identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNormLayer {
+    pub(crate) gamma: Vec<f32>,
+    pub(crate) beta: Vec<f32>,
+    pub(crate) mean: Vec<f32>,
+    pub(crate) var: Vec<f32>,
+    pub(crate) eps: f32,
+    /// Precomputed per-channel `(scale, shift)` so the inference hot path
+    /// stays allocation-free.
+    pub(crate) scale_shift: Vec<(f32, f32)>,
+}
+
+impl BatchNormLayer {
+    /// Creates a frozen BN layer from trained statistics.
+    ///
+    /// All four vectors must share a length equal to the channel (CHW) or
+    /// feature (vector) count of the input this layer will normalise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerIncompatible`] for empty or inconsistent
+    /// parameter vectors, a non-positive epsilon, or non-positive
+    /// variances.
+    pub fn new(
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        mean: Vec<f32>,
+        var: Vec<f32>,
+        eps: f32,
+    ) -> Result<Self, NnError> {
+        let n = gamma.len();
+        if n == 0 || beta.len() != n || mean.len() != n || var.len() != n {
+            return Err(NnError::LayerIncompatible {
+                layer: 0,
+                reason: "batchnorm parameter vectors must be non-empty and equal length".into(),
+            });
+        }
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(NnError::LayerIncompatible {
+                layer: 0,
+                reason: "batchnorm epsilon must be positive".into(),
+            });
+        }
+        if var.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(NnError::LayerIncompatible {
+                layer: 0,
+                reason: "batchnorm variances must be finite and non-negative".into(),
+            });
+        }
+        let scale_shift = gamma
+            .iter()
+            .zip(&beta)
+            .zip(mean.iter().zip(&var))
+            .map(|((&g, &b), (&m, &v))| {
+                let scale = g / (v + eps).sqrt();
+                (scale, b - scale * m)
+            })
+            .collect();
+        Ok(BatchNormLayer {
+            gamma,
+            beta,
+            mean,
+            var,
+            eps,
+            scale_shift,
+        })
+    }
+
+    /// An identity BN (gamma 1, beta 0, mean 0, var 1) over `n` channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerIncompatible`] for `n == 0`.
+    pub fn identity(n: usize) -> Result<Self, NnError> {
+        BatchNormLayer::new(vec![1.0; n], vec![0.0; n], vec![0.0; n], vec![1.0; n], 1e-5)
+    }
+
+    /// Number of channels/features normalised.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Per-channel scale parameters (gamma).
+    pub fn gamma(&self) -> &[f32] {
+        &self.gamma
+    }
+
+    /// Per-channel shift parameters (beta).
+    pub fn beta(&self) -> &[f32] {
+        &self.beta
+    }
+
+    /// Frozen per-channel means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Frozen per-channel variances.
+    pub fn variance(&self) -> &[f32] {
+        &self.var
+    }
+
+    /// The numerical-stability epsilon.
+    pub fn epsilon(&self) -> f32 {
+        self.eps
+    }
+
+    /// The per-channel `(scale, shift)` this layer applies:
+    /// `y = scale * x + shift` (precomputed at construction).
+    pub fn scale_shift(&self) -> &[(f32, f32)] {
+        &self.scale_shift
+    }
+}
+
+/// One layer of a sequential model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Layer {
+    /// Fully-connected layer over a rank-1 input.
+    Dense(DenseLayer),
+    /// 2-D convolution over a rank-3 CHW input.
+    Conv2d(Conv2dLayer),
+    /// Max pooling over a rank-3 CHW input.
+    MaxPool2d {
+        /// Square pooling window side.
+        pool: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Average pooling over a rank-3 CHW input.
+    AvgPool2d {
+        /// Square pooling window side.
+        pool: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Rectified linear unit (any shape).
+    Relu,
+    /// Leaky ReLU (any shape).
+    LeakyRelu {
+        /// Negative-input slope.
+        alpha: f32,
+    },
+    /// Softmax over a rank-1 input (must be the final layer for training
+    /// with cross-entropy).
+    Softmax,
+    /// Flattens any shape to rank-1.
+    Flatten,
+    /// Frozen batch normalisation (per channel for CHW, per feature for
+    /// rank-1 inputs).
+    BatchNorm(BatchNormLayer),
+}
+
+impl Layer {
+    /// Short stable name used in traces and model digests.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Dense(_) => "dense",
+            Layer::Conv2d(_) => "conv2d",
+            Layer::MaxPool2d { .. } => "maxpool2d",
+            Layer::AvgPool2d { .. } => "avgpool2d",
+            Layer::Relu => "relu",
+            Layer::LeakyRelu { .. } => "leaky_relu",
+            Layer::Softmax => "softmax",
+            Layer::Flatten => "flatten",
+            Layer::BatchNorm(_) => "batchnorm",
+        }
+    }
+
+    /// Number of parameters (trainable or frozen statistics).
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.weights.len() + d.bias.len(),
+            Layer::Conv2d(c) => c.weights.len() + c.bias.len(),
+            Layer::BatchNorm(bn) => bn.gamma.len() * 4,
+            _ => 0,
+        }
+    }
+
+    /// Computes the output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerIncompatible`] (with `layer` set to
+    /// `layer_index`) when the input shape cannot be consumed.
+    pub fn output_shape(&self, input: &Shape, layer_index: usize) -> Result<Shape, NnError> {
+        let incompat = |reason: String| NnError::LayerIncompatible {
+            layer: layer_index,
+            reason,
+        };
+        match self {
+            Layer::Dense(d) => {
+                if input.rank() != 1 || input.len() != d.inputs {
+                    return Err(incompat(format!(
+                        "dense expects rank-1 input of {} elements, got {input}",
+                        d.inputs
+                    )));
+                }
+                Ok(Shape::vector(d.outputs))
+            }
+            Layer::Conv2d(c) => {
+                if input.rank() != 3 {
+                    return Err(incompat(format!("conv2d expects CHW input, got {input}")));
+                }
+                let dims = input.dims();
+                if dims[0] != c.in_channels {
+                    return Err(incompat(format!(
+                        "conv2d expects {} input channels, got {}",
+                        c.in_channels, dims[0]
+                    )));
+                }
+                let (oh, ow) =
+                    conv2d_output_dims(dims[1], dims[2], c.kernel, c.kernel, c.stride, c.padding)
+                        .map_err(|e| incompat(e.to_string()))?;
+                Ok(Shape::chw(c.out_channels, oh, ow))
+            }
+            Layer::MaxPool2d { pool, stride } | Layer::AvgPool2d { pool, stride } => {
+                if input.rank() != 3 {
+                    return Err(incompat(format!("pooling expects CHW input, got {input}")));
+                }
+                let dims = input.dims();
+                let (oh, ow) = conv2d_output_dims(dims[1], dims[2], *pool, *pool, *stride, 0)
+                    .map_err(|e| incompat(e.to_string()))?;
+                Ok(Shape::chw(dims[0], oh, ow))
+            }
+            Layer::Relu | Layer::LeakyRelu { .. } => Ok(*input),
+            Layer::BatchNorm(bn) => {
+                let expected = if input.rank() == 3 {
+                    input.dims()[0]
+                } else if input.rank() == 1 {
+                    input.len()
+                } else {
+                    return Err(incompat(format!(
+                        "batchnorm expects rank-1 or CHW input, got {input}"
+                    )));
+                };
+                if bn.channels() != expected {
+                    return Err(incompat(format!(
+                        "batchnorm has {} channels but input {input} needs {expected}",
+                        bn.channels()
+                    )));
+                }
+                Ok(*input)
+            }
+            Layer::Softmax => {
+                if input.rank() != 1 {
+                    return Err(incompat(format!(
+                        "softmax expects rank-1 input, got {input}"
+                    )));
+                }
+                Ok(*input)
+            }
+            Layer::Flatten => Ok(Shape::vector(input.len())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(11)
+    }
+
+    #[test]
+    fn dense_shape() {
+        let d = DenseLayer::new(4, 3, Init::Zeros, &mut rng()).unwrap();
+        let l = Layer::Dense(d);
+        assert_eq!(
+            l.output_shape(&Shape::vector(4), 0).unwrap(),
+            Shape::vector(3)
+        );
+        assert!(l.output_shape(&Shape::vector(5), 0).is_err());
+        assert!(l.output_shape(&Shape::matrix(2, 2), 0).is_err());
+    }
+
+    #[test]
+    fn dense_rejects_zero_dims() {
+        assert!(DenseLayer::new(0, 3, Init::Zeros, &mut rng()).is_err());
+        assert!(DenseLayer::new(3, 0, Init::Zeros, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn conv_shape() {
+        let c = Conv2dLayer::new(3, 8, 3, 1, 1, Init::Zeros, &mut rng()).unwrap();
+        let l = Layer::Conv2d(c);
+        // Same-padding 3x3: spatial dims preserved.
+        assert_eq!(
+            l.output_shape(&Shape::chw(3, 16, 16), 0).unwrap(),
+            Shape::chw(8, 16, 16)
+        );
+        // Wrong channel count.
+        assert!(l.output_shape(&Shape::chw(4, 16, 16), 0).is_err());
+        // Wrong rank.
+        assert!(l.output_shape(&Shape::vector(10), 0).is_err());
+    }
+
+    #[test]
+    fn conv_stride_shrinks() {
+        let c = Conv2dLayer::new(1, 2, 2, 2, 0, Init::Zeros, &mut rng()).unwrap();
+        let l = Layer::Conv2d(c);
+        assert_eq!(
+            l.output_shape(&Shape::chw(1, 8, 8), 0).unwrap(),
+            Shape::chw(2, 4, 4)
+        );
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let l = Layer::MaxPool2d { pool: 2, stride: 2 };
+        assert_eq!(
+            l.output_shape(&Shape::chw(4, 8, 8), 0).unwrap(),
+            Shape::chw(4, 4, 4)
+        );
+        let l = Layer::AvgPool2d { pool: 3, stride: 1 };
+        assert_eq!(
+            l.output_shape(&Shape::chw(2, 5, 5), 0).unwrap(),
+            Shape::chw(2, 3, 3)
+        );
+        assert!(l.output_shape(&Shape::vector(4), 0).is_err());
+    }
+
+    #[test]
+    fn flatten_and_activations_preserve_len() {
+        assert_eq!(
+            Layer::Flatten
+                .output_shape(&Shape::chw(2, 3, 4), 0)
+                .unwrap(),
+            Shape::vector(24)
+        );
+        assert_eq!(
+            Layer::Relu.output_shape(&Shape::chw(2, 3, 4), 0).unwrap(),
+            Shape::chw(2, 3, 4)
+        );
+        assert_eq!(
+            Layer::Softmax.output_shape(&Shape::vector(5), 0).unwrap(),
+            Shape::vector(5)
+        );
+        assert!(Layer::Softmax.output_shape(&Shape::matrix(2, 2), 0).is_err());
+    }
+
+    #[test]
+    fn param_counts() {
+        let d = DenseLayer::new(4, 3, Init::Zeros, &mut rng()).unwrap();
+        assert_eq!(Layer::Dense(d).param_count(), 4 * 3 + 3);
+        let c = Conv2dLayer::new(2, 4, 3, 1, 0, Init::Zeros, &mut rng()).unwrap();
+        assert_eq!(Layer::Conv2d(c).param_count(), 4 * 2 * 9 + 4);
+        assert_eq!(Layer::Relu.param_count(), 0);
+    }
+
+    #[test]
+    fn kind_names_stable() {
+        assert_eq!(Layer::Relu.kind_name(), "relu");
+        assert_eq!(Layer::Flatten.kind_name(), "flatten");
+        assert_eq!(Layer::LeakyRelu { alpha: 0.1 }.kind_name(), "leaky_relu");
+    }
+
+    #[test]
+    fn layer_error_index_propagates() {
+        let l = Layer::Softmax;
+        match l.output_shape(&Shape::matrix(2, 2), 7) {
+            Err(NnError::LayerIncompatible { layer, .. }) => assert_eq!(layer, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batchnorm_construction_validation() {
+        assert!(BatchNormLayer::new(vec![], vec![], vec![], vec![], 1e-5).is_err());
+        assert!(
+            BatchNormLayer::new(vec![1.0], vec![0.0, 0.0], vec![0.0], vec![1.0], 1e-5).is_err()
+        );
+        assert!(BatchNormLayer::new(vec![1.0], vec![0.0], vec![0.0], vec![1.0], 0.0).is_err());
+        assert!(
+            BatchNormLayer::new(vec![1.0], vec![0.0], vec![0.0], vec![-1.0], 1e-5).is_err()
+        );
+        let bn = BatchNormLayer::identity(3).unwrap();
+        assert_eq!(bn.channels(), 3);
+    }
+
+    #[test]
+    fn batchnorm_scale_shift_math() {
+        // gamma 2, beta 1, mean 3, var 4, eps 0 -> scale = 1, shift = -2.
+        let bn = BatchNormLayer::new(vec![2.0], vec![1.0], vec![3.0], vec![4.0], 1e-9).unwrap();
+        let (scale, shift) = bn.scale_shift()[0];
+        assert!((scale - 1.0).abs() < 1e-4);
+        assert!((shift + 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batchnorm_shape_semantics() {
+        let bn = BatchNormLayer::identity(3).unwrap();
+        let l = Layer::BatchNorm(bn);
+        assert_eq!(
+            l.output_shape(&Shape::chw(3, 4, 4), 0).unwrap(),
+            Shape::chw(3, 4, 4)
+        );
+        assert_eq!(
+            l.output_shape(&Shape::vector(3), 0).unwrap(),
+            Shape::vector(3)
+        );
+        // Channel mismatch and bad rank.
+        assert!(l.output_shape(&Shape::chw(2, 4, 4), 0).is_err());
+        assert!(l.output_shape(&Shape::vector(5), 0).is_err());
+        assert!(l.output_shape(&Shape::matrix(3, 3), 0).is_err());
+        assert_eq!(l.kind_name(), "batchnorm");
+        assert_eq!(l.param_count(), 12);
+    }
+}

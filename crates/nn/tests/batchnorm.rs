@@ -1,0 +1,206 @@
+//! Cross-module BatchNorm behaviour: engine execution, folding
+//! equivalence, quantised path, and training through frozen BN.
+
+use safex_nn::layer::BatchNormLayer;
+use safex_nn::model::ModelBuilder;
+use safex_nn::train::{SgdConfig, Trainer};
+use safex_nn::{Engine, QEngine, QModel};
+use safex_tensor::{DetRng, Shape};
+
+fn bn_model(seed: u64) -> safex_nn::Model {
+    let mut rng = DetRng::new(seed);
+    ModelBuilder::new(Shape::chw(1, 6, 6))
+        .conv2d(3, 3, 1, 1, &mut rng)
+        .unwrap()
+        .batchnorm(
+            BatchNormLayer::new(
+                vec![1.5, 0.8, 1.2],
+                vec![0.1, -0.2, 0.0],
+                vec![0.05, -0.1, 0.2],
+                vec![0.5, 1.2, 0.9],
+                1e-5,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .relu()
+        .flatten()
+        .dense(4, &mut rng)
+        .unwrap()
+        .batchnorm(
+            BatchNormLayer::new(
+                vec![1.0, 1.1, 0.9, 1.05],
+                vec![0.0, 0.1, -0.1, 0.05],
+                vec![0.2, 0.0, -0.3, 0.1],
+                vec![1.0, 0.8, 1.1, 0.95],
+                1e-5,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .softmax()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn identity_batchnorm_is_a_no_op() {
+    let mut rng = DetRng::new(1);
+    let base = ModelBuilder::new(Shape::vector(4))
+        .dense(3, &mut rng)
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut rng = DetRng::new(1);
+    let with_bn = ModelBuilder::new(Shape::vector(4))
+        .dense(3, &mut rng)
+        .unwrap()
+        .batchnorm(BatchNormLayer::identity(3).unwrap())
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut e1 = Engine::new(base);
+    let mut e2 = Engine::new(with_bn);
+    let input = [0.3f32, -0.7, 0.2, 0.9];
+    let a = e1.infer(&input).unwrap().to_vec();
+    let b = e2.infer(&input).unwrap();
+    for (x, y) in a.iter().zip(b) {
+        assert!((x - y).abs() < 2e-6, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn folding_preserves_outputs_exactly_enough() {
+    let model = bn_model(7);
+    let mut folded = model.clone();
+    let folds = folded.fold_batchnorm();
+    assert_eq!(folds, 2, "both BN layers fold");
+    assert_eq!(folded.len(), model.len() - 2);
+    assert!(folded
+        .layers()
+        .iter()
+        .all(|l| l.kind_name() != "batchnorm"));
+
+    let mut original = Engine::new(model);
+    let mut fused = Engine::new(folded);
+    let mut rng = DetRng::new(9);
+    for _ in 0..10 {
+        let input: Vec<f32> = (0..36).map(|_| rng.next_f32()).collect();
+        let a = original.infer(&input).unwrap().to_vec();
+        let b = fused.infer(&input).unwrap();
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-5, "fold must be equivalent: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn fold_skips_unfoldable_positions() {
+    // BN after a pooling layer cannot fold into anything.
+    let mut rng = DetRng::new(3);
+    let mut model = ModelBuilder::new(Shape::chw(2, 4, 4))
+        .maxpool2d(2, 2)
+        .unwrap()
+        .batchnorm(BatchNormLayer::identity(2).unwrap())
+        .unwrap()
+        .flatten()
+        .dense(2, &mut rng)
+        .unwrap()
+        .build()
+        .unwrap();
+    assert_eq!(model.fold_batchnorm(), 0);
+    assert_eq!(model.len(), 4);
+}
+
+#[test]
+fn quantised_batchnorm_tracks_float() {
+    let model = bn_model(11);
+    let mut fe = Engine::new(model.clone());
+    let mut qe = QEngine::new(QModel::quantize(&model).unwrap());
+    let mut rng = DetRng::new(13);
+    let input: Vec<f32> = (0..36).map(|_| rng.next_f32()).collect();
+    let fout = fe.infer(&input).unwrap().to_vec();
+    let qout = qe.infer_f32(&input).unwrap();
+    for (f, q) in fout.iter().zip(&qout) {
+        assert!((f - q).abs() < 0.02, "float {f} vs quant {q}");
+    }
+}
+
+#[test]
+fn training_through_frozen_batchnorm_converges() {
+    // Frozen BN scales gradients but must not block learning.
+    let mut rng = DetRng::new(17);
+    let mut model = ModelBuilder::new(Shape::vector(2))
+        .dense(8, &mut rng)
+        .unwrap()
+        .batchnorm(BatchNormLayer::identity(8).unwrap())
+        .unwrap()
+        .relu()
+        .dense(2, &mut rng)
+        .unwrap()
+        .softmax()
+        .build()
+        .unwrap();
+    let inputs = vec![
+        vec![0.0, 0.0],
+        vec![0.0, 1.0],
+        vec![1.0, 0.0],
+        vec![1.0, 1.0],
+    ];
+    let labels = vec![0, 1, 1, 0];
+    let mut trainer = Trainer::new(SgdConfig {
+        learning_rate: 0.5,
+        momentum: 0.9,
+        batch_size: 4,
+    })
+    .unwrap();
+    let first = trainer
+        .train_epoch(&mut model, &inputs, &labels, &mut rng)
+        .unwrap();
+    let mut last = first;
+    for _ in 0..300 {
+        last = trainer
+            .train_epoch(&mut model, &inputs, &labels, &mut rng)
+            .unwrap();
+    }
+    assert!(last < first * 0.2, "loss {first} -> {last}");
+}
+
+#[test]
+fn digest_sensitive_to_bn_parameters() {
+    let a = bn_model(21);
+    let mut rng = DetRng::new(21);
+    let b = ModelBuilder::new(Shape::chw(1, 6, 6))
+        .conv2d(3, 3, 1, 1, &mut rng)
+        .unwrap()
+        .batchnorm(
+            BatchNormLayer::new(
+                vec![1.5, 0.8, 1.2],
+                vec![0.1, -0.2, 0.0],
+                vec![0.05, -0.1, 0.2],
+                vec![0.5, 1.2, 0.91], // one variance differs
+                1e-5,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .relu()
+        .flatten()
+        .dense(4, &mut rng)
+        .unwrap()
+        .batchnorm(
+            BatchNormLayer::new(
+                vec![1.0, 1.1, 0.9, 1.05],
+                vec![0.0, 0.1, -0.1, 0.05],
+                vec![0.2, 0.0, -0.3, 0.1],
+                vec![1.0, 0.8, 1.1, 0.95],
+                1e-5,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .softmax()
+        .build()
+        .unwrap();
+    assert_ne!(a.digest(), b.digest());
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the DL library.
+
+use proptest::prelude::*;
+use safex_nn::model::ModelBuilder;
+use safex_nn::{Engine, QEngine, QModel};
+use safex_tensor::fixed::Q16_16;
+use safex_tensor::{DetRng, Shape};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any (valid) randomly-shaped MLP builds, runs, and produces a
+    /// probability distribution.
+    #[test]
+    fn arbitrary_mlp_produces_distribution(
+        seed in any::<u64>(),
+        input_dim in 1usize..24,
+        hidden in 1usize..24,
+        classes in 1usize..8,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let model = ModelBuilder::new(Shape::vector(input_dim))
+            .dense(hidden, &mut rng).expect("dense")
+            .relu()
+            .dense(classes, &mut rng).expect("dense")
+            .softmax()
+            .build().expect("build");
+        let mut engine = Engine::new(model);
+        let input: Vec<f32> = (0..input_dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+        let out = engine.infer(&input).expect("infer");
+        let total: f32 = out.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-4);
+        prop_assert!(out.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    /// Any (valid) randomly-shaped small convnet builds and runs, and its
+    /// declared shapes match what the engine produces.
+    #[test]
+    fn arbitrary_convnet_shapes_consistent(
+        seed in any::<u64>(),
+        size in 6usize..12,
+        channels in 1usize..5,
+        kernel in 1usize..4,
+        padding in 0usize..2,
+    ) {
+        prop_assume!(kernel <= size + 2 * padding);
+        let mut rng = DetRng::new(seed);
+        let built = ModelBuilder::new(Shape::chw(1, size, size))
+            .conv2d(channels, kernel, 1, padding, &mut rng).expect("conv")
+            .relu()
+            .flatten()
+            .dense(3, &mut rng).expect("dense")
+            .softmax()
+            .build();
+        let model = built.expect("build");
+        let expected_out = model.output_shape().len();
+        let mut engine = Engine::new(model);
+        let input: Vec<f32> = (0..size * size).map(|_| rng.next_f32()).collect();
+        let out = engine.infer(&input).expect("infer");
+        prop_assert_eq!(out.len(), expected_out);
+        prop_assert!(out.iter().all(|p| p.is_finite()));
+    }
+
+    /// Quantised inference stays close to float inference for any small
+    /// trained-ish model (random weights, bounded inputs).
+    #[test]
+    fn quantised_tracks_float(
+        seed in any::<u64>(),
+        input_dim in 2usize..12,
+        classes in 2usize..6,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let model = ModelBuilder::new(Shape::vector(input_dim))
+            .dense(8, &mut rng).expect("dense")
+            .relu()
+            .dense(classes, &mut rng).expect("dense")
+            .softmax()
+            .build().expect("build");
+        let mut fe = Engine::new(model.clone());
+        let mut qe = QEngine::new(QModel::quantize(&model).expect("quantize"));
+        let input: Vec<f32> = (0..input_dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+        let fout = fe.infer(&input).expect("infer").to_vec();
+        let qout = qe.infer_f32(&input).expect("infer");
+        for (f, q) in fout.iter().zip(&qout) {
+            prop_assert!((f - q).abs() < 0.02, "float {f} vs quant {q}");
+        }
+    }
+
+    /// The model digest is a function of weights: any single-weight
+    /// perturbation changes it.
+    #[test]
+    fn digest_sensitive_to_any_weight(
+        seed in any::<u64>(),
+        victim_frac in 0.0f64..1.0,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let mut model = ModelBuilder::new(Shape::vector(4))
+            .dense(6, &mut rng).expect("dense")
+            .relu()
+            .dense(2, &mut rng).expect("dense")
+            .build().expect("build");
+        let original = model.digest();
+        if let safex_nn::layer::Layer::Dense(d) = &mut model.layers_mut()[0] {
+            let weights = d.weights_mut();
+            let victim = ((weights.len() - 1) as f64 * victim_frac) as usize;
+            weights[victim] += 0.5;
+        }
+        prop_assert_ne!(model.digest(), original);
+    }
+
+    /// Training one batch never panics and keeps the loss finite for any
+    /// labels in range.
+    #[test]
+    fn train_batch_total(
+        seed in any::<u64>(),
+        labels in prop::collection::vec(0usize..3, 1..8),
+    ) {
+        use safex_nn::train::{SgdConfig, Trainer};
+        let mut rng = DetRng::new(seed);
+        let mut model = ModelBuilder::new(Shape::vector(4))
+            .dense(6, &mut rng).expect("dense")
+            .relu()
+            .dense(3, &mut rng).expect("dense")
+            .softmax()
+            .build().expect("build");
+        let inputs: Vec<Vec<f32>> = labels
+            .iter()
+            .map(|_| (0..4).map(|_| rng.next_f32()).collect())
+            .collect();
+        let batch: Vec<(&[f32], usize)> = inputs
+            .iter()
+            .map(|x| x.as_slice())
+            .zip(labels.iter().copied())
+            .collect();
+        let mut trainer = Trainer::new(SgdConfig::default()).expect("trainer");
+        let loss = trainer.train_batch(&mut model, &batch).expect("train");
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+    }
+
+    /// Fixed-point softmax output is a distribution for any logits.
+    #[test]
+    fn q16_softmax_distribution(
+        logits in prop::collection::vec(-20.0f32..20.0, 1..10),
+    ) {
+        let src: Vec<Q16_16> = logits.iter().map(|&v| Q16_16::from_f32(v)).collect();
+        let mut dst = vec![Q16_16::ZERO; src.len()];
+        safex_nn::quant::softmax_q16_into(&src, &mut dst).expect("softmax");
+        let total: f64 = dst.iter().map(|v| v.to_f64()).sum();
+        prop_assert!((total - 1.0).abs() < 0.02, "total {total}");
+        prop_assert!(dst.iter().all(|v| *v >= Q16_16::ZERO));
+    }
+}

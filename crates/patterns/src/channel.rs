@@ -1,0 +1,273 @@
+//! Decision channels: the building blocks patterns compose.
+
+use safex_nn::{Engine, QEngine};
+use safex_tensor::fixed::Q16_16;
+
+use crate::error::PatternError;
+
+/// One channel's output for one input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelVerdict {
+    /// Predicted class.
+    pub class: usize,
+    /// Confidence/score in the prediction (softmax probability for
+    /// classifier channels; 1.0 for rule channels).
+    pub confidence: f32,
+}
+
+/// A decision-producing component a safety pattern can compose.
+///
+/// Channels validate their own output: a NaN confidence or an
+/// out-of-range class is a *channel fault* ([`PatternError::ChannelFault`])
+/// that patterns translate into fallback behaviour rather than propagate
+/// as a crash.
+pub trait Channel {
+    /// Stable channel name for evidence records.
+    fn name(&self) -> &str;
+
+    /// Produces a verdict for one input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::ChannelFault`] when the channel detects its
+    /// own output is invalid, or other variants for infrastructure
+    /// failures.
+    fn decide(&mut self, input: &[f32]) -> Result<ChannelVerdict, PatternError>;
+}
+
+/// A DL channel wrapping a float inference engine.
+#[derive(Debug)]
+pub struct ModelChannel {
+    name: String,
+    engine: Engine,
+}
+
+impl ModelChannel {
+    /// Wraps an engine as a channel.
+    pub fn new(name: impl Into<String>, engine: Engine) -> Self {
+        ModelChannel {
+            name: name.into(),
+            engine,
+        }
+    }
+
+    /// Immutable access to the wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine (e.g. for fault injection on
+    /// weights).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+}
+
+impl Channel for ModelChannel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, input: &[f32]) -> Result<ChannelVerdict, PatternError> {
+        let out = self.engine.infer(input)?;
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for (i, &v) in out.iter().enumerate() {
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        if !best.1.is_finite() {
+            return Err(PatternError::ChannelFault(format!(
+                "channel {} produced non-finite confidence",
+                self.name
+            )));
+        }
+        Ok(ChannelVerdict {
+            class: best.0,
+            confidence: best.1,
+        })
+    }
+}
+
+/// A DL channel wrapping the quantised (Q16.16) inference engine —
+/// a *diverse implementation* of the same model, which is exactly what
+/// 2-out-of-3 patterns want as a second opinion.
+#[derive(Debug)]
+pub struct QuantChannel {
+    name: String,
+    engine: QEngine,
+}
+
+impl QuantChannel {
+    /// Wraps a quantised engine as a channel.
+    pub fn new(name: impl Into<String>, engine: QEngine) -> Self {
+        QuantChannel {
+            name: name.into(),
+            engine,
+        }
+    }
+}
+
+impl Channel for QuantChannel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, input: &[f32]) -> Result<ChannelVerdict, PatternError> {
+        let q: Vec<Q16_16> = input.iter().map(|&v| Q16_16::from_f32(v)).collect();
+        let (class, score) = self.engine.classify(&q)?;
+        Ok(ChannelVerdict {
+            class,
+            confidence: score.to_f32(),
+        })
+    }
+}
+
+/// A deterministic rule-based channel (conservative heuristics, lookup
+/// tables, classical CV) — the kind of independently-developed component
+/// FUSA standards accept as a fallback or checker.
+pub struct RuleChannel<F> {
+    name: String,
+    rule: F,
+}
+
+impl<F: FnMut(&[f32]) -> usize> RuleChannel<F> {
+    /// Creates a rule channel from a closure mapping input to class.
+    pub fn new(name: impl Into<String>, rule: F) -> Self {
+        RuleChannel {
+            name: name.into(),
+            rule,
+        }
+    }
+}
+
+impl<F> std::fmt::Debug for RuleChannel<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleChannel").field("name", &self.name).finish()
+    }
+}
+
+impl<F: FnMut(&[f32]) -> usize> Channel for RuleChannel<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, input: &[f32]) -> Result<ChannelVerdict, PatternError> {
+        Ok(ChannelVerdict {
+            class: (self.rule)(input),
+            confidence: 1.0,
+        })
+    }
+}
+
+/// A channel that always returns a fixed class — the canonical "safe
+/// action" fallback (e.g. *brake*, *stop*, *abort landing*).
+#[derive(Debug, Clone)]
+pub struct ConstantChannel {
+    name: String,
+    class: usize,
+}
+
+impl ConstantChannel {
+    /// Creates a constant channel.
+    pub fn new(name: impl Into<String>, class: usize) -> Self {
+        ConstantChannel {
+            name: name.into(),
+            class,
+        }
+    }
+}
+
+impl Channel for ConstantChannel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, _input: &[f32]) -> Result<ChannelVerdict, PatternError> {
+        Ok(ChannelVerdict {
+            class: self.class,
+            confidence: 1.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_nn::model::ModelBuilder;
+    use safex_nn::QModel;
+    use safex_tensor::{DetRng, Shape};
+
+    fn engine(seed: u64) -> Engine {
+        let mut rng = DetRng::new(seed);
+        Engine::new(
+            ModelBuilder::new(Shape::vector(3))
+                .dense(4, &mut rng)
+                .unwrap()
+                .relu()
+                .dense(2, &mut rng)
+                .unwrap()
+                .softmax()
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn model_channel_decides() {
+        let mut ch = ModelChannel::new("primary", engine(1));
+        let v = ch.decide(&[0.1, 0.2, 0.3]).unwrap();
+        assert!(v.class < 2);
+        assert!((0.0..=1.0).contains(&v.confidence));
+        assert_eq!(ch.name(), "primary");
+    }
+
+    #[test]
+    fn model_channel_propagates_input_errors() {
+        let mut ch = ModelChannel::new("primary", engine(1));
+        assert!(matches!(
+            ch.decide(&[0.1]),
+            Err(PatternError::Nn(_))
+        ));
+    }
+
+    #[test]
+    fn quant_channel_agrees_with_float() {
+        let e = engine(2);
+        let model = e.model().clone();
+        let mut fc = ModelChannel::new("float", e);
+        let mut qc = QuantChannel::new("quant", QEngine::new(QModel::quantize(&model).unwrap()));
+        for i in 0..10 {
+            let x = [i as f32 * 0.1, 0.5 - i as f32 * 0.05, 0.2];
+            let fv = fc.decide(&x).unwrap();
+            let qv = qc.decide(&x).unwrap();
+            assert_eq!(fv.class, qv.class, "diverse channels should agree on {x:?}");
+        }
+    }
+
+    #[test]
+    fn rule_and_constant_channels() {
+        let mut rule = RuleChannel::new("bright", |x: &[f32]| usize::from(x[0] > 0.5));
+        assert_eq!(rule.decide(&[0.9]).unwrap().class, 1);
+        assert_eq!(rule.decide(&[0.1]).unwrap().class, 0);
+        let mut safe = ConstantChannel::new("brake", 3);
+        assert_eq!(safe.decide(&[0.0]).unwrap().class, 3);
+        assert_eq!(safe.decide(&[9.9]).unwrap().class, 3);
+        assert!(format!("{rule:?}").contains("bright"));
+    }
+
+    #[test]
+    fn nan_weights_surface_as_channel_fault() {
+        let mut e = engine(3);
+        // Poison the final dense layer so the softmax output goes NaN
+        // (an earlier layer's NaN could be masked by ReLU).
+        if let safex_nn::layer::Layer::Dense(d) = &mut e.model_mut().layers_mut()[2] {
+            d.bias_mut()[0] = f32::NAN;
+        }
+        let mut ch = ModelChannel::new("poisoned", e);
+        assert!(matches!(
+            ch.decide(&[1.0, 1.0, 1.0]),
+            Err(PatternError::ChannelFault(_))
+        ));
+    }
+}

@@ -1,0 +1,191 @@
+//! Decision types shared by all safety patterns.
+
+use std::fmt;
+
+/// Why a pattern abandoned the nominal DL output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FallbackReason {
+    /// A runtime supervisor rejected the input as out-of-distribution.
+    MonitorReject,
+    /// Redundant channels failed to reach the required agreement.
+    ChannelDisagreement,
+    /// A channel produced structurally invalid output.
+    ChannelFault,
+    /// The rule-based safety envelope vetoed the proposed action.
+    EnvelopeViolation,
+    /// The system is operating in a degraded mode after repeated trips.
+    Degraded,
+    /// Output failed the plausibility envelope (confidence floor,
+    /// temporal consistency).
+    ImplausibleOutput,
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FallbackReason::MonitorReject => "monitor reject",
+            FallbackReason::ChannelDisagreement => "channel disagreement",
+            FallbackReason::ChannelFault => "channel fault",
+            FallbackReason::EnvelopeViolation => "envelope violation",
+            FallbackReason::Degraded => "degraded mode",
+            FallbackReason::ImplausibleOutput => "implausible output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The action a safety pattern selects for one input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Action {
+    /// Use the DL prediction as-is.
+    Proceed {
+        /// Predicted class.
+        class: usize,
+        /// Prediction confidence in `[0, 1]` (or raw score for headless
+        /// models).
+        confidence: f32,
+    },
+    /// Use a conservative fallback channel's output.
+    Fallback {
+        /// The fallback channel's class.
+        class: usize,
+        /// Why the nominal output was abandoned.
+        reason: FallbackReason,
+    },
+    /// Transition to the safe state (stop / hand over / abort).
+    SafeStop {
+        /// Why the safe state was commanded.
+        reason: FallbackReason,
+    },
+}
+
+impl Action {
+    /// Whether the nominal DL output was used.
+    pub fn is_proceed(&self) -> bool {
+        matches!(self, Action::Proceed { .. })
+    }
+
+    /// Whether the system went conservative (fallback or safe stop).
+    pub fn is_conservative(&self) -> bool {
+        !self.is_proceed()
+    }
+
+    /// The acting class, if any (safe stop has none).
+    pub fn class(&self) -> Option<usize> {
+        match self {
+            Action::Proceed { class, .. } | Action::Fallback { class, .. } => Some(*class),
+            Action::SafeStop { .. } => None,
+        }
+    }
+
+    /// The fallback reason, if the action is conservative.
+    pub fn reason(&self) -> Option<FallbackReason> {
+        match self {
+            Action::Proceed { .. } => None,
+            Action::Fallback { reason, .. } | Action::SafeStop { reason } => Some(*reason),
+        }
+    }
+}
+
+/// One safety-pattern decision with its cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// The selected action.
+    pub action: Action,
+    /// Number of DL channel evaluations this decision consumed (the
+    /// latency/compute proxy experiments E3/E6 report).
+    pub channel_evals: u32,
+    /// Number of monitor/checker evaluations.
+    pub monitor_evals: u32,
+}
+
+impl Decision {
+    /// Creates a proceed decision.
+    pub fn proceed(class: usize, confidence: f32, channel_evals: u32, monitor_evals: u32) -> Self {
+        Decision {
+            action: Action::Proceed { class, confidence },
+            channel_evals,
+            monitor_evals,
+        }
+    }
+
+    /// Creates a fallback decision.
+    pub fn fallback(
+        class: usize,
+        reason: FallbackReason,
+        channel_evals: u32,
+        monitor_evals: u32,
+    ) -> Self {
+        Decision {
+            action: Action::Fallback { class, reason },
+            channel_evals,
+            monitor_evals,
+        }
+    }
+
+    /// Creates a safe-stop decision.
+    pub fn safe_stop(reason: FallbackReason, channel_evals: u32, monitor_evals: u32) -> Self {
+        Decision {
+            action: Action::SafeStop { reason },
+            channel_evals,
+            monitor_evals,
+        }
+    }
+
+    /// Total evaluation cost (channels + monitors).
+    pub fn total_cost(&self) -> u32 {
+        self.channel_evals + self.monitor_evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_predicates() {
+        let p = Action::Proceed {
+            class: 2,
+            confidence: 0.9,
+        };
+        assert!(p.is_proceed());
+        assert!(!p.is_conservative());
+        assert_eq!(p.class(), Some(2));
+        assert_eq!(p.reason(), None);
+
+        let f = Action::Fallback {
+            class: 0,
+            reason: FallbackReason::MonitorReject,
+        };
+        assert!(f.is_conservative());
+        assert_eq!(f.class(), Some(0));
+        assert_eq!(f.reason(), Some(FallbackReason::MonitorReject));
+
+        let s = Action::SafeStop {
+            reason: FallbackReason::ChannelDisagreement,
+        };
+        assert_eq!(s.class(), None);
+        assert!(s.is_conservative());
+    }
+
+    #[test]
+    fn decision_constructors_and_cost() {
+        let d = Decision::proceed(1, 0.8, 3, 2);
+        assert_eq!(d.total_cost(), 5);
+        let d = Decision::fallback(0, FallbackReason::Degraded, 1, 1);
+        assert_eq!(d.action.reason(), Some(FallbackReason::Degraded));
+        let d = Decision::safe_stop(FallbackReason::EnvelopeViolation, 1, 1);
+        assert!(d.action.is_conservative());
+    }
+
+    #[test]
+    fn reason_display() {
+        assert_eq!(FallbackReason::MonitorReject.to_string(), "monitor reject");
+        assert_eq!(
+            FallbackReason::ImplausibleOutput.to_string(),
+            "implausible output"
+        );
+    }
+}

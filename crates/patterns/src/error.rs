@@ -1,0 +1,69 @@
+//! Error type for the safety-pattern crate.
+
+use std::error::Error;
+use std::fmt;
+
+use safex_nn::NnError;
+use safex_supervision::SupervisionError;
+
+/// Errors produced by channels and safety patterns.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PatternError {
+    /// A channel's underlying inference failed.
+    Nn(NnError),
+    /// A supervisor/monitor failed.
+    Supervision(SupervisionError),
+    /// A pattern was constructed with invalid parameters.
+    BadConfig(String),
+    /// A channel produced structurally invalid output (NaN confidence,
+    /// out-of-range class); the channel is considered faulted.
+    ChannelFault(String),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::Nn(e) => write!(f, "channel inference error: {e}"),
+            PatternError::Supervision(e) => write!(f, "monitor error: {e}"),
+            PatternError::BadConfig(msg) => write!(f, "bad pattern config: {msg}"),
+            PatternError::ChannelFault(msg) => write!(f, "channel fault: {msg}"),
+        }
+    }
+}
+
+impl Error for PatternError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PatternError::Nn(e) => Some(e),
+            PatternError::Supervision(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for PatternError {
+    fn from(e: NnError) -> Self {
+        PatternError::Nn(e)
+    }
+}
+
+impl From<SupervisionError> for PatternError {
+    fn from(e: SupervisionError) -> Self {
+        PatternError::Supervision(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PatternError::BadConfig("quorum".into());
+        assert!(e.to_string().contains("quorum"));
+        assert!(e.source().is_none());
+        let e = PatternError::from(NnError::EmptyModel);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,310 @@
+//! Controlled channel-fault injection for coverage experiments.
+
+use safex_tensor::DetRng;
+
+use crate::channel::{Channel, ChannelVerdict};
+use crate::error::PatternError;
+
+/// The fault classes a [`FaultyChannel`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability of a *silent wrong answer*: class replaced by a random
+    /// different one, confidence kept high. The most dangerous fault.
+    pub wrong_class: f64,
+    /// Probability of a *stuck-at* fault: the channel repeats its previous
+    /// answer regardless of input.
+    pub stuck: f64,
+    /// Probability of a *detectable crash*: the channel reports a fault.
+    pub crash: f64,
+}
+
+impl FaultModel {
+    /// A model that never faults.
+    pub fn none() -> Self {
+        FaultModel {
+            wrong_class: 0.0,
+            stuck: 0.0,
+            crash: 0.0,
+        }
+    }
+
+    /// Validates that probabilities are in `[0, 1]` and sum to at most 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::BadConfig`] otherwise.
+    pub fn validate(&self) -> Result<(), PatternError> {
+        let ps = [self.wrong_class, self.stuck, self.crash];
+        if ps.iter().any(|p| !p.is_finite() || !(0.0..=1.0).contains(p)) {
+            return Err(PatternError::BadConfig(
+                "fault probabilities must be in [0, 1]".into(),
+            ));
+        }
+        if ps.iter().sum::<f64>() > 1.0 {
+            return Err(PatternError::BadConfig(
+                "fault probabilities must sum to at most 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total fault probability per decision.
+    pub fn total(&self) -> f64 {
+        self.wrong_class + self.stuck + self.crash
+    }
+}
+
+/// What the injector actually did on the last decision (exposed so
+/// experiments can compute ground-truth coverage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectedFault {
+    /// No fault this decision.
+    None,
+    /// Silent wrong class.
+    WrongClass,
+    /// Stuck at the previous output.
+    Stuck,
+    /// Detectable crash.
+    Crash,
+}
+
+/// Wraps a channel and injects faults per a [`FaultModel`].
+///
+/// Fault draws come from an explicit [`DetRng`], so an experiment's fault
+/// sequence is reproducible from its seed.
+pub struct FaultyChannel {
+    inner: Box<dyn Channel>,
+    model: FaultModel,
+    classes: usize,
+    rng: DetRng,
+    last_verdict: Option<ChannelVerdict>,
+    last_fault: InjectedFault,
+    injected_count: u64,
+    decision_count: u64,
+}
+
+impl FaultyChannel {
+    /// Wraps `inner`, injecting faults per `model`. `classes` is the
+    /// label-space size used to pick wrong classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::BadConfig`] for an invalid fault model or
+    /// `classes < 2` (a wrong class must exist).
+    pub fn new(
+        inner: Box<dyn Channel>,
+        model: FaultModel,
+        classes: usize,
+        rng: DetRng,
+    ) -> Result<Self, PatternError> {
+        model.validate()?;
+        if classes < 2 {
+            return Err(PatternError::BadConfig(
+                "fault injection needs at least 2 classes".into(),
+            ));
+        }
+        Ok(FaultyChannel {
+            inner,
+            model,
+            classes,
+            rng,
+            last_verdict: None,
+            last_fault: InjectedFault::None,
+            injected_count: 0,
+            decision_count: 0,
+        })
+    }
+
+    /// The fault injected on the most recent decision.
+    pub fn last_fault(&self) -> InjectedFault {
+        self.last_fault
+    }
+
+    /// `(faulted decisions, total decisions)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.injected_count, self.decision_count)
+    }
+}
+
+impl Channel for FaultyChannel {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn decide(&mut self, input: &[f32]) -> Result<ChannelVerdict, PatternError> {
+        self.decision_count += 1;
+        let draw = self.rng.next_f64();
+        let m = &self.model;
+        if draw < m.crash {
+            self.last_fault = InjectedFault::Crash;
+            self.injected_count += 1;
+            return Err(PatternError::ChannelFault("injected crash".into()));
+        }
+        if draw < m.crash + m.stuck {
+            if let Some(prev) = self.last_verdict {
+                self.last_fault = InjectedFault::Stuck;
+                self.injected_count += 1;
+                return Ok(prev);
+            }
+            // Nothing to be stuck at yet: fall through to normal operation.
+        }
+        let verdict = self.inner.decide(input)?;
+        if draw >= m.crash + m.stuck && draw < m.crash + m.stuck + m.wrong_class {
+            // Silent wrong answer: different class, confident.
+            let offset = 1 + self.rng.below_usize(self.classes - 1);
+            let wrong = ChannelVerdict {
+                class: (verdict.class + offset) % self.classes,
+                confidence: verdict.confidence.max(0.9),
+            };
+            self.last_fault = InjectedFault::WrongClass;
+            self.injected_count += 1;
+            self.last_verdict = Some(wrong);
+            return Ok(wrong);
+        }
+        self.last_fault = InjectedFault::None;
+        self.last_verdict = Some(verdict);
+        Ok(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ConstantChannel;
+
+    fn wrapped(model: FaultModel, seed: u64) -> FaultyChannel {
+        FaultyChannel::new(
+            Box::new(ConstantChannel::new("truth", 0)),
+            model,
+            4,
+            DetRng::new(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn no_faults_passthrough() {
+        let mut ch = wrapped(FaultModel::none(), 1);
+        for _ in 0..50 {
+            let v = ch.decide(&[0.0]).unwrap();
+            assert_eq!(v.class, 0);
+            assert_eq!(ch.last_fault(), InjectedFault::None);
+        }
+        assert_eq!(ch.stats(), (0, 50));
+    }
+
+    #[test]
+    fn wrong_class_rate_approximates_probability() {
+        let mut ch = wrapped(
+            FaultModel {
+                wrong_class: 0.3,
+                stuck: 0.0,
+                crash: 0.0,
+            },
+            2,
+        );
+        let mut wrong = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let v = ch.decide(&[0.0]).unwrap();
+            if v.class != 0 {
+                wrong += 1;
+                assert_eq!(ch.last_fault(), InjectedFault::WrongClass);
+                assert!(v.confidence >= 0.9);
+            }
+        }
+        let rate = wrong as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn crash_faults_surface_as_channel_fault() {
+        let mut ch = wrapped(
+            FaultModel {
+                wrong_class: 0.0,
+                stuck: 0.0,
+                crash: 1.0,
+            },
+            3,
+        );
+        assert!(matches!(
+            ch.decide(&[0.0]),
+            Err(PatternError::ChannelFault(_))
+        ));
+        assert_eq!(ch.last_fault(), InjectedFault::Crash);
+    }
+
+    #[test]
+    fn stuck_repeats_previous_output() {
+        let mut flip = 0usize;
+        let inner = crate::channel::RuleChannel::new("flip", move |_: &[f32]| {
+            flip += 1;
+            flip % 2
+        });
+        let mut ch = FaultyChannel::new(
+            Box::new(inner),
+            FaultModel {
+                wrong_class: 0.0,
+                stuck: 1.0,
+                crash: 0.0,
+            },
+            2,
+            DetRng::new(4),
+        )
+        .unwrap();
+        // First decision: nothing to be stuck at -> real output.
+        let first = ch.decide(&[0.0]).unwrap();
+        // All subsequent decisions repeat it.
+        for _ in 0..10 {
+            assert_eq!(ch.decide(&[0.0]).unwrap(), first);
+            assert_eq!(ch.last_fault(), InjectedFault::Stuck);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FaultModel {
+            wrong_class: 0.6,
+            stuck: 0.6,
+            crash: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(FaultModel {
+            wrong_class: -0.1,
+            stuck: 0.0,
+            crash: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(FaultyChannel::new(
+            Box::new(ConstantChannel::new("c", 0)),
+            FaultModel::none(),
+            1,
+            DetRng::new(0),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_fault_sequence() {
+        let run = |seed: u64| {
+            let mut ch = wrapped(
+                FaultModel {
+                    wrong_class: 0.2,
+                    stuck: 0.1,
+                    crash: 0.1,
+                },
+                seed,
+            );
+            (0..100)
+                .map(|_| match ch.decide(&[0.0]) {
+                    Ok(v) => v.class as i64,
+                    Err(_) => -1,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

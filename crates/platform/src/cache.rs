@@ -1,0 +1,384 @@
+//! Set-associative cache model with deterministic and time-randomised
+//! policies.
+//!
+//! The time-randomised configuration reproduces the cache designs of the
+//! MBPTA line of work (Cazorla, Abella et al.): **random placement** (the
+//! set index is a seeded hash of the line address, re-seeded per run) and
+//! **random replacement**. Randomisation converts systematic pathological
+//! layouts into a probabilistically well-behaved execution-time
+//! distribution — the property that makes extreme-value fitting of
+//! measurements sound.
+
+use safex_tensor::DetRng;
+
+use crate::error::PlatformError;
+
+/// Cache placement policy: how a line address maps to a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Classic modulo indexing (deterministic).
+    Modulo,
+    /// Seeded-hash indexing, re-seeded per run (time-randomised).
+    RandomHash,
+}
+
+/// Cache replacement policy within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Least-recently-used (deterministic).
+    Lru,
+    /// Uniform random victim (time-randomised).
+    Random,
+}
+
+/// Geometry and policy of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total size in bytes (power of two).
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two, >= 4).
+    pub line_bytes: usize,
+    /// Associativity (>= 1, divides the line count).
+    pub ways: usize,
+    /// Placement policy.
+    pub placement: Placement,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadConfig`] for non-power-of-two sizes,
+    /// zero ways, or a geometry with no sets.
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        let bad = |msg: String| Err(PlatformError::BadConfig(msg));
+        if !self.size_bytes.is_power_of_two() || self.size_bytes == 0 {
+            return bad(format!("cache size {} not a power of two", self.size_bytes));
+        }
+        if !self.line_bytes.is_power_of_two() || self.line_bytes < 4 {
+            return bad(format!(
+                "line size {} must be a power of two >= 4",
+                self.line_bytes
+            ));
+        }
+        if self.ways == 0 {
+            return bad("ways must be non-zero".into());
+        }
+        let lines = self.size_bytes / self.line_bytes;
+        if lines == 0 || lines % self.ways != 0 {
+            return bad(format!(
+                "{} lines not divisible into {} ways",
+                lines, self.ways
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes) / self.ways
+    }
+}
+
+/// The outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled.
+    Miss,
+}
+
+/// A set-associative cache instance.
+///
+/// Tags are full line addresses; the model tracks presence only (no dirty
+/// bits — write-back traffic is folded into the miss latency by the
+/// hierarchy).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets x ways` tags; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// Per-line LRU stamps (only maintained under LRU).
+    stamps: Vec<u64>,
+    clock: u64,
+    /// Placement hash key for this run (0 under modulo placement).
+    hash_key: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache. For [`Placement::RandomHash`], `rng` seeds the
+    /// per-run placement hash; re-create the cache to re-randomise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadConfig`] on invalid geometry.
+    pub fn new(config: CacheConfig, rng: &mut DetRng) -> Result<Self, PlatformError> {
+        config.validate()?;
+        let lines = config.size_bytes / config.line_bytes;
+        let hash_key = match config.placement {
+            Placement::Modulo => 0,
+            Placement::RandomHash => rng.next_u64() | 1,
+        };
+        Ok(Cache {
+            config,
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            clock: 0,
+            hash_key,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// `(hits, misses)` since construction or the last [`Cache::reset`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when no accesses have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Invalidates all lines and clears statistics (placement key kept).
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        let sets = self.config.sets() as u64;
+        match self.config.placement {
+            Placement::Modulo => (line_addr % sets) as usize,
+            Placement::RandomHash => {
+                // Multiplicative hash with the per-run key.
+                let mut x = line_addr.wrapping_mul(self.hash_key);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                x ^= x >> 33;
+                (x % sets) as usize
+            }
+        }
+    }
+
+    /// Accesses the byte address, filling on miss.
+    ///
+    /// `rng` supplies victim choices under random replacement (unused for
+    /// LRU).
+    pub fn access(&mut self, addr: u64, rng: &mut DetRng) -> AccessResult {
+        let line_addr = addr / self.config.line_bytes as u64;
+        let set = self.set_index(line_addr);
+        let ways = self.config.ways;
+        let base = set * ways;
+        self.clock += 1;
+
+        // Lookup.
+        for w in 0..ways {
+            if self.tags[base + w] == line_addr {
+                self.hits += 1;
+                self.stamps[base + w] = self.clock;
+                return AccessResult::Hit;
+            }
+        }
+        self.misses += 1;
+
+        // Fill: prefer an invalid way.
+        for w in 0..ways {
+            if self.tags[base + w] == u64::MAX {
+                self.tags[base + w] = line_addr;
+                self.stamps[base + w] = self.clock;
+                return AccessResult::Miss;
+            }
+        }
+        // Evict.
+        let victim = match self.config.replacement {
+            Replacement::Lru => {
+                let mut best = 0usize;
+                let mut best_stamp = u64::MAX;
+                for w in 0..ways {
+                    if self.stamps[base + w] < best_stamp {
+                        best_stamp = self.stamps[base + w];
+                        best = w;
+                    }
+                }
+                best
+            }
+            Replacement::Random => rng.below_usize(ways),
+        };
+        self.tags[base + victim] = line_addr;
+        self.stamps[base + victim] = self.clock;
+        AccessResult::Miss
+    }
+
+    /// Invalidates one random line (models a co-runner evicting shared
+    /// cache content).
+    pub fn evict_random_line(&mut self, rng: &mut DetRng) {
+        let idx = rng.below_usize(self.tags.len());
+        self.tags[idx] = u64::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(size: usize, line: usize, ways: usize) -> CacheConfig {
+        CacheConfig {
+            size_bytes: size,
+            line_bytes: line,
+            ways,
+            placement: Placement::Modulo,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(cfg(1024, 32, 2).validate().is_ok());
+        assert!(cfg(1000, 32, 2).validate().is_err()); // not pow2
+        assert!(cfg(1024, 3, 2).validate().is_err()); // bad line
+        assert!(cfg(1024, 32, 0).validate().is_err()); // zero ways
+        assert!(cfg(128, 32, 3).validate().is_err()); // 4 lines % 3 != 0
+        assert_eq!(cfg(1024, 32, 2).sets(), 16);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut rng = DetRng::new(1);
+        let mut c = Cache::new(cfg(1024, 32, 2), &mut rng).unwrap();
+        assert_eq!(c.access(0x100, &mut rng), AccessResult::Miss);
+        assert_eq!(c.access(0x100, &mut rng), AccessResult::Hit);
+        assert_eq!(c.access(0x11F, &mut rng), AccessResult::Hit); // same line
+        assert_eq!(c.access(0x120, &mut rng), AccessResult::Miss); // next line
+        assert_eq!(c.stats(), (2, 2));
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Direct-mapped-ish: 2 ways, force 3 conflicting lines.
+        let mut rng = DetRng::new(2);
+        let config = cfg(256, 32, 2); // 4 sets
+        let mut c = Cache::new(config, &mut rng).unwrap();
+        let sets = config.sets() as u64; // 4
+        let stride = 32 * sets; // same set every stride bytes
+        let a = 0u64;
+        let b = stride;
+        let d = 2 * stride;
+        c.access(a, &mut rng);
+        c.access(b, &mut rng);
+        c.access(a, &mut rng); // a freshly used; b is LRU
+        assert_eq!(c.access(d, &mut rng), AccessResult::Miss); // evicts b
+        assert_eq!(c.access(a, &mut rng), AccessResult::Hit);
+        assert_eq!(c.access(b, &mut rng), AccessResult::Miss); // b gone
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_second_pass() {
+        let mut rng = DetRng::new(3);
+        let mut c = Cache::new(cfg(4096, 32, 4), &mut rng).unwrap();
+        let lines = 4096 / 32;
+        for i in 0..lines as u64 {
+            assert_eq!(c.access(i * 32, &mut rng), AccessResult::Miss);
+        }
+        for i in 0..lines as u64 {
+            assert_eq!(c.access(i * 32, &mut rng), AccessResult::Hit, "line {i}");
+        }
+    }
+
+    #[test]
+    fn random_placement_varies_across_runs() {
+        // A pathological modulo stride that thrashes one set should not
+        // systematically thrash under random placement.
+        let config = CacheConfig {
+            placement: Placement::RandomHash,
+            replacement: Replacement::Random,
+            ..cfg(1024, 32, 2)
+        };
+        // Same trace, two different run seeds -> (almost surely) different
+        // hit counts.
+        let run = |seed: u64| {
+            let mut rng = DetRng::new(seed);
+            let mut c = Cache::new(config, &mut rng).unwrap();
+            let stride = 32 * config.sets() as u64;
+            for rep in 0..20 {
+                for i in 0..4u64 {
+                    let _ = rep;
+                    c.access(i * stride, &mut rng);
+                }
+            }
+            c.stats().0
+        };
+        let hits: Vec<u64> = (0..8).map(run).collect();
+        let all_same = hits.windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_same, "random placement should vary: {hits:?}");
+    }
+
+    #[test]
+    fn modulo_placement_is_run_invariant() {
+        let config = cfg(1024, 32, 2);
+        let run = |seed: u64| {
+            let mut rng = DetRng::new(seed);
+            let mut c = Cache::new(config, &mut rng).unwrap();
+            for i in 0..200u64 {
+                c.access(i * 64 % 4096, &mut rng);
+            }
+            c.stats()
+        };
+        assert_eq!(run(1), run(99));
+    }
+
+    #[test]
+    fn reset_clears_content_and_stats() {
+        let mut rng = DetRng::new(4);
+        let mut c = Cache::new(cfg(1024, 32, 2), &mut rng).unwrap();
+        c.access(0, &mut rng);
+        c.access(0, &mut rng);
+        c.reset();
+        assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.access(0, &mut rng), AccessResult::Miss);
+    }
+
+    #[test]
+    fn evict_random_line_can_cause_miss() {
+        let mut rng = DetRng::new(5);
+        // Tiny cache: 2 lines total, so random eviction hits quickly.
+        let mut c = Cache::new(cfg(64, 32, 1), &mut rng).unwrap();
+        c.access(0, &mut rng);
+        c.access(32, &mut rng);
+        let mut missed = false;
+        for _ in 0..20 {
+            c.evict_random_line(&mut rng);
+            if c.access(0, &mut rng) == AccessResult::Miss {
+                missed = true;
+                break;
+            }
+        }
+        assert!(missed, "pollution should eventually evict the line");
+    }
+
+    #[test]
+    fn hit_rate_empty_cache() {
+        let mut rng = DetRng::new(6);
+        let c = Cache::new(cfg(1024, 32, 2), &mut rng).unwrap();
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+}

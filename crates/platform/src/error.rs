@@ -1,0 +1,43 @@
+//! Error type for the platform simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by platform construction and measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A cache or platform parameter is invalid; the message names it.
+    BadConfig(String),
+    /// A measurement request is invalid (zero runs, empty program).
+    BadMeasurement(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::BadConfig(msg) => write!(f, "bad platform config: {msg}"),
+            PlatformError::BadMeasurement(msg) => write!(f, "bad measurement request: {msg}"),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(PlatformError::BadConfig("ways".into())
+            .to_string()
+            .contains("ways"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlatformError>();
+    }
+}

@@ -1,0 +1,59 @@
+#![forbid(unsafe_code)]
+//! # safex-platform
+//!
+//! A cycle-approximate embedded-platform simulator: the substrate for
+//! pillar 4 of the SAFEXPLAIN paper — *"computing platform configurations,
+//! to regain determinism, and probabilistic timing analyses, to handle the
+//! remaining non-determinism"*.
+//!
+//! The paper's consortium evaluates on embedded multicores (Jetson-class
+//! automotive boards, space MPSoCs) that this reproduction does not have;
+//! per the substitution rule in `DESIGN.md`, this crate models the parts
+//! of such platforms that *matter for timing analysis*:
+//!
+//! * **Set-associative caches** ([`cache`]) with the three configurations
+//!   the MBPTA literature contrasts: deterministic modulo-placement + LRU,
+//!   **time-randomised** (random placement hash per run + random
+//!   replacement — the configuration that makes measurement-based
+//!   probabilistic timing analysis sound), and **partitioned** (per-core
+//!   slices that remove inter-core conflicts).
+//! * **A two-level memory hierarchy** ([`hierarchy`]) with configurable
+//!   hit/miss latencies and a shared-bus contention model.
+//! * **Co-runner interference** ([`platform`]): contending cores add
+//!   arbitration delay and L2 pollution, scaled by the number of active
+//!   co-runners — flat when the L2 is partitioned.
+//! * **DL workload traces** ([`program`]): a `safex-nn` model compiles to
+//!   a deterministic memory-access/compute trace, so the execution-time
+//!   distributions analysed by `safex-timing` come from the *actual* DL
+//!   workload structure (weight streaming, activation ping-pong), not a
+//!   synthetic kernel.
+//!
+//! Everything is driven by explicit seeds; a `(config, seed)` pair
+//! reproduces a measurement campaign exactly.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), safex_platform::PlatformError> {
+//! use safex_platform::platform::{Platform, PlatformConfig};
+//! use safex_platform::program::TraceProgram;
+//! use safex_tensor::DetRng;
+//!
+//! let program = TraceProgram::synthetic_kernel(500, 64, 7);
+//! let platform = Platform::new(PlatformConfig::time_randomized())?;
+//! let mut rng = DetRng::new(42);
+//! let cycles = platform.measure(&program, 50, &mut rng)?;
+//! assert_eq!(cycles.len(), 50);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod hierarchy;
+pub mod platform;
+pub mod program;
+
+pub use error::PlatformError;
+pub use platform::{Platform, PlatformConfig};
+pub use program::TraceProgram;

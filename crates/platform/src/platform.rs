@@ -1,0 +1,295 @@
+//! The platform: configuration presets and measurement campaigns.
+
+use safex_tensor::DetRng;
+
+use crate::cache::{CacheConfig, Placement, Replacement};
+use crate::error::PlatformError;
+use crate::hierarchy::{Interference, Latencies, MemoryHierarchy};
+use crate::program::{TraceOp, TraceProgram};
+
+/// A complete platform configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformConfig {
+    /// Private L1 data cache.
+    pub l1: CacheConfig,
+    /// Shared L2 cache.
+    pub l2: CacheConfig,
+    /// Access latencies.
+    pub latencies: Latencies,
+    /// Co-runner interference model.
+    pub interference: Interference,
+}
+
+impl PlatformConfig {
+    /// Baseline deterministic platform: modulo placement, LRU, no
+    /// co-runners. Execution time is a single repeatable number.
+    pub fn deterministic() -> Self {
+        PlatformConfig {
+            l1: CacheConfig {
+                size_bytes: 4 * 1024,
+                line_bytes: 64,
+                ways: 2,
+                placement: Placement::Modulo,
+                replacement: Replacement::Lru,
+            },
+            l2: CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                placement: Placement::Modulo,
+                replacement: Replacement::Lru,
+            },
+            latencies: Latencies::default(),
+            interference: Interference::none(),
+        }
+    }
+
+    /// Time-randomised platform: random placement + random replacement in
+    /// both levels — the MBPTA-friendly configuration whose execution
+    /// times are i.i.d.-enough for extreme-value fitting.
+    pub fn time_randomized() -> Self {
+        let mut c = Self::deterministic();
+        c.l1.placement = Placement::RandomHash;
+        c.l1.replacement = Replacement::Random;
+        c.l2.placement = Placement::RandomHash;
+        c.l2.replacement = Replacement::Random;
+        c
+    }
+
+    /// Adds `co_runners` contending cores with default interference
+    /// parameters (shared L2).
+    pub fn with_co_runners(mut self, co_runners: usize) -> Self {
+        self.interference = Interference {
+            co_runners,
+            bus_delay_per_runner: 12,
+            pollution_per_runner: 0.05,
+            partitioned_l2: false,
+        };
+        self
+    }
+
+    /// Switches the shared L2 to per-core partitioning.
+    pub fn partitioned(mut self) -> Self {
+        self.interference.partitioned_l2 = true;
+        self
+    }
+
+    /// Validates all components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadConfig`] if any component is invalid.
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        self.l1.validate()?;
+        self.l2.validate()?;
+        self.latencies.validate()?;
+        self.interference.validate()?;
+        Ok(())
+    }
+}
+
+/// One execution's result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// L1 hit rate over the run.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate over the run.
+    pub l2_hit_rate: f64,
+}
+
+/// An execution platform that measures trace programs.
+///
+/// Each run rebuilds the hierarchy with a fresh sub-stream of the
+/// campaign RNG: under time-randomised placement every run gets a new
+/// placement hash (exactly how MBPTA collects its measurement samples);
+/// under deterministic configuration runs are identical unless co-runner
+/// randomness is present.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    config: PlatformConfig,
+}
+
+impl Platform {
+    /// Creates a platform after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadConfig`] on an invalid configuration.
+    pub fn new(config: PlatformConfig) -> Result<Self, PlatformError> {
+        config.validate()?;
+        Ok(Platform { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Executes the program once with a dedicated RNG stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadMeasurement`] for an empty program.
+    pub fn run(&self, program: &TraceProgram, rng: &mut DetRng) -> Result<RunResult, PlatformError> {
+        if program.is_empty() {
+            return Err(PlatformError::BadMeasurement("empty program".into()));
+        }
+        let mut hierarchy = MemoryHierarchy::new(
+            self.config.l1,
+            self.config.l2,
+            self.config.latencies,
+            self.config.interference,
+            rng,
+        )?;
+        let mut cycles = 0u64;
+        for op in program.ops() {
+            match op {
+                TraceOp::Compute(c) => cycles += c,
+                TraceOp::Load(addr) | TraceOp::Store(addr) => {
+                    cycles += hierarchy.access(*addr, rng);
+                }
+            }
+        }
+        let (l1_hit_rate, l2_hit_rate) = hierarchy.hit_rates();
+        Ok(RunResult {
+            cycles,
+            l1_hit_rate,
+            l2_hit_rate,
+        })
+    }
+
+    /// Runs a measurement campaign: `runs` executions, each with a forked
+    /// RNG stream, returning the execution times in cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::BadMeasurement`] for zero runs or an empty
+    /// program.
+    pub fn measure(
+        &self,
+        program: &TraceProgram,
+        runs: usize,
+        rng: &mut DetRng,
+    ) -> Result<Vec<f64>, PlatformError> {
+        if runs == 0 {
+            return Err(PlatformError::BadMeasurement("zero runs".into()));
+        }
+        let mut out = Vec::with_capacity(runs);
+        for i in 0..runs {
+            let mut run_rng = rng.fork(i as u64);
+            out.push(self.run(program, &mut run_rng)?.cycles as f64);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> TraceProgram {
+        TraceProgram::synthetic_kernel(50, 128, 3)
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(PlatformConfig::deterministic().validate().is_ok());
+        assert!(PlatformConfig::time_randomized().validate().is_ok());
+        assert!(PlatformConfig::time_randomized()
+            .with_co_runners(3)
+            .partitioned()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn deterministic_platform_constant_cycles() {
+        let p = Platform::new(PlatformConfig::deterministic()).unwrap();
+        let mut rng = DetRng::new(1);
+        let cycles = p.measure(&kernel(), 10, &mut rng).unwrap();
+        assert!(cycles.windows(2).all(|w| w[0] == w[1]), "{cycles:?}");
+    }
+
+    #[test]
+    fn randomized_platform_varies_cycles() {
+        let p = Platform::new(PlatformConfig::time_randomized()).unwrap();
+        let mut rng = DetRng::new(2);
+        let cycles = p.measure(&kernel(), 20, &mut rng).unwrap();
+        let distinct: std::collections::HashSet<u64> =
+            cycles.iter().map(|&c| c as u64).collect();
+        assert!(distinct.len() > 3, "expected variation: {cycles:?}");
+    }
+
+    #[test]
+    fn measurement_campaign_reproducible() {
+        let p = Platform::new(PlatformConfig::time_randomized()).unwrap();
+        let a = p.measure(&kernel(), 20, &mut DetRng::new(3)).unwrap();
+        let b = p.measure(&kernel(), 20, &mut DetRng::new(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn co_runners_slow_execution() {
+        let alone = Platform::new(PlatformConfig::time_randomized()).unwrap();
+        let contended =
+            Platform::new(PlatformConfig::time_randomized().with_co_runners(3)).unwrap();
+        let mut rng = DetRng::new(4);
+        let a = alone.measure(&kernel(), 20, &mut rng).unwrap();
+        let mut rng = DetRng::new(4);
+        let c = contended.measure(&kernel(), 20, &mut rng).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&c) > mean(&a) * 1.1,
+            "contended {} vs alone {}",
+            mean(&c),
+            mean(&a)
+        );
+    }
+
+    #[test]
+    fn partitioning_tames_co_runner_slowdown() {
+        let shared =
+            Platform::new(PlatformConfig::time_randomized().with_co_runners(3)).unwrap();
+        let part = Platform::new(
+            PlatformConfig::time_randomized()
+                .with_co_runners(3)
+                .partitioned(),
+        )
+        .unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let s = mean(&shared.measure(&kernel(), 20, &mut DetRng::new(5)).unwrap());
+        let p = mean(&part.measure(&kernel(), 20, &mut DetRng::new(5)).unwrap());
+        assert!(p < s, "partitioned {p} vs shared {s}");
+    }
+
+    #[test]
+    fn run_reports_hit_rates() {
+        let p = Platform::new(PlatformConfig::deterministic()).unwrap();
+        let mut rng = DetRng::new(6);
+        let r = p.run(&kernel(), &mut rng).unwrap();
+        assert!(r.cycles > 0);
+        assert!((0.0..=1.0).contains(&r.l1_hit_rate));
+        assert!((0.0..=1.0).contains(&r.l2_hit_rate));
+        // The 128-line working set exceeds the 64-line L1 (thrashes) but
+        // fits the L2, so reuse shows up there.
+        assert!(r.l2_hit_rate > 0.5, "l2 hit rate {}", r.l2_hit_rate);
+    }
+
+    #[test]
+    fn measurement_validation() {
+        let p = Platform::new(PlatformConfig::deterministic()).unwrap();
+        let mut rng = DetRng::new(7);
+        assert!(p.measure(&kernel(), 0, &mut rng).is_err());
+        let empty = TraceProgram::new("empty", vec![]);
+        assert!(p.run(&empty, &mut rng).is_err());
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let mut c = PlatformConfig::deterministic();
+        c.l1.size_bytes = 1000;
+        assert!(Platform::new(c).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the platform simulator.
+
+use proptest::prelude::*;
+use safex_platform::cache::{AccessResult, Cache, CacheConfig, Placement, Replacement};
+use safex_platform::platform::{Platform, PlatformConfig};
+use safex_platform::program::{TraceOp, TraceProgram};
+use safex_tensor::DetRng;
+
+fn any_cache_config() -> impl Strategy<Value = CacheConfig> {
+    (4u32..10, 2u32..7, 0usize..3, any::<bool>(), any::<bool>()).prop_filter_map(
+        "geometry must divide",
+        |(size_pow, line_pow, ways_pow, rand_place, rand_repl)| {
+            let config = CacheConfig {
+                size_bytes: 1 << size_pow.max(line_pow + 1),
+                line_bytes: 1 << line_pow,
+                ways: 1 << ways_pow,
+                placement: if rand_place {
+                    Placement::RandomHash
+                } else {
+                    Placement::Modulo
+                },
+                replacement: if rand_repl {
+                    Replacement::Random
+                } else {
+                    Replacement::Lru
+                },
+            };
+            config.validate().ok().map(|()| config)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hit + miss counts always equal the access count, for any geometry
+    /// and access pattern.
+    #[test]
+    fn cache_accounting_conserved(
+        config in any_cache_config(),
+        addrs in prop::collection::vec(0u64..100_000, 1..200),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::new(seed);
+        let mut cache = Cache::new(config, &mut rng).expect("cache");
+        for &a in &addrs {
+            let _ = cache.access(a, &mut rng);
+        }
+        let (hits, misses) = cache.stats();
+        prop_assert_eq!(hits + misses, addrs.len() as u64);
+    }
+
+    /// Accessing the same address twice in a row always hits the second
+    /// time, under every policy.
+    #[test]
+    fn immediate_reuse_always_hits(
+        config in any_cache_config(),
+        addr in 0u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::new(seed);
+        let mut cache = Cache::new(config, &mut rng).expect("cache");
+        let _ = cache.access(addr, &mut rng);
+        prop_assert_eq!(cache.access(addr, &mut rng), AccessResult::Hit);
+    }
+
+    /// A working set no larger than the cache always fully hits on the
+    /// second pass under LRU with modulo placement when it maps without
+    /// set conflicts (sequential lines).
+    #[test]
+    fn sequential_working_set_fits(
+        seed in any::<u64>(),
+        lines_pow in 2u32..6,
+    ) {
+        let config = CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+            placement: Placement::Modulo,
+            replacement: Replacement::Lru,
+        };
+        let lines = 1usize << lines_pow; // 4..32 <= 64 lines capacity
+        let mut rng = DetRng::new(seed);
+        let mut cache = Cache::new(config, &mut rng).expect("cache");
+        for i in 0..lines as u64 {
+            let _ = cache.access(i * 64, &mut rng);
+        }
+        for i in 0..lines as u64 {
+            prop_assert_eq!(cache.access(i * 64, &mut rng), AccessResult::Hit);
+        }
+    }
+
+    /// Platform measurements are reproducible for any seed and both cache
+    /// disciplines.
+    #[test]
+    fn measurement_reproducible(seed in any::<u64>(), randomized in any::<bool>()) {
+        let config = if randomized {
+            PlatformConfig::time_randomized()
+        } else {
+            PlatformConfig::deterministic()
+        };
+        let platform = Platform::new(config).expect("platform");
+        let program = TraceProgram::synthetic_kernel(10, 32, 3);
+        let a = platform.measure(&program, 5, &mut DetRng::new(seed)).expect("measure");
+        let b = platform.measure(&program, 5, &mut DetRng::new(seed)).expect("measure");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Execution time is bounded below by pure compute cycles plus one L1
+    /// hit per access, and is finite.
+    #[test]
+    fn cycles_lower_bound(
+        seed in any::<u64>(),
+        iterations in 1usize..20,
+        footprint in 1usize..64,
+    ) {
+        let program = TraceProgram::synthetic_kernel(iterations, footprint, 1);
+        let compute: u64 = program.ops().iter().map(|op| match op {
+            TraceOp::Compute(c) => *c,
+            _ => 0,
+        }).sum();
+        let accesses = program.access_count() as u64;
+        let platform = Platform::new(PlatformConfig::time_randomized()).expect("platform");
+        let mut rng = DetRng::new(seed);
+        let result = platform.run(&program, &mut rng).expect("run");
+        prop_assert!(result.cycles >= compute + accesses);
+    }
+
+    /// Adding co-runners never makes the mean execution time faster.
+    #[test]
+    fn interference_monotone_on_average(seed in 0u64..1000) {
+        let program = TraceProgram::synthetic_kernel(20, 64, 3);
+        let mean = |co: usize| -> f64 {
+            let platform = Platform::new(
+                PlatformConfig::time_randomized().with_co_runners(co),
+            ).expect("platform");
+            let samples = platform.measure(&program, 10, &mut DetRng::new(seed)).expect("m");
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
+        // Not strictly monotone per-seed (randomised), but 0 vs 3
+        // co-runners is a large effect that must survive any seed.
+        prop_assert!(mean(3) > mean(0));
+    }
+
+    /// Model-derived traces only touch the defined address regions.
+    #[test]
+    fn model_trace_addresses_well_formed(seed in any::<u64>()) {
+        use safex_nn::model::ModelBuilder;
+        use safex_tensor::Shape;
+        let mut rng = DetRng::new(seed);
+        let model = ModelBuilder::new(Shape::chw(1, 8, 8))
+            .conv2d(2, 3, 1, 1, &mut rng).expect("conv")
+            .relu()
+            .flatten()
+            .dense(3, &mut rng).expect("dense")
+            .softmax()
+            .build().expect("build");
+        let program = TraceProgram::from_model(&model, 128);
+        for op in program.ops() {
+            match op {
+                TraceOp::Load(a) => prop_assert!(*a >= 0x1000_0000),
+                TraceOp::Store(a) => prop_assert!(*a >= 0x2000_0000),
+                TraceOp::Compute(c) => prop_assert!(*c > 0),
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Labelled sample collections with ground-truth salient regions.
+
+use safex_tensor::{DetRng, Shape};
+
+use crate::error::ScenarioError;
+
+/// An axis-aligned rectangular region inside an image, in pixel
+/// coordinates (`y` down, `x` right), used as explanation ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Top row.
+    pub y: usize,
+    /// Left column.
+    pub x: usize,
+    /// Height in pixels (non-zero).
+    pub h: usize,
+    /// Width in pixels (non-zero).
+    pub w: usize,
+}
+
+impl Region {
+    /// Creates a region, validating non-zero extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidData`] for a zero-sized region.
+    pub fn new(y: usize, x: usize, h: usize, w: usize) -> Result<Self, ScenarioError> {
+        if h == 0 || w == 0 {
+            return Err(ScenarioError::InvalidData(
+                "region extent must be non-zero".into(),
+            ));
+        }
+        Ok(Region { y, x, h, w })
+    }
+
+    /// Whether pixel `(py, px)` lies inside the region.
+    pub fn contains(&self, py: usize, px: usize) -> bool {
+        py >= self.y && py < self.y + self.h && px >= self.x && px < self.x + self.w
+    }
+
+    /// Region area in pixels.
+    pub fn area(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Intersection-over-union with another region (0 when disjoint).
+    pub fn iou(&self, other: &Region) -> f64 {
+        let y0 = self.y.max(other.y);
+        let x0 = self.x.max(other.x);
+        let y1 = (self.y + self.h).min(other.y + other.h);
+        let x1 = (self.x + self.w).min(other.x + other.w);
+        if y1 <= y0 || x1 <= x0 {
+            return 0.0;
+        }
+        let inter = ((y1 - y0) * (x1 - x0)) as f64;
+        let union = (self.area() + other.area()) as f64 - inter;
+        inter / union
+    }
+}
+
+/// One labelled sample: flat CHW pixel data, class label, optional
+/// ground-truth salient region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Row-major CHW pixel values, typically in `[0, 1]` before shift.
+    pub input: Vec<f32>,
+    /// Class label, `< Dataset::classes()`.
+    pub label: usize,
+    /// Where the class evidence sits, if the class has localised evidence.
+    pub salient: Option<Region>,
+}
+
+/// A labelled dataset with a fixed input shape and class inventory.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), safex_scenarios::ScenarioError> {
+/// use safex_scenarios::{Dataset, Sample};
+/// use safex_tensor::Shape;
+///
+/// let samples = vec![
+///     Sample { input: vec![0.0; 4], label: 0, salient: None },
+///     Sample { input: vec![1.0; 4], label: 1, salient: None },
+/// ];
+/// let data = Dataset::new(Shape::chw(1, 2, 2), 2, vec!["a".into(), "b".into()], samples)?;
+/// assert_eq!(data.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    shape: Shape,
+    classes: usize,
+    class_names: Vec<String>,
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating labels and sample lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidData`] if `classes == 0`, the name
+    /// list length differs from `classes`, any sample's input length
+    /// differs from `shape.len()`, or any label is out of range.
+    pub fn new(
+        shape: Shape,
+        classes: usize,
+        class_names: Vec<String>,
+        samples: Vec<Sample>,
+    ) -> Result<Self, ScenarioError> {
+        if classes == 0 {
+            return Err(ScenarioError::InvalidData("classes must be non-zero".into()));
+        }
+        if class_names.len() != classes {
+            return Err(ScenarioError::InvalidData(format!(
+                "{} class names for {} classes",
+                class_names.len(),
+                classes
+            )));
+        }
+        for (i, s) in samples.iter().enumerate() {
+            if s.input.len() != shape.len() {
+                return Err(ScenarioError::InvalidData(format!(
+                    "sample {i} has {} values, shape {shape} needs {}",
+                    s.input.len(),
+                    shape.len()
+                )));
+            }
+            if s.label >= classes {
+                return Err(ScenarioError::InvalidData(format!(
+                    "sample {i} label {} out of range for {classes} classes",
+                    s.label
+                )));
+            }
+        }
+        Ok(Dataset {
+            shape,
+            classes,
+            class_names,
+            samples,
+        })
+    }
+
+    /// Input shape of every sample.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Class display names (length equals [`Dataset::classes`]).
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Owned copies of all inputs, in order (the layout `safex-nn`'s
+    /// trainer consumes).
+    pub fn inputs_owned(&self) -> Vec<Vec<f32>> {
+        self.samples.iter().map(|s| s.input.clone()).collect()
+    }
+
+    /// All labels, in order.
+    pub fn labels(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of samples (after
+    /// a deterministic shuffle) in the training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidData`] if the fraction is outside
+    /// `(0, 1)` or either side would be empty.
+    pub fn split(
+        &self,
+        train_fraction: f64,
+        rng: &mut DetRng,
+    ) -> Result<(Dataset, Dataset), ScenarioError> {
+        if !(0.0..=1.0).contains(&train_fraction) || !train_fraction.is_finite() {
+            return Err(ScenarioError::InvalidData(format!(
+                "train fraction {train_fraction} outside [0, 1]"
+            )));
+        }
+        let n_train = (self.len() as f64 * train_fraction).round() as usize;
+        if n_train == 0 || n_train == self.len() {
+            return Err(ScenarioError::InvalidData(
+                "split would leave an empty side".into(),
+            ));
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        let make = |idx: &[usize]| Dataset {
+            shape: self.shape,
+            classes: self.classes,
+            class_names: self.class_names.clone(),
+            samples: idx.iter().map(|&i| self.samples[i].clone()).collect(),
+        };
+        Ok((make(&order[..n_train]), make(&order[n_train..])))
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// Deterministically shuffles the samples in place.
+    pub fn shuffle(&mut self, rng: &mut DetRng) {
+        rng.shuffle(&mut self.samples);
+    }
+
+    /// Merges two datasets with identical shape/classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidData`] on shape or class mismatch.
+    pub fn merged(&self, other: &Dataset) -> Result<Dataset, ScenarioError> {
+        if self.shape != other.shape || self.classes != other.classes {
+            return Err(ScenarioError::InvalidData(
+                "cannot merge datasets with different shape or classes".into(),
+            ));
+        }
+        let mut samples = self.samples.clone();
+        samples.extend(other.samples.iter().cloned());
+        Ok(Dataset {
+            shape: self.shape,
+            classes: self.classes,
+            class_names: self.class_names.clone(),
+            samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let samples = (0..10)
+            .map(|i| Sample {
+                input: vec![i as f32; 4],
+                label: i % 2,
+                salient: None,
+            })
+            .collect();
+        Dataset::new(
+            Shape::chw(1, 2, 2),
+            2,
+            vec!["a".into(), "b".into()],
+            samples,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn region_contains_and_area() {
+        let r = Region::new(1, 2, 3, 4).unwrap();
+        assert!(r.contains(1, 2));
+        assert!(r.contains(3, 5));
+        assert!(!r.contains(4, 2));
+        assert!(!r.contains(1, 6));
+        assert_eq!(r.area(), 12);
+        assert!(Region::new(0, 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn region_iou() {
+        let a = Region::new(0, 0, 2, 2).unwrap();
+        let b = Region::new(0, 0, 2, 2).unwrap();
+        assert_eq!(a.iou(&b), 1.0);
+        let c = Region::new(1, 1, 2, 2).unwrap();
+        // Intersection 1, union 7.
+        assert!((a.iou(&c) - 1.0 / 7.0).abs() < 1e-12);
+        let d = Region::new(5, 5, 2, 2).unwrap();
+        assert_eq!(a.iou(&d), 0.0);
+    }
+
+    #[test]
+    fn dataset_validation() {
+        assert!(Dataset::new(Shape::chw(1, 2, 2), 0, vec![], vec![]).is_err());
+        assert!(Dataset::new(Shape::chw(1, 2, 2), 2, vec!["a".into()], vec![]).is_err());
+        let bad_len = vec![Sample {
+            input: vec![0.0; 3],
+            label: 0,
+            salient: None,
+        }];
+        assert!(
+            Dataset::new(Shape::chw(1, 2, 2), 1, vec!["a".into()], bad_len).is_err()
+        );
+        let bad_label = vec![Sample {
+            input: vec![0.0; 4],
+            label: 3,
+            salient: None,
+        }];
+        assert!(
+            Dataset::new(Shape::chw(1, 2, 2), 2, vec!["a".into(), "b".into()], bad_label)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = tiny();
+        let mut rng = DetRng::new(5);
+        let (train, test) = d.split(0.7, &mut rng).unwrap();
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        // Same shape metadata.
+        assert_eq!(train.shape(), d.shape());
+        assert_eq!(test.classes(), 2);
+        // No overlap, full coverage (inputs are distinct by construction).
+        let mut all: Vec<f32> = train
+            .samples()
+            .iter()
+            .chain(test.samples())
+            .map(|s| s.input[0])
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_rejects_degenerate() {
+        let d = tiny();
+        let mut rng = DetRng::new(5);
+        assert!(d.split(0.0, &mut rng).is_err());
+        assert!(d.split(1.0, &mut rng).is_err());
+        assert!(d.split(f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let d = tiny();
+        let (a, _) = d.split(0.5, &mut DetRng::new(9)).unwrap();
+        let (b, _) = d.split(0.5, &mut DetRng::new(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_counts_and_accessors() {
+        let d = tiny();
+        assert_eq!(d.class_counts(), vec![5, 5]);
+        assert_eq!(d.labels().len(), 10);
+        assert_eq!(d.inputs_owned()[3], vec![3.0; 4]);
+        assert_eq!(d.class_names()[1], "b");
+    }
+
+    #[test]
+    fn merged_checks_compat() {
+        let d = tiny();
+        let m = d.merged(&d).unwrap();
+        assert_eq!(m.len(), 20);
+        let other = Dataset::new(
+            Shape::chw(1, 1, 4),
+            2,
+            vec!["a".into(), "b".into()],
+            vec![],
+        )
+        .unwrap();
+        assert!(d.merged(&other).is_err());
+    }
+}

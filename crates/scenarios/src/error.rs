@@ -1,0 +1,42 @@
+//! Error type for scenario generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by scenario generators and dataset operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// A configuration field is invalid; the message names it.
+    InvalidConfig(String),
+    /// A dataset operation received incompatible data.
+    InvalidData(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::InvalidConfig(msg) => write!(f, "invalid scenario config: {msg}"),
+            ScenarioError::InvalidData(msg) => write!(f, "invalid dataset operation: {msg}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ScenarioError::InvalidConfig("image_size".into());
+        assert!(e.to_string().contains("image_size"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScenarioError>();
+    }
+}

@@ -1,0 +1,50 @@
+#![forbid(unsafe_code)]
+//! # safex-scenarios
+//!
+//! Synthetic Critical Autonomous AI-based System (CAIS) workload
+//! generators for the SAFEXPLAIN reproduction.
+//!
+//! The paper's case studies are proprietary automotive, space, and railway
+//! DL stacks. This crate substitutes parameterised synthetic equivalents
+//! (documented in `DESIGN.md`) that preserve the properties the experiment
+//! suite needs:
+//!
+//! * **Learnable structure.** Each domain generates small grayscale CHW
+//!   images with class-specific geometry (vehicles are blocks, pedestrians
+//!   are vertical bars, craters are rings, ...). A few hundred samples
+//!   train the `safex-nn` reference models to high accuracy.
+//! * **Ground-truth explanations.** Every sample that contains an object
+//!   records its salient [`Region`], so explanation fidelity (experiment
+//!   E4) can be scored objectively.
+//! * **Controllable distribution shift.** [`shift::Shift`] transforms
+//!   (noise, brightness, contrast, occlusion, dead pixels) create
+//!   out-of-distribution variants with a known severity knob, which is what
+//!   the supervisor experiments (E1) sweep.
+//!
+//! All generation is driven by an explicit [`safex_tensor::DetRng`]; a
+//! `(config, seed)` pair identifies a dataset exactly.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), safex_scenarios::ScenarioError> {
+//! use safex_scenarios::automotive::{self, AutomotiveConfig};
+//! use safex_tensor::DetRng;
+//!
+//! let mut rng = DetRng::new(7);
+//! let data = automotive::generate(&AutomotiveConfig::default(), &mut rng)?;
+//! assert_eq!(data.classes(), 4);
+//! assert!(data.len() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod automotive;
+pub mod dataset;
+pub mod error;
+pub mod railway;
+pub mod shift;
+pub mod space;
+
+pub use dataset::{Dataset, Region, Sample};
+pub use error::ScenarioError;

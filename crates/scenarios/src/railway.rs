@@ -1,0 +1,242 @@
+//! Railway scenario: signal-aspect and obstruction classification.
+//!
+//! Generates grayscale track-side views (`1 x size x size`) with four
+//! classes:
+//!
+//! | label | class        | evidence geometry                               |
+//! |-------|--------------|--------------------------------------------------|
+//! | 0     | `proceed`    | signal lamp lit in the *top* lamp position       |
+//! | 1     | `caution`    | signal lamp lit in the *middle* lamp position    |
+//! | 2     | `stop`       | signal lamp lit in the *bottom* lamp position    |
+//! | 3     | `obstructed` | horizontal obstacle bar across the track         |
+//!
+//! The track (two vertical rails) is always present; lamp position on the
+//! signal mast carries the class evidence, mirroring how real aspect
+//! recognition keys on lamp geometry.
+
+use safex_tensor::{DetRng, Shape};
+
+use crate::dataset::{Dataset, Region, Sample};
+use crate::error::ScenarioError;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RailwayConfig {
+    /// Square image side in pixels (minimum 12).
+    pub image_size: usize,
+    /// Samples generated per class.
+    pub samples_per_class: usize,
+    /// Standard deviation of additive Gaussian pixel noise.
+    pub noise_std: f64,
+    /// Lamp / obstacle intensity.
+    pub signal_level: f32,
+}
+
+impl Default for RailwayConfig {
+    fn default() -> Self {
+        RailwayConfig {
+            image_size: 16,
+            samples_per_class: 50,
+            noise_std: 0.05,
+            signal_level: 0.95,
+        }
+    }
+}
+
+impl RailwayConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidConfig`] for an image smaller than
+    /// 12 px, zero samples, or invalid noise.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.image_size < 12 {
+            return Err(ScenarioError::InvalidConfig(
+                "image_size must be at least 12".into(),
+            ));
+        }
+        if self.samples_per_class == 0 {
+            return Err(ScenarioError::InvalidConfig(
+                "samples_per_class must be non-zero".into(),
+            ));
+        }
+        if !self.noise_std.is_finite() || self.noise_std < 0.0 {
+            return Err(ScenarioError::InvalidConfig(
+                "noise_std must be finite and non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Class names in label order.
+pub const CLASS_NAMES: [&str; 4] = ["proceed", "caution", "stop", "obstructed"];
+
+/// Generates a balanced railway dataset.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::InvalidConfig`] on a bad configuration.
+pub fn generate(config: &RailwayConfig, rng: &mut DetRng) -> Result<Dataset, ScenarioError> {
+    config.validate()?;
+    let n = config.image_size;
+    let mut samples = Vec::with_capacity(4 * config.samples_per_class);
+    for label in 0..4 {
+        for _ in 0..config.samples_per_class {
+            samples.push(generate_sample(config, label, rng));
+        }
+    }
+    Dataset::new(
+        Shape::chw(1, n, n),
+        4,
+        CLASS_NAMES.iter().map(|s| s.to_string()).collect(),
+        samples,
+    )
+}
+
+/// Generates a single railway sample.
+///
+/// # Panics
+///
+/// Panics if `label >= 4`.
+pub fn generate_sample(config: &RailwayConfig, label: usize, rng: &mut DetRng) -> Sample {
+    assert!(label < 4, "railway label out of range");
+    let n = config.image_size;
+    let mut img = vec![0.1f32; n * n];
+
+    // Rails: two vertical lines converging slightly is overkill; keep two
+    // parallel rails at 40 % and 60 % of the width.
+    let rail_l = (n * 2) / 5;
+    let rail_r = (n * 3) / 5;
+    for y in 0..n {
+        img[y * n + rail_l] = 0.35;
+        img[y * n + rail_r] = 0.35;
+    }
+
+    // Signal mast on the left edge with three lamp slots (top/mid/bottom).
+    let mast_x = 2 + rng.below_usize(2);
+    for y in 0..n {
+        img[y * n + mast_x] = 0.3;
+    }
+
+    let salient = if label < 3 {
+        // Lamp lit at slot `label` (0 = top).
+        let slot_h = n / 4;
+        let y0 = 1 + label * slot_h;
+        let lamp = 2usize;
+        for y in y0..(y0 + lamp).min(n) {
+            for x in mast_x..(mast_x + lamp).min(n) {
+                img[y * n + x] = config.signal_level;
+            }
+        }
+        Some(Region::new(y0, mast_x, lamp, lamp).expect("non-zero lamp"))
+    } else {
+        // Obstacle: horizontal bar across the rails at random height.
+        let h = 2usize;
+        let y0 = rng.below_usize(n - h);
+        let x0 = rail_l.saturating_sub(1);
+        let w = rail_r + 2 - x0;
+        for y in y0..y0 + h {
+            for x in x0..(x0 + w).min(n) {
+                img[y * n + x] = config.signal_level;
+            }
+        }
+        Some(Region::new(y0, x0, h, w.min(n - x0)).expect("non-zero bar"))
+    };
+
+    if config.noise_std > 0.0 {
+        for p in &mut img {
+            *p = (*p as f64 + rng.gaussian(0.0, config.noise_std)) as f32;
+        }
+    }
+
+    Sample {
+        input: img,
+        label,
+        salient,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_and_shaped() {
+        let mut rng = DetRng::new(1);
+        let cfg = RailwayConfig {
+            samples_per_class: 8,
+            ..Default::default()
+        };
+        let d = generate(&cfg, &mut rng).unwrap();
+        assert_eq!(d.len(), 32);
+        assert_eq!(d.class_counts(), vec![8, 8, 8, 8]);
+        assert_eq!(d.classes(), 4);
+    }
+
+    #[test]
+    fn lamp_position_differs_by_class() {
+        let cfg = RailwayConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let mut rng = DetRng::new(2);
+        let proceed = generate_sample(&cfg, 0, &mut rng);
+        let stop = generate_sample(&cfg, 2, &mut rng);
+        let ry_p = proceed.salient.unwrap().y;
+        let ry_s = stop.salient.unwrap().y;
+        assert!(ry_p < ry_s, "proceed lamp above stop lamp");
+    }
+
+    #[test]
+    fn obstruction_spans_rails() {
+        let cfg = RailwayConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let s = generate_sample(&cfg, 3, &mut DetRng::new(3));
+        let r = s.salient.unwrap();
+        let n = cfg.image_size;
+        // The bar must cover both rail columns.
+        assert!(r.x <= (n * 2) / 5);
+        assert!(r.x + r.w > (n * 3) / 5);
+    }
+
+    #[test]
+    fn every_sample_has_salient_region() {
+        let mut rng = DetRng::new(4);
+        let d = generate(&RailwayConfig::default(), &mut rng).unwrap();
+        assert!(d.samples().iter().all(|s| s.salient.is_some()));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RailwayConfig::default();
+        assert_eq!(
+            generate(&cfg, &mut DetRng::new(11)).unwrap(),
+            generate(&cfg, &mut DetRng::new(11)).unwrap()
+        );
+    }
+
+    #[test]
+    fn config_rejected() {
+        let mut rng = DetRng::new(1);
+        assert!(generate(
+            &RailwayConfig {
+                image_size: 8,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(generate(
+            &RailwayConfig {
+                noise_std: f64::NAN,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+}

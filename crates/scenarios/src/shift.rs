@@ -1,0 +1,334 @@
+//! Distribution-shift transforms for out-of-distribution experiments.
+//!
+//! A [`Shift`] maps an in-distribution [`Dataset`] to a shifted variant.
+//! Experiment E1 trains supervisors on clean data and measures their
+//! detection of shifted data as the severity knob increases — the setup of
+//! the Henriksson et al. out-of-distribution supervisor studies the
+//! SAFEXPLAIN consortium builds on.
+
+use safex_tensor::DetRng;
+
+use crate::dataset::{Dataset, Sample};
+use crate::error::ScenarioError;
+
+/// A distribution-shift transform with an explicit severity parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Shift {
+    /// Additive Gaussian noise with the given standard deviation.
+    GaussianNoise(f64),
+    /// Constant brightness offset added to every pixel.
+    Brightness(f64),
+    /// Contrast scaling around 0.5: `p' = 0.5 + factor * (p - 0.5)`.
+    Contrast(f64),
+    /// An opaque square occlusion patch of the given side placed uniformly
+    /// at random (simulates lens blockage / dirt).
+    Occlusion {
+        /// Patch side in pixels.
+        size: usize,
+    },
+    /// Each pixel dies (reads 0) independently with the given probability
+    /// (simulates sensor defects / radiation upsets).
+    DeadPixels(f64),
+}
+
+impl Shift {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Shift::GaussianNoise(_) => "gaussian_noise",
+            Shift::Brightness(_) => "brightness",
+            Shift::Contrast(_) => "contrast",
+            Shift::Occlusion { .. } => "occlusion",
+            Shift::DeadPixels(_) => "dead_pixels",
+        }
+    }
+
+    /// The severity knob value (interpretation depends on the variant).
+    pub fn severity(&self) -> f64 {
+        match self {
+            Shift::GaussianNoise(s) => *s,
+            Shift::Brightness(b) => *b,
+            Shift::Contrast(c) => *c,
+            Shift::Occlusion { size } => *size as f64,
+            Shift::DeadPixels(p) => *p,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidConfig`] for non-finite severities,
+    /// negative noise, an occlusion size of zero, or a dead-pixel
+    /// probability outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let bad = |msg: &str| Err(ScenarioError::InvalidConfig(msg.into()));
+        match self {
+            Shift::GaussianNoise(s) => {
+                if !s.is_finite() || *s < 0.0 {
+                    return bad("noise std must be finite and non-negative");
+                }
+            }
+            Shift::Brightness(b) => {
+                if !b.is_finite() {
+                    return bad("brightness offset must be finite");
+                }
+            }
+            Shift::Contrast(c) => {
+                if !c.is_finite() || *c < 0.0 {
+                    return bad("contrast factor must be finite and non-negative");
+                }
+            }
+            Shift::Occlusion { size } => {
+                if *size == 0 {
+                    return bad("occlusion size must be non-zero");
+                }
+            }
+            Shift::DeadPixels(p) => {
+                if !p.is_finite() || !(0.0..=1.0).contains(p) {
+                    return bad("dead-pixel probability must be in [0, 1]");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the shift to every sample of a dataset, producing a new
+    /// dataset with identical labels and salient regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidConfig`] if the parameters fail
+    /// [`Shift::validate`], or [`ScenarioError::InvalidData`] if an
+    /// occlusion patch does not fit the image.
+    pub fn apply(&self, data: &Dataset, rng: &mut DetRng) -> Result<Dataset, ScenarioError> {
+        self.validate()?;
+        let shape = data.shape();
+        let dims = shape.dims();
+        let (h, w) = if dims.len() == 3 {
+            (dims[1], dims[2])
+        } else {
+            (1, data.shape().len())
+        };
+        if let Shift::Occlusion { size } = self {
+            if *size > h || *size > w {
+                return Err(ScenarioError::InvalidData(format!(
+                    "occlusion {size} exceeds image {h}x{w}"
+                )));
+            }
+        }
+        let channels = data.shape().len() / (h * w);
+        let samples: Vec<Sample> = data
+            .samples()
+            .iter()
+            .map(|s| {
+                let mut input = s.input.clone();
+                self.apply_pixels(&mut input, channels, h, w, rng);
+                Sample {
+                    input,
+                    label: s.label,
+                    salient: s.salient,
+                }
+            })
+            .collect();
+        Dataset::new(
+            data.shape(),
+            data.classes(),
+            data.class_names().to_vec(),
+            samples,
+        )
+        .map_err(|e| match e {
+            // Preserve the error but make the origin explicit.
+            ScenarioError::InvalidData(msg) => {
+                ScenarioError::InvalidData(format!("shift produced invalid dataset: {msg}"))
+            }
+            other => other,
+        })
+    }
+
+    fn apply_pixels(
+        &self,
+        pixels: &mut [f32],
+        channels: usize,
+        h: usize,
+        w: usize,
+        rng: &mut DetRng,
+    ) {
+        match self {
+            Shift::GaussianNoise(std) => {
+                for p in pixels.iter_mut() {
+                    *p = (*p as f64 + rng.gaussian(0.0, *std)) as f32;
+                }
+            }
+            Shift::Brightness(b) => {
+                for p in pixels.iter_mut() {
+                    *p = (*p as f64 + b) as f32;
+                }
+            }
+            Shift::Contrast(c) => {
+                for p in pixels.iter_mut() {
+                    *p = (0.5 + c * (*p as f64 - 0.5)) as f32;
+                }
+            }
+            Shift::Occlusion { size } => {
+                let y0 = rng.below_usize(h - size + 1);
+                let x0 = rng.below_usize(w - size + 1);
+                for ch in 0..channels {
+                    for y in y0..y0 + size {
+                        for x in x0..x0 + size {
+                            pixels[ch * h * w + y * w + x] = 0.0;
+                        }
+                    }
+                }
+            }
+            Shift::DeadPixels(prob) => {
+                for p in pixels.iter_mut() {
+                    if rng.chance(*prob) {
+                        *p = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies a sequence of shifts left to right.
+///
+/// # Errors
+///
+/// Propagates the first failing shift.
+pub fn apply_all(
+    shifts: &[Shift],
+    data: &Dataset,
+    rng: &mut DetRng,
+) -> Result<Dataset, ScenarioError> {
+    let mut current = data.clone();
+    for s in shifts {
+        current = s.apply(&current, rng)?;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automotive::{self, AutomotiveConfig};
+
+    fn base() -> Dataset {
+        automotive::generate(
+            &AutomotiveConfig {
+                samples_per_class: 4,
+                noise_std: 0.0,
+                ..Default::default()
+            },
+            &mut DetRng::new(1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn noise_changes_pixels_keeps_labels() {
+        let d = base();
+        let shifted = Shift::GaussianNoise(0.2)
+            .apply(&d, &mut DetRng::new(2))
+            .unwrap();
+        assert_eq!(shifted.labels(), d.labels());
+        assert_ne!(shifted.samples()[0].input, d.samples()[0].input);
+        assert_eq!(shifted.samples()[0].salient, d.samples()[0].salient);
+    }
+
+    #[test]
+    fn brightness_adds_offset() {
+        let d = base();
+        let shifted = Shift::Brightness(0.3).apply(&d, &mut DetRng::new(3)).unwrap();
+        let orig = d.samples()[0].input[0];
+        let new = shifted.samples()[0].input[0];
+        assert!((new - orig - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contrast_pivots_at_half() {
+        let d = base();
+        let shifted = Shift::Contrast(0.5).apply(&d, &mut DetRng::new(4)).unwrap();
+        for (o, n) in d.samples()[0]
+            .input
+            .iter()
+            .zip(&shifted.samples()[0].input)
+        {
+            let expected = 0.5 + 0.5 * (o - 0.5);
+            assert!((n - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn occlusion_zeroes_square() {
+        let d = base();
+        let shifted = Shift::Occlusion { size: 5 }
+            .apply(&d, &mut DetRng::new(5))
+            .unwrap();
+        let zeros = shifted.samples()[0]
+            .input
+            .iter()
+            .filter(|&&p| p == 0.0)
+            .count();
+        assert!(zeros >= 25, "at least the patch is zeroed: {zeros}");
+    }
+
+    #[test]
+    fn occlusion_too_big_rejected() {
+        let d = base();
+        assert!(matches!(
+            Shift::Occlusion { size: 99 }.apply(&d, &mut DetRng::new(6)),
+            Err(ScenarioError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn dead_pixels_probability() {
+        let d = base();
+        let shifted = Shift::DeadPixels(0.5)
+            .apply(&d, &mut DetRng::new(7))
+            .unwrap();
+        let total: usize = shifted.samples().iter().map(|s| s.input.len()).sum();
+        let dead: usize = shifted
+            .samples()
+            .iter()
+            .map(|s| s.input.iter().filter(|&&p| p == 0.0).count())
+            .sum();
+        let frac = dead as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "dead fraction {frac}");
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        assert!(Shift::GaussianNoise(-1.0).validate().is_err());
+        assert!(Shift::Brightness(f64::INFINITY).validate().is_err());
+        assert!(Shift::Contrast(-0.1).validate().is_err());
+        assert!(Shift::Occlusion { size: 0 }.validate().is_err());
+        assert!(Shift::DeadPixels(1.5).validate().is_err());
+        assert!(Shift::DeadPixels(0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn apply_all_composes() {
+        let d = base();
+        let out = apply_all(
+            &[Shift::Brightness(0.1), Shift::Contrast(0.9)],
+            &d,
+            &mut DetRng::new(8),
+        )
+        .unwrap();
+        assert_eq!(out.len(), d.len());
+        let o = d.samples()[0].input[0] as f64;
+        let expected = 0.5 + 0.9 * ((o + 0.1) - 0.5);
+        assert!((out.samples()[0].input[0] as f64 - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn names_and_severity() {
+        assert_eq!(Shift::GaussianNoise(0.1).name(), "gaussian_noise");
+        assert_eq!(Shift::Occlusion { size: 3 }.severity(), 3.0);
+        assert_eq!(Shift::DeadPixels(0.2).severity(), 0.2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Space scenario: terrain hazard classification for visual landing.
+//!
+//! Generates grayscale nadir terrain views (`1 x size x size`) with three
+//! classes:
+//!
+//! | label | class      | evidence geometry                     |
+//! |-------|------------|----------------------------------------|
+//! | 0     | `safe`     | smooth regolith (texture noise only)   |
+//! | 1     | `crater`   | bright ring with dark interior         |
+//! | 2     | `boulders` | scatter of small bright dots           |
+//!
+//! The crater sample carries the crater's bounding box as salient ground
+//! truth; the boulder field marks the densest cluster.
+
+use safex_tensor::{DetRng, Shape};
+
+use crate::dataset::{Dataset, Region, Sample};
+use crate::error::ScenarioError;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceConfig {
+    /// Square image side in pixels (minimum 12).
+    pub image_size: usize,
+    /// Samples generated per class.
+    pub samples_per_class: usize,
+    /// Standard deviation of additive Gaussian sensor noise.
+    pub noise_std: f64,
+    /// Regolith base intensity.
+    pub terrain_level: f32,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        SpaceConfig {
+            image_size: 16,
+            samples_per_class: 50,
+            noise_std: 0.05,
+            terrain_level: 0.4,
+        }
+    }
+}
+
+impl SpaceConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidConfig`] for an image smaller than
+    /// 12 px, zero samples, or invalid noise.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.image_size < 12 {
+            return Err(ScenarioError::InvalidConfig(
+                "image_size must be at least 12".into(),
+            ));
+        }
+        if self.samples_per_class == 0 {
+            return Err(ScenarioError::InvalidConfig(
+                "samples_per_class must be non-zero".into(),
+            ));
+        }
+        if !self.noise_std.is_finite() || self.noise_std < 0.0 {
+            return Err(ScenarioError::InvalidConfig(
+                "noise_std must be finite and non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Class names in label order.
+pub const CLASS_NAMES: [&str; 3] = ["safe", "crater", "boulders"];
+
+/// Generates a balanced space-terrain dataset.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::InvalidConfig`] on a bad configuration.
+pub fn generate(config: &SpaceConfig, rng: &mut DetRng) -> Result<Dataset, ScenarioError> {
+    config.validate()?;
+    let n = config.image_size;
+    let mut samples = Vec::with_capacity(3 * config.samples_per_class);
+    for label in 0..3 {
+        for _ in 0..config.samples_per_class {
+            samples.push(generate_sample(config, label, rng));
+        }
+    }
+    Dataset::new(
+        Shape::chw(1, n, n),
+        3,
+        CLASS_NAMES.iter().map(|s| s.to_string()).collect(),
+        samples,
+    )
+}
+
+/// Generates a single terrain sample.
+///
+/// # Panics
+///
+/// Panics if `label >= 3`.
+pub fn generate_sample(config: &SpaceConfig, label: usize, rng: &mut DetRng) -> Sample {
+    assert!(label < 3, "space label out of range");
+    let n = config.image_size;
+    let mut img = vec![config.terrain_level; n * n];
+
+    let salient = match label {
+        0 => None,
+        1 => {
+            // Crater: ring of radius r centred somewhere with full ring inside.
+            let r = 3 + rng.below_usize(n / 6);
+            let cy = r + 1 + rng.below_usize(n - 2 * (r + 1));
+            let cx = r + 1 + rng.below_usize(n - 2 * (r + 1));
+            for y in 0..n {
+                for x in 0..n {
+                    let dy = y as f64 - cy as f64;
+                    let dx = x as f64 - cx as f64;
+                    let dist = (dy * dy + dx * dx).sqrt();
+                    if (dist - r as f64).abs() < 0.8 {
+                        img[y * n + x] = 0.9; // rim highlight
+                    } else if dist < r as f64 - 0.8 {
+                        img[y * n + x] = 0.1; // shadowed floor
+                    }
+                }
+            }
+            Some(
+                Region::new(cy - r, cx - r, 2 * r + 1, 2 * r + 1)
+                    .expect("crater bounds non-zero"),
+            )
+        }
+        _ => {
+            // Boulder field: cluster of bright 1-2 px dots in a 7x7 box,
+            // plus a few stragglers elsewhere.
+            let box_side = 7.min(n - 1);
+            let y0 = rng.below_usize(n - box_side);
+            let x0 = rng.below_usize(n - box_side);
+            for _ in 0..10 {
+                let y = y0 + rng.below_usize(box_side);
+                let x = x0 + rng.below_usize(box_side);
+                img[y * n + x] = 0.95;
+            }
+            for _ in 0..3 {
+                let y = rng.below_usize(n);
+                let x = rng.below_usize(n);
+                img[y * n + x] = 0.85;
+            }
+            Some(Region::new(y0, x0, box_side, box_side).expect("non-zero box"))
+        }
+    };
+
+    if config.noise_std > 0.0 {
+        for p in &mut img {
+            *p = (*p as f64 + rng.gaussian(0.0, config.noise_std)) as f32;
+        }
+    }
+
+    Sample {
+        input: img,
+        label,
+        salient,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_three_classes() {
+        let mut rng = DetRng::new(1);
+        let cfg = SpaceConfig {
+            samples_per_class: 6,
+            ..Default::default()
+        };
+        let d = generate(&cfg, &mut rng).unwrap();
+        assert_eq!(d.len(), 18);
+        assert_eq!(d.classes(), 3);
+        assert_eq!(d.class_counts(), vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn crater_has_dark_floor_and_bright_rim() {
+        let cfg = SpaceConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let s = generate_sample(&cfg, 1, &mut DetRng::new(2));
+        let n = cfg.image_size;
+        let r = s.salient.unwrap();
+        let cy = r.y + r.h / 2;
+        let cx = r.x + r.w / 2;
+        // Centre pixel is shadowed floor.
+        assert!(s.input[cy * n + cx] < cfg.terrain_level);
+        // Some pixel in the region is rim-bright.
+        let bright = (r.y..r.y + r.h)
+            .flat_map(|y| (r.x..r.x + r.w).map(move |x| (y, x)))
+            .any(|(y, x)| s.input[y * n + x] > 0.8);
+        assert!(bright);
+    }
+
+    #[test]
+    fn boulders_have_bright_dots_in_region() {
+        let cfg = SpaceConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let s = generate_sample(&cfg, 2, &mut DetRng::new(3));
+        let n = cfg.image_size;
+        let r = s.salient.unwrap();
+        let dots = (r.y..r.y + r.h)
+            .flat_map(|y| (r.x..r.x + r.w).map(move |x| (y, x)))
+            .filter(|&(y, x)| s.input[y * n + x] > 0.9)
+            .count();
+        assert!(dots >= 3, "boulder cluster should have several dots: {dots}");
+    }
+
+    #[test]
+    fn safe_terrain_is_flat_without_noise() {
+        let cfg = SpaceConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let s = generate_sample(&cfg, 0, &mut DetRng::new(4));
+        assert!(s.input.iter().all(|&p| p == cfg.terrain_level));
+        assert!(s.salient.is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SpaceConfig::default();
+        assert_eq!(
+            generate(&cfg, &mut DetRng::new(5)).unwrap(),
+            generate(&cfg, &mut DetRng::new(5)).unwrap()
+        );
+    }
+
+    #[test]
+    fn config_rejected() {
+        let mut rng = DetRng::new(1);
+        assert!(generate(
+            &SpaceConfig {
+                samples_per_class: 0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the supervision crate.
+
+use std::error::Error;
+use std::fmt;
+
+use safex_nn::NnError;
+
+/// Errors produced by supervisors, monitors, and ROC analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SupervisionError {
+    /// The supervisor has not been fitted but requires fitting.
+    NotFitted(String),
+    /// Input data is structurally invalid (empty, mismatched lengths,
+    /// non-finite values); the message explains.
+    InvalidData(String),
+    /// An underlying inference failure.
+    Nn(NnError),
+}
+
+impl fmt::Display for SupervisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisionError::NotFitted(name) => {
+                write!(f, "supervisor {name} must be fitted before scoring")
+            }
+            SupervisionError::InvalidData(msg) => write!(f, "invalid supervision data: {msg}"),
+            SupervisionError::Nn(e) => write!(f, "inference error: {e}"),
+        }
+    }
+}
+
+impl Error for SupervisionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SupervisionError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for SupervisionError {
+    fn from(e: NnError) -> Self {
+        SupervisionError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SupervisionError::NotFitted("mahalanobis".into());
+        assert!(e.to_string().contains("mahalanobis"));
+        assert!(e.source().is_none());
+        let e = SupervisionError::from(NnError::EmptyModel);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,65 @@
+#![forbid(unsafe_code)]
+//! # safex-supervision
+//!
+//! Runtime supervisors for DL inference: the operational half of pillar 1
+//! of the SAFEXPLAIN paper — *"specific approaches to explain whether
+//! predictions can be trusted"*.
+//!
+//! A **supervisor** watches each inference and produces an anomaly score
+//! (higher = less trustworthy). The SAFEXPLAIN consortium's companion work
+//! (Henriksson et al., SEAA 2019 / IST 2020) evaluates exactly this kind of
+//! component under the name *supervisor*; this crate implements the
+//! standard family:
+//!
+//! * [`supervisor::SoftmaxThreshold`] — `1 - max softmax probability`; the
+//!   baseline every paper compares against.
+//! * [`supervisor::LogitMargin`] — negative margin between the two largest
+//!   logits; sharper than softmax for near-boundary inputs.
+//! * [`supervisor::Mahalanobis`] — distance to the nearest class-conditional
+//!   Gaussian fitted on penultimate features (diagonal covariance).
+//! * [`supervisor::Reconstruction`] — PCA-subspace reconstruction error on
+//!   the raw input; detects covariate shift that never reaches the logits.
+//!
+//! Scores become accept/reject decisions through a
+//! [`monitor::CalibratedMonitor`], whose threshold is fitted to a target
+//! false-positive rate on in-distribution data. [`ensemble::ScoreEnsemble`]
+//! combines supervisors; [`roc`] computes AUROC / TPR / FPR for experiment
+//! E1. Two complementary monitors cover what per-frame scoring cannot:
+//! [`odd::OddEnvelope`] is a *specified* input-domain envelope an assessor
+//! can read, and [`drift::CusumDetector`] watches the score *stream* for
+//! slow drift that never trips a per-frame threshold.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use safex_nn::{Engine, model::ModelBuilder};
+//! use safex_supervision::observation::observe;
+//! use safex_supervision::supervisor::{SoftmaxThreshold, Supervisor};
+//! use safex_tensor::{DetRng, Shape};
+//!
+//! let mut rng = DetRng::new(1);
+//! let model = ModelBuilder::new(Shape::vector(4))
+//!     .dense(8, &mut rng)?.relu().dense(3, &mut rng)?.softmax()
+//!     .build()?;
+//! let mut engine = Engine::new(model);
+//! let obs = observe(&mut engine, &[0.1, 0.2, 0.3, 0.4])?;
+//! let score = SoftmaxThreshold::new().score(&obs)?;
+//! assert!((0.0..=1.0).contains(&score));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod drift;
+pub mod ensemble;
+pub mod error;
+pub mod monitor;
+pub mod observation;
+pub mod odd;
+pub mod roc;
+pub mod supervisor;
+
+pub use error::SupervisionError;
+pub use monitor::{CalibratedMonitor, Verdict};
+pub use observation::{observe, Observation};
+pub use supervisor::Supervisor;

@@ -1,0 +1,201 @@
+//! Inference observations: everything a supervisor may inspect.
+
+use safex_nn::layer::Layer;
+use safex_nn::Engine;
+
+use crate::error::SupervisionError;
+
+/// A captured inference: raw input plus the internal signals supervisors
+/// score (logits, output probabilities, penultimate features).
+///
+/// Build one with [`observe`]; construct manually only in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The raw model input.
+    pub input: Vec<f32>,
+    /// Pre-softmax activations (equals `probs` when the model has no
+    /// softmax head).
+    pub logits: Vec<f32>,
+    /// Final model output (softmax probabilities for classifiers).
+    pub probs: Vec<f32>,
+    /// Input to the last parametric (dense/conv) layer — the "feature
+    /// embedding" distance-based supervisors model.
+    pub features: Vec<f32>,
+}
+
+impl Observation {
+    /// The predicted class (argmax of `probs`, first-wins ties).
+    pub fn predicted_class(&self) -> usize {
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p > best.1 {
+                best = (i, p);
+            }
+        }
+        best.0
+    }
+
+    /// The maximum output probability.
+    pub fn confidence(&self) -> f32 {
+        self.probs.iter().fold(f32::NEG_INFINITY, |m, &p| m.max(p))
+    }
+
+    /// Validates structural sanity (non-empty, all finite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupervisionError::InvalidData`] on empty vectors or
+    /// non-finite values.
+    pub fn validate(&self) -> Result<(), SupervisionError> {
+        if self.input.is_empty() || self.probs.is_empty() {
+            return Err(SupervisionError::InvalidData(
+                "observation has empty input or probs".into(),
+            ));
+        }
+        let finite = |v: &[f32]| v.iter().all(|x| x.is_finite());
+        if !finite(&self.input) || !finite(&self.logits) || !finite(&self.probs)
+            || !finite(&self.features)
+        {
+            return Err(SupervisionError::InvalidData(
+                "observation contains non-finite values".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs a traced inference and captures an [`Observation`].
+///
+/// * `probs` is the final layer output.
+/// * `logits` is the activation feeding the softmax head (or the final
+///   output when there is no softmax).
+/// * `features` is the input to the last dense/conv layer (or the raw
+///   input for a single-layer model).
+///
+/// # Errors
+///
+/// Propagates inference failures as [`SupervisionError::Nn`].
+pub fn observe(engine: &mut Engine, input: &[f32]) -> Result<Observation, SupervisionError> {
+    let acts = engine.infer_traced(input)?;
+    let layers = engine.model().layers();
+    let n = layers.len();
+    debug_assert_eq!(acts.len(), n);
+
+    let probs = acts[n - 1].as_slice().to_vec();
+    let logits_idx = if matches!(layers[n - 1], Layer::Softmax) && n >= 2 {
+        n - 2
+    } else {
+        n - 1
+    };
+    let logits = acts[logits_idx].as_slice().to_vec();
+
+    // Find the last parametric layer and take its *input* as the feature
+    // embedding.
+    let last_param = layers
+        .iter()
+        .rposition(|l| matches!(l, Layer::Dense(_) | Layer::Conv2d(_)));
+    let features = match last_param {
+        Some(0) | None => input.to_vec(),
+        Some(i) => acts[i - 1].as_slice().to_vec(),
+    };
+
+    Ok(Observation {
+        input: input.to_vec(),
+        logits,
+        probs,
+        features,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_nn::model::ModelBuilder;
+    use safex_tensor::{DetRng, Shape};
+
+    fn engine() -> Engine {
+        let mut rng = DetRng::new(5);
+        let model = ModelBuilder::new(Shape::vector(4))
+            .dense(6, &mut rng)
+            .unwrap()
+            .relu()
+            .dense(3, &mut rng)
+            .unwrap()
+            .softmax()
+            .build()
+            .unwrap();
+        Engine::new(model)
+    }
+
+    #[test]
+    fn observe_captures_all_signals() {
+        let mut e = engine();
+        let obs = observe(&mut e, &[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(obs.input.len(), 4);
+        assert_eq!(obs.probs.len(), 3);
+        assert_eq!(obs.logits.len(), 3);
+        // Features = input to final dense = relu output (6 wide).
+        assert_eq!(obs.features.len(), 6);
+        // Probs are the softmax of logits: same argmax.
+        let argmax_l = obs
+            .logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(obs.predicted_class(), argmax_l);
+        obs.validate().unwrap();
+    }
+
+    #[test]
+    fn observe_without_softmax_uses_output_as_logits() {
+        let mut rng = DetRng::new(6);
+        let model = ModelBuilder::new(Shape::vector(2))
+            .dense(2, &mut rng)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut e = Engine::new(model);
+        let obs = observe(&mut e, &[1.0, -1.0]).unwrap();
+        assert_eq!(obs.logits, obs.probs);
+        // Single parametric layer: features are the raw input.
+        assert_eq!(obs.features, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn confidence_and_class() {
+        let obs = Observation {
+            input: vec![0.0],
+            logits: vec![1.0, 3.0, 2.0],
+            probs: vec![0.1, 0.7, 0.2],
+            features: vec![0.0],
+        };
+        assert_eq!(obs.predicted_class(), 1);
+        assert_eq!(obs.confidence(), 0.7);
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_empty() {
+        let mut obs = Observation {
+            input: vec![0.0],
+            logits: vec![0.0],
+            probs: vec![1.0],
+            features: vec![0.0],
+        };
+        obs.validate().unwrap();
+        obs.probs[0] = f32::NAN;
+        assert!(obs.validate().is_err());
+        obs.probs = vec![];
+        assert!(obs.validate().is_err());
+    }
+
+    #[test]
+    fn wrong_input_size_propagates() {
+        let mut e = engine();
+        assert!(matches!(
+            observe(&mut e, &[0.0; 2]),
+            Err(SupervisionError::Nn(_))
+        ));
+    }
+}

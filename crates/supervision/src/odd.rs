@@ -1,0 +1,301 @@
+//! Operational design domain (ODD) envelopes.
+//!
+//! FUSA arguments for DL components are conditioned on an ODD: the input
+//! domain the function was designed and validated for. An [`OddEnvelope`]
+//! is a fitted, checkable description of that domain — per-feature ranges
+//! plus global statistics bounds learned from the validation set with a
+//! configurable margin. It complements the statistical supervisors in
+//! [`crate::supervisor`]: the envelope is *specified* behaviour an
+//! assessor can read, while the supervisors are *learned* behaviour.
+//!
+//! The safety-bag pattern's checker and the simplex fallback trigger can
+//! both be driven from an envelope.
+
+use crate::error::SupervisionError;
+
+/// A fitted input envelope: per-dimension ranges and global mean/std
+/// bounds, each widened by a safety margin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OddEnvelope {
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+    mean_range: (f64, f64),
+    std_range: (f64, f64),
+    /// Fraction of per-pixel range violations tolerated before the input
+    /// is declared out of ODD (a few hot pixels are noise, not an ODD
+    /// exit).
+    violation_budget: f64,
+}
+
+/// Why an input failed the envelope check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum OddViolation {
+    /// Too many individual values outside their fitted range.
+    RangeExceeded {
+        /// Fraction of out-of-range values.
+        fraction: f64,
+    },
+    /// The input's mean is outside the fitted band.
+    MeanOutOfBand {
+        /// Observed mean.
+        observed: f64,
+    },
+    /// The input's standard deviation is outside the fitted band.
+    StdOutOfBand {
+        /// Observed standard deviation.
+        observed: f64,
+    },
+    /// The input contains non-finite values.
+    NonFinite,
+}
+
+impl OddEnvelope {
+    /// Fits an envelope on in-ODD inputs.
+    ///
+    /// Per-dimension ranges are the observed min/max widened by
+    /// `margin` × the dimension's observed spread; global mean/std bands
+    /// are widened the same way. `violation_budget` is the tolerated
+    /// fraction of out-of-range values per input (e.g. 0.01).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupervisionError::InvalidData`] for an empty set,
+    /// inconsistent dimensions, non-finite data, a negative margin, or a
+    /// budget outside `[0, 1)`.
+    pub fn fit(
+        inputs: &[Vec<f32>],
+        margin: f64,
+        violation_budget: f64,
+    ) -> Result<Self, SupervisionError> {
+        if inputs.is_empty() {
+            return Err(SupervisionError::InvalidData(
+                "cannot fit envelope on empty inputs".into(),
+            ));
+        }
+        let d = inputs[0].len();
+        if d == 0 || inputs.iter().any(|x| x.len() != d) {
+            return Err(SupervisionError::InvalidData(
+                "inputs must be non-empty and consistent".into(),
+            ));
+        }
+        if inputs.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(SupervisionError::InvalidData("non-finite inputs".into()));
+        }
+        if !(margin.is_finite() && margin >= 0.0) {
+            return Err(SupervisionError::InvalidData(
+                "margin must be non-negative".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&violation_budget) {
+            return Err(SupervisionError::InvalidData(
+                "violation budget must be in [0, 1)".into(),
+            ));
+        }
+
+        let mut lo = vec![f32::INFINITY; d];
+        let mut hi = vec![f32::NEG_INFINITY; d];
+        for x in inputs {
+            for (i, &v) in x.iter().enumerate() {
+                lo[i] = lo[i].min(v);
+                hi[i] = hi[i].max(v);
+            }
+        }
+        for i in 0..d {
+            let spread = (hi[i] - lo[i]).max(1e-6);
+            lo[i] -= (margin * spread as f64) as f32;
+            hi[i] += (margin * spread as f64) as f32;
+        }
+
+        let stats: Vec<(f64, f64)> = inputs.iter().map(|x| mean_std(x)).collect();
+        let mean_lo = stats.iter().map(|s| s.0).fold(f64::INFINITY, f64::min);
+        let mean_hi = stats.iter().map(|s| s.0).fold(f64::NEG_INFINITY, f64::max);
+        let std_lo = stats.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+        let std_hi = stats.iter().map(|s| s.1).fold(f64::NEG_INFINITY, f64::max);
+        let widen = |lo: f64, hi: f64| {
+            let spread = (hi - lo).max(1e-9);
+            (lo - margin * spread, hi + margin * spread)
+        };
+        Ok(OddEnvelope {
+            lo,
+            hi,
+            mean_range: widen(mean_lo, mean_hi),
+            std_range: widen(std_lo, std_hi),
+            violation_budget,
+        })
+    }
+
+    /// Input dimensionality the envelope was fitted for.
+    pub fn dimensions(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Checks an input against the envelope.
+    ///
+    /// Returns `Ok(())` for in-ODD inputs and the first violation
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupervisionError::InvalidData`] on a dimension mismatch
+    /// (a *caller* bug, distinct from an out-of-ODD *input*).
+    pub fn check(&self, input: &[f32]) -> Result<Result<(), OddViolation>, SupervisionError> {
+        if input.len() != self.lo.len() {
+            return Err(SupervisionError::InvalidData(format!(
+                "input dim {} does not match envelope dim {}",
+                input.len(),
+                self.lo.len()
+            )));
+        }
+        if input.iter().any(|v| !v.is_finite()) {
+            return Ok(Err(OddViolation::NonFinite));
+        }
+        let violations = input
+            .iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .filter(|(v, (lo, hi))| *v < lo || *v > hi)
+            .count();
+        let fraction = violations as f64 / input.len() as f64;
+        if fraction > self.violation_budget {
+            return Ok(Err(OddViolation::RangeExceeded { fraction }));
+        }
+        let (mean, std) = mean_std(input);
+        if mean < self.mean_range.0 || mean > self.mean_range.1 {
+            return Ok(Err(OddViolation::MeanOutOfBand { observed: mean }));
+        }
+        if std < self.std_range.0 || std > self.std_range.1 {
+            return Ok(Err(OddViolation::StdOutOfBand { observed: std }));
+        }
+        Ok(Ok(()))
+    }
+
+    /// Convenience predicate: `true` when the input is inside the ODD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupervisionError::InvalidData`] on a dimension mismatch.
+    pub fn contains(&self, input: &[f32]) -> Result<bool, SupervisionError> {
+        Ok(self.check(input)?.is_ok())
+    }
+}
+
+fn mean_std(x: &[f32]) -> (f64, f64) {
+    let n = x.len() as f64;
+    let mean = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = x.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_tensor::DetRng;
+
+    fn training_inputs(n: usize) -> Vec<Vec<f32>> {
+        let mut rng = DetRng::new(1);
+        (0..n)
+            .map(|_| (0..16).map(|_| rng.range_f64(0.0, 1.0) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn fit_and_accept_in_odd() {
+        let inputs = training_inputs(100);
+        let env = OddEnvelope::fit(&inputs, 0.1, 0.02).unwrap();
+        assert_eq!(env.dimensions(), 16);
+        for x in &inputs {
+            assert!(env.contains(x).unwrap(), "training input must be in ODD");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let inputs = training_inputs(100);
+        let env = OddEnvelope::fit(&inputs, 0.05, 0.02).unwrap();
+        let far = vec![50.0f32; 16];
+        match env.check(&far).unwrap() {
+            Err(OddViolation::RangeExceeded { fraction }) => assert!(fraction > 0.9),
+            other => panic!("expected range violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerates_budgeted_hot_pixels() {
+        // 64 dimensions so a single hot pixel barely moves the global
+        // mean/std; the per-pixel range check is the discriminating one.
+        let mut rng = DetRng::new(2);
+        let inputs: Vec<Vec<f32>> = (0..100)
+            .map(|_| (0..64).map(|_| rng.range_f64(0.0, 1.0) as f32).collect())
+            .collect();
+        // 5 % budget: one hot pixel out of 64 (1.6 %) passes.
+        let env = OddEnvelope::fit(&inputs, 0.3, 0.05).unwrap();
+        let mut x = inputs[0].clone();
+        x[10] = 1.7; // outside the widened per-pixel range
+        assert!(env.contains(&x).unwrap());
+        // Zero budget: the same pixel trips it.
+        let strict = OddEnvelope::fit(&inputs, 0.3, 0.0).unwrap();
+        assert!(!strict.contains(&x).unwrap());
+    }
+
+    #[test]
+    fn rejects_contrast_collapse_via_std_band() {
+        let inputs = training_inputs(100);
+        let env = OddEnvelope::fit(&inputs, 0.2, 0.05).unwrap();
+        // Constant image: every pixel within range, but std ~ 0.
+        let flat = vec![0.5f32; 16];
+        match env.check(&flat).unwrap() {
+            Err(OddViolation::StdOutOfBand { observed }) => assert!(observed < 0.05),
+            other => panic!("expected std violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_brightness_shift_via_mean_band() {
+        let inputs = training_inputs(100);
+        let env = OddEnvelope::fit(&inputs, 0.3, 0.5).unwrap();
+        // Brightness +0.9 keeps relative structure (std) but moves the
+        // mean far out; allow generous per-pixel budget so the mean check
+        // is the one that fires.
+        let bright: Vec<f32> = inputs[0].iter().map(|v| v + 0.9).collect();
+        let result = env.check(&bright).unwrap();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let inputs = training_inputs(20);
+        let env = OddEnvelope::fit(&inputs, 0.1, 0.0).unwrap();
+        let mut x = inputs[0].clone();
+        x[0] = f32::NAN;
+        assert_eq!(env.check(&x).unwrap(), Err(OddViolation::NonFinite));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error_not_a_violation() {
+        let inputs = training_inputs(20);
+        let env = OddEnvelope::fit(&inputs, 0.1, 0.0).unwrap();
+        assert!(env.check(&[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(OddEnvelope::fit(&[], 0.1, 0.0).is_err());
+        assert!(OddEnvelope::fit(&[vec![]], 0.1, 0.0).is_err());
+        assert!(OddEnvelope::fit(&[vec![1.0], vec![1.0, 2.0]], 0.1, 0.0).is_err());
+        assert!(OddEnvelope::fit(&[vec![f32::NAN]], 0.1, 0.0).is_err());
+        assert!(OddEnvelope::fit(&[vec![1.0]], -0.1, 0.0).is_err());
+        assert!(OddEnvelope::fit(&[vec![1.0]], 0.1, 1.0).is_err());
+    }
+
+    #[test]
+    fn margin_widens_acceptance() {
+        let inputs = training_inputs(50);
+        let tight = OddEnvelope::fit(&inputs, 0.0, 0.0).unwrap();
+        let loose = OddEnvelope::fit(&inputs, 0.5, 0.0).unwrap();
+        // A point slightly outside the observed range.
+        let mut x = inputs[0].clone();
+        x[0] = 1.05;
+        assert!(!tight.contains(&x).unwrap());
+        assert!(loose.contains(&x).unwrap());
+    }
+}

@@ -1,0 +1,208 @@
+//! ROC analysis for supervisor evaluation (experiment E1's metrics).
+//!
+//! Convention: out-of-distribution samples are the *positive* class and
+//! should receive *higher* scores.
+
+use crate::error::SupervisionError;
+
+/// Area under the ROC curve via the Mann-Whitney U statistic.
+///
+/// `id_scores` are in-distribution (negative), `ood_scores` are
+/// out-of-distribution (positive). Ties count half. 1.0 = perfect
+/// separation, 0.5 = chance.
+///
+/// # Errors
+///
+/// Returns [`SupervisionError::InvalidData`] if either set is empty or
+/// contains non-finite scores.
+pub fn auroc(id_scores: &[f64], ood_scores: &[f64]) -> Result<f64, SupervisionError> {
+    validate(id_scores, ood_scores)?;
+    // Rank-based computation, O((n+m) log (n+m)).
+    let mut all: Vec<(f64, bool)> = id_scores
+        .iter()
+        .map(|&s| (s, false))
+        .chain(ood_scores.iter().map(|&s| (s, true)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores compare"));
+    // Assign mid-ranks to ties.
+    let n = all.len();
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let mid_rank = (i + j) as f64 / 2.0 + 1.0; // 1-based mid rank
+        for item in all.iter().take(j + 1).skip(i) {
+            if item.1 {
+                rank_sum_pos += mid_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos = ood_scores.len() as f64;
+    let n_neg = id_scores.len() as f64;
+    let u = rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0;
+    Ok(u / (n_pos * n_neg))
+}
+
+/// True-positive rate at the threshold giving the requested
+/// false-positive rate (`tpr_at_fpr(id, ood, 0.05)` = "TPR at 5 % FPR").
+///
+/// # Errors
+///
+/// Returns [`SupervisionError::InvalidData`] on empty/non-finite scores or
+/// an FPR outside `(0, 1)`.
+pub fn tpr_at_fpr(
+    id_scores: &[f64],
+    ood_scores: &[f64],
+    fpr: f64,
+) -> Result<f64, SupervisionError> {
+    validate(id_scores, ood_scores)?;
+    if !(fpr > 0.0 && fpr < 1.0) {
+        return Err(SupervisionError::InvalidData(format!(
+            "FPR {fpr} outside (0, 1)"
+        )));
+    }
+    let threshold = safex_tensor::stats::quantile(id_scores, 1.0 - fpr)
+        .map_err(|e| SupervisionError::InvalidData(e.to_string()))?;
+    let tp = ood_scores.iter().filter(|&&s| s > threshold).count();
+    Ok(tp as f64 / ood_scores.len() as f64)
+}
+
+/// False-positive rate at the threshold giving the requested true-positive
+/// rate (`fpr_at_tpr(id, ood, 0.95)` = the standard "FPR@95TPR").
+///
+/// # Errors
+///
+/// Returns [`SupervisionError::InvalidData`] on empty/non-finite scores or
+/// a TPR outside `(0, 1)`.
+pub fn fpr_at_tpr(
+    id_scores: &[f64],
+    ood_scores: &[f64],
+    tpr: f64,
+) -> Result<f64, SupervisionError> {
+    validate(id_scores, ood_scores)?;
+    if !(tpr > 0.0 && tpr < 1.0) {
+        return Err(SupervisionError::InvalidData(format!(
+            "TPR {tpr} outside (0, 1)"
+        )));
+    }
+    // Threshold that catches `tpr` of the positives: the (1-tpr) quantile
+    // of OOD scores.
+    let threshold = safex_tensor::stats::quantile(ood_scores, 1.0 - tpr)
+        .map_err(|e| SupervisionError::InvalidData(e.to_string()))?;
+    let fp = id_scores.iter().filter(|&&s| s > threshold).count();
+    Ok(fp as f64 / id_scores.len() as f64)
+}
+
+/// One supervisor's evaluation across the standard metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocSummary {
+    /// Area under the ROC curve.
+    pub auroc: f64,
+    /// TPR at 5 % FPR.
+    pub tpr_at_fpr5: f64,
+    /// FPR at 95 % TPR.
+    pub fpr_at_tpr95: f64,
+}
+
+/// Computes all three standard metrics at once.
+///
+/// # Errors
+///
+/// Propagates the individual metric errors.
+pub fn summarize(id_scores: &[f64], ood_scores: &[f64]) -> Result<RocSummary, SupervisionError> {
+    Ok(RocSummary {
+        auroc: auroc(id_scores, ood_scores)?,
+        tpr_at_fpr5: tpr_at_fpr(id_scores, ood_scores, 0.05)?,
+        fpr_at_tpr95: fpr_at_tpr(id_scores, ood_scores, 0.95)?,
+    })
+}
+
+fn validate(id: &[f64], ood: &[f64]) -> Result<(), SupervisionError> {
+    if id.is_empty() || ood.is_empty() {
+        return Err(SupervisionError::InvalidData(
+            "ROC needs both ID and OOD scores".into(),
+        ));
+    }
+    if id.iter().chain(ood).any(|s| !s.is_finite()) {
+        return Err(SupervisionError::InvalidData(
+            "scores must be finite".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let id = [0.0, 0.1, 0.2];
+        let ood = [0.8, 0.9, 1.0];
+        assert_eq!(auroc(&id, &ood).unwrap(), 1.0);
+        assert_eq!(tpr_at_fpr(&id, &ood, 0.05).unwrap(), 1.0);
+        assert_eq!(fpr_at_tpr(&id, &ood, 0.95).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inverted_separation() {
+        let id = [0.8, 0.9, 1.0];
+        let ood = [0.0, 0.1, 0.2];
+        assert_eq!(auroc(&id, &ood).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn chance_level() {
+        let id = [0.1, 0.3, 0.5, 0.7];
+        let ood = [0.1, 0.3, 0.5, 0.7];
+        assert!((auroc(&id, &ood).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let id = [0.0, 0.2, 0.4, 0.6];
+        let ood = [0.3, 0.5, 0.7, 0.9];
+        // Count pairs: ood > id pairs / 16. Pairs where ood>id:
+        // 0.3>{0,0.2}=2, 0.5>{0,0.2,0.4}=3, 0.7>{0,0.2,0.4,0.6}=4, 0.9>4 = 13/16.
+        assert!((auroc(&id, &ood).unwrap() - 13.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        let id = [0.5];
+        let ood = [0.5];
+        assert_eq!(auroc(&id, &ood).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(auroc(&[], &[1.0]).is_err());
+        assert!(auroc(&[1.0], &[]).is_err());
+        assert!(auroc(&[f64::NAN], &[1.0]).is_err());
+        assert!(tpr_at_fpr(&[0.1], &[0.9], 0.0).is_err());
+        assert!(fpr_at_tpr(&[0.1], &[0.9], 1.0).is_err());
+    }
+
+    #[test]
+    fn summary_consistent() {
+        let id: Vec<f64> = (0..100).map(|i| i as f64 / 200.0).collect(); // 0..0.5
+        let ood: Vec<f64> = (0..100).map(|i| 0.4 + i as f64 / 200.0).collect(); // 0.4..0.9
+        let s = summarize(&id, &ood).unwrap();
+        assert!(s.auroc > 0.9);
+        assert!(s.tpr_at_fpr5 > 0.7);
+        assert!(s.fpr_at_tpr95 < 0.3);
+    }
+
+    #[test]
+    fn auroc_symmetric_under_label_swap() {
+        let id = [0.1, 0.4, 0.35, 0.8];
+        let ood = [0.45, 0.9, 0.5, 0.3];
+        let a = auroc(&id, &ood).unwrap();
+        let b = auroc(&ood, &id).unwrap();
+        assert!((a + b - 1.0).abs() < 1e-12);
+    }
+}

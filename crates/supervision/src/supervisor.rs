@@ -1,0 +1,568 @@
+//! The supervisor trait and the four standard supervisors.
+
+use crate::error::SupervisionError;
+use crate::observation::Observation;
+
+/// A runtime anomaly scorer for DL inference.
+///
+/// Implementations map an [`Observation`] to a score where **higher means
+/// less trustworthy**. Scores from different supervisors are not
+/// comparable in magnitude; calibrate each with
+/// [`crate::monitor::CalibratedMonitor`] before thresholding, and z-score
+/// them before ensembling ([`crate::ensemble::ScoreEnsemble`] does this).
+///
+/// The trait is object-safe; pipelines hold `Box<dyn Supervisor>`.
+pub trait Supervisor {
+    /// Stable identifier used in reports and evidence records.
+    fn name(&self) -> &'static str;
+
+    /// Scores one observation (higher = more anomalous).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupervisionError::NotFitted`] if the supervisor requires
+    /// fitting and has not been fitted, or
+    /// [`SupervisionError::InvalidData`] on malformed observations.
+    fn score(&self, obs: &Observation) -> Result<f64, SupervisionError>;
+
+    /// Fits the supervisor on in-distribution observations with labels.
+    ///
+    /// The default implementation is a no-op for fit-free supervisors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupervisionError::InvalidData`] on empty or inconsistent
+    /// training data.
+    fn fit(
+        &mut self,
+        observations: &[Observation],
+        labels: &[usize],
+    ) -> Result<(), SupervisionError> {
+        let _ = (observations, labels);
+        Ok(())
+    }
+}
+
+/// Baseline supervisor: `score = 1 - max softmax probability`.
+///
+/// Fit-free. The weakest detector in the literature but the universal
+/// baseline (Hendrycks & Gimpel); experiment E1 reproduces its ordering
+/// against the stronger supervisors below.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoftmaxThreshold;
+
+impl SoftmaxThreshold {
+    /// Creates the supervisor.
+    pub fn new() -> Self {
+        SoftmaxThreshold
+    }
+}
+
+impl Supervisor for SoftmaxThreshold {
+    fn name(&self) -> &'static str {
+        "softmax_threshold"
+    }
+
+    fn score(&self, obs: &Observation) -> Result<f64, SupervisionError> {
+        obs.validate()?;
+        Ok(1.0 - obs.confidence() as f64)
+    }
+}
+
+/// Logit-margin supervisor: `score = -(top1 - top2)` over raw logits.
+///
+/// Fit-free. Near-boundary and far-OOD inputs both compress the margin,
+/// which softmax saturation can hide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogitMargin;
+
+impl LogitMargin {
+    /// Creates the supervisor.
+    pub fn new() -> Self {
+        LogitMargin
+    }
+}
+
+impl Supervisor for LogitMargin {
+    fn name(&self) -> &'static str {
+        "logit_margin"
+    }
+
+    fn score(&self, obs: &Observation) -> Result<f64, SupervisionError> {
+        obs.validate()?;
+        if obs.logits.len() < 2 {
+            return Err(SupervisionError::InvalidData(
+                "logit margin needs at least two logits".into(),
+            ));
+        }
+        let mut top1 = f32::NEG_INFINITY;
+        let mut top2 = f32::NEG_INFINITY;
+        for &l in &obs.logits {
+            if l > top1 {
+                top2 = top1;
+                top1 = l;
+            } else if l > top2 {
+                top2 = l;
+            }
+        }
+        Ok(-((top1 - top2) as f64))
+    }
+}
+
+/// Class-conditional Mahalanobis-distance supervisor on penultimate
+/// features (diagonal covariance).
+///
+/// Must be [`Supervisor::fit`] on labelled in-distribution observations
+/// before scoring. The score is the minimum squared Mahalanobis distance
+/// over classes:
+/// `min_c Σ_d (f_d - μ_{c,d})² / σ²_d`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Mahalanobis {
+    /// Per-class feature means.
+    means: Vec<Vec<f64>>,
+    /// Shared diagonal variance (tied across classes, floored).
+    variance: Vec<f64>,
+}
+
+impl Mahalanobis {
+    /// Minimum variance floor avoiding division blow-ups on constant
+    /// features.
+    const VAR_FLOOR: f64 = 1e-6;
+
+    /// Creates an unfitted supervisor.
+    pub fn new() -> Self {
+        Mahalanobis::default()
+    }
+
+    /// Whether [`Supervisor::fit`] has been called.
+    pub fn is_fitted(&self) -> bool {
+        !self.means.is_empty()
+    }
+}
+
+impl Supervisor for Mahalanobis {
+    fn name(&self) -> &'static str {
+        "mahalanobis"
+    }
+
+    fn score(&self, obs: &Observation) -> Result<f64, SupervisionError> {
+        obs.validate()?;
+        if !self.is_fitted() {
+            return Err(SupervisionError::NotFitted("mahalanobis".into()));
+        }
+        let d = self.variance.len();
+        if obs.features.len() != d {
+            return Err(SupervisionError::InvalidData(format!(
+                "feature dim {} does not match fitted dim {d}",
+                obs.features.len()
+            )));
+        }
+        let mut best = f64::INFINITY;
+        for mean in &self.means {
+            let mut dist = 0.0f64;
+            for i in 0..d {
+                let diff = obs.features[i] as f64 - mean[i];
+                dist += diff * diff / self.variance[i];
+            }
+            if dist < best {
+                best = dist;
+            }
+        }
+        Ok(best)
+    }
+
+    fn fit(
+        &mut self,
+        observations: &[Observation],
+        labels: &[usize],
+    ) -> Result<(), SupervisionError> {
+        if observations.is_empty() {
+            return Err(SupervisionError::InvalidData(
+                "cannot fit on empty observations".into(),
+            ));
+        }
+        if observations.len() != labels.len() {
+            return Err(SupervisionError::InvalidData(format!(
+                "{} observations but {} labels",
+                observations.len(),
+                labels.len()
+            )));
+        }
+        let d = observations[0].features.len();
+        if observations.iter().any(|o| o.features.len() != d) {
+            return Err(SupervisionError::InvalidData(
+                "inconsistent feature dimensions".into(),
+            ));
+        }
+        let classes = labels.iter().max().copied().unwrap_or(0) + 1;
+        let mut means = vec![vec![0.0f64; d]; classes];
+        let mut counts = vec![0usize; classes];
+        for (o, &y) in observations.iter().zip(labels) {
+            counts[y] += 1;
+            for (m, &f) in means[y].iter_mut().zip(&o.features) {
+                *m += f as f64;
+            }
+        }
+        for (mean, &c) in means.iter_mut().zip(&counts) {
+            if c == 0 {
+                continue;
+            }
+            for m in mean.iter_mut() {
+                *m /= c as f64;
+            }
+        }
+        // Drop classes with no observations to keep the min well-defined.
+        let means: Vec<Vec<f64>> = means
+            .into_iter()
+            .zip(&counts)
+            .filter(|(_, &c)| c > 0)
+            .map(|(m, _)| m)
+            .collect();
+        // Tied diagonal variance around class means.
+        let mut variance = vec![0.0f64; d];
+        let mut kept = vec![0usize; 0];
+        kept.extend(counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, _)| i));
+        for (o, &y) in observations.iter().zip(labels) {
+            let class_pos = kept.iter().position(|&k| k == y).expect("label was counted");
+            for i in 0..d {
+                let diff = o.features[i] as f64 - means[class_pos][i];
+                variance[i] += diff * diff;
+            }
+        }
+        for v in variance.iter_mut() {
+            *v = (*v / observations.len() as f64).max(Self::VAR_FLOOR);
+        }
+        self.means = means;
+        self.variance = variance;
+        Ok(())
+    }
+}
+
+/// PCA-subspace reconstruction-error supervisor on the raw input.
+///
+/// Fits a `k`-dimensional principal subspace of the training inputs (power
+/// iteration with deflation) and scores inputs by the squared distance to
+/// that subspace. Detects covariate shift — occlusions, sensor faults —
+/// that may never perturb the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reconstruction {
+    components: usize,
+    mean: Vec<f64>,
+    /// Row-major `components x dim` orthonormal basis.
+    basis: Vec<Vec<f64>>,
+}
+
+impl Reconstruction {
+    /// Creates an unfitted supervisor keeping `components` principal
+    /// directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupervisionError::InvalidData`] for zero components.
+    pub fn new(components: usize) -> Result<Self, SupervisionError> {
+        if components == 0 {
+            return Err(SupervisionError::InvalidData(
+                "components must be non-zero".into(),
+            ));
+        }
+        Ok(Reconstruction {
+            components,
+            mean: Vec::new(),
+            basis: Vec::new(),
+        })
+    }
+
+    /// Whether [`Supervisor::fit`] has been called.
+    pub fn is_fitted(&self) -> bool {
+        !self.basis.is_empty()
+    }
+
+    /// Number of principal components retained.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+impl Supervisor for Reconstruction {
+    fn name(&self) -> &'static str {
+        "reconstruction"
+    }
+
+    fn score(&self, obs: &Observation) -> Result<f64, SupervisionError> {
+        obs.validate()?;
+        if !self.is_fitted() {
+            return Err(SupervisionError::NotFitted("reconstruction".into()));
+        }
+        let d = self.mean.len();
+        if obs.input.len() != d {
+            return Err(SupervisionError::InvalidData(format!(
+                "input dim {} does not match fitted dim {d}",
+                obs.input.len()
+            )));
+        }
+        // Centre, project onto the basis, measure the residual.
+        let centred: Vec<f64> = obs
+            .input
+            .iter()
+            .zip(&self.mean)
+            .map(|(&x, &m)| x as f64 - m)
+            .collect();
+        let mut residual_sq = centred.iter().map(|c| c * c).sum::<f64>();
+        for b in &self.basis {
+            let proj: f64 = centred.iter().zip(b).map(|(c, w)| c * w).sum();
+            residual_sq -= proj * proj;
+        }
+        Ok(residual_sq.max(0.0))
+    }
+
+    fn fit(
+        &mut self,
+        observations: &[Observation],
+        _labels: &[usize],
+    ) -> Result<(), SupervisionError> {
+        if observations.len() < 2 {
+            return Err(SupervisionError::InvalidData(
+                "reconstruction needs at least two observations".into(),
+            ));
+        }
+        let d = observations[0].input.len();
+        if observations.iter().any(|o| o.input.len() != d) {
+            return Err(SupervisionError::InvalidData(
+                "inconsistent input dimensions".into(),
+            ));
+        }
+        let n = observations.len();
+        let mut mean = vec![0.0f64; d];
+        for o in observations {
+            for (m, &x) in mean.iter_mut().zip(&o.input) {
+                *m += x as f64;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n as f64;
+        }
+        let centred: Vec<Vec<f64>> = observations
+            .iter()
+            .map(|o| {
+                o.input
+                    .iter()
+                    .zip(&mean)
+                    .map(|(&x, &m)| x as f64 - m)
+                    .collect()
+            })
+            .collect();
+
+        // Power iteration with deflation. Deterministic start vectors.
+        let k = self.components.min(d);
+        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(k);
+        for comp in 0..k {
+            let mut v = vec![0.0f64; d];
+            v[comp % d] = 1.0;
+            for _ in 0..50 {
+                // w = C v where C = (1/n) Σ x xᵀ, computed as Σ (x·v) x.
+                let mut w = vec![0.0f64; d];
+                for x in &centred {
+                    let dot: f64 = x.iter().zip(&v).map(|(a, b)| a * b).sum();
+                    for (wi, &xi) in w.iter_mut().zip(x) {
+                        *wi += dot * xi;
+                    }
+                }
+                // Deflate: remove projections on previous components.
+                for b in &basis {
+                    let dot: f64 = w.iter().zip(b).map(|(a, c)| a * c).sum();
+                    for (wi, &bi) in w.iter_mut().zip(b) {
+                        *wi -= dot * bi;
+                    }
+                }
+                let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm < 1e-12 {
+                    // Degenerate direction (data spans fewer dims); keep
+                    // the current orthogonal unit vector as-is.
+                    break;
+                }
+                for (vi, wi) in v.iter_mut().zip(&w) {
+                    *vi = wi / norm;
+                }
+            }
+            // Re-orthonormalise defensively.
+            for b in &basis {
+                let dot: f64 = v.iter().zip(b).map(|(a, c)| a * c).sum();
+                for (vi, &bi) in v.iter_mut().zip(b) {
+                    *vi -= dot * bi;
+                }
+            }
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                for vi in v.iter_mut() {
+                    *vi /= norm;
+                }
+                basis.push(v);
+            }
+        }
+        self.mean = mean;
+        self.basis = basis;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(input: &[f32], logits: &[f32], probs: &[f32], features: &[f32]) -> Observation {
+        Observation {
+            input: input.to_vec(),
+            logits: logits.to_vec(),
+            probs: probs.to_vec(),
+            features: features.to_vec(),
+        }
+    }
+
+    #[test]
+    fn softmax_threshold_orders_by_confidence() {
+        let s = SoftmaxThreshold::new();
+        let confident = obs(&[0.0], &[5.0, 0.0], &[0.95, 0.05], &[0.0]);
+        let unsure = obs(&[0.0], &[1.0, 0.9], &[0.55, 0.45], &[0.0]);
+        assert!(s.score(&unsure).unwrap() > s.score(&confident).unwrap());
+        assert!((s.score(&confident).unwrap() - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logit_margin_orders_by_margin() {
+        let s = LogitMargin::new();
+        let wide = obs(&[0.0], &[5.0, 1.0, 0.0], &[0.9, 0.08, 0.02], &[0.0]);
+        let narrow = obs(&[0.0], &[2.0, 1.9, 0.0], &[0.4, 0.38, 0.22], &[0.0]);
+        assert!(s.score(&narrow).unwrap() > s.score(&wide).unwrap());
+        assert_eq!(s.score(&wide).unwrap(), -4.0);
+    }
+
+    #[test]
+    fn logit_margin_needs_two_logits() {
+        let s = LogitMargin::new();
+        let single = obs(&[0.0], &[1.0], &[1.0], &[0.0]);
+        assert!(s.score(&single).is_err());
+    }
+
+    #[test]
+    fn mahalanobis_requires_fit() {
+        let s = Mahalanobis::new();
+        let o = obs(&[0.0], &[1.0, 0.0], &[0.7, 0.3], &[0.0, 0.0]);
+        assert!(matches!(
+            s.score(&o),
+            Err(SupervisionError::NotFitted(_))
+        ));
+    }
+
+    #[test]
+    fn mahalanobis_scores_far_points_higher() {
+        let mut s = Mahalanobis::new();
+        // Two clusters: class 0 near (0,0), class 1 near (5,5).
+        let mut train = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f32 * 0.1;
+            train.push(obs(&[0.0], &[0.0, 0.0], &[0.5, 0.5], &[jitter, -jitter]));
+            labels.push(0);
+            train.push(obs(
+                &[0.0],
+                &[0.0, 0.0],
+                &[0.5, 0.5],
+                &[5.0 + jitter, 5.0 - jitter],
+            ));
+            labels.push(1);
+        }
+        s.fit(&train, &labels).unwrap();
+        let near0 = obs(&[0.0], &[0.0, 0.0], &[0.5, 0.5], &[0.1, 0.0]);
+        let near1 = obs(&[0.0], &[0.0, 0.0], &[0.5, 0.5], &[5.1, 5.0]);
+        let far = obs(&[0.0], &[0.0, 0.0], &[0.5, 0.5], &[20.0, -20.0]);
+        assert!(s.score(&far).unwrap() > s.score(&near0).unwrap() * 10.0);
+        assert!(s.score(&far).unwrap() > s.score(&near1).unwrap() * 10.0);
+    }
+
+    #[test]
+    fn mahalanobis_fit_validation() {
+        let mut s = Mahalanobis::new();
+        assert!(s.fit(&[], &[]).is_err());
+        let o = obs(&[0.0], &[0.0, 0.0], &[1.0, 0.0], &[0.0]);
+        assert!(s.fit(&[o.clone()], &[0, 1]).is_err());
+        // Dimension mismatch at score time.
+        s.fit(&[o.clone(), o], &[0, 0]).unwrap();
+        let wrong = obs(&[0.0], &[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]);
+        assert!(s.score(&wrong).is_err());
+    }
+
+    #[test]
+    fn reconstruction_detects_off_subspace_points() {
+        // Training data lies on the x-axis (1-D subspace of 3-D space).
+        let mut s = Reconstruction::new(1).unwrap();
+        let train: Vec<Observation> = (0..20)
+            .map(|i| {
+                let x = (i as f32 - 10.0) / 5.0;
+                obs(&[x, 0.0, 0.0], &[0.0, 0.0], &[0.5, 0.5], &[0.0])
+            })
+            .collect();
+        s.fit(&train, &vec![0; 20]).unwrap();
+        let on = obs(&[1.5, 0.0, 0.0], &[0.0, 0.0], &[0.5, 0.5], &[0.0]);
+        let off = obs(&[0.0, 2.0, 1.0], &[0.0, 0.0], &[0.5, 0.5], &[0.0]);
+        assert!(s.score(&on).unwrap() < 1e-6);
+        assert!(s.score(&off).unwrap() > 4.9);
+    }
+
+    #[test]
+    fn reconstruction_validation() {
+        assert!(Reconstruction::new(0).is_err());
+        let mut s = Reconstruction::new(2).unwrap();
+        let o = obs(&[0.0, 0.0], &[0.0, 0.0], &[1.0, 0.0], &[0.0]);
+        assert!(s.fit(&[o.clone()], &[0]).is_err()); // needs >= 2
+        assert!(matches!(
+            s.score(&o),
+            Err(SupervisionError::NotFitted(_))
+        ));
+    }
+
+    #[test]
+    fn reconstruction_basis_is_orthonormal() {
+        let mut s = Reconstruction::new(2).unwrap();
+        let train: Vec<Observation> = (0..30)
+            .map(|i| {
+                let t = i as f32 / 3.0;
+                obs(
+                    &[t.sin(), t.cos(), 0.3 * t, 0.1],
+                    &[0.0, 0.0],
+                    &[0.5, 0.5],
+                    &[0.0],
+                )
+            })
+            .collect();
+        s.fit(&train, &vec![0; 30]).unwrap();
+        assert!(s.is_fitted());
+        for (i, a) in s.basis.iter().enumerate() {
+            let norm: f64 = a.iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-6, "component {i} norm {norm}");
+            for b in &s.basis[..i] {
+                let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                assert!(dot.abs() < 1e-6, "components not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn supervisors_are_object_safe() {
+        let list: Vec<Box<dyn Supervisor>> = vec![
+            Box::new(SoftmaxThreshold::new()),
+            Box::new(LogitMargin::new()),
+            Box::new(Mahalanobis::new()),
+            Box::new(Reconstruction::new(2).unwrap()),
+        ];
+        let names: Vec<&str> = list.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "softmax_threshold",
+                "logit_margin",
+                "mahalanobis",
+                "reconstruction"
+            ]
+        );
+    }
+}

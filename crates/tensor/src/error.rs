@@ -1,0 +1,118 @@
+//! Error types for tensor construction and arithmetic.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Errors produced by tensor construction and tensor operations.
+///
+/// Per the crate's FUSA posture, user-facing entry points never panic on
+/// malformed input; they return one of these variants instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The data length supplied to a constructor does not match the number
+    /// of elements implied by the shape.
+    LengthMismatch {
+        /// Total elements implied by the requested shape.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors participating in an elementwise operation have different
+    /// shapes.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Shape,
+        /// Shape of the right-hand operand.
+        right: Shape,
+    },
+    /// The inner dimensions of a matrix product do not agree, or an operand
+    /// is not two-dimensional.
+    MatmulIncompatible {
+        /// Shape of the left-hand operand.
+        left: Shape,
+        /// Shape of the right-hand operand.
+        right: Shape,
+    },
+    /// An index is out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat index.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+    /// A shape with zero dimensions or a zero-sized dimension was requested
+    /// where it is not meaningful.
+    EmptyShape,
+    /// An operation that requires a non-empty tensor received an empty one.
+    EmptyInput,
+    /// A numeric argument was invalid (NaN, non-positive where positive is
+    /// required, and so on). The message explains the constraint.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            TensorError::MatmulIncompatible { left, right } => {
+                write!(f, "matmul operands incompatible: {left} x {right}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+            TensorError::EmptyShape => write!(f, "shape must have at least one dimension"),
+            TensorError::EmptyInput => write!(f, "operation requires a non-empty tensor"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "data length 4 does not match shape element count 6"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            left: Shape::matrix(2, 3),
+            right: Shape::matrix(3, 2),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("3x2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(TensorError::EmptyShape);
+        assert!(e.to_string().contains("at least one dimension"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Saturating binary fixed-point arithmetic.
+//!
+//! Fixed-point numbers give the quantised inference path of `safex-nn` its
+//! bit-exact cross-platform determinism: unlike IEEE-754 floats there is no
+//! rounding-mode, FMA-contraction, or x87-extended-precision variability —
+//! the same inputs produce the same bits on every conforming platform.
+//!
+//! Two formats are provided:
+//!
+//! * [`Q16_16`]: 16 integer bits, 16 fractional bits. Range ±32768,
+//!   resolution 2⁻¹⁶ ≈ 1.5e-5. Used for activations and weights.
+//! * [`Q8_24`]: 8 integer bits, 24 fractional bits. Range ±128, resolution
+//!   2⁻²⁴ ≈ 6e-8. Used where extra precision matters (normalised inputs,
+//!   softmax temperatures).
+//!
+//! All arithmetic **saturates** on overflow rather than wrapping or
+//! panicking — the behaviour mandated by automotive fixed-point coding
+//! standards, where a saturated value is a bounded error while a wrapped
+//! value is an unbounded one.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! fixed_type {
+    ($(#[$doc:meta])* $name:ident, $frac:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(i32);
+
+        impl $name {
+            /// Number of fractional bits in this format.
+            pub const FRAC_BITS: u32 = $frac;
+            /// The value zero.
+            pub const ZERO: Self = Self(0);
+            /// The value one.
+            pub const ONE: Self = Self(1 << $frac);
+            /// Largest representable value.
+            pub const MAX: Self = Self(i32::MAX);
+            /// Smallest (most negative) representable value.
+            pub const MIN: Self = Self(i32::MIN);
+            /// Smallest positive increment (one least-significant bit).
+            pub const EPSILON: Self = Self(1);
+
+            /// Creates a fixed-point value from its raw bit representation.
+            pub const fn from_bits(bits: i32) -> Self {
+                Self(bits)
+            }
+
+            /// Returns the raw bit representation.
+            pub const fn to_bits(self) -> i32 {
+                self.0
+            }
+
+            /// Converts from an `f32`, saturating at the format bounds.
+            ///
+            /// NaN converts to zero (the least-surprising total behaviour;
+            /// callers that must distinguish NaN should check before
+            /// converting).
+            pub fn from_f32(v: f32) -> Self {
+                if v.is_nan() {
+                    return Self::ZERO;
+                }
+                let scaled = (v as f64) * (1i64 << $frac) as f64;
+                if scaled >= i32::MAX as f64 {
+                    Self::MAX
+                } else if scaled <= i32::MIN as f64 {
+                    Self::MIN
+                } else {
+                    // Round to nearest, ties away from zero: deterministic
+                    // and matches common DSP quantisers.
+                    Self(scaled.round() as i32)
+                }
+            }
+
+            /// Converts from an `f64`, saturating at the format bounds.
+            pub fn from_f64(v: f64) -> Self {
+                if v.is_nan() {
+                    return Self::ZERO;
+                }
+                let scaled = v * f64::from(1i32 << $frac);
+                if scaled >= i32::MAX as f64 {
+                    Self::MAX
+                } else if scaled <= i32::MIN as f64 {
+                    Self::MIN
+                } else {
+                    Self(scaled.round() as i32)
+                }
+            }
+
+            /// Converts from an integer, saturating at the format bounds.
+            pub fn from_int(v: i32) -> Self {
+                let shifted = (v as i64) << $frac;
+                if shifted > i32::MAX as i64 {
+                    Self::MAX
+                } else if shifted < i32::MIN as i64 {
+                    Self::MIN
+                } else {
+                    Self(shifted as i32)
+                }
+            }
+
+            /// Converts to `f32` (exact whenever the value fits in an f32
+            /// mantissa, which all Q-format values do for magnitude < 2²⁴).
+            pub fn to_f32(self) -> f32 {
+                (self.0 as f64 / f64::from(1i32 << $frac)) as f32
+            }
+
+            /// Converts to `f64` (always exact).
+            pub fn to_f64(self) -> f64 {
+                self.0 as f64 / f64::from(1i32 << $frac)
+            }
+
+            /// Saturating addition.
+            pub fn saturating_add(self, rhs: Self) -> Self {
+                Self(self.0.saturating_add(rhs.0))
+            }
+
+            /// Saturating subtraction.
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                Self(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Saturating multiplication.
+            ///
+            /// The product is computed in 64 bits and shifted back with
+            /// round-to-nearest before saturation, so no precision is lost
+            /// to intermediate overflow.
+            pub fn saturating_mul(self, rhs: Self) -> Self {
+                let wide = (self.0 as i64) * (rhs.0 as i64);
+                // Round to nearest (ties toward +inf): add half an LSB, then
+                // arithmetic shift. Exact for all representable products.
+                let half = 1i64 << ($frac - 1);
+                Self(clamp_i64((wide + half) >> $frac))
+            }
+
+            /// Saturating division.
+            ///
+            /// Division by zero saturates to [`Self::MAX`] or [`Self::MIN`]
+            /// depending on the sign of the dividend (zero ÷ zero gives
+            /// [`Self::MAX`]). FUSA rationale: a saturated bound is a
+            /// detectable, bounded error; a panic in a control loop is not.
+            pub fn saturating_div(self, rhs: Self) -> Self {
+                if rhs.0 == 0 {
+                    return if self.0 < 0 { Self::MIN } else { Self::MAX };
+                }
+                let wide = ((self.0 as i64) << $frac) / (rhs.0 as i64);
+                Self(clamp_i64(wide))
+            }
+
+            /// Absolute value, saturating (`|MIN|` clamps to `MAX`).
+            pub fn saturating_abs(self) -> Self {
+                Self(self.0.saturating_abs())
+            }
+
+            /// Whether this value sits at a saturation bound.
+            pub fn is_saturated(self) -> bool {
+                self.0 == i32::MAX || self.0 == i32::MIN
+            }
+
+            /// Returns the smaller of two values.
+            pub fn min(self, other: Self) -> Self {
+                if self.0 <= other.0 { self } else { other }
+            }
+
+            /// Returns the larger of two values.
+            pub fn max(self, other: Self) -> Self {
+                if self.0 >= other.0 { self } else { other }
+            }
+
+            /// Clamps to the inclusive range `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp range inverted");
+                self.max(lo).min(hi)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                self.saturating_add(rhs)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                self.saturating_sub(rhs)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl Mul for $name {
+            type Output = Self;
+            fn mul(self, rhs: Self) -> Self {
+                self.saturating_mul(rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = Self;
+            fn div(self, rhs: Self) -> Self {
+                self.saturating_div(rhs)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(self.0.saturating_neg())
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |acc, x| acc + x)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.to_f64())
+            }
+        }
+
+        impl From<i16> for $name {
+            fn from(v: i16) -> Self {
+                Self::from_int(v as i32)
+            }
+        }
+    };
+}
+
+fn clamp_i64(v: i64) -> i32 {
+    if v > i32::MAX as i64 {
+        i32::MAX
+    } else if v < i32::MIN as i64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+fixed_type!(
+    /// Q16.16 fixed point: 16 integer bits, 16 fractional bits.
+    ///
+    /// Range approximately ±32768 with resolution 2⁻¹⁶. The workhorse
+    /// format for quantised weights and activations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use safex_tensor::fixed::Q16_16;
+    /// let x = Q16_16::from_f32(-0.75);
+    /// assert_eq!(x.to_f32(), -0.75);
+    /// assert_eq!((x + Q16_16::ONE).to_f32(), 0.25);
+    /// ```
+    Q16_16,
+    16
+);
+
+fixed_type!(
+    /// Q8.24 fixed point: 8 integer bits, 24 fractional bits.
+    ///
+    /// Range approximately ±128 with resolution 2⁻²⁴. Used where inputs
+    /// are normalised and extra fractional precision matters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use safex_tensor::fixed::Q8_24;
+    /// let x = Q8_24::from_f64(0.5);
+    /// assert_eq!((x * x).to_f64(), 0.25);
+    /// ```
+    Q8_24,
+    24
+);
+
+impl Q16_16 {
+    /// Widens to [`Q8_24`], saturating if the value exceeds ±128.
+    pub fn to_q8_24(self) -> Q8_24 {
+        let wide = (self.to_bits() as i64) << 8;
+        Q8_24::from_bits(clamp_i64(wide))
+    }
+}
+
+impl Q8_24 {
+    /// Narrows to [`Q16_16`], rounding to nearest (ties toward +inf).
+    pub fn to_q16_16(self) -> Q16_16 {
+        let bits = self.to_bits() as i64;
+        let half = 1i64 << 7;
+        Q16_16::from_bits(clamp_i64((bits + half) >> 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact_fractions() {
+        for v in [-2.5f32, -1.0, -0.25, 0.0, 0.5, 1.0, 3.75, 100.125] {
+            assert_eq!(Q16_16::from_f32(v).to_f32(), v, "q16 round trip {v}");
+            assert_eq!(Q8_24::from_f32(v).to_f32(), v, "q24 round trip {v}");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q16_16::ONE.to_f32(), 1.0);
+        assert_eq!(Q16_16::ZERO.to_f32(), 0.0);
+        assert_eq!(Q8_24::ONE.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let big = Q16_16::from_f32(30000.0);
+        let sum = big + big + big;
+        assert_eq!(sum, Q16_16::MAX);
+        assert!(sum.is_saturated());
+    }
+
+    #[test]
+    fn sub_saturates() {
+        let low = Q16_16::MIN;
+        assert_eq!(low - Q16_16::ONE, Q16_16::MIN);
+    }
+
+    #[test]
+    fn mul_exact() {
+        let x = Q16_16::from_f32(1.5);
+        let y = Q16_16::from_f32(-2.0);
+        assert_eq!((x * y).to_f32(), -3.0);
+    }
+
+    #[test]
+    fn mul_saturates() {
+        let big = Q16_16::from_f32(30000.0);
+        assert_eq!(big * big, Q16_16::MAX);
+        assert_eq!(big * -big, Q16_16::MIN);
+    }
+
+    #[test]
+    fn mul_rounds_to_nearest() {
+        // EPSILON * 0.5 = half an LSB -> rounds away from zero to EPSILON.
+        let half = Q16_16::from_f32(0.5);
+        assert_eq!(Q16_16::EPSILON * half, Q16_16::EPSILON);
+    }
+
+    #[test]
+    fn div_exact() {
+        let x = Q16_16::from_f32(3.0);
+        let y = Q16_16::from_f32(4.0);
+        assert_eq!((x / y).to_f32(), 0.75);
+    }
+
+    #[test]
+    fn div_by_zero_saturates() {
+        assert_eq!(Q16_16::ONE / Q16_16::ZERO, Q16_16::MAX);
+        assert_eq!(-Q16_16::ONE / Q16_16::ZERO, Q16_16::MIN);
+        assert_eq!(Q16_16::ZERO / Q16_16::ZERO, Q16_16::MAX);
+    }
+
+    #[test]
+    fn nan_converts_to_zero() {
+        assert_eq!(Q16_16::from_f32(f32::NAN), Q16_16::ZERO);
+        assert_eq!(Q8_24::from_f64(f64::NAN), Q8_24::ZERO);
+    }
+
+    #[test]
+    fn infinity_saturates() {
+        assert_eq!(Q16_16::from_f32(f32::INFINITY), Q16_16::MAX);
+        assert_eq!(Q16_16::from_f32(f32::NEG_INFINITY), Q16_16::MIN);
+    }
+
+    #[test]
+    fn neg_min_saturates() {
+        assert_eq!(-Q16_16::MIN, Q16_16::MAX);
+        assert_eq!(Q16_16::MIN.saturating_abs(), Q16_16::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Q16_16::from_f32(-1.0);
+        let b = Q16_16::from_f32(2.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Q16_16::ZERO.clamp(a, b), Q16_16::ZERO);
+        assert_eq!(Q16_16::from_f32(5.0).clamp(a, b), b);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Q16_16 = (1..=4).map(|i| Q16_16::from_int(i)).sum();
+        assert_eq!(total.to_f32(), 10.0);
+    }
+
+    #[test]
+    fn format_conversion_widen_narrow() {
+        let x = Q16_16::from_f32(1.25);
+        assert_eq!(x.to_q8_24().to_f64(), 1.25);
+        assert_eq!(x.to_q8_24().to_q16_16(), x);
+        // Widening saturates beyond +-128.
+        assert_eq!(Q16_16::from_f32(1000.0).to_q8_24(), Q8_24::MAX);
+    }
+
+    #[test]
+    fn display_shows_decimal() {
+        assert_eq!(Q16_16::from_f32(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn from_int_saturates() {
+        assert_eq!(Q16_16::from_int(100_000), Q16_16::MAX);
+        assert_eq!(Q16_16::from_int(-100_000), Q16_16::MIN);
+        assert_eq!(Q16_16::from_int(3).to_f32(), 3.0);
+    }
+
+    #[test]
+    fn from_i16_total() {
+        assert_eq!(Q16_16::from(i16::MAX).to_f32(), 32767.0);
+        assert_eq!(Q8_24::from(2i16).to_f64(), 2.0);
+    }
+}

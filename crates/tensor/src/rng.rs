@@ -1,0 +1,323 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Everything random in the SAFEXPLAIN workspace — weight initialisation,
+//! synthetic workload generation, time-randomised cache placement, fault
+//! injection — flows through [`DetRng`], a small splitmix64/xoshiro256**
+//! generator with an explicit seed. Nothing ever reads the OS entropy pool
+//! or the wall clock, so every experiment in `EXPERIMENTS.md` is exactly
+//! reproducible from its stated seed.
+//!
+//! The generator is *not* cryptographic; it is a simulation PRNG with good
+//! statistical properties (xoshiro256** passes BigCrush).
+
+/// A deterministic, seedable pseudo-random number generator
+/// (xoshiro256** seeded via splitmix64).
+///
+/// # Examples
+///
+/// ```
+/// use safex_tensor::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetRng {
+    state: [u64; 4],
+    /// Cached second normal deviate from Box-Muller.
+    gauss_spare: Option<f64>,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Two generators built from the same seed produce identical streams.
+    pub fn new(seed: u64) -> Self {
+        // Expand the seed through splitmix64 so that nearby seeds give
+        // uncorrelated initial states.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let state = [next_sm(), next_sm(), next_sm(), next_sm()];
+        DetRng {
+            state,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Useful for giving each component of a simulation its own stream so
+    /// that adding draws to one component does not perturb another.
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let s = self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        DetRng::new(s)
+    }
+
+    /// Next raw 64-bit value (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next value uniformly in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next value uniformly in `[0, 1)` as `f32`.
+    pub fn next_f32(&mut self) -> f32 {
+        self.next_f64() as f32
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's unbiased method.
+    ///
+    /// Returns 0 when `bound == 0` (total behaviour; callers that consider
+    /// a zero bound an error should validate beforehand).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Unbiased rejection sampling via 128-bit multiply.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_u64 bounds inverted");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `usize` in `[0, bound)`; 0 when `bound == 0`.
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "range_f64 bounds invalid");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal deviate (Box-Muller, deterministic).
+    pub fn next_gaussian(&mut self) -> f64 {
+        if let Some(spare) = self.gauss_spare.take() {
+            return spare;
+        }
+        // Rejection-free polar-less Box-Muller on (0,1] uniforms.
+        let u1 = 1.0 - self.next_f64(); // in (0, 1], avoids ln(0)
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be non-negative");
+        mean + std_dev * self.next_gaussian()
+    }
+
+    /// Exponential deviate with the given rate parameter λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// Fisher-Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below_usize(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `[0, n)` (order unspecified but
+    /// deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher-Yates: first k positions become the sample.
+        for i in 0..k {
+            let j = i + self.below_usize(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = DetRng::new(4);
+        for bound in [1u64, 2, 3, 7, 100] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn below_covers_small_range() {
+        let mut rng = DetRng::new(5);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = DetRng::new(6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = DetRng::new(8);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(9);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(10);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = DetRng::new(11);
+        let sample = rng.sample_indices(20, 8);
+        assert_eq!(sample.len(), 8);
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        assert!(sample.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn fork_streams_independent_of_parent_use() {
+        let mut parent1 = DetRng::new(12);
+        let mut child1 = parent1.fork(1);
+        let mut parent2 = DetRng::new(12);
+        let mut child2 = parent2.fork(1);
+        assert_eq!(child1.next_u64(), child2.next_u64());
+        // Forked child differs from a differently-numbered stream.
+        let mut parent3 = DetRng::new(12);
+        let mut child3 = parent3.fork(2);
+        assert_ne!(child1.next_u64(), child3.next_u64());
+    }
+
+    #[test]
+    fn range_helpers() {
+        let mut rng = DetRng::new(13);
+        for _ in 0..100 {
+            let v = rng.range_u64(5, 9);
+            assert!((5..=9).contains(&v));
+            let f = rng.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+}

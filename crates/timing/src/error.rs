@@ -1,0 +1,38 @@
+//! Error type for timing analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by i.i.d. tests, EVT fitting, and pWCET queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// The sample is unusable (too small, non-finite, degenerate).
+    BadSample(String),
+    /// A configuration/parameter is invalid.
+    BadConfig(String),
+    /// The requested quantity is outside the fitted model's support.
+    OutOfSupport(String),
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::BadSample(msg) => write!(f, "bad timing sample: {msg}"),
+            TimingError::BadConfig(msg) => write!(f, "bad timing config: {msg}"),
+            TimingError::OutOfSupport(msg) => write!(f, "out of model support: {msg}"),
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(TimingError::BadSample("n=2".into()).to_string().contains("n=2"));
+    }
+}

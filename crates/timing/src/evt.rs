@@ -1,0 +1,330 @@
+//! Extreme-value distributions: Gumbel (block maxima) and generalised
+//! Pareto (peaks over threshold).
+
+use crate::error::TimingError;
+
+/// Euler-Mascheroni constant.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// A Gumbel (type-I extreme value) distribution fitted to block maxima.
+///
+/// MBPTA's standard model: under randomised hardware, per-run execution
+/// times are light-tailed and the distribution of block maxima converges
+/// to Gumbel. Fitting uses the method of moments
+/// (`β = s·√6/π`, `μ = x̄ − γ·β`), which is deterministic and robust for
+/// the sample sizes MBPTA campaigns use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gumbel {
+    /// Location parameter.
+    pub mu: f64,
+    /// Scale parameter (positive).
+    pub beta: f64,
+}
+
+impl Gumbel {
+    /// Fits by the method of moments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::BadSample`] for fewer than 10 maxima,
+    /// non-finite values, or zero variance.
+    pub fn fit(block_maxima: &[f64]) -> Result<Self, TimingError> {
+        if block_maxima.len() < 10 {
+            return Err(TimingError::BadSample(format!(
+                "need at least 10 block maxima, got {}",
+                block_maxima.len()
+            )));
+        }
+        if block_maxima.iter().any(|x| !x.is_finite()) {
+            return Err(TimingError::BadSample("non-finite maxima".into()));
+        }
+        let n = block_maxima.len() as f64;
+        let mean = block_maxima.iter().sum::<f64>() / n;
+        let var = block_maxima.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        if var <= 0.0 {
+            return Err(TimingError::BadSample(
+                "block maxima have zero variance (deterministic platform?)".into(),
+            ));
+        }
+        let beta = var.sqrt() * (6.0f64).sqrt() / std::f64::consts::PI;
+        let mu = mean - EULER_GAMMA * beta;
+        Ok(Gumbel { mu, beta })
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        (-(-(x - self.mu) / self.beta).exp()).exp()
+    }
+
+    /// Exceedance probability `P(X > x)`.
+    pub fn exceedance(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The value exceeded with probability `p` (the pWCET bound at `p`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::BadConfig`] for `p` outside `(0, 1)`.
+    pub fn quantile_exceedance(&self, p: f64) -> Result<f64, TimingError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(TimingError::BadConfig(format!(
+                "exceedance probability {p} outside (0, 1)"
+            )));
+        }
+        // F(x) = 1 - p  =>  x = mu - beta * ln(-ln(1 - p)).
+        Ok(self.mu - self.beta * (-(1.0 - p).ln()).ln())
+    }
+}
+
+/// A generalised Pareto distribution fitted to threshold exceedances
+/// (peaks over threshold).
+///
+/// The GPD alternative lets the tail index speak for itself: a fitted
+/// shape `xi` near 0 corroborates the light-tail (Gumbel-domain)
+/// assumption; `xi > 0` flags a heavy tail where Gumbel bounds would be
+/// optimistic. Fitting uses the method of moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gpd {
+    /// The threshold `u` exceedances were measured above.
+    pub threshold: f64,
+    /// Shape parameter ξ.
+    pub shape: f64,
+    /// Scale parameter σ (positive).
+    pub scale: f64,
+    /// Fraction of the original sample above the threshold.
+    pub exceed_fraction: f64,
+}
+
+impl Gpd {
+    /// Fits a GPD to the sample's exceedances over the `quantile`-level
+    /// threshold (e.g. 0.9 = top 10 % of the sample).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::BadSample`] for too-small samples or too
+    /// few exceedances (needs at least 10), [`TimingError::BadConfig`]
+    /// for a quantile outside `(0.5, 1)`.
+    pub fn fit(samples: &[f64], quantile: f64) -> Result<Self, TimingError> {
+        if !(quantile > 0.5 && quantile < 1.0) {
+            return Err(TimingError::BadConfig(format!(
+                "POT quantile {quantile} outside (0.5, 1)"
+            )));
+        }
+        if samples.len() < 50 {
+            return Err(TimingError::BadSample(format!(
+                "need at least 50 samples for POT, got {}",
+                samples.len()
+            )));
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(TimingError::BadSample("non-finite samples".into()));
+        }
+        let threshold = safex_tensor::stats::quantile(samples, quantile)
+            .map_err(|e| TimingError::BadSample(e.to_string()))?;
+        let excesses: Vec<f64> = samples
+            .iter()
+            .filter(|&&x| x > threshold)
+            .map(|&x| x - threshold)
+            .collect();
+        if excesses.len() < 10 {
+            return Err(TimingError::BadSample(format!(
+                "only {} exceedances above threshold",
+                excesses.len()
+            )));
+        }
+        let n = excesses.len() as f64;
+        let mean = excesses.iter().sum::<f64>() / n;
+        let var = excesses.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        if var <= 0.0 || mean <= 0.0 {
+            return Err(TimingError::BadSample("degenerate exceedances".into()));
+        }
+        // Method of moments: xi = (1 - mean^2/var)/2, sigma = mean(1+xi)... no:
+        // standard MOM: xi = 0.5 * (1 - mean^2 / var), sigma = 0.5 * mean * (mean^2/var + 1).
+        let ratio = mean * mean / var;
+        let shape = 0.5 * (1.0 - ratio);
+        let scale = 0.5 * mean * (ratio + 1.0);
+        Ok(Gpd {
+            threshold,
+            shape,
+            scale,
+            exceed_fraction: excesses.len() as f64 / samples.len() as f64,
+        })
+    }
+
+    /// Tail exceedance probability `P(X > x)` for `x` above the
+    /// threshold, including the threshold-exceedance factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::OutOfSupport`] for `x` below the threshold.
+    pub fn exceedance(&self, x: f64) -> Result<f64, TimingError> {
+        if x < self.threshold {
+            return Err(TimingError::OutOfSupport(format!(
+                "x {x} below threshold {}",
+                self.threshold
+            )));
+        }
+        let z = (x - self.threshold) / self.scale;
+        let tail = if self.shape.abs() < 1e-9 {
+            (-z).exp()
+        } else {
+            let base = 1.0 + self.shape * z;
+            if base <= 0.0 {
+                // Finite upper endpoint exceeded: probability zero.
+                return Ok(0.0);
+            }
+            base.powf(-1.0 / self.shape)
+        };
+        Ok(self.exceed_fraction * tail)
+    }
+
+    /// The value exceeded with probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::BadConfig`] for `p` outside
+    /// `(0, exceed_fraction)` — probabilities larger than the threshold
+    /// exceedance rate are not in the modelled tail.
+    pub fn quantile_exceedance(&self, p: f64) -> Result<f64, TimingError> {
+        if !(p > 0.0 && p < self.exceed_fraction) {
+            return Err(TimingError::BadConfig(format!(
+                "exceedance {p} outside (0, {})",
+                self.exceed_fraction
+            )));
+        }
+        let ratio = p / self.exceed_fraction;
+        let z = if self.shape.abs() < 1e-9 {
+            -(ratio.ln())
+        } else {
+            (ratio.powf(-self.shape) - 1.0) / self.shape
+        };
+        Ok(self.threshold + self.scale * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_tensor::DetRng;
+
+    /// Draws from a true Gumbel(mu, beta) via inverse transform.
+    fn gumbel_sample(mu: f64, beta: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|_| {
+                let u = rng.next_f64().clamp(1e-12, 1.0 - 1e-12);
+                mu - beta * (-(u.ln())).ln()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gumbel_fit_recovers_parameters() {
+        let sample = gumbel_sample(1000.0, 50.0, 5000, 1);
+        let g = Gumbel::fit(&sample).unwrap();
+        assert!((g.mu - 1000.0).abs() < 10.0, "mu {}", g.mu);
+        assert!((g.beta - 50.0).abs() < 5.0, "beta {}", g.beta);
+    }
+
+    #[test]
+    fn gumbel_cdf_quantile_round_trip() {
+        let g = Gumbel {
+            mu: 100.0,
+            beta: 10.0,
+        };
+        for p in [0.5, 0.1, 1e-3, 1e-6, 1e-9] {
+            let x = g.quantile_exceedance(p).unwrap();
+            let back = g.exceedance(x);
+            assert!(
+                (back - p).abs() / p < 1e-6 || (back - p).abs() < 1e-12,
+                "p {p} -> x {x} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn gumbel_quantiles_monotone_in_probability() {
+        let g = Gumbel {
+            mu: 100.0,
+            beta: 10.0,
+        };
+        let x9 = g.quantile_exceedance(1e-9).unwrap();
+        let x6 = g.quantile_exceedance(1e-6).unwrap();
+        let x3 = g.quantile_exceedance(1e-3).unwrap();
+        assert!(x9 > x6 && x6 > x3);
+    }
+
+    #[test]
+    fn gumbel_fit_validation() {
+        assert!(Gumbel::fit(&[1.0; 5]).is_err());
+        assert!(Gumbel::fit(&vec![5.0; 20]).is_err()); // zero variance
+        let mut s = gumbel_sample(0.0, 1.0, 20, 2);
+        s[0] = f64::INFINITY;
+        assert!(Gumbel::fit(&s).is_err());
+        let g = Gumbel {
+            mu: 0.0,
+            beta: 1.0,
+        };
+        assert!(g.quantile_exceedance(0.0).is_err());
+        assert!(g.quantile_exceedance(1.0).is_err());
+    }
+
+    #[test]
+    fn gpd_fit_exponential_tail_gives_small_shape() {
+        // Exponential data is GPD with xi = 0.
+        let mut rng = DetRng::new(3);
+        let sample: Vec<f64> = (0..5000).map(|_| 100.0 + rng.exponential(0.1)).collect();
+        let g = Gpd::fit(&sample, 0.9).unwrap();
+        assert!(g.shape.abs() < 0.15, "shape {}", g.shape);
+        assert!((g.scale - 10.0).abs() < 2.0, "scale {}", g.scale);
+        assert!((g.exceed_fraction - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn gpd_exceedance_continuous_at_threshold() {
+        let mut rng = DetRng::new(4);
+        let sample: Vec<f64> = (0..2000).map(|_| rng.exponential(1.0)).collect();
+        let g = Gpd::fit(&sample, 0.9).unwrap();
+        let at = g.exceedance(g.threshold).unwrap();
+        assert!((at - g.exceed_fraction).abs() < 1e-9);
+        // Far above threshold: tiny.
+        let far = g.exceedance(g.threshold + 20.0 * g.scale).unwrap();
+        assert!(far < g.exceed_fraction * 1e-3);
+    }
+
+    #[test]
+    fn gpd_quantile_round_trip() {
+        let mut rng = DetRng::new(5);
+        let sample: Vec<f64> = (0..3000).map(|_| rng.exponential(0.5)).collect();
+        let g = Gpd::fit(&sample, 0.9).unwrap();
+        for p in [0.05, 0.01, 1e-4, 1e-8] {
+            let x = g.quantile_exceedance(p).unwrap();
+            let back = g.exceedance(x).unwrap();
+            assert!((back - p).abs() / p < 1e-6, "p {p} -> {back}");
+        }
+    }
+
+    #[test]
+    fn gpd_validation() {
+        let mut rng = DetRng::new(6);
+        let sample: Vec<f64> = (0..100).map(|_| rng.exponential(1.0)).collect();
+        assert!(Gpd::fit(&sample, 0.4).is_err());
+        assert!(Gpd::fit(&sample[..20], 0.9).is_err());
+        let g = Gpd::fit(&sample, 0.8).unwrap();
+        assert!(g.exceedance(g.threshold - 1.0).is_err());
+        assert!(g.quantile_exceedance(0.5).is_err()); // above exceed_fraction
+    }
+
+    #[test]
+    fn gpd_bounded_tail_detected() {
+        // Uniform data has a finite endpoint: xi < 0.
+        let mut rng = DetRng::new(7);
+        let sample: Vec<f64> = (0..5000).map(|_| rng.range_f64(0.0, 1.0)).collect();
+        let g = Gpd::fit(&sample, 0.9).unwrap();
+        assert!(g.shape < 0.0, "shape {}", g.shape);
+        // Beyond the endpoint the exceedance is exactly zero.
+        let endpoint = g.threshold - g.scale / g.shape;
+        assert_eq!(g.exceedance(endpoint + 1.0).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Independence and identical-distribution admissibility tests.
+//!
+//! MBPTA is only sound on samples that behave as i.i.d. draws; the
+//! industrial protocol runs exactly these checks before any EVT fit. All
+//! tests are two-sided at a configurable significance level and are pure
+//! functions of the sample — no randomness, identical verdicts every run.
+
+use crate::error::TimingError;
+
+/// The outcome of one statistical test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestOutcome {
+    /// The test statistic value.
+    pub statistic: f64,
+    /// The critical value the statistic was compared against.
+    pub critical: f64,
+    /// Whether the sample passed (failed to reject the null hypothesis).
+    pub passed: bool,
+}
+
+/// Wald-Wolfowitz runs test for randomness around the median.
+///
+/// Counts maximal runs of above/below-median values; too few runs means
+/// trending, too many means oscillation. Normal approximation, two-sided.
+///
+/// # Errors
+///
+/// Returns [`TimingError::BadSample`] for fewer than 20 samples,
+/// non-finite values, or a degenerate (near-constant) sample, and
+/// [`TimingError::BadConfig`] for a silly alpha.
+pub fn runs_test(samples: &[f64], alpha: f64) -> Result<TestOutcome, TimingError> {
+    validate(samples, 20)?;
+    let z_crit = z_quantile_two_sided(alpha)?;
+    let median = median_of(samples);
+    // Classify, dropping exact-median points (standard practice).
+    let signs: Vec<bool> = samples
+        .iter()
+        .filter(|&&x| x != median)
+        .map(|&x| x > median)
+        .collect();
+    let n1 = signs.iter().filter(|&&s| s).count() as f64;
+    let n2 = signs.iter().filter(|&&s| !s).count() as f64;
+    if n1 < 5.0 || n2 < 5.0 {
+        return Err(TimingError::BadSample(
+            "runs test needs at least 5 values on each side of the median".into(),
+        ));
+    }
+    let mut runs = 1u64;
+    for w in signs.windows(2) {
+        if w[0] != w[1] {
+            runs += 1;
+        }
+    }
+    let n = n1 + n2;
+    let expected = 2.0 * n1 * n2 / n + 1.0;
+    let variance = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n) / (n * n * (n - 1.0));
+    let z = (runs as f64 - expected) / variance.sqrt();
+    Ok(TestOutcome {
+        statistic: z,
+        critical: z_crit,
+        passed: z.abs() <= z_crit,
+    })
+}
+
+/// Ljung-Box test for autocorrelation up to the given lag.
+///
+/// `Q = n(n+2) Σ r_k² / (n-k)` compared to the `1-alpha` chi-square
+/// quantile with `lags` degrees of freedom (Wilson-Hilferty
+/// approximation).
+///
+/// # Errors
+///
+/// Returns [`TimingError::BadSample`] for samples shorter than
+/// `3 * lags` or degenerate samples, [`TimingError::BadConfig`] for zero
+/// lags or bad alpha.
+pub fn ljung_box(samples: &[f64], lags: usize, alpha: f64) -> Result<TestOutcome, TimingError> {
+    if lags == 0 {
+        return Err(TimingError::BadConfig("lags must be non-zero".into()));
+    }
+    validate(samples, 3 * lags.max(7))?;
+    check_alpha(alpha)?;
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum();
+    if var <= 0.0 {
+        return Err(TimingError::BadSample("constant sample".into()));
+    }
+    let mut q = 0.0f64;
+    for k in 1..=lags {
+        let mut acov = 0.0f64;
+        for i in k..samples.len() {
+            acov += (samples[i] - mean) * (samples[i - k] - mean);
+        }
+        let r = acov / var;
+        q += r * r / (n - k as f64);
+    }
+    q *= n * (n + 2.0);
+    let critical = chi_square_quantile(lags as f64, 1.0 - alpha);
+    Ok(TestOutcome {
+        statistic: q,
+        critical,
+        passed: q <= critical,
+    })
+}
+
+/// Two-sample Kolmogorov-Smirnov test between the first and second half
+/// of the sample — the standard "identically distributed over time"
+/// check.
+///
+/// # Errors
+///
+/// Returns [`TimingError::BadSample`] for fewer than 40 samples or
+/// non-finite values, [`TimingError::BadConfig`] for bad alpha.
+pub fn ks_two_halves(samples: &[f64], alpha: f64) -> Result<TestOutcome, TimingError> {
+    validate(samples, 40)?;
+    check_alpha(alpha)?;
+    let mid = samples.len() / 2;
+    let mut a: Vec<f64> = samples[..mid].to_vec();
+    let mut b: Vec<f64> = samples[mid..].to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    // Sweep both ECDFs.
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < a.len() && j < b.len() {
+        let x = a[i].min(b[j]);
+        while i < a.len() && a[i] <= x {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / a.len() as f64;
+        let fb = j as f64 / b.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let n = a.len() as f64;
+    let m = b.len() as f64;
+    // c(alpha) = sqrt(-ln(alpha/2)/2).
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    let critical = c * ((n + m) / (n * m)).sqrt();
+    Ok(TestOutcome {
+        statistic: d,
+        critical,
+        passed: d <= critical,
+    })
+}
+
+/// Combined admissibility report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IidReport {
+    /// Runs test outcome.
+    pub runs: TestOutcome,
+    /// Ljung-Box outcome (lag 10 by default in [`check_iid`]).
+    pub ljung_box: TestOutcome,
+    /// Two-half KS outcome.
+    pub ks: TestOutcome,
+}
+
+impl IidReport {
+    /// Whether all three tests passed.
+    pub fn admissible(&self) -> bool {
+        self.runs.passed && self.ljung_box.passed && self.ks.passed
+    }
+}
+
+/// Runs the full admissibility battery at the given significance level
+/// (Ljung-Box at lag 10).
+///
+/// # Errors
+///
+/// Propagates individual test failures.
+pub fn check_iid(samples: &[f64], alpha: f64) -> Result<IidReport, TimingError> {
+    Ok(IidReport {
+        runs: runs_test(samples, alpha)?,
+        ljung_box: ljung_box(samples, 10, alpha)?,
+        ks: ks_two_halves(samples, alpha)?,
+    })
+}
+
+fn validate(samples: &[f64], min: usize) -> Result<(), TimingError> {
+    if samples.len() < min {
+        return Err(TimingError::BadSample(format!(
+            "need at least {min} samples, got {}",
+            samples.len()
+        )));
+    }
+    if samples.iter().any(|x| !x.is_finite()) {
+        return Err(TimingError::BadSample("non-finite samples".into()));
+    }
+    Ok(())
+}
+
+fn check_alpha(alpha: f64) -> Result<(), TimingError> {
+    if !(alpha > 0.0 && alpha < 0.5) {
+        return Err(TimingError::BadConfig(format!(
+            "alpha {alpha} outside (0, 0.5)"
+        )));
+    }
+    Ok(())
+}
+
+fn median_of(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn z_quantile_two_sided(alpha: f64) -> Result<f64, TimingError> {
+    check_alpha(alpha)?;
+    // Acklam-style rational approximation of the standard normal
+    // quantile at 1 - alpha/2 (accurate to ~1e-4, ample for testing).
+    Ok(normal_quantile(1.0 - alpha / 2.0))
+}
+
+/// Standard normal quantile via the Beasley-Springer-Moro approximation.
+fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
+    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const C: [f64; 9] = [
+        0.3374754822726147,
+        0.9761690190917186,
+        0.1607979714918209,
+        0.0276438810333863,
+        0.0038405729373609,
+        0.0003951896511919,
+        0.0000321767881768,
+        0.0000002888167364,
+        0.0000003960315187,
+    ];
+    let y = p - 0.5;
+    if y.abs() < 0.42 {
+        let r = y * y;
+        y * (((A[3] * r + A[2]) * r + A[1]) * r + A[0])
+            / ((((B[3] * r + B[2]) * r + B[1]) * r + B[0]) * r + 1.0)
+    } else {
+        let r = if y > 0.0 { 1.0 - p } else { p };
+        let s = (-(r.ln())).ln();
+        let mut x = C[0];
+        let mut term = 1.0;
+        for &c in &C[1..] {
+            term *= s;
+            x += c * term;
+        }
+        if y < 0.0 {
+            -x
+        } else {
+            x
+        }
+    }
+}
+
+/// Chi-square quantile via the Wilson-Hilferty approximation.
+fn chi_square_quantile(dof: f64, p: f64) -> f64 {
+    let z = normal_quantile(p);
+    let a = 2.0 / (9.0 * dof);
+    dof * (1.0 - a + z * a.sqrt()).powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_tensor::DetRng;
+
+    fn iid_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = DetRng::new(seed);
+        (0..n).map(|_| rng.gaussian(100.0, 10.0)).collect()
+    }
+
+    #[test]
+    fn iid_sample_passes_all() {
+        let s = iid_sample(500, 1);
+        let report = check_iid(&s, 0.05).unwrap();
+        assert!(report.runs.passed, "{:?}", report.runs);
+        assert!(report.ljung_box.passed, "{:?}", report.ljung_box);
+        assert!(report.ks.passed, "{:?}", report.ks);
+        assert!(report.admissible());
+    }
+
+    #[test]
+    fn trending_sample_fails_runs_or_ks() {
+        // Strong upward trend: first half systematically below second.
+        let s: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let report = check_iid(&s, 0.05).unwrap();
+        assert!(!report.admissible());
+        assert!(!report.runs.passed || !report.ks.passed);
+    }
+
+    #[test]
+    fn autocorrelated_sample_fails_ljung_box() {
+        // AR(1) with strong correlation.
+        let mut rng = DetRng::new(2);
+        let mut s = vec![0.0f64; 500];
+        for i in 1..500 {
+            s[i] = 0.9 * s[i - 1] + rng.gaussian(0.0, 1.0);
+        }
+        let out = ljung_box(&s, 10, 0.05).unwrap();
+        assert!(!out.passed, "Q = {}", out.statistic);
+    }
+
+    #[test]
+    fn oscillating_sample_fails_runs() {
+        let s: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let out = runs_test(&s, 0.05).unwrap();
+        assert!(!out.passed, "z = {}", out.statistic);
+    }
+
+    #[test]
+    fn distribution_shift_fails_ks() {
+        let mut rng = DetRng::new(3);
+        let mut s: Vec<f64> = (0..200).map(|_| rng.gaussian(100.0, 5.0)).collect();
+        s.extend((0..200).map(|_| rng.gaussian(130.0, 5.0)));
+        let out = ks_two_halves(&s, 0.05).unwrap();
+        assert!(!out.passed, "D = {}", out.statistic);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(runs_test(&[1.0; 5], 0.05).is_err());
+        assert!(runs_test(&iid_sample(100, 4), 0.9).is_err());
+        assert!(ljung_box(&iid_sample(100, 5), 0, 0.05).is_err());
+        assert!(ks_two_halves(&[1.0; 10], 0.05).is_err());
+        let mut bad = iid_sample(100, 6);
+        bad[3] = f64::NAN;
+        assert!(runs_test(&bad, 0.05).is_err());
+        // Constant sample: degenerate for runs (no values off median).
+        assert!(runs_test(&vec![5.0; 100], 0.05).is_err());
+        assert!(ljung_box(&vec![5.0; 100], 5, 0.05).is_err());
+    }
+
+    #[test]
+    fn normal_quantile_sanity() {
+        assert!((normal_quantile(0.975) - 1.9600).abs() < 0.002);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + 1.9600).abs() < 0.002);
+    }
+
+    #[test]
+    fn chi_square_quantile_sanity() {
+        // chi2(10 dof, 0.95) = 18.307
+        let q = chi_square_quantile(10.0, 0.95);
+        assert!((q - 18.307).abs() < 0.3, "{q}");
+        // chi2(1, 0.95) = 3.841
+        let q = chi_square_quantile(1.0, 0.95);
+        assert!((q - 3.841).abs() < 0.4, "{q}");
+    }
+
+    #[test]
+    fn deterministic_verdicts() {
+        let s = iid_sample(300, 7);
+        assert_eq!(check_iid(&s, 0.05).unwrap(), check_iid(&s, 0.05).unwrap());
+    }
+}

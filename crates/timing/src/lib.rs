@@ -1,0 +1,48 @@
+#![forbid(unsafe_code)]
+//! # safex-timing
+//!
+//! Measurement-Based Probabilistic Timing Analysis (MBPTA): the analysis
+//! half of pillar 4 of the SAFEXPLAIN paper — *"probabilistic timing
+//! analyses, to handle the remaining non-determinism"*.
+//!
+//! MBPTA (Cazorla, Abella et al.) bounds the execution time of software on
+//! time-randomised hardware:
+//!
+//! 1. Collect execution-time measurements (here: from `safex-platform`).
+//! 2. Check the sample is **admissible**: independent and identically
+//!    distributed ([`iid`] — runs test, Ljung-Box, two-sample
+//!    Kolmogorov-Smirnov).
+//! 3. Fit an **extreme-value distribution** to block maxima ([`evt`] —
+//!    Gumbel, plus a peaks-over-threshold GPD alternative).
+//! 4. Read the **pWCET curve** ([`pwcet`]): the execution-time bound at
+//!    any target exceedance probability (e.g. 10⁻¹² per activation), and
+//!    verify the fit upper-bounds the empirical tail.
+//!
+//! The whole protocol is packaged in [`mbpta::analyze`].
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), safex_timing::TimingError> {
+//! use safex_timing::mbpta::{analyze, MbptaConfig};
+//! use safex_tensor::DetRng;
+//!
+//! // A well-behaved synthetic measurement campaign.
+//! let mut rng = DetRng::new(9);
+//! let samples: Vec<f64> = (0..600).map(|_| 10_000.0 + rng.gaussian(0.0, 50.0).abs() * 10.0).collect();
+//! let result = analyze(&samples, &MbptaConfig::default())?;
+//! let bound = result.pwcet.bound_at(1e-9)?;
+//! assert!(bound > 10_000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod evt;
+pub mod iid;
+pub mod mbpta;
+pub mod pwcet;
+
+pub use error::TimingError;
+pub use evt::{Gpd, Gumbel};
+pub use pwcet::PwcetCurve;

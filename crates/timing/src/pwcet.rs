@@ -1,0 +1,269 @@
+//! pWCET curves: exceedance probability as a function of execution time.
+
+use crate::error::TimingError;
+use crate::evt::Gumbel;
+
+/// A probabilistic worst-case execution-time curve derived from a Gumbel
+/// fit on block maxima.
+///
+/// Semantics: the fitted distribution models the maximum of `block_size`
+/// runs; [`PwcetCurve::bound_at`] converts a *per-run* exceedance target
+/// into the corresponding bound via
+/// `P_run(X > x) = 1 − (1 − P_block(X > x))^{1/b}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PwcetCurve {
+    gumbel: Gumbel,
+    block_size: usize,
+}
+
+impl PwcetCurve {
+    /// Wraps a fitted Gumbel with its block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::BadConfig`] for a zero block size or a
+    /// non-positive scale.
+    pub fn new(gumbel: Gumbel, block_size: usize) -> Result<Self, TimingError> {
+        if block_size == 0 {
+            return Err(TimingError::BadConfig("block size must be non-zero".into()));
+        }
+        if !(gumbel.beta > 0.0 && gumbel.beta.is_finite() && gumbel.mu.is_finite()) {
+            return Err(TimingError::BadConfig(
+                "gumbel parameters must be finite with positive scale".into(),
+            ));
+        }
+        Ok(PwcetCurve { gumbel, block_size })
+    }
+
+    /// The underlying Gumbel fit.
+    pub fn gumbel(&self) -> &Gumbel {
+        &self.gumbel
+    }
+
+    /// The block size the fit was made at.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Per-run exceedance probability at execution time `x`.
+    pub fn exceedance(&self, x: f64) -> f64 {
+        let block_exceed = self.gumbel.exceedance(x);
+        // P_run = 1 - (1 - p_block)^(1/b); for tiny p this is p/b.
+        if block_exceed < 1e-12 {
+            block_exceed / self.block_size as f64
+        } else {
+            1.0 - (1.0 - block_exceed).powf(1.0 / self.block_size as f64)
+        }
+    }
+
+    /// The pWCET bound: the execution time whose per-run exceedance
+    /// probability is `p` (e.g. `1e-12`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::BadConfig`] for `p` outside `(0, 1)`.
+    pub fn bound_at(&self, p: f64) -> Result<f64, TimingError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(TimingError::BadConfig(format!(
+                "exceedance probability {p} outside (0, 1)"
+            )));
+        }
+        // Convert the per-run target to the block-level target.
+        let block_p = 1.0 - (1.0 - p).powf(self.block_size as f64);
+        // Guard against underflow for extreme p.
+        let block_p = if block_p <= 0.0 {
+            p * self.block_size as f64
+        } else {
+            block_p
+        };
+        self.gumbel.quantile_exceedance(block_p.min(1.0 - 1e-12))
+    }
+
+    /// Samples the curve at log-spaced exceedance probabilities from
+    /// `10^-1` down to `10^-max_exponent`, returning `(probability,
+    /// bound)` pairs — the series a pWCET figure plots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::BadConfig`] for a zero exponent range.
+    pub fn curve_points(&self, max_exponent: u32) -> Result<Vec<(f64, f64)>, TimingError> {
+        if max_exponent == 0 {
+            return Err(TimingError::BadConfig("max exponent must be >= 1".into()));
+        }
+        let mut points = Vec::with_capacity(max_exponent as usize);
+        for e in 1..=max_exponent {
+            let p = 10f64.powi(-(e as i32));
+            points.push((p, self.bound_at(p)?));
+        }
+        Ok(points)
+    }
+
+    /// Checks that the analytical curve upper-bounds the empirical sample
+    /// tail from the `check_from` quantile upward (the standard MBPTA
+    /// sanity check that the fit is conservative where it matters).
+    ///
+    /// Order statistics whose empirical exceedance is below
+    /// `min_exceedance` are skipped: at depths of a handful of draws the
+    /// empirical CCDF is a single-sample estimate with huge variance, so
+    /// comparing the curve against it is noise, not validation. A typical
+    /// choice is `10 / n`.
+    ///
+    /// Returns the worst (most negative) margin `bound − empirical` in
+    /// time units; a non-negative value means the curve never dips below
+    /// the (statistically meaningful) empirical tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::BadSample`] on an empty sample or
+    /// [`TimingError::BadConfig`] on a bad quantile.
+    pub fn tail_margin(
+        &self,
+        samples: &[f64],
+        check_from: f64,
+        min_exceedance: f64,
+    ) -> Result<f64, TimingError> {
+        if samples.is_empty() {
+            return Err(TimingError::BadSample("empty sample".into()));
+        }
+        if !(0.0..1.0).contains(&check_from) {
+            return Err(TimingError::BadConfig(format!(
+                "check_from {check_from} outside [0, 1)"
+            )));
+        }
+        if !(0.0..1.0).contains(&min_exceedance) {
+            return Err(TimingError::BadConfig(format!(
+                "min_exceedance {min_exceedance} outside [0, 1)"
+            )));
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let start = ((n as f64) * check_from) as usize;
+        let mut worst = f64::INFINITY;
+        for (i, &x) in sorted.iter().enumerate().skip(start) {
+            // Empirical per-run exceedance of this order statistic.
+            let p_emp = (n - i) as f64 / n as f64;
+            if p_emp <= 0.0 || p_emp < min_exceedance {
+                continue;
+            }
+            let bound = self.bound_at(p_emp.min(1.0 - 1e-9))?;
+            worst = worst.min(bound - x);
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_tensor::DetRng;
+
+    fn curve() -> PwcetCurve {
+        PwcetCurve::new(
+            Gumbel {
+                mu: 10_000.0,
+                beta: 100.0,
+            },
+            50,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        let g = Gumbel {
+            mu: 0.0,
+            beta: 1.0,
+        };
+        assert!(PwcetCurve::new(g, 0).is_err());
+        let bad = Gumbel {
+            mu: 0.0,
+            beta: -1.0,
+        };
+        assert!(PwcetCurve::new(bad, 10).is_err());
+    }
+
+    #[test]
+    fn bounds_grow_as_probability_shrinks() {
+        let c = curve();
+        let b3 = c.bound_at(1e-3).unwrap();
+        let b6 = c.bound_at(1e-6).unwrap();
+        let b12 = c.bound_at(1e-12).unwrap();
+        assert!(b3 < b6 && b6 < b12);
+        // Gumbel tail: each 10x in probability adds ~beta*ln(10) cycles.
+        let slope = (b12 - b6) / 6.0;
+        assert!((slope - 100.0 * 10f64.ln()).abs() < 20.0, "slope {slope}");
+    }
+
+    #[test]
+    fn exceedance_inverts_bound() {
+        let c = curve();
+        for p in [1e-3, 1e-6, 1e-9] {
+            let x = c.bound_at(p).unwrap();
+            let back = c.exceedance(x);
+            assert!((back - p).abs() / p < 1e-3, "p {p} -> {back}");
+        }
+    }
+
+    #[test]
+    fn curve_points_log_spaced() {
+        let c = curve();
+        let pts = c.curve_points(12).unwrap();
+        assert_eq!(pts.len(), 12);
+        assert_eq!(pts[0].0, 0.1);
+        assert_eq!(pts[11].0, 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[1].1 > w[0].1, "bounds must grow down the curve");
+        }
+        assert!(c.curve_points(0).is_err());
+    }
+
+    #[test]
+    fn tail_margin_nonnegative_for_true_model() {
+        // Sample truly Gumbel-distributed block maxima, fit, and check
+        // the fitted curve covers the empirical tail.
+        let mut rng = DetRng::new(8);
+        let block = 50usize;
+        let mut maxima = Vec::new();
+        for _ in 0..1000 {
+            let m = (0..block)
+                .map(|_| 10_000.0 + rng.exponential(0.01))
+                .fold(f64::NEG_INFINITY, f64::max);
+            maxima.push(m);
+        }
+        let g = Gumbel::fit(&maxima).unwrap();
+        let c = PwcetCurve::new(g, block).unwrap();
+        // Per-run samples for the empirical comparison. The extreme order
+        // statistics of 2000 draws have std ~ beta (= 100 cycles), so the
+        // coverage tolerance is a few beta.
+        let runs: Vec<f64> = (0..2000).map(|_| 10_000.0 + rng.exponential(0.01)).collect();
+        // Skip depths below 10 draws (single-sample noise).
+        let margin = c.tail_margin(&runs, 0.9, 10.0 / 2000.0).unwrap();
+        assert!(
+            margin > -100.0,
+            "fitted curve should approximately cover the tail: margin {margin}"
+        );
+    }
+
+    #[test]
+    fn tail_margin_validation() {
+        let c = curve();
+        assert!(c.tail_margin(&[], 0.9, 0.0).is_err());
+        assert!(c.tail_margin(&[1.0], 1.0, 0.0).is_err());
+        assert!(c.tail_margin(&[1.0], 0.5, 1.5).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let c = curve();
+        assert_eq!(c.block_size(), 50);
+        assert_eq!(c.gumbel().mu, 10_000.0);
+    }
+
+    #[test]
+    fn bound_at_validation() {
+        let c = curve();
+        assert!(c.bound_at(0.0).is_err());
+        assert!(c.bound_at(1.0).is_err());
+    }
+}

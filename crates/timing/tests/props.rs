@@ -1,0 +1,121 @@
+//! Property-based tests for the timing analysis.
+
+use proptest::prelude::*;
+use safex_tensor::DetRng;
+use safex_timing::evt::{Gpd, Gumbel};
+use safex_timing::iid::check_iid;
+use safex_timing::mbpta::{analyze, MbptaConfig};
+use safex_timing::pwcet::PwcetCurve;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gumbel exceedance is monotone decreasing in x for any parameters.
+    #[test]
+    fn gumbel_exceedance_monotone(
+        mu in -1000.0f64..1000.0,
+        beta in 0.1f64..100.0,
+        x1 in -2000.0f64..2000.0,
+        dx in 0.1f64..500.0,
+    ) {
+        let g = Gumbel { mu, beta };
+        prop_assert!(g.exceedance(x1) >= g.exceedance(x1 + dx) - 1e-15);
+    }
+
+    /// Gumbel quantile/exceedance are inverse for any parameters.
+    #[test]
+    fn gumbel_inverse_pair(
+        mu in -1000.0f64..1000.0,
+        beta in 0.1f64..100.0,
+        exp in 1u32..12,
+    ) {
+        let g = Gumbel { mu, beta };
+        let p = 10f64.powi(-(exp as i32));
+        let x = g.quantile_exceedance(p).expect("quantile");
+        let back = g.exceedance(x);
+        prop_assert!((back - p).abs() / p < 1e-6, "p {p} -> {back}");
+    }
+
+    /// Fitting recovers Gumbel parameters within tolerance for any true
+    /// parameters (inverse-transform sampling).
+    #[test]
+    fn gumbel_fit_consistent(
+        seed in any::<u64>(),
+        mu in 0.0f64..10_000.0,
+        beta in 1.0f64..200.0,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let sample: Vec<f64> = (0..2000).map(|_| {
+            let u = rng.next_f64().clamp(1e-12, 1.0 - 1e-12);
+            mu - beta * (-(u.ln())).ln()
+        }).collect();
+        let g = Gumbel::fit(&sample).expect("fit");
+        prop_assert!((g.mu - mu).abs() < beta * 0.5, "mu {} vs {mu}", g.mu);
+        prop_assert!((g.beta - beta).abs() < beta * 0.3, "beta {} vs {beta}", g.beta);
+    }
+
+    /// GPD tail exceedance is monotone decreasing above the threshold.
+    #[test]
+    fn gpd_exceedance_monotone(seed in any::<u64>(), rate in 0.01f64..2.0) {
+        let mut rng = DetRng::new(seed);
+        let sample: Vec<f64> = (0..1000).map(|_| rng.exponential(rate)).collect();
+        let g = Gpd::fit(&sample, 0.9).expect("fit");
+        let mut prev = g.exceedance(g.threshold).expect("exceedance");
+        for step in 1..20 {
+            let x = g.threshold + step as f64 * g.scale;
+            let p = g.exceedance(x).expect("exceedance");
+            prop_assert!(p <= prev + 1e-15);
+            prev = p;
+        }
+    }
+
+    /// pWCET bounds are monotone in the exceedance target for any fitted
+    /// curve.
+    #[test]
+    fn pwcet_bounds_monotone(
+        mu in 100.0f64..100_000.0,
+        beta in 0.5f64..500.0,
+        block in 2usize..100,
+    ) {
+        let curve = PwcetCurve::new(Gumbel { mu, beta }, block).expect("curve");
+        let mut prev = f64::NEG_INFINITY;
+        for exp in 1..=15 {
+            let bound = curve.bound_at(10f64.powi(-exp)).expect("bound");
+            prop_assert!(bound > prev);
+            prev = bound;
+        }
+    }
+
+    /// The full protocol succeeds on any well-behaved randomised sample
+    /// and its bound clears the sample maximum.
+    #[test]
+    fn protocol_bound_clears_hwm(seed in any::<u64>(), scale in 1.0f64..100.0) {
+        let mut rng = DetRng::new(seed);
+        let samples: Vec<f64> = (0..400)
+            .map(|_| 1000.0 + rng.exponential(1.0 / scale))
+            .collect();
+        let result = analyze(&samples, &MbptaConfig::default()).expect("analyze");
+        let hwm = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let bound = result.pwcet.bound_at(1e-12).expect("bound");
+        prop_assert!(bound > hwm, "bound {bound} vs HWM {hwm}");
+    }
+
+    /// The i.i.d. battery passes genuinely i.i.d. data for most seeds.
+    /// (Statistical tests have a false-positive rate by design, so the
+    /// property is checked in aggregate over a fixed ensemble of seeds.)
+    #[test]
+    fn iid_battery_calibrated(base_seed in 0u64..10_000) {
+        let mut passes = 0usize;
+        let ensemble = 10;
+        for i in 0..ensemble {
+            let mut rng = DetRng::new(base_seed.wrapping_mul(31).wrapping_add(i));
+            let samples: Vec<f64> = (0..300).map(|_| rng.gaussian(100.0, 10.0)).collect();
+            if check_iid(&samples, 0.05).expect("check").admissible() {
+                passes += 1;
+            }
+        }
+        // With three tests at alpha 0.05, per-sample pass probability is
+        // ~0.86+; 10 trials passing fewer than 5 would be extreme.
+        prop_assert!(passes >= 5, "only {passes}/{ensemble} passed");
+    }
+}

@@ -1,0 +1,275 @@
+//! The append-only, hash-chained evidence log.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::record::{EvidenceRecord, RecordKind, Value};
+
+/// A chain-integrity defect found by [`EvidenceChain::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainDefect {
+    /// Index of the first record whose integrity fails.
+    pub index: u64,
+    /// What failed.
+    pub reason: DefectReason,
+}
+
+/// The kind of integrity failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DefectReason {
+    /// The record's stored hash does not match its content.
+    HashMismatch,
+    /// The record's `prev_hash` does not match its predecessor's hash.
+    BrokenLink,
+    /// Indices are not consecutive from zero.
+    BadIndex,
+}
+
+impl fmt::Display for ChainDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let reason = match self.reason {
+            DefectReason::HashMismatch => "content hash mismatch",
+            DefectReason::BrokenLink => "broken predecessor link",
+            DefectReason::BadIndex => "non-consecutive index",
+        };
+        write!(f, "evidence chain defect at record {}: {reason}", self.index)
+    }
+}
+
+impl Error for ChainDefect {}
+
+/// An append-only evidence chain for one campaign/session.
+///
+/// See the crate docs for the integrity model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceChain {
+    campaign: String,
+    records: Vec<EvidenceRecord>,
+    clock: u64,
+}
+
+impl EvidenceChain {
+    /// Creates an empty chain for a named campaign.
+    pub fn new(campaign: impl Into<String>) -> Self {
+        EvidenceChain {
+            campaign: campaign.into(),
+            records: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// The campaign name.
+    pub fn campaign(&self) -> &str {
+        &self.campaign
+    }
+
+    /// Appends a record, returning its index.
+    pub fn append(&mut self, kind: RecordKind, fields: Vec<(String, Value)>) -> u64 {
+        let index = self.records.len() as u64;
+        self.clock += 1;
+        let prev_hash = self.records.last().map(|r| r.hash).unwrap_or(0);
+        let mut record = EvidenceRecord {
+            index,
+            logical_time: self.clock,
+            kind,
+            fields,
+            prev_hash,
+            hash: 0,
+        };
+        record.hash = record.computed_hash();
+        self.records.push(record);
+        index
+    }
+
+    /// The records in order.
+    pub fn records(&self) -> &[EvidenceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The hash of the latest record (the chain head), 0 when empty.
+    pub fn head_hash(&self) -> u64 {
+        self.records.last().map(|r| r.hash).unwrap_or(0)
+    }
+
+    /// Verifies the whole chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChainDefect`] found.
+    pub fn verify(&self) -> Result<(), ChainDefect> {
+        let mut prev_hash = 0u64;
+        for (i, r) in self.records.iter().enumerate() {
+            if r.index != i as u64 {
+                return Err(ChainDefect {
+                    index: i as u64,
+                    reason: DefectReason::BadIndex,
+                });
+            }
+            if r.prev_hash != prev_hash {
+                return Err(ChainDefect {
+                    index: r.index,
+                    reason: DefectReason::BrokenLink,
+                });
+            }
+            if r.hash != r.computed_hash() {
+                return Err(ChainDefect {
+                    index: r.index,
+                    reason: DefectReason::HashMismatch,
+                });
+            }
+            prev_hash = r.hash;
+        }
+        Ok(())
+    }
+
+    /// Records matching a kind, in order.
+    pub fn records_of_kind(&self, kind: RecordKind) -> Vec<&EvidenceRecord> {
+        self.records.iter().filter(|r| r.kind == kind).collect()
+    }
+
+    /// **Integrity-experiment hook**: mutates a record in place, bypassing
+    /// the append-only discipline. Exists so experiment E9 can measure
+    /// tamper detection; production code must never call it.
+    ///
+    /// Returns `false` if the index is out of range.
+    pub fn simulate_tamper<F: FnOnce(&mut EvidenceRecord)>(
+        &mut self,
+        index: usize,
+        mutate: F,
+    ) -> bool {
+        match self.records.get_mut(index) {
+            Some(r) => {
+                mutate(r);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> EvidenceChain {
+        let mut c = EvidenceChain::new("test");
+        for i in 0..n {
+            c.append(
+                RecordKind::InferencePerformed,
+                vec![("i".into(), Value::U64(i as u64))],
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn append_links_records() {
+        let c = chain(5);
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert_eq!(c.records()[0].prev_hash, 0);
+        for w in c.records().windows(2) {
+            assert_eq!(w[1].prev_hash, w[0].hash);
+        }
+        assert_eq!(c.head_hash(), c.records()[4].hash);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn logical_time_monotone() {
+        let c = chain(10);
+        for w in c.records().windows(2) {
+            assert!(w[1].logical_time > w[0].logical_time);
+        }
+    }
+
+    #[test]
+    fn tampering_content_detected() {
+        let mut c = chain(10);
+        c.simulate_tamper(4, |r| {
+            r.fields[0].1 = Value::U64(999);
+        });
+        let defect = c.verify().unwrap_err();
+        assert_eq!(defect.index, 4);
+        assert_eq!(defect.reason, DefectReason::HashMismatch);
+    }
+
+    #[test]
+    fn tampering_with_rehash_breaks_link() {
+        // An attacker who recomputes the record's own hash still breaks
+        // the successor's prev_hash link.
+        let mut c = chain(10);
+        c.simulate_tamper(4, |r| {
+            r.fields[0].1 = Value::U64(999);
+            r.hash = r.computed_hash();
+        });
+        let defect = c.verify().unwrap_err();
+        assert_eq!(defect.index, 5);
+        assert_eq!(defect.reason, DefectReason::BrokenLink);
+    }
+
+    #[test]
+    fn tampering_last_record_with_rehash_is_undetected_by_design() {
+        // The known limitation: rewriting the head and recomputing its
+        // hash verifies — unless the head hash was anchored externally.
+        let mut c = chain(3);
+        let anchored_head = c.head_hash();
+        c.simulate_tamper(2, |r| {
+            r.fields[0].1 = Value::U64(999);
+            r.hash = r.computed_hash();
+        });
+        assert!(c.verify().is_ok());
+        // The external anchor catches it.
+        assert_ne!(c.head_hash(), anchored_head);
+    }
+
+    #[test]
+    fn index_tampering_detected() {
+        let mut c = chain(5);
+        c.simulate_tamper(2, |r| r.index = 7);
+        let defect = c.verify().unwrap_err();
+        assert_eq!(defect.reason, DefectReason::BadIndex);
+    }
+
+    #[test]
+    fn records_of_kind_filters() {
+        let mut c = chain(3);
+        c.append(RecordKind::MonitorVerdict, vec![]);
+        assert_eq!(c.records_of_kind(RecordKind::InferencePerformed).len(), 3);
+        assert_eq!(c.records_of_kind(RecordKind::MonitorVerdict).len(), 1);
+        assert_eq!(c.records_of_kind(RecordKind::ModelTrained).len(), 0);
+    }
+
+    #[test]
+    fn tamper_out_of_range() {
+        let mut c = chain(2);
+        assert!(!c.simulate_tamper(9, |_| {}));
+    }
+
+    #[test]
+    fn empty_chain_verifies() {
+        let c = EvidenceChain::new("empty");
+        c.verify().unwrap();
+        assert_eq!(c.head_hash(), 0);
+        assert_eq!(c.campaign(), "empty");
+    }
+
+    #[test]
+    fn defect_display() {
+        let d = ChainDefect {
+            index: 3,
+            reason: DefectReason::BrokenLink,
+        };
+        assert!(d.to_string().contains("record 3"));
+    }
+}

@@ -1,0 +1,254 @@
+//! A minimal dependency-free JSON writer.
+//!
+//! Used to export evidence chains and experiment reports. Writing (not
+//! parsing) is all the workspace needs, and keeping the safety-critical
+//! core free of third-party serialisation code is itself part of the FUSA
+//! posture (every dependency is qualification surface).
+
+use std::collections::BTreeMap;
+
+use crate::chain::EvidenceChain;
+use crate::record::Value;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number (serialised via `f64`; NaN/inf serialise as `null` per
+    /// the JSON standard's lack of them).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministic (sorted) key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn object() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
+    /// Inserts a key into an object (no-op with a debug assertion on
+    /// non-objects).
+    pub fn set(&mut self, key: impl Into<String>, value: Json) -> &mut Self {
+        if let Json::Obj(map) = self {
+            map.insert(key.into(), value);
+        } else {
+            debug_assert!(false, "set on non-object Json");
+        }
+        self
+    }
+
+    /// Serialises to a compact string.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integers print without a fractional part.
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<&Value> for Json {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Str(s) => Json::Str(s.clone()),
+            Value::U64(n) => Json::Num(*n as f64),
+            Value::F64(n) => Json::Num(*n),
+            Value::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+/// Serialises an evidence chain to JSON (campaign, head hash, records).
+pub fn chain_to_json(chain: &EvidenceChain) -> Json {
+    let records: Vec<Json> = chain
+        .records()
+        .iter()
+        .map(|r| {
+            let mut obj = Json::object();
+            obj.set("index", Json::from(r.index))
+                .set("time", Json::from(r.logical_time))
+                .set("kind", Json::from(r.kind.tag()))
+                .set("prev_hash", Json::Str(format!("{:016x}", r.prev_hash)))
+                .set("hash", Json::Str(format!("{:016x}", r.hash)));
+            let mut fields = Json::object();
+            for (k, v) in &r.fields {
+                fields.set(k.clone(), Json::from(v));
+            }
+            obj.set("fields", fields);
+            obj
+        })
+        .collect();
+    let mut root = Json::object();
+    root.set("campaign", Json::from(chain.campaign()))
+        .set("head_hash", Json::Str(format!("{:016x}", chain.head_hash())))
+        .set("records", Json::Arr(records));
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+
+    #[test]
+    fn scalars_serialise() {
+        assert_eq!(Json::Null.to_string_compact(), "null");
+        assert_eq!(Json::Bool(true).to_string_compact(), "true");
+        assert_eq!(Json::Num(3.0).to_string_compact(), "3");
+        assert_eq!(Json::Num(3.5).to_string_compact(), "3.5");
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::from("hi").to_string_compact(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::Str("a\"b\\c\nd\te\u{1}".into());
+        assert_eq!(s.to_string_compact(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        let mut obj = Json::object();
+        obj.set("b", Json::from(2u64));
+        obj.set("a", Json::Arr(vec![Json::from(1u64), Json::from("x")]));
+        // Keys are sorted deterministically.
+        assert_eq!(obj.to_string_compact(), r#"{"a":[1,"x"],"b":2}"#);
+    }
+
+    #[test]
+    fn chain_serialises() {
+        let mut c = EvidenceChain::new("camp");
+        c.append(
+            RecordKind::ModelTrained,
+            vec![
+                ("digest".into(), Value::U64(255)),
+                ("name".into(), Value::Str("m1".into())),
+            ],
+        );
+        let json = chain_to_json(&c).to_string_compact();
+        assert!(json.contains("\"campaign\":\"camp\""));
+        assert!(json.contains("\"kind\":\"model_trained\""));
+        assert!(json.contains("\"digest\":255"));
+        assert!(json.contains("\"name\":\"m1\""));
+        assert!(json.contains("head_hash"));
+    }
+
+    #[test]
+    fn value_conversion() {
+        assert_eq!(Json::from(&Value::Bool(false)), Json::Bool(false));
+        assert_eq!(Json::from(&Value::F64(1.5)), Json::Num(1.5));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let build = || {
+            let mut o = Json::object();
+            o.set("z", Json::from(1u64));
+            o.set("a", Json::from(2u64));
+            o.set("m", Json::Null);
+            o.to_string_compact()
+        };
+        assert_eq!(build(), build());
+    }
+}

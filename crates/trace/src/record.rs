@@ -1,0 +1,257 @@
+//! Evidence records: typed provenance entries.
+
+use std::fmt;
+
+/// The artefact/event category a record documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RecordKind {
+    /// A dataset was generated (config + seed).
+    DatasetGenerated,
+    /// A model finished training.
+    ModelTrained,
+    /// A model was quantised for deployment.
+    ModelQuantized,
+    /// A supervisor/monitor was fitted or calibrated.
+    MonitorCalibrated,
+    /// One inference was performed.
+    InferencePerformed,
+    /// A monitor rendered a verdict.
+    MonitorVerdict,
+    /// A safety pattern rendered a decision.
+    PatternDecision,
+    /// An explanation was produced.
+    ExplanationProduced,
+    /// A timing analysis completed.
+    TimingAnalysis,
+    /// A verification objective changed status.
+    VerificationOutcome,
+}
+
+impl RecordKind {
+    /// Stable string tag used in hashing and JSON export.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecordKind::DatasetGenerated => "dataset_generated",
+            RecordKind::ModelTrained => "model_trained",
+            RecordKind::ModelQuantized => "model_quantized",
+            RecordKind::MonitorCalibrated => "monitor_calibrated",
+            RecordKind::InferencePerformed => "inference_performed",
+            RecordKind::MonitorVerdict => "monitor_verdict",
+            RecordKind::PatternDecision => "pattern_decision",
+            RecordKind::ExplanationProduced => "explanation_produced",
+            RecordKind::TimingAnalysis => "timing_analysis",
+            RecordKind::VerificationOutcome => "verification_outcome",
+        }
+    }
+}
+
+impl fmt::Display for RecordKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A field value in an evidence record.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An unsigned integer (ids, digests, counts).
+    U64(u64),
+    /// A float (scores, bounds).
+    F64(f64),
+    /// A boolean (verdicts).
+    Bool(bool),
+}
+
+impl Value {
+    /// Stable byte encoding for hashing.
+    pub(crate) fn hash_into(&self, h: &mut Fnv64) {
+        match self {
+            Value::Str(s) => {
+                h.write_bytes(b"s");
+                h.write_bytes(s.as_bytes());
+            }
+            Value::U64(v) => {
+                h.write_bytes(b"u");
+                h.write_u64(*v);
+            }
+            Value::F64(v) => {
+                h.write_bytes(b"f");
+                h.write_u64(v.to_bits());
+            }
+            Value::Bool(v) => {
+                h.write_bytes(b"b");
+                h.write_u64(*v as u64);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One hash-chained provenance record.
+///
+/// Construct via [`crate::chain::EvidenceChain::append`]; records are
+/// immutable once appended (the chain exposes a deliberate tamper hook for
+/// integrity experiments only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceRecord {
+    /// Position in the chain (0-based).
+    pub index: u64,
+    /// Logical timestamp (the chain's monotone counter; no wall clock).
+    pub logical_time: u64,
+    /// Record category.
+    pub kind: RecordKind,
+    /// Ordered key-value payload.
+    pub fields: Vec<(String, Value)>,
+    /// Hash of the previous record (0 for the genesis record).
+    pub prev_hash: u64,
+    /// Hash over `index || time || kind || fields || prev_hash`.
+    pub hash: u64,
+}
+
+impl EvidenceRecord {
+    /// Recomputes what this record's hash *should* be.
+    pub fn computed_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.index);
+        h.write_u64(self.logical_time);
+        h.write_bytes(self.kind.tag().as_bytes());
+        for (k, v) in &self.fields {
+            h.write_bytes(k.as_bytes());
+            v.hash_into(&mut h);
+        }
+        h.write_u64(self.prev_hash);
+        h.finish()
+    }
+
+    /// Looks up a field by key (first match).
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// FNV-1a 64-bit hasher (stable across platforms, dependency-free).
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    pub(crate) fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> EvidenceRecord {
+        let mut r = EvidenceRecord {
+            index: 3,
+            logical_time: 3,
+            kind: RecordKind::InferencePerformed,
+            fields: vec![("class".into(), Value::U64(2)), ("conf".into(), Value::F64(0.9))],
+            prev_hash: 0xdead,
+            hash: 0,
+        };
+        r.hash = r.computed_hash();
+        r
+    }
+
+    #[test]
+    fn hash_is_content_sensitive() {
+        let base = record();
+        assert_eq!(base.hash, base.computed_hash());
+        let mut tampered = base.clone();
+        tampered.fields[0].1 = Value::U64(3);
+        assert_ne!(tampered.computed_hash(), base.hash);
+        let mut tampered = base.clone();
+        tampered.prev_hash = 0xbeef;
+        assert_ne!(tampered.computed_hash(), base.hash);
+        let mut tampered = base.clone();
+        tampered.kind = RecordKind::MonitorVerdict;
+        assert_ne!(tampered.computed_hash(), base.hash);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let r = record();
+        assert_eq!(r.field("class"), Some(&Value::U64(2)));
+        assert_eq!(r.field("missing"), None);
+    }
+
+    #[test]
+    fn value_conversions_and_display() {
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(5u64).to_string(), "5");
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::from(1.5f64).to_string(), "1.5");
+    }
+
+    #[test]
+    fn kind_tags_stable() {
+        assert_eq!(RecordKind::TimingAnalysis.tag(), "timing_analysis");
+        assert_eq!(RecordKind::PatternDecision.to_string(), "pattern_decision");
+    }
+
+    #[test]
+    fn distinct_value_types_hash_differently() {
+        // Value::U64(1) vs Value::Bool(true) must not collide trivially.
+        let mut a = Fnv64::new();
+        Value::U64(1).hash_into(&mut a);
+        let mut b = Fnv64::new();
+        Value::Bool(true).hash_into(&mut b);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

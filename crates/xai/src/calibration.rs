@@ -1,0 +1,315 @@
+//! Confidence calibration: temperature scaling, ECE, Brier score.
+//!
+//! A classifier whose "90 % confident" predictions are right 90 % of the
+//! time is *calibrated*; certification arguments that consume confidence
+//! values (the trust models in [`crate::trust`], the supervisors in
+//! `safex-supervision`) are only sound on calibrated outputs. Temperature
+//! scaling (Guo et al. 2017) is the standard single-parameter fix:
+//! `softmax(z / T)` with `T` fitted on held-out data. The fit here uses
+//! deterministic golden-section search on the NLL — no randomness, same
+//! result every run.
+
+use crate::error::XaiError;
+
+/// A fitted temperature-scaling transform.
+///
+/// # Examples
+///
+/// ```
+/// use safex_xai::calibration::TemperatureScaling;
+///
+/// // Overconfident logits: large margins, sometimes wrong.
+/// let logits = vec![
+///     vec![4.0, 0.0], vec![4.2, 0.0], vec![3.8, 0.0], vec![0.0, 4.0],
+///     vec![4.0, 0.0], vec![0.1, 4.1], vec![4.0, 0.0], vec![3.9, 0.0],
+/// ];
+/// let labels = vec![0, 0, 1, 1, 0, 1, 1, 0]; // several high-margin mistakes
+/// let ts = TemperatureScaling::fit(&logits, &labels).unwrap();
+/// assert!(ts.temperature() > 1.0, "overconfident model needs T > 1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperatureScaling {
+    temperature: f64,
+}
+
+impl TemperatureScaling {
+    /// The identity transform (`T = 1`).
+    pub fn identity() -> Self {
+        TemperatureScaling { temperature: 1.0 }
+    }
+
+    /// Fits the temperature minimising NLL on validation logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XaiError::BadInput`] on empty data, length mismatch, or
+    /// out-of-range labels.
+    pub fn fit(logits: &[Vec<f32>], labels: &[usize]) -> Result<Self, XaiError> {
+        validate(logits, labels)?;
+        // Golden-section search for T in [0.05, 20] on NLL(T).
+        let nll = |t: f64| -> f64 {
+            let mut total = 0.0f64;
+            for (z, &y) in logits.iter().zip(labels) {
+                let p = softmax_at(z, t, y);
+                total += -(p.max(1e-300)).ln();
+            }
+            total
+        };
+        let (mut a, mut b) = (0.05f64, 20.0f64);
+        let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+        let mut c = b - phi * (b - a);
+        let mut d = a + phi * (b - a);
+        let mut fc = nll(c);
+        let mut fd = nll(d);
+        for _ in 0..80 {
+            if fc < fd {
+                b = d;
+                d = c;
+                fd = fc;
+                c = b - phi * (b - a);
+                fc = nll(c);
+            } else {
+                a = c;
+                c = d;
+                fc = fd;
+                d = a + phi * (b - a);
+                fd = nll(d);
+            }
+        }
+        Ok(TemperatureScaling {
+            temperature: (a + b) / 2.0,
+        })
+    }
+
+    /// The fitted temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Applies the transform: `softmax(logits / T)`.
+    pub fn apply(&self, logits: &[f32]) -> Vec<f32> {
+        let t = self.temperature;
+        let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v)) as f64;
+        let exps: Vec<f64> = logits
+            .iter()
+            .map(|&z| ((z as f64 - max) / t).exp())
+            .collect();
+        let sum: f64 = exps.iter().sum();
+        exps.iter().map(|e| (e / sum) as f32).collect()
+    }
+}
+
+fn softmax_at(logits: &[f32], t: f64, index: usize) -> f64 {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v)) as f64;
+    let mut sum = 0.0f64;
+    let mut target = 0.0f64;
+    for (i, &z) in logits.iter().enumerate() {
+        let e = ((z as f64 - max) / t).exp();
+        sum += e;
+        if i == index {
+            target = e;
+        }
+    }
+    target / sum
+}
+
+/// Expected calibration error over equal-width confidence bins.
+///
+/// `ECE = Σ_b (n_b / n) * |acc_b - conf_b|` with `bins` bins over
+/// `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`XaiError::BadInput`] on empty/mismatched data or
+/// [`XaiError::BadConfig`] for zero bins.
+pub fn expected_calibration_error(
+    probs: &[Vec<f32>],
+    labels: &[usize],
+    bins: usize,
+) -> Result<f64, XaiError> {
+    if bins == 0 {
+        return Err(XaiError::BadConfig("bins must be non-zero".into()));
+    }
+    validate(probs, labels)?;
+    let mut bin_conf = vec![0.0f64; bins];
+    let mut bin_acc = vec![0.0f64; bins];
+    let mut bin_count = vec![0usize; bins];
+    for (p, &y) in probs.iter().zip(labels) {
+        let (pred, conf) = argmax(p);
+        let mut b = (conf as f64 * bins as f64) as usize;
+        if b >= bins {
+            b = bins - 1;
+        }
+        bin_conf[b] += conf as f64;
+        bin_acc[b] += (pred == y) as u8 as f64;
+        bin_count[b] += 1;
+    }
+    let n = probs.len() as f64;
+    let mut ece = 0.0f64;
+    for b in 0..bins {
+        if bin_count[b] == 0 {
+            continue;
+        }
+        let c = bin_count[b] as f64;
+        ece += (c / n) * ((bin_acc[b] / c) - (bin_conf[b] / c)).abs();
+    }
+    Ok(ece)
+}
+
+/// Multi-class Brier score: mean squared distance between the probability
+/// vector and the one-hot label.
+///
+/// # Errors
+///
+/// Returns [`XaiError::BadInput`] on empty/mismatched data or a label out
+/// of range.
+pub fn brier_score(probs: &[Vec<f32>], labels: &[usize]) -> Result<f64, XaiError> {
+    validate(probs, labels)?;
+    let mut total = 0.0f64;
+    for (p, &y) in probs.iter().zip(labels) {
+        for (i, &pi) in p.iter().enumerate() {
+            let target = (i == y) as u8 as f64;
+            total += (pi as f64 - target).powi(2);
+        }
+    }
+    Ok(total / probs.len() as f64)
+}
+
+fn validate(vectors: &[Vec<f32>], labels: &[usize]) -> Result<(), XaiError> {
+    if vectors.is_empty() {
+        return Err(XaiError::BadInput("empty calibration data".into()));
+    }
+    if vectors.len() != labels.len() {
+        return Err(XaiError::BadInput(format!(
+            "{} vectors but {} labels",
+            vectors.len(),
+            labels.len()
+        )));
+    }
+    for (v, &y) in vectors.iter().zip(labels) {
+        if y >= v.len() {
+            return Err(XaiError::BadInput(format!(
+                "label {y} out of range for {} classes",
+                v.len()
+            )));
+        }
+        if v.iter().any(|x| !x.is_finite()) {
+            return Err(XaiError::BadInput("non-finite values".into()));
+        }
+    }
+    Ok(())
+}
+
+fn argmax(v: &[f32]) -> (usize, f32) {
+    let mut best = (0usize, f32::NEG_INFINITY);
+    for (i, &x) in v.iter().enumerate() {
+        if x > best.1 {
+            best = (i, x);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_preserves_softmax() {
+        let ts = TemperatureScaling::identity();
+        let probs = ts.apply(&[1.0, 2.0, 3.0]);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(probs[2] > probs[1]);
+        assert_eq!(ts.temperature(), 1.0);
+    }
+
+    #[test]
+    fn higher_temperature_softens() {
+        let hot = TemperatureScaling { temperature: 5.0 };
+        let cold = TemperatureScaling { temperature: 0.5 };
+        let logits = [3.0f32, 0.0];
+        let ph = hot.apply(&logits);
+        let pc = cold.apply(&logits);
+        assert!(ph[0] < pc[0], "hot {} vs cold {}", ph[0], pc[0]);
+    }
+
+    #[test]
+    fn fit_recovers_large_t_for_overconfident_model() {
+        // Model is right only 60 % of the time but logit margins are huge:
+        // optimal T must be large.
+        let mut logits = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            logits.push(vec![8.0f32, 0.0]);
+            labels.push(if i % 10 < 6 { 0 } else { 1 });
+        }
+        let ts = TemperatureScaling::fit(&logits, &labels).unwrap();
+        assert!(ts.temperature() > 3.0, "T = {}", ts.temperature());
+        // And calibration improves.
+        let before: Vec<Vec<f32>> = logits
+            .iter()
+            .map(|z| TemperatureScaling::identity().apply(z))
+            .collect();
+        let after: Vec<Vec<f32>> = logits.iter().map(|z| ts.apply(z)).collect();
+        let ece_before = expected_calibration_error(&before, &labels, 10).unwrap();
+        let ece_after = expected_calibration_error(&after, &labels, 10).unwrap();
+        assert!(
+            ece_after < ece_before / 2.0,
+            "ECE {ece_before} -> {ece_after}"
+        );
+    }
+
+    #[test]
+    fn fit_keeps_t_near_one_for_calibrated_model() {
+        // Construct a perfectly calibrated source: logit margin m gives
+        // p = sigmoid(m); choose labels to match those frequencies.
+        let mut logits = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            logits.push(vec![1.0f32, 0.0]); // p0 = sigmoid(1) = 0.731
+            labels.push(if i < 146 { 0 } else { 1 }); // 73 % class 0
+        }
+        let ts = TemperatureScaling::fit(&logits, &labels).unwrap();
+        assert!(
+            (ts.temperature() - 1.0).abs() < 0.35,
+            "T = {}",
+            ts.temperature()
+        );
+    }
+
+    #[test]
+    fn ece_zero_for_perfect_predictions() {
+        let probs = vec![vec![1.0f32, 0.0], vec![0.0, 1.0]];
+        let labels = vec![0, 1];
+        let ece = expected_calibration_error(&probs, &labels, 10).unwrap();
+        assert!(ece < 1e-9);
+    }
+
+    #[test]
+    fn ece_high_for_confident_wrong() {
+        let probs = vec![vec![1.0f32, 0.0]; 10];
+        let labels = vec![1; 10];
+        let ece = expected_calibration_error(&probs, &labels, 10).unwrap();
+        assert!((ece - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brier_extremes() {
+        let perfect = vec![vec![1.0f32, 0.0]];
+        assert_eq!(brier_score(&perfect, &[0]).unwrap(), 0.0);
+        let worst = vec![vec![1.0f32, 0.0]];
+        assert_eq!(brier_score(&worst, &[1]).unwrap(), 2.0);
+        let uniform = vec![vec![0.5f32, 0.5]];
+        assert_eq!(brier_score(&uniform, &[0]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(TemperatureScaling::fit(&[], &[]).is_err());
+        assert!(TemperatureScaling::fit(&[vec![1.0, 0.0]], &[2]).is_err());
+        assert!(expected_calibration_error(&[vec![1.0, 0.0]], &[0], 0).is_err());
+        assert!(brier_score(&[vec![1.0, 0.0]], &[0, 1]).is_err());
+        assert!(brier_score(&[vec![f32::NAN, 0.0]], &[0]).is_err());
+    }
+}

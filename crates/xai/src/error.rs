@@ -1,0 +1,56 @@
+//! Error type for the explainability crate.
+
+use std::error::Error;
+use std::fmt;
+
+use safex_nn::NnError;
+
+/// Errors produced by explainers, calibration, and trust models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum XaiError {
+    /// The model input is not image-shaped (rank-3 CHW) where an image
+    /// explainer requires it, or dimensions are otherwise unusable.
+    BadInput(String),
+    /// A configuration value is invalid.
+    BadConfig(String),
+    /// An underlying inference failure.
+    Nn(NnError),
+}
+
+impl fmt::Display for XaiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XaiError::BadInput(msg) => write!(f, "bad explainer input: {msg}"),
+            XaiError::BadConfig(msg) => write!(f, "bad explainer config: {msg}"),
+            XaiError::Nn(e) => write!(f, "inference error: {e}"),
+        }
+    }
+}
+
+impl Error for XaiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            XaiError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for XaiError {
+    fn from(e: NnError) -> Self {
+        XaiError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(XaiError::BadInput("rank".into()).to_string().contains("rank"));
+        assert!(XaiError::from(NnError::EmptyModel).source().is_some());
+        assert!(XaiError::BadConfig("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,55 @@
+#![forbid(unsafe_code)]
+//! # safex-xai
+//!
+//! Explainability and prediction-trust tooling: the analytic half of
+//! pillar 1 of the SAFEXPLAIN paper — *"DL solutions that provide
+//! end-to-end traceability, with specific approaches to explain whether
+//! predictions can be trusted"*.
+//!
+//! Four capabilities:
+//!
+//! * **Saliency explanations** ([`saliency`]): model-agnostic occlusion
+//!   sensitivity and finite-difference input gradients, both black-box
+//!   (they only call [`safex_nn::Engine::infer`], so they apply unchanged
+//!   to the quantised deployment build) and both deterministic.
+//! * **Explanation fidelity** ([`fidelity`]): because `safex-scenarios`
+//!   plants objects with known bounding boxes, explanations can be scored
+//!   objectively (pointing game, IoU of the top-saliency window) —
+//!   experiment E4.
+//! * **Confidence calibration** ([`calibration`]): temperature scaling
+//!   fitted by deterministic golden-section search, plus expected
+//!   calibration error (ECE) and Brier score — experiment E7.
+//! * **Trust models** ([`trust`]): a small logistic model mapping
+//!   per-inference signals (confidence, margin, supervisor anomaly score)
+//!   to a probability that the prediction is *correct* — the paper's
+//!   "whether predictions can be trusted" made operational.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use safex_nn::{Engine, model::ModelBuilder};
+//! use safex_tensor::{DetRng, Shape};
+//! use safex_xai::saliency::{occlusion_saliency, OcclusionConfig};
+//!
+//! let mut rng = DetRng::new(2);
+//! let model = ModelBuilder::new(Shape::chw(1, 12, 12))
+//!     .conv2d(4, 3, 1, 1, &mut rng)?.relu().flatten()
+//!     .dense(2, &mut rng)?.softmax()
+//!     .build()?;
+//! let mut engine = Engine::new(model);
+//! let input = vec![0.5f32; 144];
+//! let map = occlusion_saliency(&mut engine, &input, 0, &OcclusionConfig::default())?;
+//! assert_eq!((map.height(), map.width()), (12, 12));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod calibration;
+pub mod error;
+pub mod fidelity;
+pub mod saliency;
+pub mod trust;
+
+pub use error::XaiError;
+pub use saliency::SaliencyMap;

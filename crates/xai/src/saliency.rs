@@ -1,0 +1,698 @@
+//! Black-box saliency explainers.
+//!
+//! Both explainers only call [`Engine::infer`], so they work identically
+//! on the float and (via a thin adapter) quantised deployment builds, and
+//! they inherit the engine's determinism: the same input yields the same
+//! explanation, which is what makes explanations *evidence* rather than
+//! illustration.
+
+use safex_nn::Engine;
+use safex_scenarios::Region;
+use safex_tensor::DetRng;
+
+use crate::error::XaiError;
+
+/// A per-pixel saliency map over an `h x w` image (channel-aggregated).
+///
+/// Higher values mean the pixel contributed more to the target class
+/// score. Values are raw (not normalised); use
+/// [`SaliencyMap::normalized`] for display.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaliencyMap {
+    values: Vec<f64>,
+    height: usize,
+    width: usize,
+    target_class: usize,
+}
+
+impl SaliencyMap {
+    pub(crate) fn new(values: Vec<f64>, height: usize, width: usize, target_class: usize) -> Self {
+        debug_assert_eq!(values.len(), height * width);
+        SaliencyMap {
+            values,
+            height,
+            width,
+            target_class,
+        }
+    }
+
+    /// Map height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Map width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The class the explanation targets.
+    pub fn target_class(&self) -> usize {
+        self.target_class
+    }
+
+    /// Raw row-major values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Saliency at `(y, x)`, or `None` out of range.
+    pub fn at(&self, y: usize, x: usize) -> Option<f64> {
+        if y >= self.height || x >= self.width {
+            return None;
+        }
+        Some(self.values[y * self.width + x])
+    }
+
+    /// Location of the maximum-saliency pixel (first occurrence wins).
+    pub fn peak(&self) -> (usize, usize) {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (i, &v) in self.values.iter().enumerate() {
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        (best.0 / self.width, best.0 % self.width)
+    }
+
+    /// The `h x w` window with the largest total saliency (brute force;
+    /// fine for the small embedded-scale images this stack uses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XaiError::BadConfig`] if the window does not fit.
+    pub fn best_window(&self, h: usize, w: usize) -> Result<Region, XaiError> {
+        if h == 0 || w == 0 || h > self.height || w > self.width {
+            return Err(XaiError::BadConfig(format!(
+                "window {h}x{w} does not fit map {}x{}",
+                self.height, self.width
+            )));
+        }
+        let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+        for y0 in 0..=self.height - h {
+            for x0 in 0..=self.width - w {
+                let mut total = 0.0f64;
+                for y in y0..y0 + h {
+                    for x in x0..x0 + w {
+                        total += self.values[y * self.width + x];
+                    }
+                }
+                if total > best.2 {
+                    best = (y0, x0, total);
+                }
+            }
+        }
+        Region::new(best.0, best.1, h, w)
+            .map_err(|e| XaiError::BadConfig(format!("window construction failed: {e}")))
+    }
+
+    /// A copy rescaled to `[0, 1]` (all-equal maps become all-zero).
+    pub fn normalized(&self) -> SaliencyMap {
+        let min = self.values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let range = max - min;
+        let values = if range <= 0.0 {
+            vec![0.0; self.values.len()]
+        } else {
+            self.values.iter().map(|v| (v - min) / range).collect()
+        };
+        SaliencyMap::new(values, self.height, self.width, self.target_class)
+    }
+
+    /// Fraction of total (non-negative) saliency mass inside a region —
+    /// a concentration measure used by trust models.
+    pub fn mass_in_region(&self, region: &Region) -> f64 {
+        let total: f64 = self.values.iter().map(|v| v.max(0.0)).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut inside = 0.0f64;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if region.contains(y, x) {
+                    inside += self.values[y * self.width + x].max(0.0);
+                }
+            }
+        }
+        inside / total
+    }
+}
+
+/// Configuration for [`occlusion_saliency`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OcclusionConfig {
+    /// Side of the square occluding patch.
+    pub patch: usize,
+    /// Stride between patch positions (1 = dense).
+    pub stride: usize,
+    /// Value the patch writes over the input.
+    pub baseline: f32,
+}
+
+impl Default for OcclusionConfig {
+    fn default() -> Self {
+        OcclusionConfig {
+            patch: 3,
+            stride: 1,
+            baseline: 0.0,
+        }
+    }
+}
+
+impl OcclusionConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XaiError::BadConfig`] for zero patch/stride or a
+    /// non-finite baseline.
+    pub fn validate(&self) -> Result<(), XaiError> {
+        if self.patch == 0 || self.stride == 0 {
+            return Err(XaiError::BadConfig(
+                "patch and stride must be non-zero".into(),
+            ));
+        }
+        if !self.baseline.is_finite() {
+            return Err(XaiError::BadConfig("baseline must be finite".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Occlusion sensitivity: slides a baseline-valued patch over the image
+/// and records how much the target-class score drops at each position.
+///
+/// Saliency of a pixel is the mean score drop over all patch placements
+/// covering it. Cost: one inference per patch position.
+///
+/// # Errors
+///
+/// Returns [`XaiError::BadInput`] if the model input is not rank-3 CHW or
+/// the patch exceeds the image, [`XaiError::BadConfig`] on bad config, and
+/// propagates inference errors.
+pub fn occlusion_saliency(
+    engine: &mut Engine,
+    input: &[f32],
+    target_class: usize,
+    config: &OcclusionConfig,
+) -> Result<SaliencyMap, XaiError> {
+    config.validate()?;
+    let (channels, h, w) = image_dims(engine)?;
+    if config.patch > h || config.patch > w {
+        return Err(XaiError::BadInput(format!(
+            "patch {} exceeds image {h}x{w}",
+            config.patch
+        )));
+    }
+    let base_out = engine.infer(input)?;
+    let base_score = *base_out.get(target_class).ok_or_else(|| {
+        XaiError::BadInput(format!(
+            "target class {target_class} out of range for {} outputs",
+            base_out.len()
+        ))
+    })? as f64;
+
+    let mut drop_sum = vec![0.0f64; h * w];
+    let mut drop_count = vec![0u32; h * w];
+    let mut occluded = input.to_vec();
+    let mut y0 = 0usize;
+    while y0 + config.patch <= h {
+        let mut x0 = 0usize;
+        while x0 + config.patch <= w {
+            // Occlude.
+            for c in 0..channels {
+                for y in y0..y0 + config.patch {
+                    for x in x0..x0 + config.patch {
+                        occluded[c * h * w + y * w + x] = config.baseline;
+                    }
+                }
+            }
+            let out = engine.infer(&occluded)?;
+            let drop = base_score - out[target_class] as f64;
+            for y in y0..y0 + config.patch {
+                for x in x0..x0 + config.patch {
+                    drop_sum[y * w + x] += drop;
+                    drop_count[y * w + x] += 1;
+                }
+            }
+            // Restore.
+            for c in 0..channels {
+                for y in y0..y0 + config.patch {
+                    for x in x0..x0 + config.patch {
+                        occluded[c * h * w + y * w + x] = input[c * h * w + y * w + x];
+                    }
+                }
+            }
+            x0 += config.stride;
+        }
+        y0 += config.stride;
+    }
+    let values: Vec<f64> = drop_sum
+        .iter()
+        .zip(&drop_count)
+        .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect();
+    Ok(SaliencyMap::new(values, h, w, target_class))
+}
+
+/// Finite-difference input-gradient saliency.
+///
+/// Central differences of the target-class score with respect to every
+/// pixel, aggregated over channels by the maximum absolute gradient. Cost:
+/// two inferences per pixel per channel — acceptable at embedded image
+/// sizes and completely model-agnostic.
+///
+/// # Errors
+///
+/// Returns [`XaiError::BadInput`] on non-image models or a bad target
+/// class, [`XaiError::BadConfig`] for a non-positive epsilon, and
+/// propagates inference errors.
+pub fn gradient_saliency(
+    engine: &mut Engine,
+    input: &[f32],
+    target_class: usize,
+    epsilon: f32,
+) -> Result<SaliencyMap, XaiError> {
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(XaiError::BadConfig("epsilon must be positive".into()));
+    }
+    let (channels, h, w) = image_dims(engine)?;
+    {
+        let out = engine.infer(input)?;
+        if target_class >= out.len() {
+            return Err(XaiError::BadInput(format!(
+                "target class {target_class} out of range for {} outputs",
+                out.len()
+            )));
+        }
+    }
+    let mut values = vec![0.0f64; h * w];
+    let mut perturbed = input.to_vec();
+    for y in 0..h {
+        for x in 0..w {
+            let mut best = 0.0f64;
+            for c in 0..channels {
+                let idx = c * h * w + y * w + x;
+                perturbed[idx] = input[idx] + epsilon;
+                let plus = engine.infer(&perturbed)?[target_class] as f64;
+                perturbed[idx] = input[idx] - epsilon;
+                let minus = engine.infer(&perturbed)?[target_class] as f64;
+                perturbed[idx] = input[idx];
+                let grad = ((plus - minus) / (2.0 * epsilon as f64)).abs();
+                if grad > best {
+                    best = grad;
+                }
+            }
+            values[y * w + x] = best;
+        }
+    }
+    Ok(SaliencyMap::new(values, h, w, target_class))
+}
+
+/// Integrated gradients (Sundararajan et al. 2017) via finite
+/// differences: averages the input gradient along the straight-line path
+/// from `baseline` to the input and multiplies by `(input − baseline)`,
+/// aggregating channels by absolute attribution.
+///
+/// Satisfies completeness approximately (attributions sum to the score
+/// difference between input and baseline), which plain gradients do not.
+/// Cost: `steps × 2 × pixels × channels` inferences.
+///
+/// # Errors
+///
+/// Returns [`XaiError::BadConfig`] for zero steps or a non-positive
+/// epsilon, [`XaiError::BadInput`] on non-image models or a bad target
+/// class, and propagates inference errors.
+pub fn integrated_gradient_saliency(
+    engine: &mut Engine,
+    input: &[f32],
+    target_class: usize,
+    baseline: f32,
+    steps: usize,
+    epsilon: f32,
+) -> Result<SaliencyMap, XaiError> {
+    if steps == 0 {
+        return Err(XaiError::BadConfig("steps must be non-zero".into()));
+    }
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(XaiError::BadConfig("epsilon must be positive".into()));
+    }
+    if !baseline.is_finite() {
+        return Err(XaiError::BadConfig("baseline must be finite".into()));
+    }
+    let (channels, h, w) = image_dims(engine)?;
+    {
+        let out = engine.infer(input)?;
+        if target_class >= out.len() {
+            return Err(XaiError::BadInput(format!(
+                "target class {target_class} out of range for {} outputs",
+                out.len()
+            )));
+        }
+    }
+    // Accumulate per-element gradient averages along the path.
+    let mut grad_sum = vec![0.0f64; input.len()];
+    let mut point = vec![0.0f32; input.len()];
+    for s in 0..steps {
+        // Midpoint rule along the path.
+        let alpha = (s as f32 + 0.5) / steps as f32;
+        for (p, &x) in point.iter_mut().zip(input) {
+            *p = baseline + alpha * (x - baseline);
+        }
+        for idx in 0..input.len() {
+            let original = point[idx];
+            point[idx] = original + epsilon;
+            let plus = engine.infer(&point)?[target_class] as f64;
+            point[idx] = original - epsilon;
+            let minus = engine.infer(&point)?[target_class] as f64;
+            point[idx] = original;
+            grad_sum[idx] += (plus - minus) / (2.0 * epsilon as f64);
+        }
+    }
+    // Attribution = mean gradient x (input - baseline); aggregate
+    // channels by absolute value.
+    let mut values = vec![0.0f64; h * w];
+    for c in 0..channels {
+        for y in 0..h {
+            for x in 0..w {
+                let idx = c * h * w + y * w + x;
+                let attribution = grad_sum[idx] / steps as f64
+                    * (input[idx] - baseline) as f64;
+                values[y * w + x] += attribution.abs();
+            }
+        }
+    }
+    Ok(SaliencyMap::new(values, h, w, target_class))
+}
+
+/// RISE-style randomised-mask saliency (Petsiuk et al. 2018): scores many
+/// random binary masks by the target-class output of the masked input and
+/// credits each pixel with the score-weighted frequency of being visible.
+///
+/// Black-box, one inference per mask, and — because the masks come from
+/// an explicit [`DetRng`] — deterministic for a given seed.
+///
+/// # Errors
+///
+/// Returns [`XaiError::BadConfig`] for zero masks or a keep-probability
+/// outside `(0, 1)`, [`XaiError::BadInput`] on non-image models or a bad
+/// target class, and propagates inference errors.
+pub fn rise_saliency(
+    engine: &mut Engine,
+    input: &[f32],
+    target_class: usize,
+    masks: usize,
+    keep_probability: f64,
+    rng: &mut DetRng,
+) -> Result<SaliencyMap, XaiError> {
+    if masks == 0 {
+        return Err(XaiError::BadConfig("masks must be non-zero".into()));
+    }
+    if !(keep_probability > 0.0 && keep_probability < 1.0) {
+        return Err(XaiError::BadConfig(
+            "keep probability must be in (0, 1)".into(),
+        ));
+    }
+    let (channels, h, w) = image_dims(engine)?;
+    {
+        let out = engine.infer(input)?;
+        if target_class >= out.len() {
+            return Err(XaiError::BadInput(format!(
+                "target class {target_class} out of range for {} outputs",
+                out.len()
+            )));
+        }
+    }
+    let mut weighted = vec![0.0f64; h * w];
+    let mut exposure = vec![0.0f64; h * w];
+    let mut masked = vec![0.0f32; input.len()];
+    let mut mask = vec![false; h * w];
+    for _ in 0..masks {
+        for m in mask.iter_mut() {
+            *m = rng.chance(keep_probability);
+        }
+        for c in 0..channels {
+            for i in 0..h * w {
+                masked[c * h * w + i] = if mask[i] { input[c * h * w + i] } else { 0.0 };
+            }
+        }
+        let score = engine.infer(&masked)?[target_class] as f64;
+        for i in 0..h * w {
+            if mask[i] {
+                weighted[i] += score;
+                exposure[i] += 1.0;
+            }
+        }
+    }
+    let values: Vec<f64> = weighted
+        .iter()
+        .zip(&exposure)
+        .map(|(&wsum, &e)| if e > 0.0 { wsum / e } else { 0.0 })
+        .collect();
+    Ok(SaliencyMap::new(values, h, w, target_class))
+}
+
+fn image_dims(engine: &Engine) -> Result<(usize, usize, usize), XaiError> {
+    let shape = engine.model().input_shape();
+    if shape.rank() != 3 {
+        return Err(XaiError::BadInput(format!(
+            "image explainers need CHW input, model expects {shape}"
+        )));
+    }
+    let dims = shape.dims();
+    Ok((dims[0], dims[1], dims[2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_nn::layer::Layer;
+    use safex_nn::model::ModelBuilder;
+    use safex_tensor::{DetRng, Shape};
+
+    /// A model whose class-1 score is exactly the mean of a known pixel
+    /// block: saliency ground truth is unambiguous.
+    fn pixel_sum_engine(h: usize, w: usize, block: Region) -> Engine {
+        let mut rng = DetRng::new(0);
+        let mut model = ModelBuilder::new(Shape::chw(1, h, w))
+            .flatten()
+            .dense(2, &mut rng)
+            .unwrap()
+            .softmax()
+            .build()
+            .unwrap();
+        if let Layer::Dense(d) = &mut model.layers_mut()[1] {
+            let weights = d.weights_mut();
+            for v in weights.iter_mut() {
+                *v = 0.0;
+            }
+            // Class 1 reads the block pixels.
+            for y in block.y..block.y + block.h {
+                for x in block.x..block.x + block.w {
+                    weights[w * h + y * w + x] = 1.0;
+                }
+            }
+        }
+        Engine::new(model)
+    }
+
+    #[test]
+    fn occlusion_finds_the_informative_block() {
+        let block = Region::new(2, 3, 3, 3).unwrap();
+        let mut engine = pixel_sum_engine(10, 10, block);
+        let mut input = vec![0.0f32; 100];
+        for y in 2..5 {
+            for x in 3..6 {
+                input[y * 10 + x] = 1.0;
+            }
+        }
+        let map = occlusion_saliency(&mut engine, &input, 1, &OcclusionConfig::default())
+            .unwrap();
+        let (py, px) = map.peak();
+        assert!(block.contains(py, px), "peak ({py},{px}) outside block");
+        let best = map.best_window(3, 3).unwrap();
+        assert!(best.iou(&block) > 0.5, "window {best:?} vs {block:?}");
+    }
+
+    #[test]
+    fn gradient_finds_the_informative_block() {
+        let block = Region::new(1, 1, 2, 2).unwrap();
+        let mut engine = pixel_sum_engine(8, 8, block);
+        let input = vec![0.25f32; 64];
+        let map = gradient_saliency(&mut engine, &input, 1, 1e-2).unwrap();
+        let (py, px) = map.peak();
+        assert!(block.contains(py, px), "peak ({py},{px}) outside block");
+    }
+
+    #[test]
+    fn saliency_is_deterministic() {
+        let block = Region::new(0, 0, 2, 2).unwrap();
+        let mut engine = pixel_sum_engine(8, 8, block);
+        let input = vec![0.5f32; 64];
+        let a = occlusion_saliency(&mut engine, &input, 1, &OcclusionConfig::default()).unwrap();
+        let b = occlusion_saliency(&mut engine, &input, 1, &OcclusionConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(OcclusionConfig {
+            patch: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OcclusionConfig {
+            stride: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OcclusionConfig {
+            baseline: f32::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_non_image_models() {
+        let mut rng = DetRng::new(1);
+        let model = ModelBuilder::new(Shape::vector(4))
+            .dense(2, &mut rng)
+            .unwrap()
+            .softmax()
+            .build()
+            .unwrap();
+        let mut engine = Engine::new(model);
+        assert!(matches!(
+            occlusion_saliency(&mut engine, &[0.0; 4], 0, &OcclusionConfig::default()),
+            Err(XaiError::BadInput(_))
+        ));
+        assert!(matches!(
+            gradient_saliency(&mut engine, &[0.0; 4], 0, 1e-2),
+            Err(XaiError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_target_class() {
+        let block = Region::new(0, 0, 2, 2).unwrap();
+        let mut engine = pixel_sum_engine(8, 8, block);
+        let input = vec![0.5f32; 64];
+        assert!(occlusion_saliency(&mut engine, &input, 9, &OcclusionConfig::default())
+            .is_err());
+        assert!(gradient_saliency(&mut engine, &input, 9, 1e-2).is_err());
+        assert!(gradient_saliency(&mut engine, &input, 0, 0.0).is_err());
+    }
+
+    #[test]
+    fn map_accessors() {
+        let map = SaliencyMap::new(vec![0.0, 1.0, 2.0, 3.0], 2, 2, 0);
+        assert_eq!(map.at(1, 1), Some(3.0));
+        assert_eq!(map.at(2, 0), None);
+        assert_eq!(map.peak(), (1, 1));
+        assert_eq!(map.target_class(), 0);
+        let norm = map.normalized();
+        assert_eq!(norm.values(), &[0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0]);
+    }
+
+    #[test]
+    fn normalized_flat_map_is_zero() {
+        let map = SaliencyMap::new(vec![2.0; 4], 2, 2, 0);
+        assert!(map.normalized().values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mass_in_region() {
+        let map = SaliencyMap::new(vec![1.0, 0.0, 0.0, 3.0], 2, 2, 0);
+        let r = Region::new(1, 1, 1, 1).unwrap();
+        assert_eq!(map.mass_in_region(&r), 0.75);
+        // Negative values do not contribute mass.
+        let map = SaliencyMap::new(vec![-5.0, 0.0, 0.0, 1.0], 2, 2, 0);
+        assert_eq!(map.mass_in_region(&r), 1.0);
+        // All-zero map: zero mass.
+        let map = SaliencyMap::new(vec![0.0; 4], 2, 2, 0);
+        assert_eq!(map.mass_in_region(&r), 0.0);
+    }
+
+    #[test]
+    fn best_window_validation() {
+        let map = SaliencyMap::new(vec![0.0; 4], 2, 2, 0);
+        assert!(map.best_window(0, 1).is_err());
+        assert!(map.best_window(3, 1).is_err());
+        assert!(map.best_window(2, 2).is_ok());
+    }
+
+    #[test]
+    fn integrated_gradients_find_the_block() {
+        let block = Region::new(1, 1, 2, 2).unwrap();
+        let mut engine = pixel_sum_engine(6, 6, block);
+        let mut input = vec![0.1f32; 36];
+        for y in 1..3 {
+            for x in 1..3 {
+                input[y * 6 + x] = 0.9;
+            }
+        }
+        let map =
+            integrated_gradient_saliency(&mut engine, &input, 1, 0.0, 4, 1e-2).unwrap();
+        let (py, px) = map.peak();
+        assert!(block.contains(py, px), "peak ({py},{px}) outside block");
+    }
+
+    #[test]
+    fn integrated_gradients_validation() {
+        let block = Region::new(0, 0, 2, 2).unwrap();
+        let mut engine = pixel_sum_engine(6, 6, block);
+        let input = vec![0.5f32; 36];
+        assert!(integrated_gradient_saliency(&mut engine, &input, 1, 0.0, 0, 1e-2).is_err());
+        assert!(integrated_gradient_saliency(&mut engine, &input, 1, 0.0, 4, 0.0).is_err());
+        assert!(
+            integrated_gradient_saliency(&mut engine, &input, 1, f32::NAN, 4, 1e-2).is_err()
+        );
+        assert!(integrated_gradient_saliency(&mut engine, &input, 9, 0.0, 4, 1e-2).is_err());
+    }
+
+    #[test]
+    fn rise_finds_the_block() {
+        let block = Region::new(2, 2, 3, 3).unwrap();
+        let mut engine = pixel_sum_engine(8, 8, block);
+        let mut input = vec![0.0f32; 64];
+        for y in 2..5 {
+            for x in 2..5 {
+                input[y * 8 + x] = 1.0;
+            }
+        }
+        let mut rng = DetRng::new(3);
+        let map = rise_saliency(&mut engine, &input, 1, 400, 0.5, &mut rng).unwrap();
+        let (py, px) = map.peak();
+        assert!(block.contains(py, px), "peak ({py},{px}) outside block");
+    }
+
+    #[test]
+    fn rise_deterministic_per_seed() {
+        let block = Region::new(0, 0, 2, 2).unwrap();
+        let mut engine = pixel_sum_engine(6, 6, block);
+        let input = vec![0.4f32; 36];
+        let a = rise_saliency(&mut engine, &input, 1, 50, 0.5, &mut DetRng::new(9)).unwrap();
+        let b = rise_saliency(&mut engine, &input, 1, 50, 0.5, &mut DetRng::new(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rise_validation() {
+        let block = Region::new(0, 0, 2, 2).unwrap();
+        let mut engine = pixel_sum_engine(6, 6, block);
+        let input = vec![0.4f32; 36];
+        let mut rng = DetRng::new(1);
+        assert!(rise_saliency(&mut engine, &input, 1, 0, 0.5, &mut rng).is_err());
+        assert!(rise_saliency(&mut engine, &input, 1, 10, 0.0, &mut rng).is_err());
+        assert!(rise_saliency(&mut engine, &input, 1, 10, 1.0, &mut rng).is_err());
+        assert!(rise_saliency(&mut engine, &input, 9, 10, 0.5, &mut rng).is_err());
+    }
+}

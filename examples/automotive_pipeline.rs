@@ -1,0 +1,120 @@
+//! Experiment E6: criticality vs overhead — the SIL ladder on one
+//! automotive function.
+//!
+//! Assembles the recommended pipeline at every SIL for the same trained
+//! perception function and drives each through the same nominal + shifted
+//! + fault-free streams, reporting behaviour and cost side by side. Then
+//! prices each pattern in platform cycles by measuring its channel
+//! evaluations on the simulated platform.
+//!
+//! Run with: `cargo run --release --example automotive_pipeline`
+
+use safexplain::core::assemble::{self, AssemblySpec};
+use safexplain::core::report::CertificationReport;
+use safexplain::demo;
+use safexplain::patterns::Sil;
+use safexplain::platform::platform::{Platform, PlatformConfig};
+use safexplain::platform::TraceProgram;
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::scenarios::shift::Shift;
+use safexplain::tensor::DetRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = DetRng::new(11);
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 50,
+            ..Default::default()
+        },
+        &mut rng,
+    )?;
+    let (train, test) = data.split(0.7, &mut rng)?;
+    let model_a = demo::train_mlp(&train, 50, 7)?;
+    let model_b = demo::train_mlp(&train, 50, 8)?;
+    let shifted = Shift::GaussianNoise(1.0).apply(&test, &mut rng)?;
+
+    // Per-inference platform cost of one model evaluation (mean cycles on
+    // the time-randomised platform).
+    let program = TraceProgram::from_model(&model_a, 512);
+    let platform = Platform::new(PlatformConfig::time_randomized())?;
+    let cycles = platform.measure(&program, 50, &mut DetRng::new(3))?;
+    let cycles_per_eval = cycles.iter().sum::<f64>() / cycles.len() as f64;
+
+    println!("== E6: criticality ladder — behaviour and overhead per SIL ==");
+    println!(
+        "function: automotive perception; {} test frames nominal + {} heavily-noised",
+        test.len(),
+        shifted.len()
+    );
+    println!("platform cost of one channel evaluation: {cycles_per_eval:.0} cycles (mean)");
+    println!();
+    println!(
+        "{:<5} {:<17} {:>9} {:>12} {:>13} {:>10} {:>14}",
+        "SIL", "pattern", "nom-acc", "nom-conserv", "shift-conserv", "cost/dec", "cycles/dec"
+    );
+
+    for sil in Sil::ALL {
+        let spec = AssemblySpec {
+            sil,
+            fallback_class: 0,
+            confidence_floor: 0.45,
+            input_range: (-0.5, 1.6),
+            ..Default::default()
+        };
+        let mut pipeline = assemble::for_sil(
+            &format!("perception-{sil}"),
+            &spec,
+            &[model_a.clone(), model_b.clone()],
+            &train.inputs_owned(),
+            &train.labels(),
+        )?;
+
+        let mut nominal_correct = 0usize;
+        let mut total_cost = 0u64;
+        for s in test.samples() {
+            let d = pipeline.decide(&s.input)?;
+            total_cost += u64::from(d.channel_evals);
+            if d.action.is_proceed() && d.action.class() == Some(s.label) {
+                nominal_correct += 1;
+            }
+        }
+        let nominal_conservative = pipeline.conservative_count();
+
+        for s in shifted.samples() {
+            let d = pipeline.decide(&s.input)?;
+            total_cost += u64::from(d.channel_evals);
+        }
+        let shift_conservative = pipeline.conservative_count() - nominal_conservative;
+
+        let decisions = pipeline.decision_count();
+        let cost_per_dec = total_cost as f64 / decisions as f64;
+        println!(
+            "{:<5} {:<17} {:>8.0}% {:>11.0}% {:>12.0}% {:>10.2} {:>14.0}",
+            sil.to_string(),
+            pipeline.pattern_name(),
+            100.0 * nominal_correct as f64 / test.len() as f64,
+            100.0 * nominal_conservative as f64 / test.len() as f64,
+            100.0 * shift_conservative as f64 / shifted.len() as f64,
+            cost_per_dec,
+            cost_per_dec * cycles_per_eval
+        );
+
+        pipeline.verify_evidence()?;
+        if sil == Sil::Sil4 {
+            let report = CertificationReport::from_pipeline(&pipeline)
+                .with_pwcet(1e-12, cycles_per_eval * 3.0 * 1.5)
+                .with_note("cycles budget = 3 channel evals x 1.5 pWCET margin");
+            println!();
+            println!("SIL4 certification report:");
+            println!("{}", report.to_json().to_string_compact());
+        }
+    }
+    println!();
+    println!("expected shape: cost/decision rises up the ladder. The supervisor-gated");
+    println!("simplex and the input-envelope safety bag both reject the shifted stream");
+    println!("wholesale. Note the 2oo3 voter's 0% shift rejection: redundancy defends");
+    println!("against *channel faults*, not out-of-distribution inputs (the replicated");
+    println!("channels are all fooled the same way) -- which is exactly why SAFEXPLAIN");
+    println!("pairs redundancy patterns with supervisors rather than choosing one.");
+    Ok(())
+}

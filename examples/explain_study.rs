@@ -1,0 +1,177 @@
+//! Experiments E4 + E7: explanation fidelity and confidence calibration.
+//!
+//! E4: scores occlusion and gradient saliency explanations against the
+//! scenario generator's ground-truth object locations (pointing game,
+//! best-window IoU, mass concentration), as a function of model accuracy.
+//!
+//! E7: measures expected calibration error and Brier score before and
+//! after temperature scaling, and fits a trust model predicting
+//! per-prediction correctness.
+//!
+//! Run with: `cargo run --release --example explain_study`
+
+use safexplain::demo;
+use safexplain::nn::Engine;
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::supervision::observation::observe;
+use safexplain::supervision::supervisor::{Mahalanobis, Supervisor};
+use safexplain::tensor::DetRng;
+use safexplain::xai::calibration::{brier_score, expected_calibration_error, TemperatureScaling};
+use safexplain::xai::fidelity;
+use safexplain::xai::saliency::{gradient_saliency, occlusion_saliency, OcclusionConfig};
+use safexplain::xai::trust::TrustModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = DetRng::new(31);
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 50,
+            ..Default::default()
+        },
+        &mut rng,
+    )?;
+    let (train, test) = data.split(0.7, &mut rng)?;
+
+    println!("== E4: explanation fidelity vs model quality ==");
+    println!(
+        "{:<7} {:<9} {:<10} {:>14} {:>9} {:>9}",
+        "epochs", "test-acc", "explainer", "pointing-game", "IoU", "mass"
+    );
+    for &epochs in &[5usize, 60] {
+        let model = demo::train_mlp(&train, epochs, 7)?;
+        let mut engine = Engine::new(model);
+        let acc = demo::accuracy(&mut engine, &test)?;
+        // Score explanations on object-bearing test samples (cap for time).
+        let subjects: Vec<_> = test
+            .samples()
+            .iter()
+            .filter(|s| s.salient.is_some())
+            .take(30)
+            .collect();
+        let mut occ_pairs = Vec::new();
+        let mut grad_pairs = Vec::new();
+        for s in &subjects {
+            let truth = s.salient.expect("filtered");
+            let occ =
+                occlusion_saliency(&mut engine, &s.input, s.label, &OcclusionConfig::default())?;
+            occ_pairs.push((occ, truth));
+            let grad = gradient_saliency(&mut engine, &s.input, s.label, 0.05)?;
+            grad_pairs.push((grad, truth));
+        }
+        let occ_report = fidelity::evaluate_batch(&occ_pairs)?;
+        let grad_report = fidelity::evaluate_batch(&grad_pairs)?;
+        println!(
+            "{:<7} {:<9.2} {:<10} {:>13.0}% {:>9.2} {:>9.2}",
+            epochs, acc, "occlusion", occ_report.pointing_game * 100.0, occ_report.mean_iou,
+            occ_report.mean_mass
+        );
+        println!(
+            "{:<7} {:<9} {:<10} {:>13.0}% {:>9.2} {:>9.2}",
+            "", "", "gradient", grad_report.pointing_game * 100.0, grad_report.mean_iou,
+            grad_report.mean_mass
+        );
+    }
+    println!();
+    println!("expected shape: fidelity rises with model accuracy; occlusion dominates");
+    println!("finite-difference gradients (which are noisy at f32 resolution), and");
+    println!("occlusion clears the ~20% random-pointing baseline by a wide margin.");
+    println!();
+
+    // E7: calibration.
+    println!("== E7: confidence calibration ==");
+    let model = demo::train_mlp(&train, 60, 7)?;
+    let mut engine = Engine::new(model);
+    // Collect logits + labels on a calibration split and a test split.
+    let (cal, eval) = test.split(0.5, &mut rng)?;
+    let collect = |engine: &mut Engine,
+                   data: &safexplain::scenarios::Dataset|
+     -> Result<(Vec<Vec<f32>>, Vec<usize>), Box<dyn std::error::Error>> {
+        let mut logits = Vec::new();
+        let mut labels = Vec::new();
+        for s in data.samples() {
+            let obs = observe(engine, &s.input)?;
+            logits.push(obs.logits.clone());
+            labels.push(s.label);
+        }
+        Ok((logits, labels))
+    };
+    let (cal_logits, cal_labels) = collect(&mut engine, &cal)?;
+    let (eval_logits, eval_labels) = collect(&mut engine, &eval)?;
+
+    let identity = TemperatureScaling::identity();
+    let fitted = TemperatureScaling::fit(&cal_logits, &cal_labels)?;
+    println!("fitted temperature: {:.3}", fitted.temperature());
+    println!(
+        "{:<22} {:>8} {:>8}",
+        "transform", "ECE", "Brier"
+    );
+    for (name, ts) in [("identity (T=1)", identity), ("temperature-scaled", fitted)] {
+        let probs: Vec<Vec<f32>> = eval_logits.iter().map(|z| ts.apply(z)).collect();
+        let ece = expected_calibration_error(&probs, &eval_labels, 10)?;
+        let brier = brier_score(&probs, &eval_labels)?;
+        println!("{:<22} {:>8.3} {:>8.3}", name, ece, brier);
+    }
+    println!();
+
+    // Trust model: predict correctness from (confidence, margin, anomaly).
+    println!("== E7b: trust model (P(prediction correct)) ==");
+    let mut mahalanobis = Mahalanobis::new();
+    let mut train_obs = Vec::new();
+    for s in train.samples() {
+        train_obs.push(observe(&mut engine, &s.input)?);
+    }
+    mahalanobis.fit(&train_obs, &train.labels())?;
+    let featurise = |engine: &mut Engine,
+                     data: &safexplain::scenarios::Dataset|
+     -> Result<(Vec<Vec<f64>>, Vec<bool>), Box<dyn std::error::Error>> {
+        let mut feats = Vec::new();
+        let mut correct = Vec::new();
+        for s in data.samples() {
+            let obs = observe(engine, &s.input)?;
+            let margin = {
+                let mut v = obs.logits.clone();
+                v.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                (v[0] - v[1]) as f64
+            };
+            feats.push(vec![
+                obs.confidence() as f64,
+                margin,
+                mahalanobis.score(&obs)?,
+            ]);
+            correct.push(obs.predicted_class() == s.label);
+        }
+        Ok((feats, correct))
+    };
+    let (train_feats, train_correct) = featurise(&mut engine, &cal)?;
+    let trust = TrustModel::fit(&train_feats, &train_correct, 400, 0.5)?;
+    let (eval_feats, eval_correct) = featurise(&mut engine, &eval)?;
+    // Correlation between trust score and actual correctness.
+    let trust_scores: Vec<f64> = eval_feats
+        .iter()
+        .map(|f| trust.trust(f))
+        .collect::<Result<Vec<_>, _>>()?;
+    let correct_f: Vec<f64> = eval_correct.iter().map(|&c| c as u8 as f64).collect();
+    let corr = safexplain::tensor::stats::pearson(&trust_scores, &correct_f)?;
+    let mean_trust_correct: f64 = trust_scores
+        .iter()
+        .zip(&eval_correct)
+        .filter(|(_, &c)| c)
+        .map(|(t, _)| *t)
+        .sum::<f64>()
+        / eval_correct.iter().filter(|&&c| c).count().max(1) as f64;
+    let mean_trust_wrong: f64 = trust_scores
+        .iter()
+        .zip(&eval_correct)
+        .filter(|(_, &c)| !c)
+        .map(|(t, _)| *t)
+        .sum::<f64>()
+        / eval_correct.iter().filter(|&&c| !c).count().max(1) as f64;
+    println!("trust-correctness correlation: {corr:.3}");
+    println!(
+        "mean trust on correct predictions: {mean_trust_correct:.3}; on wrong: {mean_trust_wrong:.3}"
+    );
+    println!();
+    println!("expected shape: temperature scaling reduces ECE; trust scores separate");
+    println!("correct from incorrect predictions (positive correlation, gap in means).");
+    Ok(())
+}

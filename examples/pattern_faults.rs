@@ -1,0 +1,237 @@
+//! Experiment E3: safety patterns under channel-fault injection.
+//!
+//! Wraps the trained automotive classifier in a fault injector (silent
+//! wrong answers, stuck-at outputs, detectable crashes) and measures, per
+//! safety pattern: hazard coverage (faulted decisions that did NOT lead to
+//! an acted-on wrong class), availability (fraction of nominal proceeds),
+//! false-trip rate (conservative decisions with no fault present), and
+//! evaluation cost.
+//!
+//! Run with: `cargo run --release --example pattern_faults`
+
+use safexplain::demo;
+use safexplain::nn::{Engine, QEngine, QModel};
+use safexplain::patterns::channel::{Channel, ConstantChannel, ModelChannel, QuantChannel};
+use safexplain::patterns::fault::{FaultModel, FaultyChannel, InjectedFault};
+use safexplain::patterns::pattern::{
+    Bare, MonitorActuator, SafetyBag, SafetyPattern, TwoOutOfThree,
+};
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::scenarios::Dataset;
+use safexplain::tensor::DetRng;
+
+/// Builds the faulty primary channel for one trial.
+fn faulty_primary(
+    model: &safexplain::nn::Model,
+    fault: FaultModel,
+    classes: usize,
+    seed: u64,
+) -> Box<FaultyChannel> {
+    let inner = ModelChannel::new("primary", Engine::new(model.clone()));
+    Box::new(
+        FaultyChannel::new(Box::new(inner), fault, classes, DetRng::new(seed))
+            .expect("valid fault model"),
+    )
+}
+
+struct Tally {
+    decisions: u64,
+    hazards: u64,     // fault present AND wrong class acted on
+    faults: u64,      // faults injected
+    false_trips: u64, // conservative with no fault present
+    clean: u64,       // decisions with no fault present
+    proceeds_ok: u64, // correct nominal proceeds
+    cost: u64,
+}
+
+fn run_pattern(
+    mut pattern: Box<dyn SafetyPattern>,
+    injector_stats: impl Fn() -> InjectedFault,
+    data: &Dataset,
+    rounds: usize,
+) -> Result<Tally, Box<dyn std::error::Error>> {
+    let mut t = Tally {
+        decisions: 0,
+        hazards: 0,
+        faults: 0,
+        false_trips: 0,
+        clean: 0,
+        proceeds_ok: 0,
+        cost: 0,
+    };
+    for _ in 0..rounds {
+        for s in data.samples() {
+            let d = pattern.decide(&s.input)?;
+            let fault = injector_stats();
+            let faulted = fault != InjectedFault::None;
+            t.decisions += 1;
+            t.cost += u64::from(d.total_cost());
+            if faulted {
+                t.faults += 1;
+                // Hazard: the system acted on a class different from the
+                // truth while a fault was active.
+                if let Some(class) = d.action.class() {
+                    if d.action.is_proceed() && class != s.label {
+                        t.hazards += 1;
+                    }
+                }
+            } else {
+                t.clean += 1;
+                if d.action.is_conservative() {
+                    t.false_trips += 1;
+                } else if d.action.class() == Some(s.label) {
+                    t.proceeds_ok += 1;
+                }
+            }
+        }
+    }
+    Ok(t)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = DetRng::new(55);
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 30,
+            ..Default::default()
+        },
+        &mut rng,
+    )?;
+    let (train, test) = data.split(0.7, &mut rng)?;
+    let model = demo::train_mlp(&train, 40, 7)?;
+    let model_b = demo::train_mlp(&train, 40, 8)?; // diverse second opinion
+    let classes = data.classes();
+    let fault = FaultModel {
+        wrong_class: 0.06,
+        stuck: 0.02,
+        crash: 0.02,
+    };
+    let rounds = 20;
+
+    println!("== E3: safety patterns under fault injection ==");
+    println!(
+        "fault model per decision: wrong-class 6%, stuck 2%, crash 2% (total {:.0}%)",
+        fault.total() * 100.0
+    );
+    println!("{} test frames x {} rounds", test.len(), rounds);
+    println!();
+    println!(
+        "{:<18} {:>9} {:>10} {:>11} {:>11} {:>9}",
+        "pattern", "hazards", "coverage", "false-trip", "avail(ok)", "cost/dec"
+    );
+
+    // Shared injector-bookkeeping: each pattern gets its own injector; we
+    // thread `last_fault` out through a RefCell captured by the closure.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Wraps a faulty channel so the latest injected fault is observable
+    /// from outside the pattern.
+    struct Reporting {
+        inner: FaultyChannel,
+        last: Rc<RefCell<InjectedFault>>,
+    }
+    impl Channel for Reporting {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn decide(
+            &mut self,
+            input: &[f32],
+        ) -> Result<safexplain::patterns::channel::ChannelVerdict, safexplain::patterns::PatternError>
+        {
+            let r = self.inner.decide(input);
+            *self.last.borrow_mut() = self.inner.last_fault();
+            r
+        }
+    }
+
+    let build_reporting = |seed: u64| -> (Box<dyn Channel>, Rc<RefCell<InjectedFault>>) {
+        let cell = Rc::new(RefCell::new(InjectedFault::None));
+        let faulty = faulty_primary(&model, fault, classes, seed);
+        (
+            Box::new(Reporting {
+                inner: *faulty,
+                last: cell.clone(),
+            }),
+            cell,
+        )
+    };
+
+    let mut rows: Vec<(String, Tally)> = Vec::new();
+
+    // Bare.
+    let (ch, cell) = build_reporting(1);
+    let tally = run_pattern(
+        Box::new(Bare::new(ch)),
+        move || *cell.borrow(),
+        &test,
+        rounds,
+    )?;
+    rows.push(("bare".into(), tally));
+
+    // Monitor-actuator (confidence floor 0.6).
+    let (ch, cell) = build_reporting(2);
+    let tally = run_pattern(
+        Box::new(MonitorActuator::new(ch, 0.6, 0)?),
+        move || *cell.borrow(),
+        &test,
+        rounds,
+    )?;
+    rows.push(("monitor_actuator".into(), tally));
+
+    // Safety bag: veto when the proposal contradicts a brightness rule
+    // (an object proposal with an almost-dark frame is implausible).
+    let (ch, cell) = build_reporting(3);
+    let bag = SafetyBag::new(
+        ch,
+        Box::new(|input: &[f32], class| {
+            let bright = input.iter().filter(|&&p| p > 0.6).count();
+            // Claiming an object with no bright pixels is implausible.
+            class == 0 || bright >= 4
+        }),
+    );
+    let tally = run_pattern(Box::new(bag), move || *cell.borrow(), &test, rounds)?;
+    rows.push(("safety_bag".into(), tally));
+
+    // 2oo3: faulty primary + quantised twin + diverse second model.
+    let (ch, cell) = build_reporting(4);
+    let qtwin = QuantChannel::new("quant", QEngine::new(QModel::quantize(&model)?));
+    let diverse = ModelChannel::new("diverse", Engine::new(model_b.clone()));
+    let voter = TwoOutOfThree::new(ch, Box::new(qtwin), Box::new(diverse))?;
+    let tally = run_pattern(Box::new(voter), move || *cell.borrow(), &test, rounds)?;
+    rows.push(("two_out_of_three".into(), tally));
+
+    // Fallback-only reference (never hazards, never available).
+    let cell = Rc::new(RefCell::new(InjectedFault::None));
+    let c2 = cell.clone();
+    let tally = run_pattern(
+        Box::new(Bare::new(Box::new(ConstantChannel::new("always-safe", 0)))),
+        move || *c2.borrow(),
+        &test,
+        rounds,
+    )?;
+    drop(cell);
+    rows.push(("constant-fallback".into(), tally));
+
+    for (name, t) in &rows {
+        let coverage = if t.faults == 0 {
+            1.0
+        } else {
+            1.0 - t.hazards as f64 / t.faults as f64
+        };
+        println!(
+            "{:<18} {:>9} {:>9.1}% {:>10.1}% {:>10.1}% {:>9.2}",
+            name,
+            t.hazards,
+            coverage * 100.0,
+            100.0 * t.false_trips as f64 / t.clean.max(1) as f64,
+            100.0 * t.proceeds_ok as f64 / t.clean.max(1) as f64,
+            t.cost as f64 / t.decisions as f64
+        );
+    }
+    println!();
+    println!("expected shape: hazard coverage bare < monitor/bag < 2oo3; cost rises");
+    println!("with sophistication; false trips price the monitors' aggressiveness.");
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Experiment E1: out-of-distribution supervisor quality vs training
+//! quality — the reproduction of the consortium's supervisor studies
+//! (Henriksson et al., SEAA 2019 / IST 2020).
+//!
+//! Trains the automotive classifier to increasing quality levels and, at
+//! each level, evaluates four supervisors (plus their ensemble) on
+//! separating in-distribution test frames from shifted frames. Prints the
+//! AUROC / TPR@FPR5% / FPR@TPR95% table.
+//!
+//! Run with: `cargo run --release --example supervisor_study`
+
+use safexplain::demo;
+use safexplain::nn::Engine;
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::scenarios::shift::Shift;
+use safexplain::scenarios::Dataset;
+use safexplain::supervision::ensemble::ScoreEnsemble;
+use safexplain::supervision::observation::{observe, Observation};
+use safexplain::supervision::roc;
+use safexplain::supervision::supervisor::{
+    LogitMargin, Mahalanobis, Reconstruction, SoftmaxThreshold, Supervisor,
+};
+use safexplain::tensor::DetRng;
+
+fn observations(
+    engine: &mut Engine,
+    data: &Dataset,
+) -> Result<Vec<Observation>, Box<dyn std::error::Error>> {
+    let mut out = Vec::with_capacity(data.len());
+    for s in data.samples() {
+        out.push(observe(engine, &s.input)?);
+    }
+    Ok(out)
+}
+
+fn scores(
+    sup: &dyn Supervisor,
+    obs: &[Observation],
+) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    Ok(obs
+        .iter()
+        .map(|o| sup.score(o))
+        .collect::<Result<Vec<_>, _>>()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = DetRng::new(41);
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 60,
+            ..Default::default()
+        },
+        &mut rng,
+    )?;
+    let (train, test) = data.split(0.7, &mut rng)?;
+    let ood = Shift::GaussianNoise(0.5).apply(&test, &mut rng)?;
+
+    println!("== E1: supervisor quality vs training quality ==");
+    println!("scenario: automotive; OOD shift: gaussian noise sigma=0.5");
+    println!();
+    println!(
+        "{:<7} {:<9} {:<18} {:>7} {:>10} {:>11}",
+        "epochs", "test-acc", "supervisor", "AUROC", "TPR@FPR5%", "FPR@TPR95%"
+    );
+
+    for &epochs in &[1usize, 5, 20, 60] {
+        let model = demo::train_mlp(&train, epochs, 7)?;
+        let mut engine = Engine::new(model);
+        let acc = demo::accuracy(&mut engine, &test)?;
+
+        let train_obs = observations(&mut engine, &train)?;
+        let id_obs = observations(&mut engine, &test)?;
+        let ood_obs = observations(&mut engine, &ood)?;
+        let labels = train.labels();
+
+        let mut mahalanobis = Mahalanobis::new();
+        mahalanobis.fit(&train_obs, &labels)?;
+        let mut reconstruction = Reconstruction::new(8)?;
+        reconstruction.fit(&train_obs, &labels)?;
+
+        let supervisors: Vec<Box<dyn Supervisor>> = vec![
+            Box::new(SoftmaxThreshold::new()),
+            Box::new(LogitMargin::new()),
+            Box::new(mahalanobis.clone()),
+            Box::new(reconstruction.clone()),
+        ];
+        let ensemble = ScoreEnsemble::fit(
+            vec![
+                Box::new(SoftmaxThreshold::new()),
+                Box::new(LogitMargin::new()),
+                Box::new(mahalanobis),
+                Box::new(reconstruction),
+            ],
+            &train_obs,
+        )?;
+
+        let mut rows: Vec<(&str, roc::RocSummary)> = Vec::new();
+        for sup in &supervisors {
+            let id_scores = scores(sup.as_ref(), &id_obs)?;
+            let ood_scores = scores(sup.as_ref(), &ood_obs)?;
+            rows.push((sup.name(), roc::summarize(&id_scores, &ood_scores)?));
+        }
+        let id_scores = scores(&ensemble, &id_obs)?;
+        let ood_scores = scores(&ensemble, &ood_obs)?;
+        rows.push((ensemble.name(), roc::summarize(&id_scores, &ood_scores)?));
+
+        for (i, (name, s)) in rows.iter().enumerate() {
+            let (ec, ac) = if i == 0 {
+                (format!("{epochs}"), format!("{:.2}", acc))
+            } else {
+                (String::new(), String::new())
+            };
+            println!(
+                "{:<7} {:<9} {:<18} {:>7.3} {:>10.3} {:>11.3}",
+                ec, ac, name, s.auroc, s.tpr_at_fpr5, s.fpr_at_tpr95
+            );
+        }
+        println!();
+    }
+    println!("expected shape: distance-based supervisors (mahalanobis, reconstruction)");
+    println!("detect covariate shift near-perfectly at every training level, while the");
+    println!("softmax/logit baselines are weak and can even be anti-correlated -- the");
+    println!("overconfidence-on-OOD failure the supervisor literature documents.");
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Experiments E2 + E8: MBPTA pWCET curves and co-runner interference.
+//!
+//! Compiles a convolutional inference workload to a memory trace, measures
+//! it on four platform configurations (deterministic LRU, time-randomised,
+//! time-randomised + 3 co-runners shared vs partitioned L2), runs the
+//! MBPTA protocol on each admissible campaign, and prints the pWCET table
+//! and curve series.
+//!
+//! Run with: `cargo run --release --example timing_analysis`
+
+use safexplain::demo;
+use safexplain::platform::platform::{Platform, PlatformConfig};
+use safexplain::platform::TraceProgram;
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::tensor::stats;
+use safexplain::tensor::DetRng;
+use safexplain::timing::mbpta::{analyze, MbptaConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = DetRng::new(77);
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        },
+        &mut rng,
+    )?;
+    let model = demo::convnet_for(&data, 3)?;
+    let program = TraceProgram::from_model(&model, 512);
+    println!("== E2/E8: MBPTA timing analysis of a DL inference workload ==");
+    println!(
+        "workload: {} ({} trace ops, {} memory accesses)",
+        model.summary(),
+        program.len(),
+        program.access_count()
+    );
+    println!();
+
+    let configs: Vec<(&str, PlatformConfig)> = vec![
+        ("deterministic-lru", PlatformConfig::deterministic()),
+        ("time-randomized", PlatformConfig::time_randomized()),
+        (
+            "randomized+3corunners-shared",
+            PlatformConfig::time_randomized().with_co_runners(3),
+        ),
+        (
+            "randomized+3corunners-partitioned",
+            PlatformConfig::time_randomized().with_co_runners(3).partitioned(),
+        ),
+    ];
+
+    let runs = 600;
+    println!(
+        "{:<34} {:>10} {:>10} {:>6} {:>12} {:>12}",
+        "platform", "mean", "max(HWM)", "iid", "pWCET@1e-9", "pWCET@1e-12"
+    );
+    let mut curves = Vec::new();
+    for (name, config) in &configs {
+        let platform = Platform::new(*config)?;
+        let mut campaign_rng = DetRng::new(7);
+        let samples = platform.measure(&program, runs, &mut campaign_rng)?;
+        let summary = stats::summary(&samples)?;
+        if summary.std_dev == 0.0 {
+            println!(
+                "{:<34} {:>10.0} {:>10.0} {:>6} {:>12} {:>12}",
+                name, summary.mean, summary.max, "n/a", "=HWM", "=HWM"
+            );
+            continue;
+        }
+        let result = analyze(&samples, &MbptaConfig::default())?;
+        let b9 = result.pwcet.bound_at(1e-9)?;
+        let b12 = result.pwcet.bound_at(1e-12)?;
+        println!(
+            "{:<34} {:>10.0} {:>10.0} {:>6} {:>12.0} {:>12.0}",
+            name,
+            summary.mean,
+            summary.max,
+            if result.admissible() { "pass" } else { "FAIL" },
+            b9,
+            b12
+        );
+        curves.push((*name, result.pwcet.curve_points(12)?));
+    }
+
+    println!();
+    println!("pWCET curves (exceedance probability -> cycles):");
+    print!("{:<8}", "prob");
+    for (name, _) in &curves {
+        print!(" {:>34}", name);
+    }
+    println!();
+    if let Some((_, first)) = curves.first() {
+        for i in 0..first.len() {
+            print!("{:<8.0e}", first[i].0);
+            for (_, pts) in &curves {
+                print!(" {:>34.0}", pts[i].1);
+            }
+            println!();
+        }
+    }
+    println!();
+    println!("expected shape: deterministic platform is constant (no curve);");
+    println!("shared-cache contention inflates both mean and pWCET; partitioning");
+    println!("recovers most of the inflation. Time-randomised tails are Gumbel-bounded.");
+    Ok(())
+}

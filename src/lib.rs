@@ -1,0 +1,20 @@
+#![forbid(unsafe_code)]
+//! Umbrella crate for the SAFEXPLAIN reproduction.
+//!
+//! Re-exports every member crate under a short alias so the examples and
+//! integration tests can write `safexplain::nn::...` etc. Library users
+//! should normally depend on the individual `safex-*` crates directly.
+
+pub mod demo;
+
+pub use safex_core as core;
+pub use safex_fusa as fusa;
+pub use safex_nn as nn;
+pub use safex_patterns as patterns;
+pub use safex_platform as platform;
+pub use safex_scenarios as scenarios;
+pub use safex_supervision as supervision;
+pub use safex_tensor as tensor;
+pub use safex_timing as timing;
+pub use safex_trace as trace;
+pub use safex_xai as xai;

@@ -1,0 +1,150 @@
+//! Experiment E5 support: determinism and reproducibility guarantees of
+//! the DL library, measured across crates.
+
+use safexplain::demo;
+use safexplain::nn::{Engine, QEngine, QModel};
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::tensor::fixed::Q16_16;
+use safexplain::tensor::DetRng;
+
+fn dataset(samples_per_class: usize, seed: u64) -> safexplain::scenarios::Dataset {
+    automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class,
+            ..Default::default()
+        },
+        &mut DetRng::new(seed),
+    )
+    .expect("generate")
+}
+
+#[test]
+fn float_inference_bit_identical_across_runs_and_engines() {
+    let data = dataset(5, 1);
+    let model = demo::convnet_for(&data, 9).expect("model");
+    let mut e1 = Engine::new(model.clone());
+    let mut e2 = Engine::new(model);
+    for s in data.samples() {
+        let a = e1.infer(&s.input).expect("infer").to_vec();
+        for _ in 0..3 {
+            assert_eq!(e1.infer(&s.input).expect("infer"), &a[..]);
+        }
+        assert_eq!(e2.infer(&s.input).expect("infer"), &a[..]);
+    }
+}
+
+#[test]
+fn training_reproducible_end_to_end() {
+    // Same data + same seeds -> bit-identical model, bit-identical outputs.
+    let d1 = dataset(10, 2);
+    let d2 = dataset(10, 2);
+    assert_eq!(d1, d2, "dataset generation must be reproducible");
+    let m1 = demo::train_mlp(&d1, 10, 3).expect("train");
+    let m2 = demo::train_mlp(&d2, 10, 3).expect("train");
+    assert_eq!(m1.digest(), m2.digest(), "training must be reproducible");
+
+    let mut e1 = Engine::new(m1);
+    let mut e2 = Engine::new(m2);
+    let probe = &d1.samples()[0].input;
+    assert_eq!(e1.infer(probe).expect("infer"), e2.infer(probe).expect("infer"));
+}
+
+#[test]
+fn quantised_engine_bit_exact_and_close_to_float() {
+    let data = dataset(10, 4);
+    let model = demo::train_mlp(&data, 15, 5).expect("train");
+    let qmodel = QModel::quantize(&model).expect("quantize");
+    let mut fe = Engine::new(model);
+    let mut qe1 = QEngine::new(qmodel.clone());
+    let mut qe2 = QEngine::new(qmodel);
+
+    let mut agree = 0usize;
+    let mut max_dev = 0.0f32;
+    for s in data.samples() {
+        let q: Vec<Q16_16> = s.input.iter().map(|&v| Q16_16::from_f32(v)).collect();
+        let out1: Vec<Q16_16> = qe1.infer(&q).expect("infer").to_vec();
+        let out2: Vec<Q16_16> = qe2.infer(&q).expect("infer").to_vec();
+        assert_eq!(out1, out2, "quantised engines must agree bit-exactly");
+
+        let fout = fe.infer(&s.input).expect("infer").to_vec();
+        let fclass = argmax(&fout);
+        let qclass = argmax(&out1.iter().map(|v| v.to_f32()).collect::<Vec<_>>());
+        if fclass == qclass {
+            agree += 1;
+        }
+        for (f, q) in fout.iter().zip(&out1) {
+            max_dev = max_dev.max((f - q.to_f32()).abs());
+        }
+    }
+    let rate = agree as f64 / data.len() as f64;
+    assert!(rate >= 0.95, "float/quant class agreement {rate}");
+    assert!(max_dev < 0.05, "max probability deviation {max_dev}");
+}
+
+#[test]
+fn quantisation_accuracy_cost_is_small() {
+    let mut rng = DetRng::new(6);
+    let data = dataset(20, 6);
+    let (train, test) = data.split(0.7, &mut rng).expect("split");
+    let model = demo::train_mlp(&train, 30, 7).expect("train");
+    let mut fe = Engine::new(model.clone());
+    let facc = demo::accuracy(&mut fe, &test).expect("accuracy");
+
+    let mut qe = QEngine::new(QModel::quantize(&model).expect("quantize"));
+    let mut qcorrect = 0usize;
+    for s in test.samples() {
+        let q: Vec<Q16_16> = s.input.iter().map(|&v| Q16_16::from_f32(v)).collect();
+        let (pred, _) = qe.classify(&q).expect("classify");
+        if pred == s.label {
+            qcorrect += 1;
+        }
+    }
+    let qacc = qcorrect as f64 / test.len() as f64;
+    assert!(
+        (facc - qacc).abs() <= 0.05,
+        "quantisation accuracy cost too high: float {facc} vs quant {qacc}"
+    );
+}
+
+#[test]
+fn deterministic_platform_timing_is_constant() {
+    use safexplain::platform::platform::{Platform, PlatformConfig};
+    use safexplain::platform::TraceProgram;
+
+    let data = dataset(2, 8);
+    let model = demo::convnet_for(&data, 11).expect("model");
+    let program = TraceProgram::from_model(&model, 256);
+    let platform = Platform::new(PlatformConfig::deterministic()).expect("platform");
+    let cycles = platform
+        .measure(&program, 20, &mut DetRng::new(1))
+        .expect("measure");
+    assert!(
+        cycles.windows(2).all(|w| w[0] == w[1]),
+        "deterministic platform must have zero jitter: {cycles:?}"
+    );
+}
+
+#[test]
+fn explanation_deterministic_across_runs() {
+    use safexplain::xai::saliency::{occlusion_saliency, OcclusionConfig};
+
+    let data = dataset(3, 9);
+    let model = demo::convnet_for(&data, 12).expect("model");
+    let mut engine = Engine::new(model);
+    let sample = &data.samples()[5];
+    let a = occlusion_saliency(&mut engine, &sample.input, 0, &OcclusionConfig::default())
+        .expect("saliency");
+    let b = occlusion_saliency(&mut engine, &sample.input, 0, &OcclusionConfig::default())
+        .expect("saliency");
+    assert_eq!(a, b);
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = (0usize, f32::NEG_INFINITY);
+    for (i, &x) in v.iter().enumerate() {
+        if x > best.1 {
+            best = (i, x);
+        }
+    }
+    best.0
+}

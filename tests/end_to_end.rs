@@ -1,0 +1,242 @@
+//! End-to-end integration: dataset → training → assembly → operation →
+//! evidence → report, across every SIL.
+
+use safexplain::core::assemble::{self, AssemblySpec};
+use safexplain::core::report::CertificationReport;
+use safexplain::demo;
+use safexplain::patterns::Sil;
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::scenarios::shift::Shift;
+use safexplain::tensor::DetRng;
+use safexplain::trace::record::RecordKind;
+
+type Setup = (
+    safexplain::scenarios::Dataset,
+    safexplain::scenarios::Dataset,
+    safexplain::nn::Model,
+    safexplain::nn::Model,
+);
+
+/// Training is the expensive part; do it once per test binary.
+fn setup() -> &'static Setup {
+    static SETUP: std::sync::OnceLock<Setup> = std::sync::OnceLock::new();
+    SETUP.get_or_init(build_setup)
+}
+
+fn build_setup() -> Setup {
+    let mut rng = DetRng::new(500);
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 60,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("generate");
+    let (train, test) = data.split(0.7, &mut rng).expect("split");
+    let a = demo::train_mlp(&train, 80, 17).expect("train a");
+    let b = demo::train_mlp(&train, 80, 18).expect("train b");
+    (train, test, a, b)
+}
+
+#[test]
+fn every_sil_assembles_and_operates() {
+    let (train, test, model_a, model_b) = setup().clone();
+    for sil in Sil::ALL {
+        let spec = AssemblySpec {
+            sil,
+            fallback_class: 0,
+            confidence_floor: 0.3,
+            input_range: (-1.0, 2.0),
+            ..Default::default()
+        };
+        let mut pipeline = assemble::for_sil(
+            &format!("e2e-{sil}"),
+            &spec,
+            &[model_a.clone(), model_b.clone()],
+            &train.inputs_owned(),
+            &train.labels(),
+        )
+        .unwrap_or_else(|e| panic!("assembly at {sil}: {e}"));
+
+        let mut proceeds = 0usize;
+        for s in test.samples() {
+            let d = pipeline.decide(&s.input).expect("decide");
+            if d.action.is_proceed() {
+                proceeds += 1;
+            }
+        }
+        assert!(
+            proceeds as f64 >= test.len() as f64 * 0.5,
+            "{sil}: pipeline must be mostly available on nominal data ({proceeds}/{})",
+            test.len()
+        );
+        pipeline.verify_evidence().expect("chain intact");
+        assert_eq!(pipeline.decision_count(), test.len() as u64);
+    }
+}
+
+#[test]
+fn simplex_rejects_heavy_shift_and_records_it() {
+    let (train, test, model_a, _) = setup().clone();
+    let spec = AssemblySpec {
+        sil: Sil::Sil2,
+        fallback_class: 0,
+        ..Default::default()
+    };
+    let mut pipeline = assemble::for_sil(
+        "e2e-shift",
+        &spec,
+        &[model_a],
+        &train.inputs_owned(),
+        &train.labels(),
+    )
+    .expect("assemble");
+
+    let mut rng = DetRng::new(7);
+    let shifted = Shift::GaussianNoise(1.0).apply(&test, &mut rng).expect("shift");
+    for s in shifted.samples() {
+        pipeline.decide(&s.input).expect("decide");
+    }
+    assert!(
+        pipeline.conservative_rate() > 0.9,
+        "heavy noise must be rejected: rate {}",
+        pipeline.conservative_rate()
+    );
+    // Every decision left a PatternDecision record behind the calibration
+    // and model records.
+    let chain = pipeline.evidence().expect("evidence enabled");
+    let decisions = chain.records_of_kind(RecordKind::PatternDecision);
+    assert_eq!(decisions.len(), shifted.len());
+    chain.verify().expect("intact");
+}
+
+#[test]
+fn certification_report_reflects_operation() {
+    let (train, test, model_a, _) = setup().clone();
+    let spec = AssemblySpec {
+        sil: Sil::Sil2,
+        ..Default::default()
+    };
+    let mut pipeline = assemble::for_sil(
+        "e2e-report",
+        &spec,
+        &[model_a],
+        &train.inputs_owned(),
+        &train.labels(),
+    )
+    .expect("assemble");
+    for s in test.samples().iter().take(10) {
+        pipeline.decide(&s.input).expect("decide");
+    }
+    let report = CertificationReport::from_pipeline(&pipeline)
+        .with_supervisor_auroc(0.99)
+        .with_objective_coverage(1.0);
+    let json = report.to_json().to_string_compact();
+    assert!(json.contains("\"decisions\":10"));
+    assert!(json.contains("\"pattern\":\"simplex\""));
+    assert!(json.contains("\"sil\":\"SIL2\""));
+    assert!(json.contains("\"supervisor_auroc\":0.99"));
+    // The evidence head in the report matches the live chain.
+    let head = format!("{:016x}", pipeline.evidence().expect("chain").head_hash());
+    assert!(json.contains(&head));
+}
+
+#[test]
+fn fusa_objectives_discharged_by_experiment_results() {
+    use safexplain::fusa::objective::{ObjectiveLedger, VerificationMethod};
+    use safexplain::fusa::requirement::{Registry, RequirementKind};
+
+    let (train, test, model_a, _) = setup().clone();
+    // Requirements for the function.
+    let mut reg = Registry::new();
+    let top = reg
+        .add(
+            "REQ-PER-1",
+            "classify road objects with >= 60 % accuracy in-ODD",
+            Sil::Sil2,
+            RequirementKind::Functional,
+            None,
+        )
+        .expect("add");
+    let mon = reg
+        .add(
+            "REQ-PER-2",
+            "reject out-of-ODD inputs",
+            Sil::Sil2,
+            RequirementKind::Monitoring,
+            None,
+        )
+        .expect("add");
+    let mut ledger = ObjectiveLedger::new();
+    let o_acc = ledger
+        .add(&reg, "OBJ-1", top, VerificationMethod::Test, "test-set accuracy")
+        .expect("obj");
+    let o_ood = ledger
+        .add(&reg, "OBJ-2", mon, VerificationMethod::Simulation, "shift rejection")
+        .expect("obj");
+
+    // Discharge OBJ-1 with a measured accuracy.
+    let mut engine = safexplain::nn::Engine::new(model_a.clone());
+    let acc = demo::accuracy(&mut engine, &test).expect("accuracy");
+    if acc >= 0.6 {
+        ledger.pass(o_acc, format!("accuracy {acc:.3}")).expect("pass");
+    } else {
+        ledger.fail(o_acc, format!("accuracy {acc:.3}")).expect("fail");
+    }
+
+    // Discharge OBJ-2 with the simplex shift-rejection measurement.
+    let spec = AssemblySpec {
+        sil: Sil::Sil2,
+        ..Default::default()
+    };
+    let mut pipeline = assemble::for_sil(
+        "fusa",
+        &spec,
+        &[model_a],
+        &train.inputs_owned(),
+        &train.labels(),
+    )
+    .expect("assemble");
+    let mut rng = DetRng::new(8);
+    let shifted = Shift::GaussianNoise(1.0).apply(&test, &mut rng).expect("shift");
+    for s in shifted.samples() {
+        pipeline.decide(&s.input).expect("decide");
+    }
+    if pipeline.conservative_rate() > 0.9 {
+        ledger
+            .pass(o_ood, format!("rejection {:.3}", pipeline.conservative_rate()))
+            .expect("pass");
+    }
+
+    assert_eq!(ledger.coverage(&reg), 1.0, "all requirements verified");
+    assert!(ledger.requirement_verified(top));
+    assert!(ledger.requirement_verified(mon));
+}
+
+#[test]
+fn safety_case_for_the_pipeline_is_complete() {
+    use safexplain::fusa::case::SafetyCase;
+
+    let mut case = SafetyCase::new("G1", "automotive perception is acceptably safe at SIL2");
+    let s1 = case
+        .add_strategy(case.root(), "S1", "argument over the SAFEXPLAIN pillars")
+        .expect("strategy");
+    let g_trust = case
+        .add_goal(s1, "G2", "untrustworthy predictions are detected and handled")
+        .expect("goal");
+    case.add_solution(g_trust, "Sn1", "E1 supervisor study", "supervisor_study output")
+        .expect("solution");
+    let g_pattern = case
+        .add_goal(s1, "G3", "residual channel faults are tolerated")
+        .expect("goal");
+    case.add_solution(g_pattern, "Sn2", "E3 fault-injection study", "pattern_faults output")
+        .expect("solution");
+    let g_time = case
+        .add_goal(s1, "G4", "deadline met with probabilistic guarantee")
+        .expect("goal");
+    case.add_solution(g_time, "Sn3", "E2 MBPTA analysis", "timing_analysis output")
+        .expect("solution");
+    assert!(case.is_complete(), "case:\n{case}");
+    assert!(case.render().contains("SAFEXPLAIN pillars"));
+}

@@ -1,0 +1,285 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+use safexplain::nn::model::ModelBuilder;
+use safexplain::nn::Engine;
+use safexplain::tensor::fixed::Q16_16;
+use safexplain::tensor::ops;
+use safexplain::tensor::{stats, DetRng, Shape, Tensor};
+use safexplain::supervision::drift::CusumDetector;
+use safexplain::supervision::odd::OddEnvelope;
+use safexplain::trace::record::{RecordKind, Value};
+use safexplain::trace::EvidenceChain;
+
+proptest! {
+    // ---------------- fixed point ----------------
+
+    #[test]
+    fn q16_round_trip_within_half_lsb(v in -30000.0f32..30000.0) {
+        let q = Q16_16::from_f32(v);
+        let back = q.to_f32();
+        prop_assert!((back - v).abs() <= 1.0 / 65536.0, "{v} -> {back}");
+    }
+
+    #[test]
+    fn q16_add_commutes(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let (x, y) = (Q16_16::from_f32(a), Q16_16::from_f32(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn q16_mul_commutes(a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let (x, y) = (Q16_16::from_f32(a), Q16_16::from_f32(b));
+        prop_assert_eq!(x * y, y * x);
+    }
+
+    #[test]
+    fn q16_mul_accuracy(a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let product = (Q16_16::from_f32(a) * Q16_16::from_f32(b)).to_f64();
+        let exact = a as f64 * b as f64;
+        // Error bound: quantisation of both operands plus one rounding.
+        let bound = (a.abs() as f64 + b.abs() as f64 + 1.0) / 65536.0;
+        prop_assert!((product - exact).abs() <= bound, "{a}*{b}: {product} vs {exact}");
+    }
+
+    #[test]
+    fn q16_never_panics_on_any_bits(bits_a in any::<i32>(), bits_b in any::<i32>()) {
+        let a = Q16_16::from_bits(bits_a);
+        let b = Q16_16::from_bits(bits_b);
+        let _ = a + b;
+        let _ = a - b;
+        let _ = a * b;
+        let _ = a / b;
+        let _ = -a;
+        let _ = a.saturating_abs();
+    }
+
+    // ---------------- RNG ----------------
+
+    #[test]
+    fn rng_below_always_in_bounds(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_shuffle_is_permutation(seed in any::<u64>(), n in 1usize..50) {
+        let mut rng = DetRng::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    // ---------------- tensor ops ----------------
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-30.0f32..30.0, 1..32)) {
+        let mut out = vec![0.0f32; logits.len()];
+        ops::softmax_into(&logits, &mut out).expect("softmax");
+        let total: f64 = out.iter().map(|&p| p as f64).sum();
+        prop_assert!((total - 1.0).abs() < 1e-5, "sum {total}");
+        prop_assert!(out.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(logits in prop::collection::vec(-10.0f32..10.0, 2..16)) {
+        let mut out = vec![0.0f32; logits.len()];
+        ops::softmax_into(&logits, &mut out).expect("softmax");
+        let arg = |v: &[f32]| v.iter().enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty").0;
+        prop_assert_eq!(arg(&logits), arg(&out));
+    }
+
+    #[test]
+    fn relu_idempotent(xs in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let mut once = vec![0.0f32; xs.len()];
+        ops::relu_into(&xs, &mut once).expect("relu");
+        let mut twice = vec![0.0f32; xs.len()];
+        ops::relu_into(&once, &mut twice).expect("relu");
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::new(seed);
+        let a = Tensor::gaussian(Shape::matrix(rows, cols), 0.0, 1.0, &mut rng);
+        let mut id = Tensor::zeros(Shape::matrix(cols, cols));
+        for i in 0..cols {
+            id.set(&[i, i], 1.0).expect("set");
+        }
+        let product = a.matmul(&id).expect("matmul");
+        prop_assert_eq!(product, a);
+    }
+
+    #[test]
+    fn tensor_add_commutes(seed in any::<u64>(), n in 1usize..32) {
+        let mut rng = DetRng::new(seed);
+        let a = Tensor::gaussian(Shape::vector(n), 0.0, 1.0, &mut rng);
+        let b = Tensor::gaussian(Shape::vector(n), 0.0, 1.0, &mut rng);
+        prop_assert_eq!(a.add(&b).expect("add"), b.add(&a).expect("add"));
+    }
+
+    // ---------------- stats ----------------
+
+    #[test]
+    fn quantiles_monotone(
+        xs in prop::collection::vec(-1000.0f64..1000.0, 2..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&xs, lo).expect("quantile");
+        let b = stats::quantile(&xs, hi).expect("quantile");
+        prop_assert!(a <= b, "q{lo}={a} > q{hi}={b}");
+    }
+
+    #[test]
+    fn summary_bounds_hold(xs in prop::collection::vec(-1000.0f64..1000.0, 1..100)) {
+        let s = stats::summary(&xs).expect("summary");
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    // ---------------- shapes ----------------
+
+    #[test]
+    fn shape_flat_index_bijective(
+        d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5,
+    ) {
+        let shape = Shape::new(&[d0, d1, d2]).expect("shape");
+        let mut seen = vec![false; shape.len()];
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    let flat = shape.flat_index(&[i, j, k]).expect("index");
+                    prop_assert!(!seen[flat]);
+                    seen[flat] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    // ---------------- evidence chain ----------------
+
+    #[test]
+    fn chain_always_verifies_after_appends(
+        kinds in prop::collection::vec(0usize..4, 0..30),
+    ) {
+        let mut chain = EvidenceChain::new("prop");
+        for (i, &k) in kinds.iter().enumerate() {
+            let kind = match k {
+                0 => RecordKind::InferencePerformed,
+                1 => RecordKind::MonitorVerdict,
+                2 => RecordKind::PatternDecision,
+                _ => RecordKind::TimingAnalysis,
+            };
+            chain.append(kind, vec![("i".into(), Value::U64(i as u64))]);
+        }
+        prop_assert!(chain.verify().is_ok());
+        prop_assert_eq!(chain.len(), kinds.len());
+    }
+
+    #[test]
+    fn chain_field_tamper_detected(
+        n in 2usize..20,
+        victim_frac in 0.0f64..1.0,
+    ) {
+        let mut chain = EvidenceChain::new("prop");
+        for i in 0..n {
+            chain.append(
+                RecordKind::InferencePerformed,
+                vec![("i".into(), Value::U64(i as u64))],
+            );
+        }
+        let victim = ((n as f64 - 1.0) * victim_frac) as usize;
+        chain.simulate_tamper(victim, |r| {
+            r.fields[0].1 = Value::U64(999_999);
+        });
+        prop_assert!(chain.verify().is_err());
+    }
+
+    // ---------------- engine ----------------
+
+    #[test]
+    fn engine_output_is_finite_distribution(
+        seed in any::<u64>(),
+        input in prop::collection::vec(-3.0f32..3.0, 6),
+    ) {
+        let mut rng = DetRng::new(seed);
+        let model = ModelBuilder::new(Shape::vector(6))
+            .dense(8, &mut rng).expect("dense")
+            .relu()
+            .dense(3, &mut rng).expect("dense")
+            .softmax()
+            .build().expect("build");
+        let mut engine = Engine::new(model);
+        let out = engine.infer(&input).expect("infer");
+        prop_assert!(out.iter().all(|p| p.is_finite()));
+        let total: f32 = out.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    // ---------------- ODD envelopes ----------------
+
+    #[test]
+    fn odd_envelope_contains_its_training_set(
+        seed in any::<u64>(),
+        n in 10usize..60,
+        dim in 1usize..32,
+        margin in 0.0f64..0.5,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.next_f32()).collect())
+            .collect();
+        let env = OddEnvelope::fit(&inputs, margin, 0.0).expect("fit");
+        for x in &inputs {
+            prop_assert!(env.contains(x).expect("check"));
+        }
+    }
+
+    #[test]
+    fn odd_envelope_rejects_far_points(seed in any::<u64>(), dim in 4usize..32) {
+        let mut rng = DetRng::new(seed);
+        let inputs: Vec<Vec<f32>> = (0..50)
+            .map(|_| (0..dim).map(|_| rng.next_f32()).collect())
+            .collect();
+        let env = OddEnvelope::fit(&inputs, 0.2, 0.05).expect("fit");
+        let far = vec![1000.0f32; dim];
+        prop_assert!(!env.contains(&far).expect("check"));
+    }
+
+    // ---------------- drift detection ----------------
+
+    #[test]
+    fn cusum_never_panics_and_alarms_on_large_shift(
+        seed in any::<u64>(),
+        shift_sigmas in 2.0f64..10.0,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let reference: Vec<f64> = (0..100).map(|_| rng.gaussian(5.0, 1.0)).collect();
+        // Degenerate references are rejected, not panicked on.
+        let Ok(mut det) = CusumDetector::fit(&reference, 0.5, 5.0) else {
+            return Ok(());
+        };
+        let mut alarmed = false;
+        for _ in 0..200 {
+            if det.update(5.0 + shift_sigmas).expect("update").is_drifted() {
+                alarmed = true;
+                break;
+            }
+        }
+        prop_assert!(alarmed, "a {shift_sigmas}-sigma sustained shift must alarm");
+    }
+}

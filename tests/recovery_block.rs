@@ -1,0 +1,129 @@
+//! Recovery-block integration: a trained primary, a quantised diverse
+//! alternate, and an ODD-envelope acceptance test, end to end.
+
+use safexplain::demo;
+use safexplain::nn::{Engine, QEngine, QModel};
+use safexplain::patterns::channel::{ModelChannel, QuantChannel};
+use safexplain::patterns::fault::{FaultModel, FaultyChannel};
+use safexplain::patterns::pattern::{RecoveryBlock, SafetyPattern};
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::scenarios::shift::Shift;
+use safexplain::supervision::odd::OddEnvelope;
+use safexplain::tensor::DetRng;
+
+fn setup() -> (safexplain::scenarios::Dataset, safexplain::nn::Model) {
+    let mut rng = DetRng::new(2000);
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 25,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("generate");
+    let model = demo::train_mlp(&data, 30, 7).expect("train");
+    (data, model)
+}
+
+/// Builds a recovery block whose acceptance test is an ODD envelope on
+/// the input plus a confidence floor on the proposal.
+fn build(
+    data: &safexplain::scenarios::Dataset,
+    model: &safexplain::nn::Model,
+    primary_fault: FaultModel,
+) -> RecoveryBlock {
+    let envelope = OddEnvelope::fit(&data.inputs_owned(), 0.3, 0.05).expect("fit");
+    let primary = FaultyChannel::new(
+        Box::new(ModelChannel::new("primary", Engine::new(model.clone()))),
+        primary_fault,
+        data.classes(),
+        DetRng::new(9),
+    )
+    .expect("fault model");
+    let alternate = QuantChannel::new(
+        "alternate",
+        QEngine::new(QModel::quantize(model).expect("quantize")),
+    );
+    RecoveryBlock::new(
+        Box::new(primary),
+        Box::new(alternate),
+        Box::new(move |input: &[f32], _class, conf| {
+            conf >= 0.3 && envelope.contains(input).unwrap_or(false)
+        }),
+    )
+}
+
+#[test]
+fn nominal_frames_accepted_via_primary() {
+    let (data, model) = setup();
+    let mut rb = build(&data, &model, FaultModel::none());
+    let mut proceeds = 0usize;
+    for s in data.samples() {
+        let d = rb.decide(&s.input).expect("decide");
+        if d.action.is_proceed() {
+            proceeds += 1;
+            assert_eq!(d.channel_evals, 1, "primary suffices on nominal frames");
+        }
+    }
+    assert!(
+        proceeds as f64 > data.len() as f64 * 0.7,
+        "availability on nominal data: {proceeds}/{}",
+        data.len()
+    );
+}
+
+#[test]
+fn primary_crashes_recovered_by_alternate() {
+    let (data, model) = setup();
+    // Primary always crashes; the quantised alternate carries the load.
+    let mut rb = build(
+        &data,
+        &model,
+        FaultModel {
+            wrong_class: 0.0,
+            stuck: 0.0,
+            crash: 1.0,
+        },
+    );
+    let mut recovered = 0usize;
+    let mut correct = 0usize;
+    for s in data.samples() {
+        let d = rb.decide(&s.input).expect("decide");
+        if let Some(class) = d.action.class() {
+            assert!(
+                d.action.is_conservative(),
+                "alternate results are flagged as recovery, not nominal"
+            );
+            recovered += 1;
+            if class == s.label {
+                correct += 1;
+            }
+        }
+    }
+    assert!(
+        recovered as f64 > data.len() as f64 * 0.7,
+        "alternate must keep the function available: {recovered}/{}",
+        data.len()
+    );
+    assert!(
+        correct as f64 > recovered as f64 * 0.7,
+        "recovered decisions stay accurate: {correct}/{recovered}"
+    );
+}
+
+#[test]
+fn out_of_odd_frames_rejected_by_both_paths() {
+    let (data, model) = setup();
+    let mut rb = build(&data, &model, FaultModel::none());
+    let mut rng = DetRng::new(11);
+    let shifted = Shift::Brightness(2.0).apply(&data, &mut rng).expect("shift");
+    for s in shifted.samples().iter().take(30) {
+        let d = rb.decide(&s.input).expect("decide");
+        assert_eq!(
+            d.action.class(),
+            None,
+            "far out-of-ODD input must safe-stop (both proposals fail acceptance)"
+        );
+        assert_eq!(d.channel_evals, 2, "both channels were consulted");
+    }
+}

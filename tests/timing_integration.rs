@@ -1,0 +1,139 @@
+//! Platform → timing integration: the full MBPTA flow on real DL
+//! workload traces (experiments E2/E8 support).
+
+use safexplain::demo;
+use safexplain::platform::platform::{Platform, PlatformConfig};
+use safexplain::platform::TraceProgram;
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::tensor::DetRng;
+use safexplain::timing::mbpta::{analyze, MbptaConfig};
+
+fn workload() -> TraceProgram {
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        },
+        &mut DetRng::new(1),
+    )
+    .expect("generate");
+    let model = demo::convnet_for(&data, 3).expect("model");
+    TraceProgram::from_model(&model, 256)
+}
+
+#[test]
+fn randomized_platform_yields_admissible_campaign() {
+    let platform = Platform::new(PlatformConfig::time_randomized()).expect("platform");
+    let samples = platform
+        .measure(&workload(), 400, &mut DetRng::new(2))
+        .expect("measure");
+    let result = analyze(&samples, &MbptaConfig::default()).expect("analyze");
+    assert!(
+        result.admissible(),
+        "time-randomised measurements must pass i.i.d. tests: {:?}",
+        result.iid
+    );
+    // The pWCET bound clears the high-water mark.
+    let bound = result.pwcet.bound_at(1e-12).expect("bound");
+    assert!(bound > result.high_water_mark());
+    // And the curve covers the statistically meaningful empirical tail.
+    let margin = result
+        .pwcet
+        .tail_margin(&samples, 0.9, 10.0 / samples.len() as f64)
+        .expect("margin");
+    assert!(
+        margin > -(result.gumbel.beta * 2.0),
+        "curve should cover the empirical tail: margin {margin}, beta {}",
+        result.gumbel.beta
+    );
+}
+
+#[test]
+fn interference_inflates_pwcet_and_partitioning_recovers() {
+    let program = workload();
+    let bound_for = |config: PlatformConfig| -> f64 {
+        let platform = Platform::new(config).expect("platform");
+        let samples = platform
+            .measure(&program, 400, &mut DetRng::new(3))
+            .expect("measure");
+        analyze(&samples, &MbptaConfig::default())
+            .expect("analyze")
+            .pwcet
+            .bound_at(1e-9)
+            .expect("bound")
+    };
+    let alone = bound_for(PlatformConfig::time_randomized());
+    let contended = bound_for(PlatformConfig::time_randomized().with_co_runners(3));
+    let partitioned = bound_for(
+        PlatformConfig::time_randomized()
+            .with_co_runners(3)
+            .partitioned(),
+    );
+    assert!(
+        contended > alone * 1.1,
+        "contention must inflate pWCET: {alone} -> {contended}"
+    );
+    assert!(
+        partitioned < contended,
+        "partitioning must recover: {contended} -> {partitioned}"
+    );
+}
+
+#[test]
+fn slowdown_grows_with_co_runner_count() {
+    let program = workload();
+    let mean_for = |co: usize| -> f64 {
+        let platform =
+            Platform::new(PlatformConfig::time_randomized().with_co_runners(co)).expect("p");
+        let samples = platform
+            .measure(&program, 60, &mut DetRng::new(4))
+            .expect("measure");
+        samples.iter().sum::<f64>() / samples.len() as f64
+    };
+    let means: Vec<f64> = [0usize, 1, 2, 3].iter().map(|&c| mean_for(c)).collect();
+    for w in means.windows(2) {
+        assert!(
+            w[1] > w[0],
+            "mean execution time must grow with co-runners: {means:?}"
+        );
+    }
+}
+
+#[test]
+fn deterministic_platform_fails_gumbel_fit_by_design() {
+    // Zero-variance measurements cannot (and should not) be EVT-fitted:
+    // the protocol surfaces that instead of inventing a distribution.
+    let platform = Platform::new(PlatformConfig::deterministic()).expect("platform");
+    let samples = platform
+        .measure(&workload(), 250, &mut DetRng::new(5))
+        .expect("measure");
+    let err = analyze(&samples, &MbptaConfig::default()).unwrap_err();
+    let msg = err.to_string();
+    // The rejection may surface at the admissibility battery (a constant
+    // sample has no values off the median for the runs test) or at the
+    // Gumbel fit (zero variance); either is the correct refusal.
+    assert!(
+        msg.contains("variance") || msg.contains("constant") || msg.contains("median"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn quantised_and_float_traces_have_same_shape() {
+    // The trace generator works on the architecture, not the numerics:
+    // the same model yields the same access pattern whichever engine runs
+    // it, which is what lets one timing analysis cover both builds.
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 2,
+            ..Default::default()
+        },
+        &mut DetRng::new(6),
+    )
+    .expect("generate");
+    let model = demo::convnet_for(&data, 7).expect("model");
+    let t1 = TraceProgram::from_model(&model, 128);
+    let t2 = TraceProgram::from_model(&model, 128);
+    assert_eq!(t1, t2);
+    assert!(t1.access_count() > 0);
+}
