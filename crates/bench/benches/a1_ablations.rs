@@ -44,8 +44,7 @@ fn ablate_patch_size() {
             .iter()
             .map(|s| {
                 (
-                    occlusion_saliency(&mut engine, &s.input, s.label, &config)
-                        .expect("occlusion"),
+                    occlusion_saliency(&mut engine, &s.input, s.label, &config).expect("occlusion"),
                     s.salient.expect("filtered"),
                 )
             })
@@ -68,7 +67,10 @@ fn ablate_block_size() {
         .measure(&program, 1000, &mut DetRng::new(21))
         .expect("measure");
     println!("\n=== A1b: MBPTA block size vs pWCET bound ===");
-    println!("{:<7} {:>8} {:>12} {:>12}", "block", "blocks", "pWCET@1e-9", "pWCET@1e-12");
+    println!(
+        "{:<7} {:>8} {:>12} {:>12}",
+        "block", "blocks", "pWCET@1e-9", "pWCET@1e-12"
+    );
     for block in [5usize, 10, 20, 50, 100] {
         let config = MbptaConfig {
             block_size: block,
@@ -103,7 +105,9 @@ fn ablate_target_fpr() {
         .map(|o| supervisor.score(o).expect("score"))
         .collect();
     let mut rng = DetRng::new(5);
-    let shifted = Shift::GaussianNoise(0.35).apply(test, &mut rng).expect("shift");
+    let shifted = Shift::GaussianNoise(0.35)
+        .apply(test, &mut rng)
+        .expect("shift");
 
     println!("\n=== A1c: monitor target FPR vs rejection/availability ===");
     println!(
@@ -152,8 +156,7 @@ fn ablate_explainer_family() {
         .collect();
     println!("\n=== A1d: explainer family comparison ===");
     println!("{:<22} {:>14} {:>8}", "explainer", "pointing-game", "IoU");
-    let mut rows: Vec<(&str, Vec<(safex_xai::SaliencyMap, safex_scenarios::Region)>)> =
-        Vec::new();
+    let mut rows: Vec<(&str, Vec<(safex_xai::SaliencyMap, safex_scenarios::Region)>)> = Vec::new();
     let occ: Vec<_> = subjects
         .iter()
         .map(|s| {
@@ -191,8 +194,7 @@ fn ablate_explainer_family() {
         .iter()
         .map(|s| {
             (
-                rise_saliency(&mut engine, &s.input, s.label, 500, 0.5, &mut rng)
-                    .expect("rise"),
+                rise_saliency(&mut engine, &s.input, s.label, 500, 0.5, &mut rng).expect("rise"),
                 s.salient.expect("filtered"),
             )
         })
@@ -229,8 +231,15 @@ fn bench(c: &mut Criterion) {
     group.bench_function("integrated_gradients_4steps", |b| {
         b.iter(|| {
             std::hint::black_box(
-                integrated_gradient_saliency(&mut engine, &sample.input, sample.label, 0.0, 4, 0.05)
-                    .expect("ig"),
+                integrated_gradient_saliency(
+                    &mut engine,
+                    &sample.input,
+                    sample.label,
+                    0.0,
+                    4,
+                    0.05,
+                )
+                .expect("ig"),
             )
         })
     });

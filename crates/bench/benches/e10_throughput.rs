@@ -1,0 +1,113 @@
+//! Experiment E10: batch-inference throughput — single engine vs a
+//! deterministic engine pool, plus the determinism cross-check that makes
+//! the speedup admissible (pooled outputs are bit-identical to
+//! single-threaded outputs for every worker count).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_nn::{Engine, EnginePool};
+
+const BATCH_SIZES: [usize; 3] = [64, 256, 1024];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Builds a batch by cycling the test set up to `n` inputs.
+fn batch(n: usize) -> Vec<Vec<f32>> {
+    let (_, test, _, _) = workload();
+    (0..n)
+        .map(|i| test.samples()[i % test.len()].input.clone())
+        .collect()
+}
+
+fn print_table() {
+    let (_, _, model_a, _) = workload();
+    println!("\n=== E10: batch throughput, single engine vs pool ===");
+    println!(
+        "host parallelism: {:?}",
+        std::thread::available_parallelism()
+    );
+
+    // Admissibility first: pooled outputs must be bit-identical to the
+    // sequential reference for every worker count, or the speedup column
+    // is meaningless for a safety argument.
+    let inputs = batch(256);
+    let mut reference_engine = Engine::new(model_a.clone());
+    let reference: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| reference_engine.infer(x).expect("infer").to_vec())
+        .collect();
+    for workers in WORKER_COUNTS {
+        let mut pool = EnginePool::new(model_a.clone(), workers).expect("pool");
+        let outputs = pool.infer_batch(&inputs).expect("batch");
+        assert_eq!(
+            outputs, reference,
+            "pool with {workers} workers must be bit-identical to sequential"
+        );
+    }
+    println!("bit-exactness vs sequential (batch 256, workers 1/2/4): yes");
+
+    // Throughput table: mean wall-clock per batch over `reps` runs.
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>10}",
+        "batch", "1 engine", "pool(2)", "pool(4)", "speedup(4)"
+    );
+    for n in BATCH_SIZES {
+        let inputs = batch(n);
+        let reps = (2048 / n).max(3);
+        let mut times_us = Vec::new();
+        // Single engine, sequential loop.
+        let mut engine = Engine::new(model_a.clone());
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            for x in &inputs {
+                std::hint::black_box(engine.infer(x).expect("infer")[0]);
+            }
+        }
+        times_us.push(t0.elapsed().as_secs_f64() * 1e6 / reps as f64);
+        for workers in [2usize, 4] {
+            let mut pool = EnginePool::new(model_a.clone(), workers).expect("pool");
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(pool.infer_batch(&inputs).expect("batch").len());
+            }
+            times_us.push(t0.elapsed().as_secs_f64() * 1e6 / reps as f64);
+        }
+        println!(
+            "{:<12} {:>12.0}us {:>12.0}us {:>12.0}us {:>9.2}x",
+            n,
+            times_us[0],
+            times_us[1],
+            times_us[2],
+            times_us[0] / times_us[2]
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let (_, _, model_a, _) = workload();
+    let inputs = batch(256);
+
+    let mut group = c.benchmark_group("e10_batch_256");
+    group.sample_size(20);
+    let mut engine = Engine::new(model_a.clone());
+    group.bench_function("single_engine", |b| {
+        b.iter(|| {
+            let mut last = 0.0f32;
+            for x in &inputs {
+                last = engine.infer(x).expect("infer")[0];
+            }
+            std::hint::black_box(last)
+        })
+    });
+    for workers in WORKER_COUNTS {
+        let mut pool = EnginePool::new(model_a.clone(), workers).expect("pool");
+        group.bench_function(format!("pool_{workers}_workers"), |b| {
+            b.iter(|| std::hint::black_box(pool.infer_batch(&inputs).expect("batch").len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,7 +22,9 @@ fn print_table() -> (Vec<Box<dyn Supervisor>>, Vec<Observation>) {
     let (train, test, model_a, _) = workload();
     let mut engine = Engine::new(model_a.clone());
     let mut rng = DetRng::new(1);
-    let ood = Shift::GaussianNoise(0.5).apply(test, &mut rng).expect("shift");
+    let ood = Shift::GaussianNoise(0.5)
+        .apply(test, &mut rng)
+        .expect("shift");
 
     let train_obs = observations(&mut engine, train);
     let id_obs = observations(&mut engine, test);
@@ -31,7 +33,9 @@ fn print_table() -> (Vec<Box<dyn Supervisor>>, Vec<Observation>) {
     let mut mahalanobis = Mahalanobis::new();
     mahalanobis.fit(&train_obs, &train.labels()).expect("fit");
     let mut reconstruction = Reconstruction::new(8).expect("new");
-    reconstruction.fit(&train_obs, &train.labels()).expect("fit");
+    reconstruction
+        .fit(&train_obs, &train.labels())
+        .expect("fit");
 
     let supervisors: Vec<Box<dyn Supervisor>> = vec![
         Box::new(SoftmaxThreshold::new()),
@@ -40,14 +44,23 @@ fn print_table() -> (Vec<Box<dyn Supervisor>>, Vec<Observation>) {
         Box::new(reconstruction),
     ];
 
-    println!("\n=== E1: supervisor quality (model acc {:.2}) ===", safex_bench::model_a_accuracy());
+    println!(
+        "\n=== E1: supervisor quality (model acc {:.2}) ===",
+        safex_bench::model_a_accuracy()
+    );
     println!(
         "{:<18} {:>7} {:>10} {:>11}",
         "supervisor", "AUROC", "TPR@FPR5%", "FPR@TPR95%"
     );
     for sup in &supervisors {
-        let id: Vec<f64> = id_obs.iter().map(|o| sup.score(o).expect("score")).collect();
-        let ood: Vec<f64> = ood_obs.iter().map(|o| sup.score(o).expect("score")).collect();
+        let id: Vec<f64> = id_obs
+            .iter()
+            .map(|o| sup.score(o).expect("score"))
+            .collect();
+        let ood: Vec<f64> = ood_obs
+            .iter()
+            .map(|o| sup.score(o).expect("score"))
+            .collect();
         let s = roc::summarize(&id, &ood).expect("roc");
         println!(
             "{:<18} {:>7.3} {:>10.3} {:>11.3}",

@@ -27,7 +27,9 @@ fn print_table(program: &TraceProgram) -> Vec<f64> {
         ),
         (
             "randomized+3corunners-partitioned",
-            PlatformConfig::time_randomized().with_co_runners(3).partitioned(),
+            PlatformConfig::time_randomized()
+                .with_co_runners(3)
+                .partitioned(),
         ),
     ];
     let mut samples_for_bench = Vec::new();
@@ -73,9 +75,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("platform_single_run", |b| {
         let mut rng = DetRng::new(1);
-        b.iter(|| {
-            std::hint::black_box(platform.run(&program, &mut rng).expect("run").cycles)
-        })
+        b.iter(|| std::hint::black_box(platform.run(&program, &mut rng).expect("run").cycles))
     });
     group.bench_function("mbpta_analyze_400_samples", |b| {
         b.iter(|| std::hint::black_box(analyze(&samples, &MbptaConfig::default()).expect("ok")))

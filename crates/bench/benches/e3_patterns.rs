@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use safex_bench::workload;
 use safex_nn::{Engine, QEngine, QModel};
-use safex_patterns::channel::{Channel, ModelChannel, QuantChannel};
+use safex_patterns::channel::{ModelChannel, QuantChannel};
 use safex_patterns::fault::{FaultModel, FaultyChannel};
 use safex_patterns::pattern::{Bare, MonitorActuator, SafetyPattern, TwoOutOfThree};
 use safex_tensor::DetRng;
@@ -15,22 +15,17 @@ const FAULT: FaultModel = FaultModel {
     crash: 0.02,
 };
 
-fn faulty_primary(seed: u64) -> Box<dyn Channel> {
+fn faulty_primary(seed: u64) -> FaultyChannel {
     let (_, _, model_a, _) = workload();
     let inner = ModelChannel::new("primary", Engine::new(model_a.clone()));
-    Box::new(
-        FaultyChannel::new(Box::new(inner), FAULT, 4, DetRng::new(seed)).expect("fault model"),
-    )
+    FaultyChannel::new(inner, FAULT, 4, DetRng::new(seed)).expect("fault model")
 }
 
 fn build_patterns() -> Vec<(&'static str, Box<dyn SafetyPattern>)> {
     let (_, _, model_a, model_b) = workload();
     // Reference row: the bare model with NO fault injection, so the
     // fault-induced increase in wrong acts is readable from the table.
-    let clean = Bare::new(Box::new(ModelChannel::new(
-        "clean",
-        Engine::new(model_a.clone()),
-    )));
+    let clean = Bare::new(ModelChannel::new("clean", Engine::new(model_a.clone())));
     let bare = Bare::new(faulty_primary(1));
     let monitor = MonitorActuator::new(faulty_primary(2), 0.6, 0).expect("config");
     let qtwin = QuantChannel::new(
@@ -38,8 +33,7 @@ fn build_patterns() -> Vec<(&'static str, Box<dyn SafetyPattern>)> {
         QEngine::new(QModel::quantize(model_a).expect("quantize")),
     );
     let diverse = ModelChannel::new("diverse", Engine::new(model_b.clone()));
-    let voter =
-        TwoOutOfThree::new(faulty_primary(3), Box::new(qtwin), Box::new(diverse)).expect("voter");
+    let voter = TwoOutOfThree::new(faulty_primary(3), qtwin, diverse).expect("voter");
     vec![
         ("bare (no faults)", Box::new(clean)),
         ("bare", Box::new(bare)),
@@ -50,7 +44,10 @@ fn build_patterns() -> Vec<(&'static str, Box<dyn SafetyPattern>)> {
 
 fn print_table() {
     let (_, test, _, _) = workload();
-    println!("\n=== E3: patterns under {:.0}% fault injection ===", FAULT.total() * 100.0);
+    println!(
+        "\n=== E3: patterns under {:.0}% fault injection ===",
+        FAULT.total() * 100.0
+    );
     println!(
         "{:<18} {:>13} {:>13} {:>9}",
         "pattern", "wrong-acts", "conservative", "cost/dec"

@@ -22,7 +22,10 @@ fn logits_and_labels() -> (Vec<Vec<f32>>, Vec<usize>) {
 
 fn print_table(logits: &[Vec<f32>], labels: &[usize]) -> TemperatureScaling {
     let ts = TemperatureScaling::fit(logits, labels).expect("fit");
-    println!("\n=== E7: calibration (fitted T = {:.3}) ===", ts.temperature());
+    println!(
+        "\n=== E7: calibration (fitted T = {:.3}) ===",
+        ts.temperature()
+    );
     println!("{:<22} {:>8} {:>8}", "transform", "ECE", "Brier");
     for (name, t) in [
         ("identity (T=1)", TemperatureScaling::identity()),
@@ -58,9 +61,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("ece_10bins", |b| {
         let probs: Vec<Vec<f32>> = logits.iter().map(|z| ts.apply(z)).collect();
         b.iter(|| {
-            std::hint::black_box(
-                expected_calibration_error(&probs, &labels, 10).expect("ece"),
-            )
+            std::hint::black_box(expected_calibration_error(&probs, &labels, 10).expect("ece"))
         })
     });
     group.finish();

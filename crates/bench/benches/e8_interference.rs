@@ -69,7 +69,9 @@ fn bench(c: &mut Criterion) {
         ),
         (
             "contended_partitioned",
-            PlatformConfig::time_randomized().with_co_runners(3).partitioned(),
+            PlatformConfig::time_randomized()
+                .with_co_runners(3)
+                .partitioned(),
         ),
     ] {
         let platform = Platform::new(config).expect("platform");

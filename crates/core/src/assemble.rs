@@ -8,7 +8,7 @@
 
 use safex_nn::{Engine, Model, QEngine, QModel};
 use safex_patterns::channel::{ConstantChannel, ModelChannel, QuantChannel};
-use safex_patterns::pattern::{MonitorActuator, SafetyBag, Simplex, TwoOutOfThree};
+use safex_patterns::pattern::{MonitorActuator, ParallelPolicy, SafetyBag, Simplex, TwoOutOfThree};
 use safex_patterns::Sil;
 use safex_supervision::supervisor::{Mahalanobis, Supervisor};
 use safex_supervision::{observe, CalibratedMonitor};
@@ -31,6 +31,11 @@ pub struct AssemblySpec {
     pub confidence_floor: f32,
     /// Plausible input range for the safety-bag envelope.
     pub input_range: (f32, f32),
+    /// How patterns with redundant channels (2-out-of-3) evaluate them.
+    /// Defaults to [`ParallelPolicy::Sequential`], the
+    /// certification-friendly baseline; single-core SIL configurations
+    /// should leave it there.
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for AssemblySpec {
@@ -41,6 +46,7 @@ impl Default for AssemblySpec {
             target_fpr: 0.05,
             confidence_floor: 0.5,
             input_range: (-4.0, 4.0),
+            parallel: ParallelPolicy::Sequential,
         }
     }
 }
@@ -121,7 +127,7 @@ pub fn for_sil(
             let engine = Engine::new(first.clone());
             Box::new(
                 MonitorActuator::new(
-                    Box::new(ModelChannel::new("primary", engine)),
+                    ModelChannel::new("primary", engine),
                     spec.confidence_floor,
                     0,
                 )
@@ -146,12 +152,8 @@ pub fn for_sil(
             let scores: Result<Vec<f64>, _> =
                 observations.iter().map(|o| supervisor.score(o)).collect();
             let scores = scores?;
-            let monitor =
-                CalibratedMonitor::fit(Box::new(supervisor), &scores, spec.target_fpr)?;
-            calibration_record.push((
-                "monitor_threshold".into(),
-                Value::F64(monitor.threshold()),
-            ));
+            let monitor = CalibratedMonitor::fit(Box::new(supervisor), &scores, spec.target_fpr)?;
+            calibration_record.push(("monitor_threshold".into(), Value::F64(monitor.threshold())));
             calibration_record.push((
                 "monitor_supervisor".into(),
                 Value::Str(monitor.supervisor_name().into()),
@@ -159,17 +161,17 @@ pub fn for_sil(
             Box::new(Simplex::new(
                 engine,
                 monitor,
-                Box::new(ConstantChannel::new("fallback", spec.fallback_class)),
+                ConstantChannel::new("fallback", spec.fallback_class),
             ))
         }
         Sil::Sil3 => {
             let engine = Engine::new(first.clone());
             let (lo, hi) = spec.input_range;
             Box::new(SafetyBag::new(
-                Box::new(ModelChannel::new("proposer", engine)),
-                Box::new(move |input: &[f32], _class| {
+                ModelChannel::new("proposer", engine),
+                move |input: &[f32], _class| {
                     input.iter().all(|v| v.is_finite() && *v >= lo && *v <= hi)
-                }),
+                },
             ))
         }
         Sil::Sil4 => {
@@ -186,16 +188,17 @@ pub fn for_sil(
             let qmodel = QModel::quantize(first)?;
             Box::new(
                 TwoOutOfThree::new(
-                    Box::new(ModelChannel::new("float_a", Engine::new(first.clone()))),
-                    Box::new(QuantChannel::new("quant_a", QEngine::new(qmodel))),
-                    Box::new(ModelChannel::new("float_b", Engine::new(second.clone()))),
+                    ModelChannel::new("float_a", Engine::new(first.clone())),
+                    QuantChannel::new("quant_a", QEngine::new(qmodel)),
+                    ModelChannel::new("float_b", Engine::new(second.clone())),
                 )
-                .map_err(CoreError::Pattern)?,
+                .map_err(CoreError::Pattern)?
+                .with_policy(spec.parallel),
             )
         }
     };
 
-    builder = builder.pattern(pattern);
+    builder = builder.pattern_boxed(pattern);
     let mut pipeline = builder.build()?;
 
     // Provenance: model digests + monitor calibration.
@@ -361,13 +364,6 @@ mod tests {
         assert!(for_sil("f", &bad, &[model(6)], &inputs, &labels).is_err());
         assert!(for_sil("f", &AssemblySpec::default(), &[], &inputs, &labels).is_err());
         // SIL2 with no calibration data.
-        assert!(for_sil(
-            "f",
-            &AssemblySpec::default(),
-            &[model(6)],
-            &[],
-            &[]
-        )
-        .is_err());
+        assert!(for_sil("f", &AssemblySpec::default(), &[model(6)], &[], &[]).is_err());
     }
 }

@@ -28,9 +28,9 @@
 //! use safex_patterns::pattern::Bare;
 //! use safex_patterns::Sil;
 //!
-//! let pattern = Bare::new(Box::new(ConstantChannel::new("stub", 0)));
+//! let pattern = Bare::new(ConstantChannel::new("stub", 0));
 //! let mut pipeline = PipelineBuilder::new("demo", Sil::Sil1)
-//!     .pattern(Box::new(pattern))
+//!     .pattern(pattern)
 //!     .allow_under_provisioned()
 //!     .evidence("demo-campaign")
 //!     .build()?;

@@ -75,6 +75,37 @@ impl SafePipeline {
     /// [`CoreError::Pattern`].
     pub fn decide(&mut self, input: &[f32]) -> Result<Decision, CoreError> {
         let decision = self.pattern.decide(input)?;
+        self.note(&decision);
+        Ok(decision)
+    }
+
+    /// Renders decisions for a batch of inputs, in input order.
+    ///
+    /// Semantically identical to calling [`SafePipeline::decide`] per
+    /// input: patterns are stateful, so the batch is processed
+    /// sequentially and evidence records land in input order. Parallelism
+    /// lives *inside* each decision (redundant channels, engine pools) —
+    /// see the batch contract on
+    /// [`SafetyPattern::decide_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first infrastructure failure; no decisions are
+    /// recorded for a failed batch.
+    pub fn decide_batch<I: AsRef<[f32]>>(
+        &mut self,
+        inputs: &[I],
+    ) -> Result<Vec<Decision>, CoreError> {
+        let refs: Vec<&[f32]> = inputs.iter().map(AsRef::as_ref).collect();
+        let decisions = self.pattern.decide_batch(&refs)?;
+        for decision in &decisions {
+            self.note(decision);
+        }
+        Ok(decisions)
+    }
+
+    /// Updates counters and appends the evidence record for one decision.
+    fn note(&mut self, decision: &Decision) {
         self.decisions += 1;
         if decision.action.is_conservative() {
             self.conservative += 1;
@@ -102,7 +133,6 @@ impl SafePipeline {
                 ],
             );
         }
-        Ok(decision)
     }
 
     /// The evidence chain, if tracing is enabled.
@@ -164,8 +194,15 @@ impl PipelineBuilder {
         }
     }
 
-    /// Sets the safety pattern (required).
-    pub fn pattern(mut self, pattern: Box<dyn SafetyPattern>) -> Self {
+    /// Sets the safety pattern (required; boxed internally).
+    pub fn pattern(mut self, pattern: impl SafetyPattern + 'static) -> Self {
+        self.pattern = Some(Box::new(pattern));
+        self
+    }
+
+    /// Sets an already-boxed safety pattern, for callers that select the
+    /// pattern at runtime (e.g. the SIL assembly factory).
+    pub fn pattern_boxed(mut self, pattern: Box<dyn SafetyPattern>) -> Self {
         self.pattern = Some(pattern);
         self
     }
@@ -238,8 +275,8 @@ mod tests {
     use safex_patterns::channel::{ConstantChannel, RuleChannel};
     use safex_patterns::pattern::{Bare, MonitorActuator, TwoOutOfThree};
 
-    fn bare() -> Box<dyn SafetyPattern> {
-        Box::new(Bare::new(Box::new(ConstantChannel::new("c", 1))))
+    fn bare() -> Bare {
+        Bare::new(ConstantChannel::new("c", 1))
     }
 
     #[test]
@@ -265,13 +302,13 @@ mod tests {
             .is_ok());
         // A 2oo3 at SIL1 exceeds the recommendation: fine.
         let two = TwoOutOfThree::new(
-            Box::new(ConstantChannel::new("a", 0)),
-            Box::new(ConstantChannel::new("b", 0)),
-            Box::new(ConstantChannel::new("c", 0)),
+            ConstantChannel::new("a", 0),
+            ConstantChannel::new("b", 0),
+            ConstantChannel::new("c", 0),
         )
         .unwrap();
         assert!(PipelineBuilder::new("p", Sil::Sil1)
-            .pattern(Box::new(two))
+            .pattern(two)
             .build()
             .is_ok());
     }
@@ -280,13 +317,13 @@ mod tests {
     fn decide_counts_and_records() {
         // Monitor-actuator over a rule channel whose confidence is 1.0.
         let ma = MonitorActuator::new(
-            Box::new(RuleChannel::new("r", |x: &[f32]| usize::from(x[0] > 0.5))),
+            RuleChannel::new("r", |x: &[f32]| usize::from(x[0] > 0.5)),
             0.5,
             0,
         )
         .unwrap();
         let mut p = PipelineBuilder::new("demo", Sil::Sil1)
-            .pattern(Box::new(ma))
+            .pattern(ma)
             .evidence("t")
             .build()
             .unwrap();
@@ -308,13 +345,13 @@ mod tests {
     fn conservative_decisions_tracked() {
         // Confidence floor of 1.0 trips on the model channel below.
         let ma = MonitorActuator::new(
-            Box::new(RuleChannel::new("r", |_: &[f32]| 0)),
+            RuleChannel::new("r", |_: &[f32]| 0),
             1.0,
             2, // temporal consistency holds the first frame back
         )
         .unwrap();
         let mut p = PipelineBuilder::new("demo", Sil::Sil1)
-            .pattern(Box::new(ma))
+            .pattern(ma)
             .evidence("t")
             .build()
             .unwrap();

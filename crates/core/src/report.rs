@@ -120,7 +120,7 @@ mod tests {
 
     fn pipeline() -> SafePipeline {
         PipelineBuilder::new("demo", Sil::Sil1)
-            .pattern(Box::new(Bare::new(Box::new(ConstantChannel::new("c", 0)))))
+            .pattern(Bare::new(ConstantChannel::new("c", 0)))
             .allow_under_provisioned()
             .evidence("demo")
             .build()
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn no_evidence_pipeline_omits_section() {
         let p = PipelineBuilder::new("quiet", Sil::Sil1)
-            .pattern(Box::new(Bare::new(Box::new(ConstantChannel::new("c", 0)))))
+            .pattern(Bare::new(ConstantChannel::new("c", 0)))
             .allow_under_provisioned()
             .build()
             .unwrap();
@@ -174,8 +174,12 @@ mod tests {
     #[test]
     fn deterministic_output() {
         let p = pipeline();
-        let a = CertificationReport::from_pipeline(&p).to_json().to_string_compact();
-        let b = CertificationReport::from_pipeline(&p).to_json().to_string_compact();
+        let a = CertificationReport::from_pipeline(&p)
+            .to_json()
+            .to_string_compact();
+        let b = CertificationReport::from_pipeline(&p)
+            .to_json()
+            .to_string_compact();
         assert_eq!(a, b);
     }
 }

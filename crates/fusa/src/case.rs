@@ -249,7 +249,9 @@ mod tests {
             .unwrap();
         case.add_solution(g_xai, "Sn1", "supervisor AUROC report", "E1-report")
             .unwrap();
-        let g_time = case.add_goal(s1, "G3", "deadline met with 1e-12 bound").unwrap();
+        let g_time = case
+            .add_goal(s1, "G3", "deadline met with 1e-12 bound")
+            .unwrap();
         case.add_solution(g_time, "Sn2", "MBPTA pWCET analysis", "E2-report")
             .unwrap();
         case
@@ -268,7 +270,8 @@ mod tests {
     fn undeveloped_goal_detected() {
         let mut case = pillar_case();
         let s1 = NodeId(1);
-        case.add_goal(s1, "G4", "explanations are faithful").unwrap();
+        case.add_goal(s1, "G4", "explanations are faithful")
+            .unwrap();
         assert!(!case.is_complete());
         let undeveloped = case.undeveloped_goals();
         assert_eq!(undeveloped.len(), 1);
@@ -278,7 +281,8 @@ mod tests {
     #[test]
     fn dangling_strategy_detected() {
         let mut case = SafetyCase::new("G1", "top");
-        case.add_strategy(case.root(), "S1", "argue somehow").unwrap();
+        case.add_strategy(case.root(), "S1", "argue somehow")
+            .unwrap();
         assert!(!case.is_complete());
         assert_eq!(case.dangling_strategies().len(), 1);
     }

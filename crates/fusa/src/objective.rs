@@ -219,10 +219,22 @@ mod tests {
             .add(&reg, "O1", a, VerificationMethod::Test, "accuracy >= 90%")
             .unwrap();
         let o2 = ledger
-            .add(&reg, "O2", a, VerificationMethod::Simulation, "fault coverage")
+            .add(
+                &reg,
+                "O2",
+                a,
+                VerificationMethod::Simulation,
+                "fault coverage",
+            )
             .unwrap();
         let o3 = ledger
-            .add(&reg, "O3", b, VerificationMethod::Analysis, "pWCET <= budget")
+            .add(
+                &reg,
+                "O3",
+                b,
+                VerificationMethod::Analysis,
+                "pWCET <= budget",
+            )
             .unwrap();
         assert_eq!(ledger.coverage(&reg), 0.0);
         assert!(!ledger.requirement_verified(a));

@@ -201,7 +201,13 @@ mod tests {
     fn add_and_lookup() {
         let mut reg = Registry::new();
         let id = reg
-            .add("R1", "do the thing", Sil::Sil2, RequirementKind::Functional, None)
+            .add(
+                "R1",
+                "do the thing",
+                Sil::Sil2,
+                RequirementKind::Functional,
+                None,
+            )
             .unwrap();
         assert_eq!(reg.get(id).unwrap().tag, "R1");
         assert_eq!(reg.by_tag("R1").unwrap().0, id);
@@ -241,8 +247,14 @@ mod tests {
         let top = reg
             .add("R1", "top", Sil::Sil4, RequirementKind::Functional, None)
             .unwrap();
-        reg.add("R1.1", "dl", Sil::Sil2, RequirementKind::Functional, Some(top))
-            .unwrap();
+        reg.add(
+            "R1.1",
+            "dl",
+            Sil::Sil2,
+            RequirementKind::Functional,
+            Some(top),
+        )
+        .unwrap();
         reg.add(
             "R1.2",
             "monitor",
@@ -261,10 +273,22 @@ mod tests {
         let top = reg
             .add("R1", "top", Sil::Sil4, RequirementKind::Functional, None)
             .unwrap();
-        reg.add("R1.1", "a", Sil::Sil1, RequirementKind::Functional, Some(top))
-            .unwrap();
-        reg.add("R1.2", "b", Sil::Sil1, RequirementKind::Functional, Some(top))
-            .unwrap();
+        reg.add(
+            "R1.1",
+            "a",
+            Sil::Sil1,
+            RequirementKind::Functional,
+            Some(top),
+        )
+        .unwrap();
+        reg.add(
+            "R1.2",
+            "b",
+            Sil::Sil1,
+            RequirementKind::Functional,
+            Some(top),
+        )
+        .unwrap();
         assert!(matches!(
             reg.validate_decomposition(top),
             Err(FusaError::BadDecomposition(_))
@@ -277,16 +301,28 @@ mod tests {
         let top = reg
             .add("R1", "top", Sil::Sil3, RequirementKind::Functional, None)
             .unwrap();
-        reg.add("R1.1", "refined", Sil::Sil3, RequirementKind::Functional, Some(top))
-            .unwrap();
+        reg.add(
+            "R1.1",
+            "refined",
+            Sil::Sil3,
+            RequirementKind::Functional,
+            Some(top),
+        )
+        .unwrap();
         reg.validate_decomposition(top).unwrap();
 
         let mut reg2 = Registry::new();
         let top2 = reg2
             .add("R1", "top", Sil::Sil3, RequirementKind::Functional, None)
             .unwrap();
-        reg2.add("R1.1", "weak", Sil::Sil1, RequirementKind::Functional, Some(top2))
-            .unwrap();
+        reg2.add(
+            "R1.1",
+            "weak",
+            Sil::Sil1,
+            RequirementKind::Functional,
+            Some(top2),
+        )
+        .unwrap();
         assert!(reg2.validate_decomposition(top2).is_err());
     }
 
@@ -297,9 +333,7 @@ mod tests {
             .add("R1", "leaf", Sil::Sil4, RequirementKind::Timing, None)
             .unwrap();
         reg.validate_decomposition(id).unwrap();
-        assert!(reg
-            .validate_decomposition(RequirementId(9))
-            .is_err());
+        assert!(reg.validate_decomposition(RequirementId(9)).is_err());
     }
 
     #[test]
@@ -321,10 +355,22 @@ mod tests {
             .add("R1", "", Sil::Sil2, RequirementKind::Functional, None)
             .unwrap();
         let c1 = reg
-            .add("R1.1", "", Sil::Sil1, RequirementKind::Functional, Some(top))
+            .add(
+                "R1.1",
+                "",
+                Sil::Sil1,
+                RequirementKind::Functional,
+                Some(top),
+            )
             .unwrap();
         let c2 = reg
-            .add("R1.2", "", Sil::Sil1, RequirementKind::Functional, Some(top))
+            .add(
+                "R1.2",
+                "",
+                Sil::Sil1,
+                RequirementKind::Functional,
+                Some(top),
+            )
             .unwrap();
         assert_eq!(reg.children(top), vec![c1, c2]);
         assert!(reg.children(c1).is_empty());

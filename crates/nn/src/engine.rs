@@ -40,6 +40,19 @@ use crate::model::Model;
 /// # Ok(())
 /// # }
 /// ```
+/// A named classification result: the argmax class and its score.
+///
+/// Replaces the old anonymous `(usize, f32)` tuple so call sites say
+/// `c.class` / `c.confidence` instead of `.0` / `.1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Classification {
+    /// Predicted class index (argmax over the final activation).
+    pub class: usize,
+    /// Score of the predicted class (softmax probability when the model
+    /// ends in a softmax layer, raw activation otherwise).
+    pub confidence: f32,
+}
+
 #[derive(Debug, Clone)]
 pub struct Engine {
     model: Model,
@@ -159,17 +172,24 @@ impl Engine {
         Ok(activations)
     }
 
-    /// Convenience: runs inference and returns `(argmax index, score)`.
+    /// Convenience: runs inference and returns the argmax
+    /// [`Classification`].
     ///
     /// # Errors
     ///
     /// Returns [`NnError::InputShape`] on a wrong-sized input.
-    pub fn classify(&mut self, input: &[f32]) -> Result<(usize, f32), NnError> {
+    pub fn classify(&mut self, input: &[f32]) -> Result<Classification, NnError> {
         let out = self.infer(input)?;
-        let mut best = (0usize, f32::NEG_INFINITY);
+        let mut best = Classification {
+            class: 0,
+            confidence: f32::NEG_INFINITY,
+        };
         for (i, &v) in out.iter().enumerate() {
-            if v > best.1 {
-                best = (i, v);
+            if v > best.confidence {
+                best = Classification {
+                    class: i,
+                    confidence: v,
+                };
             }
         }
         Ok(best)
@@ -227,9 +247,7 @@ pub(crate) fn run_layer(
                     }
                 }
             } else {
-                for ((d, &s), &(scale, shift)) in
-                    dst.iter_mut().zip(src).zip(scale_shift)
-                {
+                for ((d, &s), &(scale, shift)) in dst.iter_mut().zip(src).zip(scale_shift) {
                     *d = scale * s + shift;
                 }
             }
@@ -293,10 +311,7 @@ mod tests {
         let mut e1 = Engine::new(m.clone());
         let mut e2 = Engine::new(m);
         let input = [1.0, 2.0, 3.0];
-        assert_eq!(
-            e1.infer(&input).unwrap(),
-            e2.infer(&input).unwrap()
-        );
+        assert_eq!(e1.infer(&input).unwrap(), e2.infer(&input).unwrap());
     }
 
     #[test]
@@ -359,9 +374,9 @@ mod tests {
             d.bias_mut().copy_from_slice(&[0.0, 5.0, 1.0]);
         }
         let mut e = Engine::new(m);
-        let (idx, score) = e.classify(&[0.0, 0.0]).unwrap();
-        assert_eq!(idx, 1);
-        assert_eq!(score, 5.0);
+        let c = e.classify(&[0.0, 0.0]).unwrap();
+        assert_eq!(c.class, 1);
+        assert_eq!(c.confidence, 5.0);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub enum NnError {
     /// Model (de)serialisation failed: I/O error, malformed stream, or a
     /// content-digest mismatch.
     Serialization(String),
+    /// Engine-pool construction or batch-dispatch failed (zero workers,
+    /// mismatched batch geometry, ...).
+    Pool(String),
 }
 
 impl fmt::Display for NnError {
@@ -54,6 +57,7 @@ impl fmt::Display for NnError {
             NnError::Training(msg) => write!(f, "training error: {msg}"),
             NnError::Quantisation(msg) => write!(f, "quantisation error: {msg}"),
             NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            NnError::Pool(msg) => write!(f, "engine pool error: {msg}"),
         }
     }
 }

@@ -156,8 +156,8 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<Model, NnError> {
     for _ in 0..rank {
         dims.push(r.usize()?);
     }
-    let input_shape = Shape::new(&dims)
-        .map_err(|e| NnError::Serialization(format!("bad input shape: {e}")))?;
+    let input_shape =
+        Shape::new(&dims).map_err(|e| NnError::Serialization(format!("bad input shape: {e}")))?;
 
     let layer_count = r.u32()? as usize;
     if layer_count == 0 || layer_count > 10_000 {
@@ -191,7 +191,11 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<Model, NnError> {
                 let bias = r.f32s(out_c)?;
                 let mut rng = safex_tensor::DetRng::new(0);
                 builder = builder.conv2d(out_c, kernel, stride, padding, &mut rng)?;
-                pending.push(PendingParams::Conv { weights, bias, in_c });
+                pending.push(PendingParams::Conv {
+                    weights,
+                    bias,
+                    in_c,
+                });
             }
             TAG_MAXPOOL => {
                 let pool = r.usize()?;
@@ -250,7 +254,14 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<Model, NnError> {
             (Layer::Dense(d), PendingParams::Dense { weights, bias }) => {
                 splice(d, weights, bias)?;
             }
-            (Layer::Conv2d(c), PendingParams::Conv { weights, bias, in_c }) => {
+            (
+                Layer::Conv2d(c),
+                PendingParams::Conv {
+                    weights,
+                    bias,
+                    in_c,
+                },
+            ) => {
                 if c.in_channels() != in_c {
                     return Err(NnError::Serialization(
                         "conv input channels disagree with reconstructed shape".into(),
@@ -296,8 +307,15 @@ fn splice(d: &mut DenseLayer, weights: Vec<f32>, bias: Vec<f32>) -> Result<(), N
 
 enum PendingParams {
     None,
-    Dense { weights: Vec<f32>, bias: Vec<f32> },
-    Conv { weights: Vec<f32>, bias: Vec<f32>, in_c: usize },
+    Dense {
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+    },
+    Conv {
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+        in_c: usize,
+    },
 }
 
 fn checked_mul(a: usize, b: usize) -> Result<usize, NnError> {
@@ -464,9 +482,13 @@ mod tests {
         let err = load_model(buf.as_slice()).unwrap_err();
         let msg = err.to_string();
         assert!(
-            msg.contains("digest") || msg.contains("length") || msg.contains("tag")
-                || msg.contains("implausible") || msg.contains("batchnorm")
-                || msg.contains("shape") || msg.contains("incompatible"),
+            msg.contains("digest")
+                || msg.contains("length")
+                || msg.contains("tag")
+                || msg.contains("implausible")
+                || msg.contains("batchnorm")
+                || msg.contains("shape")
+                || msg.contains("incompatible"),
             "unexpected: {msg}"
         );
     }

@@ -521,7 +521,9 @@ mod tests {
             Layer::Softmax.output_shape(&Shape::vector(5), 0).unwrap(),
             Shape::vector(5)
         );
-        assert!(Layer::Softmax.output_shape(&Shape::matrix(2, 2), 0).is_err());
+        assert!(Layer::Softmax
+            .output_shape(&Shape::matrix(2, 2), 0)
+            .is_err());
     }
 
     #[test]
@@ -556,9 +558,7 @@ mod tests {
             BatchNormLayer::new(vec![1.0], vec![0.0, 0.0], vec![0.0], vec![1.0], 1e-5).is_err()
         );
         assert!(BatchNormLayer::new(vec![1.0], vec![0.0], vec![0.0], vec![1.0], 0.0).is_err());
-        assert!(
-            BatchNormLayer::new(vec![1.0], vec![0.0], vec![0.0], vec![-1.0], 1e-5).is_err()
-        );
+        assert!(BatchNormLayer::new(vec![1.0], vec![0.0], vec![0.0], vec![-1.0], 1e-5).is_err());
         let bn = BatchNormLayer::identity(3).unwrap();
         assert_eq!(bn.channels(), 3);
     }

@@ -56,10 +56,12 @@ pub mod io;
 pub mod layer;
 pub mod metrics;
 pub mod model;
+pub mod pool;
 pub mod quant;
 pub mod train;
 
-pub use engine::Engine;
+pub use engine::{Classification, Engine};
 pub use error::NnError;
 pub use model::{Model, ModelBuilder};
+pub use pool::{EnginePool, QEnginePool};
 pub use quant::{QEngine, QModel};

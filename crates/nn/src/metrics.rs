@@ -123,7 +123,7 @@ pub fn evaluate(
     let classes = engine.model().output_shape().len();
     let mut cm = ConfusionMatrix::new(classes)?;
     for (x, &y) in inputs.iter().zip(labels) {
-        let (pred, _) = engine.classify(x)?;
+        let pred = engine.classify(x)?.class;
         cm.record(y, pred)?;
     }
     Ok((cm.accuracy(), cm))

@@ -176,9 +176,7 @@ impl Model {
                 (Layer::Dense(d), Layer::BatchNorm(bn)) if bn.channels() == d.outputs() => {
                     (bn.scale_shift().to_vec(), true)
                 }
-                (Layer::Conv2d(c), Layer::BatchNorm(bn))
-                    if bn.channels() == c.out_channels() =>
-                {
+                (Layer::Conv2d(c), Layer::BatchNorm(bn)) if bn.channels() == c.out_channels() => {
                     (bn.scale_shift().to_vec(), true)
                 }
                 _ => (Vec::new(), false),

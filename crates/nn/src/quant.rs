@@ -12,6 +12,7 @@ use safex_tensor::fixed::Q16_16;
 use safex_tensor::ops;
 use safex_tensor::Shape;
 
+use crate::engine::Classification;
 use crate::error::NnError;
 use crate::layer::Layer;
 use crate::model::Model;
@@ -296,12 +297,14 @@ impl QEngine {
         Ok(out.iter().map(|v| v.to_f32()).collect())
     }
 
-    /// Classification convenience: returns `(argmax index, score)`.
+    /// Classification convenience: returns the argmax [`Classification`]
+    /// (the Q16.16 score converted to `f32`, which is exact for the
+    /// magnitudes a classifier head produces).
     ///
     /// # Errors
     ///
     /// Returns [`NnError::InputShape`] on a wrong-sized input.
-    pub fn classify(&mut self, input: &[Q16_16]) -> Result<(usize, Q16_16), NnError> {
+    pub fn classify(&mut self, input: &[Q16_16]) -> Result<Classification, NnError> {
         let out = self.infer(input)?;
         let mut best = (0usize, Q16_16::MIN);
         for (i, &v) in out.iter().enumerate() {
@@ -309,7 +312,10 @@ impl QEngine {
                 best = (i, v);
             }
         }
-        Ok(best)
+        Ok(Classification {
+            class: best.0,
+            confidence: best.1.to_f32(),
+        })
     }
 }
 
@@ -410,8 +416,7 @@ fn avgpool_q16_into(
                     }
                 }
                 // Integer division truncates toward zero: deterministic.
-                dst[c * out_h * out_w + oy * out_w + ox] =
-                    Q16_16::from_bits((acc / denom) as i32);
+                dst[c * out_h * out_w + oy * out_w + ox] = Q16_16::from_bits((acc / denom) as i32);
             }
         }
     }
@@ -440,7 +445,7 @@ pub fn softmax_q16_into(src: &[Q16_16], dst: &mut [Q16_16]) -> Result<(), NnErro
     for (o, &v) in dst.iter_mut().zip(src) {
         let e = exp_q16(v - max);
         *o = e;
-        sum = sum + e;
+        sum += e;
     }
     if sum == Q16_16::ZERO {
         // Cannot happen (exp(0) = 1 for the max element) but stay total.
@@ -607,9 +612,9 @@ mod tests {
         }
         let mut qe = QEngine::new(QModel::quantize(&m).unwrap());
         let input = [Q16_16::ZERO, Q16_16::ZERO];
-        let (idx, score) = qe.classify(&input).unwrap();
-        assert_eq!(idx, 2);
-        assert_eq!(score.to_f32(), 3.0);
+        let c = qe.classify(&input).unwrap();
+        assert_eq!(c.class, 2);
+        assert_eq!(c.confidence, 3.0);
     }
 
     #[test]

@@ -334,19 +334,19 @@ fn backward_layer(
         Layer::Dense(d) => {
             let pg = pgrads.as_mut().expect("dense has grads");
             let mut grad_in = vec![0.0f32; d.inputs];
-            for o in 0..d.outputs {
-                let go = grad_out[o] as f64;
+            for (o, &go) in grad_out.iter().enumerate().take(d.outputs) {
+                let go = go as f64;
                 pg.bias[o] += go;
-                for i in 0..d.inputs {
-                    pg.weights[o * d.inputs + i] += go * x[i] as f64;
+                for (i, &xi) in x.iter().enumerate().take(d.inputs) {
+                    pg.weights[o * d.inputs + i] += go * xi as f64;
                 }
             }
-            for i in 0..d.inputs {
+            for (i, gi) in grad_in.iter_mut().enumerate() {
                 let mut acc = 0.0f64;
-                for o in 0..d.outputs {
-                    acc += d.weights[o * d.inputs + i] as f64 * grad_out[o] as f64;
+                for (o, &go) in grad_out.iter().enumerate().take(d.outputs) {
+                    acc += d.weights[o * d.inputs + i] as f64 * go as f64;
                 }
-                grad_in[i] = acc as f32;
+                *gi = acc as f32;
             }
             Ok(grad_in)
         }
@@ -415,10 +415,8 @@ fn backward_layer(
                         let mut best = f32::NEG_INFINITY;
                         for py in 0..*pool {
                             for px in 0..*pool {
-                                let idx = c * in_h * in_w
-                                    + (oy * stride + py) * in_w
-                                    + ox * stride
-                                    + px;
+                                let idx =
+                                    c * in_h * in_w + (oy * stride + py) * in_w + ox * stride + px;
                                 if x[idx] > best {
                                     best = x[idx];
                                     best_idx = idx;
@@ -566,7 +564,7 @@ mod tests {
         // And the model actually solves XOR.
         let mut engine = Engine::new(model);
         for (x, &y) in inputs.iter().zip(&labels) {
-            let (pred, _) = engine.classify(x).unwrap();
+            let pred = engine.classify(x).unwrap().class;
             assert_eq!(pred, y, "XOR({x:?})");
         }
     }
@@ -625,9 +623,7 @@ mod tests {
         assert!(trainer
             .train_batch(&mut model, &[(&[0.0, 0.0][..], 5)])
             .is_err());
-        assert!(trainer
-            .train_epoch(&mut model, &[], &[], &mut rng)
-            .is_err());
+        assert!(trainer.train_epoch(&mut model, &[], &[], &mut rng).is_err());
         assert!(trainer
             .train_epoch(&mut model, &[vec![0.0, 0.0]], &[0, 1], &mut rng)
             .is_err());
@@ -679,7 +675,7 @@ mod tests {
         let correct = inputs
             .iter()
             .zip(&labels)
-            .filter(|(x, &y)| engine.classify(x).unwrap().0 == y)
+            .filter(|(x, &y)| engine.classify(x).unwrap().class == y)
             .count();
         assert!(
             correct >= 55,
@@ -723,7 +719,7 @@ mod tests {
             accumulate_sample(model, &input, label, &mut g).unwrap()
         };
         let eps = 1e-3f32;
-        for wi in 0..6 {
+        for (wi, &grad) in analytic.iter().enumerate().take(6) {
             let mut plus = model.clone();
             if let Layer::Dense(d) = &mut plus.layers_mut()[0] {
                 d.weights_mut()[wi] += eps;
@@ -734,9 +730,8 @@ mod tests {
             }
             let numeric = (loss_fn(&plus) - loss_fn(&minus)) / (2.0 * eps as f64);
             assert!(
-                (numeric - analytic[wi]).abs() < 1e-3,
-                "w[{wi}]: numeric {numeric} vs analytic {}",
-                analytic[wi]
+                (numeric - grad).abs() < 1e-3,
+                "w[{wi}]: numeric {numeric} vs analytic {grad}"
             );
         }
         let _ = &mut model;

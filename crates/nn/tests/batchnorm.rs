@@ -76,10 +76,7 @@ fn folding_preserves_outputs_exactly_enough() {
     let folds = folded.fold_batchnorm();
     assert_eq!(folds, 2, "both BN layers fold");
     assert_eq!(folded.len(), model.len() - 2);
-    assert!(folded
-        .layers()
-        .iter()
-        .all(|l| l.kind_name() != "batchnorm"));
+    assert!(folded.layers().iter().all(|l| l.kind_name() != "batchnorm"));
 
     let mut original = Engine::new(model);
     let mut fused = Engine::new(folded);

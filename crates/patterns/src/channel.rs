@@ -21,7 +21,12 @@ pub struct ChannelVerdict {
 /// out-of-range class is a *channel fault* ([`PatternError::ChannelFault`])
 /// that patterns translate into fallback behaviour rather than propagate
 /// as a crash.
-pub trait Channel {
+///
+/// `Send` is a supertrait so redundant channels can be evaluated on
+/// scoped worker threads (see
+/// [`ParallelPolicy`](crate::pattern::ParallelPolicy)); channels hold
+/// their own engines and buffers, so they have no shared mutable state.
+pub trait Channel: Send {
     /// Stable channel name for evidence records.
     fn name(&self) -> &str;
 
@@ -115,10 +120,10 @@ impl Channel for QuantChannel {
 
     fn decide(&mut self, input: &[f32]) -> Result<ChannelVerdict, PatternError> {
         let q: Vec<Q16_16> = input.iter().map(|&v| Q16_16::from_f32(v)).collect();
-        let (class, score) = self.engine.classify(&q)?;
+        let c = self.engine.classify(&q)?;
         Ok(ChannelVerdict {
-            class,
-            confidence: score.to_f32(),
+            class: c.class,
+            confidence: c.confidence,
         })
     }
 }
@@ -131,7 +136,7 @@ pub struct RuleChannel<F> {
     rule: F,
 }
 
-impl<F: FnMut(&[f32]) -> usize> RuleChannel<F> {
+impl<F: FnMut(&[f32]) -> usize + Send> RuleChannel<F> {
     /// Creates a rule channel from a closure mapping input to class.
     pub fn new(name: impl Into<String>, rule: F) -> Self {
         RuleChannel {
@@ -143,11 +148,13 @@ impl<F: FnMut(&[f32]) -> usize> RuleChannel<F> {
 
 impl<F> std::fmt::Debug for RuleChannel<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RuleChannel").field("name", &self.name).finish()
+        f.debug_struct("RuleChannel")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
-impl<F: FnMut(&[f32]) -> usize> Channel for RuleChannel<F> {
+impl<F: FnMut(&[f32]) -> usize + Send> Channel for RuleChannel<F> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -225,10 +232,7 @@ mod tests {
     #[test]
     fn model_channel_propagates_input_errors() {
         let mut ch = ModelChannel::new("primary", engine(1));
-        assert!(matches!(
-            ch.decide(&[0.1]),
-            Err(PatternError::Nn(_))
-        ));
+        assert!(matches!(ch.decide(&[0.1]), Err(PatternError::Nn(_))));
     }
 
     #[test]

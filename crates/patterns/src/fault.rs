@@ -35,7 +35,10 @@ impl FaultModel {
     /// Returns [`PatternError::BadConfig`] otherwise.
     pub fn validate(&self) -> Result<(), PatternError> {
         let ps = [self.wrong_class, self.stuck, self.crash];
-        if ps.iter().any(|p| !p.is_finite() || !(0.0..=1.0).contains(p)) {
+        if ps
+            .iter()
+            .any(|p| !p.is_finite() || !(0.0..=1.0).contains(p))
+        {
             return Err(PatternError::BadConfig(
                 "fault probabilities must be in [0, 1]".into(),
             ));
@@ -84,15 +87,15 @@ pub struct FaultyChannel {
 }
 
 impl FaultyChannel {
-    /// Wraps `inner`, injecting faults per `model`. `classes` is the
-    /// label-space size used to pick wrong classes.
+    /// Wraps `inner` (boxed internally), injecting faults per `model`.
+    /// `classes` is the label-space size used to pick wrong classes.
     ///
     /// # Errors
     ///
     /// Returns [`PatternError::BadConfig`] for an invalid fault model or
     /// `classes < 2` (a wrong class must exist).
     pub fn new(
-        inner: Box<dyn Channel>,
+        inner: impl Channel + 'static,
         model: FaultModel,
         classes: usize,
         rng: DetRng,
@@ -104,7 +107,7 @@ impl FaultyChannel {
             ));
         }
         Ok(FaultyChannel {
-            inner,
+            inner: Box::new(inner),
             model,
             classes,
             rng,
@@ -174,7 +177,7 @@ mod tests {
 
     fn wrapped(model: FaultModel, seed: u64) -> FaultyChannel {
         FaultyChannel::new(
-            Box::new(ConstantChannel::new("truth", 0)),
+            ConstantChannel::new("truth", 0),
             model,
             4,
             DetRng::new(seed),
@@ -242,7 +245,7 @@ mod tests {
             flip % 2
         });
         let mut ch = FaultyChannel::new(
-            Box::new(inner),
+            inner,
             FaultModel {
                 wrong_class: 0.0,
                 stuck: 1.0,
@@ -278,7 +281,7 @@ mod tests {
         .validate()
         .is_err());
         assert!(FaultyChannel::new(
-            Box::new(ConstantChannel::new("c", 0)),
+            ConstantChannel::new("c", 0),
             FaultModel::none(),
             1,
             DetRng::new(0),

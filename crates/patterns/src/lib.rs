@@ -36,7 +36,7 @@
 //! let c1 = RuleChannel::new("a", |x: &[f32]| usize::from(x[0] > 0.5));
 //! let c2 = RuleChannel::new("b", |x: &[f32]| usize::from(x[0] > 0.4));
 //! let c3 = RuleChannel::new("c", |x: &[f32]| usize::from(x[0] > 0.6));
-//! let mut voter = TwoOutOfThree::new(Box::new(c1), Box::new(c2), Box::new(c3))?;
+//! let mut voter = TwoOutOfThree::new(c1, c2, c3)?;
 //! let decision = voter.decide(&[0.55])?;
 //! assert!(decision.action.is_proceed());
 //! # Ok(())
@@ -53,3 +53,4 @@ pub mod pattern;
 pub use criticality::Sil;
 pub use decision::{Action, Decision, FallbackReason};
 pub use error::PatternError;
+pub use pattern::ParallelPolicy;

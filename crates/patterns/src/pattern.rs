@@ -3,9 +3,59 @@
 
 use safex_supervision::{CalibratedMonitor, Verdict};
 
-use crate::channel::Channel;
+use crate::channel::{Channel, ChannelVerdict};
 use crate::decision::{Decision, FallbackReason};
 use crate::error::PatternError;
+
+/// How a pattern evaluates its redundant channels.
+///
+/// Redundant channels (the three voters of [`TwoOutOfThree`], the
+/// primary/monitor pair of [`MonitorActuator`]) are independent by
+/// construction, so they *may* run concurrently — but SIL configurations
+/// that forbid intra-decision concurrency (single-core certification
+/// targets, WCET arguments built on sequential execution) can pin the
+/// pattern to sequential evaluation.
+///
+/// Both modes produce identical [`Decision`]s on the fault-free path:
+/// each channel is evaluated exactly once per decision against the same
+/// input, and votes are tallied in declared channel order regardless of
+/// completion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelPolicy {
+    /// Evaluate channels one after another on the calling thread
+    /// (default; matches the certification-friendly baseline).
+    #[default]
+    Sequential,
+    /// Evaluate channels concurrently on scoped worker threads.
+    Parallel,
+}
+
+/// Evaluates every channel once against `input`, honouring `policy`.
+///
+/// Results are returned in declared channel order for both policies, so
+/// downstream voting is scheduling-independent.
+fn decide_all<'c>(
+    channels: impl IntoIterator<Item = &'c mut (dyn Channel + 'static)>,
+    input: &[f32],
+    policy: ParallelPolicy,
+) -> Vec<Result<ChannelVerdict, PatternError>> {
+    match policy {
+        ParallelPolicy::Sequential => channels.into_iter().map(|c| c.decide(input)).collect(),
+        ParallelPolicy::Parallel => std::thread::scope(|scope| {
+            let handles: Vec<_> = channels
+                .into_iter()
+                .map(|c| scope.spawn(move || c.decide(input)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(verdict) => verdict,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        }),
+    }
+}
 
 /// A composed safety architecture that turns inputs into [`Decision`]s.
 ///
@@ -25,6 +75,24 @@ pub trait SafetyPattern {
     ///
     /// Returns [`PatternError`] for infrastructure failures.
     fn decide(&mut self, input: &[f32]) -> Result<Decision, PatternError>;
+
+    /// Decides a batch of inputs in order, returning one decision per
+    /// input.
+    ///
+    /// The default drives [`SafetyPattern::decide`] sequentially: patterns
+    /// are stateful (temporal consistency, cascade hysteresis), so batch
+    /// semantics must equal feeding the inputs one at a time. Parallelism
+    /// belongs *inside* a decision (redundant channels, engine pools),
+    /// never across decisions, or state updates would become
+    /// scheduling-dependent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first infrastructure failure; decisions already made
+    /// are discarded (no partial batches).
+    fn decide_batch(&mut self, inputs: &[&[f32]]) -> Result<Vec<Decision>, PatternError> {
+        inputs.iter().map(|input| self.decide(input)).collect()
+    }
 }
 
 /// The unprotected baseline: one DL channel, its word is final.
@@ -35,9 +103,11 @@ pub struct Bare {
 }
 
 impl Bare {
-    /// Wraps a single channel.
-    pub fn new(channel: Box<dyn Channel>) -> Self {
-        Bare { channel }
+    /// Wraps a single channel (boxed internally).
+    pub fn new(channel: impl Channel + 'static) -> Self {
+        Bare {
+            channel: Box::new(channel),
+        }
     }
 }
 
@@ -63,9 +133,15 @@ impl SafetyPattern for Bare {
 /// sent to the safe state.
 ///
 /// The monitor here is intentionally non-ML: it is the independent, simple,
-/// verifiable component the pattern's safety argument rests on.
+/// verifiable component the pattern's safety argument rests on. An
+/// optional *monitor channel* ([`Self::with_monitor_channel`]) adds a
+/// second, independently developed channel whose class must agree with
+/// the primary's; because the two are independent, they can be evaluated
+/// concurrently under [`ParallelPolicy::Parallel`].
 pub struct MonitorActuator {
     channel: Box<dyn Channel>,
+    monitor: Option<Box<dyn Channel>>,
+    policy: ParallelPolicy,
     confidence_floor: f32,
     /// A new class must persist this many consecutive frames before it is
     /// acted on (0 = no temporal filtering).
@@ -75,14 +151,15 @@ pub struct MonitorActuator {
 }
 
 impl MonitorActuator {
-    /// Creates the pattern.
+    /// Creates the pattern (channel boxed internally, no monitor channel,
+    /// sequential evaluation).
     ///
     /// # Errors
     ///
     /// Returns [`PatternError::BadConfig`] if `confidence_floor` is not in
     /// `[0, 1]`.
     pub fn new(
-        channel: Box<dyn Channel>,
+        channel: impl Channel + 'static,
         confidence_floor: f32,
         consistency_frames: u32,
     ) -> Result<Self, PatternError> {
@@ -92,12 +169,30 @@ impl MonitorActuator {
             )));
         }
         Ok(MonitorActuator {
-            channel,
+            channel: Box::new(channel),
+            monitor: None,
+            policy: ParallelPolicy::Sequential,
             confidence_floor,
             consistency_frames,
             last_class: None,
             streak: 0,
         })
+    }
+
+    /// Adds an independent monitor channel that must agree with the
+    /// primary's class, or the actuator is sent to the safe state.
+    #[must_use]
+    pub fn with_monitor_channel(mut self, monitor: impl Channel + 'static) -> Self {
+        self.monitor = Some(Box::new(monitor));
+        self
+    }
+
+    /// Sets how the primary and monitor channels are evaluated (only
+    /// observable in latency: decisions are identical either way).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ParallelPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -107,18 +202,52 @@ impl SafetyPattern for MonitorActuator {
     }
 
     fn decide(&mut self, input: &[f32]) -> Result<Decision, PatternError> {
-        let verdict = match self.channel.decide(input) {
+        let has_monitor = self.monitor.is_some();
+        let (evals, checks) = if has_monitor { (2, 2) } else { (1, 1) };
+        let mut outcomes = decide_all(
+            std::iter::once(self.channel.as_mut()).chain(self.monitor.as_mut().map(|m| m.as_mut())),
+            input,
+            self.policy,
+        );
+        let monitor_outcome = if has_monitor { outcomes.pop() } else { None };
+        let verdict = match outcomes.pop().expect("primary outcome present") {
             Ok(v) => v,
             Err(PatternError::ChannelFault(_)) => {
-                return Ok(Decision::safe_stop(FallbackReason::ChannelFault, 1, 1));
+                return Ok(Decision::safe_stop(
+                    FallbackReason::ChannelFault,
+                    evals,
+                    checks,
+                ));
             }
             Err(e) => return Err(e),
         };
+        if let Some(outcome) = monitor_outcome {
+            // A dead monitor voids the safety argument just as surely as a
+            // dead primary; a disagreeing one flags an implausible output.
+            let monitor_verdict = match outcome {
+                Ok(v) => v,
+                Err(PatternError::ChannelFault(_)) => {
+                    return Ok(Decision::safe_stop(
+                        FallbackReason::ChannelFault,
+                        evals,
+                        checks,
+                    ));
+                }
+                Err(e) => return Err(e),
+            };
+            if monitor_verdict.class != verdict.class {
+                return Ok(Decision::safe_stop(
+                    FallbackReason::ImplausibleOutput,
+                    evals,
+                    checks,
+                ));
+            }
+        }
         if verdict.confidence < self.confidence_floor {
             return Ok(Decision::safe_stop(
                 FallbackReason::ImplausibleOutput,
-                1,
-                1,
+                evals,
+                checks,
             ));
         }
         // Temporal consistency: require the class to persist.
@@ -135,12 +264,17 @@ impl SafetyPattern for MonitorActuator {
             if self.streak < self.consistency_frames {
                 return Ok(Decision::safe_stop(
                     FallbackReason::ImplausibleOutput,
-                    1,
-                    1,
+                    evals,
+                    checks,
                 ));
             }
         }
-        Ok(Decision::proceed(verdict.class, verdict.confidence, 1, 1))
+        Ok(Decision::proceed(
+            verdict.class,
+            verdict.confidence,
+            evals,
+            checks,
+        ))
     }
 }
 
@@ -159,16 +293,16 @@ pub struct Simplex {
 
 impl Simplex {
     /// Creates the pattern from a primary engine, a calibrated monitor,
-    /// and a fallback channel.
+    /// and a fallback channel (boxed internally).
     pub fn new(
         primary: safex_nn::Engine,
         monitor: CalibratedMonitor,
-        fallback: Box<dyn Channel>,
+        fallback: impl Channel + 'static,
     ) -> Self {
         Simplex {
             primary,
             monitor,
-            fallback,
+            fallback: Box::new(fallback),
         }
     }
 }
@@ -215,21 +349,32 @@ impl SafetyPattern for Simplex {
     }
 }
 
+/// Boxed veto rule for [`SafetyBag`]:
+/// `check(input, proposed_class) -> permitted?`.
+pub type VetoRule = Box<dyn FnMut(&[f32], usize) -> bool>;
+
+/// Boxed acceptance test for [`RecoveryBlock`]:
+/// `accept(input, proposed_class, confidence) -> acceptable?`.
+pub type AcceptanceTest = Box<dyn FnMut(&[f32], usize, f32) -> bool>;
+
 /// Safety bag: the DL channel proposes, an independent rule-based checker
 /// can veto. A vetoed proposal becomes a safe stop.
 pub struct SafetyBag {
     proposer: Box<dyn Channel>,
-    /// `check(input, proposed_class) -> permitted?`
-    checker: Box<dyn FnMut(&[f32], usize) -> bool>,
+    checker: VetoRule,
 }
 
 impl SafetyBag {
-    /// Creates the pattern from a proposing channel and a veto rule.
+    /// Creates the pattern from a proposing channel and a veto rule (both
+    /// boxed internally).
     pub fn new(
-        proposer: Box<dyn Channel>,
-        checker: Box<dyn FnMut(&[f32], usize) -> bool>,
+        proposer: impl Channel + 'static,
+        checker: impl FnMut(&[f32], usize) -> bool + 'static,
     ) -> Self {
-        SafetyBag { proposer, checker }
+        SafetyBag {
+            proposer: Box::new(proposer),
+            checker: Box::new(checker),
+        }
     }
 }
 
@@ -264,21 +409,21 @@ impl SafetyPattern for SafetyBag {
 pub struct RecoveryBlock {
     primary: Box<dyn Channel>,
     alternate: Box<dyn Channel>,
-    /// `accept(input, proposed_class, confidence) -> acceptable?`
-    acceptance: Box<dyn FnMut(&[f32], usize, f32) -> bool>,
+    acceptance: AcceptanceTest,
 }
 
 impl RecoveryBlock {
-    /// Creates the pattern from primary, alternate, and acceptance test.
+    /// Creates the pattern from primary, alternate, and acceptance test
+    /// (all boxed internally).
     pub fn new(
-        primary: Box<dyn Channel>,
-        alternate: Box<dyn Channel>,
-        acceptance: Box<dyn FnMut(&[f32], usize, f32) -> bool>,
+        primary: impl Channel + 'static,
+        alternate: impl Channel + 'static,
+        acceptance: impl FnMut(&[f32], usize, f32) -> bool + 'static,
     ) -> Self {
         RecoveryBlock {
-            primary,
-            alternate,
-            acceptance,
+            primary: Box::new(primary),
+            alternate: Box::new(alternate),
+            acceptance: Box::new(acceptance),
         }
     }
 }
@@ -332,23 +477,34 @@ impl SafetyPattern for RecoveryBlock {
 /// independence.
 pub struct TwoOutOfThree {
     channels: [Box<dyn Channel>; 3],
+    policy: ParallelPolicy,
 }
 
 impl TwoOutOfThree {
-    /// Creates the voter.
+    /// Creates the voter (channels boxed internally, sequential
+    /// evaluation).
     ///
     /// # Errors
     ///
     /// Currently infallible; the `Result` keeps room for diversity checks
     /// without breaking the signature.
     pub fn new(
-        a: Box<dyn Channel>,
-        b: Box<dyn Channel>,
-        c: Box<dyn Channel>,
+        a: impl Channel + 'static,
+        b: impl Channel + 'static,
+        c: impl Channel + 'static,
     ) -> Result<Self, PatternError> {
         Ok(TwoOutOfThree {
-            channels: [a, b, c],
+            channels: [Box::new(a), Box::new(b), Box::new(c)],
+            policy: ParallelPolicy::Sequential,
         })
+    }
+
+    /// Sets how the three voters are evaluated (only observable in
+    /// latency: votes are tallied in declared order either way).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ParallelPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -360,8 +516,15 @@ impl SafetyPattern for TwoOutOfThree {
     fn decide(&mut self, input: &[f32]) -> Result<Decision, PatternError> {
         let mut verdicts = Vec::with_capacity(3);
         let mut faults = 0u32;
-        for ch in &mut self.channels {
-            match ch.decide(input) {
+        let outcomes = decide_all(
+            self.channels
+                .iter_mut()
+                .map(|c| c.as_mut() as &mut dyn Channel),
+            input,
+            self.policy,
+        );
+        for outcome in outcomes {
+            match outcome {
                 Ok(v) => verdicts.push(v),
                 Err(PatternError::ChannelFault(_)) => faults += 1,
                 Err(e) => return Err(e),
@@ -383,12 +546,9 @@ impl SafetyPattern for TwoOutOfThree {
             }
         }
         match best {
-            Some((class, votes, conf_sum)) if votes >= 2 => Ok(Decision::proceed(
-                class,
-                conf_sum / votes as f32,
-                3,
-                0,
-            )),
+            Some((class, votes, conf_sum)) if votes >= 2 => {
+                Ok(Decision::proceed(class, conf_sum / votes as f32, 3, 0))
+            }
             _ => {
                 // No majority (disagreement) or too many faults.
                 let reason = if faults > 0 {
@@ -521,10 +681,7 @@ mod tests {
 
     #[test]
     fn bare_passes_through_and_stops_on_fault() {
-        let mut p = Bare::new(Box::new(Scripted::new(vec![
-            Scripted::ok(1, 0.9),
-            Err(()),
-        ])));
+        let mut p = Bare::new(Scripted::new(vec![Scripted::ok(1, 0.9), Err(())]));
         let d = p.decide(&[0.0]).unwrap();
         assert_eq!(d.action.class(), Some(1));
         assert!(d.action.is_proceed());
@@ -535,10 +692,7 @@ mod tests {
     #[test]
     fn monitor_actuator_enforces_confidence_floor() {
         let mut p = MonitorActuator::new(
-            Box::new(Scripted::new(vec![
-                Scripted::ok(0, 0.95),
-                Scripted::ok(0, 0.3),
-            ])),
+            Scripted::new(vec![Scripted::ok(0, 0.95), Scripted::ok(0, 0.3)]),
             0.5,
             0,
         )
@@ -552,12 +706,12 @@ mod tests {
     fn monitor_actuator_temporal_consistency() {
         // New class must persist 2 frames.
         let mut p = MonitorActuator::new(
-            Box::new(Scripted::new(vec![
+            Scripted::new(vec![
                 Scripted::ok(0, 0.9),
                 Scripted::ok(0, 0.9),
                 Scripted::ok(1, 0.9), // class change: held back
                 Scripted::ok(1, 0.9), // second frame: accepted
-            ])),
+            ]),
             0.5,
             2,
         )
@@ -570,15 +724,15 @@ mod tests {
 
     #[test]
     fn monitor_actuator_config_validation() {
-        let ch = Box::new(ConstantChannel::new("c", 0));
+        let ch = ConstantChannel::new("c", 0);
         assert!(MonitorActuator::new(ch, 1.5, 0).is_err());
     }
 
     #[test]
     fn safety_bag_vetoes() {
-        let proposer = Box::new(Scripted::new(vec![Scripted::ok(1, 0.9), Scripted::ok(2, 0.9)]));
+        let proposer = Scripted::new(vec![Scripted::ok(1, 0.9), Scripted::ok(2, 0.9)]);
         // Veto class 2 regardless of input.
-        let mut p = SafetyBag::new(proposer, Box::new(|_x: &[f32], class| class != 2));
+        let mut p = SafetyBag::new(proposer, |_x: &[f32], class| class != 2);
         assert!(p.decide(&[0.0]).unwrap().action.is_proceed());
         let d = p.decide(&[0.0]).unwrap();
         assert_eq!(d.action.reason(), Some(FallbackReason::EnvelopeViolation));
@@ -586,7 +740,7 @@ mod tests {
 
     #[test]
     fn two_out_of_three_majority() {
-        let mk = |class: usize| Box::new(ConstantChannel::new("c", class));
+        let mk = |class: usize| ConstantChannel::new("c", class);
         let mut p = TwoOutOfThree::new(mk(1), mk(1), mk(0)).unwrap();
         let d = p.decide(&[0.0]).unwrap();
         assert_eq!(d.action.class(), Some(1));
@@ -595,19 +749,16 @@ mod tests {
 
     #[test]
     fn two_out_of_three_disagreement_stops() {
-        let mk = |class: usize| Box::new(ConstantChannel::new("c", class));
+        let mk = |class: usize| ConstantChannel::new("c", class);
         let mut p = TwoOutOfThree::new(mk(0), mk(1), mk(2)).unwrap();
         let d = p.decide(&[0.0]).unwrap();
-        assert_eq!(
-            d.action.reason(),
-            Some(FallbackReason::ChannelDisagreement)
-        );
+        assert_eq!(d.action.reason(), Some(FallbackReason::ChannelDisagreement));
     }
 
     #[test]
     fn two_out_of_three_survives_one_fault() {
-        let faulty = Box::new(Scripted::new(vec![Err(())]));
-        let mk = |class: usize| Box::new(ConstantChannel::new("c", class));
+        let faulty = Scripted::new(vec![Err(())]);
+        let mk = |class: usize| ConstantChannel::new("c", class);
         let mut p = TwoOutOfThree::new(faulty, mk(1), mk(1)).unwrap();
         let d = p.decide(&[0.0]).unwrap();
         assert_eq!(d.action.class(), Some(1));
@@ -617,9 +768,9 @@ mod tests {
     #[test]
     fn two_out_of_three_two_faults_stop() {
         let mut p = TwoOutOfThree::new(
-            Box::new(Scripted::new(vec![Err(())])),
-            Box::new(Scripted::new(vec![Err(())])),
-            Box::new(ConstantChannel::new("c", 1)),
+            Scripted::new(vec![Err(())]),
+            Scripted::new(vec![Err(())]),
+            ConstantChannel::new("c", 1),
         )
         .unwrap();
         let d = p.decide(&[0.0]).unwrap();
@@ -632,8 +783,8 @@ mod tests {
         // trip_threshold 2 the cascade demotes after two stops, then the
         // healthy streak promotes it back after 3 proceeds — where it
         // starts tripping again.
-        let stopper = Bare::new(Box::new(Scripted::new(vec![Err(())])));
-        let procer = Bare::new(Box::new(ConstantChannel::new("ok", 0)));
+        let stopper = Bare::new(Scripted::new(vec![Err(())]));
+        let procer = Bare::new(ConstantChannel::new("ok", 0));
         let mut c = Cascade::new(vec![Box::new(stopper), Box::new(procer)], 2, 3).unwrap();
         assert_eq!(c.current_level(), 0);
         c.decide(&[0.0]).unwrap();
@@ -651,18 +802,17 @@ mod tests {
     #[test]
     fn cascade_validation() {
         assert!(Cascade::new(vec![], 1, 1).is_err());
-        let p = Bare::new(Box::new(ConstantChannel::new("c", 0)));
+        let p = Bare::new(ConstantChannel::new("c", 0));
         assert!(Cascade::new(vec![Box::new(p)], 0, 1).is_err());
     }
 
     #[test]
     fn rule_channel_in_safety_bag() {
         // End-to-end: rule proposer + envelope over raw input.
-        let proposer = Box::new(RuleChannel::new("r", |x: &[f32]| usize::from(x[0] > 0.5)));
-        let mut bag = SafetyBag::new(
-            proposer,
-            Box::new(|x: &[f32], _class| x.iter().all(|v| v.is_finite())),
-        );
+        let proposer = RuleChannel::new("r", |x: &[f32]| usize::from(x[0] > 0.5));
+        let mut bag = SafetyBag::new(proposer, |x: &[f32], _class| {
+            x.iter().all(|v| v.is_finite())
+        });
         assert!(bag.decide(&[0.7]).unwrap().action.is_proceed());
         let d = bag.decide(&[f32::NAN]).unwrap();
         assert!(d.action.is_conservative());
@@ -671,9 +821,9 @@ mod tests {
     #[test]
     fn recovery_block_accepts_primary() {
         let mut rb = RecoveryBlock::new(
-            Box::new(ConstantChannel::new("primary", 1)),
-            Box::new(ConstantChannel::new("alternate", 2)),
-            Box::new(|_x: &[f32], _class, conf| conf >= 0.5),
+            ConstantChannel::new("primary", 1),
+            ConstantChannel::new("alternate", 2),
+            |_x: &[f32], _class, conf| conf >= 0.5,
         );
         let d = rb.decide(&[0.0]).unwrap();
         assert!(d.action.is_proceed());
@@ -685,9 +835,9 @@ mod tests {
     fn recovery_block_falls_to_alternate() {
         // Acceptance rejects class 1 (primary) but accepts class 2.
         let mut rb = RecoveryBlock::new(
-            Box::new(ConstantChannel::new("primary", 1)),
-            Box::new(ConstantChannel::new("alternate", 2)),
-            Box::new(|_x: &[f32], class, _conf| class != 1),
+            ConstantChannel::new("primary", 1),
+            ConstantChannel::new("alternate", 2),
+            |_x: &[f32], class, _conf| class != 1,
         );
         let d = rb.decide(&[0.0]).unwrap();
         assert_eq!(d.action.class(), Some(2));
@@ -698,9 +848,9 @@ mod tests {
     #[test]
     fn recovery_block_stops_when_both_rejected() {
         let mut rb = RecoveryBlock::new(
-            Box::new(ConstantChannel::new("primary", 1)),
-            Box::new(ConstantChannel::new("alternate", 2)),
-            Box::new(|_x: &[f32], _class, _conf| false),
+            ConstantChannel::new("primary", 1),
+            ConstantChannel::new("alternate", 2),
+            |_x: &[f32], _class, _conf| false,
         );
         let d = rb.decide(&[0.0]).unwrap();
         assert_eq!(d.action.class(), None);
@@ -708,11 +858,94 @@ mod tests {
     }
 
     #[test]
+    fn parallel_policy_matches_sequential_for_two_out_of_three() {
+        // Same channels, both policies, many inputs: identical decisions.
+        let build = |policy: ParallelPolicy| {
+            TwoOutOfThree::new(
+                RuleChannel::new("a", |x: &[f32]| usize::from(x[0] > 0.5)),
+                RuleChannel::new("b", |x: &[f32]| usize::from(x[0] > 0.4)),
+                RuleChannel::new("c", |x: &[f32]| usize::from(x[0] > 0.6)),
+            )
+            .unwrap()
+            .with_policy(policy)
+        };
+        let mut seq = build(ParallelPolicy::Sequential);
+        let mut par = build(ParallelPolicy::Parallel);
+        for i in 0..50 {
+            let x = [i as f32 / 50.0];
+            assert_eq!(seq.decide(&x).unwrap(), par.decide(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_two_out_of_three_handles_faults() {
+        let mut p = TwoOutOfThree::new(
+            Scripted::new(vec![Err(())]),
+            ConstantChannel::new("b", 1),
+            ConstantChannel::new("c", 1),
+        )
+        .unwrap()
+        .with_policy(ParallelPolicy::Parallel);
+        let d = p.decide(&[0.0]).unwrap();
+        assert_eq!(d.action.class(), Some(1));
+    }
+
+    #[test]
+    fn monitor_channel_agreement_proceeds() {
+        for policy in [ParallelPolicy::Sequential, ParallelPolicy::Parallel] {
+            let mut p = MonitorActuator::new(ConstantChannel::new("primary", 1), 0.5, 0)
+                .unwrap()
+                .with_monitor_channel(ConstantChannel::new("monitor", 1))
+                .with_policy(policy);
+            let d = p.decide(&[0.0]).unwrap();
+            assert!(d.action.is_proceed(), "policy {policy:?}");
+            assert_eq!(d.channel_evals, 2);
+        }
+    }
+
+    #[test]
+    fn monitor_channel_disagreement_stops() {
+        let mut p = MonitorActuator::new(ConstantChannel::new("primary", 1), 0.5, 0)
+            .unwrap()
+            .with_monitor_channel(ConstantChannel::new("monitor", 2));
+        let d = p.decide(&[0.0]).unwrap();
+        assert_eq!(d.action.reason(), Some(FallbackReason::ImplausibleOutput));
+    }
+
+    #[test]
+    fn monitor_channel_fault_stops() {
+        let mut p = MonitorActuator::new(ConstantChannel::new("primary", 1), 0.5, 0)
+            .unwrap()
+            .with_monitor_channel(Scripted::new(vec![Err(())]));
+        let d = p.decide(&[0.0]).unwrap();
+        assert_eq!(d.action.reason(), Some(FallbackReason::ChannelFault));
+    }
+
+    #[test]
+    fn decide_batch_matches_sequential_decides() {
+        // Stateful pattern (temporal consistency): batch must replay the
+        // same state trajectory as one-at-a-time decides.
+        let script = vec![
+            Scripted::ok(0, 0.9),
+            Scripted::ok(0, 0.9),
+            Scripted::ok(1, 0.9),
+            Scripted::ok(1, 0.9),
+        ];
+        let mut one = MonitorActuator::new(Scripted::new(script.clone()), 0.5, 2).unwrap();
+        let mut batch = MonitorActuator::new(Scripted::new(script), 0.5, 2).unwrap();
+        let inputs: Vec<&[f32]> = vec![&[0.0]; 4];
+        let batched = batch.decide_batch(&inputs).unwrap();
+        for (i, d) in batched.iter().enumerate() {
+            assert_eq!(*d, one.decide(inputs[i]).unwrap(), "input {i}");
+        }
+    }
+
+    #[test]
     fn recovery_block_survives_primary_crash() {
         let mut rb = RecoveryBlock::new(
-            Box::new(Scripted::new(vec![Err(())])),
-            Box::new(ConstantChannel::new("alternate", 3)),
-            Box::new(|_x: &[f32], _class, _conf| true),
+            Scripted::new(vec![Err(())]),
+            ConstantChannel::new("alternate", 3),
+            |_x: &[f32], _class, _conf| true,
         );
         let d = rb.decide(&[0.0]).unwrap();
         assert_eq!(d.action.class(), Some(3));

@@ -68,7 +68,7 @@ impl CacheConfig {
             return bad("ways must be non-zero".into());
         }
         let lines = self.size_bytes / self.line_bytes;
-        if lines == 0 || lines % self.ways != 0 {
+        if lines == 0 || !lines.is_multiple_of(self.ways) {
             return bad(format!(
                 "{} lines not divisible into {} ways",
                 lines, self.ways

@@ -127,7 +127,7 @@ impl MemoryHierarchy {
             let new_size = (l2.size_bytes / share).max(l2.line_bytes * l2.ways);
             l2.size_bytes = new_size.next_power_of_two().min(l2.size_bytes);
             // Keep geometry consistent: shrink ways if needed.
-            while (l2.size_bytes / l2.line_bytes) % l2.ways != 0
+            while !(l2.size_bytes / l2.line_bytes).is_multiple_of(l2.ways)
                 || l2.size_bytes / l2.line_bytes < l2.ways
             {
                 l2.ways /= 2;

@@ -132,7 +132,11 @@ impl Platform {
     /// # Errors
     ///
     /// Returns [`PlatformError::BadMeasurement`] for an empty program.
-    pub fn run(&self, program: &TraceProgram, rng: &mut DetRng) -> Result<RunResult, PlatformError> {
+    pub fn run(
+        &self,
+        program: &TraceProgram,
+        rng: &mut DetRng,
+    ) -> Result<RunResult, PlatformError> {
         if program.is_empty() {
             return Err(PlatformError::BadMeasurement("empty program".into()));
         }
@@ -217,8 +221,7 @@ mod tests {
         let p = Platform::new(PlatformConfig::time_randomized()).unwrap();
         let mut rng = DetRng::new(2);
         let cycles = p.measure(&kernel(), 20, &mut rng).unwrap();
-        let distinct: std::collections::HashSet<u64> =
-            cycles.iter().map(|&c| c as u64).collect();
+        let distinct: std::collections::HashSet<u64> = cycles.iter().map(|&c| c as u64).collect();
         assert!(distinct.len() > 3, "expected variation: {cycles:?}");
     }
 
@@ -250,8 +253,7 @@ mod tests {
 
     #[test]
     fn partitioning_tames_co_runner_slowdown() {
-        let shared =
-            Platform::new(PlatformConfig::time_randomized().with_co_runners(3)).unwrap();
+        let shared = Platform::new(PlatformConfig::time_randomized().with_co_runners(3)).unwrap();
         let part = Platform::new(
             PlatformConfig::time_randomized()
                 .with_co_runners(3)

@@ -70,7 +70,11 @@ impl TraceProgram {
     /// `footprint_lines` cache lines with the given stride-in-lines, with
     /// one compute cycle between accesses. Useful for cache studies
     /// independent of any model.
-    pub fn synthetic_kernel(iterations: usize, footprint_lines: usize, stride_lines: usize) -> Self {
+    pub fn synthetic_kernel(
+        iterations: usize,
+        footprint_lines: usize,
+        stride_lines: usize,
+    ) -> Self {
         let line = 64u64;
         let mut ops = Vec::with_capacity(iterations * footprint_lines);
         for _ in 0..iterations {
@@ -285,7 +289,7 @@ mod tests {
         let full = TraceProgram::from_model(&m, usize::MAX);
         let sampled = TraceProgram::from_model(&m, 16);
         assert!(sampled.len() < full.len());
-        assert!(sampled.len() > 0);
+        assert!(!sampled.is_empty());
     }
 
     #[test]

@@ -111,7 +111,9 @@ impl Dataset {
         samples: Vec<Sample>,
     ) -> Result<Self, ScenarioError> {
         if classes == 0 {
-            return Err(ScenarioError::InvalidData("classes must be non-zero".into()));
+            return Err(ScenarioError::InvalidData(
+                "classes must be non-zero".into(),
+            ));
         }
         if class_names.len() != classes {
             return Err(ScenarioError::InvalidData(format!(
@@ -307,18 +309,19 @@ mod tests {
             label: 0,
             salient: None,
         }];
-        assert!(
-            Dataset::new(Shape::chw(1, 2, 2), 1, vec!["a".into()], bad_len).is_err()
-        );
+        assert!(Dataset::new(Shape::chw(1, 2, 2), 1, vec!["a".into()], bad_len).is_err());
         let bad_label = vec![Sample {
             input: vec![0.0; 4],
             label: 3,
             salient: None,
         }];
-        assert!(
-            Dataset::new(Shape::chw(1, 2, 2), 2, vec!["a".into(), "b".into()], bad_label)
-                .is_err()
-        );
+        assert!(Dataset::new(
+            Shape::chw(1, 2, 2),
+            2,
+            vec!["a".into(), "b".into()],
+            bad_label
+        )
+        .is_err());
     }
 
     #[test]
@@ -373,13 +376,8 @@ mod tests {
         let d = tiny();
         let m = d.merged(&d).unwrap();
         assert_eq!(m.len(), 20);
-        let other = Dataset::new(
-            Shape::chw(1, 1, 4),
-            2,
-            vec!["a".into(), "b".into()],
-            vec![],
-        )
-        .unwrap();
+        let other =
+            Dataset::new(Shape::chw(1, 1, 4), 2, vec!["a".into(), "b".into()], vec![]).unwrap();
         assert!(d.merged(&other).is_err());
     }
 }

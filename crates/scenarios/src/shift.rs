@@ -241,7 +241,9 @@ mod tests {
     #[test]
     fn brightness_adds_offset() {
         let d = base();
-        let shifted = Shift::Brightness(0.3).apply(&d, &mut DetRng::new(3)).unwrap();
+        let shifted = Shift::Brightness(0.3)
+            .apply(&d, &mut DetRng::new(3))
+            .unwrap();
         let orig = d.samples()[0].input[0];
         let new = shifted.samples()[0].input[0];
         assert!((new - orig - 0.3).abs() < 1e-6);
@@ -251,11 +253,7 @@ mod tests {
     fn contrast_pivots_at_half() {
         let d = base();
         let shifted = Shift::Contrast(0.5).apply(&d, &mut DetRng::new(4)).unwrap();
-        for (o, n) in d.samples()[0]
-            .input
-            .iter()
-            .zip(&shifted.samples()[0].input)
-        {
+        for (o, n) in d.samples()[0].input.iter().zip(&shifted.samples()[0].input) {
             let expected = 0.5 + 0.5 * (o - 0.5);
             assert!((n - expected).abs() < 1e-6);
         }

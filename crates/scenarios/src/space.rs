@@ -122,10 +122,7 @@ pub fn generate_sample(config: &SpaceConfig, label: usize, rng: &mut DetRng) -> 
                     }
                 }
             }
-            Some(
-                Region::new(cy - r, cx - r, 2 * r + 1, 2 * r + 1)
-                    .expect("crater bounds non-zero"),
-            )
+            Some(Region::new(cy - r, cx - r, 2 * r + 1, 2 * r + 1).expect("crater bounds non-zero"))
         }
         _ => {
             // Boulder field: cluster of bright 1-2 px dots in a 7x7 box,
@@ -210,7 +207,10 @@ mod tests {
             .flat_map(|y| (r.x..r.x + r.w).map(move |x| (y, x)))
             .filter(|&(y, x)| s.input[y * n + x] > 0.9)
             .count();
-        assert!(dots >= 3, "boulder cluster should have several dots: {dots}");
+        assert!(
+            dots >= 3,
+            "boulder cluster should have several dots: {dots}"
+        );
     }
 
     #[test]

@@ -123,9 +123,7 @@ impl CusumDetector {
     /// Returns [`SupervisionError::InvalidData`] for a non-finite score.
     pub fn update(&mut self, score: f64) -> Result<DriftState, SupervisionError> {
         if !score.is_finite() {
-            return Err(SupervisionError::InvalidData(
-                "non-finite score".into(),
-            ));
+            return Err(SupervisionError::InvalidData("non-finite score".into()));
         }
         self.observations += 1;
         let z = (score - self.mean) / self.std;

@@ -178,13 +178,18 @@ mod tests {
     }
 
     fn id_observations() -> Vec<Observation> {
-        (0..20).map(|i| obs(0.9 + (i % 5) as f32 * 0.01, 4.0)).collect()
+        (0..20)
+            .map(|i| obs(0.9 + (i % 5) as f32 * 0.01, 4.0))
+            .collect()
     }
 
     #[test]
     fn score_ensemble_scores_anomalies_higher() {
         let e = ScoreEnsemble::fit(
-            vec![Box::new(SoftmaxThreshold::new()), Box::new(LogitMargin::new())],
+            vec![
+                Box::new(SoftmaxThreshold::new()),
+                Box::new(LogitMargin::new()),
+            ],
             &id_observations(),
         )
         .unwrap();
@@ -198,9 +203,7 @@ mod tests {
     #[test]
     fn score_ensemble_validation() {
         assert!(ScoreEnsemble::fit(vec![], &id_observations()).is_err());
-        assert!(
-            ScoreEnsemble::fit(vec![Box::new(SoftmaxThreshold::new())], &[]).is_err()
-        );
+        assert!(ScoreEnsemble::fit(vec![Box::new(SoftmaxThreshold::new())], &[]).is_err());
     }
 
     #[test]
@@ -220,10 +223,8 @@ mod tests {
 
         let any = VoteEnsemble::new(
             vec![
-                CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.05)
-                    .unwrap(),
-                CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.45)
-                    .unwrap(),
+                CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.05).unwrap(),
+                CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.45).unwrap(),
             ],
             1,
         )
@@ -241,18 +242,15 @@ mod tests {
     #[test]
     fn vote_ensemble_validation() {
         assert!(VoteEnsemble::new(vec![], 1).is_err());
-        let m = CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5)
-            .unwrap();
+        let m = CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5).unwrap();
         assert!(VoteEnsemble::new(vec![m], 0).is_err());
-        let m = CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5)
-            .unwrap();
+        let m = CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5).unwrap();
         assert!(VoteEnsemble::new(vec![m], 2).is_err());
     }
 
     #[test]
     fn vote_ensemble_accessors() {
-        let m = CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5)
-            .unwrap();
+        let m = CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5).unwrap();
         let e = VoteEnsemble::new(vec![m], 1).unwrap();
         assert_eq!(e.len(), 1);
         assert!(!e.is_empty());
@@ -262,11 +260,8 @@ mod tests {
     #[test]
     fn ensemble_is_a_supervisor() {
         // ScoreEnsemble itself can be wrapped in a CalibratedMonitor.
-        let e = ScoreEnsemble::fit(
-            vec![Box::new(SoftmaxThreshold::new())],
-            &id_observations(),
-        )
-        .unwrap();
+        let e = ScoreEnsemble::fit(vec![Box::new(SoftmaxThreshold::new())], &id_observations())
+            .unwrap();
         let m = CalibratedMonitor::with_threshold(Box::new(e), 3.0).unwrap();
         let (v, _) = m.check(&obs(0.91, 4.0)).unwrap();
         assert_eq!(v, Verdict::Accept);

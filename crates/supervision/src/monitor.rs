@@ -171,24 +171,16 @@ mod tests {
     #[test]
     fn fit_validation() {
         assert!(CalibratedMonitor::fit(Box::new(SoftmaxThreshold::new()), &[], 0.05).is_err());
+        assert!(CalibratedMonitor::fit(Box::new(SoftmaxThreshold::new()), &[0.1], 0.0).is_err());
+        assert!(CalibratedMonitor::fit(Box::new(SoftmaxThreshold::new()), &[0.1], 1.0).is_err());
         assert!(
-            CalibratedMonitor::fit(Box::new(SoftmaxThreshold::new()), &[0.1], 0.0).is_err()
+            CalibratedMonitor::fit(Box::new(SoftmaxThreshold::new()), &[f64::NAN], 0.05).is_err()
         );
-        assert!(
-            CalibratedMonitor::fit(Box::new(SoftmaxThreshold::new()), &[0.1], 1.0).is_err()
-        );
-        assert!(CalibratedMonitor::fit(
-            Box::new(SoftmaxThreshold::new()),
-            &[f64::NAN],
-            0.05
-        )
-        .is_err());
     }
 
     #[test]
     fn check_thresholds_scores() {
-        let m =
-            CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.3).unwrap();
+        let m = CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.3).unwrap();
         // Confident input: score = 1 - 0.9 = 0.1 -> accept.
         let (v, s) = m.check(&obs(0.9)).unwrap();
         assert_eq!(v, Verdict::Accept);
@@ -201,8 +193,7 @@ mod tests {
 
     #[test]
     fn boundary_score_accepts() {
-        let m =
-            CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5).unwrap();
+        let m = CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5).unwrap();
         let (v, s) = m.check(&obs(0.5)).unwrap();
         assert_eq!(s, 0.5);
         assert_eq!(v, Verdict::Accept);
@@ -211,15 +202,13 @@ mod tests {
     #[test]
     fn with_threshold_rejects_nan() {
         assert!(
-            CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), f64::NAN)
-                .is_err()
+            CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), f64::NAN).is_err()
         );
     }
 
     #[test]
     fn debug_shows_supervisor() {
-        let m =
-            CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5).unwrap();
+        let m = CalibratedMonitor::with_threshold(Box::new(SoftmaxThreshold::new()), 0.5).unwrap();
         assert!(format!("{m:?}").contains("softmax_threshold"));
     }
 }

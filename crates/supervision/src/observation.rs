@@ -53,7 +53,9 @@ impl Observation {
             ));
         }
         let finite = |v: &[f32]| v.iter().all(|x| x.is_finite());
-        if !finite(&self.input) || !finite(&self.logits) || !finite(&self.probs)
+        if !finite(&self.input)
+            || !finite(&self.logits)
+            || !finite(&self.probs)
             || !finite(&self.features)
         {
             return Err(SupervisionError::InvalidData(

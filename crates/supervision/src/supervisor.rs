@@ -160,8 +160,8 @@ impl Supervisor for Mahalanobis {
         let mut best = f64::INFINITY;
         for mean in &self.means {
             let mut dist = 0.0f64;
-            for i in 0..d {
-                let diff = obs.features[i] as f64 - mean[i];
+            for (i, &m) in mean.iter().enumerate().take(d) {
+                let diff = obs.features[i] as f64 - m;
                 dist += diff * diff / self.variance[i];
             }
             if dist < best {
@@ -221,9 +221,18 @@ impl Supervisor for Mahalanobis {
         // Tied diagonal variance around class means.
         let mut variance = vec![0.0f64; d];
         let mut kept = vec![0usize; 0];
-        kept.extend(counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, _)| i));
+        kept.extend(
+            counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, _)| i),
+        );
         for (o, &y) in observations.iter().zip(labels) {
-            let class_pos = kept.iter().position(|&k| k == y).expect("label was counted");
+            let class_pos = kept
+                .iter()
+                .position(|&k| k == y)
+                .expect("label was counted");
             for i in 0..d {
                 let diff = o.features[i] as f64 - means[class_pos][i];
                 variance[i] += diff * diff;
@@ -447,10 +456,7 @@ mod tests {
     fn mahalanobis_requires_fit() {
         let s = Mahalanobis::new();
         let o = obs(&[0.0], &[1.0, 0.0], &[0.7, 0.3], &[0.0, 0.0]);
-        assert!(matches!(
-            s.score(&o),
-            Err(SupervisionError::NotFitted(_))
-        ));
+        assert!(matches!(s.score(&o), Err(SupervisionError::NotFitted(_))));
     }
 
     #[test]
@@ -484,7 +490,7 @@ mod tests {
         let mut s = Mahalanobis::new();
         assert!(s.fit(&[], &[]).is_err());
         let o = obs(&[0.0], &[0.0, 0.0], &[1.0, 0.0], &[0.0]);
-        assert!(s.fit(&[o.clone()], &[0, 1]).is_err());
+        assert!(s.fit(std::slice::from_ref(&o), &[0, 1]).is_err());
         // Dimension mismatch at score time.
         s.fit(&[o.clone(), o], &[0, 0]).unwrap();
         let wrong = obs(&[0.0], &[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]);
@@ -501,7 +507,7 @@ mod tests {
                 obs(&[x, 0.0, 0.0], &[0.0, 0.0], &[0.5, 0.5], &[0.0])
             })
             .collect();
-        s.fit(&train, &vec![0; 20]).unwrap();
+        s.fit(&train, &[0; 20]).unwrap();
         let on = obs(&[1.5, 0.0, 0.0], &[0.0, 0.0], &[0.5, 0.5], &[0.0]);
         let off = obs(&[0.0, 2.0, 1.0], &[0.0, 0.0], &[0.5, 0.5], &[0.0]);
         assert!(s.score(&on).unwrap() < 1e-6);
@@ -513,11 +519,8 @@ mod tests {
         assert!(Reconstruction::new(0).is_err());
         let mut s = Reconstruction::new(2).unwrap();
         let o = obs(&[0.0, 0.0], &[0.0, 0.0], &[1.0, 0.0], &[0.0]);
-        assert!(s.fit(&[o.clone()], &[0]).is_err()); // needs >= 2
-        assert!(matches!(
-            s.score(&o),
-            Err(SupervisionError::NotFitted(_))
-        ));
+        assert!(s.fit(std::slice::from_ref(&o), &[0]).is_err()); // needs >= 2
+        assert!(matches!(s.score(&o), Err(SupervisionError::NotFitted(_))));
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl fmt::Display for TensorError {
                 write!(f, "matmul operands incompatible: {left} x {right}")
             }
             TensorError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} out of bounds for tensor of {len} elements"
+                )
             }
             TensorError::EmptyShape => write!(f, "shape must have at least one dimension"),
             TensorError::EmptyInput => write!(f, "operation requires a non-empty tensor"),

@@ -407,7 +407,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let total: Q16_16 = (1..=4).map(|i| Q16_16::from_int(i)).sum();
+        let total: Q16_16 = (1..=4).map(Q16_16::from_int).sum();
         assert_eq!(total.to_f32(), 10.0);
     }
 

@@ -105,7 +105,9 @@ pub fn conv2d_into(
     padding: usize,
 ) -> Result<(), TensorError> {
     if stride == 0 {
-        return Err(TensorError::InvalidArgument("stride must be non-zero".into()));
+        return Err(TensorError::InvalidArgument(
+            "stride must be non-zero".into(),
+        ));
     }
     let (out_h, out_w) = conv2d_output_dims(in_h, in_w, k_h, k_w, stride, padding)?;
     check_len(x, in_c * in_h * in_w)?;
@@ -130,8 +132,8 @@ pub fn conv2d_into(
                                 continue;
                             }
                             let xv = x[ic * in_h * in_w + iy as usize * in_w + ix as usize];
-                            let wv = weights
-                                [oc * in_c * k_h * k_w + ic * k_h * k_w + ky * k_w + kx];
+                            let wv =
+                                weights[oc * in_c * k_h * k_w + ic * k_h * k_w + ky * k_w + kx];
                             acc += xv as f64 * wv as f64;
                         }
                     }
@@ -157,7 +159,9 @@ pub fn conv2d_output_dims(
     padding: usize,
 ) -> Result<(usize, usize), TensorError> {
     if stride == 0 {
-        return Err(TensorError::InvalidArgument("stride must be non-zero".into()));
+        return Err(TensorError::InvalidArgument(
+            "stride must be non-zero".into(),
+        ));
     }
     let padded_h = in_h + 2 * padding;
     let padded_w = in_w + 2 * padding;
@@ -397,10 +401,9 @@ pub fn conv2d_q16_into(
                                 continue;
                             }
                             let xv = x[ic * in_h * in_w + iy as usize * in_w + ix as usize];
-                            let wv = weights
-                                [oc * in_c * k_h * k_w + ic * k_h * k_w + ky * k_w + kx];
-                            acc = acc
-                                .saturating_add(xv.to_bits() as i64 * wv.to_bits() as i64);
+                            let wv =
+                                weights[oc * in_c * k_h * k_w + ic * k_h * k_w + ky * k_w + kx];
+                            acc = acc.saturating_add(xv.to_bits() as i64 * wv.to_bits() as i64);
                         }
                     }
                 }
@@ -538,7 +541,9 @@ mod tests {
 
     #[test]
     fn conv2d_stride_two() {
-        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0];
+        let x = [
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0,
+        ];
         let w = [1.0];
         let b = [0.0];
         let (oh, ow) = conv2d_output_dims(4, 4, 1, 1, 2, 0).unwrap();
@@ -570,7 +575,9 @@ mod tests {
 
     #[test]
     fn maxpool_basic() {
-        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0];
+        let x = [
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0,
+        ];
         let mut out = [0.0; 4];
         maxpool2d_into(&x, &mut out, 1, 4, 4, 2, 2).unwrap();
         assert_eq!(out, [6.0, 8.0, 14.0, 16.0]);

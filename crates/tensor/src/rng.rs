@@ -128,7 +128,10 @@ impl DetRng {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "range_f64 bounds invalid");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "range_f64 bounds invalid"
+        );
         lo + self.next_f64() * (hi - lo)
     }
 
@@ -157,7 +160,10 @@ impl DetRng {
     ///
     /// Panics if `std_dev` is negative or non-finite.
     pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be non-negative");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be non-negative"
+        );
         mean + std_dev * self.next_gaussian()
     }
 

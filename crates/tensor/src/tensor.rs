@@ -404,8 +404,14 @@ mod tests {
 
     #[test]
     fn zeros_and_full() {
-        assert!(Tensor::zeros(Shape::vector(4)).as_slice().iter().all(|&x| x == 0.0));
-        assert!(Tensor::full(Shape::vector(4), 2.5).as_slice().iter().all(|&x| x == 2.5));
+        assert!(Tensor::zeros(Shape::vector(4))
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.0));
+        assert!(Tensor::full(Shape::vector(4), 2.5)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 2.5));
     }
 
     #[test]

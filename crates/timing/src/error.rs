@@ -33,6 +33,8 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(TimingError::BadSample("n=2".into()).to_string().contains("n=2"));
+        assert!(TimingError::BadSample("n=2".into())
+            .to_string()
+            .contains("n=2"));
     }
 }

@@ -258,14 +258,11 @@ mod tests {
     #[test]
     fn gumbel_fit_validation() {
         assert!(Gumbel::fit(&[1.0; 5]).is_err());
-        assert!(Gumbel::fit(&vec![5.0; 20]).is_err()); // zero variance
+        assert!(Gumbel::fit(&[5.0; 20]).is_err()); // zero variance
         let mut s = gumbel_sample(0.0, 1.0, 20, 2);
         s[0] = f64::INFINITY;
         assert!(Gumbel::fit(&s).is_err());
-        let g = Gumbel {
-            mu: 0.0,
-            beta: 1.0,
-        };
+        let g = Gumbel { mu: 0.0, beta: 1.0 };
         assert!(g.quantile_exceedance(0.0).is_err());
         assert!(g.quantile_exceedance(1.0).is_err());
     }

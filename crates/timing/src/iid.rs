@@ -221,8 +221,18 @@ fn z_quantile_two_sided(alpha: f64) -> Result<f64, TimingError> {
 /// Standard normal quantile via the Beasley-Springer-Moro approximation.
 fn normal_quantile(p: f64) -> f64 {
     debug_assert!(p > 0.0 && p < 1.0);
-    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
-    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const A: [f64; 4] = [
+        2.50662823884,
+        -18.61500062529,
+        41.39119773534,
+        -25.44106049637,
+    ];
+    const B: [f64; 4] = [
+        -8.47351093090,
+        23.08336743743,
+        -21.06224101826,
+        3.13082909833,
+    ];
     const C: [f64; 9] = [
         0.3374754822726147,
         0.9761690190917186,
@@ -306,7 +316,9 @@ mod tests {
 
     #[test]
     fn oscillating_sample_fails_runs() {
-        let s: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let s: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 2.0 })
+            .collect();
         let out = runs_test(&s, 0.05).unwrap();
         assert!(!out.passed, "z = {}", out.statistic);
     }
@@ -330,8 +342,8 @@ mod tests {
         bad[3] = f64::NAN;
         assert!(runs_test(&bad, 0.05).is_err());
         // Constant sample: degenerate for runs (no values off median).
-        assert!(runs_test(&vec![5.0; 100], 0.05).is_err());
-        assert!(ljung_box(&vec![5.0; 100], 5, 0.05).is_err());
+        assert!(runs_test(&[5.0; 100], 0.05).is_err());
+        assert!(ljung_box(&[5.0; 100], 5, 0.05).is_err());
     }
 
     #[test]

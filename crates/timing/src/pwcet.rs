@@ -171,10 +171,7 @@ mod tests {
 
     #[test]
     fn construction_validation() {
-        let g = Gumbel {
-            mu: 0.0,
-            beta: 1.0,
-        };
+        let g = Gumbel { mu: 0.0, beta: 1.0 };
         assert!(PwcetCurve::new(g, 0).is_err());
         let bad = Gumbel {
             mu: 0.0,
@@ -236,7 +233,9 @@ mod tests {
         // Per-run samples for the empirical comparison. The extreme order
         // statistics of 2000 draws have std ~ beta (= 100 cycles), so the
         // coverage tolerance is a few beta.
-        let runs: Vec<f64> = (0..2000).map(|_| 10_000.0 + rng.exponential(0.01)).collect();
+        let runs: Vec<f64> = (0..2000)
+            .map(|_| 10_000.0 + rng.exponential(0.01))
+            .collect();
         // Skip depths below 10 draws (single-sample noise).
         let margin = c.tail_margin(&runs, 0.9, 10.0 / 2000.0).unwrap();
         assert!(

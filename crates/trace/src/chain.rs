@@ -32,7 +32,11 @@ impl fmt::Display for ChainDefect {
             DefectReason::BrokenLink => "broken predecessor link",
             DefectReason::BadIndex => "non-consecutive index",
         };
-        write!(f, "evidence chain defect at record {}: {reason}", self.index)
+        write!(
+            f,
+            "evidence chain defect at record {}: {reason}",
+            self.index
+        )
     }
 }
 

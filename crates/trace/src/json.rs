@@ -181,7 +181,10 @@ pub fn chain_to_json(chain: &EvidenceChain) -> Json {
         .collect();
     let mut root = Json::object();
     root.set("campaign", Json::from(chain.campaign()))
-        .set("head_hash", Json::Str(format!("{:016x}", chain.head_hash())))
+        .set(
+            "head_hash",
+            Json::Str(format!("{:016x}", chain.head_hash())),
+        )
         .set("records", Json::Arr(records));
     root
 }

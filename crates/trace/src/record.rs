@@ -201,7 +201,10 @@ mod tests {
             index: 3,
             logical_time: 3,
             kind: RecordKind::InferencePerformed,
-            fields: vec![("class".into(), Value::U64(2)), ("conf".into(), Value::F64(0.9))],
+            fields: vec![
+                ("class".into(), Value::U64(2)),
+                ("conf".into(), Value::F64(0.9)),
+            ],
             prev_hash: 0xdead,
             hash: 0,
         };

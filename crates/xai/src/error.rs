@@ -49,7 +49,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        assert!(XaiError::BadInput("rank".into()).to_string().contains("rank"));
+        assert!(XaiError::BadInput("rank".into())
+            .to_string()
+            .contains("rank"));
         assert!(XaiError::from(NnError::EmptyModel).source().is_some());
         assert!(XaiError::BadConfig("x".into()).source().is_none());
     }

@@ -118,8 +118,7 @@ mod tests {
         let good = map_with_hot_block(6, 6, &truth);
         let wrong = Region::new(4, 4, 2, 2).unwrap();
         let bad = map_with_hot_block(6, 6, &wrong);
-        let report =
-            evaluate_batch(&[(good, truth), (bad, truth)]).unwrap();
+        let report = evaluate_batch(&[(good, truth), (bad, truth)]).unwrap();
         assert_eq!(report.samples, 2);
         assert_eq!(report.pointing_game, 0.5);
         assert_eq!(report.mean_iou, 0.5);

@@ -380,8 +380,7 @@ pub fn integrated_gradient_saliency(
         for y in 0..h {
             for x in 0..w {
                 let idx = c * h * w + y * w + x;
-                let attribution = grad_sum[idx] / steps as f64
-                    * (input[idx] - baseline) as f64;
+                let attribution = grad_sum[idx] / steps as f64 * (input[idx] - baseline) as f64;
                 values[y * w + x] += attribution.abs();
             }
         }
@@ -510,8 +509,7 @@ mod tests {
                 input[y * 10 + x] = 1.0;
             }
         }
-        let map = occlusion_saliency(&mut engine, &input, 1, &OcclusionConfig::default())
-            .unwrap();
+        let map = occlusion_saliency(&mut engine, &input, 1, &OcclusionConfig::default()).unwrap();
         let (py, px) = map.peak();
         assert!(block.contains(py, px), "peak ({py},{px}) outside block");
         let best = map.best_window(3, 3).unwrap();
@@ -585,8 +583,7 @@ mod tests {
         let block = Region::new(0, 0, 2, 2).unwrap();
         let mut engine = pixel_sum_engine(8, 8, block);
         let input = vec![0.5f32; 64];
-        assert!(occlusion_saliency(&mut engine, &input, 9, &OcclusionConfig::default())
-            .is_err());
+        assert!(occlusion_saliency(&mut engine, &input, 9, &OcclusionConfig::default()).is_err());
         assert!(gradient_saliency(&mut engine, &input, 9, 1e-2).is_err());
         assert!(gradient_saliency(&mut engine, &input, 0, 0.0).is_err());
     }
@@ -639,8 +636,7 @@ mod tests {
                 input[y * 6 + x] = 0.9;
             }
         }
-        let map =
-            integrated_gradient_saliency(&mut engine, &input, 1, 0.0, 4, 1e-2).unwrap();
+        let map = integrated_gradient_saliency(&mut engine, &input, 1, 0.0, 4, 1e-2).unwrap();
         let (py, px) = map.peak();
         assert!(block.contains(py, px), "peak ({py},{px}) outside block");
     }
@@ -652,9 +648,7 @@ mod tests {
         let input = vec![0.5f32; 36];
         assert!(integrated_gradient_saliency(&mut engine, &input, 1, 0.0, 0, 1e-2).is_err());
         assert!(integrated_gradient_saliency(&mut engine, &input, 1, 0.0, 4, 0.0).is_err());
-        assert!(
-            integrated_gradient_saliency(&mut engine, &input, 1, f32::NAN, 4, 1e-2).is_err()
-        );
+        assert!(integrated_gradient_saliency(&mut engine, &input, 1, f32::NAN, 4, 1e-2).is_err());
         assert!(integrated_gradient_saliency(&mut engine, &input, 9, 0.0, 4, 1e-2).is_err());
     }
 

@@ -264,7 +264,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_nan() {
-        let f = vec![vec![1.0, 5.0], vec![1.0, 0.0], vec![1.0, 5.1], vec![1.0, -0.1]];
+        let f = vec![
+            vec![1.0, 5.0],
+            vec![1.0, 0.0],
+            vec![1.0, 5.1],
+            vec![1.0, -0.1],
+        ];
         let c = vec![true, false, true, false];
         let m = TrustModel::fit(&f, &c, 100, 0.5).unwrap();
         let t = m.trust(&[1.0, 5.0]).unwrap();

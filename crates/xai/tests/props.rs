@@ -80,7 +80,7 @@ proptest! {
         t_exp in -2.0f64..2.0,
     ) {
         let ts = TemperatureScaling::fit(
-            &[logits.clone()],
+            std::slice::from_ref(&logits),
             &[0],
         );
         // Fit on a single sample may pick an extreme T; test apply via a

@@ -2,8 +2,8 @@
 //! automotive function.
 //!
 //! Assembles the recommended pipeline at every SIL for the same trained
-//! perception function and drives each through the same nominal + shifted
-//! + fault-free streams, reporting behaviour and cost side by side. Then
+//! perception function and drives each through the same nominal, shifted,
+//! and fault-free streams, reporting behaviour and cost side by side. Then
 //! prices each pattern in platform cycles by measuring its channel
 //! evaluations on the simulated platform.
 //!

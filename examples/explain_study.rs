@@ -21,6 +21,11 @@ use safexplain::xai::fidelity;
 use safexplain::xai::saliency::{gradient_saliency, occlusion_saliency, OcclusionConfig};
 use safexplain::xai::trust::TrustModel;
 
+/// Per-sample logits with ground-truth labels.
+type LogitSet = (Vec<Vec<f32>>, Vec<usize>);
+/// Per-sample trust features with correctness flags.
+type FeatureSet = (Vec<Vec<f64>>, Vec<bool>);
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = DetRng::new(31);
     let data = automotive::generate(
@@ -62,12 +67,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let grad_report = fidelity::evaluate_batch(&grad_pairs)?;
         println!(
             "{:<7} {:<9.2} {:<10} {:>13.0}% {:>9.2} {:>9.2}",
-            epochs, acc, "occlusion", occ_report.pointing_game * 100.0, occ_report.mean_iou,
+            epochs,
+            acc,
+            "occlusion",
+            occ_report.pointing_game * 100.0,
+            occ_report.mean_iou,
             occ_report.mean_mass
         );
         println!(
             "{:<7} {:<9} {:<10} {:>13.0}% {:>9.2} {:>9.2}",
-            "", "", "gradient", grad_report.pointing_game * 100.0, grad_report.mean_iou,
+            "",
+            "",
+            "gradient",
+            grad_report.pointing_game * 100.0,
+            grad_report.mean_iou,
             grad_report.mean_mass
         );
     }
@@ -85,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (cal, eval) = test.split(0.5, &mut rng)?;
     let collect = |engine: &mut Engine,
                    data: &safexplain::scenarios::Dataset|
-     -> Result<(Vec<Vec<f32>>, Vec<usize>), Box<dyn std::error::Error>> {
+     -> Result<LogitSet, Box<dyn std::error::Error>> {
         let mut logits = Vec::new();
         let mut labels = Vec::new();
         for s in data.samples() {
@@ -101,10 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let identity = TemperatureScaling::identity();
     let fitted = TemperatureScaling::fit(&cal_logits, &cal_labels)?;
     println!("fitted temperature: {:.3}", fitted.temperature());
-    println!(
-        "{:<22} {:>8} {:>8}",
-        "transform", "ECE", "Brier"
-    );
+    println!("{:<22} {:>8} {:>8}", "transform", "ECE", "Brier");
     for (name, ts) in [("identity (T=1)", identity), ("temperature-scaled", fitted)] {
         let probs: Vec<Vec<f32>> = eval_logits.iter().map(|z| ts.apply(z)).collect();
         let ece = expected_calibration_error(&probs, &eval_labels, 10)?;
@@ -123,7 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mahalanobis.fit(&train_obs, &train.labels())?;
     let featurise = |engine: &mut Engine,
                      data: &safexplain::scenarios::Dataset|
-     -> Result<(Vec<Vec<f64>>, Vec<bool>), Box<dyn std::error::Error>> {
+     -> Result<FeatureSet, Box<dyn std::error::Error>> {
         let mut feats = Vec::new();
         let mut correct = Vec::new();
         for s in data.samples() {

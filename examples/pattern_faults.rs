@@ -26,12 +26,9 @@ fn faulty_primary(
     fault: FaultModel,
     classes: usize,
     seed: u64,
-) -> Box<FaultyChannel> {
+) -> FaultyChannel {
     let inner = ModelChannel::new("primary", Engine::new(model.clone()));
-    Box::new(
-        FaultyChannel::new(Box::new(inner), fault, classes, DetRng::new(seed))
-            .expect("valid fault model"),
-    )
+    FaultyChannel::new(inner, fault, classes, DetRng::new(seed)).expect("valid fault model")
 }
 
 struct Tally {
@@ -121,15 +118,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Shared injector-bookkeeping: each pattern gets its own injector; we
-    // thread `last_fault` out through a RefCell captured by the closure.
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    // thread `last_fault` out through a mutex captured by the closure
+    // (channels are `Send`, so `Rc<RefCell<..>>` is not an option).
+    use std::sync::{Arc, Mutex};
 
     /// Wraps a faulty channel so the latest injected fault is observable
     /// from outside the pattern.
     struct Reporting {
         inner: FaultyChannel,
-        last: Rc<RefCell<InjectedFault>>,
+        last: Arc<Mutex<InjectedFault>>,
     }
     impl Channel for Reporting {
         fn name(&self) -> &str {
@@ -141,19 +138,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ) -> Result<safexplain::patterns::channel::ChannelVerdict, safexplain::patterns::PatternError>
         {
             let r = self.inner.decide(input);
-            *self.last.borrow_mut() = self.inner.last_fault();
+            *self.last.lock().expect("fault cell") = self.inner.last_fault();
             r
         }
     }
 
-    let build_reporting = |seed: u64| -> (Box<dyn Channel>, Rc<RefCell<InjectedFault>>) {
-        let cell = Rc::new(RefCell::new(InjectedFault::None));
-        let faulty = faulty_primary(&model, fault, classes, seed);
+    let build_reporting = |seed: u64| -> (Reporting, Arc<Mutex<InjectedFault>>) {
+        let cell = Arc::new(Mutex::new(InjectedFault::None));
+        let inner = faulty_primary(&model, fault, classes, seed);
         (
-            Box::new(Reporting {
-                inner: *faulty,
+            Reporting {
+                inner,
                 last: cell.clone(),
-            }),
+            },
             cell,
         )
     };
@@ -164,7 +161,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ch, cell) = build_reporting(1);
     let tally = run_pattern(
         Box::new(Bare::new(ch)),
-        move || *cell.borrow(),
+        move || *cell.lock().expect("fault cell"),
         &test,
         rounds,
     )?;
@@ -174,7 +171,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ch, cell) = build_reporting(2);
     let tally = run_pattern(
         Box::new(MonitorActuator::new(ch, 0.6, 0)?),
-        move || *cell.borrow(),
+        move || *cell.lock().expect("fault cell"),
         &test,
         rounds,
     )?;
@@ -183,31 +180,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Safety bag: veto when the proposal contradicts a brightness rule
     // (an object proposal with an almost-dark frame is implausible).
     let (ch, cell) = build_reporting(3);
-    let bag = SafetyBag::new(
-        ch,
-        Box::new(|input: &[f32], class| {
-            let bright = input.iter().filter(|&&p| p > 0.6).count();
-            // Claiming an object with no bright pixels is implausible.
-            class == 0 || bright >= 4
-        }),
-    );
-    let tally = run_pattern(Box::new(bag), move || *cell.borrow(), &test, rounds)?;
+    let bag = SafetyBag::new(ch, |input: &[f32], class| {
+        let bright = input.iter().filter(|&&p| p > 0.6).count();
+        // Claiming an object with no bright pixels is implausible.
+        class == 0 || bright >= 4
+    });
+    let tally = run_pattern(
+        Box::new(bag),
+        move || *cell.lock().expect("fault cell"),
+        &test,
+        rounds,
+    )?;
     rows.push(("safety_bag".into(), tally));
 
     // 2oo3: faulty primary + quantised twin + diverse second model.
     let (ch, cell) = build_reporting(4);
     let qtwin = QuantChannel::new("quant", QEngine::new(QModel::quantize(&model)?));
     let diverse = ModelChannel::new("diverse", Engine::new(model_b.clone()));
-    let voter = TwoOutOfThree::new(ch, Box::new(qtwin), Box::new(diverse))?;
-    let tally = run_pattern(Box::new(voter), move || *cell.borrow(), &test, rounds)?;
+    let voter = TwoOutOfThree::new(ch, qtwin, diverse)?;
+    let tally = run_pattern(
+        Box::new(voter),
+        move || *cell.lock().expect("fault cell"),
+        &test,
+        rounds,
+    )?;
     rows.push(("two_out_of_three".into(), tally));
 
     // Fallback-only reference (never hazards, never available).
-    let cell = Rc::new(RefCell::new(InjectedFault::None));
+    let cell = Arc::new(Mutex::new(InjectedFault::None));
     let c2 = cell.clone();
     let tally = run_pattern(
-        Box::new(Bare::new(Box::new(ConstantChannel::new("always-safe", 0)))),
-        move || *c2.borrow(),
+        Box::new(Bare::new(ConstantChannel::new("always-safe", 0))),
+        move || *c2.lock().expect("fault cell"),
         &test,
         rounds,
     )?;

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pipeline = assemble::for_sil(
         "automotive-perception",
         &spec,
-        &[model.clone()],
+        std::slice::from_ref(&model),
         &train.inputs_owned(),
         &train.labels(),
     )?;
@@ -107,14 +107,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         truth.y + truth.h,
         truth.x,
         truth.x + truth.w,
-        if truth.contains(py, px) { "HIT" } else { "miss" }
+        if truth.contains(py, px) {
+            "HIT"
+        } else {
+            "miss"
+        }
     );
 
     // 6. Evidence and report (pillar 1: traceability).
     pipeline.verify_evidence()?;
     let report = CertificationReport::from_pipeline(&pipeline)
         .with_note("synthetic scenario per DESIGN.md substitutions");
-    println!("evidence chain verified ({} records)", pipeline.evidence().map(|c| c.len()).unwrap_or(0));
-    println!("certification report: {}", report.to_json().to_string_compact());
+    println!(
+        "evidence chain verified ({} records)",
+        pipeline.evidence().map(|c| c.len()).unwrap_or(0)
+    );
+    println!(
+        "certification report: {}",
+        report.to_json().to_string_compact()
+    );
     Ok(())
 }

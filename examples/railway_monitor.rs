@@ -66,11 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let simplex = Simplex::new(
         Engine::new(model.clone()),
         monitor,
-        Box::new(ConstantChannel::new("command-stop", STOP)),
+        ConstantChannel::new("command-stop", STOP),
     );
 
     // Level 1 (degraded): command the safe aspect outright.
-    let degraded = Bare::new(Box::new(ConstantChannel::new("command-stop", STOP)));
+    let degraded = Bare::new(ConstantChannel::new("command-stop", STOP));
 
     let mut cascade = Cascade::new(vec![Box::new(simplex), Box::new(degraded)], 3, 10)?;
 

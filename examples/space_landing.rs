@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Diverse 2oo3 voter; the primary channel carries injected faults to
     // show what the voter is *for*.
     let faulty_primary = FaultyChannel::new(
-        Box::new(ModelChannel::new("primary", Engine::new(model_a.clone()))),
+        ModelChannel::new("primary", Engine::new(model_a.clone())),
         FaultModel {
             wrong_class: 0.08,
             stuck: 0.02,
@@ -57,11 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let quant_twin = QuantChannel::new("quant", QEngine::new(QModel::quantize(&model_a)?));
     let diverse = ModelChannel::new("diverse", Engine::new(model_b));
-    let mut voter = TwoOutOfThree::new(
-        Box::new(faulty_primary),
-        Box::new(quant_twin),
-        Box::new(diverse),
-    )?;
+    let mut voter = TwoOutOfThree::new(faulty_primary, quant_twin, diverse)?;
 
     // Streams: nominal descent imagery, then sensor degradation.
     let degraded = Shift::DeadPixels(0.3).apply(&test, &mut rng)?;

@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "randomized+3corunners-partitioned",
-            PlatformConfig::time_randomized().with_co_runners(3).partitioned(),
+            PlatformConfig::time_randomized()
+                .with_co_runners(3)
+                .partitioned(),
         ),
     ];
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local quality gate: formatting, lints, and the full test suite.
+# Mirrors what CI would run; keep it green before pushing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

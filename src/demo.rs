@@ -71,8 +71,7 @@ pub fn convnet_for(data: &Dataset, seed: u64) -> Result<Model, NnError> {
 pub fn accuracy(engine: &mut Engine, data: &Dataset) -> Result<f64, NnError> {
     let mut correct = 0usize;
     for s in data.samples() {
-        let (pred, _) = engine.classify(&s.input)?;
-        if pred == s.label {
+        if engine.classify(&s.input)?.class == s.label {
             correct += 1;
         }
     }

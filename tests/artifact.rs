@@ -112,8 +112,8 @@ fn drift_detector_catches_slow_degradation_supervisors_miss() {
                 .apply(&data, &mut rng)
                 .expect("shift")
                 .samples()[step % data.len()]
-                .input
-                .clone()
+            .input
+            .clone()
         } else {
             data.samples()[step % data.len()].input.clone()
         };
@@ -161,5 +161,8 @@ fn drift_detector_quiet_on_stationary_stream() {
             }
         }
     }
-    assert_eq!(alarms, 0, "stationary in-distribution stream must not alarm");
+    assert_eq!(
+        alarms, 0,
+        "stationary in-distribution stream must not alarm"
+    );
 }

@@ -46,7 +46,10 @@ fn training_reproducible_end_to_end() {
     let mut e1 = Engine::new(m1);
     let mut e2 = Engine::new(m2);
     let probe = &d1.samples()[0].input;
-    assert_eq!(e1.infer(probe).expect("infer"), e2.infer(probe).expect("infer"));
+    assert_eq!(
+        e1.infer(probe).expect("infer"),
+        e2.infer(probe).expect("infer")
+    );
 }
 
 #[test]
@@ -94,8 +97,7 @@ fn quantisation_accuracy_cost_is_small() {
     let mut qcorrect = 0usize;
     for s in test.samples() {
         let q: Vec<Q16_16> = s.input.iter().map(|&v| Q16_16::from_f32(v)).collect();
-        let (pred, _) = qe.classify(&q).expect("classify");
-        if pred == s.label {
+        if qe.classify(&q).expect("classify").class == s.label {
             qcorrect += 1;
         }
     }
@@ -147,4 +149,148 @@ fn argmax(v: &[f32]) -> usize {
         }
     }
     best.0
+}
+
+/// The pool determinism matrix: every worker count in {1, 2, 4, 8} must
+/// produce byte-identical batch outputs for the float engine.
+#[test]
+fn float_pool_bit_identical_across_worker_counts() {
+    use safexplain::nn::EnginePool;
+
+    let data = dataset(10, 13);
+    let model = demo::train_mlp(&data, 10, 3).expect("train");
+    let inputs: Vec<Vec<f32>> = data.samples().iter().map(|s| s.input.clone()).collect();
+
+    let mut reference = Engine::new(model.clone());
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| reference.infer(x).expect("infer").to_vec())
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        let mut pool = EnginePool::new(model.clone(), workers).expect("pool");
+        let outputs = pool.infer_batch(&inputs).expect("batch");
+        assert_eq!(
+            outputs, expected,
+            "float pool with {workers} workers diverged from sequential"
+        );
+        // Byte-identical, not merely numerically equal: compare raw bits.
+        for (out, exp) in outputs.iter().zip(&expected) {
+            let ob: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            let eb: Vec<u32> = exp.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ob, eb, "float bits diverged at {workers} workers");
+        }
+    }
+}
+
+/// Same matrix for the fixed-point engine: Q16.16 outputs are integers,
+/// so equality is already bitwise.
+#[test]
+fn quant_pool_bit_identical_across_worker_counts() {
+    use safexplain::nn::QEnginePool;
+
+    let data = dataset(10, 14);
+    let model = demo::train_mlp(&data, 10, 4).expect("train");
+    let qmodel = QModel::quantize(&model).expect("quantize");
+    let inputs: Vec<Vec<Q16_16>> = data
+        .samples()
+        .iter()
+        .map(|s| s.input.iter().map(|&v| Q16_16::from_f32(v)).collect())
+        .collect();
+
+    let mut reference = QEngine::new(qmodel.clone());
+    let expected: Vec<Vec<Q16_16>> = inputs
+        .iter()
+        .map(|x| reference.infer(x).expect("infer").to_vec())
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        let mut pool = QEnginePool::new(qmodel.clone(), workers).expect("pool");
+        let outputs = pool.infer_batch(&inputs).expect("batch");
+        assert_eq!(
+            outputs, expected,
+            "quant pool with {workers} workers diverged from sequential"
+        );
+    }
+}
+
+/// Pooled classification agrees with pooled inference for every worker
+/// count (same argmax over the same bit-identical outputs).
+#[test]
+fn pool_classification_matrix_consistent() {
+    use safexplain::nn::EnginePool;
+
+    let data = dataset(8, 15);
+    let model = demo::train_mlp(&data, 10, 5).expect("train");
+    let inputs: Vec<Vec<f32>> = data.samples().iter().map(|s| s.input.clone()).collect();
+
+    let mut reference = Engine::new(model.clone());
+    let expected: Vec<usize> = inputs
+        .iter()
+        .map(|x| reference.classify(x).expect("classify").class)
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        let mut pool = EnginePool::new(model.clone(), workers).expect("pool");
+        let classes: Vec<usize> = pool
+            .classify_batch(&inputs)
+            .expect("classify")
+            .into_iter()
+            .map(|c| c.class)
+            .collect();
+        assert_eq!(classes, expected, "classes diverged at {workers} workers");
+    }
+}
+
+/// `SafePipeline::decide_batch` must append evidence records in input
+/// order, and its decisions must match one-at-a-time `decide` calls.
+#[test]
+fn pipeline_batch_evidence_preserves_input_order() {
+    use safexplain::core::pipeline::PipelineBuilder;
+    use safexplain::patterns::channel::RuleChannel;
+    use safexplain::patterns::pattern::Bare;
+    use safexplain::patterns::Sil;
+    use safexplain::trace::record::Value;
+
+    // A rule channel whose class equals the integer in the input, so the
+    // expected evidence sequence is readable from the batch itself.
+    let build = || {
+        PipelineBuilder::new("order", Sil::Sil1)
+            .pattern(Bare::new(RuleChannel::new("id", |x: &[f32]| x[0] as usize)))
+            .allow_under_provisioned()
+            .evidence("order-campaign")
+            .build()
+            .expect("build")
+    };
+    let inputs: Vec<Vec<f32>> = vec![
+        vec![3.0],
+        vec![0.0],
+        vec![2.0],
+        vec![5.0],
+        vec![1.0],
+        vec![4.0],
+    ];
+
+    let mut batched = build();
+    let decisions = batched.decide_batch(&inputs).expect("batch");
+    assert_eq!(decisions.len(), inputs.len());
+    assert_eq!(batched.decision_count(), inputs.len() as u64);
+
+    let mut sequential = build();
+    for (input, batched_decision) in inputs.iter().zip(&decisions) {
+        let d = sequential.decide(input).expect("decide");
+        assert_eq!(d, *batched_decision, "batch must equal per-input decide");
+    }
+
+    // Evidence records land in input order with the matching class.
+    let chain = batched.evidence().expect("chain");
+    assert_eq!(chain.len(), inputs.len());
+    for (record, input) in chain.records().iter().zip(&inputs) {
+        assert_eq!(
+            record.field("class"),
+            Some(&Value::U64(input[0] as u64)),
+            "evidence record out of input order"
+        );
+    }
+    batched.verify_evidence().expect("verify");
 }

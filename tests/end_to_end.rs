@@ -94,7 +94,9 @@ fn simplex_rejects_heavy_shift_and_records_it() {
     .expect("assemble");
 
     let mut rng = DetRng::new(7);
-    let shifted = Shift::GaussianNoise(1.0).apply(&test, &mut rng).expect("shift");
+    let shifted = Shift::GaussianNoise(1.0)
+        .apply(&test, &mut rng)
+        .expect("shift");
     for s in shifted.samples() {
         pipeline.decide(&s.input).expect("decide");
     }
@@ -170,19 +172,35 @@ fn fusa_objectives_discharged_by_experiment_results() {
         .expect("add");
     let mut ledger = ObjectiveLedger::new();
     let o_acc = ledger
-        .add(&reg, "OBJ-1", top, VerificationMethod::Test, "test-set accuracy")
+        .add(
+            &reg,
+            "OBJ-1",
+            top,
+            VerificationMethod::Test,
+            "test-set accuracy",
+        )
         .expect("obj");
     let o_ood = ledger
-        .add(&reg, "OBJ-2", mon, VerificationMethod::Simulation, "shift rejection")
+        .add(
+            &reg,
+            "OBJ-2",
+            mon,
+            VerificationMethod::Simulation,
+            "shift rejection",
+        )
         .expect("obj");
 
     // Discharge OBJ-1 with a measured accuracy.
     let mut engine = safexplain::nn::Engine::new(model_a.clone());
     let acc = demo::accuracy(&mut engine, &test).expect("accuracy");
     if acc >= 0.6 {
-        ledger.pass(o_acc, format!("accuracy {acc:.3}")).expect("pass");
+        ledger
+            .pass(o_acc, format!("accuracy {acc:.3}"))
+            .expect("pass");
     } else {
-        ledger.fail(o_acc, format!("accuracy {acc:.3}")).expect("fail");
+        ledger
+            .fail(o_acc, format!("accuracy {acc:.3}"))
+            .expect("fail");
     }
 
     // Discharge OBJ-2 with the simplex shift-rejection measurement.
@@ -199,13 +217,18 @@ fn fusa_objectives_discharged_by_experiment_results() {
     )
     .expect("assemble");
     let mut rng = DetRng::new(8);
-    let shifted = Shift::GaussianNoise(1.0).apply(&test, &mut rng).expect("shift");
+    let shifted = Shift::GaussianNoise(1.0)
+        .apply(&test, &mut rng)
+        .expect("shift");
     for s in shifted.samples() {
         pipeline.decide(&s.input).expect("decide");
     }
     if pipeline.conservative_rate() > 0.9 {
         ledger
-            .pass(o_ood, format!("rejection {:.3}", pipeline.conservative_rate()))
+            .pass(
+                o_ood,
+                format!("rejection {:.3}", pipeline.conservative_rate()),
+            )
             .expect("pass");
     }
 
@@ -223,15 +246,29 @@ fn safety_case_for_the_pipeline_is_complete() {
         .add_strategy(case.root(), "S1", "argument over the SAFEXPLAIN pillars")
         .expect("strategy");
     let g_trust = case
-        .add_goal(s1, "G2", "untrustworthy predictions are detected and handled")
+        .add_goal(
+            s1,
+            "G2",
+            "untrustworthy predictions are detected and handled",
+        )
         .expect("goal");
-    case.add_solution(g_trust, "Sn1", "E1 supervisor study", "supervisor_study output")
-        .expect("solution");
+    case.add_solution(
+        g_trust,
+        "Sn1",
+        "E1 supervisor study",
+        "supervisor_study output",
+    )
+    .expect("solution");
     let g_pattern = case
         .add_goal(s1, "G3", "residual channel faults are tolerated")
         .expect("goal");
-    case.add_solution(g_pattern, "Sn2", "E3 fault-injection study", "pattern_faults output")
-        .expect("solution");
+    case.add_solution(
+        g_pattern,
+        "Sn2",
+        "E3 fault-injection study",
+        "pattern_faults output",
+    )
+    .expect("solution");
     let g_time = case
         .add_goal(s1, "G4", "deadline met with probabilistic guarantee")
         .expect("goal");

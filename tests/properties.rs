@@ -3,11 +3,11 @@
 use proptest::prelude::*;
 use safexplain::nn::model::ModelBuilder;
 use safexplain::nn::Engine;
+use safexplain::supervision::drift::CusumDetector;
+use safexplain::supervision::odd::OddEnvelope;
 use safexplain::tensor::fixed::Q16_16;
 use safexplain::tensor::ops;
 use safexplain::tensor::{stats, DetRng, Shape, Tensor};
-use safexplain::supervision::drift::CusumDetector;
-use safexplain::supervision::odd::OddEnvelope;
 use safexplain::trace::record::{RecordKind, Value};
 use safexplain::trace::EvidenceChain;
 

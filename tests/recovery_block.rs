@@ -34,7 +34,7 @@ fn build(
 ) -> RecoveryBlock {
     let envelope = OddEnvelope::fit(&data.inputs_owned(), 0.3, 0.05).expect("fit");
     let primary = FaultyChannel::new(
-        Box::new(ModelChannel::new("primary", Engine::new(model.clone()))),
+        ModelChannel::new("primary", Engine::new(model.clone())),
         primary_fault,
         data.classes(),
         DetRng::new(9),
@@ -44,13 +44,9 @@ fn build(
         "alternate",
         QEngine::new(QModel::quantize(model).expect("quantize")),
     );
-    RecoveryBlock::new(
-        Box::new(primary),
-        Box::new(alternate),
-        Box::new(move |input: &[f32], _class, conf| {
-            conf >= 0.3 && envelope.contains(input).unwrap_or(false)
-        }),
-    )
+    RecoveryBlock::new(primary, alternate, move |input: &[f32], _class, conf| {
+        conf >= 0.3 && envelope.contains(input).unwrap_or(false)
+    })
 }
 
 #[test]
@@ -116,7 +112,9 @@ fn out_of_odd_frames_rejected_by_both_paths() {
     let (data, model) = setup();
     let mut rb = build(&data, &model, FaultModel::none());
     let mut rng = DetRng::new(11);
-    let shifted = Shift::Brightness(2.0).apply(&data, &mut rng).expect("shift");
+    let shifted = Shift::Brightness(2.0)
+        .apply(&data, &mut rng)
+        .expect("shift");
     for s in shifted.samples().iter().take(30) {
         let d = rb.decide(&s.input).expect("decide");
         assert_eq!(

@@ -44,7 +44,10 @@ fn content_tampering_always_detected() {
             detected += 1;
         }
     }
-    assert_eq!(detected, trials, "content tampering must always be detected");
+    assert_eq!(
+        detected, trials,
+        "content tampering must always be detected"
+    );
 }
 
 #[test]
@@ -138,13 +141,13 @@ fn cross_crate_chain_binds_model_to_decisions() {
     );
     let mut engine = safexplain::nn::Engine::new(model);
     for s in data.samples().iter().take(5) {
-        let (class, conf) = engine.classify(&s.input).expect("classify");
+        let c = engine.classify(&s.input).expect("classify");
         chain.append(
             RecordKind::InferencePerformed,
             vec![
                 ("model".into(), Value::U64(digest)),
-                ("class".into(), Value::U64(class as u64)),
-                ("confidence".into(), Value::F64(conf as f64)),
+                ("class".into(), Value::U64(c.class as u64)),
+                ("confidence".into(), Value::F64(f64::from(c.confidence))),
             ],
         );
     }

@@ -1,0 +1,218 @@
+#![forbid(unsafe_code)]
+//! Offline re-implementation of the subset of the
+//! [criterion](https://crates.io/crates/criterion) API this workspace's
+//! bench harness uses.
+//!
+//! The build environment cannot fetch crates, so this shim keeps the
+//! `crates/bench` benchmarks source-compatible: `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `finish`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed for
+//! `sample_size` samples of adaptively-batched iterations. Mean, minimum,
+//! and throughput are printed in a criterion-like one-line format. There
+//! are no HTML reports and no statistical regression analysis — the
+//! output is meant for EXPERIMENTS.md tables, not dashboards.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (upstream criterion 0.5 does the
+/// same on recent toolchains).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n── group: {name} ──");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let (warmup, measurement) = (self.warmup, self.measurement);
+        run_benchmark(&id.into(), sample_size, warmup, measurement, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &id,
+            sample_size,
+            self.criterion.warmup,
+            self.criterion.measurement,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the upstream API).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; measures the routine under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    warmup: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
+    // Warmup: grow the per-sample iteration count until one warmup slice
+    // elapses, so sampling amortises timer overhead for fast routines.
+    let mut iters_per_sample: u64 = 1;
+    let warmup_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warmup_start.elapsed() >= warmup {
+            break;
+        }
+        if b.elapsed < Duration::from_millis(10) {
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+    }
+
+    // Scale iterations so all samples fit the measurement budget.
+    let mut probe = Bencher {
+        iters: iters_per_sample,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut probe);
+    let per_sample = probe.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = measurement / sample_size.max(1) as u32;
+    if per_sample > budget_per_sample && iters_per_sample > 1 {
+        let shrink = (per_sample.as_nanos() / budget_per_sample.as_nanos().max(1)).max(1);
+        iters_per_sample = (iters_per_sample / shrink as u64).max(1);
+    }
+
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut total_iters: u64 = 0;
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed / iters_per_sample.max(1) as u32;
+        total += b.elapsed;
+        total_iters += iters_per_sample;
+        if per_iter < min {
+            min = per_iter;
+        }
+    }
+    let mean = total / total_iters.max(1) as u32;
+    println!(
+        "{id:<50} mean {:>12} min {:>12} ({} samples x {} iters)",
+        format_duration(mean),
+        format_duration(min),
+        sample_size,
+        iters_per_sample,
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
