@@ -13,6 +13,7 @@ const FAULT: FaultModel = FaultModel {
     wrong_class: 0.06,
     stuck: 0.02,
     crash: 0.02,
+    erratic: 0.0,
 };
 
 fn faulty_primary(seed: u64) -> FaultyChannel {

@@ -1,0 +1,619 @@
+//! Fault-injection campaigns: sweep fault classes × rates × patterns and
+//! report IEC 61508-style hardening metrics.
+//!
+//! A campaign answers the certification question the hardened runtime
+//! exists for: *of the faults we inject, how many does the runtime
+//! detect, and how often does an undetected fault silently corrupt a
+//! decision?* Each cell of the sweep builds a fresh
+//! [`HardenedEngine`](safex_nn::HardenedEngine) behind a
+//! [`HardenedChannel`](safex_patterns::channel::HardenedChannel), wires it
+//! into a [`SafePipeline`](crate::SafePipeline) with a
+//! [`HealthMonitor`](crate::health::HealthMonitor), replays a fixed input
+//! stream under one fault class at one rate, and scores every decision
+//! against a pristine reference engine.
+//!
+//! Everything is keyed off [`CampaignConfig::seed`]: the same config over
+//! the same model and inputs reproduces the report bit for bit —
+//! campaigns are certification evidence, not demos.
+
+use safex_nn::{
+    ActivationFault, Engine, FaultInjector, FaultPlan, HardenConfig, HardenedEngine, HealthSink,
+    InputFault, Model,
+};
+use safex_patterns::channel::HardenedChannel;
+use safex_patterns::pattern::{Bare, MonitorActuator, SafetyPattern};
+use safex_patterns::Sil;
+use safex_tensor::DetRng;
+
+use crate::error::CoreError;
+use crate::health::{HealthConfig, HealthMonitor, HealthState};
+use crate::pipeline::PipelineBuilder;
+
+/// The fault classes a campaign can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A single-bit SEU in one model weight, persisting for one decision.
+    WeightBitFlip,
+    /// A 3-bit burst upset in one model weight (one decision).
+    WeightMultiBitFlip,
+    /// A single-bit flip in one intermediate activation element.
+    ActivationBitFlip,
+    /// Additive gaussian sensor noise (σ = 0.5).
+    InputNoise,
+    /// One sensor element railed high (stuck at 1.0).
+    InputStuck,
+    /// Random element blackout (50% of elements zeroed).
+    InputDropout,
+}
+
+impl FaultClass {
+    /// Stable tag for reports and evidence.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultClass::WeightBitFlip => "weight_bit_flip",
+            FaultClass::WeightMultiBitFlip => "weight_multi_bit_flip",
+            FaultClass::ActivationBitFlip => "activation_bit_flip",
+            FaultClass::InputNoise => "input_noise",
+            FaultClass::InputStuck => "input_stuck",
+            FaultClass::InputDropout => "input_dropout",
+        }
+    }
+
+    /// All classes, for exhaustive sweeps.
+    pub fn all() -> [FaultClass; 6] {
+        [
+            FaultClass::WeightBitFlip,
+            FaultClass::WeightMultiBitFlip,
+            FaultClass::ActivationBitFlip,
+            FaultClass::InputNoise,
+            FaultClass::InputStuck,
+            FaultClass::InputDropout,
+        ]
+    }
+
+    fn is_weight(self) -> bool {
+        matches!(
+            self,
+            FaultClass::WeightBitFlip | FaultClass::WeightMultiBitFlip
+        )
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// The safety pattern a campaign cell deploys around the hardened channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CampaignPattern {
+    /// The hardened channel alone.
+    Bare,
+    /// Monitor-actuator with a 0.4 confidence floor.
+    MonitorActuator,
+}
+
+impl CampaignPattern {
+    /// Stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CampaignPattern::Bare => "bare",
+            CampaignPattern::MonitorActuator => "monitor_actuator",
+        }
+    }
+}
+
+/// Sweep definition: every combination of pattern × class × rate becomes
+/// one [`CellReport`].
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; every cell derives its own streams from it.
+    pub seed: u64,
+    /// Decisions per cell (the input stream is cycled).
+    pub decisions: u64,
+    /// Fault classes to sweep.
+    pub classes: Vec<FaultClass>,
+    /// Per-decision fault rates to sweep (each in `[0, 1]`).
+    pub rates: Vec<f64>,
+    /// Safety patterns to sweep.
+    pub patterns: Vec<CampaignPattern>,
+    /// Detection settings for the hardened engines.
+    pub harden: HardenConfig,
+    /// Degradation-ladder thresholds for the pipelines.
+    pub health: HealthConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xC0FFEE,
+            decisions: 200,
+            classes: FaultClass::all().to_vec(),
+            rates: vec![0.05],
+            patterns: vec![CampaignPattern::MonitorActuator],
+            harden: HardenConfig::default(),
+            health: HealthConfig {
+                // Campaigns want the full ladder exercised, so allow
+                // resuming out of safe stop after a clean stretch.
+                resume_after: 8,
+                ..HealthConfig::default()
+            },
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Validates the sweep definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadAssembly`] for an empty sweep axis, zero
+    /// decisions, or a rate outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |msg: String| Err(CoreError::BadAssembly(msg));
+        if self.decisions == 0 {
+            return bad("campaign needs at least one decision per cell".into());
+        }
+        if self.classes.is_empty() || self.rates.is_empty() || self.patterns.is_empty() {
+            return bad("campaign sweep axes must all be non-empty".into());
+        }
+        for &r in &self.rates {
+            if !(0.0..=1.0).contains(&r) || !r.is_finite() {
+                return bad(format!("fault rate {r} outside [0, 1]"));
+            }
+        }
+        self.health.validate()
+    }
+}
+
+/// Metrics for one campaign cell (pattern × class × rate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Pattern tag.
+    pub pattern: &'static str,
+    /// Injected fault class.
+    pub class: FaultClass,
+    /// Configured per-decision fault rate.
+    pub rate: f64,
+    /// Decisions executed.
+    pub decisions: u64,
+    /// Decisions with at least one fault actually active.
+    pub faulted: u64,
+    /// Faulted decisions on which the runtime raised a health event.
+    pub detected: u64,
+    /// Faulted decisions whose acted-on class differed from the pristine
+    /// reference (the fault mattered).
+    pub corrupted: u64,
+    /// Corrupted decisions that proceeded *undetected* — silent data
+    /// corruption, the number certification cares most about.
+    pub silent: u64,
+    /// Health events raised on clean decisions (false alarms).
+    pub false_alarms: u64,
+    /// Decisions from the first active fault to the first detection
+    /// (`None` when nothing was detected or nothing was injected).
+    pub detection_latency: Option<u64>,
+    /// Ladder transitions observed.
+    pub transitions: usize,
+    /// Decisions spent degraded.
+    pub time_degraded: u64,
+    /// Decisions spent in safe stop.
+    pub time_stopped: u64,
+}
+
+impl CellReport {
+    /// Diagnostic coverage: detected / faulted (1.0 when nothing faulted,
+    /// matching the IEC 61508 convention that an idle diagnostic has no
+    /// dangerous undetected share to answer for).
+    pub fn diagnostic_coverage(&self) -> f64 {
+        if self.faulted == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / self.faulted as f64
+    }
+
+    /// Silent-data-corruption rate over all decisions.
+    pub fn sdc_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            return 0.0;
+        }
+        self.silent as f64 / self.decisions as f64
+    }
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The master seed the report was produced under.
+    pub seed: u64,
+    /// One report per sweep cell, in sweep order
+    /// (patterns → classes → rates).
+    pub cells: Vec<CellReport>,
+}
+
+impl CampaignReport {
+    /// The worst silent-data-corruption rate across cells.
+    pub fn worst_sdc(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(CellReport::sdc_rate)
+            .fold(0.0, f64::max)
+    }
+
+    /// The lowest diagnostic coverage across cells that saw faults.
+    pub fn worst_coverage(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.faulted > 0)
+            .map(CellReport::diagnostic_coverage)
+            .fold(1.0, f64::min)
+    }
+
+    /// Looks up a cell by its sweep coordinates.
+    pub fn cell(
+        &self,
+        pattern: CampaignPattern,
+        class: FaultClass,
+        rate: f64,
+    ) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.pattern == pattern.tag() && c.class == class && c.rate == rate)
+    }
+}
+
+/// Runs the sweep over `model`, cycling `inputs` as both the calibration
+/// set and the decision stream.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadAssembly`] for an invalid config or empty
+/// inputs, and propagates engine/pattern failures.
+pub fn run(
+    config: &CampaignConfig,
+    model: &Model,
+    inputs: &[Vec<f32>],
+) -> Result<CampaignReport, CoreError> {
+    config.validate()?;
+    if inputs.is_empty() {
+        return Err(CoreError::BadAssembly("campaign needs inputs".into()));
+    }
+    let mut cells = Vec::new();
+    let mut cell_index = 0u64;
+    for &pattern in &config.patterns {
+        for &class in &config.classes {
+            for &rate in &config.rates {
+                cell_index += 1;
+                let cell_seed = config
+                    .seed
+                    .wrapping_add(cell_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                cells.push(run_cell(
+                    config, model, inputs, pattern, class, rate, cell_seed,
+                )?);
+            }
+        }
+    }
+    Ok(CampaignReport {
+        seed: config.seed,
+        cells,
+    })
+}
+
+/// The fault plan a non-weight class hands to the hardened engine.
+fn plan_for(class: FaultClass, rate: f64, seed: u64) -> Option<FaultPlan> {
+    match class {
+        FaultClass::WeightBitFlip | FaultClass::WeightMultiBitFlip => None,
+        FaultClass::ActivationBitFlip => Some(FaultPlan::activation(
+            seed,
+            ActivationFault { p: rate, bits: 1 },
+        )),
+        FaultClass::InputNoise => Some(FaultPlan::input(
+            seed,
+            InputFault::Noise {
+                sigma: 0.5,
+                p: rate,
+            },
+        )),
+        FaultClass::InputStuck => Some(FaultPlan::input(
+            seed,
+            InputFault::Stuck {
+                index: 0,
+                level: 1.0,
+                p: rate,
+            },
+        )),
+        FaultClass::InputDropout => Some(FaultPlan::input(
+            seed,
+            InputFault::Dropout { drop: 0.5, p: rate },
+        )),
+    }
+}
+
+fn run_cell(
+    config: &CampaignConfig,
+    model: &Model,
+    inputs: &[Vec<f32>],
+    pattern: CampaignPattern,
+    class: FaultClass,
+    rate: f64,
+    cell_seed: u64,
+) -> Result<CellReport, CoreError> {
+    let mut engine = HardenedEngine::new(model.clone(), config.harden)?;
+    engine.calibrate(inputs)?;
+    let sink = HealthSink::new();
+    engine.attach_sink(sink.clone());
+    if let Some(plan) = plan_for(class, rate, cell_seed) {
+        engine.set_plan(plan)?;
+    }
+    let channel = HardenedChannel::new("hardened", engine);
+    let handle = channel.handle();
+
+    let boxed: Box<dyn SafetyPattern> = match pattern {
+        CampaignPattern::Bare => Box::new(Bare::new(channel)),
+        CampaignPattern::MonitorActuator => Box::new(MonitorActuator::new(channel, 0.4, 0)?),
+    };
+    let monitor = HealthMonitor::new(config.health)?;
+    let mut pipeline = PipelineBuilder::new(
+        format!("campaign/{}/{}/{rate}", pattern.tag(), class.tag()),
+        Sil::Sil2,
+    )
+    .pattern_boxed(boxed)
+    .allow_under_provisioned()
+    .health(monitor, sink)
+    .build()?;
+
+    // Pristine reference for silent-corruption ground truth, and the
+    // pristine weights restored after each weight strike (strikes persist
+    // for exactly one decision so coverage is measured per strike, not
+    // per exposure window).
+    let mut reference = Engine::new(model.clone());
+    let pristine = model.clone();
+    let mut strike_rng = DetRng::new(cell_seed ^ 0x57_41_4B_45);
+    let mut injector = FaultInjector::new(cell_seed ^ 0x46_4C_49_50);
+
+    let mut report = CellReport {
+        pattern: pattern.tag(),
+        class,
+        rate,
+        decisions: config.decisions,
+        faulted: 0,
+        detected: 0,
+        corrupted: 0,
+        silent: 0,
+        false_alarms: 0,
+        detection_latency: None,
+        transitions: 0,
+        time_degraded: 0,
+        time_stopped: 0,
+    };
+    let mut first_fault_at: Option<u64> = None;
+
+    for k in 0..config.decisions {
+        let input = &inputs[(k % inputs.len() as u64) as usize];
+        let clean_class = reference.classify(input)?.class;
+
+        let mut struck = false;
+        if class.is_weight() && strike_rng.chance(rate) {
+            let bits = if class == FaultClass::WeightMultiBitFlip {
+                3
+            } else {
+                1
+            };
+            let mut e = handle.lock().expect("campaign engine");
+            injector.flip_weight_bits(e.model_mut(), 1, bits)?;
+            struck = true;
+        }
+
+        let decision = pipeline.decide(input)?;
+
+        let injected = struck || {
+            let e = handle.lock().expect("campaign engine");
+            !e.last_injections().is_empty()
+        };
+        let detected = !pipeline.last_health_events().is_empty();
+
+        if struck {
+            // Restore pristine weights; the golden checksums were never
+            // rebaselined, so the next decision starts clean.
+            let mut e = handle.lock().expect("campaign engine");
+            *e.model_mut() = pristine.clone();
+        }
+
+        if injected {
+            report.faulted += 1;
+            first_fault_at.get_or_insert(k);
+            if detected {
+                report.detected += 1;
+            }
+            let acted = decision.action.class();
+            let wrong = acted.is_some_and(|c| c != clean_class);
+            if wrong {
+                report.corrupted += 1;
+                if !detected && decision.action.is_proceed() {
+                    report.silent += 1;
+                }
+            }
+        } else if detected {
+            report.false_alarms += 1;
+        }
+        if detected && report.detection_latency.is_none() {
+            if let Some(first) = first_fault_at {
+                report.detection_latency = Some(k - first);
+            }
+        }
+    }
+
+    let health = pipeline.health().expect("campaign pipeline has health");
+    report.transitions = health.transitions().len();
+    report.time_degraded = health.time_in(HealthState::Degraded);
+    report.time_stopped = health.time_in(HealthState::SafeStop);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_nn::model::ModelBuilder;
+    use safex_tensor::{DetRng, Shape};
+
+    /// A small MLP plus an input stream covering its nominal range.
+    fn fixture() -> (Model, Vec<Vec<f32>>) {
+        let mut rng = DetRng::new(77);
+        let model = ModelBuilder::new(Shape::vector(8))
+            .dense(12, &mut rng)
+            .unwrap()
+            .relu()
+            .dense(4, &mut rng)
+            .unwrap()
+            .softmax()
+            .build()
+            .unwrap();
+        let inputs: Vec<Vec<f32>> = (0..32)
+            .map(|_| (0..8).map(|_| rng.next_f32()).collect())
+            .collect();
+        (model, inputs)
+    }
+
+    fn quick_config() -> CampaignConfig {
+        CampaignConfig {
+            seed: 9,
+            decisions: 120,
+            classes: vec![FaultClass::WeightBitFlip, FaultClass::InputNoise],
+            rates: vec![0.1],
+            patterns: vec![CampaignPattern::MonitorActuator],
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CampaignConfig::default().validate().is_ok());
+        for bad in [
+            CampaignConfig {
+                decisions: 0,
+                ..CampaignConfig::default()
+            },
+            CampaignConfig {
+                classes: vec![],
+                ..CampaignConfig::default()
+            },
+            CampaignConfig {
+                rates: vec![1.5],
+                ..CampaignConfig::default()
+            },
+            CampaignConfig {
+                patterns: vec![],
+                ..CampaignConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn campaign_is_reproducible_by_seed() {
+        let (model, inputs) = fixture();
+        let config = quick_config();
+        let a = run(&config, &model, &inputs).unwrap();
+        let b = run(&config, &model, &inputs).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the full report");
+        let other = run(
+            &CampaignConfig {
+                seed: 10,
+                ..quick_config()
+            },
+            &model,
+            &inputs,
+        )
+        .unwrap();
+        assert_ne!(a, other, "a different seed must change the campaign");
+    }
+
+    #[test]
+    fn weight_bit_flips_are_caught_by_checksums() {
+        // Acceptance criterion: diagnostic coverage > 0.9 for weight
+        // bit-flips at default detection settings (CRC every decision
+        // catches every strike).
+        let (model, inputs) = fixture();
+        let config = CampaignConfig {
+            decisions: 300,
+            classes: vec![FaultClass::WeightBitFlip],
+            ..quick_config()
+        };
+        let report = run(&config, &model, &inputs).unwrap();
+        let cell = &report.cells[0];
+        assert!(
+            cell.faulted >= 10,
+            "the 10% rate must actually strike: {cell:?}"
+        );
+        assert!(
+            cell.diagnostic_coverage() > 0.9,
+            "weight-flip coverage {:.3} below 0.9: {cell:?}",
+            cell.diagnostic_coverage()
+        );
+        assert_eq!(cell.silent, 0, "detected strikes cannot be silent");
+        assert_eq!(
+            cell.detection_latency,
+            Some(0),
+            "CRC on cadence 1 detects on the strike decision"
+        );
+    }
+
+    #[test]
+    fn zero_rate_cell_is_a_clean_control() {
+        let (model, inputs) = fixture();
+        let config = CampaignConfig {
+            decisions: 80,
+            classes: vec![FaultClass::InputNoise],
+            rates: vec![0.0],
+            ..quick_config()
+        };
+        let report = run(&config, &model, &inputs).unwrap();
+        let cell = &report.cells[0];
+        assert_eq!(cell.faulted, 0);
+        assert_eq!(
+            cell.false_alarms, 0,
+            "calibrated guards must not trip clean"
+        );
+        assert_eq!(cell.diagnostic_coverage(), 1.0);
+        assert_eq!(cell.sdc_rate(), 0.0);
+        assert_eq!(cell.transitions, 0);
+    }
+
+    #[test]
+    fn sweep_produces_one_cell_per_combination() {
+        let (model, inputs) = fixture();
+        let config = CampaignConfig {
+            decisions: 40,
+            classes: vec![FaultClass::WeightBitFlip, FaultClass::InputStuck],
+            rates: vec![0.0, 0.2],
+            patterns: vec![CampaignPattern::Bare, CampaignPattern::MonitorActuator],
+            ..quick_config()
+        };
+        let report = run(&config, &model, &inputs).unwrap();
+        assert_eq!(report.cells.len(), 8);
+        assert!(report
+            .cell(CampaignPattern::Bare, FaultClass::InputStuck, 0.2)
+            .is_some());
+        assert!(report.worst_coverage() <= 1.0);
+        assert!(report.worst_sdc() >= 0.0);
+    }
+
+    #[test]
+    fn sustained_faults_drive_the_degradation_ladder() {
+        // A high weight-strike rate must walk the pipeline down the
+        // ladder: transitions recorded, time spent outside nominal.
+        let (model, inputs) = fixture();
+        let config = CampaignConfig {
+            decisions: 150,
+            classes: vec![FaultClass::WeightBitFlip],
+            rates: vec![0.5],
+            ..quick_config()
+        };
+        let report = run(&config, &model, &inputs).unwrap();
+        let cell = &report.cells[0];
+        assert!(cell.transitions >= 2, "ladder must move: {cell:?}");
+        assert!(cell.time_degraded > 0, "{cell:?}");
+        assert!(cell.time_stopped > 0, "{cell:?}");
+    }
+}

@@ -1,0 +1,533 @@
+//! Runtime health monitoring and graceful degradation.
+//!
+//! Detection alone does not make a system safe — the pipeline must *act*
+//! on what the hardened engines report. [`HealthMonitor`] is the
+//! degradation ladder: a small, fully deterministic state machine that
+//! folds per-decision health verdicts (any
+//! [`HealthEvent`](safex_nn::HealthEvent) seen this decision?) into one of
+//! three operating states:
+//!
+//! * [`HealthState::Nominal`] — decisions pass through unchanged.
+//! * [`HealthState::Degraded`] — the pipeline forces conservative
+//!   behaviour (proceeds become fallbacks) while the fault picture
+//!   clarifies.
+//! * [`HealthState::SafeStop`] — persistent faults; every decision is
+//!   forced to a safe stop until (optionally) a long clean streak earns
+//!   the system back one rung.
+//!
+//! Escalation is *windowed* (N unhealthy decisions among the last W),
+//! which makes it robust to detectors that only run on a cadence (e.g. a
+//! weight CRC re-checked every Kth decision). De-escalation is
+//! *streak-based* (N consecutive clean decisions), which gives hysteresis:
+//! one lucky clean frame never un-degrades a sick system.
+
+use std::fmt;
+
+use crate::error::CoreError;
+
+/// The pipeline-level operating state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// No concerning fault activity; decisions pass through.
+    Nominal,
+    /// Fault activity above the degrade threshold; conservative actions
+    /// are forced (proceed → fallback).
+    Degraded,
+    /// Fault activity above the stop threshold; every decision becomes a
+    /// safe stop.
+    SafeStop,
+}
+
+impl HealthState {
+    /// Stable tag for evidence records.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HealthState::Nominal => "nominal",
+            HealthState::Degraded => "degraded",
+            HealthState::SafeStop => "safe_stop",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            HealthState::Nominal => 0,
+            HealthState::Degraded => 1,
+            HealthState::SafeStop => 2,
+        }
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Thresholds for the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Size of the sliding window of recent decisions considered for
+    /// escalation (1..=64; the window is a u64 bitmask).
+    pub window: u32,
+    /// Unhealthy decisions within the window that trigger
+    /// Nominal → Degraded.
+    pub degrade_events: u32,
+    /// Unhealthy decisions within the window that trigger → SafeStop.
+    /// Must be ≥ `degrade_events`.
+    pub stop_events: u32,
+    /// Consecutive clean decisions required for Degraded → Nominal.
+    pub recover_after: u32,
+    /// Consecutive clean decisions required for SafeStop → Degraded
+    /// (one rung at a time). `0` latches SafeStop permanently — the
+    /// conservative default for real deployments, where leaving a safe
+    /// stop should take maintenance action, not luck.
+    pub resume_after: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            window: 8,
+            degrade_events: 2,
+            stop_events: 4,
+            recover_after: 16,
+            resume_after: 0,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Validates the thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadAssembly`] when the window is outside
+    /// 1..=64, a threshold is zero, a threshold exceeds the window, or
+    /// `stop_events < degrade_events`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |msg: String| Err(CoreError::BadAssembly(msg));
+        if self.window == 0 || self.window > 64 {
+            return bad(format!("health window {} outside 1..=64", self.window));
+        }
+        if self.degrade_events == 0 {
+            return bad("degrade_events must be >= 1".into());
+        }
+        if self.stop_events < self.degrade_events {
+            return bad(format!(
+                "stop_events {} below degrade_events {}",
+                self.stop_events, self.degrade_events
+            ));
+        }
+        if self.degrade_events > self.window {
+            return bad(format!(
+                "degrade_events {} can never fire within window {}",
+                self.degrade_events, self.window
+            ));
+        }
+        if self.recover_after == 0 {
+            return bad("recover_after must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One recorded state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+    /// 1-based decision count at which the transition fired.
+    pub at_decision: u64,
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} @ {}", self.from, self.to, self.at_decision)
+    }
+}
+
+/// The degradation-ladder state machine.
+///
+/// Feed it one boolean per decision via [`HealthMonitor::step`]; it
+/// reports transitions as they happen and keeps time-in-state counters
+/// for campaign reporting. Everything is integer state — stepping is
+/// deterministic and allocation-free outside the transition log.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    state: HealthState,
+    /// Ring of recent unhealthy flags, newest in bit 0.
+    history: u64,
+    clean_streak: u32,
+    decisions: u64,
+    time_in: [u64; 3],
+    transitions: Vec<Transition>,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor in the nominal state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadAssembly`] for inconsistent thresholds
+    /// (see [`HealthConfig::validate`]).
+    pub fn new(config: HealthConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(HealthMonitor {
+            config,
+            state: HealthState::Nominal,
+            history: 0,
+            clean_streak: 0,
+            decisions: 0,
+            time_in: [0; 3],
+            transitions: Vec::new(),
+        })
+    }
+
+    /// Folds one decision's health verdict into the ladder, returning the
+    /// transition if the state changed.
+    pub fn step(&mut self, unhealthy: bool) -> Option<Transition> {
+        self.decisions += 1;
+        let mask = if self.config.window == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.config.window) - 1
+        };
+        self.history = ((self.history << 1) | u64::from(unhealthy)) & mask;
+        self.clean_streak = if unhealthy { 0 } else { self.clean_streak + 1 };
+        let count = self.history.count_ones();
+
+        let next = match self.state {
+            HealthState::Nominal => {
+                if count >= self.config.stop_events {
+                    HealthState::SafeStop
+                } else if count >= self.config.degrade_events {
+                    HealthState::Degraded
+                } else {
+                    HealthState::Nominal
+                }
+            }
+            HealthState::Degraded => {
+                if count >= self.config.stop_events {
+                    HealthState::SafeStop
+                } else if self.clean_streak >= self.config.recover_after {
+                    HealthState::Nominal
+                } else {
+                    HealthState::Degraded
+                }
+            }
+            HealthState::SafeStop => {
+                if self.config.resume_after > 0 && self.clean_streak >= self.config.resume_after {
+                    // One rung at a time: a safe stop resumes into
+                    // degraded operation, never straight to nominal.
+                    HealthState::Degraded
+                } else {
+                    HealthState::SafeStop
+                }
+            }
+        };
+
+        self.time_in[next.index()] += 1;
+        if next == self.state {
+            return None;
+        }
+        // De-escalation clears the window so stale fault bits cannot
+        // immediately re-trigger the threshold that was just left behind,
+        // and resets the streak so every rung of the way back up must be
+        // earned with its own run of clean decisions.
+        if next.index() < self.state.index() {
+            self.history = 0;
+            self.clean_streak = 0;
+        }
+        let t = Transition {
+            from: self.state,
+            to: next,
+            at_decision: self.decisions,
+        };
+        self.state = next;
+        self.transitions.push(t);
+        Some(t)
+    }
+
+    /// Current operating state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Decisions stepped so far.
+    pub fn decision_count(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Unhealthy decisions currently inside the window.
+    pub fn unhealthy_in_window(&self) -> u32 {
+        self.history.count_ones()
+    }
+
+    /// Current run of consecutive clean decisions.
+    pub fn clean_streak(&self) -> u32 {
+        self.clean_streak
+    }
+
+    /// Decisions spent in `state` so far.
+    pub fn time_in(&self, state: HealthState) -> u64 {
+        self.time_in[state.index()]
+    }
+
+    /// All transitions, in order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(config: HealthConfig) -> HealthMonitor {
+        HealthMonitor::new(config).expect("valid config")
+    }
+
+    fn quick() -> HealthConfig {
+        HealthConfig {
+            window: 8,
+            degrade_events: 2,
+            stop_events: 4,
+            recover_after: 3,
+            resume_after: 5,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_thresholds() {
+        for bad in [
+            HealthConfig {
+                window: 0,
+                ..Default::default()
+            },
+            HealthConfig {
+                window: 65,
+                ..Default::default()
+            },
+            HealthConfig {
+                degrade_events: 0,
+                ..Default::default()
+            },
+            HealthConfig {
+                degrade_events: 5,
+                stop_events: 3,
+                ..Default::default()
+            },
+            HealthConfig {
+                window: 4,
+                degrade_events: 5,
+                stop_events: 6,
+                ..Default::default()
+            },
+            HealthConfig {
+                recover_after: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(HealthMonitor::new(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(HealthMonitor::new(HealthConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn stays_nominal_on_clean_stream() {
+        let mut m = monitor(quick());
+        for _ in 0..100 {
+            assert_eq!(m.step(false), None);
+        }
+        assert_eq!(m.state(), HealthState::Nominal);
+        assert_eq!(m.time_in(HealthState::Nominal), 100);
+        assert!(m.transitions().is_empty());
+    }
+
+    #[test]
+    fn isolated_events_do_not_degrade() {
+        // One unhealthy decision every 10 frames: the window (8) never
+        // holds two at once, so the ladder never moves.
+        let mut m = monitor(quick());
+        for i in 0..100u64 {
+            assert_eq!(m.step(i % 10 == 0), None);
+        }
+        assert_eq!(m.state(), HealthState::Nominal);
+    }
+
+    #[test]
+    fn clustered_events_degrade_then_stop() {
+        let mut m = monitor(quick());
+        m.step(false);
+        m.step(true);
+        let t = m.step(true).expect("second event in window degrades");
+        assert_eq!(
+            (t.from, t.to),
+            (HealthState::Nominal, HealthState::Degraded)
+        );
+        assert_eq!(t.at_decision, 3);
+        m.step(true);
+        let t = m.step(true).expect("fourth event in window stops");
+        assert_eq!(
+            (t.from, t.to),
+            (HealthState::Degraded, HealthState::SafeStop)
+        );
+        assert_eq!(m.state(), HealthState::SafeStop);
+    }
+
+    #[test]
+    fn burst_jumps_straight_to_safe_stop() {
+        // Nominal can escalate directly to SafeStop if the window fills
+        // fast enough — the ladder must not under-react to a burst.
+        let mut m = monitor(HealthConfig {
+            degrade_events: 4,
+            stop_events: 4,
+            ..quick()
+        });
+        m.step(true);
+        m.step(true);
+        m.step(true);
+        let t = m.step(true).expect("burst transitions");
+        assert_eq!(
+            (t.from, t.to),
+            (HealthState::Nominal, HealthState::SafeStop)
+        );
+    }
+
+    #[test]
+    fn windowed_counting_survives_detection_cadence() {
+        // Events arriving every other decision (a CRC on cadence 2) still
+        // accumulate within the window even with clean frames between.
+        let mut m = monitor(quick());
+        let mut degraded_at = None;
+        for i in 1..=8u64 {
+            if let Some(t) = m.step(i % 2 == 1) {
+                degraded_at.get_or_insert(t.at_decision);
+            }
+        }
+        assert_eq!(degraded_at, Some(3), "1 event at d1 + 1 at d3 degrades");
+    }
+
+    #[test]
+    fn recovery_needs_a_full_clean_streak() {
+        let mut m = monitor(quick());
+        m.step(true);
+        m.step(true); // degraded
+        assert_eq!(m.state(), HealthState::Degraded);
+        m.step(false);
+        m.step(false);
+        assert_eq!(m.state(), HealthState::Degraded, "streak of 2 < 3");
+        let t = m.step(false).expect("third clean decision recovers");
+        assert_eq!(
+            (t.from, t.to),
+            (HealthState::Degraded, HealthState::Nominal)
+        );
+        // The window was cleared: the two old events are forgotten and a
+        // single fresh one does not instantly re-degrade.
+        assert_eq!(m.unhealthy_in_window(), 0);
+        assert_eq!(m.step(true), None);
+    }
+
+    #[test]
+    fn unhealthy_decision_resets_the_streak() {
+        let mut m = monitor(quick());
+        m.step(true);
+        m.step(true); // degraded
+        m.step(false);
+        m.step(false);
+        m.step(true); // streak broken (and window at 3 events, below stop)
+        assert_eq!(m.state(), HealthState::Degraded);
+        m.step(false);
+        m.step(false);
+        assert_eq!(m.state(), HealthState::Degraded);
+        assert!(m.step(false).is_some(), "fresh streak of 3 recovers");
+    }
+
+    #[test]
+    fn safe_stop_latches_by_default() {
+        let mut m = monitor(HealthConfig {
+            resume_after: 0,
+            ..quick()
+        });
+        for _ in 0..4 {
+            m.step(true);
+        }
+        assert_eq!(m.state(), HealthState::SafeStop);
+        for _ in 0..1000 {
+            assert_eq!(m.step(false), None);
+        }
+        assert_eq!(m.state(), HealthState::SafeStop, "latched");
+    }
+
+    #[test]
+    fn safe_stop_resumes_one_rung_when_allowed() {
+        let mut m = monitor(quick()); // resume_after: 5
+        for _ in 0..4 {
+            m.step(true);
+        }
+        assert_eq!(m.state(), HealthState::SafeStop);
+        for _ in 0..4 {
+            assert_eq!(m.step(false), None);
+        }
+        let t = m.step(false).expect("fifth clean decision resumes");
+        assert_eq!(
+            (t.from, t.to),
+            (HealthState::SafeStop, HealthState::Degraded)
+        );
+        // And a further clean streak walks it back to nominal.
+        m.step(false);
+        m.step(false);
+        let t = m.step(false).expect("recover to nominal");
+        assert_eq!(t.to, HealthState::Nominal);
+        assert_eq!(m.transitions().len(), 4);
+    }
+
+    #[test]
+    fn time_in_state_accounts_every_decision() {
+        let mut m = monitor(quick());
+        m.step(true);
+        m.step(true); // decision 2 lands in Degraded
+        m.step(false);
+        m.step(false);
+        m.step(false); // decision 5 lands back in Nominal
+        let total = m.time_in(HealthState::Nominal)
+            + m.time_in(HealthState::Degraded)
+            + m.time_in(HealthState::SafeStop);
+        assert_eq!(total, m.decision_count());
+        assert_eq!(m.time_in(HealthState::Degraded), 3);
+    }
+
+    #[test]
+    fn window_of_64_is_valid() {
+        let mut m = monitor(HealthConfig {
+            window: 64,
+            degrade_events: 64,
+            stop_events: 64,
+            ..quick()
+        });
+        for _ in 0..63 {
+            assert_eq!(m.step(true), None);
+        }
+        assert!(m.step(true).is_some(), "64th event fills the full window");
+    }
+
+    #[test]
+    fn display_and_tags() {
+        assert_eq!(HealthState::Nominal.to_string(), "nominal");
+        assert_eq!(HealthState::SafeStop.tag(), "safe_stop");
+        let t = Transition {
+            from: HealthState::Nominal,
+            to: HealthState::Degraded,
+            at_decision: 7,
+        };
+        assert_eq!(t.to_string(), "nominal -> degraded @ 7");
+    }
+}

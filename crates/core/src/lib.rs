@@ -42,9 +42,13 @@
 //! ```
 
 pub mod assemble;
+pub mod campaign;
 pub mod error;
+pub mod health;
 pub mod pipeline;
 pub mod report;
 
+pub use campaign::{CampaignConfig, CampaignPattern, CampaignReport, CellReport, FaultClass};
 pub use error::CoreError;
+pub use health::{HealthConfig, HealthMonitor, HealthState, Transition};
 pub use pipeline::{PipelineBuilder, SafePipeline};

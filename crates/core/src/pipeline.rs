@@ -1,13 +1,23 @@
 //! The certifiable inference pipeline.
 
+use safex_nn::{HealthEvent, HealthSink};
 use safex_patterns::criticality::PatternKind;
-use safex_patterns::decision::Action;
+use safex_patterns::decision::{Action, FallbackReason};
 use safex_patterns::pattern::SafetyPattern;
 use safex_patterns::{Decision, Sil};
 use safex_trace::record::{RecordKind, Value};
 use safex_trace::EvidenceChain;
 
 use crate::error::CoreError;
+use crate::health::{HealthMonitor, HealthState};
+
+/// Health supervision attached to a pipeline: the degradation-ladder
+/// state machine plus the sink hardened engines publish into.
+struct HealthWatch {
+    monitor: HealthMonitor,
+    sink: HealthSink,
+    last_events: Vec<HealthEvent>,
+}
 
 /// A deployed pipeline: a safety pattern plus evidence recording and
 /// operational statistics.
@@ -16,6 +26,7 @@ pub struct SafePipeline {
     sil: Sil,
     pattern: Box<dyn SafetyPattern>,
     chain: Option<EvidenceChain>,
+    health: Option<HealthWatch>,
     decisions: u64,
     conservative: u64,
 }
@@ -29,6 +40,7 @@ impl std::fmt::Debug for SafePipeline {
             .field("decisions", &self.decisions)
             .field("conservative", &self.conservative)
             .field("traced", &self.chain.is_some())
+            .field("health", &self.health.as_ref().map(|h| h.monitor.state()))
             .finish()
     }
 }
@@ -69,12 +81,63 @@ impl SafePipeline {
 
     /// Renders a decision for one input, recording evidence if enabled.
     ///
+    /// When health supervision is attached (see
+    /// [`PipelineBuilder::health`]), the decision is additionally gated by
+    /// the degradation ladder: health events drained after the pattern ran
+    /// advance the [`HealthMonitor`], state transitions land in the
+    /// evidence chain as [`RecordKind::HealthTransition`] records, and the
+    /// post-step state can override the pattern's verdict — `Degraded`
+    /// downgrades a proceed to a fallback on the same class
+    /// ([`FallbackReason::Degraded`]), `SafeStop` forces a safe stop.
+    ///
     /// # Errors
     ///
     /// Propagates pattern infrastructure failures as
     /// [`CoreError::Pattern`].
     pub fn decide(&mut self, input: &[f32]) -> Result<Decision, CoreError> {
-        let decision = self.pattern.decide(input)?;
+        let mut decision = self.pattern.decide(input)?;
+        if let Some(health) = &mut self.health {
+            let events = health.sink.drain();
+            let transition = health.monitor.step(!events.is_empty());
+            let event_count = events.len() as u64;
+            health.last_events = events;
+            match health.monitor.state() {
+                HealthState::Nominal => {}
+                HealthState::Degraded => {
+                    if let Action::Proceed { class, .. } = decision.action {
+                        decision = Decision::fallback(
+                            class,
+                            FallbackReason::Degraded,
+                            decision.channel_evals,
+                            decision.monitor_evals,
+                        );
+                    }
+                }
+                HealthState::SafeStop => {
+                    if !matches!(decision.action, Action::SafeStop { .. }) {
+                        decision = Decision::safe_stop(
+                            FallbackReason::Degraded,
+                            decision.channel_evals,
+                            decision.monitor_evals,
+                        );
+                    }
+                }
+            }
+            if let Some(t) = transition {
+                if let Some(chain) = &mut self.chain {
+                    chain.append(
+                        RecordKind::HealthTransition,
+                        vec![
+                            ("pipeline".into(), Value::Str(self.name.clone())),
+                            ("from".into(), Value::Str(t.from.tag().into())),
+                            ("to".into(), Value::Str(t.to.tag().into())),
+                            ("decision".into(), Value::U64(t.at_decision)),
+                            ("events".into(), Value::U64(event_count)),
+                        ],
+                    );
+                }
+            }
+        }
         self.note(&decision);
         Ok(decision)
     }
@@ -96,6 +159,15 @@ impl SafePipeline {
         &mut self,
         inputs: &[I],
     ) -> Result<Vec<Decision>, CoreError> {
+        if self.health.is_some() {
+            // The degradation ladder consumes health events *per
+            // decision*, so the batch must interleave pattern and monitor
+            // steps — semantically identical either way (see above).
+            return inputs
+                .iter()
+                .map(|input| self.decide(input.as_ref()))
+                .collect();
+        }
         let refs: Vec<&[f32]> = inputs.iter().map(AsRef::as_ref).collect();
         let decisions = self.pattern.decide_batch(&refs)?;
         for decision in &decisions {
@@ -135,6 +207,33 @@ impl SafePipeline {
         }
     }
 
+    /// The health monitor, if health supervision is attached.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref().map(|h| &h.monitor)
+    }
+
+    /// Current operating state (`None` when no health supervision).
+    pub fn health_state(&self) -> Option<HealthState> {
+        self.health.as_ref().map(|h| h.monitor.state())
+    }
+
+    /// Health events consumed by the most recent decision (empty when no
+    /// health supervision is attached or the last decision was clean).
+    pub fn last_health_events(&self) -> &[HealthEvent] {
+        self.health
+            .as_ref()
+            .map_or(&[], |h| h.last_events.as_slice())
+    }
+
+    /// Reports an externally-detected health event (e.g. from a watchdog
+    /// or platform monitor outside the inference engines). It is consumed
+    /// by the *next* decision's ladder step.
+    pub fn report_health(&mut self, event: HealthEvent) {
+        if let Some(health) = &self.health {
+            health.sink.push(event);
+        }
+    }
+
     /// The evidence chain, if tracing is enabled.
     pub fn evidence(&self) -> Option<&EvidenceChain> {
         self.chain.as_ref()
@@ -168,6 +267,7 @@ pub struct PipelineBuilder {
     sil: Sil,
     pattern: Option<Box<dyn SafetyPattern>>,
     campaign: Option<String>,
+    health: Option<(HealthMonitor, HealthSink)>,
     allow_under_provisioned: bool,
 }
 
@@ -190,6 +290,7 @@ impl PipelineBuilder {
             sil,
             pattern: None,
             campaign: None,
+            health: None,
             allow_under_provisioned: false,
         }
     }
@@ -210,6 +311,17 @@ impl PipelineBuilder {
     /// Enables evidence recording into a named campaign chain.
     pub fn evidence(mut self, campaign: impl Into<String>) -> Self {
         self.campaign = Some(campaign.into());
+        self
+    }
+
+    /// Attaches runtime health supervision: hardened engines publish
+    /// [`HealthEvent`]s into `sink` (create the sink first and attach a
+    /// clone to each engine via
+    /// [`HardenedEngine::attach_sink`](safex_nn::HardenedEngine::attach_sink)),
+    /// and `monitor` turns the per-decision event stream into the
+    /// degradation ladder that gates every decision.
+    pub fn health(mut self, monitor: HealthMonitor, sink: HealthSink) -> Self {
+        self.health = Some((monitor, sink));
         self
     }
 
@@ -248,6 +360,11 @@ impl PipelineBuilder {
             sil: self.sil,
             pattern,
             chain: self.campaign.map(EvidenceChain::new),
+            health: self.health.map(|(monitor, sink)| HealthWatch {
+                monitor,
+                sink,
+                last_events: Vec::new(),
+            }),
             decisions: 0,
             conservative: 0,
         })
@@ -389,6 +506,149 @@ mod tests {
         p.decide(&[0.0]).unwrap();
         assert_eq!(p.evidence().unwrap().len(), 2);
         p.verify_evidence().unwrap();
+    }
+
+    mod health {
+        use super::*;
+        use crate::health::{HealthConfig, HealthMonitor, HealthState};
+        use safex_nn::{HealthEvent, HealthSink};
+
+        fn event() -> HealthEvent {
+            HealthEvent::ChecksumMismatch {
+                layer: 0,
+                expected: 1,
+                actual: 2,
+            }
+        }
+
+        /// A pipeline over a rule channel with the quick ladder used by
+        /// the health unit tests: degrade at 2 events in a window of 8,
+        /// stop at 4, recover after 3 clean, resume after 5.
+        fn pipeline() -> (SafePipeline, HealthSink) {
+            let sink = HealthSink::new();
+            let monitor = HealthMonitor::new(HealthConfig {
+                window: 8,
+                degrade_events: 2,
+                stop_events: 4,
+                recover_after: 3,
+                resume_after: 5,
+            })
+            .unwrap();
+            let ma = MonitorActuator::new(
+                RuleChannel::new("r", |x: &[f32]| usize::from(x[0] > 0.5)),
+                0.5,
+                0,
+            )
+            .unwrap();
+            let p = PipelineBuilder::new("hardened", Sil::Sil1)
+                .pattern(ma)
+                .evidence("t")
+                .health(monitor, sink.clone())
+                .build()
+                .unwrap();
+            (p, sink)
+        }
+
+        #[test]
+        fn nominal_passes_decisions_through() {
+            let (mut p, _sink) = pipeline();
+            let d = p.decide(&[0.9]).unwrap();
+            assert!(d.action.is_proceed());
+            assert_eq!(p.health_state(), Some(HealthState::Nominal));
+            assert!(p.last_health_events().is_empty());
+        }
+
+        #[test]
+        fn degraded_downgrades_proceed_to_fallback() {
+            let (mut p, sink) = pipeline();
+            sink.push(event());
+            p.decide(&[0.9]).unwrap(); // 1st event: still nominal
+            sink.push(event());
+            let d = p.decide(&[0.9]).unwrap(); // 2nd event: degraded
+            assert_eq!(p.health_state(), Some(HealthState::Degraded));
+            match d.action {
+                Action::Fallback { class, reason } => {
+                    assert_eq!(class, 1, "fallback keeps the proposed class");
+                    assert_eq!(reason, FallbackReason::Degraded);
+                }
+                other => panic!("expected degraded fallback, got {other:?}"),
+            }
+            assert_eq!(p.last_health_events().len(), 1);
+        }
+
+        #[test]
+        fn safe_stop_overrides_everything() {
+            let (mut p, sink) = pipeline();
+            for _ in 0..4 {
+                sink.push(event());
+                p.decide(&[0.9]).unwrap();
+            }
+            assert_eq!(p.health_state(), Some(HealthState::SafeStop));
+            let d = p.decide(&[0.9]).unwrap();
+            assert!(matches!(d.action, Action::SafeStop { .. }));
+        }
+
+        #[test]
+        fn transitions_land_in_the_evidence_chain() {
+            let (mut p, sink) = pipeline();
+            // Escalate to safe stop, then earn the way back down.
+            for _ in 0..4 {
+                sink.push(event());
+                p.decide(&[0.9]).unwrap();
+            }
+            for _ in 0..8 {
+                p.decide(&[0.9]).unwrap();
+            }
+            assert_eq!(p.health_state(), Some(HealthState::Nominal));
+            let tags: Vec<(String, String)> = p
+                .evidence()
+                .unwrap()
+                .records()
+                .iter()
+                .filter(|r| r.kind == RecordKind::HealthTransition)
+                .map(|r| {
+                    let f = |k: &str| match r.field(k) {
+                        Some(Value::Str(s)) => s.clone(),
+                        other => panic!("bad field {k}: {other:?}"),
+                    };
+                    (f("from"), f("to"))
+                })
+                .collect();
+            assert_eq!(
+                tags,
+                vec![
+                    ("nominal".into(), "degraded".into()),
+                    ("degraded".into(), "safe_stop".into()),
+                    ("safe_stop".into(), "degraded".into()),
+                    ("degraded".into(), "nominal".into()),
+                ],
+                "every ladder transition is evidence"
+            );
+            p.verify_evidence().unwrap();
+        }
+
+        #[test]
+        fn batch_path_interleaves_health_steps() {
+            let (mut p, sink) = pipeline();
+            sink.push(event());
+            sink.push(event());
+            // Both queued events are consumed by the FIRST decision of the
+            // batch (one unhealthy step), so the ladder sees 1 unhealthy
+            // decision, not 2 — still nominal.
+            let ds = p.decide_batch(&[vec![0.9f32], vec![0.9]]).unwrap();
+            assert_eq!(ds.len(), 2);
+            assert_eq!(p.health_state(), Some(HealthState::Nominal));
+            assert_eq!(p.health().unwrap().unhealthy_in_window(), 1);
+        }
+
+        #[test]
+        fn report_health_feeds_the_next_decision() {
+            let (mut p, _sink) = pipeline();
+            p.report_health(event());
+            p.report_health(event());
+            p.decide(&[0.9]).unwrap();
+            assert_eq!(p.last_health_events().len(), 2);
+        }
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub enum NnError {
     /// Engine-pool construction or batch-dispatch failed (zero workers,
     /// mismatched batch geometry, ...).
     Pool(String),
+    /// Fault-injection or hardening configuration failed (bad probability,
+    /// bit count out of range, no injectable parameters, ...).
+    Fault(String),
 }
 
 impl fmt::Display for NnError {
@@ -58,6 +61,7 @@ impl fmt::Display for NnError {
             NnError::Quantisation(msg) => write!(f, "quantisation error: {msg}"),
             NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             NnError::Pool(msg) => write!(f, "engine pool error: {msg}"),
+            NnError::Fault(msg) => write!(f, "fault/hardening error: {msg}"),
         }
     }
 }

@@ -1,0 +1,565 @@
+//! Deterministic fault injection for the DL stack (SEU model).
+//!
+//! `safex-patterns` can already fault a channel's *verdict*; this module
+//! faults the stack underneath the verdict so hardening mechanisms
+//! ([`crate::harden`]) have something real to detect:
+//!
+//! * **Weights** — [`FaultInjector`] flips bits in parameter buffers, the
+//!   classic single-event-upset (SEU) model, for both the `f32` model and
+//!   the Q16.16 quantised model.
+//! * **Activations** — an [`ActivationFault`] in a [`FaultPlan`] flips bits
+//!   in intermediate activations between layers (applied by
+//!   [`crate::harden::HardenedEngine`]).
+//! * **Inputs** — an [`InputFault`] models sensor-level trouble: a sensor
+//!   stuck at a level, additive gaussian noise, or element dropout.
+//!
+//! Everything draws from [`DetRng`] streams derived from explicit seeds,
+//! and per-decision faults are keyed by the *decision index*, so a
+//! campaign's fault sequence is a pure function of `(model, inputs, seed)`
+//! — identical for sequential and pooled execution at any worker count.
+
+use std::sync::{Arc, Mutex};
+
+use safex_tensor::fixed::Q16_16;
+use safex_tensor::DetRng;
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::model::Model;
+use crate::quant::{QLayer, QModel};
+
+/// One recorded weight bit-flip (ground truth for coverage accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightFlip {
+    /// Index of the layer whose parameters were hit.
+    pub layer: usize,
+    /// Flat parameter index within the layer (weights then bias).
+    pub param: usize,
+    /// Bit position flipped (0 = LSB).
+    pub bit: u32,
+    /// Raw bits before the flip.
+    pub before: u32,
+    /// Raw bits after the flip.
+    pub after: u32,
+}
+
+/// Seeded injector for weight-level SEU faults.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), safex_nn::NnError> {
+/// use safex_nn::fault::FaultInjector;
+/// use safex_nn::model::ModelBuilder;
+/// use safex_tensor::{DetRng, Shape};
+///
+/// let mut rng = DetRng::new(1);
+/// let mut model = ModelBuilder::new(Shape::vector(4))
+///     .dense(8, &mut rng)?
+///     .relu()
+///     .dense(2, &mut rng)?
+///     .build()?;
+/// let before = model.digest();
+/// let mut injector = FaultInjector::new(7);
+/// let flips = injector.flip_weight_bits(&mut model, 1, 1)?;
+/// assert_eq!(flips.len(), 1);
+/// assert_ne!(model.digest(), before);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: DetRng,
+    flips: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with its own deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: DetRng::new(seed),
+            flips: 0,
+        }
+    }
+
+    /// Total bit-flips performed so far (float and quantised combined).
+    pub fn flip_count(&self) -> u64 {
+        self.flips
+    }
+
+    /// Performs `events` SEU events on the float model, each flipping
+    /// `bits_per_event` distinct bits of one uniformly chosen parameter
+    /// (dense/conv weights and biases; frozen batch-norm statistics are
+    /// excluded because execution reads their precomputed scale/shift).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Fault`] if `bits_per_event` is not in `1..=32`
+    /// or the model has no injectable parameters.
+    pub fn flip_weight_bits(
+        &mut self,
+        model: &mut Model,
+        events: usize,
+        bits_per_event: u32,
+    ) -> Result<Vec<WeightFlip>, NnError> {
+        validate_bits(bits_per_event)?;
+        let mut buffers: Vec<(usize, &mut [f32])> = Vec::new();
+        for (i, layer) in model.layers_mut().iter_mut().enumerate() {
+            match layer {
+                Layer::Dense(d) => {
+                    buffers.push((i, d.weights.as_mut_slice()));
+                    buffers.push((i, d.bias.as_mut_slice()));
+                }
+                Layer::Conv2d(c) => {
+                    buffers.push((i, c.weights.as_mut_slice()));
+                    buffers.push((i, c.bias.as_mut_slice()));
+                }
+                _ => {}
+            }
+        }
+        let total: usize = buffers.iter().map(|(_, b)| b.len()).sum();
+        if total == 0 {
+            return Err(NnError::Fault("model has no injectable parameters".into()));
+        }
+        let mut out = Vec::with_capacity(events * bits_per_event as usize);
+        for _ in 0..events {
+            let target = self.rng.below_usize(total);
+            let (layer, buf, offset) = locate_mut(&mut buffers, target);
+            for bit in self.rng.sample_indices(32, bits_per_event as usize) {
+                let before = buf[offset].to_bits();
+                let after = before ^ (1u32 << bit);
+                buf[offset] = f32::from_bits(after);
+                self.flips += 1;
+                out.push(WeightFlip {
+                    layer,
+                    param: target,
+                    bit: bit as u32,
+                    before,
+                    after,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Performs `events` SEU events on the quantised model, flipping bits
+    /// of the 32-bit Q16.16 raw representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Fault`] under the same conditions as
+    /// [`FaultInjector::flip_weight_bits`].
+    pub fn flip_qweight_bits(
+        &mut self,
+        model: &mut QModel,
+        events: usize,
+        bits_per_event: u32,
+    ) -> Result<Vec<WeightFlip>, NnError> {
+        validate_bits(bits_per_event)?;
+        let mut buffers: Vec<(usize, &mut [Q16_16])> = Vec::new();
+        for (i, layer) in model.layers_mut().iter_mut().enumerate() {
+            match layer {
+                QLayer::Dense { weights, bias, .. } | QLayer::Conv2d { weights, bias, .. } => {
+                    buffers.push((i, weights.as_mut_slice()));
+                    buffers.push((i, bias.as_mut_slice()));
+                }
+                _ => {}
+            }
+        }
+        let total: usize = buffers.iter().map(|(_, b)| b.len()).sum();
+        if total == 0 {
+            return Err(NnError::Fault(
+                "quantised model has no injectable parameters".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(events * bits_per_event as usize);
+        for _ in 0..events {
+            let target = self.rng.below_usize(total);
+            let (layer, buf, offset) = locate_mut(&mut buffers, target);
+            for bit in self.rng.sample_indices(32, bits_per_event as usize) {
+                let before = buf[offset].to_bits() as u32;
+                let after = before ^ (1u32 << bit);
+                buf[offset] = Q16_16::from_bits(after as i32);
+                self.flips += 1;
+                out.push(WeightFlip {
+                    layer,
+                    param: target,
+                    bit: bit as u32,
+                    before,
+                    after,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn validate_bits(bits: u32) -> Result<(), NnError> {
+    if !(1..=32).contains(&bits) {
+        return Err(NnError::Fault(format!(
+            "bits_per_event must be in 1..=32, got {bits}"
+        )));
+    }
+    Ok(())
+}
+
+/// Resolves a flat parameter index into `(layer, buffer, offset)`.
+fn locate_mut<'a, 'b, T>(
+    buffers: &'a mut [(usize, &'b mut [T])],
+    mut index: usize,
+) -> (usize, &'a mut &'b mut [T], usize) {
+    for (layer, buf) in buffers.iter_mut() {
+        if index < buf.len() {
+            return (*layer, buf, index);
+        }
+        index -= buf.len();
+    }
+    unreachable!("index validated against total parameter count");
+}
+
+/// A sensor/input-level fault class.
+///
+/// All variants fire independently per decision with probability `p`, so a
+/// decision's perturbation depends only on the decision index and the plan
+/// seed — never on execution order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InputFault {
+    /// One sensor element frozen at a fixed level (a dead or railed
+    /// sensor). Stateless by design: the stuck *level* is configured, not
+    /// remembered, so pooled and sequential replays agree.
+    Stuck {
+        /// Input element index to freeze.
+        index: usize,
+        /// The level the element is stuck at.
+        level: f32,
+        /// Per-decision probability the fault is active.
+        p: f64,
+    },
+    /// Additive gaussian noise on every element.
+    Noise {
+        /// Noise standard deviation.
+        sigma: f64,
+        /// Per-decision probability the fault is active.
+        p: f64,
+    },
+    /// Each element independently zeroed (packet loss / occlusion).
+    Dropout {
+        /// Per-element drop probability when the fault is active.
+        drop: f64,
+        /// Per-decision probability the fault is active.
+        p: f64,
+    },
+}
+
+/// Bit-flip corruption of intermediate activations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivationFault {
+    /// Per-layer-boundary probability that one element is corrupted.
+    pub p: f64,
+    /// Distinct bits flipped in the chosen element.
+    pub bits: u32,
+}
+
+/// A full per-decision injection plan executed by
+/// [`crate::harden::HardenedEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-decision fault streams.
+    pub seed: u64,
+    /// Optional input-level fault.
+    pub input: Option<InputFault>,
+    /// Optional activation-level fault.
+    pub activation: Option<ActivationFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a campaign control cell).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            input: None,
+            activation: None,
+        }
+    }
+
+    /// A plan with only an input fault.
+    pub fn input(seed: u64, fault: InputFault) -> Self {
+        FaultPlan {
+            seed,
+            input: Some(fault),
+            activation: None,
+        }
+    }
+
+    /// A plan with only an activation fault.
+    pub fn activation(seed: u64, fault: ActivationFault) -> Self {
+        FaultPlan {
+            seed,
+            input: None,
+            activation: Some(fault),
+        }
+    }
+
+    /// Validates probabilities and bit counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Fault`] for probabilities outside `[0, 1]`, a
+    /// non-finite sigma, or a bit count outside `1..=32`.
+    pub fn validate(&self) -> Result<(), NnError> {
+        let check_p = |p: f64, what: &str| -> Result<(), NnError> {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(NnError::Fault(format!(
+                    "{what} probability {p} outside [0, 1]"
+                )));
+            }
+            Ok(())
+        };
+        match self.input {
+            Some(InputFault::Stuck { p, level, .. }) => {
+                check_p(p, "stuck")?;
+                if !level.is_finite() {
+                    return Err(NnError::Fault("stuck level must be finite".into()));
+                }
+            }
+            Some(InputFault::Noise { sigma, p }) => {
+                check_p(p, "noise")?;
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return Err(NnError::Fault("noise sigma must be non-negative".into()));
+                }
+            }
+            Some(InputFault::Dropout { drop, p }) => {
+                check_p(p, "dropout")?;
+                check_p(drop, "per-element drop")?;
+            }
+            None => {}
+        }
+        if let Some(a) = self.activation {
+            check_p(a.p, "activation")?;
+            validate_bits(a.bits)?;
+        }
+        Ok(())
+    }
+
+    /// The deterministic per-decision fault stream for `decision`.
+    pub(crate) fn decision_rng(&self, decision: u64) -> DetRng {
+        // Mix the decision index into the seed with a splitmix-style odd
+        // constant; DetRng::new then decorrelates neighbouring seeds.
+        DetRng::new(self.seed ^ decision.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Ground truth: what a plan actually injected on one decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Injection {
+    /// An input element was forced to its stuck level.
+    InputStuck {
+        /// Element index.
+        index: usize,
+    },
+    /// Gaussian noise was added to the input.
+    InputNoise,
+    /// Input elements were dropped.
+    InputDropout {
+        /// How many elements were zeroed.
+        zeroed: u32,
+    },
+    /// Bits were flipped in an intermediate activation.
+    ActivationFlip {
+        /// Layer whose output was corrupted.
+        layer: usize,
+        /// Element index within the activation.
+        index: usize,
+    },
+}
+
+/// Shared, clonable log of injections (ground truth for campaigns).
+///
+/// The [`crate::harden::HardenedEngine`] pushes every injection it performs
+/// here; the campaign runner drains it per decision to know whether a
+/// fault was actually active.
+#[derive(Debug, Clone, Default)]
+pub struct InjectionLog(Arc<Mutex<Vec<Injection>>>);
+
+impl InjectionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one injection.
+    pub fn push(&self, injection: Injection) {
+        self.0
+            .lock()
+            .expect("injection log poisoned")
+            .push(injection);
+    }
+
+    /// Removes and returns everything logged so far.
+    pub fn drain(&self) -> Vec<Injection> {
+        std::mem::take(&mut *self.0.lock().expect("injection log poisoned"))
+    }
+
+    /// Number of injections currently logged.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("injection log poisoned").len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelBuilder;
+    use safex_tensor::Shape;
+
+    fn model(seed: u64) -> Model {
+        let mut rng = DetRng::new(seed);
+        ModelBuilder::new(Shape::vector(4))
+            .dense(8, &mut rng)
+            .unwrap()
+            .relu()
+            .dense(3, &mut rng)
+            .unwrap()
+            .softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn weight_flips_are_deterministic() {
+        let run = |seed: u64| {
+            let mut m = model(1);
+            let mut inj = FaultInjector::new(seed);
+            let flips = inj.flip_weight_bits(&mut m, 5, 1).unwrap();
+            (flips, m.digest())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).1, run(8).1);
+    }
+
+    #[test]
+    fn weight_flip_changes_exactly_the_recorded_bit() {
+        let mut m = model(2);
+        let before_digest = m.digest();
+        let mut inj = FaultInjector::new(3);
+        let flips = inj.flip_weight_bits(&mut m, 1, 1).unwrap();
+        assert_eq!(flips.len(), 1);
+        let f = flips[0];
+        assert_eq!(f.before ^ f.after, 1u32 << f.bit);
+        assert_ne!(m.digest(), before_digest);
+        assert_eq!(inj.flip_count(), 1);
+        // Flipping the same bit back restores the digest.
+        let mut restore = FaultInjector::new(3);
+        restore.flip_weight_bits(&mut m, 1, 1).unwrap();
+        assert_eq!(m.digest(), before_digest);
+    }
+
+    #[test]
+    fn multi_bit_events_flip_distinct_bits() {
+        let mut m = model(4);
+        let mut inj = FaultInjector::new(9);
+        let flips = inj.flip_weight_bits(&mut m, 1, 3).unwrap();
+        assert_eq!(flips.len(), 3);
+        let mut bits: Vec<u32> = flips.iter().map(|f| f.bit).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), 3, "bits within one event must be distinct");
+        assert!(flips.iter().all(|f| f.param == flips[0].param));
+    }
+
+    #[test]
+    fn qweight_flips_change_quantised_params() {
+        let m = model(5);
+        let mut q = QModel::quantize(&m).unwrap();
+        let pristine = QModel::quantize(&m).unwrap();
+        let mut inj = FaultInjector::new(11);
+        let flips = inj.flip_qweight_bits(&mut q, 4, 1).unwrap();
+        assert_eq!(flips.len(), 4);
+        assert_ne!(q, pristine);
+    }
+
+    #[test]
+    fn validation_rejects_bad_bit_counts() {
+        let mut m = model(6);
+        let mut inj = FaultInjector::new(0);
+        assert!(matches!(
+            inj.flip_weight_bits(&mut m, 1, 0),
+            Err(NnError::Fault(_))
+        ));
+        assert!(matches!(
+            inj.flip_weight_bits(&mut m, 1, 33),
+            Err(NnError::Fault(_))
+        ));
+    }
+
+    #[test]
+    fn plan_validation() {
+        assert!(FaultPlan::none(0).validate().is_ok());
+        assert!(FaultPlan::input(
+            0,
+            InputFault::Noise {
+                sigma: -1.0,
+                p: 0.5
+            }
+        )
+        .validate()
+        .is_err());
+        assert!(FaultPlan::input(
+            0,
+            InputFault::Stuck {
+                index: 0,
+                level: f32::NAN,
+                p: 0.5
+            }
+        )
+        .validate()
+        .is_err());
+        assert!(
+            FaultPlan::input(0, InputFault::Dropout { drop: 1.5, p: 0.1 })
+                .validate()
+                .is_err()
+        );
+        assert!(
+            FaultPlan::activation(0, ActivationFault { p: 2.0, bits: 1 })
+                .validate()
+                .is_err()
+        );
+        assert!(
+            FaultPlan::activation(0, ActivationFault { p: 0.2, bits: 0 })
+                .validate()
+                .is_err()
+        );
+        assert!(
+            FaultPlan::activation(0, ActivationFault { p: 0.2, bits: 2 })
+                .validate()
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn decision_rng_is_index_keyed() {
+        let plan = FaultPlan::none(42);
+        let a = plan.decision_rng(3).next_u64();
+        let b = plan.decision_rng(3).next_u64();
+        let c = plan.decision_rng(4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn injection_log_roundtrip() {
+        let log = InjectionLog::new();
+        assert!(log.is_empty());
+        log.push(Injection::InputNoise);
+        log.push(Injection::ActivationFlip { layer: 1, index: 2 });
+        assert_eq!(log.len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,1079 @@
+//! Runtime hardening: fault *detection* for the inference stack.
+//!
+//! [`crate::fault`] puts faults in; this module notices them. Two
+//! mechanisms, both cheap enough for the deployed hot path:
+//!
+//! * **Weight checksums** — a CRC-32 over every parametric layer's
+//!   buffers, captured at construction ("golden") and re-verified on a
+//!   configurable decision cadence. Any weight bit-flip makes the next
+//!   scheduled check fail.
+//! * **Activation range guards** — per-layer `[lo, hi]` envelopes learned
+//!   from calibration data ([`ActivationGuard::calibrate`]) and widened by
+//!   a slack factor. Corrupted activations that leave the envelope, and
+//!   any non-finite value, are flagged on the decision they occur.
+//!
+//! Detections surface as typed [`HealthEvent`]s rather than silent wrong
+//! answers; a [`HealthSink`] carries them out of the engine to whoever
+//! owns the safety argument (in `safex-core`, the `HealthMonitor`).
+//!
+//! [`HardenedEngine`] mirrors [`Engine`] (ping-pong buffers, no hot-path
+//! allocation beyond event reporting) and [`HardenedPool`] mirrors
+//! [`crate::EnginePool`]. Per-decision work — injections from an attached
+//! [`FaultPlan`] and every detection — is keyed by a global *decision
+//! index*, so pooled execution is bit-identical to sequential execution
+//! for any worker count.
+//!
+//! [`Engine`]: crate::Engine
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use safex_tensor::DetRng;
+
+use crate::engine::{run_layer, Classification, Engine};
+use crate::error::NnError;
+use crate::fault::{FaultPlan, Injection, InjectionLog, InputFault};
+use crate::layer::Layer;
+use crate::model::Model;
+use crate::pool::run_partitioned;
+
+/// A detected anomaly, typed so consumers can weigh classes differently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum HealthEvent {
+    /// A parametric layer's CRC no longer matches its golden value.
+    ChecksumMismatch {
+        /// Layer whose parameters changed.
+        layer: usize,
+        /// Golden CRC-32 captured at construction (or last rebaseline).
+        expected: u32,
+        /// CRC-32 of the parameters as they are now.
+        actual: u32,
+    },
+    /// An activation left its calibrated envelope.
+    ActivationOutOfRange {
+        /// Layer whose output violated the envelope.
+        layer: usize,
+        /// First offending element index.
+        index: usize,
+        /// The offending value.
+        value: f32,
+        /// Envelope lower bound.
+        lo: f32,
+        /// Envelope upper bound.
+        hi: f32,
+    },
+    /// An activation became NaN or infinite.
+    NonFiniteActivation {
+        /// Layer whose output is non-finite.
+        layer: usize,
+        /// First offending element index.
+        index: usize,
+    },
+    /// An input element is NaN or infinite (sensor garbage).
+    NonFiniteInput {
+        /// First offending element index.
+        index: usize,
+    },
+}
+
+impl HealthEvent {
+    /// Stable tag for logging and evidence records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthEvent::ChecksumMismatch { .. } => "checksum_mismatch",
+            HealthEvent::ActivationOutOfRange { .. } => "activation_out_of_range",
+            HealthEvent::NonFiniteActivation { .. } => "non_finite_activation",
+            HealthEvent::NonFiniteInput { .. } => "non_finite_input",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthEvent::ChecksumMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "layer {layer} checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+            ),
+            HealthEvent::ActivationOutOfRange {
+                layer,
+                index,
+                value,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "layer {layer} activation[{index}] = {value} outside [{lo}, {hi}]"
+            ),
+            HealthEvent::NonFiniteActivation { layer, index } => {
+                write!(f, "layer {layer} activation[{index}] is non-finite")
+            }
+            HealthEvent::NonFiniteInput { index } => {
+                write!(f, "input[{index}] is non-finite")
+            }
+        }
+    }
+}
+
+/// Shared, clonable channel carrying [`HealthEvent`]s out of an engine.
+///
+/// The engine pushes; the pipeline/health-monitor side drains once per
+/// decision. Cloning shares the underlying buffer.
+#[derive(Debug, Clone, Default)]
+pub struct HealthSink(Arc<Mutex<Vec<HealthEvent>>>);
+
+impl HealthSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&self, event: HealthEvent) {
+        self.0.lock().expect("health sink poisoned").push(event);
+    }
+
+    /// Appends a batch of events.
+    pub fn extend(&self, events: &[HealthEvent]) {
+        self.0
+            .lock()
+            .expect("health sink poisoned")
+            .extend_from_slice(events);
+    }
+
+    /// Removes and returns everything currently queued.
+    pub fn drain(&self) -> Vec<HealthEvent> {
+        std::mem::take(&mut *self.0.lock().expect("health sink poisoned"))
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("health sink poisoned").len()
+    }
+
+    /// Whether the sink is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte stream. Table-driven,
+/// dependency-free.
+pub fn crc32(bytes: impl IntoIterator<Item = u8>) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
+            }
+            *entry = crc;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// CRC-32 of every parametric layer: `(layer index, crc)` pairs.
+///
+/// Covers dense and convolution weights and biases — the buffers
+/// [`crate::fault::FaultInjector`] can hit. Frozen batch-norm is excluded
+/// (execution reads its precomputed scale/shift, which the injector never
+/// touches).
+pub fn layer_checksums(model: &Model) -> Vec<(usize, u32)> {
+    let mut out = Vec::new();
+    for (i, layer) in model.layers().iter().enumerate() {
+        let (weights, bias): (&[f32], &[f32]) = match layer {
+            Layer::Dense(d) => (d.weights(), d.bias()),
+            Layer::Conv2d(c) => (c.weights(), c.bias()),
+            _ => continue,
+        };
+        let crc = crc32(
+            weights
+                .iter()
+                .chain(bias)
+                .flat_map(|v| v.to_bits().to_le_bytes()),
+        );
+        out.push((i, crc));
+    }
+    out
+}
+
+/// Per-layer activation envelopes learned from calibration data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationGuard {
+    /// `(lo, hi)` per layer, input excluded, already slack-widened.
+    ranges: Vec<(f32, f32)>,
+}
+
+impl ActivationGuard {
+    /// Learns envelopes by tracing the *clean* model over calibration
+    /// inputs and widening each layer's observed `[min, max]` by
+    /// `slack × span` on both sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Fault`] for an empty calibration set or an
+    /// invalid slack, and propagates inference errors on bad inputs.
+    pub fn calibrate<I: AsRef<[f32]>>(
+        model: &Model,
+        inputs: &[I],
+        slack: f32,
+    ) -> Result<Self, NnError> {
+        if inputs.is_empty() {
+            return Err(NnError::Fault("calibration set is empty".into()));
+        }
+        if !slack.is_finite() || slack < 0.0 {
+            return Err(NnError::Fault(format!(
+                "guard slack must be finite and non-negative, got {slack}"
+            )));
+        }
+        let mut engine = Engine::new(model.clone());
+        let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); model.len()];
+        for input in inputs {
+            let traced = engine.infer_traced(input.as_ref())?;
+            for (range, act) in ranges.iter_mut().zip(&traced) {
+                for &v in act.as_slice() {
+                    if !v.is_finite() {
+                        return Err(NnError::Fault(
+                            "calibration produced a non-finite activation".into(),
+                        ));
+                    }
+                    range.0 = range.0.min(v);
+                    range.1 = range.1.max(v);
+                }
+            }
+        }
+        for range in &mut ranges {
+            let span = (range.1 - range.0).max(1e-6);
+            range.0 -= slack * span;
+            range.1 += slack * span;
+        }
+        Ok(ActivationGuard { ranges })
+    }
+
+    /// The widened `(lo, hi)` envelope per layer.
+    pub fn ranges(&self) -> &[(f32, f32)] {
+        &self.ranges
+    }
+
+    /// Checks one layer's activation, reporting at most one event (the
+    /// first offending element) to bound per-decision event volume.
+    fn check(&self, layer: usize, activation: &[f32], events: &mut Vec<HealthEvent>) {
+        let (lo, hi) = self.ranges[layer];
+        for (index, &value) in activation.iter().enumerate() {
+            if !value.is_finite() {
+                events.push(HealthEvent::NonFiniteActivation { layer, index });
+                return;
+            }
+            if value < lo || value > hi {
+                events.push(HealthEvent::ActivationOutOfRange {
+                    layer,
+                    index,
+                    value,
+                    lo,
+                    hi,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Detection settings for a [`HardenedEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardenConfig {
+    /// Re-verify weight checksums when `decision_index % crc_cadence == 0`
+    /// (0 disables checksum verification). Default 1: every decision.
+    pub crc_cadence: u64,
+    /// Envelope widening used by [`HardenedEngine::calibrate`]: each
+    /// calibrated layer range grows by `slack × span` on both sides.
+    /// Default 0.5.
+    pub guard_slack: f32,
+}
+
+impl Default for HardenConfig {
+    fn default() -> Self {
+        HardenConfig {
+            crc_cadence: 1,
+            guard_slack: 0.5,
+        }
+    }
+}
+
+impl HardenConfig {
+    fn validate(&self) -> Result<(), NnError> {
+        if !self.guard_slack.is_finite() || self.guard_slack < 0.0 {
+            return Err(NnError::Fault(format!(
+                "guard slack must be finite and non-negative, got {}",
+                self.guard_slack
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// An [`Engine`]-shaped executor with built-in fault injection and
+/// detection.
+///
+/// Same ping-pong buffer discipline as [`Engine`]; additionally, per
+/// decision it (1) applies the attached [`FaultPlan`], (2) verifies
+/// weight checksums on the configured cadence, and (3) runs the
+/// activation guard. Detections land in [`HardenedEngine::last_events`]
+/// and, when attached, a shared [`HealthSink`]; injections land in
+/// [`HardenedEngine::last_injections`] and an optional [`InjectionLog`]
+/// (campaign ground truth).
+///
+/// Everything per-decision is keyed by a monotonically increasing decision
+/// index (or an explicit one via the `*_indexed` methods), making runs a
+/// pure function of `(model, plan, index, input)`.
+#[derive(Debug, Clone)]
+pub struct HardenedEngine {
+    model: Model,
+    buf_a: Vec<f32>,
+    buf_b: Vec<f32>,
+    golden: Vec<(usize, u32)>,
+    config: HardenConfig,
+    guard: Option<ActivationGuard>,
+    plan: Option<FaultPlan>,
+    sink: Option<HealthSink>,
+    log: Option<InjectionLog>,
+    events: Vec<HealthEvent>,
+    injections: Vec<Injection>,
+    decisions: u64,
+    events_seen: u64,
+}
+
+impl HardenedEngine {
+    /// Creates a hardened engine, capturing golden checksums from the
+    /// (presumed pristine) model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Fault`] on an invalid config.
+    pub fn new(model: Model, config: HardenConfig) -> Result<Self, NnError> {
+        config.validate()?;
+        let cap = model.max_activation_len();
+        let golden = layer_checksums(&model);
+        Ok(HardenedEngine {
+            model,
+            buf_a: vec![0.0; cap],
+            buf_b: vec![0.0; cap],
+            golden,
+            config,
+            guard: None,
+            plan: None,
+            sink: None,
+            log: None,
+            events: Vec::new(),
+            injections: Vec::new(),
+            decisions: 0,
+            events_seen: 0,
+        })
+    }
+
+    /// Learns activation envelopes from clean calibration inputs using the
+    /// configured slack.
+    ///
+    /// # Errors
+    ///
+    /// See [`ActivationGuard::calibrate`].
+    pub fn calibrate<I: AsRef<[f32]>>(&mut self, inputs: &[I]) -> Result<(), NnError> {
+        self.guard = Some(ActivationGuard::calibrate(
+            &self.model,
+            inputs,
+            self.config.guard_slack,
+        )?);
+        Ok(())
+    }
+
+    /// Installs a pre-calibrated guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Fault`] if the guard's layer count does not
+    /// match the model.
+    pub fn set_guard(&mut self, guard: ActivationGuard) -> Result<(), NnError> {
+        if guard.ranges.len() != self.model.len() {
+            return Err(NnError::Fault(format!(
+                "guard covers {} layers but model has {}",
+                guard.ranges.len(),
+                self.model.len()
+            )));
+        }
+        self.guard = Some(guard);
+        Ok(())
+    }
+
+    /// Attaches a per-decision fault plan (validated).
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultPlan::validate`].
+    pub fn set_plan(&mut self, plan: FaultPlan) -> Result<(), NnError> {
+        plan.validate()?;
+        self.plan = Some(plan);
+        Ok(())
+    }
+
+    /// Attaches a shared sink that receives every [`HealthEvent`].
+    pub fn attach_sink(&mut self, sink: HealthSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Attaches a shared log that receives every [`Injection`].
+    pub fn attach_injection_log(&mut self, log: InjectionLog) {
+        self.log = Some(log);
+    }
+
+    /// Drops shared observers (pool replicas report per-result instead).
+    pub fn detach_observers(&mut self) {
+        self.sink = None;
+        self.log = None;
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Mutable model access — the fault-injection hook. Golden checksums
+    /// deliberately do *not* follow: a mutation here is exactly what the
+    /// checksum verification exists to catch. After a legitimate model
+    /// update call [`HardenedEngine::rebaseline`].
+    pub fn model_mut(&mut self) -> &mut Model {
+        &mut self.model
+    }
+
+    /// Re-captures golden checksums from the current parameters.
+    pub fn rebaseline(&mut self) {
+        self.golden = layer_checksums(&self.model);
+    }
+
+    /// Golden `(layer, crc)` pairs currently enforced.
+    pub fn golden_checksums(&self) -> &[(usize, u32)] {
+        &self.golden
+    }
+
+    /// Decisions completed via [`HardenedEngine::infer`] /
+    /// [`HardenedEngine::classify`].
+    pub fn decision_count(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Total health events raised since construction.
+    pub fn event_count(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Events raised by the most recent decision.
+    pub fn last_events(&self) -> &[HealthEvent] {
+        &self.events
+    }
+
+    /// Injections performed by the most recent decision.
+    pub fn last_injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Runs one decision at the engine's own monotone index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] on a wrong-sized input.
+    pub fn infer(&mut self, input: &[f32]) -> Result<&[f32], NnError> {
+        let index = self.decisions;
+        let (len, in_a) = self.run(index, input)?;
+        self.decisions += 1;
+        let buf = if in_a { &self.buf_a } else { &self.buf_b };
+        Ok(&buf[..len])
+    }
+
+    /// Runs one decision at an explicit global index (pool path).
+    ///
+    /// Does not advance the engine's own counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] on a wrong-sized input.
+    pub fn infer_indexed(&mut self, index: u64, input: &[f32]) -> Result<&[f32], NnError> {
+        let (len, in_a) = self.run(index, input)?;
+        let buf = if in_a { &self.buf_a } else { &self.buf_b };
+        Ok(&buf[..len])
+    }
+
+    /// Classification convenience over [`HardenedEngine::infer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] on a wrong-sized input.
+    pub fn classify(&mut self, input: &[f32]) -> Result<Classification, NnError> {
+        let index = self.decisions;
+        let c = self.classify_indexed(index, input)?;
+        self.decisions += 1;
+        Ok(c)
+    }
+
+    /// Classification at an explicit global index (pool path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] on a wrong-sized input.
+    pub fn classify_indexed(
+        &mut self,
+        index: u64,
+        input: &[f32],
+    ) -> Result<Classification, NnError> {
+        let out = self.infer_indexed(index, input)?;
+        let mut best = Classification {
+            class: 0,
+            confidence: f32::NEG_INFINITY,
+        };
+        for (i, &v) in out.iter().enumerate() {
+            if v > best.confidence {
+                best = Classification {
+                    class: i,
+                    confidence: v,
+                };
+            }
+        }
+        Ok(best)
+    }
+
+    /// The core decision: inject → execute → detect.
+    fn run(&mut self, index: u64, input: &[f32]) -> Result<(usize, bool), NnError> {
+        let expected = self.model.input_shape();
+        if input.len() != expected.len() {
+            return Err(NnError::InputShape {
+                expected,
+                actual: input.len(),
+            });
+        }
+        self.events.clear();
+        self.injections.clear();
+        self.buf_a[..input.len()].copy_from_slice(input);
+
+        // One fault stream per decision, derived from (plan seed, index):
+        // the sequence of draws below is fixed, so pooled and sequential
+        // replays of the same decision are identical.
+        let mut fault_rng = self.plan.map(|p| p.decision_rng(index));
+        if let (Some(plan), Some(rng)) = (self.plan, fault_rng.as_mut()) {
+            if let Some(fault) = plan.input {
+                apply_input_fault(
+                    fault,
+                    &mut self.buf_a[..input.len()],
+                    rng,
+                    &mut self.injections,
+                );
+            }
+        }
+        for (i, &v) in self.buf_a[..input.len()].iter().enumerate() {
+            if !v.is_finite() {
+                self.events.push(HealthEvent::NonFiniteInput { index: i });
+                break;
+            }
+        }
+
+        if self.config.crc_cadence > 0 && index.is_multiple_of(self.config.crc_cadence) {
+            for (&(layer, expected), &(_, actual)) in
+                self.golden.iter().zip(&layer_checksums(&self.model))
+            {
+                if expected != actual {
+                    self.events.push(HealthEvent::ChecksumMismatch {
+                        layer,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+        }
+
+        let activation_fault = self.plan.and_then(|p| p.activation);
+        let mut cur_shape = expected;
+        let mut cur_in_a = true;
+        for (i, layer) in self.model.layers().iter().enumerate() {
+            let out_shape = self
+                .model
+                .layer_output_shape(i)
+                .expect("layer index in range");
+            let (src, dst) = if cur_in_a {
+                (&self.buf_a, &mut self.buf_b)
+            } else {
+                (&self.buf_b, &mut self.buf_a)
+            };
+            let dst = &mut dst[..out_shape.len()];
+            run_layer(layer, &src[..cur_shape.len()], dst, &cur_shape)?;
+            if let (Some(fault), Some(rng)) = (activation_fault, fault_rng.as_mut()) {
+                if rng.chance(fault.p) {
+                    let element = rng.below_usize(dst.len());
+                    let mut bits = dst[element].to_bits();
+                    for b in rng.sample_indices(32, fault.bits as usize) {
+                        bits ^= 1u32 << b;
+                    }
+                    dst[element] = f32::from_bits(bits);
+                    self.injections.push(Injection::ActivationFlip {
+                        layer: i,
+                        index: element,
+                    });
+                }
+            }
+            if let Some(guard) = &self.guard {
+                guard.check(i, dst, &mut self.events);
+            }
+            cur_shape = out_shape;
+            cur_in_a = !cur_in_a;
+        }
+
+        // Without a guard, still refuse to stay silent on a non-finite
+        // final activation.
+        if self.guard.is_none() {
+            let out = if cur_in_a { &self.buf_a } else { &self.buf_b };
+            if let Some((index, _)) = out[..cur_shape.len()]
+                .iter()
+                .enumerate()
+                .find(|(_, v)| !v.is_finite())
+            {
+                self.events.push(HealthEvent::NonFiniteActivation {
+                    layer: self.model.len() - 1,
+                    index,
+                });
+            }
+        }
+
+        self.events_seen += self.events.len() as u64;
+        if let Some(sink) = &self.sink {
+            sink.extend(&self.events);
+        }
+        if let Some(log) = &self.log {
+            for &injection in &self.injections {
+                log.push(injection);
+            }
+        }
+        Ok((cur_shape.len(), cur_in_a))
+    }
+}
+
+fn apply_input_fault(
+    fault: InputFault,
+    input: &mut [f32],
+    rng: &mut DetRng,
+    injections: &mut Vec<Injection>,
+) {
+    match fault {
+        InputFault::Stuck { index, level, p } => {
+            if rng.chance(p) && index < input.len() {
+                input[index] = level;
+                injections.push(Injection::InputStuck { index });
+            }
+        }
+        InputFault::Noise { sigma, p } => {
+            if rng.chance(p) {
+                for v in input.iter_mut() {
+                    *v += (rng.next_gaussian() * sigma) as f32;
+                }
+                injections.push(Injection::InputNoise);
+            }
+        }
+        InputFault::Dropout { drop, p } => {
+            if rng.chance(p) {
+                let mut zeroed = 0u32;
+                for v in input.iter_mut() {
+                    if rng.chance(drop) {
+                        *v = 0.0;
+                        zeroed += 1;
+                    }
+                }
+                if zeroed > 0 {
+                    injections.push(Injection::InputDropout { zeroed });
+                }
+            }
+        }
+    }
+}
+
+/// One pooled result: the classification plus everything the hardening
+/// observed while producing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedClassification {
+    /// The (possibly fault-affected) classification.
+    pub classification: Classification,
+    /// Health events raised on this decision.
+    pub events: Vec<HealthEvent>,
+    /// Faults actually injected on this decision (ground truth).
+    pub injections: Vec<Injection>,
+}
+
+/// A pool of [`HardenedEngine`] replicas for parallel campaign batches.
+///
+/// Replicas drop shared sink/log observers (their push order would depend
+/// on scheduling); instead every result carries its own events and
+/// injections, so batch output is bit-identical for any worker count and
+/// equal to a sequential [`HardenedEngine::classify_indexed`] loop over
+/// the same global indices.
+#[derive(Debug, Clone)]
+pub struct HardenedPool {
+    workers: Vec<HardenedEngine>,
+    dispatched: u64,
+}
+
+impl HardenedPool {
+    /// Creates a pool of `workers` replicas of `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Pool`] when `workers` is zero.
+    pub fn new(engine: &HardenedEngine, workers: usize) -> Result<Self, NnError> {
+        if workers == 0 {
+            return Err(NnError::Pool("pool needs at least one worker".into()));
+        }
+        let workers = (0..workers)
+            .map(|_| {
+                let mut replica = engine.clone();
+                replica.detach_observers();
+                replica
+            })
+            .collect();
+        Ok(HardenedPool {
+            workers,
+            dispatched: 0,
+        })
+    }
+
+    /// Number of worker replicas.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Decisions dispatched so far (the next batch starts at this global
+    /// index).
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Classifies a batch in parallel, preserving input order; global
+    /// decision indices continue across batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] if any input has the wrong element
+    /// count; the whole batch fails (no partial results).
+    pub fn classify_batch<I: AsRef<[f32]> + Sync>(
+        &mut self,
+        inputs: &[I],
+    ) -> Result<Vec<CheckedClassification>, NnError> {
+        let base = self.dispatched;
+        let indexed: Vec<(u64, &[f32])> = inputs
+            .iter()
+            .enumerate()
+            .map(|(k, x)| (base + k as u64, x.as_ref()))
+            .collect();
+        let out = run_partitioned(&mut self.workers, &indexed, |engine, &(index, input)| {
+            let classification = engine.classify_indexed(index, input)?;
+            Ok(CheckedClassification {
+                classification,
+                events: engine.last_events().to_vec(),
+                injections: engine.last_injections().to_vec(),
+            })
+        })?;
+        self.dispatched = base + inputs.len() as u64;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{ActivationFault, FaultInjector};
+    use crate::model::ModelBuilder;
+    use safex_tensor::Shape;
+
+    fn model(seed: u64) -> Model {
+        let mut rng = DetRng::new(seed);
+        ModelBuilder::new(Shape::vector(4))
+            .dense(8, &mut rng)
+            .unwrap()
+            .relu()
+            .dense(3, &mut rng)
+            .unwrap()
+            .softmax()
+            .build()
+            .unwrap()
+    }
+
+    fn calibration() -> Vec<Vec<f32>> {
+        let mut rng = DetRng::new(99);
+        (0..16)
+            .map(|_| (0..4).map(|_| rng.next_f32() * 2.0 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789".iter().copied()), 0xCBF4_3926);
+        assert_eq!(crc32(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn clean_run_matches_engine_and_raises_nothing() {
+        let m = model(1);
+        let mut plain = Engine::new(m.clone());
+        let mut hardened = HardenedEngine::new(m, HardenConfig::default()).unwrap();
+        hardened.calibrate(&calibration()).unwrap();
+        for input in calibration() {
+            let expected = plain.infer(&input).unwrap().to_vec();
+            let got = hardened.infer(&input).unwrap();
+            assert_eq!(
+                got,
+                expected.as_slice(),
+                "hardening must not perturb output"
+            );
+            assert!(hardened.last_events().is_empty());
+        }
+        assert_eq!(hardened.event_count(), 0);
+        assert_eq!(hardened.decision_count(), 16);
+    }
+
+    #[test]
+    fn checksum_catches_weight_flip() {
+        let mut hardened = HardenedEngine::new(model(2), HardenConfig::default()).unwrap();
+        let input = [0.1, 0.2, 0.3, 0.4];
+        hardened.infer(&input).unwrap();
+        assert!(hardened.last_events().is_empty());
+        let flips = FaultInjector::new(5)
+            .flip_weight_bits(hardened.model_mut(), 1, 1)
+            .unwrap();
+        hardened.infer(&input).unwrap();
+        let events = hardened.last_events().to_vec();
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            HealthEvent::ChecksumMismatch { layer, .. } => assert_eq!(layer, flips[0].layer),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        // After acknowledging the change the engine is clean again.
+        hardened.rebaseline();
+        hardened.infer(&input).unwrap();
+        assert!(hardened.last_events().is_empty());
+    }
+
+    #[test]
+    fn checksum_respects_cadence() {
+        let config = HardenConfig {
+            crc_cadence: 4,
+            ..HardenConfig::default()
+        };
+        let mut hardened = HardenedEngine::new(model(3), config).unwrap();
+        let input = [0.0; 4];
+        hardened.infer(&input).unwrap(); // index 0: checked, clean
+        FaultInjector::new(1)
+            .flip_weight_bits(hardened.model_mut(), 1, 1)
+            .unwrap();
+        for index in 1..4 {
+            hardened.infer(&input).unwrap();
+            assert!(
+                hardened.last_events().is_empty(),
+                "index {index} is off-cadence"
+            );
+        }
+        hardened.infer(&input).unwrap(); // index 4: checked
+        assert!(matches!(
+            hardened.last_events(),
+            [HealthEvent::ChecksumMismatch { .. }]
+        ));
+    }
+
+    #[test]
+    fn guard_flags_out_of_envelope_activations() {
+        let mut hardened = HardenedEngine::new(model(4), HardenConfig::default()).unwrap();
+        hardened.calibrate(&calibration()).unwrap();
+        // Calibration inputs live in [-1, 1]; an input 100x outside drives
+        // the first dense layer far beyond its widened envelope.
+        hardened.infer(&[100.0, -100.0, 100.0, -100.0]).unwrap();
+        assert!(
+            hardened
+                .last_events()
+                .iter()
+                .any(|e| matches!(e, HealthEvent::ActivationOutOfRange { layer: 0, .. })),
+            "events: {:?}",
+            hardened.last_events()
+        );
+    }
+
+    #[test]
+    fn non_finite_input_flagged() {
+        let mut hardened = HardenedEngine::new(model(5), HardenConfig::default()).unwrap();
+        hardened.infer(&[0.0, f32::NAN, 0.0, 0.0]).unwrap();
+        assert!(hardened
+            .last_events()
+            .iter()
+            .any(|e| matches!(e, HealthEvent::NonFiniteInput { index: 1 })));
+    }
+
+    #[test]
+    fn input_faults_are_decision_keyed() {
+        let plan = FaultPlan::input(77, InputFault::Noise { sigma: 0.1, p: 1.0 });
+        let make = || {
+            let mut h = HardenedEngine::new(model(6), HardenConfig::default()).unwrap();
+            h.set_plan(plan).unwrap();
+            h
+        };
+        let input = [0.5, -0.5, 0.25, -0.25];
+        let mut a = make();
+        let mut b = make();
+        let out_a0 = a.infer(&input).unwrap().to_vec();
+        let out_b0 = b.infer(&input).unwrap().to_vec();
+        assert_eq!(out_a0, out_b0, "same decision index, same perturbation");
+        assert_eq!(a.last_injections(), &[Injection::InputNoise]);
+        let out_a1 = a.infer(&input).unwrap().to_vec();
+        assert_ne!(out_a0, out_a1, "different index, different perturbation");
+        // Explicit index reproduces the pooled view of the same decision.
+        let mut c = make();
+        assert_eq!(c.infer_indexed(1, &input).unwrap(), out_a1.as_slice());
+    }
+
+    #[test]
+    fn stuck_and_dropout_faults_apply() {
+        let input = [0.5, -0.5, 0.25, -0.25];
+        let mut h = HardenedEngine::new(model(7), HardenConfig::default()).unwrap();
+        h.set_plan(FaultPlan::input(
+            3,
+            InputFault::Stuck {
+                index: 2,
+                level: 9.0,
+                p: 1.0,
+            },
+        ))
+        .unwrap();
+        let mut clean = Engine::new(model(7));
+        let mut stuck_input = input;
+        stuck_input[2] = 9.0;
+        let expected = clean.infer(&stuck_input).unwrap().to_vec();
+        assert_eq!(h.infer(&input).unwrap(), expected.as_slice());
+        assert_eq!(h.last_injections(), &[Injection::InputStuck { index: 2 }]);
+
+        let mut d = HardenedEngine::new(model(7), HardenConfig::default()).unwrap();
+        d.set_plan(FaultPlan::input(
+            4,
+            InputFault::Dropout { drop: 1.0, p: 1.0 },
+        ))
+        .unwrap();
+        let expected = clean.infer(&[0.0; 4]).unwrap().to_vec();
+        assert_eq!(d.infer(&input).unwrap(), expected.as_slice());
+        assert_eq!(
+            d.last_injections(),
+            &[Injection::InputDropout { zeroed: 4 }]
+        );
+    }
+
+    #[test]
+    fn activation_faults_logged_and_deterministic() {
+        let plan = FaultPlan::activation(21, ActivationFault { p: 0.5, bits: 2 });
+        let run = |n: u64| {
+            let mut h = HardenedEngine::new(model(8), HardenConfig::default()).unwrap();
+            h.set_plan(plan).unwrap();
+            let log = InjectionLog::new();
+            h.attach_injection_log(log.clone());
+            let input = [0.1, 0.2, 0.3, 0.4];
+            let outs: Vec<Vec<f32>> = (0..n).map(|_| h.infer(&input).unwrap().to_vec()).collect();
+            (outs, log.drain())
+        };
+        let (outs_a, log_a) = run(20);
+        let (outs_b, log_b) = run(20);
+        assert_eq!(outs_a, outs_b);
+        assert_eq!(log_a, log_b);
+        assert!(
+            !log_a.is_empty(),
+            "p=0.5 over 20x3 layer boundaries must hit"
+        );
+    }
+
+    #[test]
+    fn pool_matches_sequential_for_any_worker_count() {
+        let mut engine = HardenedEngine::new(model(9), HardenConfig::default()).unwrap();
+        engine.calibrate(&calibration()).unwrap();
+        engine
+            .set_plan(FaultPlan {
+                seed: 13,
+                input: Some(InputFault::Noise { sigma: 0.2, p: 0.3 }),
+                activation: Some(ActivationFault { p: 0.2, bits: 2 }),
+            })
+            .unwrap();
+        let inputs = calibration();
+        let mut reference = Vec::new();
+        {
+            let mut seq = engine.clone();
+            for (i, input) in inputs.iter().enumerate() {
+                let classification = seq.classify_indexed(i as u64, input).unwrap();
+                reference.push(CheckedClassification {
+                    classification,
+                    events: seq.last_events().to_vec(),
+                    injections: seq.last_injections().to_vec(),
+                });
+            }
+        }
+        for workers in [1, 2, 4] {
+            let mut pool = HardenedPool::new(&engine, workers).unwrap();
+            let got = pool.classify_batch(&inputs).unwrap();
+            assert_eq!(got, reference, "worker count {workers} diverged");
+        }
+    }
+
+    #[test]
+    fn pool_indices_continue_across_batches() {
+        let mut engine = HardenedEngine::new(model(10), HardenConfig::default()).unwrap();
+        engine
+            .set_plan(FaultPlan::input(
+                5,
+                InputFault::Noise { sigma: 0.5, p: 0.5 },
+            ))
+            .unwrap();
+        let inputs = calibration();
+        let whole = HardenedPool::new(&engine, 2)
+            .unwrap()
+            .classify_batch(&inputs)
+            .unwrap();
+        let mut pool = HardenedPool::new(&engine, 2).unwrap();
+        let mut split = pool.classify_batch(&inputs[..7]).unwrap();
+        assert_eq!(pool.dispatched(), 7);
+        split.extend(pool.classify_batch(&inputs[7..]).unwrap());
+        assert_eq!(split, whole, "split batches must see the same indices");
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(HardenedEngine::new(
+            model(11),
+            HardenConfig {
+                crc_cadence: 1,
+                guard_slack: -1.0
+            }
+        )
+        .is_err());
+        let mut h = HardenedEngine::new(model(11), HardenConfig::default()).unwrap();
+        assert!(h.calibrate(&Vec::<Vec<f32>>::new()).is_err());
+        let other = ActivationGuard::calibrate(
+            &{
+                let mut rng = DetRng::new(0);
+                ModelBuilder::new(Shape::vector(4))
+                    .dense(2, &mut rng)
+                    .unwrap()
+                    .build()
+                    .unwrap()
+            },
+            &calibration(),
+            0.5,
+        )
+        .unwrap();
+        assert!(h.set_guard(other).is_err(), "layer-count mismatch");
+        assert!(HardenedPool::new(&h, 0).is_err());
+    }
+}

@@ -51,6 +51,8 @@
 
 pub mod engine;
 pub mod error;
+pub mod fault;
+pub mod harden;
 pub mod init;
 pub mod io;
 pub mod layer;
@@ -62,6 +64,11 @@ pub mod train;
 
 pub use engine::{Classification, Engine};
 pub use error::NnError;
+pub use fault::{ActivationFault, FaultInjector, FaultPlan, Injection, InjectionLog, InputFault};
+pub use harden::{
+    ActivationGuard, CheckedClassification, HardenConfig, HardenedEngine, HardenedPool,
+    HealthEvent, HealthSink,
+};
 pub use model::{Model, ModelBuilder};
 pub use pool::{EnginePool, QEnginePool};
 pub use quant::{QEngine, QModel};

@@ -45,7 +45,7 @@ fn chunk_lens(n: usize, workers: usize) -> Vec<usize> {
 /// Generic over the engine type so the float and fixed-point pools share
 /// one partitioning/stitching implementation (and thus one determinism
 /// argument).
-fn run_partitioned<'a, W, I, O, F>(
+pub(crate) fn run_partitioned<'a, W, I, O, F>(
     workers: &mut [W],
     inputs: &'a [I],
     per_input: F,

@@ -137,6 +137,16 @@ impl QModel {
         &self.layers
     }
 
+    /// Mutable access to the quantised layers.
+    ///
+    /// Exists for fault injection ([`crate::fault::FaultInjector`]) and
+    /// repair experiments; ordinary deployment never mutates a quantised
+    /// artefact. Structural edits (changing layer counts or feature sizes)
+    /// are not supported and will surface as inference errors.
+    pub fn layers_mut(&mut self) -> &mut [QLayer] {
+        &mut self.layers
+    }
+
     /// Largest activation buffer needed (elements).
     pub fn max_activation_len(&self) -> usize {
         self.shapes

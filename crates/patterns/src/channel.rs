@@ -1,6 +1,8 @@
 //! Decision channels: the building blocks patterns compose.
 
-use safex_nn::{Engine, QEngine};
+use std::sync::{Arc, Mutex};
+
+use safex_nn::{Engine, HardenedEngine, QEngine};
 use safex_tensor::fixed::Q16_16;
 
 use crate::error::PatternError;
@@ -90,6 +92,63 @@ impl Channel for ModelChannel {
         Ok(ChannelVerdict {
             class: best.0,
             confidence: best.1,
+        })
+    }
+}
+
+/// A DL channel wrapping a [`HardenedEngine`]: inference plus runtime
+/// fault detection (weight checksums, activation guards) and, in campaign
+/// use, fault injection via an attached
+/// [`FaultPlan`](safex_nn::FaultPlan).
+///
+/// The engine sits behind an `Arc<Mutex<_>>` so the campaign driver that
+/// built the channel can keep a [`HardenedChannel::handle`] — e.g. to
+/// flip weights mid-run or rebaseline checksums — while the pattern owns
+/// the channel. Health events flow through whatever
+/// [`HealthSink`](safex_nn::HealthSink) was attached to the engine before
+/// wrapping.
+#[derive(Debug)]
+pub struct HardenedChannel {
+    name: String,
+    engine: Arc<Mutex<HardenedEngine>>,
+}
+
+impl HardenedChannel {
+    /// Wraps a hardened engine as a channel.
+    pub fn new(name: impl Into<String>, engine: HardenedEngine) -> Self {
+        HardenedChannel {
+            name: name.into(),
+            engine: Arc::new(Mutex::new(engine)),
+        }
+    }
+
+    /// A shared handle to the wrapped engine (for mid-run weight
+    /// injection, rebaselining, or reading counters).
+    pub fn handle(&self) -> Arc<Mutex<HardenedEngine>> {
+        Arc::clone(&self.engine)
+    }
+}
+
+impl Channel for HardenedChannel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, input: &[f32]) -> Result<ChannelVerdict, PatternError> {
+        let c = self
+            .engine
+            .lock()
+            .expect("hardened engine poisoned")
+            .classify(input)?;
+        if !c.confidence.is_finite() {
+            return Err(PatternError::ChannelFault(format!(
+                "channel {} produced non-finite confidence",
+                self.name
+            )));
+        }
+        Ok(ChannelVerdict {
+            class: c.class,
+            confidence: c.confidence,
         })
     }
 }

@@ -16,6 +16,10 @@ pub struct FaultModel {
     pub stuck: f64,
     /// Probability of a *detectable crash*: the channel reports a fault.
     pub crash: f64,
+    /// Probability of an *erratic confidence* fault: the class is kept but
+    /// the confidence is jittered. Lets supervisor-detection experiments
+    /// distinguish confidence faults from class faults.
+    pub erratic: f64,
 }
 
 impl FaultModel {
@@ -25,6 +29,7 @@ impl FaultModel {
             wrong_class: 0.0,
             stuck: 0.0,
             crash: 0.0,
+            erratic: 0.0,
         }
     }
 
@@ -34,7 +39,7 @@ impl FaultModel {
     ///
     /// Returns [`PatternError::BadConfig`] otherwise.
     pub fn validate(&self) -> Result<(), PatternError> {
-        let ps = [self.wrong_class, self.stuck, self.crash];
+        let ps = [self.wrong_class, self.stuck, self.crash, self.erratic];
         if ps
             .iter()
             .any(|p| !p.is_finite() || !(0.0..=1.0).contains(p))
@@ -53,7 +58,7 @@ impl FaultModel {
 
     /// Total fault probability per decision.
     pub fn total(&self) -> f64 {
-        self.wrong_class + self.stuck + self.crash
+        self.wrong_class + self.stuck + self.crash + self.erratic
     }
 }
 
@@ -69,6 +74,8 @@ pub enum InjectedFault {
     Stuck,
     /// Detectable crash.
     Crash,
+    /// Confidence jittered, class unchanged.
+    Erratic,
 }
 
 /// Wraps a channel and injects faults per a [`FaultModel`].
@@ -144,15 +151,30 @@ impl Channel for FaultyChannel {
             return Err(PatternError::ChannelFault("injected crash".into()));
         }
         if draw < m.crash + m.stuck {
-            if let Some(prev) = self.last_verdict {
-                self.last_fault = InjectedFault::Stuck;
-                self.injected_count += 1;
-                return Ok(prev);
-            }
-            // Nothing to be stuck at yet: fall through to normal operation.
+            // A stuck draw needs a previous verdict to be stuck at. On the
+            // very first decision there is none, so the draw explicitly
+            // resolves to `InjectedFault::None` (normal operation, not
+            // counted against the stuck budget) rather than silently
+            // falling through.
+            return match self.last_verdict {
+                Some(prev) => {
+                    self.last_fault = InjectedFault::Stuck;
+                    self.injected_count += 1;
+                    // Re-record the replayed verdict so consecutive stuck
+                    // faults keep repeating the same output.
+                    self.last_verdict = Some(prev);
+                    Ok(prev)
+                }
+                None => {
+                    let verdict = self.inner.decide(input)?;
+                    self.last_fault = InjectedFault::None;
+                    self.last_verdict = Some(verdict);
+                    Ok(verdict)
+                }
+            };
         }
         let verdict = self.inner.decide(input)?;
-        if draw >= m.crash + m.stuck && draw < m.crash + m.stuck + m.wrong_class {
+        if draw < m.crash + m.stuck + m.wrong_class {
             // Silent wrong answer: different class, confident.
             let offset = 1 + self.rng.below_usize(self.classes - 1);
             let wrong = ChannelVerdict {
@@ -163,6 +185,19 @@ impl Channel for FaultyChannel {
             self.injected_count += 1;
             self.last_verdict = Some(wrong);
             return Ok(wrong);
+        }
+        if draw < m.crash + m.stuck + m.wrong_class + m.erratic {
+            // Confidence jitter, class unchanged: uniform offset in
+            // [-0.5, 0.5) clamped back into [0, 1].
+            let jitter = self.rng.range_f64(-0.5, 0.5);
+            let erratic = ChannelVerdict {
+                class: verdict.class,
+                confidence: (f64::from(verdict.confidence) + jitter).clamp(0.0, 1.0) as f32,
+            };
+            self.last_fault = InjectedFault::Erratic;
+            self.injected_count += 1;
+            self.last_verdict = Some(erratic);
+            return Ok(erratic);
         }
         self.last_fault = InjectedFault::None;
         self.last_verdict = Some(verdict);
@@ -203,6 +238,7 @@ mod tests {
                 wrong_class: 0.3,
                 stuck: 0.0,
                 crash: 0.0,
+                erratic: 0.0,
             },
             2,
         );
@@ -227,6 +263,7 @@ mod tests {
                 wrong_class: 0.0,
                 stuck: 0.0,
                 crash: 1.0,
+                erratic: 0.0,
             },
             3,
         );
@@ -250,18 +287,50 @@ mod tests {
                 wrong_class: 0.0,
                 stuck: 1.0,
                 crash: 0.0,
+                erratic: 0.0,
             },
             2,
             DetRng::new(4),
         )
         .unwrap();
-        // First decision: nothing to be stuck at -> real output.
+        // First decision: nothing to be stuck at -> real output, and the
+        // draw explicitly resolves to a non-fault.
         let first = ch.decide(&[0.0]).unwrap();
+        assert_eq!(ch.last_fault(), InjectedFault::None);
+        assert_eq!(ch.stats(), (0, 1), "first-decision stuck is not injected");
         // All subsequent decisions repeat it.
         for _ in 0..10 {
             assert_eq!(ch.decide(&[0.0]).unwrap(), first);
             assert_eq!(ch.last_fault(), InjectedFault::Stuck);
         }
+        assert_eq!(ch.stats(), (10, 11));
+    }
+
+    #[test]
+    fn erratic_jitters_confidence_but_keeps_class() {
+        let mut ch = wrapped(
+            FaultModel {
+                wrong_class: 0.0,
+                stuck: 0.0,
+                crash: 0.0,
+                erratic: 1.0,
+            },
+            5,
+        );
+        let mut jittered = 0;
+        for _ in 0..50 {
+            let v = ch.decide(&[0.0]).unwrap();
+            assert_eq!(v.class, 0, "erratic faults never change the class");
+            assert_eq!(ch.last_fault(), InjectedFault::Erratic);
+            assert!((0.0..=1.0).contains(&v.confidence));
+            if (v.confidence - 1.0).abs() > 1e-6 {
+                jittered += 1;
+            }
+        }
+        // The inner channel reports confidence 1.0, so only negative
+        // jitter (about half the draws) moves it after clamping.
+        assert!(jittered > 15, "jitter should regularly move the confidence");
+        assert_eq!(ch.stats(), (50, 50));
     }
 
     #[test]
@@ -270,6 +339,7 @@ mod tests {
             wrong_class: 0.6,
             stuck: 0.6,
             crash: 0.0,
+            erratic: 0.0,
         }
         .validate()
         .is_err());
@@ -277,6 +347,15 @@ mod tests {
             wrong_class: -0.1,
             stuck: 0.0,
             crash: 0.0,
+            erratic: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(FaultModel {
+            wrong_class: 0.4,
+            stuck: 0.3,
+            crash: 0.2,
+            erratic: 0.2,
         }
         .validate()
         .is_err());
@@ -297,6 +376,7 @@ mod tests {
                     wrong_class: 0.2,
                     stuck: 0.1,
                     crash: 0.1,
+                    erratic: 0.1,
                 },
                 seed,
             );

@@ -26,6 +26,8 @@ pub enum RecordKind {
     TimingAnalysis,
     /// A verification objective changed status.
     VerificationOutcome,
+    /// The runtime health monitor changed state (degradation ladder).
+    HealthTransition,
 }
 
 impl RecordKind {
@@ -42,6 +44,7 @@ impl RecordKind {
             RecordKind::ExplanationProduced => "explanation_produced",
             RecordKind::TimingAnalysis => "timing_analysis",
             RecordKind::VerificationOutcome => "verification_outcome",
+            RecordKind::HealthTransition => "health_transition",
         }
     }
 }

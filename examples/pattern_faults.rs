@@ -102,6 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wrong_class: 0.06,
         stuck: 0.02,
         crash: 0.02,
+        erratic: 0.0,
     };
     let rounds = 20;
 

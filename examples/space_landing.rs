@@ -51,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             wrong_class: 0.08,
             stuck: 0.02,
             crash: 0.02,
+            erratic: 0.0,
         },
         data.classes(),
         DetRng::new(5),

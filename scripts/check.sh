@@ -11,6 +11,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --benches"
+cargo build --benches
+
 echo "==> cargo test -q"
 cargo test -q
 

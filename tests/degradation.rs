@@ -1,0 +1,138 @@
+//! End-to-end graceful degradation: a trained model behind a hardened
+//! channel, real weight-corruption faults, and the full ladder
+//! Nominal → Degraded → SafeStop → recovery, with every transition in the
+//! evidence chain.
+
+use safexplain::core::health::{HealthConfig, HealthMonitor, HealthState};
+use safexplain::core::pipeline::PipelineBuilder;
+use safexplain::demo;
+use safexplain::nn::{FaultInjector, HardenConfig, HardenedEngine, HealthSink};
+use safexplain::patterns::channel::HardenedChannel;
+use safexplain::patterns::decision::Action;
+use safexplain::patterns::pattern::MonitorActuator;
+use safexplain::patterns::Sil;
+use safexplain::scenarios::automotive::{self, AutomotiveConfig};
+use safexplain::tensor::DetRng;
+use safexplain::trace::record::{RecordKind, Value};
+
+#[test]
+fn escalating_faults_walk_the_ladder_with_evidence() {
+    // Train a real classifier and harden it.
+    let mut rng = DetRng::new(400);
+    let data = automotive::generate(
+        &AutomotiveConfig {
+            samples_per_class: 20,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("generate");
+    let model = demo::train_mlp(&data, 25, 7).expect("train");
+    let calibration = data.inputs_owned();
+
+    let mut engine = HardenedEngine::new(model.clone(), HardenConfig::default()).expect("harden");
+    engine.calibrate(&calibration).expect("calibrate");
+    let sink = HealthSink::new();
+    engine.attach_sink(sink.clone());
+    let channel = HardenedChannel::new("primary", engine);
+    let handle = channel.handle();
+
+    let monitor = HealthMonitor::new(HealthConfig {
+        window: 8,
+        degrade_events: 2,
+        stop_events: 4,
+        recover_after: 4,
+        resume_after: 6,
+    })
+    .expect("config");
+    let mut pipeline = PipelineBuilder::new("degradation", Sil::Sil2)
+        .pattern(MonitorActuator::new(channel, 0.3, 0).expect("pattern"))
+        .allow_under_provisioned()
+        .evidence("degradation-campaign")
+        .health(monitor, sink)
+        .build()
+        .expect("build");
+
+    let pristine = model.clone();
+    let mut injector = FaultInjector::new(31);
+    let input = &data.samples()[0].input;
+
+    // Phase 1: clean operation stays nominal with real proceeds.
+    for _ in 0..10 {
+        let d = pipeline.decide(input).expect("decide");
+        assert!(
+            !matches!(d.action, Action::SafeStop { .. }),
+            "clean frames must not stop"
+        );
+    }
+    assert_eq!(pipeline.health_state(), Some(HealthState::Nominal));
+
+    // Phase 2: escalating schedule — corrupt a weight before every
+    // decision. The CRC fires each frame; two events degrade, four stop.
+    let mut states = Vec::new();
+    for _ in 0..6 {
+        {
+            let mut e = handle.lock().expect("engine");
+            injector
+                .flip_weight_bits(e.model_mut(), 1, 1)
+                .expect("inject");
+        }
+        pipeline.decide(input).expect("decide");
+        states.push(pipeline.health_state().expect("health"));
+        assert!(
+            !pipeline.last_health_events().is_empty(),
+            "every strike must be detected"
+        );
+    }
+    assert!(states.contains(&HealthState::Degraded), "{states:?}");
+    assert_eq!(*states.last().unwrap(), HealthState::SafeStop, "{states:?}");
+
+    // While stopped, every decision is forced conservative.
+    let d = pipeline.decide(input).expect("decide");
+    assert!(matches!(d.action, Action::SafeStop { .. }));
+
+    // Phase 3: repair the model and let clean decisions earn recovery —
+    // SafeStop resumes one rung to Degraded, then back to Nominal.
+    {
+        let mut e = handle.lock().expect("engine");
+        *e.model_mut() = pristine;
+    }
+    for _ in 0..20 {
+        pipeline.decide(input).expect("decide");
+    }
+    assert_eq!(pipeline.health_state(), Some(HealthState::Nominal));
+    let d = pipeline.decide(input).expect("decide");
+    assert!(d.action.is_proceed(), "recovered pipeline proceeds again");
+
+    // Every ladder transition is in the evidence chain, in order.
+    let chain = pipeline.evidence().expect("evidence");
+    let transitions: Vec<(String, String)> = chain
+        .records()
+        .iter()
+        .filter(|r| r.kind == RecordKind::HealthTransition)
+        .map(|r| {
+            let get = |k: &str| match r.field(k) {
+                Some(Value::Str(s)) => s.clone(),
+                other => panic!("bad field {k}: {other:?}"),
+            };
+            (get("from"), get("to"))
+        })
+        .collect();
+    assert_eq!(
+        transitions,
+        vec![
+            ("nominal".into(), "degraded".into()),
+            ("degraded".into(), "safe_stop".into()),
+            ("safe_stop".into(), "degraded".into()),
+            ("degraded".into(), "nominal".into()),
+        ],
+        "the full ladder walk is certification evidence"
+    );
+    pipeline.verify_evidence().expect("chain intact");
+
+    // The monitor's own ledger agrees with the chain.
+    let health = pipeline.health().expect("health");
+    assert_eq!(health.transitions().len(), 4);
+    assert!(health.time_in(HealthState::Degraded) > 0);
+    assert!(health.time_in(HealthState::SafeStop) > 0);
+}

@@ -79,6 +79,7 @@ fn primary_crashes_recovered_by_alternate() {
             wrong_class: 0.0,
             stuck: 0.0,
             crash: 1.0,
+            erratic: 0.0,
         },
     );
     let mut recovered = 0usize;
