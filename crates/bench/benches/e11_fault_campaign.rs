@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use safex_bench::workload;
 use safex_core::campaign::{self, CampaignConfig, CampaignPattern, FaultClass};
-use safex_nn::{Engine, HardenConfig, HardenedEngine};
+use safex_nn::{CrcStrategy, DenseKernel, Engine, HardenConfig, HardenedEngine};
 
 fn inputs() -> Vec<Vec<f32>> {
     let (_, test, _, _) = workload();
@@ -50,6 +50,35 @@ fn print_table() {
         report.worst_coverage() * 100.0,
         report.worst_sdc() * 100.0
     );
+
+    // Parallel campaign: byte-identical reports, wall-clock comparison.
+    let par_config = CampaignConfig {
+        decisions: 100,
+        ..config
+    };
+    let t0 = std::time::Instant::now();
+    let sequential = campaign::run(&par_config, model, &stream).expect("campaign");
+    let seq_elapsed = t0.elapsed();
+    println!("\ncampaign workers sweep (12 cells, 100 decisions/cell):");
+    println!(
+        "  workers=1  {:>10.1} ms (reference)",
+        seq_elapsed.as_secs_f64() * 1e3
+    );
+    for workers in [2usize, 4, 8] {
+        let cfg = CampaignConfig {
+            workers,
+            ..par_config.clone()
+        };
+        let t0 = std::time::Instant::now();
+        let parallel = campaign::run(&cfg, model, &stream).expect("campaign");
+        let elapsed = t0.elapsed();
+        assert_eq!(parallel, sequential, "parallel campaign diverged");
+        println!(
+            "  workers={workers}  {:>10.1} ms (speedup {:.2}x, report byte-identical)",
+            elapsed.as_secs_f64() * 1e3,
+            seq_elapsed.as_secs_f64() / elapsed.as_secs_f64(),
+        );
+    }
     println!();
 }
 
@@ -70,15 +99,18 @@ fn bench(c: &mut Criterion) {
             std::hint::black_box(plain.classify(x).expect("classify"))
         })
     });
-    for (name, cadence) in [
-        ("crc_every_decision", 1u64),
-        ("crc_cadence_8", 8),
-        ("guards_only", 0),
+    for (name, cadence, strategy) in [
+        ("crc_every_decision", 1u64, CrcStrategy::Full),
+        ("crc_cadence_8", 8, CrcStrategy::Full),
+        ("crc_rotating_every_decision", 1, CrcStrategy::Rotating),
+        ("crc_rotating_cadence_8", 8, CrcStrategy::Rotating),
+        ("guards_only", 0, CrcStrategy::Full),
     ] {
         let mut engine = HardenedEngine::new(
             model.clone(),
             HardenConfig {
                 crc_cadence: cadence,
+                crc_strategy: strategy,
                 ..HardenConfig::default()
             },
         )
@@ -93,6 +125,27 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    // The opt-in autovectorised dense kernel under full hardening: kernel
+    // tuning and CRC strategy compose.
+    let mut rotating_chunked = HardenedEngine::new(
+        model.clone(),
+        HardenConfig {
+            crc_cadence: 1,
+            crc_strategy: CrcStrategy::Rotating,
+            ..HardenConfig::default()
+        },
+    )
+    .expect("harden");
+    rotating_chunked.set_kernel(DenseKernel::Chunked);
+    rotating_chunked.calibrate(&stream).expect("calibrate");
+    group.bench_function("crc_rotating_chunked_kernel", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = &stream[i % stream.len()];
+            i += 1;
+            std::hint::black_box(rotating_chunked.classify(x).expect("classify"))
+        })
+    });
     group.finish();
 
     // One full weight-flip campaign cell, end to end.

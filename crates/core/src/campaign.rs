@@ -15,10 +15,17 @@
 //! Everything is keyed off [`CampaignConfig::seed`]: the same config over
 //! the same model and inputs reproduces the report bit for bit —
 //! campaigns are certification evidence, not demos.
+//!
+//! Cells are *independent* — each builds its own engines, pipeline, and
+//! derived RNG streams from its cell seed — so the sweep parallelises
+//! trivially: [`CampaignConfig::workers`] partitions the cell list into
+//! contiguous chunks on scoped threads (the same static partitioning the
+//! engine pools use) and stitches results back in sweep order. The report
+//! is byte-identical for any worker count.
 
 use safex_nn::{
-    ActivationFault, Engine, FaultInjector, FaultPlan, HardenConfig, HardenedEngine, HealthSink,
-    InputFault, Model,
+    layer_checksums, ActivationFault, Engine, FaultInjector, FaultPlan, HardenConfig,
+    HardenedEngine, HealthSink, InputFault, Model,
 };
 use safex_patterns::channel::HardenedChannel;
 use safex_patterns::pattern::{Bare, MonitorActuator, SafetyPattern};
@@ -122,6 +129,10 @@ pub struct CampaignConfig {
     pub harden: HardenConfig,
     /// Degradation-ladder thresholds for the pipelines.
     pub health: HealthConfig,
+    /// Worker threads for cell execution; `1` (the default) runs the
+    /// sweep sequentially. Cells are independent, so the report is
+    /// byte-identical for any worker count.
+    pub workers: usize,
 }
 
 impl Default for CampaignConfig {
@@ -139,6 +150,7 @@ impl Default for CampaignConfig {
                 resume_after: 8,
                 ..HealthConfig::default()
             },
+            workers: 1,
         }
     }
 }
@@ -162,6 +174,9 @@ impl CampaignConfig {
             if !(0.0..=1.0).contains(&r) || !r.is_finite() {
                 return bad(format!("fault rate {r} outside [0, 1]"));
             }
+        }
+        if self.workers == 0 {
+            return bad("campaign needs at least one worker".into());
         }
         self.health.validate()
     }
@@ -199,6 +214,11 @@ pub struct CellReport {
     pub time_degraded: u64,
     /// Decisions spent in safe stop.
     pub time_stopped: u64,
+    /// Worst-case decisions between a corrupting weight write and its
+    /// detection under the cell's CRC configuration (`None` when checksum
+    /// verification is disabled) — the bound a certification argument
+    /// quotes against the detection-latency measurement.
+    pub crc_staleness_bound: Option<u64>,
 }
 
 impl CellReport {
@@ -278,7 +298,7 @@ pub fn run(
     if inputs.is_empty() {
         return Err(CoreError::BadAssembly("campaign needs inputs".into()));
     }
-    let mut cells = Vec::new();
+    let mut specs = Vec::new();
     let mut cell_index = 0u64;
     for &pattern in &config.patterns {
         for &class in &config.classes {
@@ -287,16 +307,95 @@ pub fn run(
                 let cell_seed = config
                     .seed
                     .wrapping_add(cell_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                cells.push(run_cell(
-                    config, model, inputs, pattern, class, rate, cell_seed,
-                )?);
+                specs.push(CellSpec {
+                    pattern,
+                    class,
+                    rate,
+                    cell_seed,
+                });
             }
         }
     }
+    let workers = config.workers.min(specs.len());
+    let cells = if workers <= 1 {
+        let mut cells = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            cells.push(run_cell(config, model, inputs, spec)?);
+        }
+        cells
+    } else {
+        run_cells_partitioned(config, model, inputs, &specs, workers)?
+    };
     Ok(CampaignReport {
         seed: config.seed,
         cells,
     })
+}
+
+/// Sweep coordinates plus the derived seed for one cell — everything a
+/// worker needs; the cell seed is fixed before partitioning, so the chunk
+/// layout cannot influence any RNG stream.
+#[derive(Debug, Clone, Copy)]
+struct CellSpec {
+    pattern: CampaignPattern,
+    class: FaultClass,
+    rate: f64,
+    cell_seed: u64,
+}
+
+/// Splits `n` cells into `workers` contiguous chunk lengths that differ
+/// by at most one (earlier chunks take the remainder) — the same static
+/// partitioning `safex_nn`'s engine pools use.
+fn chunk_lens(n: usize, workers: usize) -> Vec<usize> {
+    let base = n / workers;
+    let rem = n % workers;
+    (0..workers)
+        .map(|i| base + usize::from(i < rem))
+        .filter(|&len| len > 0)
+        .collect()
+}
+
+/// Runs the cell list on `workers` scoped threads and stitches results
+/// back in sweep order.
+///
+/// Determinism argument: every cell is a pure function of
+/// `(config, model, inputs, spec)` — engines, pipelines, and RNG streams
+/// are all built per cell from the pre-assigned cell seed — so the chunk
+/// a cell lands in cannot change its report. Chunks are contiguous and
+/// joined in chunk order, which *is* sweep order; on failure the first
+/// error in sweep order wins (each worker stops at its first error, and
+/// earlier chunks hold earlier cells), matching the sequential path.
+fn run_cells_partitioned(
+    config: &CampaignConfig,
+    model: &Model,
+    inputs: &[Vec<f32>],
+    specs: &[CellSpec],
+    workers: usize,
+) -> Result<Vec<CellReport>, CoreError> {
+    let lens = chunk_lens(specs.len(), workers);
+    let results: Vec<Result<Vec<CellReport>, CoreError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(lens.len());
+        let mut rest = specs;
+        for &len in &lens {
+            let (chunk, tail) = rest.split_at(len);
+            rest = tail;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter()
+                    .map(|spec| run_cell(config, model, inputs, spec))
+                    .collect::<Result<Vec<_>, _>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    let mut cells = Vec::with_capacity(specs.len());
+    for chunk in results {
+        cells.extend(chunk?);
+    }
+    Ok(cells)
 }
 
 /// The fault plan a non-weight class hands to the hardened engine.
@@ -333,11 +432,14 @@ fn run_cell(
     config: &CampaignConfig,
     model: &Model,
     inputs: &[Vec<f32>],
-    pattern: CampaignPattern,
-    class: FaultClass,
-    rate: f64,
-    cell_seed: u64,
+    spec: &CellSpec,
 ) -> Result<CellReport, CoreError> {
+    let CellSpec {
+        pattern,
+        class,
+        rate,
+        cell_seed,
+    } = *spec;
     let mut engine = HardenedEngine::new(model.clone(), config.harden)?;
     engine.calibrate(inputs)?;
     let sink = HealthSink::new();
@@ -385,6 +487,7 @@ fn run_cell(
         transitions: 0,
         time_degraded: 0,
         time_stopped: 0,
+        crc_staleness_bound: config.harden.staleness_bound(layer_checksums(model).len()),
     };
     let mut first_fault_at: Option<u64> = None;
 
@@ -505,8 +608,112 @@ mod tests {
                 patterns: vec![],
                 ..CampaignConfig::default()
             },
+            CampaignConfig {
+                workers: 0,
+                ..CampaignConfig::default()
+            },
         ] {
             assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_is_byte_identical_for_any_worker_count() {
+        // The tentpole guarantee: partitioning cells across threads must
+        // not change a single byte of the report, including when workers
+        // exceed cells (8 workers, 2×2×2 = 8 cells here, also try a
+        // non-dividing 3).
+        let (model, inputs) = fixture();
+        let config = CampaignConfig {
+            decisions: 60,
+            classes: vec![FaultClass::WeightBitFlip, FaultClass::InputNoise],
+            rates: vec![0.0, 0.2],
+            patterns: vec![CampaignPattern::Bare, CampaignPattern::MonitorActuator],
+            ..quick_config()
+        };
+        let sequential = run(&config, &model, &inputs).unwrap();
+        for workers in [2usize, 3, 4, 8] {
+            let parallel = run(
+                &CampaignConfig {
+                    workers,
+                    ..config.clone()
+                },
+                &model,
+                &inputs,
+            )
+            .unwrap();
+            assert_eq!(
+                parallel, sequential,
+                "{workers} workers diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn cells_report_the_crc_staleness_bound() {
+        let (model, inputs) = fixture();
+        // Full strategy on cadence 1: bound is 1 decision.
+        let report = run(&quick_config(), &model, &inputs).unwrap();
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.crc_staleness_bound == Some(1)));
+        // Rotating over this model's 2 parametric layers on cadence 2:
+        // bound is 4 decisions.
+        let rotating = CampaignConfig {
+            harden: HardenConfig {
+                crc_cadence: 2,
+                crc_strategy: safex_nn::CrcStrategy::Rotating,
+                ..HardenConfig::default()
+            },
+            ..quick_config()
+        };
+        let report = run(&rotating, &model, &inputs).unwrap();
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.crc_staleness_bound == Some(4)));
+        // CRC disabled: no bound.
+        let disabled = CampaignConfig {
+            harden: HardenConfig {
+                crc_cadence: 0,
+                ..HardenConfig::default()
+            },
+            ..quick_config()
+        };
+        let report = run(&disabled, &model, &inputs).unwrap();
+        assert!(report.cells.iter().all(|c| c.crc_staleness_bound.is_none()));
+    }
+
+    #[test]
+    fn rotating_campaign_is_byte_identical_for_any_worker_count() {
+        // The rotation cursor is a pure function of the global decision
+        // index, so it must survive parallel cell execution too.
+        let (model, inputs) = fixture();
+        let config = CampaignConfig {
+            decisions: 60,
+            classes: vec![FaultClass::WeightBitFlip],
+            rates: vec![0.2],
+            patterns: vec![CampaignPattern::Bare, CampaignPattern::MonitorActuator],
+            harden: HardenConfig {
+                crc_cadence: 1,
+                crc_strategy: safex_nn::CrcStrategy::Rotating,
+                ..HardenConfig::default()
+            },
+            ..quick_config()
+        };
+        let sequential = run(&config, &model, &inputs).unwrap();
+        for workers in [2usize, 4] {
+            let parallel = run(
+                &CampaignConfig {
+                    workers,
+                    ..config.clone()
+                },
+                &model,
+                &inputs,
+            )
+            .unwrap();
+            assert_eq!(parallel, sequential, "{workers} workers diverged");
         }
     }
 

@@ -518,6 +518,7 @@ mod tests {
                 layer: 0,
                 expected: 1,
                 actual: 2,
+                staleness: 1,
             }
         }
 

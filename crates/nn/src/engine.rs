@@ -1,6 +1,6 @@
 //! Statically-allocated deterministic inference engine.
 
-use safex_tensor::ops;
+use safex_tensor::ops::{self, DenseKernel};
 use safex_tensor::{Shape, Tensor};
 
 use crate::error::NnError;
@@ -59,18 +59,39 @@ pub struct Engine {
     buf_a: Vec<f32>,
     buf_b: Vec<f32>,
     inferences: u64,
+    kernel: DenseKernel,
 }
 
 impl Engine {
     /// Creates an engine, pre-allocating all activation buffers.
+    ///
+    /// Uses [`DenseKernel::Exact`] — bit-compatible with every previously
+    /// recorded result. See [`Engine::with_kernel`] for the opt-in fast
+    /// kernel.
     pub fn new(model: Model) -> Self {
+        Engine::with_kernel(model, DenseKernel::Exact)
+    }
+
+    /// Creates an engine with an explicit dense-kernel strategy.
+    ///
+    /// [`DenseKernel::Chunked`] is deterministic (run-to-run and
+    /// pool-worker-count bit-exact) but may differ from `Exact` in the
+    /// last bit; it trades the E5 baseline identity for a faster inner
+    /// product.
+    pub fn with_kernel(model: Model, kernel: DenseKernel) -> Self {
         let cap = model.max_activation_len();
         Engine {
             model,
             buf_a: vec![0.0; cap],
             buf_b: vec![0.0; cap],
             inferences: 0,
+            kernel,
         }
+    }
+
+    /// The dense-kernel strategy this engine executes with.
+    pub fn kernel(&self) -> DenseKernel {
+        self.kernel
     }
 
     /// The wrapped model.
@@ -128,6 +149,7 @@ impl Engine {
                 &src[..cur_shape.len()],
                 &mut dst[..out_shape.len()],
                 &cur_shape,
+                self.kernel,
             )?;
             cur_shape = out_shape;
             cur_in_a = !cur_in_a;
@@ -154,19 +176,29 @@ impl Engine {
                 actual: input.len(),
             });
         }
+        // Same ping-pong discipline as `infer`: the only per-layer
+        // allocation is the owned `Tensor` each caller actually asked for
+        // (the previous version also built a scratch `Vec` per layer and
+        // cloned it into the tensor).
+        self.buf_a[..input.len()].copy_from_slice(input);
         let mut activations = Vec::with_capacity(self.model.len());
-        let mut cur = input.to_vec();
         let mut cur_shape = expected;
+        let mut cur_in_a = true;
         for (i, layer) in self.model.layers().iter().enumerate() {
             let out_shape = self
                 .model
                 .layer_output_shape(i)
                 .expect("layer index in range");
-            let mut out = vec![0.0f32; out_shape.len()];
-            run_layer(layer, &cur, &mut out, &cur_shape)?;
-            activations.push(Tensor::from_vec(out_shape, out.clone())?);
-            cur = out;
+            let (src, dst) = if cur_in_a {
+                (&self.buf_a, &mut self.buf_b)
+            } else {
+                (&self.buf_b, &mut self.buf_a)
+            };
+            let dst = &mut dst[..out_shape.len()];
+            run_layer(layer, &src[..cur_shape.len()], dst, &cur_shape, self.kernel)?;
+            activations.push(Tensor::from_vec(out_shape, dst.to_vec())?);
             cur_shape = out_shape;
+            cur_in_a = !cur_in_a;
         }
         self.inferences += 1;
         Ok(activations)
@@ -202,10 +234,11 @@ pub(crate) fn run_layer(
     src: &[f32],
     dst: &mut [f32],
     in_shape: &Shape,
+    kernel: DenseKernel,
 ) -> Result<(), NnError> {
     match layer {
         Layer::Dense(d) => {
-            ops::dense_into(&d.weights, &d.bias, src, dst, d.inputs, d.outputs)?;
+            ops::dense_into_with(kernel, &d.weights, &d.bias, src, dst, d.inputs, d.outputs)?;
         }
         Layer::Conv2d(c) => {
             let dims = in_shape.dims();
@@ -360,6 +393,26 @@ mod tests {
         assert_eq!(traced.last().unwrap().as_slice(), direct);
         // First activation has the dense layer's output shape.
         assert_eq!(traced[0].shape().dims(), &[5]);
+    }
+
+    #[test]
+    fn chunked_kernel_is_deterministic_and_tracks_exact() {
+        let m = small_mlp();
+        let mut exact = Engine::new(m.clone());
+        let mut fast = Engine::with_kernel(m, DenseKernel::Chunked);
+        assert_eq!(fast.kernel(), DenseKernel::Chunked);
+        let input = [0.25, -0.75, 0.125];
+        let e = exact.infer(&input).unwrap().to_vec();
+        let f = fast.infer(&input).unwrap().to_vec();
+        // Same model, same input: the kernels agree to float tolerance
+        // (bit-identity between the two kernels is NOT claimed)...
+        for (a, b) in e.iter().zip(&f) {
+            assert!((a - b).abs() < 1e-5, "exact {a} vs chunked {b}");
+        }
+        // ...and the chunked kernel is bit-identical run to run.
+        for _ in 0..10 {
+            assert_eq!(fast.infer(&input).unwrap(), f.as_slice());
+        }
     }
 
     #[test]

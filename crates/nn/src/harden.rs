@@ -25,9 +25,9 @@
 //!
 //! [`Engine`]: crate::Engine
 
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
-use safex_tensor::DetRng;
+use safex_tensor::{DenseKernel, DetRng};
 
 use crate::engine::{run_layer, Classification, Engine};
 use crate::error::NnError;
@@ -48,6 +48,12 @@ pub enum HealthEvent {
         expected: u32,
         /// CRC-32 of the parameters as they are now.
         actual: u32,
+        /// Worst-case decisions between the corrupting write and this
+        /// check, from the engine's [`CrcStrategy`]: `cadence` for
+        /// [`CrcStrategy::Full`], `cadence × parametric layer count` for
+        /// [`CrcStrategy::Rotating`]. Campaigns use it to account for
+        /// delayed detection honestly instead of assuming latency 0.
+        staleness: u64,
     },
     /// An activation left its calibrated envelope.
     ActivationOutOfRange {
@@ -95,9 +101,11 @@ impl std::fmt::Display for HealthEvent {
                 layer,
                 expected,
                 actual,
+                staleness,
             } => write!(
                 f,
-                "layer {layer} checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                "layer {layer} checksum mismatch: expected {expected:#010x}, got {actual:#010x} \
+                 (staleness bound {staleness} decisions)"
             ),
             HealthEvent::ActivationOutOfRange {
                 layer,
@@ -161,26 +169,102 @@ impl HealthSink {
     }
 }
 
-/// CRC-32 (IEEE 802.3, reflected) over a byte stream. Table-driven,
-/// dependency-free.
-pub fn crc32(bytes: impl IntoIterator<Item = u8>) -> u32 {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
-            let mut crc = i as u32;
-            for _ in 0..8 {
-                crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
-            }
-            *entry = crc;
+/// Slicing tables for CRC-32 (IEEE 802.3, reflected), computed at compile
+/// time: no lazy initialization, no per-call table rebuild, and the
+/// constants land in read-only data.
+///
+/// `CRC_TABLES[0]` is the classic byte-at-a-time table; `CRC_TABLES[k]`
+/// advances a byte through `k` additional zero bytes, which is what the
+/// slicing-by-4/8 steps in [`crc32_words`] consume.
+const CRC_TABLES: [[u32; 256]; 8] = make_crc_tables();
+
+const fn make_crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
+            bit += 1;
         }
-        t
-    });
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1usize;
+    while k < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte stream. Table-driven,
+/// dependency-free; the lookup table is a compile-time constant.
+pub fn crc32(bytes: impl IntoIterator<Item = u8>) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for b in bytes {
-        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
+}
+
+/// CRC-32 over a stream of 32-bit words taken as little-endian bytes —
+/// bit-identical to [`crc32`] over the equivalent byte stream, but
+/// processed 8 bytes per step (slicing-by-8 over word pairs, slicing-by-4
+/// on an odd tail word).
+///
+/// This is the checksum the hardened hot path runs: model parameters are
+/// `f32`/`Q16.16` buffers, i.e. natural 32-bit word streams, and the wide
+/// step is what makes per-decision verification affordable (see the E11
+/// overhead table).
+pub fn crc32_words(words: impl IntoIterator<Item = u32>) -> u32 {
+    let t = &CRC_TABLES;
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut it = words.into_iter();
+    while let Some(w0) = it.next() {
+        let a = crc ^ w0;
+        match it.next() {
+            Some(w1) => {
+                crc = t[7][(a & 0xFF) as usize]
+                    ^ t[6][((a >> 8) & 0xFF) as usize]
+                    ^ t[5][((a >> 16) & 0xFF) as usize]
+                    ^ t[4][(a >> 24) as usize]
+                    ^ t[3][(w1 & 0xFF) as usize]
+                    ^ t[2][((w1 >> 8) & 0xFF) as usize]
+                    ^ t[1][((w1 >> 16) & 0xFF) as usize]
+                    ^ t[0][(w1 >> 24) as usize];
+            }
+            None => {
+                crc = t[3][(a & 0xFF) as usize]
+                    ^ t[2][((a >> 8) & 0xFF) as usize]
+                    ^ t[1][((a >> 16) & 0xFF) as usize]
+                    ^ t[0][(a >> 24) as usize];
+                break;
+            }
+        }
+    }
+    !crc
+}
+
+/// The parametric buffers checksums cover, if the layer has any.
+fn parametric_buffers(layer: &Layer) -> Option<(&[f32], &[f32])> {
+    match layer {
+        Layer::Dense(d) => Some((d.weights(), d.bias())),
+        Layer::Conv2d(c) => Some((c.weights(), c.bias())),
+        _ => None,
+    }
+}
+
+/// CRC-32 of one layer's parameters (`None` for non-parametric layers).
+pub fn layer_checksum(layer: &Layer) -> Option<u32> {
+    parametric_buffers(layer)
+        .map(|(weights, bias)| crc32_words(weights.iter().chain(bias).map(|v| v.to_bits())))
 }
 
 /// CRC-32 of every parametric layer: `(layer index, crc)` pairs.
@@ -190,22 +274,12 @@ pub fn crc32(bytes: impl IntoIterator<Item = u8>) -> u32 {
 /// (execution reads its precomputed scale/shift, which the injector never
 /// touches).
 pub fn layer_checksums(model: &Model) -> Vec<(usize, u32)> {
-    let mut out = Vec::new();
-    for (i, layer) in model.layers().iter().enumerate() {
-        let (weights, bias): (&[f32], &[f32]) = match layer {
-            Layer::Dense(d) => (d.weights(), d.bias()),
-            Layer::Conv2d(c) => (c.weights(), c.bias()),
-            _ => continue,
-        };
-        let crc = crc32(
-            weights
-                .iter()
-                .chain(bias)
-                .flat_map(|v| v.to_bits().to_le_bytes()),
-        );
-        out.push((i, crc));
-    }
-    out
+    model
+        .layers()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, layer)| layer_checksum(layer).map(|crc| (i, crc)))
+        .collect()
 }
 
 /// Per-layer activation envelopes learned from calibration data.
@@ -289,12 +363,36 @@ impl ActivationGuard {
     }
 }
 
+/// How much of the model each scheduled CRC verification covers.
+///
+/// The trade is per-decision cost against detection staleness:
+/// [`CrcStrategy::Full`] re-checksums *every* parametric layer on each
+/// cadence tick (O(total params) per verifying decision, staleness ≤
+/// cadence); [`CrcStrategy::Rotating`] verifies *one* layer per tick in
+/// round-robin (O(largest layer) per verifying decision, staleness ≤
+/// cadence × parametric layer count). The rotation cursor is derived
+/// purely from the global decision index, so pooled and sequential runs
+/// of the same decision check the same layer — determinism survives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CrcStrategy {
+    /// Verify every parametric layer on each cadence tick (the original
+    /// behavior, and still the default).
+    #[default]
+    Full,
+    /// Verify one parametric layer per cadence tick, round-robin by
+    /// `(decision_index / cadence) % parametric_layer_count`.
+    Rotating,
+}
+
 /// Detection settings for a [`HardenedEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardenConfig {
     /// Re-verify weight checksums when `decision_index % crc_cadence == 0`
     /// (0 disables checksum verification). Default 1: every decision.
     pub crc_cadence: u64,
+    /// How much of the model each scheduled verification covers.
+    /// Default [`CrcStrategy::Full`].
+    pub crc_strategy: CrcStrategy,
     /// Envelope widening used by [`HardenedEngine::calibrate`]: each
     /// calibrated layer range grows by `slack × span` on both sides.
     /// Default 0.5.
@@ -305,6 +403,7 @@ impl Default for HardenConfig {
     fn default() -> Self {
         HardenConfig {
             crc_cadence: 1,
+            crc_strategy: CrcStrategy::Full,
             guard_slack: 0.5,
         }
     }
@@ -319,6 +418,20 @@ impl HardenConfig {
             )));
         }
         Ok(())
+    }
+
+    /// Worst-case decisions between a parameter corruption and the check
+    /// that would detect it, for a model with `parametric_layers`
+    /// checksummed layers. `None` when checksum verification is disabled
+    /// (`crc_cadence == 0`) or there is nothing to checksum.
+    pub fn staleness_bound(&self, parametric_layers: usize) -> Option<u64> {
+        if self.crc_cadence == 0 || parametric_layers == 0 {
+            return None;
+        }
+        Some(match self.crc_strategy {
+            CrcStrategy::Full => self.crc_cadence,
+            CrcStrategy::Rotating => self.crc_cadence * parametric_layers as u64,
+        })
     }
 }
 
@@ -351,6 +464,7 @@ pub struct HardenedEngine {
     injections: Vec<Injection>,
     decisions: u64,
     events_seen: u64,
+    kernel: DenseKernel,
 }
 
 impl HardenedEngine {
@@ -378,7 +492,29 @@ impl HardenedEngine {
             injections: Vec::new(),
             decisions: 0,
             events_seen: 0,
+            kernel: DenseKernel::Exact,
         })
+    }
+
+    /// Selects the dense-kernel strategy (default [`DenseKernel::Exact`]).
+    ///
+    /// The chunked kernel is deterministic for any worker count but not
+    /// bit-identical to `Exact`; switch it only together with whatever
+    /// reference engine the campaign scores against.
+    pub fn set_kernel(&mut self, kernel: DenseKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The dense-kernel strategy this engine executes with.
+    pub fn kernel(&self) -> DenseKernel {
+        self.kernel
+    }
+
+    /// Worst-case decisions between a parameter corruption and detection
+    /// under the configured cadence and [`CrcStrategy`] (`None` when
+    /// checksums are disabled).
+    pub fn staleness_bound(&self) -> Option<u64> {
+        self.config.staleness_bound(self.golden.len())
     }
 
     /// Learns activation envelopes from clean calibration inputs using the
@@ -583,16 +719,39 @@ impl HardenedEngine {
             }
         }
 
-        if self.config.crc_cadence > 0 && index.is_multiple_of(self.config.crc_cadence) {
-            for (&(layer, expected), &(_, actual)) in
-                self.golden.iter().zip(&layer_checksums(&self.model))
-            {
+        if self.config.crc_cadence > 0
+            && index.is_multiple_of(self.config.crc_cadence)
+            && !self.golden.is_empty()
+        {
+            // The staleness bound is Some whenever we get here (cadence
+            // and golden are both non-zero).
+            let staleness = self.staleness_bound().unwrap_or(0);
+            let verify = |golden: &(usize, u32), events: &mut Vec<HealthEvent>, model: &Model| {
+                let &(layer, expected) = golden;
+                let actual = layer_checksum(&model.layers()[layer])
+                    .expect("golden entries index parametric layers");
                 if expected != actual {
-                    self.events.push(HealthEvent::ChecksumMismatch {
+                    events.push(HealthEvent::ChecksumMismatch {
                         layer,
                         expected,
                         actual,
+                        staleness,
                     });
+                }
+            };
+            match self.config.crc_strategy {
+                CrcStrategy::Full => {
+                    for golden in &self.golden {
+                        verify(golden, &mut self.events, &self.model);
+                    }
+                }
+                CrcStrategy::Rotating => {
+                    // Cursor derived from the global decision index, never
+                    // from engine-local state: pooled replicas replaying
+                    // the same decision verify the same layer.
+                    let tick = index / self.config.crc_cadence;
+                    let slot = (tick % self.golden.len() as u64) as usize;
+                    verify(&self.golden[slot], &mut self.events, &self.model);
                 }
             }
         }
@@ -611,7 +770,7 @@ impl HardenedEngine {
                 (&self.buf_b, &mut self.buf_a)
             };
             let dst = &mut dst[..out_shape.len()];
-            run_layer(layer, &src[..cur_shape.len()], dst, &cur_shape)?;
+            run_layer(layer, &src[..cur_shape.len()], dst, &cur_shape, self.kernel)?;
             if let (Some(fault), Some(rng)) = (activation_fault, fault_rng.as_mut()) {
                 if rng.chance(fault.p) {
                     let element = rng.below_usize(dst.len());
@@ -821,6 +980,196 @@ mod tests {
         // IEEE CRC-32 of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789".iter().copied()), 0xCBF4_3926);
         assert_eq!(crc32(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn crc32_words_matches_bytewise() {
+        // The sliced word path must agree with the byte-at-a-time
+        // reference for even word counts (slicing-by-8), odd word counts
+        // (slicing-by-4 tail), single words, and empty streams.
+        for n in [0usize, 1, 2, 3, 7, 8, 64, 129] {
+            let words: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            assert_eq!(
+                crc32_words(words.iter().copied()),
+                crc32(bytes.iter().copied()),
+                "word/byte CRC disagree at {n} words"
+            );
+        }
+        // Known vector through the word path: "123456789" is not
+        // word-aligned, so check a word-aligned known case instead
+        // ("12345678" = two LE words).
+        let expected = crc32(b"12345678".iter().copied());
+        assert_eq!(
+            crc32_words([0x3433_3231, 0x3837_3635].into_iter()),
+            expected
+        );
+    }
+
+    #[test]
+    fn staleness_bound_formula() {
+        let full = HardenConfig::default();
+        assert_eq!(full.staleness_bound(3), Some(1));
+        let rotating = HardenConfig {
+            crc_cadence: 4,
+            crc_strategy: CrcStrategy::Rotating,
+            ..HardenConfig::default()
+        };
+        assert_eq!(rotating.staleness_bound(3), Some(12));
+        assert_eq!(rotating.staleness_bound(0), None);
+        let disabled = HardenConfig {
+            crc_cadence: 0,
+            ..HardenConfig::default()
+        };
+        assert_eq!(disabled.staleness_bound(3), None);
+
+        // The engine reports its own bound from its golden layer count
+        // (the demo model has two parametric layers).
+        let engine = HardenedEngine::new(model(20), rotating).unwrap();
+        assert_eq!(engine.golden_checksums().len(), 2);
+        assert_eq!(engine.staleness_bound(), Some(8));
+    }
+
+    /// Flips one weight bit in the given layer (deterministic strike for
+    /// rotation tests — no injector randomness).
+    fn flip_weight_bit(model: &mut Model, layer: usize) {
+        match &mut model.layers_mut()[layer] {
+            Layer::Dense(d) => d.weights[0] = f32::from_bits(d.weights[0].to_bits() ^ 1),
+            Layer::Conv2d(c) => c.weights[0] = f32::from_bits(c.weights[0].to_bits() ^ 1),
+            other => panic!("layer {layer} is not parametric: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rotating_crc_detects_within_staleness_bound_and_never_later() {
+        // Flip a weight bit in the *last* parametric layer — the worst
+        // case for the rotation — and assert detection within
+        // `parametric_layers × cadence` decisions of the flip, never
+        // later.
+        for cadence in [1u64, 3] {
+            let config = HardenConfig {
+                crc_cadence: cadence,
+                crc_strategy: CrcStrategy::Rotating,
+                ..HardenConfig::default()
+            };
+            let mut hardened = HardenedEngine::new(model(21), config).unwrap();
+            let layers = hardened.golden_checksums().len() as u64;
+            let bound = hardened.staleness_bound().unwrap();
+            assert_eq!(bound, layers * cadence);
+            let last_layer = hardened.golden_checksums().last().unwrap().0;
+            let input = [0.1, 0.2, 0.3, 0.4];
+
+            // A few clean decisions first, so the flip lands mid-rotation.
+            for _ in 0..3 {
+                hardened.infer(&input).unwrap();
+                assert!(hardened.last_events().is_empty());
+            }
+            let flip_at = hardened.decision_count();
+            flip_weight_bit(hardened.model_mut(), last_layer);
+
+            let mut detected_at = None;
+            for _ in 0..2 * bound {
+                hardened.infer(&input).unwrap();
+                let hit = hardened.last_events().iter().any(|e| {
+                    matches!(e, HealthEvent::ChecksumMismatch { layer, staleness, .. }
+                        if *layer == last_layer && *staleness == bound)
+                });
+                if hit {
+                    detected_at = Some(hardened.decision_count() - 1);
+                    break;
+                }
+            }
+            let detected_at =
+                detected_at.expect("one full rotation must reach the corrupted layer");
+            assert!(
+                detected_at - flip_at < bound,
+                "cadence {cadence}: flip at {flip_at} detected at {detected_at}, \
+                 bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotating_crc_covers_all_layers_in_one_cycle() {
+        // With cadence 1 and L parametric layers, L consecutive decisions
+        // check every golden layer exactly once; corrupt all layers and
+        // the next L decisions must flag each of them.
+        let config = HardenConfig {
+            crc_cadence: 1,
+            crc_strategy: CrcStrategy::Rotating,
+            ..HardenConfig::default()
+        };
+        let mut hardened = HardenedEngine::new(model(22), config).unwrap();
+        let layers: Vec<usize> = hardened
+            .golden_checksums()
+            .iter()
+            .map(|&(l, _)| l)
+            .collect();
+        let input = [0.0; 4];
+        hardened.infer(&input).unwrap();
+        for &layer in &layers {
+            flip_weight_bit(hardened.model_mut(), layer);
+        }
+        let mut flagged: Vec<usize> = Vec::new();
+        for _ in 0..layers.len() {
+            hardened.infer(&input).unwrap();
+            for e in hardened.last_events() {
+                if let HealthEvent::ChecksumMismatch { layer, .. } = e {
+                    flagged.push(*layer);
+                }
+            }
+        }
+        flagged.sort_unstable();
+        assert_eq!(flagged, layers, "one full rotation must flag every layer");
+    }
+
+    #[test]
+    fn rotating_pool_matches_sequential_for_any_worker_count() {
+        let config = HardenConfig {
+            crc_cadence: 2,
+            crc_strategy: CrcStrategy::Rotating,
+            ..HardenConfig::default()
+        };
+        let mut engine = HardenedEngine::new(model(23), config).unwrap();
+        engine.calibrate(&calibration()).unwrap();
+        engine
+            .set_plan(FaultPlan {
+                seed: 31,
+                input: Some(InputFault::Noise { sigma: 0.2, p: 0.3 }),
+                activation: Some(ActivationFault { p: 0.2, bits: 2 }),
+            })
+            .unwrap();
+        let inputs = calibration();
+        let mut reference = Vec::new();
+        {
+            let mut seq = engine.clone();
+            for (i, input) in inputs.iter().enumerate() {
+                let classification = seq.classify_indexed(i as u64, input).unwrap();
+                reference.push(CheckedClassification {
+                    classification,
+                    events: seq.last_events().to_vec(),
+                    injections: seq.last_injections().to_vec(),
+                });
+            }
+        }
+        for workers in [1, 2, 4, 8] {
+            let mut pool = HardenedPool::new(&engine, workers).unwrap();
+            let got = pool.classify_batch(&inputs).unwrap();
+            assert_eq!(got, reference, "rotating CRC, {workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn hardened_chunked_kernel_deterministic() {
+        let mut hardened = HardenedEngine::new(model(24), HardenConfig::default()).unwrap();
+        hardened.set_kernel(DenseKernel::Chunked);
+        assert_eq!(hardened.kernel(), DenseKernel::Chunked);
+        let input = [0.3, -0.1, 0.7, 0.2];
+        let a = hardened.infer(&input).unwrap().to_vec();
+        for _ in 0..5 {
+            assert_eq!(hardened.infer(&input).unwrap(), a.as_slice());
+        }
+        assert!(hardened.last_events().is_empty(), "clean model stays clean");
     }
 
     #[test]
@@ -1054,7 +1403,8 @@ mod tests {
             model(11),
             HardenConfig {
                 crc_cadence: 1,
-                guard_slack: -1.0
+                guard_slack: -1.0,
+                ..HardenConfig::default()
             }
         )
         .is_err());

@@ -66,9 +66,10 @@ pub use engine::{Classification, Engine};
 pub use error::NnError;
 pub use fault::{ActivationFault, FaultInjector, FaultPlan, Injection, InjectionLog, InputFault};
 pub use harden::{
-    ActivationGuard, CheckedClassification, HardenConfig, HardenedEngine, HardenedPool,
-    HealthEvent, HealthSink,
+    layer_checksum, layer_checksums, ActivationGuard, CheckedClassification, CrcStrategy,
+    HardenConfig, HardenedEngine, HardenedPool, HealthEvent, HealthSink,
 };
 pub use model::{Model, ModelBuilder};
 pub use pool::{EnginePool, QEnginePool};
 pub use quant::{QEngine, QModel};
+pub use safex_tensor::DenseKernel;

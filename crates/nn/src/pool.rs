@@ -23,6 +23,7 @@
 //! guarantee under parallelism.
 
 use safex_tensor::fixed::Q16_16;
+use safex_tensor::DenseKernel;
 
 use crate::engine::{Classification, Engine};
 use crate::error::NnError;
@@ -130,11 +131,26 @@ impl EnginePool {
     ///
     /// Returns [`NnError::Pool`] when `workers` is zero.
     pub fn new(model: Model, workers: usize) -> Result<Self, NnError> {
+        EnginePool::with_kernel(model, workers, DenseKernel::Exact)
+    }
+
+    /// Creates a pool whose replicas run an explicit [`DenseKernel`].
+    ///
+    /// The determinism guarantee is per kernel: for a fixed kernel, batch
+    /// output is bit-exact for every worker count (the chunked kernel is
+    /// deterministic too — just not bit-identical to `Exact`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Pool`] when `workers` is zero.
+    pub fn with_kernel(model: Model, workers: usize, kernel: DenseKernel) -> Result<Self, NnError> {
         if workers == 0 {
             return Err(NnError::Pool("pool needs at least one worker".into()));
         }
         Ok(EnginePool {
-            workers: (0..workers).map(|_| Engine::new(model.clone())).collect(),
+            workers: (0..workers)
+                .map(|_| Engine::with_kernel(model.clone(), kernel))
+                .collect(),
         })
     }
 

@@ -127,6 +127,17 @@ impl HardenedChannel {
     pub fn handle(&self) -> Arc<Mutex<HardenedEngine>> {
         Arc::clone(&self.engine)
     }
+
+    /// Worst-case decisions between a corrupting weight write and its
+    /// detection under the wrapped engine's CRC configuration; `None`
+    /// when checksum verification is disabled. Mirrors
+    /// [`HardenedEngine::staleness_bound`].
+    pub fn staleness_bound(&self) -> Option<u64> {
+        self.engine
+            .lock()
+            .expect("hardened engine poisoned")
+            .staleness_bound()
+    }
 }
 
 impl Channel for HardenedChannel {

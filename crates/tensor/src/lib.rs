@@ -59,6 +59,7 @@ pub mod tensor;
 
 pub use error::TensorError;
 pub use fixed::{Q16_16, Q8_24};
+pub use ops::DenseKernel;
 pub use rng::DetRng;
 pub use shape::Shape;
 pub use tensor::Tensor;

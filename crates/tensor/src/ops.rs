@@ -47,7 +47,35 @@ pub fn matmul_into(
     Ok(())
 }
 
+/// Inner-product strategy for the dense layer — the hottest loop in the
+/// workspace (every engine, pool worker, and campaign cell runs it).
+///
+/// Both kernels are fully deterministic: each fixes its accumulation
+/// order and accumulator width, so repeated runs (and pooled runs, for
+/// any worker count) are bit-identical *within* a kernel. They are **not**
+/// guaranteed bit-identical to *each other*: `Chunked` reassociates the
+/// f64 sum, which can round differently after the final f32 cast.
+/// `Exact` therefore stays the default — it preserves the experiment E5
+/// baseline bit for bit — and `Chunked` is the opt-in fast path with its
+/// own determinism matrix (`tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DenseKernel {
+    /// Strict left-to-right f64 accumulation (one dependent chain).
+    /// Bit-compatible with every result recorded before the kernel knob
+    /// existed.
+    #[default]
+    Exact,
+    /// Four independent f64 accumulators over 4-element chunks, combined
+    /// as `(a0 + a1) + (a2 + a3) + tail`. The independent lanes break the
+    /// loop-carried dependence so the compiler can keep multiple FMAs in
+    /// flight / autovectorize; the combine order is fixed, so the result
+    /// is still a pure function of (weights, bias, x).
+    Chunked,
+}
+
 /// Dense (fully-connected) layer: `out = w (outputs x inputs) * x + bias`.
+///
+/// Uses the [`DenseKernel::Exact`] accumulation order.
 ///
 /// # Errors
 ///
@@ -73,6 +101,66 @@ pub fn dense_into(
         out[o] = acc as f32;
     }
     Ok(())
+}
+
+/// Dense layer with the [`DenseKernel::Chunked`] inner product: four
+/// independent f64 accumulators over 4-element chunks, sequential tail,
+/// combined in a fixed order. Deterministic (see [`DenseKernel`]) but not
+/// bit-identical to [`dense_into`] in general.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] on dimension disagreement.
+pub fn dense_into_chunked(
+    weights: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    out: &mut [f32],
+    inputs: usize,
+    outputs: usize,
+) -> Result<(), TensorError> {
+    check_len(weights, inputs * outputs)?;
+    check_len(bias, outputs)?;
+    check_len(x, inputs)?;
+    check_len(out, outputs)?;
+    for o in 0..outputs {
+        let row = &weights[o * inputs..(o + 1) * inputs];
+        let mut lanes = [0.0f64; 4];
+        let mut rw = row.chunks_exact(4);
+        let mut rx = x.chunks_exact(4);
+        for (w4, x4) in (&mut rw).zip(&mut rx) {
+            lanes[0] += w4[0] as f64 * x4[0] as f64;
+            lanes[1] += w4[1] as f64 * x4[1] as f64;
+            lanes[2] += w4[2] as f64 * x4[2] as f64;
+            lanes[3] += w4[3] as f64 * x4[3] as f64;
+        }
+        let mut tail = bias[o] as f64;
+        for (w, xi) in rw.remainder().iter().zip(rx.remainder()) {
+            tail += *w as f64 * *xi as f64;
+        }
+        out[o] = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail) as f32;
+    }
+    Ok(())
+}
+
+/// Dense layer dispatching on a [`DenseKernel`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] on dimension disagreement.
+pub fn dense_into_with(
+    kernel: DenseKernel,
+    weights: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    out: &mut [f32],
+    inputs: usize,
+    outputs: usize,
+) -> Result<(), TensorError> {
+    match kernel {
+        DenseKernel::Exact => dense_into(weights, bias, x, out, inputs, outputs),
+        DenseKernel::Chunked => dense_into_chunked(weights, bias, x, out, inputs, outputs),
+    }
 }
 
 /// 2-D convolution, NCHW single image, `valid` padding semantics with an
@@ -504,6 +592,58 @@ mod tests {
         let mut out = [0.0; 3];
         dense_into(&w, &b, &x, &mut out, 2, 3).unwrap();
         assert_eq!(out, [2.5, 2.5, 5.0]);
+    }
+
+    #[test]
+    fn dense_chunked_matches_manual_and_is_deterministic() {
+        // 2 inputs -> 3 outputs: short rows exercise the pure-tail path.
+        let w = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let b = [0.5, -0.5, 0.0];
+        let x = [2.0, 3.0];
+        let mut out = [0.0; 3];
+        dense_into_chunked(&w, &b, &x, &mut out, 2, 3).unwrap();
+        assert_eq!(out, [2.5, 2.5, 5.0]);
+
+        // Long row with a remainder (11 = 2 chunks of 4 + tail of 3):
+        // repeated evaluation must be bit-identical, and close to exact.
+        let inputs = 11;
+        let w: Vec<f32> = (0..inputs).map(|i| (i as f32 * 0.37).sin()).collect();
+        let x: Vec<f32> = (0..inputs).map(|i| (i as f32 * 0.21).cos()).collect();
+        let b = [0.125f32];
+        let mut exact = [0.0f32];
+        let mut chunked = [0.0f32];
+        dense_into(&w, &b, &x, &mut exact, inputs, 1).unwrap();
+        dense_into_chunked(&w, &b, &x, &mut chunked, inputs, 1).unwrap();
+        assert!((exact[0] - chunked[0]).abs() <= exact[0].abs() * 1e-6 + 1e-6);
+        for _ in 0..8 {
+            let mut again = [0.0f32];
+            dense_into_chunked(&w, &b, &x, &mut again, inputs, 1).unwrap();
+            assert_eq!(again, chunked, "chunked kernel must be run-to-run exact");
+        }
+        let mut via_dispatch = [0.0f32];
+        dense_into_with(
+            DenseKernel::Chunked,
+            &w,
+            &b,
+            &x,
+            &mut via_dispatch,
+            inputs,
+            1,
+        )
+        .unwrap();
+        assert_eq!(via_dispatch, chunked);
+        dense_into_with(DenseKernel::Exact, &w, &b, &x, &mut via_dispatch, inputs, 1).unwrap();
+        assert_eq!(via_dispatch, exact);
+    }
+
+    #[test]
+    fn dense_chunked_rejects_bad_lengths() {
+        let w = [1.0; 6];
+        let b = [0.0; 3];
+        let x = [1.0; 2];
+        let mut out = [0.0; 3];
+        assert!(dense_into_chunked(&w, &b, &x, &mut out, 3, 3).is_err());
+        assert!(dense_into_chunked(&w, &b, &x, &mut out, 2, 2).is_err());
     }
 
     #[test]

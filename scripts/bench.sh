@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Benchmark runner: executes the overhead-relevant experiment benches
+# (E6 pipeline cost, E10 throughput, E11 hardening overhead) and collects
+# machine-readable medians.
+#
+# Usage:
+#   scripts/bench.sh           # full run, writes BENCH_pr3.json at repo root
+#   scripts/bench.sh --quick   # CI smoke: short budgets, writes
+#                              # target/BENCH_quick.json and validates that
+#                              # every expected bench emitted an entry
+#
+# Output format: one JSON object per line,
+#   {"id": "<group>/<bench>", "median_ns": N, "mean_ns": N, "min_ns": N}
+# written by the vendored criterion shim when SAFEX_BENCH_JSON is set.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+fi
+
+BENCHES=(e6_overhead e10_throughput e11_fault_campaign)
+
+if [[ "$QUICK" == 1 ]]; then
+    OUT="target/BENCH_quick.json"
+    export SAFEX_BENCH_QUICK=1
+else
+    OUT="BENCH_pr3.json"
+fi
+mkdir -p "$(dirname "$OUT")" 2>/dev/null || true
+rm -f "$OUT"
+export SAFEX_BENCH_JSON="$PWD/$OUT"
+
+for bench in "${BENCHES[@]}"; do
+    echo "==> cargo bench -p safex-bench --bench $bench"
+    cargo bench -p safex-bench --bench "$bench"
+done
+
+echo "==> wrote $OUT ($(wc -l <"$OUT") entries)"
+
+# Every bench binary must have emitted at least one entry; a missing
+# prefix means a bench silently stopped registering its group.
+for prefix in e6_pipeline_decide e10_batch_256 e11_hardened_inference; do
+    if ! grep -q "\"id\":\"$prefix" "$OUT"; then
+        echo "error: no benchmark entries matching '$prefix' in $OUT" >&2
+        exit 1
+    fi
+done
+echo "All expected benchmark groups present."

@@ -17,4 +17,7 @@ cargo build --benches
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> scripts/bench.sh --quick"
+scripts/bench.sh --quick
+
 echo "All checks passed."

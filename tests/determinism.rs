@@ -242,6 +242,57 @@ fn pool_classification_matrix_consistent() {
     }
 }
 
+/// The chunked dense kernel's own determinism matrix: it reassociates the
+/// f64 accumulation (so it is *not* bit-compatible with `Exact`, which is
+/// why `Exact` stays the default), but it must be bit-identical across
+/// runs, engines, and pool worker counts, and numerically within 1e-5 of
+/// the exact kernel.
+#[test]
+fn chunked_kernel_bit_identical_across_runs_and_worker_counts() {
+    use safexplain::nn::{DenseKernel, EnginePool};
+
+    let data = dataset(10, 16);
+    let model = demo::train_mlp(&data, 10, 6).expect("train");
+    let inputs: Vec<Vec<f32>> = data.samples().iter().map(|s| s.input.clone()).collect();
+
+    let mut chunked = Engine::with_kernel(model.clone(), DenseKernel::Chunked);
+    let expected: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| chunked.infer(x).expect("infer").to_vec())
+        .collect();
+
+    // Run-to-run and engine-to-engine bit equality.
+    let mut again = Engine::with_kernel(model.clone(), DenseKernel::Chunked);
+    for (x, exp) in inputs.iter().zip(&expected) {
+        assert_eq!(chunked.infer(x).expect("infer"), &exp[..]);
+        assert_eq!(again.infer(x).expect("infer"), &exp[..]);
+    }
+
+    // Numerically tracks the exact kernel.
+    let mut exact = Engine::new(model.clone());
+    for (x, exp) in inputs.iter().zip(&expected) {
+        for (c, e) in exp.iter().zip(exact.infer(x).expect("infer")) {
+            assert!(
+                (c - e).abs() < 1e-5,
+                "chunked kernel drifted from exact: {c} vs {e}"
+            );
+        }
+    }
+
+    // Worker-count matrix: static partitioning makes the kernel choice
+    // orthogonal to pooling.
+    for workers in [1usize, 2, 4, 8] {
+        let mut pool =
+            EnginePool::with_kernel(model.clone(), workers, DenseKernel::Chunked).expect("pool");
+        let outputs = pool.infer_batch(&inputs).expect("batch");
+        for (out, exp) in outputs.iter().zip(&expected) {
+            let ob: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            let eb: Vec<u32> = exp.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ob, eb, "chunked bits diverged at {workers} workers");
+        }
+    }
+}
+
 /// `SafePipeline::decide_batch` must append evidence records in input
 /// order, and its decisions must match one-at-a-time `decide` calls.
 #[test]

@@ -10,11 +10,20 @@
 //! `criterion_main!` macros.
 //!
 //! Measurement model: each benchmark is warmed up briefly, then timed for
-//! `sample_size` samples of adaptively-batched iterations. Mean, minimum,
-//! and throughput are printed in a criterion-like one-line format. There
-//! are no HTML reports and no statistical regression analysis — the
-//! output is meant for EXPERIMENTS.md tables, not dashboards.
+//! `sample_size` samples of adaptively-batched iterations. Mean, median,
+//! minimum, and throughput are printed in a criterion-like one-line
+//! format. There are no HTML reports and no statistical regression
+//! analysis — the output is meant for EXPERIMENTS.md tables, not
+//! dashboards.
+//!
+//! Two environment variables hook the shim into `scripts/bench.sh`:
+//!
+//! * `SAFEX_BENCH_JSON=<path>` — append one JSON line per benchmark:
+//!   `{"id": ..., "median_ns": ..., "mean_ns": ..., "min_ns": ...}`.
+//! * `SAFEX_BENCH_QUICK=1` — shrink warmup/measurement budgets and cap
+//!   sample counts so the whole suite runs as a CI smoke test.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard black box (upstream criterion 0.5 does the
@@ -27,14 +36,27 @@ pub struct Criterion {
     default_sample_size: usize,
     warmup: Duration,
     measurement: Duration,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            default_sample_size: 30,
-            warmup: Duration::from_millis(300),
-            measurement: Duration::from_millis(1500),
+        let quick =
+            std::env::var_os("SAFEX_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty());
+        if quick {
+            Criterion {
+                default_sample_size: 10,
+                warmup: Duration::from_millis(50),
+                measurement: Duration::from_millis(250),
+                quick,
+            }
+        } else {
+            Criterion {
+                default_sample_size: 30,
+                warmup: Duration::from_millis(300),
+                measurement: Duration::from_millis(1500),
+                quick,
+            }
         }
     }
 }
@@ -72,9 +94,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Overrides the number of samples for this group.
+    /// Overrides the number of samples for this group (capped in quick
+    /// mode so smoke runs stay fast).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = Some(n);
+        self.sample_size = Some(if self.criterion.quick { n.min(10) } else { n });
         self
     }
 
@@ -157,8 +180,8 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         iters_per_sample = (iters_per_sample / shrink as u64).max(1);
     }
 
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size.max(1));
     let mut total = Duration::ZERO;
-    let mut min = Duration::MAX;
     let mut total_iters: u64 = 0;
     for _ in 0..sample_size.max(1) {
         let mut b = Bencher {
@@ -169,18 +192,71 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         let per_iter = b.elapsed / iters_per_sample.max(1) as u32;
         total += b.elapsed;
         total_iters += iters_per_sample;
-        if per_iter < min {
-            min = per_iter;
-        }
+        samples.push(per_iter);
     }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = median_of_sorted(&samples);
     let mean = total / total_iters.max(1) as u32;
     println!(
-        "{id:<50} mean {:>12} min {:>12} ({} samples x {} iters)",
+        "{id:<50} median {:>12} mean {:>12} min {:>12} ({} samples x {} iters)",
+        format_duration(median),
         format_duration(mean),
         format_duration(min),
-        sample_size,
+        samples.len(),
         iters_per_sample,
     );
+    if let Some(path) = std::env::var_os("SAFEX_BENCH_JSON") {
+        if let Err(e) = append_json(&path, id, median, mean, min) {
+            eprintln!("warning: could not append to {path:?}: {e}");
+        }
+    }
+}
+
+/// Median of an already-sorted sample list (even counts round toward the
+/// lower-middle average).
+fn median_of_sorted(sorted: &[Duration]) -> Duration {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Appends one machine-readable JSON line per benchmark, so
+/// `scripts/bench.sh` can assemble `BENCH_pr3.json` without parsing the
+/// human-oriented table.
+fn append_json(
+    path: &std::ffi::OsStr,
+    id: &str,
+    median: Duration,
+    mean: Duration,
+    min: Duration,
+) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        file,
+        "{{\"id\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{}}}",
+        json_escape(id),
+        median.as_nanos(),
+        mean.as_nanos(),
+        min.as_nanos(),
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn format_duration(d: Duration) -> String {
