@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use safex_bench::workload;
-use safex_core::campaign::{self, CampaignConfig, CampaignPattern, FaultClass};
+use safex_core::campaign::{self, CampaignConfig, CampaignPattern, FaultClass, InputSupervision};
 use safex_nn::{CrcStrategy, DenseKernel, Engine, HardenConfig, HardenedEngine};
 
 fn inputs() -> Vec<Vec<f32>> {
@@ -50,6 +50,65 @@ fn print_table() {
         report.worst_coverage() * 100.0,
         report.worst_sdc() * 100.0
     );
+
+    // Re-measure the in-range input-fault cells with the pillar-1 ODD
+    // envelope screening every (faulted) input — the gap E11 originally
+    // recorded came almost entirely from input faults the engine-level
+    // diagnostics cannot see.
+    let supervised_config = CampaignConfig {
+        supervision: Some(InputSupervision::default()),
+        classes: vec![
+            FaultClass::InputNoise,
+            FaultClass::InputStuck,
+            FaultClass::InputDropout,
+        ],
+        ..config.clone()
+    };
+    let supervised = campaign::run(&supervised_config, model, &stream).expect("campaign");
+    println!("\n=== E11b: input faults with ODD-envelope supervision ===");
+    println!(
+        "{:<22} {:>6} {:>8} {:>14} {:>14} {:>9} {:>9}",
+        "fault class", "rate", "faulted", "coverage", "SDC", "latency", "alarms"
+    );
+    for cell in &supervised.cells {
+        let baseline = report
+            .cell(CampaignPattern::MonitorActuator, cell.class, cell.rate)
+            .expect("baseline cell");
+        println!(
+            "{:<22} {:>6.2} {:>8} {:>5.1}% ({:>5.1}%) {:>6.2}% ({:>4.2}%) {:>9} {:>9}",
+            cell.class.tag(),
+            cell.rate,
+            cell.faulted,
+            cell.diagnostic_coverage() * 100.0,
+            baseline.diagnostic_coverage() * 100.0,
+            cell.sdc_rate() * 100.0,
+            baseline.sdc_rate() * 100.0,
+            cell.detection_latency.map_or("-".into(), |l| l.to_string()),
+            cell.false_alarms,
+        );
+    }
+    println!("(parenthesised figures: same cell without supervision)");
+
+    // Diverse 2oo3: independent SEU streams strike both the f32 and the
+    // Q16.16 hardened replicas; the voter masks single-channel upsets.
+    let diverse_config = CampaignConfig {
+        patterns: vec![CampaignPattern::DiverseTwoOutOfThree],
+        classes: vec![FaultClass::WeightBitFlip, FaultClass::WeightMultiBitFlip],
+        ..config.clone()
+    };
+    let diverse = campaign::run(&diverse_config, model, &stream).expect("campaign");
+    println!("\n=== E11c: diverse 2oo3 (f32 + Q16.16 hardened replicas) ===");
+    for cell in &diverse.cells {
+        println!(
+            "{:<22} rate {:>4.2}: faulted {:>3}, coverage {:>5.1}%, SDC {:>5.2}%, silent {}",
+            cell.class.tag(),
+            cell.rate,
+            cell.faulted,
+            cell.diagnostic_coverage() * 100.0,
+            cell.sdc_rate() * 100.0,
+            cell.silent,
+        );
+    }
 
     // Parallel campaign: byte-identical reports, wall-clock comparison.
     let par_config = CampaignConfig {

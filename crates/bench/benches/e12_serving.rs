@@ -1,0 +1,261 @@
+//! Experiment E12: the deterministic micro-batching inference server.
+//!
+//! Three questions, in certification order:
+//!
+//! 1. **Throughput** — does deadline-aware batching raise the offered
+//!    load the server sustains at a fixed deadline, versus batch=1?
+//!    (Simulated clock; the wall-clock calibration below ties ticks to
+//!    measured per-item cost.)
+//! 2. **Fail-operational behaviour** — under persistent weight
+//!    corruption mid-traffic, does the server walk Nominal → Degraded →
+//!    SafeStop with *zero* silent data corruption (every non-nominal
+//!    outcome typed Shed/Timeout/SafeStop)?
+//! 3. **Reproducibility** — does the same trace replay byte-for-byte,
+//!    for any pool worker count?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_core::health::{HealthConfig, HealthState};
+use safex_nn::{Engine, HardenConfig, HardenedEngine};
+use safex_serve::{
+    Backend, BatchPolicy, Outcome, PoolBackend, Server, ServerConfig, ServiceModel, Tier,
+    TrafficConfig,
+};
+
+fn inputs() -> Vec<Vec<f32>> {
+    let (_, test, _, _) = workload();
+    test.samples().iter().map(|s| s.input.clone()).collect()
+}
+
+fn hardened() -> HardenedEngine {
+    let (_, _, model, _) = workload();
+    let stream = inputs();
+    let mut engine = HardenedEngine::new(model.clone(), HardenConfig::default()).expect("harden");
+    engine.calibrate(&stream).expect("calibrate");
+    engine
+}
+
+/// The tick cost model used throughout E12: heavy per-dispatch overhead
+/// (checksum sweep + fan-out), light marginal cost — the regime where
+/// batching pays.
+const SERVICE: ServiceModel = ServiceModel {
+    batch_overhead: 16,
+    per_item: 1,
+};
+
+fn server_config(max_batch: usize) -> ServerConfig {
+    ServerConfig {
+        policy: BatchPolicy {
+            max_batch,
+            queue_cap: 64,
+            flush_slack: 40,
+            max_linger: 24,
+        },
+        service: SERVICE,
+        ..ServerConfig::default()
+    }
+}
+
+fn print_tables() {
+    let engine = hardened();
+    let stream = inputs();
+
+    // ---- 1. Offered-load sweep: batch=1 vs batch=16. --------------------
+    println!("\n=== E12: serving throughput, batch=1 vs batch=16 ===");
+    println!(
+        "service model: {} ticks/dispatch + {} ticks/item; deadline 300 ticks",
+        SERVICE.batch_overhead, SERVICE.per_item
+    );
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "load (gap ticks)", "complete", "shed", "timeout", "p50", "p95", "p99", "peak_q"
+    );
+    for mean_gap in [20.0, 8.0, 4.0, 2.0] {
+        for max_batch in [1usize, 16] {
+            let trace = TrafficConfig {
+                seed: 0xE12,
+                requests: 400,
+                mean_interarrival: mean_gap,
+                deadline: 300,
+                ..TrafficConfig::default()
+            }
+            .synthesize(&stream)
+            .expect("trace");
+            let backend = PoolBackend::new(&engine, 2).expect("pool");
+            let mut server = Server::new(server_config(max_batch), backend).expect("server");
+            let report = server.run_trace(&trace).expect("run");
+            let s = &report.snapshot;
+            println!(
+                "gap {:>4} batch {:>2} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+                mean_gap,
+                max_batch,
+                s.total_completed(),
+                s.total_shed(),
+                s.timeout.iter().sum::<u64>(),
+                s.latency_p50,
+                s.latency_p95,
+                s.latency_p99,
+                s.peak_queue_depth,
+            );
+        }
+    }
+    println!(
+        "(batch=16 sustains ~{}x the per-item rate of batch=1 at this overhead ratio)",
+        (SERVICE.batch_overhead + SERVICE.per_item)
+            / ((SERVICE.batch_overhead + 16 * SERVICE.per_item) / 16).max(1)
+    );
+
+    // ---- Wall-clock calibration for the tick model. ----------------------
+    // Single-CPU-host caveat (as recorded for E10): with one hardware
+    // thread the pool cannot overlap batch items, so the *measured*
+    // amortisation here comes from per-dispatch bookkeeping, not core
+    // scaling; on multi-core targets the batch=16 column improves further.
+    println!(
+        "host parallelism: {:?}",
+        std::thread::available_parallelism()
+    );
+    let mut backend = PoolBackend::new(&engine, 2).expect("pool");
+    for batch in [1usize, 16] {
+        let items: Vec<&[f32]> = (0..batch).map(|i| stream[i].as_slice()).collect();
+        let reps = 2048 / batch;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(backend.serve(&items).expect("serve").len());
+        }
+        let per_item_us = t0.elapsed().as_secs_f64() * 1e6 / (reps * batch) as f64;
+        println!("measured dispatch cost, batch={batch:>2}: {per_item_us:>7.2} us/item");
+    }
+
+    // ---- 2. Degradation walk under mid-traffic weight strike. ------------
+    println!("\n=== E12b: persistent weight fault at request 200 (600 requests) ===");
+    let trace = TrafficConfig {
+        seed: 0xFA0175,
+        requests: 600,
+        mean_interarrival: 6.0,
+        deadline: 400,
+        tier_weights: [2, 1, 1],
+    }
+    .synthesize(&stream)
+    .expect("trace");
+    let faulted_config = ServerConfig {
+        health: HealthConfig {
+            window: 16,
+            degrade_events: 2,
+            stop_events: 8,
+            recover_after: 32,
+            resume_after: 0,
+        },
+        ..server_config(16)
+    };
+    let strike = |request: &safex_serve::Request, backend: &mut PoolBackend| {
+        if request.id == 200 {
+            backend.strike_weights(0xDEAD_BEEF, 1, 2).expect("strike");
+        }
+    };
+    let mut reference_report = None;
+    for workers in [1usize, 2, 4, 8] {
+        let backend = PoolBackend::new(&engine, workers).expect("pool");
+        let mut server = Server::new(faulted_config.clone(), backend).expect("server");
+        let report = server.run_trace_with(&trace, strike).expect("run");
+        match &reference_report {
+            None => {
+                for t in &report.transitions {
+                    println!(
+                        "  service level {} -> {} at tick {} (after request {})",
+                        t.from, t.to, t.at_tick, t.after_request
+                    );
+                }
+                let walk: Vec<_> = report.transitions.iter().map(|t| (t.from, t.to)).collect();
+                assert_eq!(
+                    walk,
+                    vec![
+                        (HealthState::Nominal, HealthState::Degraded),
+                        (HealthState::Degraded, HealthState::SafeStop),
+                    ],
+                    "expected a clean two-rung walk"
+                );
+                // Zero silent corruption: completed responses either
+                // match the pristine reference or carry flagged=true.
+                let (_, _, model, _) = workload();
+                let mut pristine = Engine::new(model.clone());
+                let mut silent = 0u64;
+                let s = &report.snapshot;
+                for r in &report.responses {
+                    if let Outcome::Completed { class, flagged, .. } = &r.outcome {
+                        let truth = pristine
+                            .classify(&trace.arrivals()[r.id as usize].request.input)
+                            .expect("classify")
+                            .class;
+                        if *class != truth && !flagged {
+                            silent += 1;
+                        }
+                    }
+                }
+                println!(
+                    "  outcomes: {} completed, {} shed, {} timeout, {} safe-stopped; silent corruption: {}",
+                    s.total_completed(),
+                    s.total_shed(),
+                    s.timeout.iter().sum::<u64>(),
+                    s.safe_stop.iter().sum::<u64>(),
+                    silent,
+                );
+                assert_eq!(silent, 0, "silent corruption must be zero");
+                assert!(
+                    s.safe_stop.iter().sum::<u64>() > 0,
+                    "post-stop traffic must fail safe"
+                );
+                assert!(
+                    s.shed_degraded[Tier::Low.index()] > 0,
+                    "degraded mode must shed best-effort work first"
+                );
+                reference_report = Some(report);
+            }
+            Some(reference) => {
+                assert_eq!(
+                    &report, reference,
+                    "faulted replay with {workers} workers diverged"
+                );
+            }
+        }
+    }
+    let reference = reference_report.expect("reference report");
+    println!(
+        "  replay check: byte-identical reports for workers 1/2/4/8 ({} bytes of JSON)",
+        reference.to_json().to_string_compact().len()
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let engine = hardened();
+    let stream = inputs();
+
+    let mut group = c.benchmark_group("e12_serving");
+    group.sample_size(10);
+    let trace = TrafficConfig {
+        seed: 0xE12,
+        requests: 200,
+        mean_interarrival: 6.0,
+        deadline: 300,
+        ..TrafficConfig::default()
+    }
+    .synthesize(&stream)
+    .expect("trace");
+    for max_batch in [1usize, 16] {
+        let backend = PoolBackend::new(&engine, 2).expect("pool");
+        let mut server = Server::new(server_config(max_batch), backend).expect("server");
+        group.bench_function(format!("replay_200_requests_batch{max_batch}"), |b| {
+            b.iter(|| std::hint::black_box(server.run_trace(&trace).expect("run").responses.len()))
+        });
+    }
+    let mut backend = PoolBackend::new(&engine, 2).expect("pool");
+    let items: Vec<&[f32]> = (0..16).map(|i| stream[i].as_slice()).collect();
+    group.bench_function("pool_dispatch_batch16", |b| {
+        b.iter(|| std::hint::black_box(backend.serve(&items).expect("serve").len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -25,11 +25,12 @@
 
 use safex_nn::{
     layer_checksums, ActivationFault, Engine, FaultInjector, FaultPlan, HardenConfig,
-    HardenedEngine, HealthSink, InputFault, Model,
+    HardenedEngine, HardenedQEngine, HealthEvent, HealthSink, InputFault, Model, QModel,
 };
-use safex_patterns::channel::HardenedChannel;
-use safex_patterns::pattern::{Bare, MonitorActuator, SafetyPattern};
+use safex_patterns::channel::{HardenedChannel, HardenedQuantChannel, ModelChannel};
+use safex_patterns::pattern::{Bare, MonitorActuator, SafetyPattern, TwoOutOfThree};
 use safex_patterns::Sil;
+use safex_supervision::odd::OddEnvelope;
 use safex_tensor::DetRng;
 
 use crate::error::CoreError;
@@ -99,6 +100,12 @@ pub enum CampaignPattern {
     Bare,
     /// Monitor-actuator with a 0.4 confidence floor.
     MonitorActuator,
+    /// Diverse 2-out-of-3: the hardened f32 channel votes against a
+    /// hardened Q16.16 channel and an unhardened f32 reference. Weight
+    /// strikes hit *both* hardened implementations (independent SEU
+    /// streams), so the cell measures whether diverse redundancy masks
+    /// what a single implementation cannot.
+    DiverseTwoOutOfThree,
 }
 
 impl CampaignPattern {
@@ -107,6 +114,32 @@ impl CampaignPattern {
         match self {
             CampaignPattern::Bare => "bare",
             CampaignPattern::MonitorActuator => "monitor_actuator",
+            CampaignPattern::DiverseTwoOutOfThree => "diverse_2oo3",
+        }
+    }
+}
+
+/// Optional pillar-1 input supervision for a campaign: fits an
+/// [`OddEnvelope`] on the calibration inputs and screens every decision's
+/// *faulted* input view (via [`FaultPlan::preview_input`]) before the
+/// pipeline acts. A rejection lands in the health sink as
+/// [`HealthEvent::SupervisorReject`] and counts as a detection — closing
+/// the in-range input-fault gap the hardened engine's guards cannot see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputSupervision {
+    /// Relative widening of the fitted per-dimension and statistic bands
+    /// (e.g. `0.1` = 10% of the observed spread).
+    pub margin: f64,
+    /// Fraction of per-dimension range violations tolerated before the
+    /// envelope rejects (in `[0, 1)`).
+    pub violation_budget: f64,
+}
+
+impl Default for InputSupervision {
+    fn default() -> Self {
+        InputSupervision {
+            margin: 0.1,
+            violation_budget: 0.0,
         }
     }
 }
@@ -129,6 +162,10 @@ pub struct CampaignConfig {
     pub harden: HardenConfig,
     /// Degradation-ladder thresholds for the pipelines.
     pub health: HealthConfig,
+    /// Pillar-1 input supervision; `None` (the default) runs the
+    /// campaign without an input-stage detector, matching the pre-PR-4
+    /// measurements.
+    pub supervision: Option<InputSupervision>,
     /// Worker threads for cell execution; `1` (the default) runs the
     /// sweep sequentially. Cells are independent, so the report is
     /// byte-identical for any worker count.
@@ -150,6 +187,7 @@ impl Default for CampaignConfig {
                 resume_after: 8,
                 ..HealthConfig::default()
             },
+            supervision: None,
             workers: 1,
         }
     }
@@ -177,6 +215,20 @@ impl CampaignConfig {
         }
         if self.workers == 0 {
             return bad("campaign needs at least one worker".into());
+        }
+        if let Some(s) = &self.supervision {
+            if !s.margin.is_finite() || s.margin < 0.0 {
+                return bad(format!(
+                    "supervision margin must be finite and non-negative, got {}",
+                    s.margin
+                ));
+            }
+            if !(0.0..1.0).contains(&s.violation_budget) {
+                return bad(format!(
+                    "supervision violation budget {} outside [0, 1)",
+                    s.violation_budget
+                ));
+            }
         }
         self.health.validate()
     }
@@ -444,15 +496,32 @@ fn run_cell(
     engine.calibrate(inputs)?;
     let sink = HealthSink::new();
     engine.attach_sink(sink.clone());
-    if let Some(plan) = plan_for(class, rate, cell_seed) {
+    let plan = plan_for(class, rate, cell_seed);
+    if let Some(plan) = plan {
         engine.set_plan(plan)?;
     }
     let channel = HardenedChannel::new("hardened", engine);
     let handle = channel.handle();
 
+    // The diverse cell adds a hardened Q16.16 replica (same health sink,
+    // independently calibrated) so weight strikes can hit both
+    // implementations; `qhandle`/`pristine_q` stay `None` otherwise.
+    let mut qhandle = None;
+    let mut pristine_q = None;
     let boxed: Box<dyn SafetyPattern> = match pattern {
         CampaignPattern::Bare => Box::new(Bare::new(channel)),
         CampaignPattern::MonitorActuator => Box::new(MonitorActuator::new(channel, 0.4, 0)?),
+        CampaignPattern::DiverseTwoOutOfThree => {
+            let qmodel = QModel::quantize(model)?;
+            let mut qengine = HardenedQEngine::new(qmodel.clone(), config.harden)?;
+            qengine.calibrate_f32(inputs)?;
+            qengine.attach_sink(sink.clone());
+            let qchannel = HardenedQuantChannel::new("hardened_q16", qengine);
+            qhandle = Some(qchannel.handle());
+            pristine_q = Some(qmodel);
+            let reference = ModelChannel::new("reference_f32", Engine::new(model.clone()));
+            Box::new(TwoOutOfThree::new(channel, qchannel, reference)?)
+        }
     };
     let monitor = HealthMonitor::new(config.health)?;
     let mut pipeline = PipelineBuilder::new(
@@ -472,6 +541,11 @@ fn run_cell(
     let pristine = model.clone();
     let mut strike_rng = DetRng::new(cell_seed ^ 0x57_41_4B_45);
     let mut injector = FaultInjector::new(cell_seed ^ 0x46_4C_49_50);
+    let mut qinjector = FaultInjector::new(cell_seed ^ 0x51_46_4C_50);
+    let envelope = match &config.supervision {
+        Some(s) => Some(OddEnvelope::fit(inputs, s.margin, s.violation_budget)?),
+        None => None,
+    };
 
     let mut report = CellReport {
         pattern: pattern.tag(),
@@ -504,7 +578,27 @@ fn run_cell(
             };
             let mut e = handle.lock().expect("campaign engine");
             injector.flip_weight_bits(e.model_mut(), 1, bits)?;
+            if let Some(qh) = &qhandle {
+                // The diverse replica takes its own independent SEU
+                // stream — shared strikes would be a common-cause fault
+                // diverse redundancy is not meant to mask.
+                let mut qe = qh.lock().expect("campaign quantised engine");
+                qinjector.flip_qweight_bits(qe.model_mut(), 1, bits)?;
+            }
             struck = true;
+        }
+
+        // Pillar-1 input supervision screens the same faulted input view
+        // the hardened engine will see; a rejection is pushed to the sink
+        // *before* the decision so `decide` drains it as this decision's
+        // health evidence.
+        if let (Some(envelope), Some(plan)) = (&envelope, &plan) {
+            let preview = plan.preview_input(k, input);
+            if !envelope.contains(&preview)? {
+                pipeline.report_health(HealthEvent::SupervisorReject {
+                    monitor: "odd_envelope",
+                });
+            }
         }
 
         let decision = pipeline.decide(input)?;
@@ -520,6 +614,11 @@ fn run_cell(
             // rebaselined, so the next decision starts clean.
             let mut e = handle.lock().expect("campaign engine");
             *e.model_mut() = pristine.clone();
+            drop(e);
+            if let (Some(qh), Some(pq)) = (&qhandle, &pristine_q) {
+                let mut qe = qh.lock().expect("campaign quantised engine");
+                *qe.model_mut() = pq.clone();
+            }
         }
 
         if injected {
@@ -804,6 +903,131 @@ mod tests {
             .is_some());
         assert!(report.worst_coverage() <= 1.0);
         assert!(report.worst_sdc() >= 0.0);
+    }
+
+    #[test]
+    fn input_supervision_closes_the_in_range_dropout_gap() {
+        // Dropout zeroes half the (in-range) elements, so the hardened
+        // engine's non-finite and guard checks mostly miss it — the gap
+        // E11 measured. The ODD envelope's statistic bands catch the
+        // collapsed mean/std, so supervised coverage must strictly beat
+        // unsupervised coverage on the same seed.
+        let (model, inputs) = fixture();
+        let base = CampaignConfig {
+            decisions: 200,
+            classes: vec![FaultClass::InputDropout],
+            rates: vec![0.2],
+            ..quick_config()
+        };
+        let unsupervised = run(&base, &model, &inputs).unwrap();
+        let supervised = run(
+            &CampaignConfig {
+                supervision: Some(InputSupervision::default()),
+                ..base.clone()
+            },
+            &model,
+            &inputs,
+        )
+        .unwrap();
+        let without = unsupervised.cells[0].diagnostic_coverage();
+        let with = supervised.cells[0].diagnostic_coverage();
+        assert!(supervised.cells[0].faulted >= 10, "dropout must strike");
+        assert!(
+            with > without + 0.25,
+            "supervision must add substantial coverage: {with:.3} vs {without:.3}"
+        );
+        // Not every burst moves the input statistics out of band — a
+        // 1-element drop out of 8 is statistically invisible — so the
+        // bar is "most of the gap closed", not perfection.
+        assert!(
+            with > 0.6,
+            "envelope should catch most dropout bursts ({with:.3} vs {without:.3} unsupervised)"
+        );
+        assert_eq!(
+            supervised.cells[0].false_alarms, 0,
+            "training inputs sit inside the fitted envelope by construction"
+        );
+    }
+
+    #[test]
+    fn supervision_config_is_validated() {
+        for bad in [
+            InputSupervision {
+                margin: f64::NAN,
+                ..InputSupervision::default()
+            },
+            InputSupervision {
+                margin: -0.1,
+                ..InputSupervision::default()
+            },
+            InputSupervision {
+                violation_budget: 1.0,
+                ..InputSupervision::default()
+            },
+        ] {
+            let config = CampaignConfig {
+                supervision: Some(bad),
+                ..CampaignConfig::default()
+            };
+            assert!(config.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn diverse_2oo3_strikes_both_implementations_and_masks() {
+        // The diverse cell injects independent SEU streams into the f32
+        // and Q16.16 replicas. Both hardened engines checksum their own
+        // weights, so coverage stays high — and the 2oo3 voter masks
+        // single-channel corruption, so nothing silent gets through.
+        let (model, inputs) = fixture();
+        let config = CampaignConfig {
+            decisions: 200,
+            classes: vec![FaultClass::WeightBitFlip],
+            rates: vec![0.15],
+            patterns: vec![CampaignPattern::DiverseTwoOutOfThree],
+            ..quick_config()
+        };
+        let report = run(&config, &model, &inputs).unwrap();
+        let cell = &report.cells[0];
+        assert_eq!(cell.pattern, "diverse_2oo3");
+        assert!(cell.faulted >= 10, "strikes must land: {cell:?}");
+        assert!(
+            cell.diagnostic_coverage() > 0.9,
+            "dual-implementation CRC coverage {:.3} below 0.9: {cell:?}",
+            cell.diagnostic_coverage()
+        );
+        assert_eq!(cell.silent, 0, "2oo3 must not pass silent corruption");
+    }
+
+    #[test]
+    fn diverse_and_supervised_cells_are_deterministic_across_workers() {
+        let (model, inputs) = fixture();
+        let config = CampaignConfig {
+            decisions: 80,
+            classes: vec![FaultClass::WeightBitFlip, FaultClass::InputDropout],
+            rates: vec![0.1, 0.3],
+            patterns: vec![
+                CampaignPattern::MonitorActuator,
+                CampaignPattern::DiverseTwoOutOfThree,
+            ],
+            supervision: Some(InputSupervision::default()),
+            ..quick_config()
+        };
+        let sequential = run(&config, &model, &inputs).unwrap();
+        for workers in [2usize, 4, 8] {
+            let parallel = run(
+                &CampaignConfig {
+                    workers,
+                    ..config.clone()
+                },
+                &model,
+                &inputs,
+            )
+            .unwrap();
+            assert_eq!(parallel, sequential, "{workers} workers diverged");
+        }
+        let again = run(&config, &model, &inputs).unwrap();
+        assert_eq!(again, sequential, "rerun must reproduce byte-for-byte");
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub mod health;
 pub mod pipeline;
 pub mod report;
 
-pub use campaign::{CampaignConfig, CampaignPattern, CampaignReport, CellReport, FaultClass};
+pub use campaign::{
+    CampaignConfig, CampaignPattern, CampaignReport, CellReport, FaultClass, InputSupervision,
+};
 pub use error::CoreError;
 pub use health::{HealthConfig, HealthMonitor, HealthState, Transition};
 pub use pipeline::{PipelineBuilder, SafePipeline};

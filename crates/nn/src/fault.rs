@@ -194,6 +194,49 @@ impl FaultInjector {
     }
 }
 
+/// Re-applies recorded weight flips to `model` — the replica-
+/// synchronisation hook: generate flips once on one replica with
+/// [`FaultInjector::flip_weight_bits`], then stamp the identical
+/// corruption onto every other replica so a pooled engine observes one
+/// coherent fault rather than per-replica divergence.
+///
+/// Each flip's `after` bits are written directly, so applying the same
+/// list twice is idempotent.
+///
+/// # Errors
+///
+/// Returns [`NnError::Fault`] when a flip's flat parameter index does not
+/// fit this model (the flips were recorded against a different
+/// architecture).
+pub fn apply_weight_flips(model: &mut Model, flips: &[WeightFlip]) -> Result<(), NnError> {
+    let mut buffers: Vec<(usize, &mut [f32])> = Vec::new();
+    for (i, layer) in model.layers_mut().iter_mut().enumerate() {
+        match layer {
+            Layer::Dense(d) => {
+                buffers.push((i, d.weights.as_mut_slice()));
+                buffers.push((i, d.bias.as_mut_slice()));
+            }
+            Layer::Conv2d(c) => {
+                buffers.push((i, c.weights.as_mut_slice()));
+                buffers.push((i, c.bias.as_mut_slice()));
+            }
+            _ => {}
+        }
+    }
+    let total: usize = buffers.iter().map(|(_, b)| b.len()).sum();
+    for flip in flips {
+        if flip.param >= total {
+            return Err(NnError::Fault(format!(
+                "weight flip targets parameter {} but model has {total}",
+                flip.param
+            )));
+        }
+        let (_, buf, offset) = locate_mut(&mut buffers, flip.param);
+        buf[offset] = f32::from_bits(flip.after);
+    }
+    Ok(())
+}
+
 fn validate_bits(bits: u32) -> Result<(), NnError> {
     if !(1..=32).contains(&bits) {
         return Err(NnError::Fault(format!(
@@ -346,6 +389,69 @@ impl FaultPlan {
         // Mix the decision index into the seed with a splitmix-style odd
         // constant; DetRng::new then decorrelates neighbouring seeds.
         DetRng::new(self.seed ^ decision.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Replays the *input stage* of this plan for one decision without an
+    /// engine: returns the input exactly as the hardened engine will see
+    /// it on that decision.
+    ///
+    /// Sound because the input fault is the first draw from the
+    /// per-decision stream, so the preview consumes precisely the prefix
+    /// the engine consumes. This is the hook external (pillar-1)
+    /// supervisors use to check the *faulted* sensor frame before the
+    /// decision runs — the campaign loop feeds the preview to an ODD
+    /// envelope and reports a rejection as a health event.
+    pub fn preview_input(&self, decision: u64, input: &[f32]) -> Vec<f32> {
+        let mut out = input.to_vec();
+        if let Some(fault) = self.input {
+            let mut rng = self.decision_rng(decision);
+            let mut scratch = Vec::new();
+            apply_input_fault(fault, &mut out, &mut rng, &mut scratch);
+        }
+        out
+    }
+}
+
+/// Applies one input fault in place, recording what actually fired.
+///
+/// Shared by [`crate::harden::HardenedEngine`] (inside a decision) and
+/// [`FaultPlan::preview_input`] (outside one); both must consume the same
+/// draws from `rng` for the preview guarantee to hold.
+pub(crate) fn apply_input_fault(
+    fault: InputFault,
+    input: &mut [f32],
+    rng: &mut DetRng,
+    injections: &mut Vec<Injection>,
+) {
+    match fault {
+        InputFault::Stuck { index, level, p } => {
+            if rng.chance(p) && index < input.len() {
+                input[index] = level;
+                injections.push(Injection::InputStuck { index });
+            }
+        }
+        InputFault::Noise { sigma, p } => {
+            if rng.chance(p) {
+                for v in input.iter_mut() {
+                    *v += (rng.next_gaussian() * sigma) as f32;
+                }
+                injections.push(Injection::InputNoise);
+            }
+        }
+        InputFault::Dropout { drop, p } => {
+            if rng.chance(p) {
+                let mut zeroed = 0u32;
+                for v in input.iter_mut() {
+                    if rng.chance(drop) {
+                        *v = 0.0;
+                        zeroed += 1;
+                    }
+                }
+                if zeroed > 0 {
+                    injections.push(Injection::InputDropout { zeroed });
+                }
+            }
+        }
     }
 }
 
@@ -549,6 +655,66 @@ mod tests {
         let c = plan.decision_rng(4).next_u64();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn apply_weight_flips_reproduces_the_recorded_corruption() {
+        let mut struck = model(8);
+        let mut replica = struck.clone();
+        let mut inj = FaultInjector::new(13);
+        let flips = inj.flip_weight_bits(&mut struck, 3, 2).unwrap();
+        apply_weight_flips(&mut replica, &flips).unwrap();
+        assert_eq!(
+            struck.digest(),
+            replica.digest(),
+            "replaying recorded flips must reproduce the corrupted model"
+        );
+        // Idempotent: applying the same list again changes nothing.
+        apply_weight_flips(&mut replica, &flips).unwrap();
+        assert_eq!(struck.digest(), replica.digest());
+        // Out-of-range params are rejected, not silently skipped.
+        let bogus = WeightFlip {
+            layer: 0,
+            param: usize::MAX,
+            bit: 0,
+            before: 0,
+            after: 0,
+        };
+        assert!(apply_weight_flips(&mut replica, &[bogus]).is_err());
+    }
+
+    #[test]
+    fn preview_input_matches_hardened_engine_view() {
+        use crate::harden::{HardenConfig, HardenedEngine};
+        use crate::Engine;
+        let m = model(7);
+        let plan = FaultPlan::input(5, InputFault::Dropout { drop: 0.5, p: 0.8 });
+        let config = HardenConfig {
+            crc_cadence: 0,
+            ..HardenConfig::default()
+        };
+        let mut hardened = HardenedEngine::new(m.clone(), config).unwrap();
+        hardened.set_plan(plan).unwrap();
+        let mut reference = Engine::new(m);
+        let input = [0.3f32, -0.4, 0.9, 0.2];
+        let mut perturbed = 0;
+        for k in 0..12u64 {
+            let faulted = plan.preview_input(k, &input);
+            if faulted != input {
+                perturbed += 1;
+            }
+            let expected = reference.infer(&faulted).unwrap().to_vec();
+            let actual = hardened.infer_indexed(k, &input).unwrap().to_vec();
+            assert_eq!(actual, expected, "decision {k}: preview diverged");
+        }
+        assert!(perturbed > 0, "the 80% dropout fault must fire in 12 tries");
+    }
+
+    #[test]
+    fn preview_input_without_input_fault_is_identity() {
+        let plan = FaultPlan::activation(3, ActivationFault { p: 0.5, bits: 1 });
+        let input = [1.0f32, 2.0, 3.0];
+        assert_eq!(plan.preview_input(0, &input), input.to_vec());
     }
 
     #[test]

@@ -27,11 +27,11 @@
 
 use std::sync::{Arc, Mutex};
 
-use safex_tensor::{DenseKernel, DetRng};
+use safex_tensor::DenseKernel;
 
 use crate::engine::{run_layer, Classification, Engine};
 use crate::error::NnError;
-use crate::fault::{FaultPlan, Injection, InjectionLog, InputFault};
+use crate::fault::{apply_input_fault, FaultPlan, Injection, InjectionLog};
 use crate::layer::Layer;
 use crate::model::Model;
 use crate::pool::run_partitioned;
@@ -80,6 +80,22 @@ pub enum HealthEvent {
         /// First offending element index.
         index: usize,
     },
+    /// A Q16.16 activation railed at the format's representable extreme —
+    /// the fixed-point analogue of a non-finite float (raised by the
+    /// quantised hardened engine, [`crate::qharden::HardenedQEngine`]).
+    SaturatedActivation {
+        /// Layer whose output saturated.
+        layer: usize,
+        /// First offending element index.
+        index: usize,
+    },
+    /// An external (pillar-1) supervisor rejected the decision's input —
+    /// e.g. an ODD envelope or distance monitor flagging out-of-domain
+    /// sensor data before inference runs.
+    SupervisorReject {
+        /// Stable name of the supervisor that fired.
+        monitor: &'static str,
+    },
 }
 
 impl HealthEvent {
@@ -90,6 +106,8 @@ impl HealthEvent {
             HealthEvent::ActivationOutOfRange { .. } => "activation_out_of_range",
             HealthEvent::NonFiniteActivation { .. } => "non_finite_activation",
             HealthEvent::NonFiniteInput { .. } => "non_finite_input",
+            HealthEvent::SaturatedActivation { .. } => "saturated_activation",
+            HealthEvent::SupervisorReject { .. } => "supervisor_reject",
         }
     }
 }
@@ -122,6 +140,12 @@ impl std::fmt::Display for HealthEvent {
             }
             HealthEvent::NonFiniteInput { index } => {
                 write!(f, "input[{index}] is non-finite")
+            }
+            HealthEvent::SaturatedActivation { layer, index } => {
+                write!(f, "layer {layer} activation[{index}] saturated Q16.16")
+            }
+            HealthEvent::SupervisorReject { monitor } => {
+                write!(f, "supervisor {monitor} rejected the input")
             }
         }
     }
@@ -410,7 +434,7 @@ impl Default for HardenConfig {
 }
 
 impl HardenConfig {
-    fn validate(&self) -> Result<(), NnError> {
+    pub(crate) fn validate(&self) -> Result<(), NnError> {
         if !self.guard_slack.is_finite() || self.guard_slack < 0.0 {
             return Err(NnError::Fault(format!(
                 "guard slack must be finite and non-negative, got {}",
@@ -821,44 +845,6 @@ impl HardenedEngine {
     }
 }
 
-fn apply_input_fault(
-    fault: InputFault,
-    input: &mut [f32],
-    rng: &mut DetRng,
-    injections: &mut Vec<Injection>,
-) {
-    match fault {
-        InputFault::Stuck { index, level, p } => {
-            if rng.chance(p) && index < input.len() {
-                input[index] = level;
-                injections.push(Injection::InputStuck { index });
-            }
-        }
-        InputFault::Noise { sigma, p } => {
-            if rng.chance(p) {
-                for v in input.iter_mut() {
-                    *v += (rng.next_gaussian() * sigma) as f32;
-                }
-                injections.push(Injection::InputNoise);
-            }
-        }
-        InputFault::Dropout { drop, p } => {
-            if rng.chance(p) {
-                let mut zeroed = 0u32;
-                for v in input.iter_mut() {
-                    if rng.chance(drop) {
-                        *v = 0.0;
-                        zeroed += 1;
-                    }
-                }
-                if zeroed > 0 {
-                    injections.push(Injection::InputDropout { zeroed });
-                }
-            }
-        }
-    }
-}
-
 /// One pooled result: the classification plus everything the hardening
 /// observed while producing it.
 #[derive(Debug, Clone, PartialEq)]
@@ -912,6 +898,14 @@ impl HardenedPool {
         self.workers.len()
     }
 
+    /// Mutable access to every replica, e.g. to apply the same recorded
+    /// weight corruption ([`crate::fault::apply_weight_flips`]) to all of
+    /// them — replicas must stay byte-identical or batch output would
+    /// depend on which replica serves which item.
+    pub fn engines_mut(&mut self) -> &mut [HardenedEngine] {
+        &mut self.workers
+    }
+
     /// Decisions dispatched so far (the next batch starts at this global
     /// index).
     pub fn dispatched(&self) -> u64 {
@@ -951,9 +945,9 @@ impl HardenedPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{ActivationFault, FaultInjector};
+    use crate::fault::{ActivationFault, FaultInjector, InputFault};
     use crate::model::ModelBuilder;
-    use safex_tensor::Shape;
+    use safex_tensor::{DetRng, Shape};
 
     fn model(seed: u64) -> Model {
         let mut rng = DetRng::new(seed);

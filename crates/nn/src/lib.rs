@@ -59,17 +59,24 @@ pub mod layer;
 pub mod metrics;
 pub mod model;
 pub mod pool;
+pub mod qharden;
 pub mod quant;
 pub mod train;
 
 pub use engine::{Classification, Engine};
 pub use error::NnError;
-pub use fault::{ActivationFault, FaultInjector, FaultPlan, Injection, InjectionLog, InputFault};
+pub use fault::{
+    apply_weight_flips, ActivationFault, FaultInjector, FaultPlan, Injection, InjectionLog,
+    InputFault, WeightFlip,
+};
 pub use harden::{
     layer_checksum, layer_checksums, ActivationGuard, CheckedClassification, CrcStrategy,
     HardenConfig, HardenedEngine, HardenedPool, HealthEvent, HealthSink,
 };
 pub use model::{Model, ModelBuilder};
 pub use pool::{EnginePool, QEnginePool};
+pub use qharden::{
+    qlayer_checksum, qlayer_checksums, HardenedQEngine, HardenedQPool, QActivationGuard,
+};
 pub use quant::{QEngine, QModel};
 pub use safex_tensor::DenseKernel;

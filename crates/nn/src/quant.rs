@@ -147,6 +147,11 @@ impl QModel {
         &mut self.layers
     }
 
+    /// The output shape of layer `index` (`None` when out of range).
+    pub fn layer_output_shape(&self, index: usize) -> Option<Shape> {
+        self.shapes.get(index).copied()
+    }
+
     /// Largest activation buffer needed (elements).
     pub fn max_activation_len(&self) -> usize {
         self.shapes
@@ -329,7 +334,7 @@ impl QEngine {
     }
 }
 
-fn run_qlayer(
+pub(crate) fn run_qlayer(
     layer: &QLayer,
     src: &[Q16_16],
     dst: &mut [Q16_16],

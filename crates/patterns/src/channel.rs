@@ -2,7 +2,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use safex_nn::{Engine, HardenedEngine, QEngine};
+use safex_nn::{Engine, HardenedEngine, HardenedQEngine, QEngine};
 use safex_tensor::fixed::Q16_16;
 
 use crate::error::PatternError;
@@ -198,6 +198,75 @@ impl Channel for QuantChannel {
     }
 }
 
+/// A DL channel wrapping the *hardened* quantised engine: the diverse
+/// second opinion of [`QuantChannel`] with its own armed diagnostics
+/// (Q16.16 weight checksums and fixed-point range guards).
+///
+/// Pairing this with a [`HardenedChannel`] in a 2-out-of-3 pattern gives
+/// diverse redundancy where *both* implementations can be struck by a
+/// fault campaign and both raise typed health events — the configuration
+/// the diverse-redundancy campaign cells
+/// (`safex_core::campaign::CampaignPattern::DiverseTwoOutOfThree`)
+/// deploy. Like [`HardenedChannel`], the engine sits behind an
+/// `Arc<Mutex<_>>` so the campaign driver keeps a
+/// [`HardenedQuantChannel::handle`] for mid-run weight strikes and
+/// restores.
+#[derive(Debug)]
+pub struct HardenedQuantChannel {
+    name: String,
+    engine: Arc<Mutex<HardenedQEngine>>,
+}
+
+impl HardenedQuantChannel {
+    /// Wraps a hardened quantised engine as a channel.
+    pub fn new(name: impl Into<String>, engine: HardenedQEngine) -> Self {
+        HardenedQuantChannel {
+            name: name.into(),
+            engine: Arc::new(Mutex::new(engine)),
+        }
+    }
+
+    /// A shared handle to the wrapped engine (for mid-run weight
+    /// injection, rebaselining, or reading counters).
+    pub fn handle(&self) -> Arc<Mutex<HardenedQEngine>> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Worst-case decisions between a corrupting weight write and its
+    /// detection under the wrapped engine's CRC configuration; `None`
+    /// when checksum verification is disabled.
+    pub fn staleness_bound(&self) -> Option<u64> {
+        self.engine
+            .lock()
+            .expect("hardened quantised engine poisoned")
+            .staleness_bound()
+    }
+}
+
+impl Channel for HardenedQuantChannel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, input: &[f32]) -> Result<ChannelVerdict, PatternError> {
+        let c = self
+            .engine
+            .lock()
+            .expect("hardened quantised engine poisoned")
+            .classify_f32(input)?;
+        if !c.confidence.is_finite() {
+            return Err(PatternError::ChannelFault(format!(
+                "channel {} produced non-finite confidence",
+                self.name
+            )));
+        }
+        Ok(ChannelVerdict {
+            class: c.class,
+            confidence: c.confidence,
+        })
+    }
+}
+
 /// A deterministic rule-based channel (conservative heuristics, lookup
 /// tables, classical CV) — the kind of independently-developed component
 /// FUSA standards accept as a fallback or checker.
@@ -317,6 +386,46 @@ mod tests {
             let qv = qc.decide(&x).unwrap();
             assert_eq!(fv.class, qv.class, "diverse channels should agree on {x:?}");
         }
+    }
+
+    #[test]
+    fn hardened_quant_channel_agrees_with_quant_and_flags_strikes() {
+        let e = engine(4);
+        let model = e.model().clone();
+        let qmodel = QModel::quantize(&model).unwrap();
+        let mut qc = QuantChannel::new("quant", QEngine::new(qmodel.clone()));
+        let mut hq = HardenedQuantChannel::new(
+            "hardened_q16",
+            HardenedQEngine::new(qmodel, safex_nn::HardenConfig::default()).unwrap(),
+        );
+        assert_eq!(hq.name(), "hardened_q16");
+        assert_eq!(hq.staleness_bound(), Some(1));
+        for i in 0..10 {
+            let x = [i as f32 * 0.1, 0.5 - i as f32 * 0.05, 0.2];
+            let qv = qc.decide(&x).unwrap();
+            let hv = hq.decide(&x).unwrap();
+            assert_eq!(qv.class, hv.class, "hardening must not change verdicts");
+            assert_eq!(qv.confidence, hv.confidence);
+        }
+        // A weight strike through the shared handle raises a health event
+        // on the very next decision (CRC cadence 1).
+        let handle = hq.handle();
+        {
+            let mut engine = handle.lock().unwrap();
+            let mut injector = safex_nn::FaultInjector::new(0xC0FFEE);
+            injector
+                .flip_qweight_bits(engine.model_mut(), 1, 1)
+                .unwrap();
+        }
+        hq.decide(&[0.1, 0.2, 0.3]).unwrap();
+        let engine = handle.lock().unwrap();
+        assert!(
+            engine
+                .last_events()
+                .iter()
+                .any(|e| e.kind() == "checksum_mismatch"),
+            "strike through the handle should be caught by the CRC"
+        );
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Inference backends: what the batcher dispatches to.
+//!
+//! A backend turns a formed batch into per-item verdicts. The two
+//! shipped backends cover the deployment spectrum:
+//!
+//! * [`PoolBackend`] — a [`HardenedPool`] of engine replicas. Fast path:
+//!   batch items fan out across replicas, each carrying its own health
+//!   events; the *server* owns the degradation ladder.
+//! * [`PipelineBackend`] — a full [`SafePipeline`] (pattern + optional
+//!   in-pipeline health). Slow path, but every decision carries pattern
+//!   semantics (fallback classes, monitor vetoes).
+//!
+//! Both are deterministic: identical batches produce identical verdicts
+//! regardless of pool worker count.
+
+use safex_core::SafePipeline;
+use safex_nn::{apply_weight_flips, FaultInjector, HardenedEngine, HardenedPool, WeightFlip};
+use safex_patterns::Action;
+
+use crate::error::ServeError;
+
+/// One batch item's result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchVerdict {
+    /// A classification was produced.
+    Ok {
+        /// Predicted class.
+        class: usize,
+        /// Winning confidence.
+        confidence: f32,
+        /// `true` when hardening diagnostics (or the pattern) flagged
+        /// this decision — the server feeds this into its health ladder.
+        flagged: bool,
+    },
+    /// The backend itself demanded a safe stop for this item.
+    Stop,
+}
+
+/// A batch-serving inference backend.
+pub trait Backend {
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Serves one formed batch, one verdict per input, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on infrastructure failure (wrong input
+    /// shape etc.); the whole batch fails, no partial verdicts.
+    fn serve(&mut self, inputs: &[&[f32]]) -> Result<Vec<BatchVerdict>, ServeError>;
+}
+
+/// A [`HardenedPool`]-backed backend: replicated hardened engines with
+/// per-item health events.
+#[derive(Debug, Clone)]
+pub struct PoolBackend {
+    pool: HardenedPool,
+}
+
+impl PoolBackend {
+    /// Builds a pool of `workers` replicas of `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Nn`] when `workers` is zero.
+    pub fn new(engine: &HardenedEngine, workers: usize) -> Result<Self, ServeError> {
+        Ok(PoolBackend {
+            pool: HardenedPool::new(engine, workers)?,
+        })
+    }
+
+    /// The wrapped pool (counters, worker count).
+    pub fn pool(&self) -> &HardenedPool {
+        &self.pool
+    }
+
+    /// Injects `events` SEU events (each flipping `bits` bits of one
+    /// weight) into **every** replica identically: the flips are drawn
+    /// once from `seed` on replica 0, then replayed onto the others via
+    /// [`apply_weight_flips`]. Replicas must stay byte-identical or
+    /// batch output would depend on which replica served which item.
+    ///
+    /// Returns the flips so a harness can later undo them (weights are
+    /// self-inverse under XOR of the same bits) or log them as ground
+    /// truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Nn`] when the model has no parameters or
+    /// `bits` is outside 1..=32.
+    pub fn strike_weights(
+        &mut self,
+        seed: u64,
+        events: usize,
+        bits: u32,
+    ) -> Result<Vec<WeightFlip>, ServeError> {
+        let engines = self.pool.engines_mut();
+        let mut injector = FaultInjector::new(seed);
+        let flips = injector.flip_weight_bits(engines[0].model_mut(), events, bits)?;
+        for engine in &mut engines[1..] {
+            apply_weight_flips(engine.model_mut(), &flips)?;
+        }
+        Ok(flips)
+    }
+}
+
+impl Backend for PoolBackend {
+    fn name(&self) -> &'static str {
+        "hardened_pool"
+    }
+
+    fn serve(&mut self, inputs: &[&[f32]]) -> Result<Vec<BatchVerdict>, ServeError> {
+        let out = self.pool.classify_batch(inputs)?;
+        Ok(out
+            .into_iter()
+            .map(|c| BatchVerdict::Ok {
+                class: c.classification.class,
+                confidence: c.classification.confidence,
+                flagged: !c.events.is_empty(),
+            })
+            .collect())
+    }
+}
+
+/// A [`SafePipeline`]-backed backend: every item passes through the
+/// pipeline's safety pattern.
+pub struct PipelineBackend {
+    pipeline: SafePipeline,
+}
+
+impl PipelineBackend {
+    /// Wraps an assembled pipeline.
+    pub fn new(pipeline: SafePipeline) -> Self {
+        PipelineBackend { pipeline }
+    }
+
+    /// The wrapped pipeline (evidence, counters).
+    pub fn pipeline(&self) -> &SafePipeline {
+        &self.pipeline
+    }
+}
+
+impl Backend for PipelineBackend {
+    fn name(&self) -> &'static str {
+        "safe_pipeline"
+    }
+
+    fn serve(&mut self, inputs: &[&[f32]]) -> Result<Vec<BatchVerdict>, ServeError> {
+        let decisions = self.pipeline.decide_batch(inputs)?;
+        Ok(decisions
+            .into_iter()
+            .map(|d| match d.action {
+                Action::Proceed { class, confidence } => BatchVerdict::Ok {
+                    class,
+                    confidence,
+                    flagged: false,
+                },
+                Action::Fallback { class, .. } => BatchVerdict::Ok {
+                    class,
+                    // Fallback classes are policy, not evidence — they
+                    // carry no confidence score.
+                    confidence: 0.0,
+                    flagged: true,
+                },
+                Action::SafeStop { .. } => BatchVerdict::Stop,
+                // `Action` is #[non_exhaustive]; treat unknown variants
+                // conservatively.
+                _ => BatchVerdict::Stop,
+            })
+            .collect())
+    }
+}

@@ -1,0 +1,84 @@
+//! Server assembly configuration.
+
+use safex_core::health::HealthConfig;
+
+use crate::batcher::{BatchPolicy, ServiceModel};
+use crate::error::ServeError;
+use crate::request::Tier;
+
+/// Everything a [`crate::server::Server`] needs besides its backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Batch formation policy (also bounds the submission queue).
+    pub policy: BatchPolicy,
+    /// Tick cost model for dispatched batches.
+    pub service: ServiceModel,
+    /// Degradation-ladder thresholds. The default latches safe stop
+    /// (`resume_after: 0`): a serving deployment leaves safe stop by
+    /// maintenance action, not by luck.
+    pub health: HealthConfig,
+    /// While `Degraded`, requests with a tier *below* this floor are
+    /// shed (typed [`crate::request::ShedReason::DegradedTier`]). The
+    /// default floor of [`Tier::Medium`] sheds only best-effort work.
+    pub degraded_floor: Tier,
+    /// Evidence-chain campaign name.
+    pub campaign: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            policy: BatchPolicy::default(),
+            service: ServiceModel::default(),
+            health: HealthConfig::default(),
+            degraded_floor: Tier::Medium,
+            campaign: "serving".into(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Validates the assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for an invalid batch policy or
+    /// health configuration.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.policy.validate()?;
+        self.health
+            .validate()
+            .map_err(|e| ServeError::BadConfig(e.to_string()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServerConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_members_are_rejected() {
+        let bad_policy = ServerConfig {
+            policy: BatchPolicy {
+                max_batch: 0,
+                ..BatchPolicy::default()
+            },
+            ..ServerConfig::default()
+        };
+        assert!(bad_policy.validate().is_err());
+        let bad_health = ServerConfig {
+            health: HealthConfig {
+                window: 0,
+                ..HealthConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        assert!(bad_health.validate().is_err());
+    }
+}

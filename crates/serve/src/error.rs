@@ -1,0 +1,53 @@
+//! Error type for the serving runtime.
+
+use std::fmt;
+
+use safex_core::CoreError;
+use safex_nn::NnError;
+
+/// Anything the serving runtime can fail with.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A configuration failed validation (message explains which knob).
+    BadConfig(String),
+    /// An arrival trace violated its invariants (ordering, ids).
+    BadTrace(String),
+    /// The inference backend failed (wrong input shape, pool error, ...).
+    Nn(NnError),
+    /// A pipeline-backed deployment failed below the serving layer.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadConfig(msg) => write!(f, "bad serving config: {msg}"),
+            ServeError::BadTrace(msg) => write!(f, "bad arrival trace: {msg}"),
+            ServeError::Nn(e) => write!(f, "backend failure: {e}"),
+            ServeError::Core(e) => write!(f, "pipeline failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Nn(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Nn(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}

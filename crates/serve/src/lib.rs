@@ -1,0 +1,82 @@
+#![forbid(unsafe_code)]
+//! # safex-serve
+//!
+//! A deterministic, deadline-aware micro-batching inference server for
+//! the SAFEXPLAIN runtime: the deployment shell around the hardened
+//! engines (`safex-nn`) and safe pipelines (`safex-core`).
+//!
+//! Mainstream inference servers optimise tail latency under a best-effort
+//! contract: under overload they drop, under faults they serve whatever
+//! the accelerator returns. A safety-critical deployment inverts both
+//! defaults:
+//!
+//! * **No silent drops.** Admission is a bounded queue with typed
+//!   rejection ([`ShedReason`]): every request that enters the system
+//!   leaves it with exactly one [`Response`], and anything short of a
+//!   completed in-deadline result says *why*.
+//! * **Criticality-ordered sacrifice.** Overload displaces strictly
+//!   lower-[`Tier`] work first; degraded operation sheds best-effort
+//!   tiers before touching safety-relevant ones.
+//! * **No stale results.** A result that misses its deadline is
+//!   discarded and reported as [`Outcome::Timeout`] — late answers are
+//!   wrong answers in a control loop.
+//! * **Health-gated service levels.** The server feeds every executed
+//!   decision's diagnostics into a [`safex_core::health::HealthMonitor`];
+//!   `Degraded` sheds low tiers, `SafeStop` fails everything, and each
+//!   transition lands in a `safex-trace` evidence chain.
+//! * **Bit-reproducible replay.** The clock is simulated and driven by
+//!   recorded [`ArrivalTrace`]s, so batch formation — and therefore the
+//!   entire [`ServeReport`] — is a pure function of `(trace, config,
+//!   model)`, byte-identical for any pool worker count. Load tests
+//!   double as certification evidence.
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use safex_nn::model::ModelBuilder;
+//! use safex_nn::{HardenConfig, HardenedEngine};
+//! use safex_serve::{PoolBackend, Server, ServerConfig, TrafficConfig};
+//! use safex_tensor::{DetRng, Shape};
+//!
+//! let mut rng = DetRng::new(7);
+//! let model = ModelBuilder::new(Shape::vector(4))
+//!     .dense(8, &mut rng)?
+//!     .relu()
+//!     .dense(3, &mut rng)?
+//!     .softmax()
+//!     .build()?;
+//! let inputs: Vec<Vec<f32>> = (0..16)
+//!     .map(|_| (0..4).map(|_| rng.next_f32()).collect())
+//!     .collect();
+//! let mut engine = HardenedEngine::new(model, HardenConfig::default())?;
+//! engine.calibrate(&inputs)?;
+//!
+//! let trace = TrafficConfig::default().synthesize(&inputs)?;
+//! let backend = PoolBackend::new(&engine, 2)?;
+//! let mut server = Server::new(ServerConfig::default(), backend)?;
+//! let report = server.run_trace(&trace)?;
+//! assert_eq!(report.responses.len(), trace.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod backend;
+pub mod batcher;
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod traffic;
+
+pub use backend::{Backend, BatchVerdict, PipelineBackend, PoolBackend};
+pub use batcher::{BatchPolicy, ServiceModel};
+pub use config::ServerConfig;
+pub use error::ServeError;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use queue::{Admission, AdmissionQueue, Pending};
+pub use request::{Outcome, Request, Response, ShedReason, Tier};
+pub use server::{ServeReport, Server, ServiceTransition};
+pub use traffic::{Arrival, ArrivalTrace, TrafficConfig};

@@ -1,0 +1,259 @@
+//! Serving metrics: latency percentiles, shedding accounting, batch
+//! shapes.
+//!
+//! Metrics use exact nearest-rank percentiles over the full latency
+//! population (not streaming sketches): serving runs are bounded traces,
+//! so exactness is affordable, and the snapshot being a pure function of
+//! the run is what keeps reports byte-reproducible.
+
+use std::collections::BTreeMap;
+
+use safex_trace::json::Json;
+
+use crate::request::{Outcome, Response, ShedReason, Tier};
+
+/// Aggregated counters for one serving run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    latencies: Vec<u64>,
+    batch_sizes: BTreeMap<usize, u64>,
+    completed: [u64; 3],
+    shed_queue_full: [u64; 3],
+    shed_displaced: [u64; 3],
+    shed_degraded: [u64; 3],
+    timeout: [u64; 3],
+    safe_stop: [u64; 3],
+    peak_queue_depth: usize,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Absorbs one terminal response.
+    pub fn record_response(&mut self, response: &Response) {
+        let t = response.tier.index();
+        match &response.outcome {
+            Outcome::Completed { .. } => {
+                self.completed[t] += 1;
+                self.latencies
+                    .push(response.resolved_at - response.arrived_at);
+            }
+            Outcome::Shed(ShedReason::QueueFull) => self.shed_queue_full[t] += 1,
+            Outcome::Shed(ShedReason::Displaced { .. }) => self.shed_displaced[t] += 1,
+            Outcome::Shed(ShedReason::DegradedTier) => self.shed_degraded[t] += 1,
+            Outcome::Timeout => self.timeout[t] += 1,
+            Outcome::SafeStop => self.safe_stop[t] += 1,
+        }
+    }
+
+    /// Records one dispatched batch's size.
+    pub fn record_batch(&mut self, size: usize) {
+        *self.batch_sizes.entry(size).or_insert(0) += 1;
+    }
+
+    /// Records the deepest queue observed.
+    pub fn record_peak_queue(&mut self, depth: usize) {
+        self.peak_queue_depth = self.peak_queue_depth.max(depth);
+    }
+
+    /// Freezes the counters into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            // Nearest-rank: smallest value with at least p% of the
+            // population at or below it.
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        MetricsSnapshot {
+            completed: self.completed,
+            shed_queue_full: self.shed_queue_full,
+            shed_displaced: self.shed_displaced,
+            shed_degraded: self.shed_degraded,
+            timeout: self.timeout,
+            safe_stop: self.safe_stop,
+            latency_p50: pct(50.0),
+            latency_p95: pct(95.0),
+            latency_p99: pct(99.0),
+            latency_max: sorted.last().copied().unwrap_or(0),
+            batch_sizes: self.batch_sizes.clone(),
+            peak_queue_depth: self.peak_queue_depth,
+        }
+    }
+}
+
+/// Frozen metrics for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Completed responses per tier `[low, medium, high]`.
+    pub completed: [u64; 3],
+    /// Queue-full rejections per tier.
+    pub shed_queue_full: [u64; 3],
+    /// Displacement evictions per tier.
+    pub shed_displaced: [u64; 3],
+    /// Degraded-mode sheds per tier.
+    pub shed_degraded: [u64; 3],
+    /// Deadline misses per tier.
+    pub timeout: [u64; 3],
+    /// Safe-stop refusals per tier.
+    pub safe_stop: [u64; 3],
+    /// Median completed latency in ticks.
+    pub latency_p50: u64,
+    /// 95th-percentile completed latency in ticks.
+    pub latency_p95: u64,
+    /// 99th-percentile completed latency in ticks.
+    pub latency_p99: u64,
+    /// Worst completed latency in ticks.
+    pub latency_max: u64,
+    /// Dispatched batch-size distribution (size → count).
+    pub batch_sizes: BTreeMap<usize, u64>,
+    /// Deepest submission queue observed.
+    pub peak_queue_depth: usize,
+}
+
+impl MetricsSnapshot {
+    /// Total responses of any kind.
+    pub fn total(&self) -> u64 {
+        [
+            &self.completed,
+            &self.shed_queue_full,
+            &self.shed_displaced,
+            &self.shed_degraded,
+            &self.timeout,
+            &self.safe_stop,
+        ]
+        .iter()
+        .map(|a| a.iter().sum::<u64>())
+        .sum()
+    }
+
+    /// Completed responses across tiers.
+    pub fn total_completed(&self) -> u64 {
+        self.completed.iter().sum()
+    }
+
+    /// Shed responses across tiers and reasons.
+    pub fn total_shed(&self) -> u64 {
+        self.shed_queue_full.iter().sum::<u64>()
+            + self.shed_displaced.iter().sum::<u64>()
+            + self.shed_degraded.iter().sum::<u64>()
+    }
+
+    /// Serialises to deterministic JSON.
+    pub fn to_json(&self) -> Json {
+        let per_tier = |counts: &[u64; 3]| {
+            let mut obj = Json::object();
+            for tier in Tier::all() {
+                obj.set(tier.tag(), Json::from(counts[tier.index()]));
+            }
+            obj
+        };
+        let mut batches = Json::object();
+        for (&size, &count) in &self.batch_sizes {
+            batches.set(format!("{size}"), Json::from(count));
+        }
+        let mut root = Json::object();
+        root.set("completed", per_tier(&self.completed))
+            .set("shed_queue_full", per_tier(&self.shed_queue_full))
+            .set("shed_displaced", per_tier(&self.shed_displaced))
+            .set("shed_degraded", per_tier(&self.shed_degraded))
+            .set("timeout", per_tier(&self.timeout))
+            .set("safe_stop", per_tier(&self.safe_stop))
+            .set("latency_p50", Json::from(self.latency_p50))
+            .set("latency_p95", Json::from(self.latency_p95))
+            .set("latency_p99", Json::from(self.latency_p99))
+            .set("latency_max", Json::from(self.latency_max))
+            .set("batch_sizes", batches)
+            .set("peak_queue_depth", Json::from(self.peak_queue_depth));
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_core::health::HealthState;
+
+    fn completed(id: u64, arrived: u64, resolved: u64) -> Response {
+        Response {
+            id,
+            tier: Tier::Medium,
+            arrived_at: arrived,
+            resolved_at: resolved,
+            outcome: Outcome::Completed {
+                class: 0,
+                confidence: 1.0,
+                flagged: false,
+                level: HealthState::Nominal,
+            },
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut m = Metrics::new();
+        for lat in 1..=100u64 {
+            m.record_response(&completed(lat, 0, lat));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.latency_p50, 50);
+        assert_eq!(s.latency_p95, 95);
+        assert_eq!(s.latency_p99, 99);
+        assert_eq!(s.latency_max, 100);
+        assert_eq!(s.total_completed(), 100);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_zeroed() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s.latency_p99, 0);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.total_shed(), 0);
+    }
+
+    #[test]
+    fn sheds_count_by_reason_and_tier() {
+        let mut m = Metrics::new();
+        m.record_response(&Response {
+            id: 0,
+            tier: Tier::Low,
+            arrived_at: 0,
+            resolved_at: 0,
+            outcome: Outcome::Shed(ShedReason::QueueFull),
+        });
+        m.record_response(&Response {
+            id: 1,
+            tier: Tier::High,
+            arrived_at: 0,
+            resolved_at: 5,
+            outcome: Outcome::Timeout,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.shed_queue_full[Tier::Low.index()], 1);
+        assert_eq!(s.timeout[Tier::High.index()], 1);
+        assert_eq!(s.total(), 2);
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let mut m = Metrics::new();
+        m.record_batch(4);
+        m.record_batch(4);
+        m.record_batch(1);
+        m.record_peak_queue(7);
+        m.record_response(&completed(0, 10, 25));
+        let a = m.snapshot().to_json().to_string_compact();
+        let b = m.snapshot().to_json().to_string_compact();
+        assert_eq!(a, b);
+        assert!(a.contains("\"batch_sizes\":{\"1\":1,\"4\":2}"));
+        assert!(a.contains("\"peak_queue_depth\":7"));
+        assert!(a.contains("\"latency_p50\":15"));
+    }
+}

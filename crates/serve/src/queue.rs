@@ -1,0 +1,183 @@
+//! Bounded admission queue with criticality-aware displacement.
+//!
+//! Admission control is where a safety-oriented server differs most from
+//! a throughput-oriented one: when the queue is full, something must
+//! give, and *which* request gives must be a stated policy, not a race.
+//! The policy here is strict criticality order — an arrival may displace
+//! a queued request only if that request's tier is strictly lower, and
+//! among displaceable requests the lowest tier, most recently queued one
+//! is sacrificed (oldest low-tier work has waited longest and is closest
+//! to its deadline; re-queuing it elsewhere is the operator's job, the
+//! server just reports the typed eviction).
+
+use crate::request::{Request, Tier};
+
+/// A queued request plus its admission tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pending {
+    /// The request.
+    pub request: Request,
+    /// Tick at which it was admitted.
+    pub queued_at: u64,
+}
+
+/// What happened when an arrival hit the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// Queued; capacity remained.
+    Accepted,
+    /// Queued; the returned lower-tier entry was evicted to make room.
+    Displaced(Pending),
+    /// Refused; every queued entry has equal or higher criticality.
+    Rejected,
+}
+
+/// FIFO queue bounded at `cap`, with tier-ordered displacement.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    items: Vec<Pending>,
+    cap: usize,
+    peak: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates an empty queue bounded at `cap` entries (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        AdmissionQueue {
+            items: Vec::with_capacity(cap),
+            cap: cap.max(1),
+            peak: 0,
+        }
+    }
+
+    /// Queued entries in admission order (front is oldest).
+    pub fn items(&self) -> &[Pending] {
+        &self.items
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Offers `request` at tick `now`.
+    pub fn offer(&mut self, request: Request, now: u64) -> Admission {
+        if self.items.len() < self.cap {
+            self.items.push(Pending {
+                request,
+                queued_at: now,
+            });
+            self.peak = self.peak.max(self.items.len());
+            return Admission::Accepted;
+        }
+        // Full: find the lowest-tier, most-recently-queued victim that is
+        // *strictly* below the incoming tier. Equal tiers never displace
+        // each other — that would just trade one miss for another while
+        // losing FIFO fairness.
+        let victim = self
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.request.tier < request.tier)
+            .min_by_key(|(i, p)| (p.request.tier, std::cmp::Reverse(*i)))
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let evicted = self.items.remove(i);
+                self.items.push(Pending {
+                    request,
+                    queued_at: now,
+                });
+                Admission::Displaced(evicted)
+            }
+            None => Admission::Rejected,
+        }
+    }
+
+    /// Removes and returns up to `n` entries from the front (admission
+    /// order).
+    pub fn take(&mut self, n: usize) -> Vec<Pending> {
+        let n = n.min(self.items.len());
+        self.items.drain(..n).collect()
+    }
+
+    /// The lowest tier currently queued, if any.
+    pub fn min_tier(&self) -> Option<Tier> {
+        self.items.iter().map(|p| p.request.tier).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, tier: Tier) -> Request {
+        Request {
+            id,
+            input: vec![0.0],
+            tier,
+            deadline: 1_000,
+        }
+    }
+
+    #[test]
+    fn accepts_until_full_then_rejects_equal_tiers() {
+        let mut q = AdmissionQueue::new(2);
+        assert_eq!(q.offer(req(0, Tier::Low), 0), Admission::Accepted);
+        assert_eq!(q.offer(req(1, Tier::Low), 1), Admission::Accepted);
+        assert_eq!(q.offer(req(2, Tier::Low), 2), Admission::Rejected);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn displacement_evicts_lowest_tier_most_recent() {
+        let mut q = AdmissionQueue::new(3);
+        q.offer(req(0, Tier::Low), 0);
+        q.offer(req(1, Tier::Medium), 1);
+        q.offer(req(2, Tier::Low), 2);
+        // High arrival: two Low entries are displaceable; the most
+        // recently queued one (id 2) goes.
+        match q.offer(req(3, Tier::High), 3) {
+            Admission::Displaced(p) => assert_eq!(p.request.id, 2),
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        // Next High displaces the remaining Low, then the Medium.
+        match q.offer(req(4, Tier::High), 4) {
+            Admission::Displaced(p) => assert_eq!(p.request.id, 0),
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        match q.offer(req(5, Tier::High), 5) {
+            Admission::Displaced(p) => assert_eq!(p.request.id, 1),
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        // All-High queue: nothing left to sacrifice.
+        assert_eq!(q.offer(req(6, Tier::High), 6), Admission::Rejected);
+        assert!(q.items().iter().all(|p| p.request.tier == Tier::High));
+    }
+
+    #[test]
+    fn take_preserves_admission_order() {
+        let mut q = AdmissionQueue::new(4);
+        for i in 0..4 {
+            q.offer(req(i, Tier::Medium), i);
+        }
+        let batch = q.take(3);
+        assert_eq!(
+            batch.iter().map(|p| p.request.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.min_tier(), Some(Tier::Medium));
+    }
+}

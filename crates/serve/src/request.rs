@@ -1,0 +1,171 @@
+//! Typed requests, outcomes, and responses.
+//!
+//! Every request that enters the server leaves it with exactly one typed
+//! [`Response`] — admission rejections, displacements, deadline misses,
+//! and safe stops are all first-class outcomes, never silent drops. That
+//! accounting is what lets the serving layer claim *zero silent data
+//! corruption*: anything that is not a [`Outcome::Completed`] carries the
+//! reason it is not.
+
+use safex_core::health::HealthState;
+
+/// Request criticality tier. Ordering is by criticality: `Low < Medium <
+/// High`; admission control and degraded-mode shedding sacrifice lower
+/// tiers first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Best-effort work (e.g. telemetry enrichment).
+    Low,
+    /// Important but interruptible work.
+    Medium,
+    /// Safety-relevant work; shed last, and only to a typed outcome.
+    High,
+}
+
+impl Tier {
+    /// Stable tag for reports and evidence.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Tier::Low => "low",
+            Tier::Medium => "medium",
+            Tier::High => "high",
+        }
+    }
+
+    /// All tiers, lowest first.
+    pub fn all() -> [Tier; 3] {
+        [Tier::Low, Tier::Medium, Tier::High]
+    }
+
+    /// Dense index for per-tier counters.
+    pub fn index(&self) -> usize {
+        match self {
+            Tier::Low => 0,
+            Tier::Medium => 1,
+            Tier::High => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Unique id; in a trace, ids equal the arrival position.
+    pub id: u64,
+    /// The input vector (must match the model's input shape).
+    pub input: Vec<f32>,
+    /// Criticality tier.
+    pub tier: Tier,
+    /// Absolute deadline in ticks: a response completed at `t >
+    /// deadline` is worthless, so the server returns [`Outcome::Timeout`]
+    /// instead of the stale result.
+    pub deadline: u64,
+}
+
+/// Why a request was refused before execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was full and the request did not outrank any
+    /// queued entry.
+    QueueFull,
+    /// A higher-tier arrival (with the given id) evicted this queued
+    /// request from a full queue.
+    Displaced {
+        /// The id of the arrival that took the slot.
+        by: u64,
+    },
+    /// The service level dropped below this request's tier (degraded
+    /// operation sheds low-criticality tiers first).
+    DegradedTier,
+}
+
+impl ShedReason {
+    /// Stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Displaced { .. } => "displaced",
+            ShedReason::DegradedTier => "degraded_tier",
+        }
+    }
+}
+
+/// What happened to a request — exactly one of these per request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Executed and returned before its deadline.
+    Completed {
+        /// Predicted class.
+        class: usize,
+        /// Winning confidence.
+        confidence: f32,
+        /// `true` when the hardened backend raised health events while
+        /// producing this result (the result was still in-deadline, but
+        /// the degradation ladder has been fed).
+        flagged: bool,
+        /// The service level *after* this decision was absorbed by the
+        /// health monitor.
+        level: HealthState,
+    },
+    /// Refused before execution, with the typed reason.
+    Shed(ShedReason),
+    /// Executed too late (or was expired at batch formation); the stale
+    /// result — if any — was discarded, never returned.
+    Timeout,
+    /// The server was in safe stop; no inference was attempted.
+    SafeStop,
+}
+
+impl Outcome {
+    /// Stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Outcome::Completed { .. } => "completed",
+            Outcome::Shed(_) => "shed",
+            Outcome::Timeout => "timeout",
+            Outcome::SafeStop => "safe_stop",
+        }
+    }
+}
+
+/// The terminal record for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id.
+    pub id: u64,
+    /// The request tier (carried for per-tier accounting).
+    pub tier: Tier,
+    /// Arrival tick.
+    pub arrived_at: u64,
+    /// Tick at which the outcome was determined (shed: admission tick;
+    /// completed/timeout: batch completion tick).
+    pub resolved_at: u64,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_order_by_criticality() {
+        assert!(Tier::Low < Tier::Medium);
+        assert!(Tier::Medium < Tier::High);
+        assert_eq!(Tier::all().map(|t| t.index()), [0, 1, 2]);
+        assert_eq!(Tier::High.tag(), "high");
+    }
+
+    #[test]
+    fn outcome_tags_are_stable() {
+        assert_eq!(Outcome::Timeout.tag(), "timeout");
+        assert_eq!(Outcome::Shed(ShedReason::QueueFull).tag(), "shed");
+        assert_eq!(ShedReason::Displaced { by: 7 }.tag(), "displaced");
+    }
+}

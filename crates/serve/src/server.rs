@@ -1,0 +1,421 @@
+//! The serving loop: admission → batching → dispatch → health gating.
+//!
+//! [`Server::run_trace`] replays an [`ArrivalTrace`] through a
+//! discrete-event simulation of the serving runtime. The clock is a
+//! `u64` tick counter advanced only by trace timestamps and the
+//! [`ServiceModel`]'s execution cost — never a wall clock — so the entire
+//! run, including batch boundaries, shedding decisions, and
+//! degradation-ladder walks, is a pure function of its inputs and
+//! replays byte-for-byte.
+//!
+//! ## Service levels
+//!
+//! The server owns a [`HealthMonitor`] and feeds it one boolean per
+//! executed request (`flagged` — the hardened backend raised events, or
+//! the pattern fell back). The ladder gates admission and release:
+//!
+//! | health state | admission                    | release                      |
+//! |--------------|------------------------------|------------------------------|
+//! | Nominal      | all tiers                    | results released             |
+//! | Degraded     | tiers ≥ the configured floor | results released (flagged)   |
+//! | SafeStop     | nothing (typed `SafeStop`)   | results withheld (`SafeStop`)|
+//!
+//! Every ladder transition is appended to the evidence chain with the
+//! tick and the request that triggered it.
+
+use safex_core::health::{HealthMonitor, HealthState};
+use safex_trace::json::Json;
+use safex_trace::{EvidenceChain, RecordKind, Value};
+
+use crate::backend::{Backend, BatchVerdict};
+use crate::batcher::{BatchPolicy, ServiceModel};
+use crate::config::ServerConfig;
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{Admission, AdmissionQueue};
+use crate::request::{Outcome, Request, Response, ShedReason};
+use crate::traffic::ArrivalTrace;
+
+/// One recorded service-level change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceTransition {
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+    /// Tick at which the triggering batch completed.
+    pub at_tick: u64,
+    /// The request whose decision fired the transition.
+    pub after_request: u64,
+}
+
+/// The complete, reproducible result of one trace replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// One response per request, ordered by request id.
+    pub responses: Vec<Response>,
+    /// Service-level transitions, in occurrence order.
+    pub transitions: Vec<ServiceTransition>,
+    /// Frozen metrics.
+    pub snapshot: MetricsSnapshot,
+    /// Head hash of the evidence chain after the run (binds the report
+    /// to the recorded transition evidence).
+    pub chain_head: u64,
+}
+
+impl ServeReport {
+    /// Serialises the full report (responses, transitions, metrics) to
+    /// deterministic JSON — the byte-for-byte replay artefact.
+    pub fn to_json(&self) -> Json {
+        let responses: Vec<Json> = self
+            .responses
+            .iter()
+            .map(|r| {
+                let mut obj = Json::object();
+                obj.set("id", Json::from(r.id))
+                    .set("tier", Json::from(r.tier.tag()))
+                    .set("arrived", Json::from(r.arrived_at))
+                    .set("resolved", Json::from(r.resolved_at))
+                    .set("outcome", Json::from(r.outcome.tag()));
+                match &r.outcome {
+                    Outcome::Completed {
+                        class,
+                        confidence,
+                        flagged,
+                        level,
+                    } => {
+                        obj.set("class", Json::from(*class))
+                            .set("confidence", Json::from(f64::from(*confidence)))
+                            .set("flagged", Json::from(*flagged))
+                            .set("level", Json::from(level.tag()));
+                    }
+                    Outcome::Shed(reason) => {
+                        obj.set("reason", Json::from(reason.tag()));
+                        if let ShedReason::Displaced { by } = reason {
+                            obj.set("displaced_by", Json::from(*by));
+                        }
+                    }
+                    Outcome::Timeout | Outcome::SafeStop => {}
+                }
+                obj
+            })
+            .collect();
+        let transitions: Vec<Json> = self
+            .transitions
+            .iter()
+            .map(|t| {
+                let mut obj = Json::object();
+                obj.set("from", Json::from(t.from.tag()))
+                    .set("to", Json::from(t.to.tag()))
+                    .set("at_tick", Json::from(t.at_tick))
+                    .set("after_request", Json::from(t.after_request));
+                obj
+            })
+            .collect();
+        let mut root = Json::object();
+        root.set("responses", Json::Arr(responses))
+            .set("transitions", Json::Arr(transitions))
+            .set("metrics", self.snapshot.to_json())
+            .set("chain_head", Json::Str(format!("{:016x}", self.chain_head)));
+        root
+    }
+}
+
+/// The deterministic micro-batching inference server.
+pub struct Server<B: Backend> {
+    backend: B,
+    policy: BatchPolicy,
+    service: ServiceModel,
+    degraded_floor: crate::request::Tier,
+    monitor: HealthMonitor,
+    chain: EvidenceChain,
+}
+
+impl<B: Backend> Server<B> {
+    /// Assembles a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for an invalid batch policy or
+    /// health configuration.
+    pub fn new(config: ServerConfig, backend: B) -> Result<Self, ServeError> {
+        config.validate()?;
+        let monitor =
+            HealthMonitor::new(config.health).map_err(|e| ServeError::BadConfig(e.to_string()))?;
+        Ok(Server {
+            backend,
+            policy: config.policy,
+            service: config.service,
+            degraded_floor: config.degraded_floor,
+            monitor,
+            chain: EvidenceChain::new(config.campaign),
+        })
+    }
+
+    /// The current service level.
+    pub fn service_level(&self) -> HealthState {
+        self.monitor.state()
+    }
+
+    /// The evidence chain accumulated across runs.
+    pub fn evidence(&self) -> &EvidenceChain {
+        &self.chain
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Replays a trace to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend infrastructure failures; outcome-level
+    /// failures (sheds, timeouts, stops) are data, not errors.
+    pub fn run_trace(&mut self, trace: &ArrivalTrace) -> Result<ServeReport, ServeError> {
+        self.run_trace_with(trace, |_, _| {})
+    }
+
+    /// Replays a trace, invoking `on_arrival` for every arrival *before*
+    /// admission — the deterministic hook fault-injection harnesses use
+    /// to strike the backend mid-traffic (keyed by request id, not wall
+    /// time, so strikes replay exactly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend infrastructure failures.
+    pub fn run_trace_with<F>(
+        &mut self,
+        trace: &ArrivalTrace,
+        mut on_arrival: F,
+    ) -> Result<ServeReport, ServeError>
+    where
+        F: FnMut(&Request, &mut B),
+    {
+        let arrivals = trace.arrivals();
+        let mut responses: Vec<Response> = Vec::with_capacity(arrivals.len());
+        let mut transitions: Vec<ServiceTransition> = Vec::new();
+        let mut metrics = Metrics::new();
+        let mut queue = AdmissionQueue::new(self.policy.queue_cap);
+        let mut free_at = 0u64;
+        let mut next = 0usize;
+
+        while next < arrivals.len() || !queue.is_empty() {
+            if queue.is_empty() {
+                let arrival = &arrivals[next];
+                next += 1;
+                self.admit(
+                    arrival.request.clone(),
+                    arrival.at,
+                    &mut queue,
+                    &mut responses,
+                    &mut metrics,
+                    &mut on_arrival,
+                );
+                continue;
+            }
+            // Admit everything that arrives before the queue's flush
+            // tick; each admission can change the queue (displacement)
+            // and therefore the flush tick, so recompute per arrival.
+            let flush = loop {
+                let flush = self
+                    .policy
+                    .flush_at(queue.items(), free_at)
+                    .expect("flush_at on non-empty queue");
+                match arrivals.get(next) {
+                    Some(arrival) if arrival.at <= flush => {
+                        let arrival = arrival.clone();
+                        next += 1;
+                        self.admit(
+                            arrival.request,
+                            arrival.at,
+                            &mut queue,
+                            &mut responses,
+                            &mut metrics,
+                            &mut on_arrival,
+                        );
+                        if queue.is_empty() {
+                            break None;
+                        }
+                    }
+                    _ => break Some(flush),
+                }
+            };
+            let Some(now) = flush else { continue };
+
+            // Form the batch: expired entries time out *before*
+            // execution, and the service level gates what runs at all.
+            let taken = queue.take(self.policy.max_batch);
+            let mut live = Vec::new();
+            for pending in taken {
+                let state = self.monitor.state();
+                let outcome = if state == HealthState::SafeStop {
+                    Some(Outcome::SafeStop)
+                } else if pending.request.deadline <= now {
+                    Some(Outcome::Timeout)
+                } else if state == HealthState::Degraded
+                    && pending.request.tier < self.degraded_floor
+                {
+                    Some(Outcome::Shed(ShedReason::DegradedTier))
+                } else {
+                    None
+                };
+                match outcome {
+                    Some(outcome) => {
+                        let response = Response {
+                            id: pending.request.id,
+                            tier: pending.request.tier,
+                            arrived_at: pending.queued_at,
+                            resolved_at: now,
+                            outcome,
+                        };
+                        metrics.record_response(&response);
+                        responses.push(response);
+                    }
+                    None => live.push(pending),
+                }
+            }
+            if live.is_empty() {
+                continue;
+            }
+
+            metrics.record_batch(live.len());
+            let inputs: Vec<&[f32]> = live.iter().map(|p| p.request.input.as_slice()).collect();
+            let verdicts = self.backend.serve(&inputs)?;
+            debug_assert_eq!(verdicts.len(), live.len(), "backend verdict count");
+            let done_at = now + self.service.duration(live.len());
+            free_at = done_at;
+
+            for (pending, verdict) in live.into_iter().zip(verdicts) {
+                let (stop, flagged, class, confidence) = match verdict {
+                    BatchVerdict::Stop => (true, true, 0, 0.0),
+                    BatchVerdict::Ok {
+                        class,
+                        confidence,
+                        flagged,
+                    } => (false, flagged, class, confidence),
+                };
+                if let Some(t) = self.monitor.step(stop || flagged) {
+                    let transition = ServiceTransition {
+                        from: t.from,
+                        to: t.to,
+                        at_tick: done_at,
+                        after_request: pending.request.id,
+                    };
+                    transitions.push(transition);
+                    self.chain.append(
+                        RecordKind::HealthTransition,
+                        vec![
+                            ("server".into(), Value::Str("safex-serve".into())),
+                            ("from".into(), Value::Str(t.from.tag().into())),
+                            ("to".into(), Value::Str(t.to.tag().into())),
+                            ("at_tick".into(), Value::U64(done_at)),
+                            ("after_request".into(), Value::U64(pending.request.id)),
+                        ],
+                    );
+                }
+                // Release gate: a result is returned only when (a) the
+                // backend did not demand a stop, (b) the ladder has not
+                // reached safe stop, and (c) the deadline still holds.
+                // Anything else is a typed non-answer — a stale or
+                // suspect result is never released.
+                let state = self.monitor.state();
+                let outcome = if stop || state == HealthState::SafeStop {
+                    Outcome::SafeStop
+                } else if pending.request.deadline < done_at {
+                    Outcome::Timeout
+                } else {
+                    Outcome::Completed {
+                        class,
+                        confidence,
+                        flagged,
+                        level: state,
+                    }
+                };
+                let response = Response {
+                    id: pending.request.id,
+                    tier: pending.request.tier,
+                    arrived_at: pending.queued_at,
+                    resolved_at: done_at,
+                    outcome,
+                };
+                metrics.record_response(&response);
+                responses.push(response);
+            }
+        }
+
+        debug_assert_eq!(responses.len(), arrivals.len(), "one response per request");
+        metrics.record_peak_queue(queue.peak());
+        responses.sort_by_key(|r| r.id);
+        Ok(ServeReport {
+            responses,
+            transitions,
+            snapshot: metrics.snapshot(),
+            chain_head: self.chain.head_hash(),
+        })
+    }
+
+    /// Admits one arrival (hook → service-level gate → bounded queue).
+    #[allow(clippy::too_many_arguments)]
+    fn admit<F>(
+        &mut self,
+        request: Request,
+        now: u64,
+        queue: &mut AdmissionQueue,
+        responses: &mut Vec<Response>,
+        metrics: &mut Metrics,
+        on_arrival: &mut F,
+    ) where
+        F: FnMut(&Request, &mut B),
+    {
+        on_arrival(&request, &mut self.backend);
+        let state = self.monitor.state();
+        let refusal = if state == HealthState::SafeStop {
+            Some(Outcome::SafeStop)
+        } else if state == HealthState::Degraded && request.tier < self.degraded_floor {
+            Some(Outcome::Shed(ShedReason::DegradedTier))
+        } else {
+            None
+        };
+        if let Some(outcome) = refusal {
+            let response = Response {
+                id: request.id,
+                tier: request.tier,
+                arrived_at: now,
+                resolved_at: now,
+                outcome,
+            };
+            metrics.record_response(&response);
+            responses.push(response);
+            return;
+        }
+        let (id, tier) = (request.id, request.tier);
+        match queue.offer(request, now) {
+            Admission::Accepted => {}
+            Admission::Displaced(victim) => {
+                let response = Response {
+                    id: victim.request.id,
+                    tier: victim.request.tier,
+                    arrived_at: victim.queued_at,
+                    resolved_at: now,
+                    outcome: Outcome::Shed(ShedReason::Displaced { by: id }),
+                };
+                metrics.record_response(&response);
+                responses.push(response);
+            }
+            Admission::Rejected => {
+                let response = Response {
+                    id,
+                    tier,
+                    arrived_at: now,
+                    resolved_at: now,
+                    outcome: Outcome::Shed(ShedReason::QueueFull),
+                };
+                metrics.record_response(&response);
+                responses.push(response);
+            }
+        }
+        metrics.record_peak_queue(queue.len());
+    }
+}
