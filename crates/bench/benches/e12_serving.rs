@@ -144,6 +144,7 @@ fn print_tables() {
             stop_events: 8,
             recover_after: 32,
             resume_after: 0,
+            warn_budget: 3,
         },
         ..server_config(16)
     };

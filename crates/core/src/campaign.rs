@@ -249,6 +249,10 @@ pub struct CellReport {
     pub faulted: u64,
     /// Faulted decisions on which the runtime raised a health event.
     pub detected: u64,
+    /// Decisions on which the ECC sidecar corrected a weight fault in
+    /// place (`HealthEvent::CorrectedFault`); always 0 when
+    /// [`HardenConfig::repair`] is `None`.
+    pub corrected: u64,
     /// Faulted decisions whose acted-on class differed from the pristine
     /// reference (the fault mattered).
     pub corrupted: u64,
@@ -271,6 +275,14 @@ pub struct CellReport {
     /// verification is disabled) — the bound a certification argument
     /// quotes against the detection-latency measurement.
     pub crc_staleness_bound: Option<u64>,
+    /// Decisions from the first active fault to the first in-place ECC
+    /// correction (`None` when nothing was corrected) — the repair
+    /// counterpart of `detection_latency`.
+    pub repair_latency: Option<u64>,
+    /// ECC sidecar memory as a percentage of the protected parameter bits
+    /// (0.0 when repair is disabled) — the cost column the repair benefit
+    /// is weighed against.
+    pub sidecar_overhead_pct: f64,
 }
 
 impl CellReport {
@@ -494,6 +506,7 @@ fn run_cell(
     } = *spec;
     let mut engine = HardenedEngine::new(model.clone(), config.harden)?;
     engine.calibrate(inputs)?;
+    let sidecar_overhead_pct = engine.sidecar_overhead().map_or(0.0, |f| f * 100.0);
     let sink = HealthSink::new();
     engine.attach_sink(sink.clone());
     let plan = plan_for(class, rate, cell_seed);
@@ -554,6 +567,7 @@ fn run_cell(
         decisions: config.decisions,
         faulted: 0,
         detected: 0,
+        corrected: 0,
         corrupted: 0,
         silent: 0,
         false_alarms: 0,
@@ -562,6 +576,8 @@ fn run_cell(
         time_degraded: 0,
         time_stopped: 0,
         crc_staleness_bound: config.harden.staleness_bound(layer_checksums(model).len()),
+        repair_latency: None,
+        sidecar_overhead_pct,
     };
     let mut first_fault_at: Option<u64> = None;
 
@@ -608,6 +624,10 @@ fn run_cell(
             !e.last_injections().is_empty()
         };
         let detected = !pipeline.last_health_events().is_empty();
+        let corrected = pipeline
+            .last_health_events()
+            .iter()
+            .any(|e| matches!(e, HealthEvent::CorrectedFault { .. }));
 
         if struck {
             // Restore pristine weights; the golden checksums were never
@@ -641,6 +661,14 @@ fn run_cell(
         if detected && report.detection_latency.is_none() {
             if let Some(first) = first_fault_at {
                 report.detection_latency = Some(k - first);
+            }
+        }
+        if corrected {
+            report.corrected += 1;
+            if report.repair_latency.is_none() {
+                if let Some(first) = first_fault_at {
+                    report.repair_latency = Some(k - first);
+                }
             }
         }
     }
@@ -1028,6 +1056,75 @@ mod tests {
         }
         let again = run(&config, &model, &inputs).unwrap();
         assert_eq!(again, sequential, "rerun must reproduce byte-for-byte");
+    }
+
+    #[test]
+    fn repair_converts_weight_seu_from_degrade_to_keep_serving() {
+        use safex_nn::EccConfig;
+        // E13's core claim: with the ECC sidecar enabled (and a warning
+        // budget that tolerates corrected faults), every single-bit
+        // weight SEU is corrected in place — zero silent corruption,
+        // zero wrong decisions, zero time outside Nominal — at a
+        // measured ~6 % memory overhead. Without repair the very same
+        // strike stream walks the degradation ladder.
+        let (model, inputs) = fixture();
+        let base = CampaignConfig {
+            decisions: 200,
+            classes: vec![FaultClass::WeightBitFlip],
+            rates: vec![0.15],
+            ..quick_config()
+        };
+        let without = run(&base, &model, &inputs).unwrap();
+        let with = run(
+            &CampaignConfig {
+                harden: HardenConfig {
+                    repair: Some(EccConfig::default()),
+                    ..HardenConfig::default()
+                },
+                health: HealthConfig {
+                    warn_budget: 8,
+                    resume_after: 8,
+                    ..HealthConfig::default()
+                },
+                ..base.clone()
+            },
+            &model,
+            &inputs,
+        )
+        .unwrap();
+        let cell = &with.cells[0];
+        assert!(cell.faulted >= 10, "strikes must land: {cell:?}");
+        assert_eq!(
+            cell.corrected, cell.faulted,
+            "every single-bit strike is corrected: {cell:?}"
+        );
+        assert!(
+            cell.diagnostic_coverage() > 0.99,
+            "corrections still count as detections: {cell:?}"
+        );
+        assert_eq!(cell.corrupted, 0, "repair lands before the layer loop");
+        assert_eq!(cell.silent, 0, "{cell:?}");
+        assert_eq!(
+            cell.repair_latency,
+            Some(0),
+            "CRC cadence 1 repairs on the strike decision"
+        );
+        assert_eq!(cell.time_degraded, 0, "budgeted warnings never degrade");
+        assert_eq!(cell.time_stopped, 0, "budgeted warnings never stop");
+        assert!(
+            (5.0..10.0).contains(&cell.sidecar_overhead_pct),
+            "interleaved parity ≈ 6.25 %: {cell:?}"
+        );
+        // The detect-only baseline pays for the same strikes on the
+        // ladder instead.
+        let baseline = &without.cells[0];
+        assert_eq!(baseline.corrected, 0);
+        assert_eq!(baseline.sidecar_overhead_pct, 0.0);
+        assert_eq!(baseline.repair_latency, None);
+        assert!(
+            baseline.time_degraded > 0 || baseline.time_stopped > 0,
+            "without repair the ladder must move: {baseline:?}"
+        );
     }
 
     #[test]

@@ -63,6 +63,27 @@ impl fmt::Display for HealthState {
     }
 }
 
+/// One decision's health classification, as fed to
+/// [`HealthMonitor::step_verdict`].
+///
+/// [`HealthVerdict::Warning`] is the middle ground the ECC repair path
+/// needs: the fault *happened* (the memory took a hit) but it is *gone*
+/// (corrected in place, CRC re-verified). Warnings spend from a bounded
+/// budget ([`HealthConfig::warn_budget`]) instead of escalating outright —
+/// a trickle of corrected upsets keeps the system Nominal, while a storm
+/// of them still walks the ladder down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthVerdict {
+    /// Nothing observed; counts toward recovery streaks.
+    Clean,
+    /// A fault was observed *and repaired* (e.g.
+    /// `HealthEvent::CorrectedFault`); tolerated up to
+    /// [`HealthConfig::warn_budget`] per window, unhealthy beyond it.
+    Warning,
+    /// An unrepaired fault was observed; escalates as before.
+    Unhealthy,
+}
+
 /// Thresholds for the degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HealthConfig {
@@ -82,6 +103,12 @@ pub struct HealthConfig {
     /// conservative default for real deployments, where leaving a safe
     /// stop should take maintenance action, not luck.
     pub resume_after: u32,
+    /// How many [`HealthVerdict::Warning`] decisions (corrected faults)
+    /// the window tolerates before a further warning is treated as
+    /// unhealthy. Warnings at or under budget count as clean — they
+    /// neither fill the escalation window nor break recovery streaks.
+    /// Setting it `>= window` makes warnings never escalate.
+    pub warn_budget: u32,
 }
 
 impl Default for HealthConfig {
@@ -92,6 +119,7 @@ impl Default for HealthConfig {
             stop_events: 4,
             recover_after: 16,
             resume_after: 0,
+            warn_budget: 3,
         }
     }
 }
@@ -160,6 +188,9 @@ pub struct HealthMonitor {
     state: HealthState,
     /// Ring of recent unhealthy flags, newest in bit 0.
     history: u64,
+    /// Ring of recent warning (corrected-fault) flags, newest in bit 0 —
+    /// the budget [`HealthConfig::warn_budget`] is spent against this.
+    warn_history: u64,
     clean_streak: u32,
     decisions: u64,
     time_in: [u64; 3],
@@ -179,6 +210,7 @@ impl HealthMonitor {
             config,
             state: HealthState::Nominal,
             history: 0,
+            warn_history: 0,
             clean_streak: 0,
             decisions: 0,
             time_in: [0; 3],
@@ -186,14 +218,36 @@ impl HealthMonitor {
         })
     }
 
-    /// Folds one decision's health verdict into the ladder, returning the
-    /// transition if the state changed.
+    /// Folds one decision's boolean health verdict into the ladder —
+    /// [`HealthMonitor::step_verdict`] without the warning tier.
     pub fn step(&mut self, unhealthy: bool) -> Option<Transition> {
+        self.step_verdict(if unhealthy {
+            HealthVerdict::Unhealthy
+        } else {
+            HealthVerdict::Clean
+        })
+    }
+
+    /// Folds one decision's three-way verdict into the ladder, returning
+    /// the transition if the state changed.
+    ///
+    /// A [`HealthVerdict::Warning`] spends one unit of
+    /// [`HealthConfig::warn_budget`]: while the window holds at most
+    /// `warn_budget` warnings it behaves like a clean decision; the
+    /// warning that exceeds the budget is folded in as unhealthy.
+    pub fn step_verdict(&mut self, verdict: HealthVerdict) -> Option<Transition> {
         self.decisions += 1;
         let mask = if self.config.window == 64 {
             u64::MAX
         } else {
             (1u64 << self.config.window) - 1
+        };
+        self.warn_history =
+            ((self.warn_history << 1) | u64::from(verdict == HealthVerdict::Warning)) & mask;
+        let unhealthy = match verdict {
+            HealthVerdict::Clean => false,
+            HealthVerdict::Unhealthy => true,
+            HealthVerdict::Warning => self.warn_history.count_ones() > self.config.warn_budget,
         };
         self.history = ((self.history << 1) | u64::from(unhealthy)) & mask;
         self.clean_streak = if unhealthy { 0 } else { self.clean_streak + 1 };
@@ -239,6 +293,7 @@ impl HealthMonitor {
         // earned with its own run of clean decisions.
         if next.index() < self.state.index() {
             self.history = 0;
+            self.warn_history = 0;
             self.clean_streak = 0;
         }
         let t = Transition {
@@ -269,6 +324,11 @@ impl HealthMonitor {
     /// Unhealthy decisions currently inside the window.
     pub fn unhealthy_in_window(&self) -> u32 {
         self.history.count_ones()
+    }
+
+    /// Warning (corrected-fault) decisions currently inside the window.
+    pub fn warnings_in_window(&self) -> u32 {
+        self.warn_history.count_ones()
     }
 
     /// Current run of consecutive clean decisions.
@@ -302,6 +362,7 @@ mod tests {
             stop_events: 4,
             recover_after: 3,
             resume_after: 5,
+            warn_budget: 3,
         }
     }
 
@@ -517,6 +578,89 @@ mod tests {
             assert_eq!(m.step(true), None);
         }
         assert!(m.step(true).is_some(), "64th event fills the full window");
+    }
+
+    #[test]
+    fn warnings_within_budget_behave_like_clean() {
+        // warn_budget 3: a trickle of corrected faults neither degrades
+        // the ladder nor breaks recovery streaks.
+        let mut m = monitor(quick());
+        for i in 0..24u64 {
+            let verdict = if i % 8 == 0 {
+                HealthVerdict::Warning
+            } else {
+                HealthVerdict::Clean
+            };
+            assert_eq!(m.step_verdict(verdict), None, "decision {i}");
+        }
+        assert_eq!(m.state(), HealthState::Nominal);
+        assert_eq!(m.unhealthy_in_window(), 0);
+
+        // Streak test: degrade, then recover across a within-budget
+        // warning — the warning must not reset the clean streak.
+        let mut m = monitor(quick());
+        m.step(true);
+        m.step(true);
+        assert_eq!(m.state(), HealthState::Degraded);
+        m.step_verdict(HealthVerdict::Clean);
+        m.step_verdict(HealthVerdict::Warning);
+        assert!(
+            m.step_verdict(HealthVerdict::Clean).is_some(),
+            "a budgeted warning counts toward the recovery streak"
+        );
+        assert_eq!(m.state(), HealthState::Nominal);
+    }
+
+    #[test]
+    fn warnings_beyond_budget_escalate() {
+        // Five warnings inside one window against a budget of 3: the 4th
+        // and 5th fold in as unhealthy and the ladder degrades.
+        let mut m = monitor(quick());
+        let mut transition = None;
+        for _ in 0..5 {
+            if let Some(t) = m.step_verdict(HealthVerdict::Warning) {
+                transition.get_or_insert(t);
+            }
+        }
+        let t = transition.expect("budget exhaustion must degrade");
+        assert_eq!(
+            (t.from, t.to),
+            (HealthState::Nominal, HealthState::Degraded)
+        );
+        assert_eq!(t.at_decision, 5, "warnings 1–3 spend budget, 4–5 count");
+        assert_eq!(m.warnings_in_window(), 5);
+        assert_eq!(m.unhealthy_in_window(), 2);
+    }
+
+    #[test]
+    fn warnings_age_out_of_the_window() {
+        // 4 warnings, then a long clean stretch, then 3 more: the old
+        // warnings have left the window, so the budget is fresh.
+        let mut m = monitor(quick());
+        for _ in 0..3 {
+            assert_eq!(m.step_verdict(HealthVerdict::Warning), None);
+        }
+        for _ in 0..8 {
+            assert_eq!(m.step_verdict(HealthVerdict::Clean), None);
+        }
+        for _ in 0..3 {
+            assert_eq!(m.step_verdict(HealthVerdict::Warning), None);
+        }
+        assert_eq!(m.state(), HealthState::Nominal);
+        assert_eq!(m.warnings_in_window(), 3);
+    }
+
+    #[test]
+    fn zero_warn_budget_treats_every_warning_as_unhealthy() {
+        let mut m = monitor(HealthConfig {
+            warn_budget: 0,
+            ..quick()
+        });
+        m.step_verdict(HealthVerdict::Warning);
+        let t = m
+            .step_verdict(HealthVerdict::Warning)
+            .expect("two unhealthy-equivalent decisions degrade");
+        assert_eq!(t.to, HealthState::Degraded);
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use campaign::{
     CampaignConfig, CampaignPattern, CampaignReport, CellReport, FaultClass, InputSupervision,
 };
 pub use error::CoreError;
-pub use health::{HealthConfig, HealthMonitor, HealthState, Transition};
+pub use health::{HealthConfig, HealthMonitor, HealthState, HealthVerdict, Transition};
 pub use pipeline::{PipelineBuilder, SafePipeline};

@@ -9,7 +9,7 @@ use safex_trace::record::{RecordKind, Value};
 use safex_trace::EvidenceChain;
 
 use crate::error::CoreError;
-use crate::health::{HealthMonitor, HealthState};
+use crate::health::{HealthMonitor, HealthState, HealthVerdict};
 
 /// Health supervision attached to a pipeline: the degradation-ladder
 /// state machine plus the sink hardened engines publish into.
@@ -98,7 +98,20 @@ impl SafePipeline {
         let mut decision = self.pattern.decide(input)?;
         if let Some(health) = &mut self.health {
             let events = health.sink.drain();
-            let transition = health.monitor.step(!events.is_empty());
+            // Corrected faults are warnings (the hit happened but the
+            // damage is gone — see `HealthConfig::warn_budget`); anything
+            // else drained this decision is unhealthy as before.
+            let verdict = if events.is_empty() {
+                HealthVerdict::Clean
+            } else if events
+                .iter()
+                .all(|e| matches!(e, HealthEvent::CorrectedFault { .. }))
+            {
+                HealthVerdict::Warning
+            } else {
+                HealthVerdict::Unhealthy
+            };
+            let transition = health.monitor.step_verdict(verdict);
             let event_count = events.len() as u64;
             health.last_events = events;
             match health.monitor.state() {
@@ -533,6 +546,7 @@ mod tests {
                 stop_events: 4,
                 recover_after: 3,
                 resume_after: 5,
+                warn_budget: 3,
             })
             .unwrap();
             let ma = MonitorActuator::new(

@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 
 use safex_tensor::DenseKernel;
 
+use crate::ecc::{EccCode, EccConfig, RepairOutcome};
 use crate::engine::{run_layer, Classification, Engine};
 use crate::error::NnError;
 use crate::fault::{apply_input_fault, FaultPlan, Injection, InjectionLog};
@@ -96,6 +97,26 @@ pub enum HealthEvent {
         /// Stable name of the supervisor that fired.
         monitor: &'static str,
     },
+    /// A parametric layer's CRC mismatched, the ECC sidecar localised a
+    /// single flipped bit, the bit was corrected in place, and the layer
+    /// CRC re-verified against golden. The fault is *gone* — consumers
+    /// should treat this as a warning (the memory took a hit) rather
+    /// than an escalation (see `HealthConfig::warn_budget` in
+    /// `safex-core`). Uncorrectable damage keeps raising
+    /// [`HealthEvent::ChecksumMismatch`].
+    CorrectedFault {
+        /// Layer whose parameters were repaired.
+        layer: usize,
+        /// Index of the repaired 32-bit word within the layer's
+        /// concatenated weight+bias stream.
+        word: usize,
+        /// Bit position (0..32) that was flipped back.
+        bit: u32,
+        /// Same worst-case exposure bound as
+        /// [`HealthEvent::ChecksumMismatch`]: decisions the corrupted
+        /// word could have influenced before this check repaired it.
+        staleness: u64,
+    },
 }
 
 impl HealthEvent {
@@ -108,6 +129,7 @@ impl HealthEvent {
             HealthEvent::NonFiniteInput { .. } => "non_finite_input",
             HealthEvent::SaturatedActivation { .. } => "saturated_activation",
             HealthEvent::SupervisorReject { .. } => "supervisor_reject",
+            HealthEvent::CorrectedFault { .. } => "corrected_fault",
         }
     }
 }
@@ -147,6 +169,16 @@ impl std::fmt::Display for HealthEvent {
             HealthEvent::SupervisorReject { monitor } => {
                 write!(f, "supervisor {monitor} rejected the input")
             }
+            HealthEvent::CorrectedFault {
+                layer,
+                word,
+                bit,
+                staleness,
+            } => write!(
+                f,
+                "layer {layer} word {word} bit {bit} corrected by ECC sidecar \
+                 (staleness bound {staleness} decisions)"
+            ),
         }
     }
 }
@@ -285,6 +317,34 @@ fn parametric_buffers(layer: &Layer) -> Option<(&[f32], &[f32])> {
     }
 }
 
+/// Mutable view of the buffers [`parametric_buffers`] covers (repair
+/// write-back path).
+fn parametric_buffers_mut(layer: &mut Layer) -> Option<(&mut [f32], &mut [f32])> {
+    match layer {
+        Layer::Dense(d) => Some((&mut d.weights, &mut d.bias)),
+        Layer::Conv2d(c) => Some((&mut c.weights, &mut c.bias)),
+        _ => None,
+    }
+}
+
+/// Encodes one ECC sidecar per golden (checksummed) layer, over the same
+/// concatenated weight+bias word stream the CRC covers.
+fn encode_sidecars(
+    model: &Model,
+    golden: &[(usize, u32)],
+    config: EccConfig,
+) -> Result<Vec<EccCode>, NnError> {
+    golden
+        .iter()
+        .map(|&(layer, _)| {
+            let (weights, bias) = parametric_buffers(&model.layers()[layer])
+                .expect("golden entries index parametric layers");
+            let words: Vec<u32> = weights.iter().chain(bias).map(|v| v.to_bits()).collect();
+            EccCode::encode(&words, config)
+        })
+        .collect()
+}
+
 /// CRC-32 of one layer's parameters (`None` for non-parametric layers).
 pub fn layer_checksum(layer: &Layer) -> Option<u32> {
     parametric_buffers(layer)
@@ -421,6 +481,14 @@ pub struct HardenConfig {
     /// calibrated layer range grows by `slack × span` on both sides.
     /// Default 0.5.
     pub guard_slack: f32,
+    /// Detect-*and-correct*: when set, the engine encodes an ECC sidecar
+    /// ([`EccCode`]) over every checksummed layer at construction and, on
+    /// a scheduled CRC mismatch, corrects a localised single-bit flip in
+    /// place (re-verified against the golden CRC) instead of escalating —
+    /// raising [`HealthEvent::CorrectedFault`] rather than
+    /// [`HealthEvent::ChecksumMismatch`]. `None` (the default) keeps the
+    /// detect-only behavior bit-for-bit.
+    pub repair: Option<EccConfig>,
 }
 
 impl Default for HardenConfig {
@@ -429,6 +497,7 @@ impl Default for HardenConfig {
             crc_cadence: 1,
             crc_strategy: CrcStrategy::Full,
             guard_slack: 0.5,
+            repair: None,
         }
     }
 }
@@ -440,6 +509,9 @@ impl HardenConfig {
                 "guard slack must be finite and non-negative, got {}",
                 self.guard_slack
             )));
+        }
+        if let Some(ecc) = &self.repair {
+            ecc.validate()?;
         }
         Ok(())
     }
@@ -479,6 +551,7 @@ pub struct HardenedEngine {
     buf_a: Vec<f32>,
     buf_b: Vec<f32>,
     golden: Vec<(usize, u32)>,
+    sidecars: Vec<EccCode>,
     config: HardenConfig,
     guard: Option<ActivationGuard>,
     plan: Option<FaultPlan>,
@@ -488,6 +561,11 @@ pub struct HardenedEngine {
     injections: Vec<Injection>,
     decisions: u64,
     events_seen: u64,
+    /// Decisions `< synced_to` have had their scheduled repairs applied to
+    /// *this* replica's weights. Only meaningful when repair is enabled;
+    /// lets a pooled replica serving a non-contiguous index stream replay
+    /// the silent repairs the sequential reference performed in between.
+    synced_to: u64,
     kernel: DenseKernel,
 }
 
@@ -502,11 +580,16 @@ impl HardenedEngine {
         config.validate()?;
         let cap = model.max_activation_len();
         let golden = layer_checksums(&model);
+        let sidecars = match config.repair {
+            Some(ecc) => encode_sidecars(&model, &golden, ecc)?,
+            None => Vec::new(),
+        };
         Ok(HardenedEngine {
             model,
             buf_a: vec![0.0; cap],
             buf_b: vec![0.0; cap],
             golden,
+            sidecars,
             config,
             guard: None,
             plan: None,
@@ -516,6 +599,7 @@ impl HardenedEngine {
             injections: Vec::new(),
             decisions: 0,
             events_seen: 0,
+            synced_to: 0,
             kernel: DenseKernel::Exact,
         })
     }
@@ -614,9 +698,145 @@ impl HardenedEngine {
         &mut self.model
     }
 
-    /// Re-captures golden checksums from the current parameters.
+    /// Re-captures golden checksums (and, when repair is enabled, ECC
+    /// sidecars) from the current parameters.
     pub fn rebaseline(&mut self) {
         self.golden = layer_checksums(&self.model);
+        if let Some(ecc) = self.config.repair {
+            self.sidecars = encode_sidecars(&self.model, &self.golden, ecc)
+                .expect("ecc config was validated at construction");
+        }
+    }
+
+    /// ECC sidecar memory as a fraction of the protected parameter bits
+    /// (e.g. `0.0625` ≈ 6.25 %). `None` when repair is disabled or there
+    /// is nothing to protect.
+    pub fn sidecar_overhead(&self) -> Option<f64> {
+        if self.sidecars.is_empty() {
+            return None;
+        }
+        let sidecar: u64 = self.sidecars.iter().map(EccCode::sidecar_bits).sum();
+        let data: u64 = self
+            .sidecars
+            .iter()
+            .map(|c| c.protected_words() as u64 * 32)
+            .sum();
+        if data == 0 {
+            return None;
+        }
+        Some(sidecar as f64 / data as f64)
+    }
+
+    /// Declares that every scheduled repair before `index` is already
+    /// reflected in this replica's weights (pool dispatch calls this with
+    /// the batch base: replicas are re-synchronised at batch boundaries,
+    /// which is also the only point strikes can legally land).
+    pub(crate) fn sync_to(&mut self, index: u64) {
+        self.synced_to = self.synced_to.max(index);
+    }
+
+    /// Replays the silent repairs a sequential engine would have applied
+    /// on the scheduled checks in `[synced_to, index)` — the catch-up that
+    /// keeps a pooled replica's weights byte-identical to the sequential
+    /// reference before it executes decision `index`.
+    fn catch_up(&mut self, index: u64) {
+        let cadence = self.config.crc_cadence;
+        let t0 = self.synced_to.div_ceil(cadence);
+        let t1 = index.div_ceil(cadence);
+        if t0 >= t1 {
+            return;
+        }
+        match self.config.crc_strategy {
+            CrcStrategy::Full => {
+                for gi in 0..self.golden.len() {
+                    self.silent_repair(gi);
+                }
+            }
+            CrcStrategy::Rotating => {
+                let len = self.golden.len() as u64;
+                if t1 - t0 >= len {
+                    for gi in 0..self.golden.len() {
+                        self.silent_repair(gi);
+                    }
+                } else {
+                    for t in t0..t1 {
+                        self.silent_repair((t % len) as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Repairs golden slot `gi` if its CRC mismatches, without reporting:
+    /// the replica that owns the scheduled check emits the event; this is
+    /// only weight-state reconciliation.
+    fn silent_repair(&mut self, gi: usize) {
+        let (layer, expected) = self.golden[gi];
+        let actual = layer_checksum(&self.model.layers()[layer])
+            .expect("golden entries index parametric layers");
+        if expected != actual {
+            self.attempt_repair(gi);
+        }
+    }
+
+    /// Runs one scheduled CRC check over golden slot `gi`, attempting an
+    /// in-place ECC repair before escalating when repair is enabled.
+    fn check_slot(&mut self, gi: usize, staleness: u64) {
+        let (layer, expected) = self.golden[gi];
+        let actual = layer_checksum(&self.model.layers()[layer])
+            .expect("golden entries index parametric layers");
+        if expected == actual {
+            return;
+        }
+        if self.config.repair.is_some() {
+            if let Some((word, bit)) = self.attempt_repair(gi) {
+                self.events.push(HealthEvent::CorrectedFault {
+                    layer,
+                    word,
+                    bit,
+                    staleness,
+                });
+                return;
+            }
+        }
+        self.events.push(HealthEvent::ChecksumMismatch {
+            layer,
+            expected,
+            actual,
+            staleness,
+        });
+    }
+
+    /// Tries to ECC-correct golden slot `gi`'s parameters. Writes back
+    /// exactly one word — and only after the corrected stream re-verifies
+    /// against the golden CRC — returning the `(word, bit)` that was
+    /// restored. `None` leaves the model untouched (uncorrectable damage,
+    /// or ≥ 3 flips forging a single-flip signature that the CRC
+    /// re-verification rejects).
+    fn attempt_repair(&mut self, gi: usize) -> Option<(usize, u32)> {
+        let (layer, expected) = self.golden[gi];
+        let sidecar = &self.sidecars[gi];
+        let (weights, bias) = parametric_buffers(&self.model.layers()[layer])
+            .expect("golden entries index parametric layers");
+        let n_weights = weights.len();
+        let mut words: Vec<u32> = weights.iter().chain(bias).map(|v| v.to_bits()).collect();
+        match sidecar.repair(&mut words) {
+            RepairOutcome::Corrected { word, bit } => {
+                if crc32_words(words.iter().copied()) != expected {
+                    return None;
+                }
+                let repaired = f32::from_bits(words[word]);
+                let (weights, bias) = parametric_buffers_mut(&mut self.model.layers_mut()[layer])
+                    .expect("golden entries index parametric layers");
+                if word < n_weights {
+                    weights[word] = repaired;
+                } else {
+                    bias[word - n_weights] = repaired;
+                }
+                Some((word, bit))
+            }
+            RepairOutcome::Clean | RepairOutcome::Uncorrectable => None,
+        }
     }
 
     /// Golden `(layer, crc)` pairs currently enforced.
@@ -743,41 +963,38 @@ impl HardenedEngine {
             }
         }
 
-        if self.config.crc_cadence > 0
-            && index.is_multiple_of(self.config.crc_cadence)
-            && !self.golden.is_empty()
-        {
-            // The staleness bound is Some whenever we get here (cadence
-            // and golden are both non-zero).
-            let staleness = self.staleness_bound().unwrap_or(0);
-            let verify = |golden: &(usize, u32), events: &mut Vec<HealthEvent>, model: &Model| {
-                let &(layer, expected) = golden;
-                let actual = layer_checksum(&model.layers()[layer])
-                    .expect("golden entries index parametric layers");
-                if expected != actual {
-                    events.push(HealthEvent::ChecksumMismatch {
-                        layer,
-                        expected,
-                        actual,
-                        staleness,
-                    });
-                }
-            };
-            match self.config.crc_strategy {
-                CrcStrategy::Full => {
-                    for golden in &self.golden {
-                        verify(golden, &mut self.events, &self.model);
+        if self.config.crc_cadence > 0 && !self.golden.is_empty() {
+            // With repair enabled, first replay the silent repairs any
+            // scheduled checks in `[synced_to, index)` would have applied
+            // — a pooled replica may be served a non-contiguous index
+            // stream, and its weights must match the sequential reference
+            // *before* the layer loop reads them. Sequentially,
+            // `synced_to == index` and this is a no-op.
+            if self.config.repair.is_some() {
+                self.catch_up(index);
+            }
+            if index.is_multiple_of(self.config.crc_cadence) {
+                // The staleness bound is Some whenever we get here
+                // (cadence and golden are both non-zero).
+                let staleness = self.staleness_bound().unwrap_or(0);
+                match self.config.crc_strategy {
+                    CrcStrategy::Full => {
+                        for gi in 0..self.golden.len() {
+                            self.check_slot(gi, staleness);
+                        }
+                    }
+                    CrcStrategy::Rotating => {
+                        // Cursor derived from the global decision index,
+                        // never from engine-local state: pooled replicas
+                        // replaying the same decision verify the same
+                        // layer.
+                        let tick = index / self.config.crc_cadence;
+                        let slot = (tick % self.golden.len() as u64) as usize;
+                        self.check_slot(slot, staleness);
                     }
                 }
-                CrcStrategy::Rotating => {
-                    // Cursor derived from the global decision index, never
-                    // from engine-local state: pooled replicas replaying
-                    // the same decision verify the same layer.
-                    let tick = index / self.config.crc_cadence;
-                    let slot = (tick % self.golden.len() as u64) as usize;
-                    verify(&self.golden[slot], &mut self.events, &self.model);
-                }
             }
+            self.synced_to = self.synced_to.max(index + 1);
         }
 
         let activation_fault = self.plan.and_then(|p| p.activation);
@@ -924,6 +1141,15 @@ impl HardenedPool {
         inputs: &[I],
     ) -> Result<Vec<CheckedClassification>, NnError> {
         let base = self.dispatched;
+        // Weight strikes (via `engines_mut`) can only land between
+        // batches, where they hit every replica identically; advancing
+        // every replica's sync point to the batch base keeps the repair
+        // catch-up from replaying pre-strike scheduled checks — which the
+        // sequential reference saw as clean — against post-strike
+        // weights.
+        for worker in &mut self.workers {
+            worker.sync_to(base);
+        }
         let indexed: Vec<(u64, &[f32])> = inputs
             .iter()
             .enumerate()
@@ -1392,6 +1618,144 @@ mod tests {
     }
 
     #[test]
+    fn ecc_repairs_single_bit_flip_and_keeps_serving() {
+        let config = HardenConfig {
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let mut hardened = HardenedEngine::new(model(30), config).unwrap();
+        let mut pristine = Engine::new(model(30));
+        let input = [0.1, 0.2, 0.3, 0.4];
+        hardened.infer(&input).unwrap();
+        assert!(hardened.last_events().is_empty());
+
+        let last_layer = hardened.golden_checksums().last().unwrap().0;
+        flip_weight_bit(hardened.model_mut(), last_layer);
+        pristine.infer(&input).unwrap();
+        let expected = pristine.infer(&input).unwrap().to_vec();
+        let got = hardened.infer(&input).unwrap().to_vec();
+        // The repair runs at the scheduled check, *before* the layer loop
+        // reads the weights: the corrected decision already matches the
+        // pristine engine.
+        assert_eq!(got, expected, "corrected decision must match pristine");
+        assert!(
+            matches!(
+                hardened.last_events(),
+                [HealthEvent::CorrectedFault { layer, word: 0, bit: 0, .. }]
+                    if *layer == last_layer
+            ),
+            "events: {:?}",
+            hardened.last_events()
+        );
+        // The fault is gone — no lingering escalation.
+        hardened.infer(&input).unwrap();
+        assert!(hardened.last_events().is_empty());
+        // Interleaved parity at block 32 ≈ 6.25 % sidecar overhead.
+        let overhead = hardened.sidecar_overhead().unwrap();
+        assert!(
+            (0.05..0.10).contains(&overhead),
+            "unexpected overhead {overhead}"
+        );
+    }
+
+    #[test]
+    fn ecc_leaves_double_flips_on_the_escalation_path() {
+        let config = HardenConfig {
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let mut hardened = HardenedEngine::new(model(31), config).unwrap();
+        let input = [0.1, 0.2, 0.3, 0.4];
+        hardened.infer(&input).unwrap();
+        let layer = hardened.golden_checksums()[0].0;
+        // Two flips in distinct words of one layer: no single-flip
+        // signature exists, so ECC must refuse and the checksum path
+        // escalates exactly as without repair.
+        match &mut hardened.model_mut().layers_mut()[layer] {
+            Layer::Dense(d) => {
+                d.weights[0] = f32::from_bits(d.weights[0].to_bits() ^ 1);
+                d.weights[1] = f32::from_bits(d.weights[1].to_bits() ^ (1 << 7));
+            }
+            other => panic!("layer {layer} is not dense: {other:?}"),
+        }
+        let damaged: Vec<f32> = match &hardened.model().layers()[layer] {
+            Layer::Dense(d) => d.weights().to_vec(),
+            _ => unreachable!(),
+        };
+        hardened.infer(&input).unwrap();
+        assert!(
+            matches!(
+                hardened.last_events(),
+                [HealthEvent::ChecksumMismatch { layer: l, .. }] if *l == layer
+            ),
+            "events: {:?}",
+            hardened.last_events()
+        );
+        let after: Vec<f32> = match &hardened.model().layers()[layer] {
+            Layer::Dense(d) => d.weights().to_vec(),
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            after.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            damaged.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "uncorrectable damage must never be miscorrected"
+        );
+    }
+
+    #[test]
+    fn repair_pool_matches_sequential_under_boundary_strikes() {
+        // Repair mutates replica weight state mid-stream; the catch-up
+        // machinery must keep pooled output byte-identical to sequential
+        // for any worker count, for both CRC strategies, across a strike
+        // at a batch boundary.
+        for strategy in [CrcStrategy::Full, CrcStrategy::Rotating] {
+            let config = HardenConfig {
+                crc_cadence: 2,
+                crc_strategy: strategy,
+                repair: Some(EccConfig { block_words: 8 }),
+                ..HardenConfig::default()
+            };
+            let mut engine = HardenedEngine::new(model(32), config).unwrap();
+            engine.calibrate(&calibration()).unwrap();
+            let inputs = calibration();
+            let strike_layer = engine.golden_checksums().last().unwrap().0;
+
+            let mut reference = Vec::new();
+            {
+                let mut seq = engine.clone();
+                for (i, input) in inputs.iter().enumerate() {
+                    if i == 8 {
+                        flip_weight_bit(seq.model_mut(), strike_layer);
+                    }
+                    let classification = seq.classify_indexed(i as u64, input).unwrap();
+                    reference.push(CheckedClassification {
+                        classification,
+                        events: seq.last_events().to_vec(),
+                        injections: seq.last_injections().to_vec(),
+                    });
+                }
+            }
+            assert!(
+                reference
+                    .iter()
+                    .flat_map(|r| &r.events)
+                    .any(|e| matches!(e, HealthEvent::CorrectedFault { .. })),
+                "{strategy:?}: the strike must be corrected somewhere"
+            );
+
+            for workers in [1, 2, 4, 8] {
+                let mut pool = HardenedPool::new(&engine, workers).unwrap();
+                let mut got = pool.classify_batch(&inputs[..8]).unwrap();
+                for replica in pool.engines_mut() {
+                    flip_weight_bit(replica.model_mut(), strike_layer);
+                }
+                got.extend(pool.classify_batch(&inputs[8..]).unwrap());
+                assert_eq!(got, reference, "{strategy:?}, {workers} workers diverged");
+            }
+        }
+    }
+
+    #[test]
     fn bad_configs_rejected() {
         assert!(HardenedEngine::new(
             model(11),
@@ -1419,5 +1783,16 @@ mod tests {
         .unwrap();
         assert!(h.set_guard(other).is_err(), "layer-count mismatch");
         assert!(HardenedPool::new(&h, 0).is_err());
+        assert!(
+            HardenedEngine::new(
+                model(11),
+                HardenConfig {
+                    repair: Some(EccConfig { block_words: 0 }),
+                    ..HardenConfig::default()
+                }
+            )
+            .is_err(),
+            "zero ecc block size"
+        );
     }
 }

@@ -49,6 +49,7 @@
 //! # }
 //! ```
 
+pub mod ecc;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -63,6 +64,7 @@ pub mod qharden;
 pub mod quant;
 pub mod train;
 
+pub use ecc::{EccCode, EccConfig, RepairOutcome};
 pub use engine::{Classification, Engine};
 pub use error::NnError;
 pub use fault::{

@@ -29,6 +29,7 @@
 
 use safex_tensor::fixed::Q16_16;
 
+use crate::ecc::{EccCode, EccConfig, RepairOutcome};
 use crate::engine::Classification;
 use crate::error::NnError;
 use crate::harden::{
@@ -45,6 +46,39 @@ fn q_parametric_buffers(layer: &QLayer) -> Option<(&[Q16_16], &[Q16_16])> {
         }
         _ => None,
     }
+}
+
+/// Mutable view of the buffers [`q_parametric_buffers`] covers (repair
+/// write-back path).
+fn q_parametric_buffers_mut(layer: &mut QLayer) -> Option<(&mut [Q16_16], &mut [Q16_16])> {
+    match layer {
+        QLayer::Dense { weights, bias, .. } | QLayer::Conv2d { weights, bias, .. } => {
+            Some((weights, bias))
+        }
+        _ => None,
+    }
+}
+
+/// Encodes one ECC sidecar per golden (checksummed) quantised layer, over
+/// the same raw Q16.16 word stream the CRC covers.
+fn encode_q_sidecars(
+    model: &QModel,
+    golden: &[(usize, u32)],
+    config: EccConfig,
+) -> Result<Vec<EccCode>, NnError> {
+    golden
+        .iter()
+        .map(|&(layer, _)| {
+            let (weights, bias) = q_parametric_buffers(&model.layers()[layer])
+                .expect("golden entries index parametric layers");
+            let words: Vec<u32> = weights
+                .iter()
+                .chain(bias)
+                .map(|q| q.to_bits() as u32)
+                .collect();
+            EccCode::encode(&words, config)
+        })
+        .collect()
 }
 
 /// CRC-32 of one quantised layer's parameters (`None` for non-parametric
@@ -230,12 +264,16 @@ pub struct HardenedQEngine {
     buf_a: Vec<Q16_16>,
     buf_b: Vec<Q16_16>,
     golden: Vec<(usize, u32)>,
+    sidecars: Vec<EccCode>,
     config: HardenConfig,
     guard: Option<QActivationGuard>,
     sink: Option<HealthSink>,
     events: Vec<HealthEvent>,
     decisions: u64,
     events_seen: u64,
+    /// Decisions `< synced_to` have had their scheduled repairs applied to
+    /// *this* replica's weights (see the float twin in `harden.rs`).
+    synced_to: u64,
 }
 
 impl HardenedQEngine {
@@ -249,17 +287,23 @@ impl HardenedQEngine {
         config.validate()?;
         let cap = model.max_activation_len();
         let golden = qlayer_checksums(&model);
+        let sidecars = match config.repair {
+            Some(ecc) => encode_q_sidecars(&model, &golden, ecc)?,
+            None => Vec::new(),
+        };
         Ok(HardenedQEngine {
             model,
             buf_a: vec![Q16_16::ZERO; cap],
             buf_b: vec![Q16_16::ZERO; cap],
             golden,
+            sidecars,
             config,
             guard: None,
             sink: None,
             events: Vec::new(),
             decisions: 0,
             events_seen: 0,
+            synced_to: 0,
         })
     }
 
@@ -339,9 +383,140 @@ impl HardenedQEngine {
         &mut self.model
     }
 
-    /// Re-captures golden checksums from the current parameters.
+    /// Re-captures golden checksums (and, when repair is enabled, ECC
+    /// sidecars) from the current parameters.
     pub fn rebaseline(&mut self) {
         self.golden = qlayer_checksums(&self.model);
+        if let Some(ecc) = self.config.repair {
+            self.sidecars = encode_q_sidecars(&self.model, &self.golden, ecc)
+                .expect("ecc config was validated at construction");
+        }
+    }
+
+    /// ECC sidecar memory as a fraction of the protected parameter bits.
+    /// `None` when repair is disabled or there is nothing to protect.
+    pub fn sidecar_overhead(&self) -> Option<f64> {
+        if self.sidecars.is_empty() {
+            return None;
+        }
+        let sidecar: u64 = self.sidecars.iter().map(EccCode::sidecar_bits).sum();
+        let data: u64 = self
+            .sidecars
+            .iter()
+            .map(|c| c.protected_words() as u64 * 32)
+            .sum();
+        if data == 0 {
+            return None;
+        }
+        Some(sidecar as f64 / data as f64)
+    }
+
+    /// Declares that every scheduled repair before `index` is already
+    /// reflected in this replica's weights (pool dispatch path; see the
+    /// float twin in `harden.rs`).
+    pub(crate) fn sync_to(&mut self, index: u64) {
+        self.synced_to = self.synced_to.max(index);
+    }
+
+    /// Replays the silent repairs a sequential engine would have applied
+    /// on the scheduled checks in `[synced_to, index)`.
+    fn catch_up(&mut self, index: u64) {
+        let cadence = self.config.crc_cadence;
+        let t0 = self.synced_to.div_ceil(cadence);
+        let t1 = index.div_ceil(cadence);
+        if t0 >= t1 {
+            return;
+        }
+        match self.config.crc_strategy {
+            CrcStrategy::Full => {
+                for gi in 0..self.golden.len() {
+                    self.silent_repair(gi);
+                }
+            }
+            CrcStrategy::Rotating => {
+                let len = self.golden.len() as u64;
+                if t1 - t0 >= len {
+                    for gi in 0..self.golden.len() {
+                        self.silent_repair(gi);
+                    }
+                } else {
+                    for t in t0..t1 {
+                        self.silent_repair((t % len) as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Repairs golden slot `gi` if its CRC mismatches, without reporting.
+    fn silent_repair(&mut self, gi: usize) {
+        let (layer, expected) = self.golden[gi];
+        let actual = qlayer_checksum(&self.model.layers()[layer])
+            .expect("golden entries index parametric layers");
+        if expected != actual {
+            self.attempt_repair(gi);
+        }
+    }
+
+    /// Runs one scheduled CRC check over golden slot `gi`, attempting an
+    /// in-place ECC repair before escalating when repair is enabled.
+    fn check_slot(&mut self, gi: usize, staleness: u64) {
+        let (layer, expected) = self.golden[gi];
+        let actual = qlayer_checksum(&self.model.layers()[layer])
+            .expect("golden entries index parametric layers");
+        if expected == actual {
+            return;
+        }
+        if self.config.repair.is_some() {
+            if let Some((word, bit)) = self.attempt_repair(gi) {
+                self.events.push(HealthEvent::CorrectedFault {
+                    layer,
+                    word,
+                    bit,
+                    staleness,
+                });
+                return;
+            }
+        }
+        self.events.push(HealthEvent::ChecksumMismatch {
+            layer,
+            expected,
+            actual,
+            staleness,
+        });
+    }
+
+    /// Tries to ECC-correct golden slot `gi`'s parameters; writes back
+    /// exactly one word only after the corrected stream re-verifies
+    /// against the golden CRC.
+    fn attempt_repair(&mut self, gi: usize) -> Option<(usize, u32)> {
+        let (layer, expected) = self.golden[gi];
+        let sidecar = &self.sidecars[gi];
+        let (weights, bias) = q_parametric_buffers(&self.model.layers()[layer])
+            .expect("golden entries index parametric layers");
+        let n_weights = weights.len();
+        let mut words: Vec<u32> = weights
+            .iter()
+            .chain(bias)
+            .map(|q| q.to_bits() as u32)
+            .collect();
+        match sidecar.repair(&mut words) {
+            RepairOutcome::Corrected { word, bit } => {
+                if crc32_words(words.iter().copied()) != expected {
+                    return None;
+                }
+                let repaired = Q16_16::from_bits(words[word] as i32);
+                let (weights, bias) = q_parametric_buffers_mut(&mut self.model.layers_mut()[layer])
+                    .expect("golden entries index parametric layers");
+                if word < n_weights {
+                    weights[word] = repaired;
+                } else {
+                    bias[word - n_weights] = repaired;
+                }
+                Some((word, bit))
+            }
+            RepairOutcome::Clean | RepairOutcome::Uncorrectable => None,
+        }
     }
 
     /// Golden `(layer, crc)` pairs currently enforced.
@@ -448,39 +623,34 @@ impl HardenedQEngine {
         self.events.clear();
         self.buf_a[..input.len()].copy_from_slice(input);
 
-        if self.config.crc_cadence > 0
-            && index.is_multiple_of(self.config.crc_cadence)
-            && !self.golden.is_empty()
-        {
-            let staleness = self.staleness_bound().unwrap_or(0);
-            let verify = |golden: &(usize, u32), events: &mut Vec<HealthEvent>, model: &QModel| {
-                let &(layer, expected) = golden;
-                let actual = qlayer_checksum(&model.layers()[layer])
-                    .expect("golden entries index parametric layers");
-                if expected != actual {
-                    events.push(HealthEvent::ChecksumMismatch {
-                        layer,
-                        expected,
-                        actual,
-                        staleness,
-                    });
-                }
-            };
-            match self.config.crc_strategy {
-                CrcStrategy::Full => {
-                    for golden in &self.golden {
-                        verify(golden, &mut self.events, &self.model);
+        if self.config.crc_cadence > 0 && !self.golden.is_empty() {
+            // See the float twin in `harden.rs`: pooled replicas first
+            // replay the silent repairs of skipped scheduled checks so
+            // their weights match the sequential reference before the
+            // layer loop reads them.
+            if self.config.repair.is_some() {
+                self.catch_up(index);
+            }
+            if index.is_multiple_of(self.config.crc_cadence) {
+                let staleness = self.staleness_bound().unwrap_or(0);
+                match self.config.crc_strategy {
+                    CrcStrategy::Full => {
+                        for gi in 0..self.golden.len() {
+                            self.check_slot(gi, staleness);
+                        }
+                    }
+                    CrcStrategy::Rotating => {
+                        // Cursor derived from the global decision index,
+                        // never from engine-local state: pooled replicas
+                        // replaying the same decision verify the same
+                        // layer.
+                        let tick = index / self.config.crc_cadence;
+                        let slot = (tick % self.golden.len() as u64) as usize;
+                        self.check_slot(slot, staleness);
                     }
                 }
-                CrcStrategy::Rotating => {
-                    // Cursor derived from the global decision index, never
-                    // from engine-local state: pooled replicas replaying
-                    // the same decision verify the same layer.
-                    let tick = index / self.config.crc_cadence;
-                    let slot = (tick % self.golden.len() as u64) as usize;
-                    verify(&self.golden[slot], &mut self.events, &self.model);
-                }
             }
+            self.synced_to = self.synced_to.max(index + 1);
         }
 
         let mut cur_shape = expected;
@@ -588,6 +758,12 @@ impl HardenedQPool {
         inputs: &[I],
     ) -> Result<Vec<CheckedClassification>, NnError> {
         let base = self.dispatched;
+        // Strikes land between batches and hit every replica identically;
+        // re-sync so repair catch-up never replays pre-strike checks (see
+        // `HardenedPool::classify_batch`).
+        for worker in &mut self.workers {
+            worker.sync_to(base);
+        }
         let indexed: Vec<(u64, &[Q16_16])> = inputs
             .iter()
             .enumerate()
@@ -801,6 +977,121 @@ mod tests {
         let mut b = HardenedQEngine::new(q, HardenConfig::default()).unwrap();
         b.calibrate(&qinputs(16)).unwrap();
         assert_eq!(a.guard, b.guard, "same data, same envelopes");
+    }
+
+    #[test]
+    fn ecc_repairs_single_qweight_flip_and_keeps_serving() {
+        let q = qmodel(9);
+        let config = HardenConfig {
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let mut hardened = HardenedQEngine::new(q.clone(), config).unwrap();
+        let mut reference = QEngine::new(q);
+        let input = &qinputs(1)[0];
+        hardened.infer(input).unwrap();
+        assert!(hardened.last_events().is_empty());
+
+        let last_layer = hardened.golden_checksums().last().unwrap().0;
+        if let QLayer::Dense { weights, .. } = &mut hardened.model_mut().layers_mut()[last_layer] {
+            weights[0] = Q16_16::from_bits(weights[0].to_bits() ^ (1 << 30));
+        }
+        let expected = reference.classify(input).unwrap();
+        let got = hardened.classify(input).unwrap();
+        assert_eq!(got, expected, "corrected decision must match pristine");
+        assert!(
+            matches!(
+                hardened.last_events(),
+                [HealthEvent::CorrectedFault { layer, word: 0, bit: 30, .. }]
+                    if *layer == last_layer
+            ),
+            "events: {:?}",
+            hardened.last_events()
+        );
+        hardened.infer(input).unwrap();
+        assert!(hardened.last_events().is_empty(), "the fault is gone");
+        let overhead = hardened.sidecar_overhead().unwrap();
+        assert!(
+            (0.05..0.10).contains(&overhead),
+            "unexpected overhead {overhead}"
+        );
+    }
+
+    #[test]
+    fn ecc_leaves_double_qflips_on_the_escalation_path() {
+        let config = HardenConfig {
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let mut hardened = HardenedQEngine::new(qmodel(10), config).unwrap();
+        let input = &qinputs(1)[0];
+        hardened.infer(input).unwrap();
+        let layer = hardened.golden_checksums()[0].0;
+        if let QLayer::Dense { weights, .. } = &mut hardened.model_mut().layers_mut()[layer] {
+            weights[0] = Q16_16::from_bits(weights[0].to_bits() ^ 1);
+            weights[1] = Q16_16::from_bits(weights[1].to_bits() ^ (1 << 7));
+        }
+        hardened.infer(input).unwrap();
+        assert!(
+            hardened.last_events().iter().any(
+                |e| matches!(e, HealthEvent::ChecksumMismatch { layer: l, .. } if *l == layer)
+            ),
+            "double flip must escalate: {:?}",
+            hardened.last_events()
+        );
+        assert!(
+            !hardened
+                .last_events()
+                .iter()
+                .any(|e| matches!(e, HealthEvent::CorrectedFault { .. })),
+            "double flip must never be miscorrected"
+        );
+    }
+
+    #[test]
+    fn repair_pool_matches_sequential_for_any_worker_count() {
+        // Replicas cloned from a struck engine all carry the corruption;
+        // the scheduled repair mutates their weight state mid-stream, and
+        // catch-up must keep pooled output byte-identical to sequential.
+        for strategy in [CrcStrategy::Full, CrcStrategy::Rotating] {
+            let config = HardenConfig {
+                crc_cadence: 2,
+                crc_strategy: strategy,
+                repair: Some(EccConfig { block_words: 8 }),
+                ..HardenConfig::default()
+            };
+            let mut engine = HardenedQEngine::new(qmodel(11), config).unwrap();
+            let inputs = qinputs(16);
+            engine.calibrate(&inputs).unwrap();
+            let last_layer = engine.golden_checksums().last().unwrap().0;
+            if let QLayer::Dense { weights, .. } = &mut engine.model_mut().layers_mut()[last_layer]
+            {
+                weights[0] = Q16_16::from_bits(weights[0].to_bits() ^ (1 << 12));
+            }
+
+            let mut sequential = Vec::new();
+            let mut seq = engine.clone();
+            for (k, input) in inputs.iter().enumerate() {
+                let classification = seq.classify_indexed(k as u64, input).unwrap();
+                sequential.push(CheckedClassification {
+                    classification,
+                    events: seq.last_events().to_vec(),
+                    injections: Vec::new(),
+                });
+            }
+            assert!(
+                sequential
+                    .iter()
+                    .flat_map(|r| &r.events)
+                    .any(|e| matches!(e, HealthEvent::CorrectedFault { .. })),
+                "{strategy:?}: the strike must be corrected somewhere"
+            );
+            for workers in [1usize, 2, 4, 8] {
+                let mut pool = HardenedQPool::new(&engine, workers).unwrap();
+                let batched = pool.classify_batch(&inputs).unwrap();
+                assert_eq!(batched, sequential, "{strategy:?}, {workers} workers");
+            }
+        }
     }
 
     #[test]

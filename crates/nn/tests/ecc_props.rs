@@ -1,0 +1,75 @@
+//! Property tests for the ECC sidecar codec: single-bit flips always
+//! decode-correct back to the golden words, and double-bit flips are
+//! always flagged uncorrectable — never silently miscorrected.
+
+use proptest::prelude::*;
+use safex_nn::{EccCode, EccConfig, RepairOutcome};
+use safex_tensor::DetRng;
+
+fn golden_words(seed: u64, len: usize) -> Vec<u32> {
+    let mut rng = DetRng::new(seed);
+    (0..len).map(|_| rng.next_u64() as u32).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For every block size and every single-bit flip position, repair
+    /// restores the buffer to the golden words and names the exact
+    /// (word, bit) it fixed.
+    #[test]
+    fn any_single_bit_flip_corrects_to_golden(
+        seed in any::<u64>(),
+        block_words in 1usize..64,
+        len in 1usize..160,
+        word_pick in any::<u64>(),
+        bit in 0u32..32,
+    ) {
+        let golden = golden_words(seed, len);
+        let code = EccCode::encode(&golden, EccConfig { block_words }).expect("encode");
+        let word = (word_pick % len as u64) as usize;
+
+        let mut damaged = golden.clone();
+        damaged[word] ^= 1u32 << bit;
+        let outcome = code.repair(&mut damaged);
+        prop_assert_eq!(outcome, RepairOutcome::Corrected { word, bit });
+        prop_assert_eq!(&damaged, &golden, "repair must restore the golden words");
+
+        // And a clean buffer is recognised as clean, untouched.
+        let mut clean = golden.clone();
+        prop_assert_eq!(code.repair(&mut clean), RepairOutcome::Clean);
+        prop_assert_eq!(&clean, &golden);
+    }
+
+    /// Any two-bit flip — same word, same block, or across blocks — is
+    /// flagged uncorrectable and the damaged buffer is left untouched:
+    /// a wrong "repair" is worse than an honest escalation.
+    #[test]
+    fn any_double_bit_flip_is_uncorrectable_never_miscorrected(
+        seed in any::<u64>(),
+        block_words in 1usize..64,
+        len in 2usize..160,
+        pick_a in any::<u64>(),
+        pick_b in any::<u64>(),
+        bit_a in 0u32..32,
+        bit_b in 0u32..32,
+    ) {
+        let golden = golden_words(seed, len);
+        let code = EccCode::encode(&golden, EccConfig { block_words }).expect("encode");
+        let word_a = (pick_a % len as u64) as usize;
+        let word_b = (pick_b % len as u64) as usize;
+        // Two flips at the same position cancel to a clean buffer;
+        // require genuinely distinct damage.
+        prop_assume!(word_a != word_b || bit_a != bit_b);
+
+        let mut damaged = golden.clone();
+        damaged[word_a] ^= 1u32 << bit_a;
+        damaged[word_b] ^= 1u32 << bit_b;
+        let snapshot = damaged.clone();
+        prop_assert_eq!(code.repair(&mut damaged), RepairOutcome::Uncorrectable);
+        prop_assert_eq!(
+            &damaged, &snapshot,
+            "an uncorrectable buffer must not be modified"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Regression test: Rotating CRC composed with ECC repair. A single-bit
+//! flip in the *last* parametric layer — the worst case for the
+//! rotation — must be corrected within `HardenConfig::staleness_bound`
+//! decisions of the flip, never later, and the model must afterwards be
+//! byte-identical to pristine.
+
+use safex_nn::layer::Layer;
+use safex_nn::model::ModelBuilder;
+use safex_nn::{CrcStrategy, EccConfig, HardenConfig, HardenedEngine, HealthEvent, Model};
+use safex_tensor::{DetRng, Shape};
+
+fn model(seed: u64) -> Model {
+    let mut rng = DetRng::new(seed);
+    ModelBuilder::new(Shape::vector(4))
+        .dense(12, &mut rng)
+        .unwrap()
+        .relu()
+        .dense(8, &mut rng)
+        .unwrap()
+        .relu()
+        .dense(3, &mut rng)
+        .unwrap()
+        .softmax()
+        .build()
+        .unwrap()
+}
+
+fn flip_weight_bit(model: &mut Model, layer: usize) {
+    let w = match &mut model.layers_mut()[layer] {
+        Layer::Dense(d) => &mut d.weights_mut()[0],
+        Layer::Conv2d(c) => &mut c.weights_mut()[0],
+        other => panic!("layer {layer} is not parametric: {other:?}"),
+    };
+    *w = f32::from_bits(w.to_bits() ^ 1);
+}
+
+fn weight_bits(model: &Model) -> Vec<u32> {
+    let mut bits = Vec::new();
+    for layer in model.layers() {
+        let (w, b) = match layer {
+            Layer::Dense(d) => (d.weights(), d.bias()),
+            Layer::Conv2d(c) => (c.weights(), c.bias()),
+            _ => continue,
+        };
+        bits.extend(w.iter().map(|v| v.to_bits()));
+        bits.extend(b.iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+#[test]
+fn rotating_crc_repairs_last_layer_within_staleness_bound_never_later() {
+    for cadence in [1u64, 3] {
+        let config = HardenConfig {
+            crc_cadence: cadence,
+            crc_strategy: CrcStrategy::Rotating,
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let pristine = model(21);
+        let golden_bits = weight_bits(&pristine);
+        let mut hardened = HardenedEngine::new(pristine, config).unwrap();
+        let layers = hardened.golden_checksums().len() as u64;
+        let bound = hardened.staleness_bound().unwrap();
+        assert_eq!(bound, layers * cadence);
+        let last_layer = hardened.golden_checksums().last().unwrap().0;
+        let input = [0.1, 0.2, 0.3, 0.4];
+
+        // A few clean decisions first, so the flip lands mid-rotation.
+        for _ in 0..3 {
+            hardened.infer(&input).unwrap();
+            assert!(hardened.last_events().is_empty());
+        }
+        let flip_at = hardened.decision_count();
+        flip_weight_bit(hardened.model_mut(), last_layer);
+
+        let mut corrected_at = None;
+        for _ in 0..2 * bound {
+            hardened.infer(&input).unwrap();
+            for e in hardened.last_events() {
+                match e {
+                    HealthEvent::CorrectedFault {
+                        layer,
+                        word,
+                        bit,
+                        staleness,
+                    } if *layer == last_layer => {
+                        assert_eq!((*word, *bit), (0, 0), "repair must name the exact flip");
+                        assert_eq!(*staleness, bound);
+                        corrected_at = Some(hardened.decision_count() - 1);
+                    }
+                    other => panic!(
+                        "cadence {cadence}: only a CorrectedFault may surface, got {other:?}"
+                    ),
+                }
+            }
+            if corrected_at.is_some() {
+                break;
+            }
+        }
+        let corrected_at = corrected_at.expect("one full rotation must repair the corrupted layer");
+        assert!(
+            corrected_at - flip_at < bound,
+            "cadence {cadence}: flip at {flip_at} corrected at {corrected_at}, bound {bound}"
+        );
+
+        // The repair is real: weights are byte-identical to pristine and
+        // the remainder of the rotation stays silent.
+        assert_eq!(weight_bits(hardened.model()), golden_bits);
+        for _ in 0..2 * bound {
+            hardened.infer(&input).unwrap();
+            assert!(
+                hardened.last_events().is_empty(),
+                "cadence {cadence}: no event may fire after the repair"
+            );
+        }
+    }
+}

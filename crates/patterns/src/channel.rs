@@ -138,6 +138,16 @@ impl HardenedChannel {
             .expect("hardened engine poisoned")
             .staleness_bound()
     }
+
+    /// ECC sidecar memory as a fraction of the protected parameter bits;
+    /// `None` when repair is disabled. Mirrors
+    /// [`HardenedEngine::sidecar_overhead`].
+    pub fn sidecar_overhead(&self) -> Option<f64> {
+        self.engine
+            .lock()
+            .expect("hardened engine poisoned")
+            .sidecar_overhead()
+    }
 }
 
 impl Channel for HardenedChannel {
@@ -240,6 +250,15 @@ impl HardenedQuantChannel {
             .lock()
             .expect("hardened quantised engine poisoned")
             .staleness_bound()
+    }
+
+    /// ECC sidecar memory as a fraction of the protected parameter bits;
+    /// `None` when repair is disabled.
+    pub fn sidecar_overhead(&self) -> Option<f64> {
+        self.engine
+            .lock()
+            .expect("hardened quantised engine poisoned")
+            .sidecar_overhead()
     }
 }
 

@@ -14,7 +14,9 @@
 //! regardless of pool worker count.
 
 use safex_core::SafePipeline;
-use safex_nn::{apply_weight_flips, FaultInjector, HardenedEngine, HardenedPool, WeightFlip};
+use safex_nn::{
+    apply_weight_flips, FaultInjector, HardenedEngine, HardenedPool, HealthEvent, WeightFlip,
+};
 use safex_patterns::Action;
 
 use crate::error::ServeError;
@@ -31,6 +33,11 @@ pub enum BatchVerdict {
         /// `true` when hardening diagnostics (or the pattern) flagged
         /// this decision — the server feeds this into its health ladder.
         flagged: bool,
+        /// `true` when a weight fault was detected *and repaired in
+        /// place* (ECC sidecar) during this decision. Corrected faults
+        /// are warnings, not failures: the server keeps serving and
+        /// only degrades when a bounded warning budget is exhausted.
+        corrected: bool,
     },
     /// The backend itself demanded a safe stop for this item.
     Stop,
@@ -113,10 +120,23 @@ impl Backend for PoolBackend {
         let out = self.pool.classify_batch(inputs)?;
         Ok(out
             .into_iter()
-            .map(|c| BatchVerdict::Ok {
-                class: c.classification.class,
-                confidence: c.classification.confidence,
-                flagged: !c.events.is_empty(),
+            .map(|c| {
+                let corrected = c
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, HealthEvent::CorrectedFault { .. }));
+                // Only *uncorrected* diagnostics flag the decision;
+                // repaired faults ride the warning tier instead.
+                let flagged = c
+                    .events
+                    .iter()
+                    .any(|e| !matches!(e, HealthEvent::CorrectedFault { .. }));
+                BatchVerdict::Ok {
+                    class: c.classification.class,
+                    confidence: c.classification.confidence,
+                    flagged,
+                    corrected,
+                }
             })
             .collect())
     }
@@ -154,6 +174,7 @@ impl Backend for PipelineBackend {
                     class,
                     confidence,
                     flagged: false,
+                    corrected: false,
                 },
                 Action::Fallback { class, .. } => BatchVerdict::Ok {
                     class,
@@ -161,6 +182,7 @@ impl Backend for PipelineBackend {
                     // carry no confidence score.
                     confidence: 0.0,
                     flagged: true,
+                    corrected: false,
                 },
                 Action::SafeStop { .. } => BatchVerdict::Stop,
                 // `Action` is #[non_exhaustive]; treat unknown variants

@@ -23,7 +23,7 @@
 //! Every ladder transition is appended to the evidence chain with the
 //! tick and the request that triggered it.
 
-use safex_core::health::{HealthMonitor, HealthState};
+use safex_core::health::{HealthMonitor, HealthState, HealthVerdict};
 use safex_trace::json::Json;
 use safex_trace::{EvidenceChain, RecordKind, Value};
 
@@ -288,15 +288,35 @@ impl<B: Backend> Server<B> {
             free_at = done_at;
 
             for (pending, verdict) in live.into_iter().zip(verdicts) {
-                let (stop, flagged, class, confidence) = match verdict {
-                    BatchVerdict::Stop => (true, true, 0, 0.0),
+                let (stop, flagged, corrected, class, confidence) = match verdict {
+                    BatchVerdict::Stop => (true, true, false, 0, 0.0),
                     BatchVerdict::Ok {
                         class,
                         confidence,
                         flagged,
-                    } => (false, flagged, class, confidence),
+                        corrected,
+                    } => (false, flagged, corrected, class, confidence),
                 };
-                if let Some(t) = self.monitor.step(stop || flagged) {
+                // Corrected faults are warnings: the ladder only walks
+                // when the bounded warning budget is exhausted.
+                let health = if stop || flagged {
+                    HealthVerdict::Unhealthy
+                } else if corrected {
+                    HealthVerdict::Warning
+                } else {
+                    HealthVerdict::Clean
+                };
+                if corrected && !flagged && !stop {
+                    self.chain.append(
+                        RecordKind::FaultCorrected,
+                        vec![
+                            ("server".into(), Value::Str("safex-serve".into())),
+                            ("at_tick".into(), Value::U64(done_at)),
+                            ("request".into(), Value::U64(pending.request.id)),
+                        ],
+                    );
+                }
+                if let Some(t) = self.monitor.step_verdict(health) {
                     let transition = ServiceTransition {
                         from: t.from,
                         to: t.to,

@@ -217,6 +217,7 @@ fn weight_strike_walks_the_ladder_with_zero_silent_corruption() {
             stop_events: 6,
             recover_after: 16,
             resume_after: 0,
+            warn_budget: 3,
         },
         ..ServerConfig::default()
     };
@@ -289,6 +290,7 @@ fn weight_strike_walks_the_ladder_with_zero_silent_corruption() {
                 stop_events: 6,
                 recover_after: 16,
                 resume_after: 0,
+                warn_budget: 3,
             },
             ..ServerConfig::default()
         },
@@ -322,6 +324,7 @@ fn safe_stop_fails_all_requests_without_execution() {
             stop_events: 1,
             recover_after: 16,
             resume_after: 0,
+            warn_budget: 3,
         },
         ..ServerConfig::default()
     };

@@ -28,6 +28,8 @@ pub enum RecordKind {
     VerificationOutcome,
     /// The runtime health monitor changed state (degradation ladder).
     HealthTransition,
+    /// A weight-memory fault was detected and corrected in place (ECC).
+    FaultCorrected,
 }
 
 impl RecordKind {
@@ -45,6 +47,7 @@ impl RecordKind {
             RecordKind::TimingAnalysis => "timing_analysis",
             RecordKind::VerificationOutcome => "verification_outcome",
             RecordKind::HealthTransition => "health_transition",
+            RecordKind::FaultCorrected => "fault_corrected",
         }
     }
 }

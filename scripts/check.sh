@@ -1,23 +1,54 @@
 #!/usr/bin/env bash
 # Local quality gate: formatting, lints, and the full test suite.
 # Mirrors what CI would run; keep it green before pushing.
+#
+# Usage:
+#   scripts/check.sh              # full gate: fmt, clippy, benches, tests, quick bench
+#   scripts/check.sh --tests-only # fast tier: just the workspace test suite
+#                                 # (plus the test-count floor below)
+#
+# Either mode counts the tests the workspace actually ran and fails if
+# the total drops below the floor recorded in scripts/test_baseline —
+# a silently deleted or no-longer-compiled test binary is a regression,
+# not a cleanup.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+TESTS_ONLY=0
+if [[ "${1:-}" == "--tests-only" ]]; then
+    TESTS_ONLY=1
+fi
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+if [[ "$TESTS_ONLY" == 0 ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
 
-echo "==> cargo build --benches"
-cargo build --benches
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q"
-cargo test -q
+    echo "==> cargo build --benches"
+    cargo build --benches
+fi
 
-echo "==> scripts/bench.sh --quick"
-scripts/bench.sh --quick
+echo "==> cargo test -q --workspace"
+TEST_LOG="$(mktemp)"
+trap 'rm -f "$TEST_LOG"' EXIT
+cargo test -q --workspace 2>&1 | tee "$TEST_LOG"
+
+# Sum the "N passed" counts over every test binary and doc-test run.
+TOTAL=$(awk '/^test result: ok\./ { for (i = 1; i <= NF; i++) if ($(i+1) == "passed;") sum += $i } END { print sum + 0 }' "$TEST_LOG")
+BASELINE=$(cat scripts/test_baseline)
+echo "==> workspace test count: $TOTAL (baseline $BASELINE)"
+if [[ "$TOTAL" -lt "$BASELINE" ]]; then
+    echo "error: workspace ran $TOTAL tests, below the recorded baseline of $BASELINE." >&2
+    echo "       If tests were intentionally consolidated, update scripts/test_baseline." >&2
+    exit 1
+fi
+
+if [[ "$TESTS_ONLY" == 0 ]]; then
+    echo "==> scripts/bench.sh --quick"
+    scripts/bench.sh --quick
+fi
 
 echo "All checks passed."

@@ -43,6 +43,7 @@ fn escalating_faults_walk_the_ladder_with_evidence() {
         stop_events: 4,
         recover_after: 4,
         resume_after: 6,
+        warn_budget: 3,
     })
     .expect("config");
     let mut pipeline = PipelineBuilder::new("degradation", Sil::Sil2)
