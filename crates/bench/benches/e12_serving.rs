@@ -18,8 +18,8 @@ use safex_bench::workload;
 use safex_core::health::{HealthConfig, HealthState};
 use safex_nn::{Engine, HardenConfig, HardenedEngine};
 use safex_serve::{
-    Backend, BatchPolicy, Outcome, PoolBackend, Server, ServerConfig, ServiceModel, Tier,
-    TrafficConfig,
+    Backend, BatchPolicy, Fleet, ModelId, Outcome, PoolBackend, Server, ServerConfig, ServiceModel,
+    Tier, TrafficConfig,
 };
 
 fn inputs() -> Vec<Vec<f32>> {
@@ -44,16 +44,15 @@ const SERVICE: ServiceModel = ServiceModel {
 };
 
 fn server_config(max_batch: usize) -> ServerConfig {
-    ServerConfig {
-        policy: BatchPolicy {
-            max_batch,
-            queue_cap: 64,
-            flush_slack: 40,
-            max_linger: 24,
-        },
-        service: SERVICE,
-        ..ServerConfig::default()
-    }
+    ServerConfig::default()
+        .with_policy(
+            BatchPolicy::default()
+                .with_max_batch(max_batch)
+                .with_queue_cap(64)
+                .with_flush_slack(40)
+                .with_max_linger(24),
+        )
+        .with_service(SERVICE)
 }
 
 fn print_tables() {
@@ -82,7 +81,7 @@ fn print_tables() {
             .synthesize(&stream)
             .expect("trace");
             let backend = PoolBackend::new(&engine, 2).expect("pool");
-            let mut server = Server::new(server_config(max_batch), backend).expect("server");
+            let mut server = Server::single(server_config(max_batch), backend).expect("server");
             let report = server.run_trace(&trace).expect("run");
             let s = &report.snapshot;
             println!(
@@ -137,26 +136,27 @@ fn print_tables() {
     }
     .synthesize(&stream)
     .expect("trace");
-    let faulted_config = ServerConfig {
-        health: HealthConfig {
-            window: 16,
-            degrade_events: 2,
-            stop_events: 8,
-            recover_after: 32,
-            resume_after: 0,
-            warn_budget: 3,
-        },
-        ..server_config(16)
-    };
-    let strike = |request: &safex_serve::Request, backend: &mut PoolBackend| {
+    let faulted_config = server_config(16).with_health(HealthConfig {
+        window: 16,
+        degrade_events: 2,
+        stop_events: 8,
+        recover_after: 32,
+        resume_after: 0,
+        warn_budget: 3,
+    });
+    let strike = |request: &safex_serve::Request, fleet: &mut Fleet<PoolBackend>| {
         if request.id == 200 {
-            backend.strike_weights(0xDEAD_BEEF, 1, 2).expect("strike");
+            fleet
+                .backend_mut(ModelId::new(0))
+                .expect("member")
+                .strike_weights(0xDEAD_BEEF, 1, 2)
+                .expect("strike");
         }
     };
     let mut reference_report = None;
     for workers in [1usize, 2, 4, 8] {
         let backend = PoolBackend::new(&engine, workers).expect("pool");
-        let mut server = Server::new(faulted_config.clone(), backend).expect("server");
+        let mut server = Server::single(faulted_config.clone(), backend).expect("server");
         let report = server.run_trace_with(&trace, strike).expect("run");
         match &reference_report {
             None => {
@@ -245,7 +245,7 @@ fn bench(c: &mut Criterion) {
     .expect("trace");
     for max_batch in [1usize, 16] {
         let backend = PoolBackend::new(&engine, 2).expect("pool");
-        let mut server = Server::new(server_config(max_batch), backend).expect("server");
+        let mut server = Server::single(server_config(max_batch), backend).expect("server");
         group.bench_function(format!("replay_200_requests_batch{max_batch}"), |b| {
             b.iter(|| std::hint::black_box(server.run_trace(&trace).expect("run").responses.len()))
         });

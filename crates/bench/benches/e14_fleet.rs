@@ -1,0 +1,341 @@
+//! Experiment E14: fleet serving — multi-model routing, admission
+//! fairness, and the verified-result cache.
+//!
+//! Three questions, in certification order:
+//!
+//! 1. **Fail-operational fleet** — when one of three independently
+//!    hardened members takes a persistent weight strike mid-traffic,
+//!    does *that member alone* walk Nominal → Degraded → SafeStop while
+//!    the fleet keeps every high-criticality answer (in-flight work
+//!    failing over to healthy peers)?
+//! 2. **Cache economics** — what fraction of a repeating input stream is
+//!    answered from the verified-result cache, with every hit on the
+//!    evidence chain?
+//! 3. **Fairness** — under a low-tier flood, how much best-effort work
+//!    do aging + reserved slots recover versus strict tier order, and
+//!    what does it cost the high-tier p99?
+//!
+//! Besides criterion timings, this bench appends `e14_fleet/stats/*`
+//! JSON lines (cache hit-rate, per-model time-in-state, fairness
+//! spread) to `SAFEX_BENCH_JSON` for `BENCH_pr6.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_core::health::{HealthConfig, HealthState};
+use safex_nn::{HardenConfig, HardenedEngine};
+use safex_serve::{
+    Arrival, ArrivalTrace, BatchPolicy, CacheConfig, FairnessPolicy, Fleet, ModelId, Outcome,
+    PoolBackend, Request, Server, ServerConfig, Tier, TrafficConfig,
+};
+use safex_tensor::DetRng;
+
+/// A mostly-distinct input stream: each base test sample plus small
+/// deterministic jitter, 400 variants total. The tail of a 600-request
+/// trace revisits them, so the cache gets real hits without starving the
+/// backends of fresh work.
+fn many_inputs() -> Vec<Vec<f32>> {
+    let (_, test, _, _) = workload();
+    let base: Vec<Vec<f32>> = test.samples().iter().map(|s| s.input.clone()).collect();
+    let mut rng = DetRng::new(0xE14);
+    (0..400)
+        .map(|i| {
+            base[i % base.len()]
+                .iter()
+                .map(|x| x + (rng.next_f32() - 0.5) * 0.01)
+                .collect()
+        })
+        .collect()
+}
+
+fn hardened(stream: &[Vec<f32>]) -> HardenedEngine {
+    let (_, _, model, _) = workload();
+    let mut engine = HardenedEngine::new(model.clone(), HardenConfig::default()).expect("harden");
+    engine.calibrate(stream).expect("calibrate");
+    engine
+}
+
+fn three_member_fleet(engine: &HardenedEngine, workers: usize) -> Fleet<PoolBackend> {
+    let mut builder = Fleet::builder();
+    for name in ["alpha", "beta", "gamma"] {
+        builder = builder.register(name, PoolBackend::new(engine, workers).expect("pool"));
+    }
+    builder.build().expect("fleet")
+}
+
+fn fleet_config() -> ServerConfig {
+    ServerConfig::default()
+        .with_health(HealthConfig {
+            window: 16,
+            degrade_events: 2,
+            stop_events: 8,
+            recover_after: 32,
+            resume_after: 0,
+            warn_budget: 3,
+        })
+        .with_cache(CacheConfig::enabled(512))
+}
+
+/// Appends one `{"id":..., "value":...}` stat line next to the criterion
+/// timing lines, so `scripts/bench.sh` collects experiment numbers and
+/// timings in the same artefact.
+fn emit_stat(id: &str, value: f64) {
+    use std::io::Write;
+    if let Some(path) = std::env::var_os("SAFEX_BENCH_JSON") {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{{\"id\":\"{id}\",\"value\":{value}}}");
+            }
+            Err(e) => eprintln!("warning: could not append to {path:?}: {e}"),
+        }
+    }
+}
+
+fn print_tables() {
+    let stream = many_inputs();
+    let engine = hardened(&stream);
+
+    // ---- 1+2. Struck member, healthy fleet, warm cache. ------------------
+    println!("\n=== E14: 3-member fleet, persistent weight strike on beta at request 200 ===");
+    let trace = TrafficConfig {
+        seed: 0xE14,
+        requests: 600,
+        mean_interarrival: 3.0,
+        deadline: 400,
+        ..TrafficConfig::default()
+    }
+    .synthesize(&stream)
+    .expect("trace");
+    let mut server = Server::new(fleet_config(), three_member_fleet(&engine, 2)).expect("server");
+    let report = server
+        .run_trace_with(
+            &trace,
+            |request: &Request, fleet: &mut Fleet<PoolBackend>| {
+                if request.id == 200 {
+                    fleet
+                        .backend_mut(ModelId::new(1))
+                        .expect("member")
+                        .strike_weights(0xDEAD_BEEF, 1, 2)
+                        .expect("strike");
+                }
+            },
+        )
+        .expect("run");
+
+    for t in &report.transitions {
+        println!(
+            "  {} {} -> {} at tick {} (after request {})",
+            t.model, t.from, t.to, t.at_tick, t.after_request
+        );
+    }
+    println!(
+        "  {:<8} {:<10} {:>9} {:>9} {:>8} {:>8} {:>7} {:>9}",
+        "member", "final", "nominal", "degraded", "stopped", "batches", "items", "completed"
+    );
+    for m in &report.models {
+        let usage = &report.snapshot.models[m.model.index()];
+        println!(
+            "  {:<8} {:<10} {:>9} {:>9} {:>8} {:>8} {:>7} {:>9}",
+            m.name,
+            m.final_state,
+            m.time_nominal,
+            m.time_degraded,
+            m.time_stopped,
+            usage.batches,
+            usage.items,
+            usage.completed,
+        );
+        for (state, ticks) in [
+            ("nominal", m.time_nominal),
+            ("degraded", m.time_degraded),
+            ("stopped", m.time_stopped),
+        ] {
+            emit_stat(
+                &format!("e14_fleet/stats/time_in_state/{}_{state}", m.name),
+                ticks as f64,
+            );
+        }
+    }
+    let s = &report.snapshot;
+    let hit_rate = s.cache_hit_rate();
+    println!(
+        "  cache: {} lookups, {} hits ({:.1}% hit-rate), all on the evidence chain",
+        s.cache_lookups,
+        s.cache_hits,
+        hit_rate * 100.0
+    );
+    emit_stat("e14_fleet/stats/cache_hit_rate", hit_rate);
+
+    // The certification claims, re-checked on the recorded numbers.
+    let walk: Vec<_> = report
+        .transitions
+        .iter()
+        .map(|t| (t.model, t.from, t.to))
+        .collect();
+    let beta = ModelId::new(1);
+    assert_eq!(
+        walk,
+        vec![
+            (beta, HealthState::Nominal, HealthState::Degraded),
+            (beta, HealthState::Degraded, HealthState::SafeStop),
+        ],
+        "only the struck member may move: {walk:?}"
+    );
+    assert_eq!(report.responses.len(), trace.len(), "no silent drops");
+    for r in &report.responses {
+        if r.tier == Tier::High {
+            assert!(
+                matches!(r.outcome, Outcome::Completed { .. }),
+                "high-criticality request {} not served: {:?}",
+                r.id,
+                r.outcome
+            );
+        }
+    }
+    assert!(s.cache_hits > 0, "the repeating tail must hit the cache");
+    assert_eq!(
+        server
+            .evidence()
+            .records_of_kind(safex_trace::RecordKind::CacheHit)
+            .len() as u64,
+        s.cache_hits,
+        "every cache hit must be on the evidence chain"
+    );
+    assert!(server.evidence().verify().is_ok());
+
+    // ---- 3. Fairness: low-tier flood, aging+reserved vs strict. ----------
+    println!("\n=== E14b: low-tier flood, fairness aging+reserved vs strict tier order ===");
+    let mut arrivals = Vec::new();
+    let mut id = 0u64;
+    for at in (0..1600u64).step_by(2) {
+        arrivals.push(Arrival {
+            at: at + 1,
+            request: Request::new(
+                id,
+                stream[id as usize % stream.len()].clone(),
+                Tier::Low,
+                at + 301,
+            ),
+        });
+        id += 1;
+        if at % 8 == 0 {
+            arrivals.push(Arrival {
+                at: at + 1,
+                request: Request::new(
+                    id,
+                    stream[id as usize % stream.len()].clone(),
+                    Tier::High,
+                    at + 301,
+                ),
+            });
+            id += 1;
+        }
+    }
+    let flood = ArrivalTrace::from_arrivals(arrivals).expect("flood");
+    let flood_config = |fairness: FairnessPolicy| {
+        ServerConfig::default()
+            .with_policy(
+                BatchPolicy::default()
+                    .with_max_batch(4)
+                    .with_queue_cap(64)
+                    .with_max_linger(16),
+            )
+            .with_fairness(fairness)
+    };
+    println!(
+        "  {:<8} {:>9} {:>9} {:>9} {:>9}",
+        "mode", "low_done", "low_shed", "high_p99", "high_done"
+    );
+    let mut low_done = [0u64; 2];
+    let mut high_p99 = [0u64; 2];
+    for (slot, (mode, fairness)) in [
+        ("fair", FairnessPolicy::default()),
+        ("strict", FairnessPolicy::strict()),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut builder = Fleet::builder();
+        for name in ["alpha", "beta"] {
+            builder = builder.register(name, PoolBackend::new(&engine, 1).expect("pool"));
+        }
+        let fleet = builder.build().expect("fleet");
+        let mut server = Server::new(flood_config(fairness), fleet).expect("server");
+        let report = server.run_trace(&flood).expect("run");
+        let s = &report.snapshot;
+        low_done[slot] = s.completed[Tier::Low.index()];
+        high_p99[slot] = s.tier_latency[Tier::High.index()].p99;
+        println!(
+            "  {:<8} {:>9} {:>9} {:>9} {:>9}",
+            mode,
+            s.completed[Tier::Low.index()],
+            s.total_shed() + s.timeout.iter().sum::<u64>(),
+            s.tier_latency[Tier::High.index()].p99,
+            s.completed[Tier::High.index()],
+        );
+        assert_eq!(
+            s.timeout[Tier::High.index()] + s.safe_stop[Tier::High.index()],
+            0,
+            "{mode}: the flood must never cost high-tier answers"
+        );
+        emit_stat(
+            &format!("e14_fleet/stats/fairness/low_completed_{mode}"),
+            low_done[slot] as f64,
+        );
+        emit_stat(
+            &format!("e14_fleet/stats/fairness/high_p99_{mode}"),
+            high_p99[slot] as f64,
+        );
+    }
+    assert!(
+        low_done[0] > low_done[1],
+        "aging + reserved slots must recover best-effort work over strict order"
+    );
+    let spread = low_done[0] - low_done[1];
+    println!(
+        "  fairness spread: +{spread} low-tier completions for {} -> {} ticks high-tier p99",
+        high_p99[1], high_p99[0]
+    );
+    emit_stat(
+        "e14_fleet/stats/fairness/spread_low_completions",
+        spread as f64,
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let stream = many_inputs();
+    let engine = hardened(&stream);
+    let trace = TrafficConfig {
+        seed: 0xE14,
+        requests: 300,
+        mean_interarrival: 3.0,
+        deadline: 400,
+        ..TrafficConfig::default()
+    }
+    .synthesize(&stream)
+    .expect("trace");
+
+    let mut group = c.benchmark_group("e14_fleet");
+    group.sample_size(10);
+    // Cold path: routing + batching + per-member ladders, no cache.
+    let mut server =
+        Server::new(ServerConfig::default(), three_member_fleet(&engine, 2)).expect("server");
+    group.bench_function("fleet_replay_300_cache_off", |b| {
+        b.iter(|| std::hint::black_box(server.run_trace(&trace).expect("run").responses.len()))
+    });
+    // Warm path: the same trace answered mostly from the verified cache.
+    let mut server = Server::new(fleet_config(), three_member_fleet(&engine, 2)).expect("server");
+    server.run_trace(&trace).expect("warm");
+    group.bench_function("fleet_replay_300_cache_warm", |b| {
+        b.iter(|| std::hint::black_box(server.run_trace(&trace).expect("run").responses.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -57,6 +57,19 @@ pub trait Backend {
     fn serve(&mut self, inputs: &[&[f32]]) -> Result<Vec<BatchVerdict>, ServeError>;
 }
 
+/// Boxed backends forward, so a heterogeneous fleet can be assembled as
+/// `Fleet<Box<dyn Backend>>` when members are of different concrete
+/// types.
+impl<T: Backend + ?Sized> Backend for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn serve(&mut self, inputs: &[&[f32]]) -> Result<Vec<BatchVerdict>, ServeError> {
+        (**self).serve(inputs)
+    }
+}
+
 /// A [`HardenedPool`]-backed backend: replicated hardened engines with
 /// per-item health events.
 #[derive(Debug, Clone)]

@@ -13,7 +13,12 @@ use crate::error::ServeError;
 use crate::queue::Pending;
 
 /// When to flush a forming batch.
+///
+/// `#[non_exhaustive]`: construct with [`BatchPolicy::default`] and the
+/// `with_*` setters — fleet-era knobs can then be added without breaking
+/// downstream literals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct BatchPolicy {
     /// Maximum requests per batch (`>= 1`).
     pub max_batch: usize,
@@ -39,6 +44,34 @@ impl Default for BatchPolicy {
 }
 
 impl BatchPolicy {
+    /// Sets the maximum batch size.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the deadline slack reserved at flush time.
+    #[must_use]
+    pub fn with_flush_slack(mut self, flush_slack: u64) -> Self {
+        self.flush_slack = flush_slack;
+        self
+    }
+
+    /// Sets the maximum linger for the oldest queued entry.
+    #[must_use]
+    pub fn with_max_linger(mut self, max_linger: u64) -> Self {
+        self.max_linger = max_linger;
+        self
+    }
+
+    /// Sets the bounded submission-queue capacity.
+    #[must_use]
+    pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
+        self.queue_cap = queue_cap;
+        self
+    }
+
     /// Validates the policy.
     ///
     /// # Errors
@@ -118,12 +151,7 @@ mod tests {
 
     fn pending(queued_at: u64, deadline: u64) -> Pending {
         Pending {
-            request: Request {
-                id: 0,
-                input: vec![0.0],
-                tier: Tier::Medium,
-                deadline,
-            },
+            request: Request::new(0, vec![0.0], Tier::Medium, deadline),
             queued_at,
         }
     }
@@ -161,22 +189,25 @@ mod tests {
     fn policy_validation() {
         assert!(BatchPolicy::default().validate().is_ok());
         for bad in [
-            BatchPolicy {
-                max_batch: 0,
-                ..BatchPolicy::default()
-            },
-            BatchPolicy {
-                queue_cap: 0,
-                ..BatchPolicy::default()
-            },
-            BatchPolicy {
-                max_batch: 32,
-                queue_cap: 16,
-                ..BatchPolicy::default()
-            },
+            BatchPolicy::default().with_max_batch(0),
+            BatchPolicy::default().with_queue_cap(0),
+            BatchPolicy::default().with_max_batch(32).with_queue_cap(16),
         ] {
             assert!(bad.validate().is_err());
         }
+    }
+
+    #[test]
+    fn setters_cover_every_knob() {
+        let p = BatchPolicy::default()
+            .with_max_batch(4)
+            .with_flush_slack(10)
+            .with_max_linger(20)
+            .with_queue_cap(8);
+        assert_eq!(
+            (p.max_batch, p.flush_slack, p.max_linger, p.queue_cap),
+            (4, 10, 20, 8)
+        );
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! The cross-request result cache: verified answers, keyed by input
+//! digest, on the evidence chain.
+//!
+//! Fleet traffic repeats itself (sensor frames re-sampled, retries,
+//! shared telemetry), and every repeated execution re-spends the
+//! hardening tax — CRC sweeps, guard checks — to recompute a result the
+//! fleet already produced and *verified*. The cache closes that loop
+//! under three safety rules:
+//!
+//! 1. **Only verified results enter.** An entry is inserted only from a
+//!    completed decision that was unflagged, uncorrected, and released
+//!    at `Nominal` — a result the full diagnostic battery passed.
+//! 2. **Exactness over the digest.** The key is the
+//!    [`safex_trace::input_digest`] of the input bits, but the entry
+//!    stores the input itself and a hit requires a bit-exact match — a
+//!    digest collision degrades to a miss, never to a wrong answer.
+//! 3. **Hits stay on the evidence chain.** Every hit emits a
+//!    [`safex_trace::RecordKind::CacheHit`] record naming the request,
+//!    the digest, and the model that computed the original entry, so a
+//!    cached answer is as auditable as a fresh one.
+//!
+//! Capacity is bounded with deterministic insertion-order (FIFO)
+//! eviction, so cache state — like everything else in the server — is a
+//! pure function of the replayed trace.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use safex_trace::input_digest;
+
+use crate::error::ServeError;
+use crate::request::ModelId;
+
+/// Result-cache knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheConfig {
+    /// Whether the cache serves and stores at all. Off by default: the
+    /// cache is an optimisation, and a deployment opts in after
+    /// reviewing the evidence story above.
+    pub enabled: bool,
+    /// Maximum entries retained (`>= 1` when enabled); oldest-inserted
+    /// evicted first.
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: false,
+            capacity: 1024,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An enabled cache with the given capacity.
+    pub fn enabled(capacity: usize) -> Self {
+        CacheConfig {
+            enabled: true,
+            capacity,
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for an enabled cache with zero
+    /// capacity.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.enabled && self.capacity == 0 {
+            return Err(ServeError::BadConfig(
+                "an enabled result cache needs capacity >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One cached, verified classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResult {
+    /// Predicted class.
+    pub class: usize,
+    /// Winning confidence.
+    pub confidence: f32,
+    /// The model that computed (and verified) the entry.
+    pub model: ModelId,
+    /// The input digest the entry is keyed under.
+    pub digest: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    input: Vec<f32>,
+    result: CachedResult,
+}
+
+/// Bounded, deterministic digest-keyed result store.
+#[derive(Debug, Clone, Default)]
+pub struct ResultCache {
+    entries: BTreeMap<u64, Entry>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl ResultCache {
+    /// An empty cache per `config`.
+    pub fn new(config: CacheConfig) -> Self {
+        ResultCache {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity: config.capacity,
+            enabled: config.enabled,
+        }
+    }
+
+    /// Whether lookups and inserts do anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks `input` up; a digest match with different input bits (an
+    /// FNV collision) is a miss, never a wrong answer.
+    pub fn lookup(&self, input: &[f32]) -> Option<&CachedResult> {
+        if !self.enabled {
+            return None;
+        }
+        let digest = input_digest(input);
+        let entry = self.entries.get(&digest)?;
+        (entry.input == input).then_some(&entry.result)
+    }
+
+    /// Inserts a verified result. First write wins on a digest already
+    /// present (whether the same input or a colliding one): entries are
+    /// immutable once verified, and a collision must not overwrite a
+    /// good entry.
+    pub fn insert(&mut self, input: &[f32], class: usize, confidence: f32, model: ModelId) {
+        if !self.enabled || self.capacity == 0 {
+            return;
+        }
+        let digest = input_digest(input);
+        if self.entries.contains_key(&digest) {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.entries.remove(&oldest);
+        }
+        self.entries.insert(
+            digest,
+            Entry {
+                input: input.to_vec(),
+                result: CachedResult {
+                    class,
+                    confidence,
+                    model,
+                    digest,
+                },
+            },
+        );
+        self.order.push_back(digest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize) -> ResultCache {
+        ResultCache::new(CacheConfig::enabled(capacity))
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_or_stores() {
+        let mut c = ResultCache::new(CacheConfig::default());
+        assert!(!c.is_enabled());
+        c.insert(&[1.0], 2, 0.9, ModelId::new(0));
+        assert!(c.is_empty());
+        assert!(c.lookup(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn hit_requires_bit_exact_input() {
+        let mut c = cache(8);
+        c.insert(&[1.0, 2.0], 3, 0.8, ModelId::new(1));
+        let hit = c.lookup(&[1.0, 2.0]).unwrap();
+        assert_eq!((hit.class, hit.model), (3, ModelId::new(1)));
+        assert_eq!(hit.digest, input_digest(&[1.0, 2.0]));
+        assert!(c.lookup(&[1.0, 2.5]).is_none());
+        assert!(c.lookup(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn first_write_wins_and_eviction_is_fifo() {
+        let mut c = cache(2);
+        c.insert(&[1.0], 0, 0.5, ModelId::new(0));
+        c.insert(&[1.0], 9, 0.9, ModelId::new(1));
+        assert_eq!(c.lookup(&[1.0]).unwrap().class, 0, "first write wins");
+        c.insert(&[2.0], 1, 0.5, ModelId::new(0));
+        c.insert(&[3.0], 2, 0.5, ModelId::new(0));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&[1.0]).is_none(), "oldest entry evicted first");
+        assert!(c.lookup(&[2.0]).is_some());
+        assert!(c.lookup(&[3.0]).is_some());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CacheConfig::default().validate().is_ok());
+        assert!(CacheConfig::enabled(16).validate().is_ok());
+        assert!(CacheConfig::enabled(0).validate().is_err());
+    }
+}

@@ -3,24 +3,43 @@
 use safex_core::health::HealthConfig;
 
 use crate::batcher::{BatchPolicy, ServiceModel};
+use crate::cache::CacheConfig;
 use crate::error::ServeError;
+use crate::queue::FairnessPolicy;
 use crate::request::Tier;
+use crate::route::RoutingKind;
 
-/// Everything a [`crate::server::Server`] needs besides its backend.
+/// Everything a [`crate::server::Server`] needs besides its fleet.
+///
+/// `#[non_exhaustive]`: construct with [`ServerConfig::default`] and the
+/// `with_*` setters. The fleet redesign added three fields (`fairness`,
+/// `cache`, `routing`) this way without touching a single existing
+/// call site — that is the pattern for future knobs too.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Batch formation policy (also bounds the submission queue).
     pub policy: BatchPolicy,
     /// Tick cost model for dispatched batches.
     pub service: ServiceModel,
-    /// Degradation-ladder thresholds. The default latches safe stop
-    /// (`resume_after: 0`): a serving deployment leaves safe stop by
-    /// maintenance action, not by luck.
+    /// Degradation-ladder thresholds, applied to *each* fleet member's
+    /// own monitor. The default latches safe stop (`resume_after: 0`): a
+    /// serving deployment leaves safe stop by maintenance action, not by
+    /// luck.
     pub health: HealthConfig,
-    /// While `Degraded`, requests with a tier *below* this floor are
-    /// shed (typed [`crate::request::ShedReason::DegradedTier`]). The
-    /// default floor of [`Tier::Medium`] sheds only best-effort work.
+    /// While a member is `Degraded`, requests with a tier *below* this
+    /// floor are not routed to it (and are shed with a typed
+    /// [`crate::request::ShedReason::DegradedTier`] if no other member
+    /// admits them). The default floor of [`Tier::Medium`] sheds only
+    /// best-effort work.
     pub degraded_floor: Tier,
+    /// Anti-starvation policy for batch selection (aging plus reserved
+    /// per-tier batch slots).
+    pub fairness: FairnessPolicy,
+    /// Cross-request verified-result cache (off by default).
+    pub cache: CacheConfig,
+    /// Built-in routing policy selector.
+    pub routing: RoutingKind,
     /// Evidence-chain campaign name.
     pub campaign: String,
 }
@@ -32,23 +51,83 @@ impl Default for ServerConfig {
             service: ServiceModel::default(),
             health: HealthConfig::default(),
             degraded_floor: Tier::Medium,
+            fairness: FairnessPolicy::default(),
+            cache: CacheConfig::default(),
+            routing: RoutingKind::default(),
             campaign: "serving".into(),
         }
     }
 }
 
 impl ServerConfig {
+    /// Sets the batch formation policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the tick cost model.
+    #[must_use]
+    pub fn with_service(mut self, service: ServiceModel) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Sets the per-member degradation-ladder thresholds.
+    #[must_use]
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Sets the degraded-mode shedding floor.
+    #[must_use]
+    pub fn with_degraded_floor(mut self, floor: Tier) -> Self {
+        self.degraded_floor = floor;
+        self
+    }
+
+    /// Sets the anti-starvation policy.
+    #[must_use]
+    pub fn with_fairness(mut self, fairness: FairnessPolicy) -> Self {
+        self.fairness = fairness;
+        self
+    }
+
+    /// Sets the result-cache policy.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the built-in routing policy.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the evidence-chain campaign name.
+    #[must_use]
+    pub fn with_campaign(mut self, campaign: impl Into<String>) -> Self {
+        self.campaign = campaign.into();
+        self
+    }
+
     /// Validates the assembly.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadConfig`] for an invalid batch policy or
-    /// health configuration.
+    /// Returns [`ServeError::BadConfig`] for an invalid batch policy,
+    /// health configuration, or cache configuration.
     pub fn validate(&self) -> Result<(), ServeError> {
         self.policy.validate()?;
         self.health
             .validate()
             .map_err(|e| ServeError::BadConfig(e.to_string()))?;
+        self.cache.validate()?;
         Ok(())
     }
 }
@@ -64,21 +143,38 @@ mod tests {
 
     #[test]
     fn invalid_members_are_rejected() {
-        let bad_policy = ServerConfig {
-            policy: BatchPolicy {
-                max_batch: 0,
-                ..BatchPolicy::default()
-            },
-            ..ServerConfig::default()
-        };
+        let bad_policy =
+            ServerConfig::default().with_policy(BatchPolicy::default().with_max_batch(0));
         assert!(bad_policy.validate().is_err());
-        let bad_health = ServerConfig {
-            health: HealthConfig {
-                window: 0,
-                ..HealthConfig::default()
-            },
-            ..ServerConfig::default()
-        };
+        let bad_health = ServerConfig::default().with_health(HealthConfig {
+            window: 0,
+            ..HealthConfig::default()
+        });
         assert!(bad_health.validate().is_err());
+        let bad_cache = ServerConfig::default().with_cache(CacheConfig::enabled(0));
+        assert!(bad_cache.validate().is_err());
+    }
+
+    #[test]
+    fn setters_cover_every_knob() {
+        let config = ServerConfig::default()
+            .with_policy(BatchPolicy::default().with_max_batch(4))
+            .with_service(ServiceModel {
+                batch_overhead: 2,
+                per_item: 1,
+            })
+            .with_degraded_floor(Tier::High)
+            .with_fairness(FairnessPolicy::strict())
+            .with_cache(CacheConfig::enabled(64))
+            .with_routing(RoutingKind::RoundRobin)
+            .with_campaign("fleet");
+        assert_eq!(config.policy.max_batch, 4);
+        assert_eq!(config.service.per_item, 1);
+        assert_eq!(config.degraded_floor, Tier::High);
+        assert_eq!(config.fairness, FairnessPolicy::strict());
+        assert!(config.cache.enabled);
+        assert_eq!(config.routing, RoutingKind::RoundRobin);
+        assert_eq!(config.campaign, "fleet");
+        assert!(config.validate().is_ok());
     }
 }

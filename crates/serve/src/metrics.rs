@@ -1,57 +1,104 @@
-//! Serving metrics: latency percentiles, shedding accounting, batch
-//! shapes.
+//! Serving metrics: latency percentiles (fleet-wide and per tier),
+//! shedding accounting, per-model usage, cache effectiveness.
 //!
 //! Metrics use exact nearest-rank percentiles over the full latency
 //! population (not streaming sketches): serving runs are bounded traces,
 //! so exactness is affordable, and the snapshot being a pure function of
 //! the run is what keeps reports byte-reproducible.
+//!
+//! The fleet redesign split the accounting three ways:
+//!
+//! * **per tier** — the fairness story: a starvation argument needs
+//!   high-tier p99 *and* low-tier completion counts, not a blended
+//!   number;
+//! * **per model** — the health story: which member carried the load,
+//!   and how much work a struck member shed onto its peers;
+//! * **cache** — lookups vs hits, with cached completions also counted
+//!   per tier so a hit-rate claim can be audited against the tier mix.
 
 use std::collections::BTreeMap;
 
 use safex_trace::json::Json;
 
-use crate::request::{Outcome, Response, ShedReason, Tier};
+use crate::request::{ModelId, Outcome, Response, ShedReason, Tier};
 
 /// Aggregated counters for one serving run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Metrics {
     latencies: Vec<u64>,
+    tier_latencies: [Vec<u64>; 3],
     batch_sizes: BTreeMap<usize, u64>,
     completed: [u64; 3],
+    cached: [u64; 3],
     shed_queue_full: [u64; 3],
     shed_displaced: [u64; 3],
     shed_degraded: [u64; 3],
     timeout: [u64; 3],
     safe_stop: [u64; 3],
     peak_queue_depth: usize,
+    cache_lookups: u64,
+    cache_hits: u64,
+    models: Vec<ModelCounters>,
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+struct ModelCounters {
+    batches: u64,
+    items: u64,
+    completed: u64,
 }
 
 impl Metrics {
-    /// Creates empty metrics.
-    pub fn new() -> Self {
-        Metrics::default()
+    /// Creates empty metrics for a fleet of `models` members.
+    pub fn new(models: usize) -> Self {
+        Metrics {
+            models: vec![ModelCounters::default(); models],
+            ..Metrics::default()
+        }
     }
 
     /// Absorbs one terminal response.
     pub fn record_response(&mut self, response: &Response) {
         let t = response.tier.index();
         match &response.outcome {
-            Outcome::Completed { .. } => {
+            Outcome::Completed { model, cached, .. } => {
                 self.completed[t] += 1;
-                self.latencies
-                    .push(response.resolved_at - response.arrived_at);
+                let latency = response.resolved_at - response.arrived_at;
+                self.latencies.push(latency);
+                self.tier_latencies[t].push(latency);
+                if let Some(m) = self.models.get_mut(model.index()) {
+                    m.completed += 1;
+                }
+                if *cached {
+                    self.cached[t] += 1;
+                }
             }
             Outcome::Shed(ShedReason::QueueFull) => self.shed_queue_full[t] += 1,
             Outcome::Shed(ShedReason::Displaced { .. }) => self.shed_displaced[t] += 1,
-            Outcome::Shed(ShedReason::DegradedTier) => self.shed_degraded[t] += 1,
+            Outcome::Shed(ShedReason::DegradedTier { .. }) => self.shed_degraded[t] += 1,
             Outcome::Timeout => self.timeout[t] += 1,
-            Outcome::SafeStop => self.safe_stop[t] += 1,
+            Outcome::SafeStop { .. } => self.safe_stop[t] += 1,
         }
     }
 
-    /// Records one dispatched batch's size.
-    pub fn record_batch(&mut self, size: usize) {
+    /// Records one batch dispatched to `model`.
+    pub fn record_batch(&mut self, model: ModelId, size: usize) {
         *self.batch_sizes.entry(size).or_insert(0) += 1;
+        if let Some(m) = self.models.get_mut(model.index()) {
+            m.batches += 1;
+            m.items += size as u64;
+        }
+    }
+
+    /// Records one result-cache lookup (one per admitted request when
+    /// the cache is enabled).
+    pub fn record_cache_lookup(&mut self) {
+        self.cache_lookups += 1;
+    }
+
+    /// Records one result-cache hit.
+    pub fn record_cache_hit(&mut self) {
+        self.cache_hits += 1;
     }
 
     /// Records the deepest queue observed.
@@ -61,32 +108,96 @@ impl Metrics {
 
     /// Freezes the counters into a snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            // Nearest-rank: smallest value with at least p% of the
-            // population at or below it.
-            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
+        let fleet = LatencyStats::from_population(&self.latencies);
+        let tier_latency = [
+            LatencyStats::from_population(&self.tier_latencies[0]),
+            LatencyStats::from_population(&self.tier_latencies[1]),
+            LatencyStats::from_population(&self.tier_latencies[2]),
+        ];
         MetricsSnapshot {
             completed: self.completed,
+            cached: self.cached,
             shed_queue_full: self.shed_queue_full,
             shed_displaced: self.shed_displaced,
             shed_degraded: self.shed_degraded,
             timeout: self.timeout,
             safe_stop: self.safe_stop,
-            latency_p50: pct(50.0),
-            latency_p95: pct(95.0),
-            latency_p99: pct(99.0),
-            latency_max: sorted.last().copied().unwrap_or(0),
+            latency_p50: fleet.p50,
+            latency_p95: fleet.p95,
+            latency_p99: fleet.p99,
+            latency_max: fleet.max,
+            tier_latency,
             batch_sizes: self.batch_sizes.clone(),
             peak_queue_depth: self.peak_queue_depth,
+            cache_lookups: self.cache_lookups,
+            cache_hits: self.cache_hits,
+            models: self
+                .models
+                .iter()
+                .map(|m| ModelUsage {
+                    batches: m.batches,
+                    items: m.items,
+                    completed: m.completed,
+                })
+                .collect(),
         }
     }
+}
+
+/// Nearest-rank latency percentiles over one population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Median latency in ticks.
+    pub p50: u64,
+    /// 95th percentile in ticks.
+    pub p95: u64,
+    /// 99th percentile in ticks.
+    pub p99: u64,
+    /// Worst latency in ticks.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    fn from_population(latencies: &[u64]) -> Self {
+        if latencies.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        // Nearest-rank: smallest value with at least p% of the
+        // population at or below it.
+        let pct = |p: f64| -> u64 {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        LatencyStats {
+            p50: pct(50.0),
+            p95: pct(95.0),
+            p99: pct(99.0),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let mut obj = Json::object();
+        obj.set("p50", Json::from(self.p50))
+            .set("p95", Json::from(self.p95))
+            .set("p99", Json::from(self.p99))
+            .set("max", Json::from(self.max));
+        obj
+    }
+}
+
+/// How much work one fleet member carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelUsage {
+    /// Batches dispatched to the member.
+    pub batches: u64,
+    /// Requests executed by the member (sum of its batch sizes).
+    pub items: u64,
+    /// Completed responses attributed to the member (includes cache
+    /// hits on entries it originally computed).
+    pub completed: u64,
 }
 
 /// Frozen metrics for reporting.
@@ -94,6 +205,9 @@ impl Metrics {
 pub struct MetricsSnapshot {
     /// Completed responses per tier `[low, medium, high]`.
     pub completed: [u64; 3],
+    /// Of the completed responses, how many were served from the
+    /// verified-result cache, per tier.
+    pub cached: [u64; 3],
     /// Queue-full rejections per tier.
     pub shed_queue_full: [u64; 3],
     /// Displacement evictions per tier.
@@ -104,18 +218,27 @@ pub struct MetricsSnapshot {
     pub timeout: [u64; 3],
     /// Safe-stop refusals per tier.
     pub safe_stop: [u64; 3],
-    /// Median completed latency in ticks.
+    /// Median completed latency in ticks (fleet-wide).
     pub latency_p50: u64,
-    /// 95th-percentile completed latency in ticks.
+    /// 95th-percentile completed latency in ticks (fleet-wide).
     pub latency_p95: u64,
-    /// 99th-percentile completed latency in ticks.
+    /// 99th-percentile completed latency in ticks (fleet-wide).
     pub latency_p99: u64,
-    /// Worst completed latency in ticks.
+    /// Worst completed latency in ticks (fleet-wide).
     pub latency_max: u64,
+    /// Completed-latency percentiles per tier `[low, medium, high]` —
+    /// the numbers a starvation or deadline argument is made from.
+    pub tier_latency: [LatencyStats; 3],
     /// Dispatched batch-size distribution (size → count).
     pub batch_sizes: BTreeMap<usize, u64>,
     /// Deepest submission queue observed.
     pub peak_queue_depth: usize,
+    /// Result-cache lookups (admitted requests while the cache was on).
+    pub cache_lookups: u64,
+    /// Result-cache hits (every one has a `cache_hit` evidence record).
+    pub cache_hits: u64,
+    /// Per-member usage, indexed by [`ModelId`].
+    pub models: Vec<ModelUsage>,
 }
 
 impl MetricsSnapshot {
@@ -139,11 +262,25 @@ impl MetricsSnapshot {
         self.completed.iter().sum()
     }
 
+    /// Cache-served completions across tiers.
+    pub fn total_cached(&self) -> u64 {
+        self.cached.iter().sum()
+    }
+
     /// Shed responses across tiers and reasons.
     pub fn total_shed(&self) -> u64 {
         self.shed_queue_full.iter().sum::<u64>()
             + self.shed_displaced.iter().sum::<u64>()
             + self.shed_degraded.iter().sum::<u64>()
+    }
+
+    /// Cache hit rate over lookups (`0.0` when the cache never ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
     }
 
     /// Serialises to deterministic JSON.
@@ -159,8 +296,25 @@ impl MetricsSnapshot {
         for (&size, &count) in &self.batch_sizes {
             batches.set(format!("{size}"), Json::from(count));
         }
+        let mut tier_latency = Json::object();
+        for tier in Tier::all() {
+            tier_latency.set(tier.tag(), self.tier_latency[tier.index()].to_json());
+        }
+        let mut cache = Json::object();
+        cache
+            .set("lookups", Json::from(self.cache_lookups))
+            .set("hits", Json::from(self.cache_hits));
+        let mut models = Json::object();
+        for (i, usage) in self.models.iter().enumerate() {
+            let mut m = Json::object();
+            m.set("batches", Json::from(usage.batches))
+                .set("items", Json::from(usage.items))
+                .set("completed", Json::from(usage.completed));
+            models.set(ModelId::new(i as u16).to_string(), m);
+        }
         let mut root = Json::object();
         root.set("completed", per_tier(&self.completed))
+            .set("cached", per_tier(&self.cached))
             .set("shed_queue_full", per_tier(&self.shed_queue_full))
             .set("shed_displaced", per_tier(&self.shed_displaced))
             .set("shed_degraded", per_tier(&self.shed_degraded))
@@ -170,8 +324,11 @@ impl MetricsSnapshot {
             .set("latency_p95", Json::from(self.latency_p95))
             .set("latency_p99", Json::from(self.latency_p99))
             .set("latency_max", Json::from(self.latency_max))
+            .set("tier_latency", tier_latency)
             .set("batch_sizes", batches)
-            .set("peak_queue_depth", Json::from(self.peak_queue_depth));
+            .set("peak_queue_depth", Json::from(self.peak_queue_depth))
+            .set("cache", cache)
+            .set("models", models);
         root
     }
 }
@@ -192,13 +349,15 @@ mod tests {
                 confidence: 1.0,
                 flagged: false,
                 level: HealthState::Nominal,
+                model: ModelId::new(0),
+                cached: false,
             },
         }
     }
 
     #[test]
     fn percentiles_are_nearest_rank() {
-        let mut m = Metrics::new();
+        let mut m = Metrics::new(1);
         for lat in 1..=100u64 {
             m.record_response(&completed(lat, 0, lat));
         }
@@ -208,19 +367,26 @@ mod tests {
         assert_eq!(s.latency_p99, 99);
         assert_eq!(s.latency_max, 100);
         assert_eq!(s.total_completed(), 100);
+        // All responses were Medium tier, so the Medium population is
+        // the full population and the other tiers are empty.
+        assert_eq!(s.tier_latency[Tier::Medium.index()].p99, 99);
+        assert_eq!(s.tier_latency[Tier::Low.index()], LatencyStats::default());
+        assert_eq!(s.models[0].completed, 100);
     }
 
     #[test]
     fn empty_metrics_snapshot_is_zeroed() {
-        let s = Metrics::new().snapshot();
+        let s = Metrics::new(0).snapshot();
         assert_eq!(s.latency_p99, 0);
         assert_eq!(s.total(), 0);
         assert_eq!(s.total_shed(), 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert!(s.models.is_empty());
     }
 
     #[test]
     fn sheds_count_by_reason_and_tier() {
-        let mut m = Metrics::new();
+        let mut m = Metrics::new(1);
         m.record_response(&Response {
             id: 0,
             tier: Tier::Low,
@@ -235,18 +401,56 @@ mod tests {
             resolved_at: 5,
             outcome: Outcome::Timeout,
         });
+        m.record_response(&Response {
+            id: 2,
+            tier: Tier::Low,
+            arrived_at: 0,
+            resolved_at: 1,
+            outcome: Outcome::Shed(ShedReason::DegradedTier {
+                model: ModelId::new(0),
+            }),
+        });
         let s = m.snapshot();
         assert_eq!(s.shed_queue_full[Tier::Low.index()], 1);
+        assert_eq!(s.shed_degraded[Tier::Low.index()], 1);
         assert_eq!(s.timeout[Tier::High.index()], 1);
-        assert_eq!(s.total(), 2);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn cache_and_model_accounting() {
+        let mut m = Metrics::new(2);
+        m.record_batch(ModelId::new(1), 3);
+        m.record_cache_lookup();
+        m.record_cache_lookup();
+        m.record_cache_hit();
+        let mut hit = completed(0, 10, 10);
+        if let Outcome::Completed { cached, model, .. } = &mut hit.outcome {
+            *cached = true;
+            *model = ModelId::new(1);
+        }
+        m.record_response(&hit);
+        let s = m.snapshot();
+        assert_eq!((s.cache_lookups, s.cache_hits), (2, 1));
+        assert_eq!(s.cache_hit_rate(), 0.5);
+        assert_eq!(s.total_cached(), 1);
+        assert_eq!(
+            s.models[1],
+            ModelUsage {
+                batches: 1,
+                items: 3,
+                completed: 1
+            }
+        );
+        assert_eq!(s.models[0], ModelUsage::default());
     }
 
     #[test]
     fn json_is_deterministic() {
-        let mut m = Metrics::new();
-        m.record_batch(4);
-        m.record_batch(4);
-        m.record_batch(1);
+        let mut m = Metrics::new(1);
+        m.record_batch(ModelId::new(0), 4);
+        m.record_batch(ModelId::new(0), 4);
+        m.record_batch(ModelId::new(0), 1);
         m.record_peak_queue(7);
         m.record_response(&completed(0, 10, 25));
         let a = m.snapshot().to_json().to_string_compact();
@@ -255,5 +459,7 @@ mod tests {
         assert!(a.contains("\"batch_sizes\":{\"1\":1,\"4\":2}"));
         assert!(a.contains("\"peak_queue_depth\":7"));
         assert!(a.contains("\"latency_p50\":15"));
+        assert!(a.contains("\"cache\":{\"hits\":0,\"lookups\":0}"));
+        assert!(a.contains("\"m0\":{\"batches\":3,\"completed\":1,\"items\":9}"));
     }
 }

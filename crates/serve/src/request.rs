@@ -5,9 +5,42 @@
 //! and safe stops are all first-class outcomes, never silent drops. That
 //! accounting is what lets the serving layer claim *zero silent data
 //! corruption*: anything that is not a [`Outcome::Completed`] carries the
-//! reason it is not.
+//! reason it is not — and, since the fleet redesign, the *model* it
+//! happened on. A shed is never anonymous: `DegradedTier` names the
+//! degraded model that refused the work, `SafeStop` names the stopped
+//! model when one specific model (a pin, or the executing backend) is
+//! responsible, and every completion names the model that computed it.
 
 use safex_core::health::HealthState;
+
+use crate::error::ServeError;
+
+/// Identifies one model (one hardened backend + its own health ladder)
+/// inside a [`crate::fleet::Fleet`].
+///
+/// Ids are dense indices assigned at fleet registration, so they double
+/// as array indices for per-model counters. The newtype keeps them from
+/// being confused with request ids or tick counts in signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelId(u16);
+
+impl ModelId {
+    /// Wraps a dense fleet index.
+    pub const fn new(index: u16) -> Self {
+        ModelId(index)
+    }
+
+    /// Dense index for per-model arrays.
+    pub const fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
 
 /// Request criticality tier. Ordering is by criticality: `Low < Medium <
 /// High`; admission control and degraded-mode shedding sacrifice lower
@@ -37,6 +70,11 @@ impl Tier {
         [Tier::Low, Tier::Medium, Tier::High]
     }
 
+    /// Iterates the tiers, lowest first.
+    pub fn iter() -> impl Iterator<Item = Tier> {
+        Tier::all().into_iter()
+    }
+
     /// Dense index for per-tier counters.
     pub fn index(&self) -> usize {
         match self {
@@ -53,6 +91,18 @@ impl std::fmt::Display for Tier {
     }
 }
 
+impl TryFrom<&str> for Tier {
+    type Error = ServeError;
+
+    /// Parses the stable [`Tier::tag`] form — the exact inverse of
+    /// `tag()`, so configs and report readers round-trip.
+    fn try_from(s: &str) -> Result<Self, Self::Error> {
+        Tier::iter()
+            .find(|t| t.tag() == s)
+            .ok_or_else(|| ServeError::BadConfig(format!("unknown tier tag {s:?}")))
+    }
+}
+
 /// One inference request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -66,6 +116,31 @@ pub struct Request {
     /// deadline` is worthless, so the server returns [`Outcome::Timeout`]
     /// instead of the stale result.
     pub deadline: u64,
+    /// Optional routing pin: `Some(id)` forces the request onto that
+    /// fleet member (and onto that member's fate — a pinned request is
+    /// shed or safe-stopped with the pin's id when the pin cannot take
+    /// it). `None` lets the [`crate::route::RoutingPolicy`] choose.
+    pub model: Option<ModelId>,
+}
+
+impl Request {
+    /// A routable (unpinned) request.
+    pub fn new(id: u64, input: Vec<f32>, tier: Tier, deadline: u64) -> Self {
+        Request {
+            id,
+            input,
+            tier,
+            deadline,
+            model: None,
+        }
+    }
+
+    /// Pins the request to one fleet member.
+    #[must_use]
+    pub fn pinned(mut self, model: ModelId) -> Self {
+        self.model = Some(model);
+        self
+    }
 }
 
 /// Why a request was refused before execution.
@@ -80,9 +155,14 @@ pub enum ShedReason {
         /// The id of the arrival that took the slot.
         by: u64,
     },
-    /// The service level dropped below this request's tier (degraded
-    /// operation sheds low-criticality tiers first).
-    DegradedTier,
+    /// Every model that could have served this tier is degraded below
+    /// the shedding floor (degraded operation sheds low-criticality
+    /// tiers first). `model` names the degraded member the router would
+    /// otherwise have chosen — no shed is anonymous.
+    DegradedTier {
+        /// The degraded model that refused the work.
+        model: ModelId,
+    },
 }
 
 impl ShedReason {
@@ -91,7 +171,7 @@ impl ShedReason {
         match self {
             ShedReason::QueueFull => "queue_full",
             ShedReason::Displaced { .. } => "displaced",
-            ShedReason::DegradedTier => "degraded_tier",
+            ShedReason::DegradedTier { .. } => "degraded_tier",
         }
     }
 }
@@ -99,7 +179,8 @@ impl ShedReason {
 /// What happened to a request — exactly one of these per request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
-    /// Executed and returned before its deadline.
+    /// Executed (or answered from the verified result cache) and
+    /// returned before its deadline.
     Completed {
         /// Predicted class.
         class: usize,
@@ -109,17 +190,32 @@ pub enum Outcome {
         /// producing this result (the result was still in-deadline, but
         /// the degradation ladder has been fed).
         flagged: bool,
-        /// The service level *after* this decision was absorbed by the
-        /// health monitor.
+        /// The serving model's health state *after* this decision was
+        /// absorbed by its monitor (for cache hits: the state the
+        /// computing decision was released under, always `Nominal`).
         level: HealthState,
+        /// The model that computed the result (for cache hits: the model
+        /// that computed the original entry).
+        model: ModelId,
+        /// `true` when the result came from the cross-request result
+        /// cache rather than a fresh execution. Every cached answer also
+        /// has a `cache_hit` record on the evidence chain.
+        cached: bool,
     },
     /// Refused before execution, with the typed reason.
     Shed(ShedReason),
     /// Executed too late (or was expired at batch formation); the stale
     /// result — if any — was discarded, never returned.
     Timeout,
-    /// The server was in safe stop; no inference was attempted.
-    SafeStop,
+    /// No model could (or may) serve this request: the whole fleet was
+    /// stopped, the request's pin was stopped, or the executing backend
+    /// demanded a stop. `model` names the stopped model when one
+    /// specific model is responsible; `None` means the fleet as a whole
+    /// was out of service.
+    SafeStop {
+        /// The stopped model, when the stop is attributable to one.
+        model: Option<ModelId>,
+    },
 }
 
 impl Outcome {
@@ -129,7 +225,7 @@ impl Outcome {
             Outcome::Completed { .. } => "completed",
             Outcome::Shed(_) => "shed",
             Outcome::Timeout => "timeout",
-            Outcome::SafeStop => "safe_stop",
+            Outcome::SafeStop { .. } => "safe_stop",
         }
     }
 }
@@ -144,7 +240,7 @@ pub struct Response {
     /// Arrival tick.
     pub arrived_at: u64,
     /// Tick at which the outcome was determined (shed: admission tick;
-    /// completed/timeout: batch completion tick).
+    /// completed/timeout: batch completion tick; cache hit: lookup tick).
     pub resolved_at: u64,
     /// What happened.
     pub outcome: Outcome,
@@ -163,9 +259,49 @@ mod tests {
     }
 
     #[test]
+    fn tier_iter_matches_all() {
+        let collected: Vec<Tier> = Tier::iter().collect();
+        assert_eq!(collected, Tier::all().to_vec());
+    }
+
+    #[test]
+    fn tier_parse_is_inverse_of_tag() {
+        for tier in Tier::iter() {
+            assert_eq!(Tier::try_from(tier.tag()).unwrap(), tier);
+        }
+        assert!(Tier::try_from("HIGH").is_err(), "tags are case-sensitive");
+        assert!(Tier::try_from("").is_err());
+        assert!(Tier::try_from("critical").is_err());
+    }
+
+    #[test]
+    fn model_ids_are_dense_and_display_stably() {
+        let id = ModelId::new(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "m3");
+        assert!(ModelId::new(0) < ModelId::new(1));
+    }
+
+    #[test]
+    fn requests_route_free_by_default_and_pin_explicitly() {
+        let r = Request::new(7, vec![0.0], Tier::High, 100);
+        assert_eq!(r.model, None);
+        let pinned = r.pinned(ModelId::new(2));
+        assert_eq!(pinned.model, Some(ModelId::new(2)));
+    }
+
+    #[test]
     fn outcome_tags_are_stable() {
         assert_eq!(Outcome::Timeout.tag(), "timeout");
         assert_eq!(Outcome::Shed(ShedReason::QueueFull).tag(), "shed");
         assert_eq!(ShedReason::Displaced { by: 7 }.tag(), "displaced");
+        assert_eq!(
+            ShedReason::DegradedTier {
+                model: ModelId::new(1)
+            }
+            .tag(),
+            "degraded_tier"
+        );
+        assert_eq!(Outcome::SafeStop { model: None }.tag(), "safe_stop");
     }
 }

@@ -1,0 +1,253 @@
+//! Routing: which fleet member serves which request.
+//!
+//! The server filters candidates *before* the policy runs: a
+//! [`RouteView`] only ever contains members whose health ladder admits
+//! the request's tier, that honour the request's pin, and that still
+//! have batch capacity in the current dispatch round. The policy's only
+//! job is to pick among the survivors — which keeps every policy safe by
+//! construction (a policy cannot route onto a stopped model) and keeps
+//! the safety argument in one place (the server's gate).
+//!
+//! ## Determinism
+//!
+//! Policies are **pure in the decision index**: the only mutable input a
+//! policy sees is the monotone `decision` counter the server threads
+//! through the view, plus member state that is itself a pure function of
+//! the replayed trace. No wall clock, no RNG, no worker-count-dependent
+//! state — so the routing sequence, and therefore the whole
+//! [`crate::server::ServeReport`], is byte-identical for any pool worker
+//! count and across reruns.
+
+use safex_core::health::HealthState;
+
+use crate::request::{ModelId, Request, Tier};
+
+/// One candidate member, as visible to a routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateView {
+    /// The member's id.
+    pub id: ModelId,
+    /// The member's current health state (never `SafeStop`: stopped
+    /// members are filtered out before the policy runs).
+    pub state: HealthState,
+    /// Tick at which the member frees, including batches already
+    /// assigned earlier in this dispatch round — the least-loaded signal.
+    pub free_at: u64,
+    /// Items already assigned to the member in this dispatch round.
+    pub assigned: usize,
+}
+
+/// Everything one routing decision may depend on.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteView<'a> {
+    /// The request being routed.
+    pub request: &'a Request,
+    /// Monotone routing-decision index (fleet-global, starts at 0).
+    pub decision: u64,
+    /// The current tick.
+    pub now: u64,
+    /// Eligible members (non-empty; health-, pin-, and capacity-filtered).
+    pub candidates: &'a [CandidateView],
+}
+
+/// A deterministic routing policy.
+///
+/// Implementations must be pure functions of the [`RouteView`] — see the
+/// module docs for why. Returning an id that is not among
+/// `view.candidates` is a policy bug; the server falls back to the first
+/// candidate rather than violating the health gate.
+pub trait RoutingPolicy {
+    /// Stable name for reports and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Picks one of `view.candidates` (guaranteed non-empty).
+    fn route(&self, view: &RouteView<'_>) -> ModelId;
+}
+
+pub(crate) fn severity(state: HealthState) -> u8 {
+    match state {
+        HealthState::Nominal => 0,
+        HealthState::Degraded => 1,
+        HealthState::SafeStop => 2,
+    }
+}
+
+/// The default policy: healthiest member first, then least-loaded, then
+/// lowest id.
+///
+/// High-criticality work additionally refuses to share a degraded member
+/// while a nominal one exists (the severity key handles that), and the
+/// `free_at`/`assigned` keys spread a burst across the fleet instead of
+/// convoying it onto one member.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TierLeastLoaded;
+
+impl RoutingPolicy for TierLeastLoaded {
+    fn name(&self) -> &'static str {
+        "tier_least_loaded"
+    }
+
+    fn route(&self, view: &RouteView<'_>) -> ModelId {
+        view.candidates
+            .iter()
+            .min_by_key(|c| (severity(c.state), c.free_at, c.assigned, c.id))
+            .map(|c| c.id)
+            .expect("route called with empty candidate set")
+    }
+}
+
+/// Round-robin over the eligible candidates, keyed by the decision
+/// index: decision `d` takes candidate `d % candidates.len()`.
+///
+/// Ignores load, so it is mainly a determinism foil for
+/// [`TierLeastLoaded`] in the golden-report matrix — but high tiers
+/// still never land on a stopped or floor-refusing member, because the
+/// server filters candidates first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn route(&self, view: &RouteView<'_>) -> ModelId {
+        view.candidates[(view.decision % view.candidates.len() as u64) as usize].id
+    }
+}
+
+/// Built-in policy selector for [`crate::config::ServerConfig`] (config
+/// stays `Clone + PartialEq`; custom trait objects go through
+/// [`crate::server::Server::with_router`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum RoutingKind {
+    /// [`TierLeastLoaded`].
+    #[default]
+    TierLeastLoaded,
+    /// [`RoundRobin`].
+    RoundRobin,
+}
+
+impl RoutingKind {
+    /// Stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RoutingKind::TierLeastLoaded => "tier_least_loaded",
+            RoutingKind::RoundRobin => "round_robin",
+        }
+    }
+
+    /// Instantiates the built-in policy.
+    pub(crate) fn policy(&self) -> Box<dyn RoutingPolicy> {
+        match self {
+            RoutingKind::TierLeastLoaded => Box::new(TierLeastLoaded),
+            RoutingKind::RoundRobin => Box::new(RoundRobin),
+        }
+    }
+}
+
+/// `true` when `state` admits `tier` under the degraded shedding floor.
+pub(crate) fn admits(state: HealthState, tier: Tier, floor: Tier) -> bool {
+    match state {
+        HealthState::Nominal => true,
+        HealthState::Degraded => tier >= floor,
+        HealthState::SafeStop => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> Request {
+        Request::new(0, vec![0.0], Tier::Medium, 100)
+    }
+
+    fn candidate(id: u16, state: HealthState, free_at: u64) -> CandidateView {
+        CandidateView {
+            id: ModelId::new(id),
+            state,
+            free_at,
+            assigned: 0,
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_health_then_load_then_id() {
+        let request = request();
+        let candidates = [
+            candidate(0, HealthState::Degraded, 0),
+            candidate(1, HealthState::Nominal, 50),
+            candidate(2, HealthState::Nominal, 10),
+        ];
+        let view = RouteView {
+            request: &request,
+            decision: 0,
+            now: 0,
+            candidates: &candidates,
+        };
+        // A nominal member beats an idle degraded one; among nominal
+        // members the earliest-free wins.
+        assert_eq!(TierLeastLoaded.route(&view), ModelId::new(2));
+        // Ties break by id.
+        let tied = [
+            candidate(1, HealthState::Nominal, 10),
+            candidate(0, HealthState::Nominal, 10),
+        ];
+        let view = RouteView {
+            request: &request,
+            decision: 9,
+            now: 0,
+            candidates: &tied,
+        };
+        assert_eq!(TierLeastLoaded.route(&view), ModelId::new(0));
+    }
+
+    #[test]
+    fn round_robin_is_pure_in_the_decision_index() {
+        let request = request();
+        let candidates = [
+            candidate(0, HealthState::Nominal, 0),
+            candidate(1, HealthState::Nominal, 0),
+            candidate(2, HealthState::Nominal, 0),
+        ];
+        let ids: Vec<ModelId> = (0..6)
+            .map(|decision| {
+                RoundRobin.route(&RouteView {
+                    request: &request,
+                    decision,
+                    now: 0,
+                    candidates: &candidates,
+                })
+            })
+            .collect();
+        assert_eq!(ids, [0u16, 1, 2, 0, 1, 2].map(ModelId::new).to_vec());
+    }
+
+    #[test]
+    fn admission_matrix() {
+        use HealthState::*;
+        // Nominal admits everything; Degraded only at/above the floor;
+        // SafeStop nothing.
+        for tier in Tier::iter() {
+            assert!(admits(Nominal, tier, Tier::Medium));
+            assert!(!admits(SafeStop, tier, Tier::Low));
+        }
+        assert!(!admits(Degraded, Tier::Low, Tier::Medium));
+        assert!(admits(Degraded, Tier::Medium, Tier::Medium));
+        assert!(admits(Degraded, Tier::High, Tier::Medium));
+    }
+
+    #[test]
+    fn kind_tags_and_default() {
+        assert_eq!(RoutingKind::default(), RoutingKind::TierLeastLoaded);
+        assert_eq!(RoutingKind::TierLeastLoaded.tag(), "tier_least_loaded");
+        assert_eq!(RoutingKind::RoundRobin.tag(), "round_robin");
+        assert_eq!(
+            RoutingKind::TierLeastLoaded.policy().name(),
+            "tier_least_loaded"
+        );
+        assert_eq!(RoutingKind::RoundRobin.policy().name(), "round_robin");
+    }
+}

@@ -1,27 +1,44 @@
-//! The serving loop: admission → batching → dispatch → health gating.
+//! The fleet serving loop: admission → fairness → routing → dispatch →
+//! retirement.
 //!
 //! [`Server::run_trace`] replays an [`ArrivalTrace`] through a
-//! discrete-event simulation of the serving runtime. The clock is a
-//! `u64` tick counter advanced only by trace timestamps and the
+//! discrete-event simulation of a multi-model serving runtime. The clock
+//! is a `u64` tick counter advanced only by trace timestamps and the
 //! [`ServiceModel`]'s execution cost — never a wall clock — so the entire
-//! run, including batch boundaries, shedding decisions, and
-//! degradation-ladder walks, is a pure function of its inputs and
-//! replays byte-for-byte.
+//! run, including batch boundaries, routing decisions, shedding, and
+//! every member's degradation-ladder walk, is a pure function of its
+//! inputs and replays byte-for-byte.
 //!
-//! ## Service levels
+//! ## The event loop
 //!
-//! The server owns a [`HealthMonitor`] and feeds it one boolean per
-//! executed request (`flagged` — the hardened backend raised events, or
-//! the pattern fell back). The ladder gates admission and release:
+//! Three event kinds drive the clock, processed in strict time order
+//! (and in a fixed order within a tick):
 //!
-//! | health state | admission                    | release                      |
-//! |--------------|------------------------------|------------------------------|
-//! | Nominal      | all tiers                    | results released             |
-//! | Degraded     | tiers ≥ the configured floor | results released (flagged)   |
-//! | SafeStop     | nothing (typed `SafeStop`)   | results withheld (`SafeStop`)|
+//! 1. **Retirement** — a dispatched batch reaches its completion tick:
+//!    its member's monitor absorbs the verdicts, responses are emitted,
+//!    verified results enter the cache. Verdicts were *computed* at
+//!    dispatch (the batch physically ran then), but their effects land
+//!    at the completion tick, so a fault strike that arrives mid-flight
+//!    cannot retroactively poison a batch that started before it.
+//!    Items withheld because their member's ladder reached `SafeStop`
+//!    **fail over**: an unpinned, in-deadline request whose result was
+//!    withheld is re-queued and recomputed on a healthy peer — one
+//!    member failing costs the fleet latency, not answers.
+//! 2. **Arrival** — a request is admitted: fault-injection hook, fleet
+//!    health gate, result-cache lookup, bounded queue with tier-ordered
+//!    displacement.
+//! 3. **Flush** — the batch policy says the queue should dispatch:
+//!    fairness selects the round's requests, the routing policy places
+//!    each on an eligible member, one batch per idle member starts.
 //!
-//! Every ladder transition is appended to the evidence chain with the
-//! tick and the request that triggered it.
+//! ## Per-member service levels
+//!
+//! Every fleet member owns a full [`HealthMonitor`] ladder fed only by
+//! its *own* verdicts. A struck member walks Nominal → Degraded →
+//! SafeStop and sheds its own tiers while the rest of the fleet keeps
+//! serving; the fleet as a whole refuses work only when every member
+//! has stopped. Every ladder transition is appended to the evidence
+//! chain with the tick, the member, and the request that triggered it.
 
 use safex_core::health::{HealthMonitor, HealthState, HealthVerdict};
 use safex_trace::json::Json;
@@ -29,16 +46,21 @@ use safex_trace::{EvidenceChain, RecordKind, Value};
 
 use crate::backend::{Backend, BatchVerdict};
 use crate::batcher::{BatchPolicy, ServiceModel};
+use crate::cache::ResultCache;
 use crate::config::ServerConfig;
 use crate::error::ServeError;
+use crate::fleet::Fleet;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::queue::{Admission, AdmissionQueue};
-use crate::request::{Outcome, Request, Response, ShedReason};
+use crate::queue::{Admission, AdmissionQueue, FairnessPolicy, Pending};
+use crate::request::{ModelId, Outcome, Request, Response, ShedReason, Tier};
+use crate::route::{admits, severity, CandidateView, RouteView, RoutingPolicy};
 use crate::traffic::ArrivalTrace;
 
-/// One recorded service-level change.
+/// One recorded service-level change on one fleet member.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceTransition {
+    /// The member whose ladder moved.
+    pub model: ModelId,
     /// State before.
     pub from: HealthState,
     /// State after.
@@ -49,23 +71,52 @@ pub struct ServiceTransition {
     pub after_request: u64,
 }
 
+/// One fleet member's health story over a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSummary {
+    /// The member's id.
+    pub model: ModelId,
+    /// The member's registered name.
+    pub name: String,
+    /// Ladder state at the end of the run.
+    pub final_state: HealthState,
+    /// Decisions absorbed while `Nominal`.
+    pub time_nominal: u64,
+    /// Decisions absorbed while `Degraded`.
+    pub time_degraded: u64,
+    /// Decisions absorbed while `SafeStop`.
+    pub time_stopped: u64,
+    /// Ladder transitions over the member's lifetime.
+    pub transitions: usize,
+}
+
 /// The complete, reproducible result of one trace replay.
+///
+/// `#[non_exhaustive]`: reports are produced by the server and read by
+/// callers; new fields (the fleet redesign added `models` and `routing`)
+/// append without breaking downstream matches.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct ServeReport {
     /// One response per request, ordered by request id.
     pub responses: Vec<Response>,
-    /// Service-level transitions, in occurrence order.
+    /// Service-level transitions across the fleet, in occurrence order.
     pub transitions: Vec<ServiceTransition>,
+    /// Per-member health summaries, indexed by [`ModelId`].
+    pub models: Vec<ModelSummary>,
+    /// The routing policy that placed the batches.
+    pub routing: String,
     /// Frozen metrics.
     pub snapshot: MetricsSnapshot,
     /// Head hash of the evidence chain after the run (binds the report
-    /// to the recorded transition evidence).
+    /// to the recorded transition and cache-hit evidence).
     pub chain_head: u64,
 }
 
 impl ServeReport {
-    /// Serialises the full report (responses, transitions, metrics) to
-    /// deterministic JSON — the byte-for-byte replay artefact.
+    /// Serialises the full report (responses, transitions, per-member
+    /// summaries, metrics) to deterministic JSON — the byte-for-byte
+    /// replay artefact.
     pub fn to_json(&self) -> Json {
         let responses: Vec<Json> = self
             .responses
@@ -83,19 +134,34 @@ impl ServeReport {
                         confidence,
                         flagged,
                         level,
+                        model,
+                        cached,
                     } => {
                         obj.set("class", Json::from(*class))
                             .set("confidence", Json::from(f64::from(*confidence)))
                             .set("flagged", Json::from(*flagged))
-                            .set("level", Json::from(level.tag()));
+                            .set("level", Json::from(level.tag()))
+                            .set("model", Json::from(model.to_string()))
+                            .set("cached", Json::from(*cached));
                     }
                     Outcome::Shed(reason) => {
                         obj.set("reason", Json::from(reason.tag()));
-                        if let ShedReason::Displaced { by } = reason {
-                            obj.set("displaced_by", Json::from(*by));
+                        match reason {
+                            ShedReason::Displaced { by } => {
+                                obj.set("displaced_by", Json::from(*by));
+                            }
+                            ShedReason::DegradedTier { model } => {
+                                obj.set("model", Json::from(model.to_string()));
+                            }
+                            ShedReason::QueueFull => {}
                         }
                     }
-                    Outcome::Timeout | Outcome::SafeStop => {}
+                    Outcome::SafeStop { model } => {
+                        if let Some(model) = model {
+                            obj.set("model", Json::from(model.to_string()));
+                        }
+                    }
+                    Outcome::Timeout => {}
                 }
                 obj
             })
@@ -105,56 +171,123 @@ impl ServeReport {
             .iter()
             .map(|t| {
                 let mut obj = Json::object();
-                obj.set("from", Json::from(t.from.tag()))
+                obj.set("model", Json::from(t.model.to_string()))
+                    .set("from", Json::from(t.from.tag()))
                     .set("to", Json::from(t.to.tag()))
                     .set("at_tick", Json::from(t.at_tick))
                     .set("after_request", Json::from(t.after_request));
                 obj
             })
             .collect();
+        let mut models = Json::object();
+        for m in &self.models {
+            let mut obj = Json::object();
+            obj.set("name", Json::from(m.name.as_str()))
+                .set("final_state", Json::from(m.final_state.tag()))
+                .set("time_nominal", Json::from(m.time_nominal))
+                .set("time_degraded", Json::from(m.time_degraded))
+                .set("time_stopped", Json::from(m.time_stopped))
+                .set("transitions", Json::from(m.transitions));
+            models.set(m.model.to_string(), obj);
+        }
         let mut root = Json::object();
         root.set("responses", Json::Arr(responses))
             .set("transitions", Json::Arr(transitions))
+            .set("models", models)
+            .set("routing", Json::from(self.routing.as_str()))
             .set("metrics", self.snapshot.to_json())
             .set("chain_head", Json::Str(format!("{:016x}", self.chain_head)));
         root
     }
 }
 
-/// The deterministic micro-batching inference server.
+/// A batch that has been executed but whose effects have not yet landed:
+/// verdicts are computed at dispatch, applied at `done_at`.
+struct InFlight {
+    model: ModelId,
+    done_at: u64,
+    items: Vec<(Pending, BatchVerdict)>,
+}
+
+/// The deterministic fleet serving runtime.
 pub struct Server<B: Backend> {
-    backend: B,
+    fleet: Fleet<B>,
     policy: BatchPolicy,
     service: ServiceModel,
-    degraded_floor: crate::request::Tier,
-    monitor: HealthMonitor,
+    fairness: FairnessPolicy,
+    degraded_floor: Tier,
+    router: Box<dyn RoutingPolicy>,
+    monitors: Vec<HealthMonitor>,
+    cache: ResultCache,
     chain: EvidenceChain,
 }
 
 impl<B: Backend> Server<B> {
-    /// Assembles a server.
+    /// Assembles a fleet server with the config's built-in routing
+    /// policy.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadConfig`] for an invalid batch policy or
-    /// health configuration.
-    pub fn new(config: ServerConfig, backend: B) -> Result<Self, ServeError> {
+    /// Returns [`ServeError::BadConfig`] for an invalid batch policy,
+    /// health, or cache configuration.
+    pub fn new(config: ServerConfig, fleet: Fleet<B>) -> Result<Self, ServeError> {
+        let router = config.routing.policy();
+        Server::with_router(config, fleet, router)
+    }
+
+    /// Assembles a one-member fleet named `"primary"` — the drop-in
+    /// shape for single-model deployments (the pre-fleet `Server::new`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] as [`Server::new`] does.
+    pub fn single(config: ServerConfig, backend: B) -> Result<Self, ServeError> {
+        Server::new(config, Fleet::single(backend))
+    }
+
+    /// Assembles a fleet server with a custom routing policy (which must
+    /// be pure in the decision index — see [`crate::route`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] as [`Server::new`] does.
+    pub fn with_router(
+        config: ServerConfig,
+        fleet: Fleet<B>,
+        router: Box<dyn RoutingPolicy>,
+    ) -> Result<Self, ServeError> {
         config.validate()?;
-        let monitor =
-            HealthMonitor::new(config.health).map_err(|e| ServeError::BadConfig(e.to_string()))?;
+        let monitors = fleet
+            .ids()
+            .map(|_| HealthMonitor::new(config.health))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| ServeError::BadConfig(e.to_string()))?;
         Ok(Server {
-            backend,
+            fleet,
             policy: config.policy,
             service: config.service,
+            fairness: config.fairness,
             degraded_floor: config.degraded_floor,
-            monitor,
+            router,
+            monitors,
+            cache: ResultCache::new(config.cache),
             chain: EvidenceChain::new(config.campaign),
         })
     }
 
-    /// The current service level.
+    /// The fleet-wide service level: the *worst* member state, so a
+    /// single-member fleet reports exactly what its one ladder says.
     pub fn service_level(&self) -> HealthState {
-        self.monitor.state()
+        self.monitors
+            .iter()
+            .map(|m| m.state())
+            .max_by_key(|s| severity(*s))
+            .unwrap_or(HealthState::Nominal)
+    }
+
+    /// One member's current service level.
+    pub fn model_state(&self, model: ModelId) -> Option<HealthState> {
+        self.monitors.get(model.index()).map(|m| m.state())
     }
 
     /// The evidence chain accumulated across runs.
@@ -162,9 +295,15 @@ impl<B: Backend> Server<B> {
         &self.chain
     }
 
-    /// The wrapped backend.
+    /// The fleet registry.
+    pub fn fleet(&self) -> &Fleet<B> {
+        &self.fleet
+    }
+
+    /// Member 0's backend — the convenience accessor for single-model
+    /// deployments built with [`Server::single`].
     pub fn backend(&self) -> &B {
-        &self.backend
+        self.fleet.members()[0].backend()
     }
 
     /// Replays a trace to completion.
@@ -179,8 +318,8 @@ impl<B: Backend> Server<B> {
 
     /// Replays a trace, invoking `on_arrival` for every arrival *before*
     /// admission — the deterministic hook fault-injection harnesses use
-    /// to strike the backend mid-traffic (keyed by request id, not wall
-    /// time, so strikes replay exactly).
+    /// to strike fleet members mid-traffic (keyed by request id, not
+    /// wall time, so strikes replay exactly).
     ///
     /// # Errors
     ///
@@ -191,192 +330,177 @@ impl<B: Backend> Server<B> {
         mut on_arrival: F,
     ) -> Result<ServeReport, ServeError>
     where
-        F: FnMut(&Request, &mut B),
+        F: FnMut(&Request, &mut Fleet<B>),
     {
         let arrivals = trace.arrivals();
+        let models = self.fleet.len();
         let mut responses: Vec<Response> = Vec::with_capacity(arrivals.len());
         let mut transitions: Vec<ServiceTransition> = Vec::new();
-        let mut metrics = Metrics::new();
+        let mut metrics = Metrics::new(models);
         let mut queue = AdmissionQueue::new(self.policy.queue_cap);
-        let mut free_at = 0u64;
+        let mut inflight: Vec<InFlight> = Vec::new();
+        let mut free_at = vec![0u64; models];
+        let mut decisions = 0u64;
         let mut next = 0usize;
+        let mut now = 0u64;
+        // Set when a flush round at the current state cannot place
+        // anything (every target busy); cleared by the next retirement
+        // or arrival, which are the only events that change that state.
+        let mut stalled = false;
 
-        while next < arrivals.len() || !queue.is_empty() {
-            if queue.is_empty() {
-                let arrival = &arrivals[next];
+        while next < arrivals.len() || !queue.is_empty() || !inflight.is_empty() {
+            let next_arrival = arrivals.get(next).map(|a| a.at);
+            let next_retire = inflight.iter().map(|b| b.done_at).min();
+            let next_flush = if queue.is_empty() || stalled {
+                None
+            } else if self.all_stopped() {
+                // Nothing can ever serve the queued work: drain it now.
+                Some(now)
+            } else {
+                let fleet_free = self
+                    .monitors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.state() != HealthState::SafeStop)
+                    .map(|(i, _)| free_at[i])
+                    .min()
+                    .expect("non-stopped member exists");
+                self.policy
+                    .flush_at(queue.items(), fleet_free)
+                    .map(|f| f.max(now))
+            };
+            let Some(tick) = [next_arrival, next_retire, next_flush]
+                .into_iter()
+                .flatten()
+                .min()
+            else {
+                unreachable!("loop invariant: pending work implies a pending event");
+            };
+            now = tick;
+
+            // 1. Retire every batch completing at this tick, in dispatch
+            //    order, before anything at this tick observes health.
+            if next_retire == Some(now) {
+                let mut retiring = Vec::new();
+                let mut rest = Vec::new();
+                for batch in inflight.drain(..) {
+                    if batch.done_at <= now {
+                        retiring.push(batch);
+                    } else {
+                        rest.push(batch);
+                    }
+                }
+                inflight = rest;
+                for batch in retiring {
+                    self.retire(
+                        batch,
+                        &mut queue,
+                        &mut responses,
+                        &mut transitions,
+                        &mut metrics,
+                    );
+                }
+                stalled = false;
+            }
+
+            // 2. Admit every arrival at this tick.
+            while next < arrivals.len() && arrivals[next].at == now {
+                let arrival = arrivals[next].clone();
                 next += 1;
                 self.admit(
-                    arrival.request.clone(),
-                    arrival.at,
+                    arrival.request,
+                    now,
                     &mut queue,
                     &mut responses,
                     &mut metrics,
                     &mut on_arrival,
                 );
-                continue;
-            }
-            // Admit everything that arrives before the queue's flush
-            // tick; each admission can change the queue (displacement)
-            // and therefore the flush tick, so recompute per arrival.
-            let flush = loop {
-                let flush = self
-                    .policy
-                    .flush_at(queue.items(), free_at)
-                    .expect("flush_at on non-empty queue");
-                match arrivals.get(next) {
-                    Some(arrival) if arrival.at <= flush => {
-                        let arrival = arrival.clone();
-                        next += 1;
-                        self.admit(
-                            arrival.request,
-                            arrival.at,
-                            &mut queue,
-                            &mut responses,
-                            &mut metrics,
-                            &mut on_arrival,
-                        );
-                        if queue.is_empty() {
-                            break None;
-                        }
-                    }
-                    _ => break Some(flush),
-                }
-            };
-            let Some(now) = flush else { continue };
-
-            // Form the batch: expired entries time out *before*
-            // execution, and the service level gates what runs at all.
-            let taken = queue.take(self.policy.max_batch);
-            let mut live = Vec::new();
-            for pending in taken {
-                let state = self.monitor.state();
-                let outcome = if state == HealthState::SafeStop {
-                    Some(Outcome::SafeStop)
-                } else if pending.request.deadline <= now {
-                    Some(Outcome::Timeout)
-                } else if state == HealthState::Degraded
-                    && pending.request.tier < self.degraded_floor
-                {
-                    Some(Outcome::Shed(ShedReason::DegradedTier))
-                } else {
-                    None
-                };
-                match outcome {
-                    Some(outcome) => {
-                        let response = Response {
-                            id: pending.request.id,
-                            tier: pending.request.tier,
-                            arrived_at: pending.queued_at,
-                            resolved_at: now,
-                            outcome,
-                        };
-                        metrics.record_response(&response);
-                        responses.push(response);
-                    }
-                    None => live.push(pending),
-                }
-            }
-            if live.is_empty() {
-                continue;
+                stalled = false;
             }
 
-            metrics.record_batch(live.len());
-            let inputs: Vec<&[f32]> = live.iter().map(|p| p.request.input.as_slice()).collect();
-            let verdicts = self.backend.serve(&inputs)?;
-            debug_assert_eq!(verdicts.len(), live.len(), "backend verdict count");
-            let done_at = now + self.service.duration(live.len());
-            free_at = done_at;
-
-            for (pending, verdict) in live.into_iter().zip(verdicts) {
-                let (stop, flagged, corrected, class, confidence) = match verdict {
-                    BatchVerdict::Stop => (true, true, false, 0, 0.0),
-                    BatchVerdict::Ok {
-                        class,
-                        confidence,
-                        flagged,
-                        corrected,
-                    } => (false, flagged, corrected, class, confidence),
-                };
-                // Corrected faults are warnings: the ladder only walks
-                // when the bounded warning budget is exhausted.
-                let health = if stop || flagged {
-                    HealthVerdict::Unhealthy
-                } else if corrected {
-                    HealthVerdict::Warning
+            // 3. Dispatch when the (recomputed) flush tick has come.
+            if !queue.is_empty() && !stalled {
+                let due = if self.all_stopped() {
+                    true
                 } else {
-                    HealthVerdict::Clean
+                    let fleet_free = self
+                        .monitors
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.state() != HealthState::SafeStop)
+                        .map(|(i, _)| free_at[i])
+                        .min()
+                        .expect("non-stopped member exists");
+                    self.policy
+                        .flush_at(queue.items(), fleet_free)
+                        .is_some_and(|f| f <= now)
                 };
-                if corrected && !flagged && !stop {
-                    self.chain.append(
-                        RecordKind::FaultCorrected,
-                        vec![
-                            ("server".into(), Value::Str("safex-serve".into())),
-                            ("at_tick".into(), Value::U64(done_at)),
-                            ("request".into(), Value::U64(pending.request.id)),
-                        ],
-                    );
-                }
-                if let Some(t) = self.monitor.step_verdict(health) {
-                    let transition = ServiceTransition {
-                        from: t.from,
-                        to: t.to,
-                        at_tick: done_at,
-                        after_request: pending.request.id,
-                    };
-                    transitions.push(transition);
-                    self.chain.append(
-                        RecordKind::HealthTransition,
-                        vec![
-                            ("server".into(), Value::Str("safex-serve".into())),
-                            ("from".into(), Value::Str(t.from.tag().into())),
-                            ("to".into(), Value::Str(t.to.tag().into())),
-                            ("at_tick".into(), Value::U64(done_at)),
-                            ("after_request".into(), Value::U64(pending.request.id)),
-                        ],
-                    );
-                }
-                // Release gate: a result is returned only when (a) the
-                // backend did not demand a stop, (b) the ladder has not
-                // reached safe stop, and (c) the deadline still holds.
-                // Anything else is a typed non-answer — a stale or
-                // suspect result is never released.
-                let state = self.monitor.state();
-                let outcome = if stop || state == HealthState::SafeStop {
-                    Outcome::SafeStop
-                } else if pending.request.deadline < done_at {
-                    Outcome::Timeout
-                } else {
-                    Outcome::Completed {
-                        class,
-                        confidence,
-                        flagged,
-                        level: state,
+                if due {
+                    let progressed = self.dispatch_round(
+                        now,
+                        &mut queue,
+                        &mut free_at,
+                        &mut decisions,
+                        &mut inflight,
+                        &mut responses,
+                        &mut metrics,
+                    )?;
+                    if !progressed {
+                        stalled = true;
                     }
-                };
-                let response = Response {
-                    id: pending.request.id,
-                    tier: pending.request.tier,
-                    arrived_at: pending.queued_at,
-                    resolved_at: done_at,
-                    outcome,
-                };
-                metrics.record_response(&response);
-                responses.push(response);
+                }
             }
         }
 
         debug_assert_eq!(responses.len(), arrivals.len(), "one response per request");
         metrics.record_peak_queue(queue.peak());
         responses.sort_by_key(|r| r.id);
+        let summaries = self
+            .fleet
+            .members()
+            .iter()
+            .zip(&self.monitors)
+            .enumerate()
+            .map(|(i, (member, monitor))| ModelSummary {
+                model: ModelId::new(i as u16),
+                name: member.name().to_string(),
+                final_state: monitor.state(),
+                time_nominal: monitor.time_in(HealthState::Nominal),
+                time_degraded: monitor.time_in(HealthState::Degraded),
+                time_stopped: monitor.time_in(HealthState::SafeStop),
+                transitions: monitor.transitions().len(),
+            })
+            .collect();
         Ok(ServeReport {
             responses,
             transitions,
+            models: summaries,
+            routing: self.router.name().to_string(),
             snapshot: metrics.snapshot(),
             chain_head: self.chain.head_hash(),
         })
     }
 
-    /// Admits one arrival (hook → service-level gate → bounded queue).
+    fn all_stopped(&self) -> bool {
+        self.monitors
+            .iter()
+            .all(|m| m.state() == HealthState::SafeStop)
+    }
+
+    /// The representative member for an anonymous refusal: the
+    /// least-loaded non-stopped member (ties by id) — the one the router
+    /// would most plausibly have chosen had health allowed.
+    fn refusing_member(&self, free_at: &[u64]) -> ModelId {
+        self.monitors
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.state() != HealthState::SafeStop)
+            .min_by_key(|(i, _)| (free_at[*i], *i))
+            .map(|(i, _)| ModelId::new(i as u16))
+            .unwrap_or(ModelId::new(0))
+    }
+
+    /// Admits one arrival (hook → fleet health gate → cache → queue).
     #[allow(clippy::too_many_arguments)]
     fn admit<F>(
         &mut self,
@@ -387,18 +511,10 @@ impl<B: Backend> Server<B> {
         metrics: &mut Metrics,
         on_arrival: &mut F,
     ) where
-        F: FnMut(&Request, &mut B),
+        F: FnMut(&Request, &mut Fleet<B>),
     {
-        on_arrival(&request, &mut self.backend);
-        let state = self.monitor.state();
-        let refusal = if state == HealthState::SafeStop {
-            Some(Outcome::SafeStop)
-        } else if state == HealthState::Degraded && request.tier < self.degraded_floor {
-            Some(Outcome::Shed(ShedReason::DegradedTier))
-        } else {
-            None
-        };
-        if let Some(outcome) = refusal {
+        on_arrival(&request, &mut self.fleet);
+        let respond = |outcome: Outcome, responses: &mut Vec<Response>, metrics: &mut Metrics| {
             let response = Response {
                 id: request.id,
                 tier: request.tier,
@@ -408,7 +524,87 @@ impl<B: Backend> Server<B> {
             };
             metrics.record_response(&response);
             responses.push(response);
+        };
+        // Fleet health gate. A pinned request lives and dies with its
+        // pin; a routable one is refused only when *no* member admits
+        // its tier.
+        if let Some(pin) = request.model {
+            match self.monitors.get(pin.index()).map(|m| m.state()) {
+                None => {
+                    respond(Outcome::SafeStop { model: Some(pin) }, responses, metrics);
+                    return;
+                }
+                Some(HealthState::SafeStop) => {
+                    respond(Outcome::SafeStop { model: Some(pin) }, responses, metrics);
+                    return;
+                }
+                Some(state) => {
+                    if !admits(state, request.tier, self.degraded_floor) {
+                        respond(
+                            Outcome::Shed(ShedReason::DegradedTier { model: pin }),
+                            responses,
+                            metrics,
+                        );
+                        return;
+                    }
+                }
+            }
+        } else if self.all_stopped() {
+            respond(Outcome::SafeStop { model: None }, responses, metrics);
             return;
+        } else if !self
+            .monitors
+            .iter()
+            .any(|m| admits(m.state(), request.tier, self.degraded_floor))
+        {
+            // Some member is still running, but every running member is
+            // degraded below this tier's floor.
+            let model = self
+                .monitors
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.state() != HealthState::SafeStop)
+                .map(|(i, _)| ModelId::new(i as u16))
+                .next()
+                .unwrap_or(ModelId::new(0));
+            respond(
+                Outcome::Shed(ShedReason::DegradedTier { model }),
+                responses,
+                metrics,
+            );
+            return;
+        }
+        // Verified-result cache: a hit answers immediately, on evidence.
+        if self.cache.is_enabled() {
+            metrics.record_cache_lookup();
+            if let Some(hit) = self.cache.lookup(&request.input) {
+                let (class, confidence, model, digest) =
+                    (hit.class, hit.confidence, hit.model, hit.digest);
+                metrics.record_cache_hit();
+                self.chain.append(
+                    RecordKind::CacheHit,
+                    vec![
+                        ("server".into(), Value::Str("safex-serve".into())),
+                        ("at_tick".into(), Value::U64(now)),
+                        ("request".into(), Value::U64(request.id)),
+                        ("digest".into(), Value::Str(format!("{digest:016x}"))),
+                        ("model".into(), Value::Str(model.to_string())),
+                    ],
+                );
+                respond(
+                    Outcome::Completed {
+                        class,
+                        confidence,
+                        flagged: false,
+                        level: HealthState::Nominal,
+                        model,
+                        cached: true,
+                    },
+                    responses,
+                    metrics,
+                );
+                return;
+            }
         }
         let (id, tier) = (request.id, request.tier);
         match queue.offer(request, now) {
@@ -437,5 +633,301 @@ impl<B: Backend> Server<B> {
             }
         }
         metrics.record_peak_queue(queue.len());
+    }
+
+    /// Runs one dispatch round at `now`: fairness selects, gates refuse,
+    /// the routing policy places, one batch per idle member executes.
+    /// Returns `false` when the round made no progress (everything
+    /// selected was put back).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_round(
+        &mut self,
+        now: u64,
+        queue: &mut AdmissionQueue,
+        free_at: &mut [u64],
+        decisions: &mut u64,
+        inflight: &mut Vec<InFlight>,
+        responses: &mut Vec<Response>,
+        metrics: &mut Metrics,
+    ) -> Result<bool, ServeError> {
+        let models = self.fleet.len();
+        // Members that can *start* a batch this round: running and idle.
+        let idle: Vec<bool> = (0..models)
+            .map(|i| self.monitors[i].state() != HealthState::SafeStop && free_at[i] <= now)
+            .collect();
+        let capacity: usize = idle.iter().filter(|&&b| b).count() * self.policy.max_batch;
+        let selected = if self.all_stopped() {
+            // Drain: every queued entry resolves to a typed refusal.
+            queue.take(queue.len())
+        } else {
+            queue.select(capacity.max(1), now, &self.fairness)
+        };
+        if selected.is_empty() {
+            return Ok(false);
+        }
+        let mut assigned: Vec<Vec<Pending>> = vec![Vec::new(); models];
+        let mut put_back: Vec<Pending> = Vec::new();
+        let mut progressed = false;
+        for pending in selected {
+            let request = &pending.request;
+            let mut respond = |outcome: Outcome, pending: &Pending| {
+                let response = Response {
+                    id: pending.request.id,
+                    tier: pending.request.tier,
+                    arrived_at: pending.queued_at,
+                    resolved_at: now,
+                    outcome,
+                };
+                metrics.record_response(&response);
+                responses.push(response);
+            };
+            if self.all_stopped() {
+                respond(Outcome::SafeStop { model: None }, &pending);
+                progressed = true;
+                continue;
+            }
+            if request.deadline <= now {
+                // Expired at batch formation: the result could only be
+                // stale, so it is never computed.
+                respond(Outcome::Timeout, &pending);
+                progressed = true;
+                continue;
+            }
+            if let Some(pin) = request.model {
+                // Pinned: the pin's fate is the request's fate.
+                match self.monitors.get(pin.index()).map(|m| m.state()) {
+                    None | Some(HealthState::SafeStop) => {
+                        respond(Outcome::SafeStop { model: Some(pin) }, &pending);
+                        progressed = true;
+                    }
+                    Some(state) if !admits(state, request.tier, self.degraded_floor) => {
+                        respond(
+                            Outcome::Shed(ShedReason::DegradedTier { model: pin }),
+                            &pending,
+                        );
+                        progressed = true;
+                    }
+                    Some(_) => {
+                        if idle[pin.index()] && assigned[pin.index()].len() < self.policy.max_batch
+                        {
+                            assigned[pin.index()].push(pending);
+                        } else {
+                            put_back.push(pending);
+                        }
+                    }
+                }
+                continue;
+            }
+            // Routable: build the candidate view (health-admitting, idle,
+            // with batch capacity) and let the policy pick.
+            let candidates: Vec<CandidateView> = (0..models)
+                .filter(|&i| {
+                    idle[i]
+                        && assigned[i].len() < self.policy.max_batch
+                        && admits(self.monitors[i].state(), request.tier, self.degraded_floor)
+                })
+                .map(|i| CandidateView {
+                    id: ModelId::new(i as u16),
+                    state: self.monitors[i].state(),
+                    free_at: now + self.service.duration(assigned[i].len() + 1),
+                    assigned: assigned[i].len(),
+                })
+                .collect();
+            if candidates.is_empty() {
+                // No member can take it *now*. If some running member
+                // admits the tier (just busy or full), the request waits;
+                // otherwise every running member refuses it by health.
+                let eventually = (0..models).any(|i| {
+                    self.monitors[i].state() != HealthState::SafeStop
+                        && admits(self.monitors[i].state(), request.tier, self.degraded_floor)
+                });
+                if eventually {
+                    put_back.push(pending);
+                } else {
+                    respond(
+                        Outcome::Shed(ShedReason::DegradedTier {
+                            model: self.refusing_member(free_at),
+                        }),
+                        &pending,
+                    );
+                    progressed = true;
+                }
+                continue;
+            }
+            let view = RouteView {
+                request,
+                decision: *decisions,
+                now,
+                candidates: &candidates,
+            };
+            *decisions += 1;
+            let choice = self.router.route(&view);
+            // A policy returning a non-candidate is a bug; fall back to
+            // the first candidate rather than violate the health gate.
+            let target = if candidates.iter().any(|c| c.id == choice) {
+                choice
+            } else {
+                candidates[0].id
+            };
+            assigned[target.index()].push(pending);
+        }
+        // Execute one batch per member, in member order. Verdicts are
+        // computed now (the batch runs now); effects land at retirement.
+        for (i, batch) in assigned.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            progressed = true;
+            let model = ModelId::new(i as u16);
+            let done_at = now + self.service.duration(batch.len());
+            free_at[i] = done_at;
+            metrics.record_batch(model, batch.len());
+            let inputs: Vec<&[f32]> = batch.iter().map(|p| p.request.input.as_slice()).collect();
+            let backend = self
+                .fleet
+                .backend_mut(model)
+                .expect("assigned member exists");
+            let verdicts = backend.serve(&inputs)?;
+            debug_assert_eq!(verdicts.len(), batch.len(), "backend verdict count");
+            inflight.push(InFlight {
+                model,
+                done_at,
+                items: batch.into_iter().zip(verdicts).collect(),
+            });
+        }
+        queue.put_back(put_back);
+        Ok(progressed)
+    }
+
+    /// Applies one completed batch's effects at its completion tick:
+    /// monitor stepping, evidence, response release (or fail-over),
+    /// cache insertion.
+    fn retire(
+        &mut self,
+        batch: InFlight,
+        queue: &mut AdmissionQueue,
+        responses: &mut Vec<Response>,
+        transitions: &mut Vec<ServiceTransition>,
+        metrics: &mut Metrics,
+    ) {
+        let InFlight {
+            model,
+            done_at,
+            items,
+        } = batch;
+        let mut failover: Vec<Pending> = Vec::new();
+        for (pending, verdict) in items {
+            let (stop, flagged, corrected, class, confidence) = match verdict {
+                BatchVerdict::Stop => (true, true, false, 0, 0.0),
+                BatchVerdict::Ok {
+                    class,
+                    confidence,
+                    flagged,
+                    corrected,
+                } => (false, flagged, corrected, class, confidence),
+            };
+            // Corrected faults are warnings: the ladder only walks when
+            // the bounded warning budget is exhausted.
+            let health = if stop || flagged {
+                HealthVerdict::Unhealthy
+            } else if corrected {
+                HealthVerdict::Warning
+            } else {
+                HealthVerdict::Clean
+            };
+            if corrected && !flagged && !stop {
+                self.chain.append(
+                    RecordKind::FaultCorrected,
+                    vec![
+                        ("server".into(), Value::Str("safex-serve".into())),
+                        ("model".into(), Value::Str(model.to_string())),
+                        ("at_tick".into(), Value::U64(done_at)),
+                        ("request".into(), Value::U64(pending.request.id)),
+                    ],
+                );
+            }
+            let monitor = &mut self.monitors[model.index()];
+            if let Some(t) = monitor.step_verdict(health) {
+                let transition = ServiceTransition {
+                    model,
+                    from: t.from,
+                    to: t.to,
+                    at_tick: done_at,
+                    after_request: pending.request.id,
+                };
+                transitions.push(transition);
+                self.chain.append(
+                    RecordKind::HealthTransition,
+                    vec![
+                        ("server".into(), Value::Str("safex-serve".into())),
+                        ("model".into(), Value::Str(model.to_string())),
+                        ("from".into(), Value::Str(t.from.tag().into())),
+                        ("to".into(), Value::Str(t.to.tag().into())),
+                        ("at_tick".into(), Value::U64(done_at)),
+                        ("after_request".into(), Value::U64(pending.request.id)),
+                    ],
+                );
+            }
+            // Release gate: a result is returned only when (a) the
+            // backend did not demand a stop, (b) the member's ladder has
+            // not reached safe stop, and (c) the deadline still holds.
+            // Anything else is a typed non-answer — a stale or suspect
+            // result is never released.
+            let state = self.monitors[model.index()].state();
+            let outcome = if stop || state == HealthState::SafeStop {
+                // Fail-over: when the *ladder* (not the backend verdict
+                // for this very item) withheld the result, an unpinned
+                // request whose deadline still holds is recomputed on a
+                // healthy peer rather than failed — one stopping member
+                // costs the fleet latency, not answers. A pinned request
+                // dies with its pin, and a backend-demanded stop is
+                // honoured as a per-item safety verdict.
+                let ladder_only = !stop && state == HealthState::SafeStop;
+                let peer_alive = self
+                    .monitors
+                    .iter()
+                    .enumerate()
+                    .any(|(i, m)| i != model.index() && m.state() != HealthState::SafeStop);
+                if ladder_only
+                    && pending.request.model.is_none()
+                    && pending.request.deadline > done_at
+                    && peer_alive
+                {
+                    failover.push(pending);
+                    continue;
+                }
+                Outcome::SafeStop { model: Some(model) }
+            } else if pending.request.deadline < done_at {
+                Outcome::Timeout
+            } else {
+                // A fully verified decision — unflagged, uncorrected,
+                // released at Nominal — is the only thing the result
+                // cache may learn.
+                if !flagged && !corrected && state == HealthState::Nominal {
+                    self.cache
+                        .insert(&pending.request.input, class, confidence, model);
+                }
+                Outcome::Completed {
+                    class,
+                    confidence,
+                    flagged,
+                    level: state,
+                    model,
+                    cached: false,
+                }
+            };
+            let response = Response {
+                id: pending.request.id,
+                tier: pending.request.tier,
+                arrived_at: pending.queued_at,
+                resolved_at: done_at,
+                outcome,
+            };
+            metrics.record_response(&response);
+            responses.push(response);
+        }
+        if !failover.is_empty() {
+            queue.put_back(failover);
+        }
     }
 }

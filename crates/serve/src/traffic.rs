@@ -160,12 +160,12 @@ impl TrafficConfig {
                 };
                 Arrival {
                     at,
-                    request: Request {
-                        id: i as u64,
-                        input: inputs[i % inputs.len()].clone(),
+                    request: Request::new(
+                        i as u64,
+                        inputs[i % inputs.len()].clone(),
                         tier,
-                        deadline: at + self.deadline,
-                    },
+                        at + self.deadline,
+                    ),
                 }
             })
             .collect();
@@ -209,12 +209,7 @@ mod tests {
     fn bad_traces_are_rejected() {
         let mk = |id, at, deadline| Arrival {
             at,
-            request: Request {
-                id,
-                input: vec![0.0],
-                tier: Tier::Low,
-                deadline,
-            },
+            request: Request::new(id, vec![0.0], Tier::Low, deadline),
         };
         // Decreasing time.
         assert!(ArrivalTrace::from_arrivals(vec![mk(0, 5, 10), mk(1, 3, 10)]).is_err());

@@ -1,13 +1,18 @@
 //! End-to-end serving-runtime tests: deterministic replay, typed
 //! shedding order, deadline semantics, and the health-gated degradation
 //! walk under mid-traffic weight strikes.
+//!
+//! These tests run the single-model shape ([`Server::single`]) — the
+//! pre-fleet deployment the fleet redesign had to keep working. The
+//! fleet-specific behaviours (routing, per-model ladders, cache,
+//! fairness) live in `tests/fleet.rs`.
 
 use safex_core::health::{HealthConfig, HealthState};
 use safex_nn::model::ModelBuilder;
 use safex_nn::{Engine, HardenConfig, HardenedEngine, Model};
 use safex_serve::{
-    Arrival, ArrivalTrace, BatchPolicy, Outcome, PoolBackend, Request, Server, ServerConfig,
-    ShedReason, Tier, TrafficConfig,
+    Arrival, ArrivalTrace, BatchPolicy, ModelId, Outcome, PoolBackend, Request, Server,
+    ServerConfig, ShedReason, Tier, TrafficConfig,
 };
 use safex_tensor::{DetRng, Shape};
 
@@ -34,6 +39,17 @@ fn hardened(model: &Model, inputs: &[Vec<f32>]) -> HardenedEngine {
     engine
 }
 
+fn strike_health() -> HealthConfig {
+    HealthConfig {
+        window: 8,
+        degrade_events: 2,
+        stop_events: 6,
+        recover_after: 16,
+        resume_after: 0,
+        warn_budget: 3,
+    }
+}
+
 #[test]
 fn replay_is_byte_identical_for_any_worker_count() {
     let (model, inputs) = fixture();
@@ -51,7 +67,7 @@ fn replay_is_byte_identical_for_any_worker_count() {
     let mut reference_json = None;
     for workers in [1usize, 2, 4, 8] {
         let backend = PoolBackend::new(&engine, workers).unwrap();
-        let mut server = Server::new(ServerConfig::default(), backend).unwrap();
+        let mut server = Server::single(ServerConfig::default(), backend).unwrap();
         let report = server.run_trace(&trace).unwrap();
         let json = report.to_json().to_string_compact();
         match &reference_json {
@@ -67,7 +83,7 @@ fn replay_is_byte_identical_for_any_worker_count() {
     }
     // And a plain rerun reproduces the artefact byte for byte.
     let backend = PoolBackend::new(&engine, 4).unwrap();
-    let mut server = Server::new(ServerConfig::default(), backend).unwrap();
+    let mut server = Server::single(ServerConfig::default(), backend).unwrap();
     let again = server
         .run_trace(&trace)
         .unwrap()
@@ -91,26 +107,19 @@ fn overload_sheds_strictly_lowest_criticality_first() {
         };
         arrivals.push(Arrival {
             at: 1 + i / 8,
-            request: Request {
-                id: i,
-                input: inputs[i as usize % inputs.len()].clone(),
-                tier,
-                deadline: 5_000,
-            },
+            request: Request::new(i, inputs[i as usize % inputs.len()].clone(), tier, 5_000),
         });
     }
     let trace = ArrivalTrace::from_arrivals(arrivals).unwrap();
-    let config = ServerConfig {
-        policy: BatchPolicy {
-            max_batch: 4,
-            queue_cap: 8,
-            flush_slack: 10,
-            max_linger: 10_000,
-        },
-        ..ServerConfig::default()
-    };
+    let config = ServerConfig::default().with_policy(
+        BatchPolicy::default()
+            .with_max_batch(4)
+            .with_queue_cap(8)
+            .with_flush_slack(10)
+            .with_max_linger(10_000),
+    );
     let backend = PoolBackend::new(&engine, 2).unwrap();
-    let mut server = Server::new(config, backend).unwrap();
+    let mut server = Server::single(config, backend).unwrap();
     let report = server.run_trace(&trace).unwrap();
 
     let shed: Vec<_> = report
@@ -168,17 +177,17 @@ fn expired_deadlines_produce_timeouts_never_stale_responses() {
     let arrivals: Vec<Arrival> = (0..12u64)
         .map(|i| Arrival {
             at: 1 + i,
-            request: Request {
-                id: i,
-                input: inputs[i as usize % inputs.len()].clone(),
-                tier: Tier::High,
-                deadline: 1 + i + 5,
-            },
+            request: Request::new(
+                i,
+                inputs[i as usize % inputs.len()].clone(),
+                Tier::High,
+                1 + i + 5,
+            ),
         })
         .collect();
     let trace = ArrivalTrace::from_arrivals(arrivals).unwrap();
     let backend = PoolBackend::new(&engine, 1).unwrap();
-    let mut server = Server::new(ServerConfig::default(), backend).unwrap();
+    let mut server = Server::single(ServerConfig::default(), backend).unwrap();
     let report = server.run_trace(&trace).unwrap();
     for r in &report.responses {
         assert_eq!(
@@ -210,29 +219,22 @@ fn weight_strike_walks_the_ladder_with_zero_silent_corruption() {
     }
     .synthesize(&inputs)
     .unwrap();
-    let config = ServerConfig {
-        health: HealthConfig {
-            window: 8,
-            degrade_events: 2,
-            stop_events: 6,
-            recover_after: 16,
-            resume_after: 0,
-            warn_budget: 3,
-        },
-        ..ServerConfig::default()
-    };
+    let config = ServerConfig::default().with_health(strike_health());
     let backend = PoolBackend::new(&engine, 2).unwrap();
-    let mut server = Server::new(config, backend).unwrap();
+    let mut server = Server::single(config.clone(), backend).unwrap();
     // Persistent weight corruption lands just before request 40 is
     // admitted; the CRC flags every subsequent decision, so the ladder
     // must walk Nominal → Degraded → SafeStop.
-    let report = server
-        .run_trace_with(&trace, |request, backend| {
-            if request.id == 40 {
-                backend.strike_weights(0xBAD5EED, 1, 2).unwrap();
-            }
-        })
-        .unwrap();
+    let strike = |request: &Request, fleet: &mut safex_serve::Fleet<PoolBackend>| {
+        if request.id == 40 {
+            fleet
+                .backend_mut(ModelId::new(0))
+                .unwrap()
+                .strike_weights(0xBAD5EED, 1, 2)
+                .unwrap();
+        }
+    };
+    let report = server.run_trace_with(&trace, strike).unwrap();
 
     let walk: Vec<(HealthState, HealthState)> =
         report.transitions.iter().map(|t| (t.from, t.to)).collect();
@@ -245,6 +247,11 @@ fn weight_strike_walks_the_ladder_with_zero_silent_corruption() {
         "ladder must walk down exactly once: {:?}",
         report.transitions
     );
+    // Transitions name the (single) model.
+    assert!(report
+        .transitions
+        .iter()
+        .all(|t| t.model == ModelId::new(0)));
     // Every transition is in the evidence chain and the chain verifies.
     assert!(server.evidence().verify().is_ok());
     assert_eq!(
@@ -271,7 +278,7 @@ fn weight_strike_walks_the_ladder_with_zero_silent_corruption() {
                     silent += 1;
                 }
             }
-            Outcome::SafeStop => safestopped = safestopped.saturating_add(1),
+            Outcome::SafeStop { .. } => safestopped = safestopped.saturating_add(1),
             _ => {}
         }
     }
@@ -282,28 +289,8 @@ fn weight_strike_walks_the_ladder_with_zero_silent_corruption() {
     );
     // And the whole faulted run still replays byte-for-byte.
     let backend = PoolBackend::new(&engine, 8).unwrap();
-    let mut server2 = Server::new(
-        ServerConfig {
-            health: HealthConfig {
-                window: 8,
-                degrade_events: 2,
-                stop_events: 6,
-                recover_after: 16,
-                resume_after: 0,
-                warn_budget: 3,
-            },
-            ..ServerConfig::default()
-        },
-        backend,
-    )
-    .unwrap();
-    let replay = server2
-        .run_trace_with(&trace, |request, backend| {
-            if request.id == 40 {
-                backend.strike_weights(0xBAD5EED, 1, 2).unwrap();
-            }
-        })
-        .unwrap();
+    let mut server2 = Server::single(config, backend).unwrap();
+    let replay = server2.run_trace_with(&trace, strike).unwrap();
     assert_eq!(replay, report, "faulted replay diverged");
     assert_eq!(
         replay.to_json().to_string_compact(),
@@ -317,17 +304,14 @@ fn safe_stop_fails_all_requests_without_execution() {
     let engine = hardened(&model, &inputs);
     // Stop thresholds so tight the first flagged decision stops the
     // server; strike before the very first request.
-    let config = ServerConfig {
-        health: HealthConfig {
-            window: 4,
-            degrade_events: 1,
-            stop_events: 1,
-            recover_after: 16,
-            resume_after: 0,
-            warn_budget: 3,
-        },
-        ..ServerConfig::default()
-    };
+    let config = ServerConfig::default().with_health(HealthConfig {
+        window: 4,
+        degrade_events: 1,
+        stop_events: 1,
+        recover_after: 16,
+        resume_after: 0,
+        warn_budget: 3,
+    });
     let trace = TrafficConfig {
         seed: 3,
         requests: 30,
@@ -336,11 +320,15 @@ fn safe_stop_fails_all_requests_without_execution() {
     .synthesize(&inputs)
     .unwrap();
     let backend = PoolBackend::new(&engine, 1).unwrap();
-    let mut server = Server::new(config, backend).unwrap();
+    let mut server = Server::single(config, backend).unwrap();
     let report = server
-        .run_trace_with(&trace, |request, backend| {
+        .run_trace_with(&trace, |request, fleet| {
             if request.id == 0 {
-                backend.strike_weights(1, 1, 1).unwrap();
+                fleet
+                    .backend_mut(ModelId::new(0))
+                    .unwrap()
+                    .strike_weights(1, 1, 1)
+                    .unwrap();
             }
         })
         .unwrap();
@@ -348,7 +336,7 @@ fn safe_stop_fails_all_requests_without_execution() {
     let after_stop: Vec<_> = report
         .responses
         .iter()
-        .filter(|r| matches!(r.outcome, Outcome::SafeStop))
+        .filter(|r| matches!(r.outcome, Outcome::SafeStop { .. }))
         .collect();
     assert!(
         !after_stop.is_empty(),

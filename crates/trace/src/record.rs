@@ -30,6 +30,11 @@ pub enum RecordKind {
     HealthTransition,
     /// A weight-memory fault was detected and corrected in place (ECC).
     FaultCorrected,
+    /// A serving request was answered from the result cache: the record
+    /// binds the hit to the input digest and the model that computed the
+    /// original (verified) result, keeping cached answers on the
+    /// evidence chain.
+    CacheHit,
 }
 
 impl RecordKind {
@@ -48,6 +53,7 @@ impl RecordKind {
             RecordKind::VerificationOutcome => "verification_outcome",
             RecordKind::HealthTransition => "health_transition",
             RecordKind::FaultCorrected => "fault_corrected",
+            RecordKind::CacheHit => "cache_hit",
         }
     }
 }
@@ -173,29 +179,58 @@ impl EvidenceRecord {
     }
 }
 
-/// FNV-1a 64-bit hasher (stable across platforms, dependency-free).
+/// FNV-1a 64-bit hasher: the stable, dependency-free digest every
+/// evidence artefact in the workspace hashes with.
+///
+/// Public so the layers above (result caches, golden-report tests) key
+/// their artefacts through the *same* hash that chains the evidence —
+/// one digest convention, one place to swap it for a cryptographic hash.
 #[derive(Debug, Clone)]
-pub(crate) struct Fnv64(u64);
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
 
 impl Fnv64 {
-    pub(crate) fn new() -> Self {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
         Fnv64(0xcbf2_9ce4_8422_2325)
     }
 
-    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
 
-    pub(crate) fn write_u64(&mut self, v: u64) {
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
         self.write_bytes(&v.to_le_bytes());
     }
 
-    pub(crate) fn finish(&self) -> u64 {
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
         self.0
     }
+}
+
+/// Canonical digest of an inference input: FNV-1a over the exact bit
+/// patterns of the values (no float rounding, `-0.0 != 0.0`, NaNs by
+/// payload). Two inputs share a digest key only if they would produce
+/// bit-identical inference — which is what makes the digest safe to key
+/// a cross-request result cache with.
+pub fn input_digest(input: &[f32]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(input.len() as u64);
+    for v in input {
+        h.write_bytes(&v.to_bits().to_le_bytes());
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -252,6 +287,19 @@ mod tests {
     fn kind_tags_stable() {
         assert_eq!(RecordKind::TimingAnalysis.tag(), "timing_analysis");
         assert_eq!(RecordKind::PatternDecision.to_string(), "pattern_decision");
+        assert_eq!(RecordKind::CacheHit.tag(), "cache_hit");
+    }
+
+    #[test]
+    fn input_digest_is_exact_and_length_aware() {
+        let a = input_digest(&[0.5, -1.25]);
+        assert_eq!(a, input_digest(&[0.5, -1.25]), "digest must be stable");
+        assert_ne!(a, input_digest(&[0.5, -1.25, 0.0]));
+        // Bit-exact: +0.0 and -0.0 are different inputs.
+        assert_ne!(input_digest(&[0.0]), input_digest(&[-0.0]));
+        // Length is part of the key: [0.0] vs [] vs [0.0, 0.0] all differ.
+        assert_ne!(input_digest(&[0.0]), input_digest(&[]));
+        assert_ne!(input_digest(&[0.0]), input_digest(&[0.0, 0.0]));
     }
 
     #[test]

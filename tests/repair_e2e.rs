@@ -7,7 +7,7 @@
 use safex_core::health::{HealthConfig, HealthState};
 use safex_nn::model::ModelBuilder;
 use safex_nn::{EccConfig, Engine, HardenConfig, HardenedEngine, Model};
-use safex_serve::{Outcome, PoolBackend, Server, ServerConfig, TrafficConfig};
+use safex_serve::{ModelId, Outcome, PoolBackend, Server, ServerConfig, TrafficConfig};
 use safex_tensor::{DetRng, Shape};
 use safex_trace::RecordKind;
 
@@ -39,17 +39,14 @@ fn repairing_engine(model: &Model, inputs: &[Vec<f32>]) -> HardenedEngine {
 }
 
 fn server_config() -> ServerConfig {
-    ServerConfig {
-        health: HealthConfig {
-            window: 8,
-            degrade_events: 2,
-            stop_events: 6,
-            recover_after: 16,
-            resume_after: 0,
-            warn_budget: 3,
-        },
-        ..ServerConfig::default()
-    }
+    ServerConfig::default().with_health(HealthConfig {
+        window: 8,
+        degrade_events: 2,
+        stop_events: 6,
+        recover_after: 16,
+        resume_after: 0,
+        warn_budget: 3,
+    })
 }
 
 #[test]
@@ -66,12 +63,16 @@ fn single_bit_flip_is_corrected_and_the_server_stays_nominal() {
     .synthesize(&inputs)
     .unwrap();
     let backend = PoolBackend::new(&engine, 4).unwrap();
-    let mut server = Server::new(server_config(), backend).unwrap();
+    let mut server = Server::single(server_config(), backend).unwrap();
     // One SEU flipping one bit of one weight, landing mid-traffic.
     let report = server
-        .run_trace_with(&trace, |request, backend| {
+        .run_trace_with(&trace, |request, fleet| {
             if request.id == 40 {
-                backend.strike_weights(0xBAD5EED, 1, 1).unwrap();
+                fleet
+                    .backend_mut(ModelId::new(0))
+                    .unwrap()
+                    .strike_weights(0xBAD5EED, 1, 1)
+                    .unwrap();
             }
         })
         .unwrap();
@@ -116,7 +117,7 @@ fn single_bit_flip_is_corrected_and_the_server_stays_nominal() {
         !report
             .responses
             .iter()
-            .any(|r| matches!(r.outcome, Outcome::SafeStop)),
+            .any(|r| matches!(r.outcome, Outcome::SafeStop { .. })),
         "nothing may fail safe when the fault is correctable"
     );
 }
@@ -135,13 +136,17 @@ fn double_bit_flip_still_walks_degraded_then_safe_stop() {
     .synthesize(&inputs)
     .unwrap();
     let backend = PoolBackend::new(&engine, 4).unwrap();
-    let mut server = Server::new(server_config(), backend).unwrap();
+    let mut server = Server::single(server_config(), backend).unwrap();
     // Two bits of the same weight word: beyond single-error correction,
     // so the sidecar must refuse to touch it and escalate as before.
     let report = server
-        .run_trace_with(&trace, |request, backend| {
+        .run_trace_with(&trace, |request, fleet| {
             if request.id == 40 {
-                backend.strike_weights(0xBAD5EED, 1, 2).unwrap();
+                fleet
+                    .backend_mut(ModelId::new(0))
+                    .unwrap()
+                    .strike_weights(0xBAD5EED, 1, 2)
+                    .unwrap();
             }
         })
         .unwrap();
@@ -167,7 +172,7 @@ fn double_bit_flip_still_walks_degraded_then_safe_stop() {
         report
             .responses
             .iter()
-            .any(|r| matches!(r.outcome, Outcome::SafeStop)),
+            .any(|r| matches!(r.outcome, Outcome::SafeStop { .. })),
         "traffic after the stop must fail safe"
     );
 }
