@@ -1,0 +1,317 @@
+//! Experiment E15: soak runtime — atomic hot swap, snapshot/restore
+//! fidelity, and the layered watchdog under a seeded fault campaign.
+//!
+//! Three questions, in certification order:
+//!
+//! 1. **Hot swap cost** — when a fleet member's model is replaced
+//!    mid-traffic (quiesce → re-golden → digest gate → commit), how many
+//!    ticks does the drain take, and does the rest of the fleet keep
+//!    serving throughout?
+//! 2. **Restore fidelity** — a run snapshotted mid-traffic and resumed
+//!    from the restored state must reproduce the uninterrupted run's
+//!    replay artefact byte-for-byte; how expensive are the snapshot
+//!    codec and the restore path?
+//! 3. **Watchdog economics** — what does per-stage liveness tracking
+//!    cost on a healthy pipeline, and how many heartbeats/proofs does a
+//!    soak campaign record?
+//!
+//! Besides criterion timings, this bench appends `e15_soak/stats/*`
+//! JSON lines (swap latency, watchdog kick counts, restore fidelity)
+//! to `SAFEX_BENCH_JSON` for `BENCH_pr7.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_core::health::{HealthConfig, HealthState};
+use safex_nn::model::ModelBuilder;
+use safex_nn::{EccConfig, HardenConfig, HardenedEngine, Model};
+use safex_serve::{
+    ArrivalTrace, Backend, CacheConfig, Fleet, ModelId, OpsPlan, PoolBackend, Request, RoutingKind,
+    Server, ServerConfig, ServerSnapshot, SimClock, SwapOp, TrafficConfig, WatchStage,
+    WatchdogConfig,
+};
+use safex_tensor::{DetRng, Shape};
+use safex_trace::RecordKind;
+
+fn fixture(seed: u64) -> Model {
+    let mut rng = DetRng::new(seed);
+    ModelBuilder::new(Shape::vector(6))
+        .dense(10, &mut rng)
+        .unwrap()
+        .relu()
+        .dense(4, &mut rng)
+        .unwrap()
+        .softmax()
+        .build()
+        .unwrap()
+}
+
+/// A mostly-distinct input stream: the verified-result cache gets real
+/// hits without starving the backends of fresh work.
+fn wide_inputs() -> Vec<Vec<f32>> {
+    let mut rng = DetRng::new(0xE15);
+    (0..800)
+        .map(|_| (0..6).map(|_| rng.next_f32()).collect())
+        .collect()
+}
+
+fn hardened(model: &Model, inputs: &[Vec<f32>]) -> HardenedEngine {
+    // ECC repair on: single-bit SEU strikes are corrected in place, which
+    // is the fault model the soak injects.
+    let config = HardenConfig {
+        repair: Some(EccConfig::default()),
+        ..HardenConfig::default()
+    };
+    let mut engine = HardenedEngine::new(model.clone(), config).expect("harden");
+    engine.calibrate(inputs).expect("calibrate");
+    engine
+}
+
+fn three_member_fleet(engine: &HardenedEngine) -> Fleet<PoolBackend> {
+    let mut builder = Fleet::builder();
+    for name in ["alpha", "beta", "gamma"] {
+        builder = builder.register(name, PoolBackend::new(engine, 1).expect("pool"));
+    }
+    builder.build().expect("fleet")
+}
+
+fn soak_config() -> ServerConfig {
+    ServerConfig::default()
+        // Round-robin keeps routing work onto a Degraded member, so the
+        // uncorrectable strike reliably walks the full ladder.
+        .with_routing(RoutingKind::RoundRobin)
+        .with_health(HealthConfig {
+            window: 8,
+            degrade_events: 2,
+            stop_events: 6,
+            recover_after: 16,
+            resume_after: 0,
+            warn_budget: 3,
+        })
+        .with_cache(CacheConfig::enabled(256))
+        .with_watchdog(WatchdogConfig::enabled(1024).with_proof_cadence(1800))
+        .with_campaign("bench-e15")
+}
+
+fn campaign_trace(inputs: &[Vec<f32>]) -> ArrivalTrace {
+    TrafficConfig {
+        seed: 0xE15_50AC,
+        requests: 1200,
+        mean_interarrival: 3.0,
+        deadline: 600,
+        ..TrafficConfig::default()
+    }
+    .synthesize(inputs)
+    .expect("trace")
+}
+
+/// Appends one `{"id":..., "value":...}` stat line next to the criterion
+/// timing lines, so `scripts/bench.sh` collects experiment numbers and
+/// timings in the same artefact.
+fn emit_stat(id: &str, value: f64) {
+    use std::io::Write;
+    if let Some(path) = std::env::var_os("SAFEX_BENCH_JSON") {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{{\"id\":\"{id}\",\"value\":{value}}}");
+            }
+            Err(e) => eprintln!("warning: could not append to {path:?}: {e}"),
+        }
+    }
+}
+
+fn strikes(request: &Request, fleet: &mut Fleet<PoolBackend>) {
+    let alpha = ModelId::new(0);
+    if request.id == 100 {
+        // Single-bit SEU: repaired in place by the ECC sidecar.
+        fleet
+            .backend_mut(alpha)
+            .expect("member")
+            .strike_weights(0xA11CE, 1, 1)
+            .expect("strike");
+    }
+    if request.id == 960 {
+        // Double-bit SEU: uncorrectable; alpha walks its ladder down.
+        fleet
+            .backend_mut(alpha)
+            .expect("member")
+            .strike_weights(0xBAD5EED, 1, 2)
+            .expect("strike");
+    }
+}
+
+fn print_tables() -> Vec<u8> {
+    let inputs = wide_inputs();
+    let engine = hardened(&fixture(0xF1EE7), &inputs);
+    let engine2 = hardened(&fixture(0xB0B2), &inputs);
+    let good_digest = PoolBackend::new(&engine2, 1)
+        .expect("pool")
+        .swap_digest()
+        .expect("digest");
+    let trace = campaign_trace(&inputs);
+    let beta = ModelId::new(1);
+
+    // ---- 1. The soak campaign: faults, one committed swap, snapshot. -----
+    println!("\n=== E15: soak campaign, SEU strikes on alpha, hot swap on beta ===");
+    let plan = OpsPlan::none().with_snapshot_at(600).with_swap(SwapOp {
+        at_request: 720,
+        model: beta,
+        incoming: PoolBackend::new(&engine2, 1).expect("pool"),
+        expected_digest: Some(good_digest),
+    });
+    let mut server = Server::new(soak_config(), three_member_fleet(&engine)).expect("server");
+    let base = server
+        .run_soak_with(&trace, plan, &mut SimClock, strikes)
+        .expect("soak");
+    assert_eq!(base.report.responses.len(), trace.len(), "no silent drops");
+
+    let swap = &base.report.soak.swaps[0];
+    assert!(swap.committed && swap.model == beta, "swap must commit");
+    assert_eq!(swap.digest, good_digest);
+    println!(
+        "  hot swap: {} drained {} ticks (requested t={}, committed t={}), digest {:016x}",
+        swap.model,
+        swap.latency(),
+        swap.requested_at,
+        swap.resolved_at,
+        swap.digest
+    );
+    emit_stat("e15_soak/stats/swap_latency_ticks", swap.latency() as f64);
+    emit_stat(
+        "e15_soak/stats/swap_committed",
+        u64::from(swap.committed) as f64,
+    );
+
+    for t in &base.report.transitions {
+        println!(
+            "  {} {} -> {} at tick {} (after request {})",
+            t.model, t.from, t.to, t.at_tick, t.after_request
+        );
+    }
+    // The uncorrectable strike walked alpha to SafeStop while the rest of
+    // the fleet (including the freshly swapped member) kept serving.
+    assert_eq!(
+        server.model_state(ModelId::new(0)),
+        Some(HealthState::SafeStop),
+        "alpha must walk to SafeStop after the 2-bit strike"
+    );
+    assert_eq!(server.model_state(beta), Some(HealthState::Nominal));
+    assert!(
+        !server
+            .evidence()
+            .records_of_kind(RecordKind::FaultCorrected)
+            .is_empty(),
+        "the 1-bit strike must surface as repaired-fault evidence"
+    );
+
+    // ---- 3. Watchdog heartbeats on a healthy pipeline. -------------------
+    let soak = &base.report.soak;
+    println!(
+        "  watchdog: kicks admission={} batcher={} backend={} release={}, alarms={}, proofs={}",
+        soak.watchdog_kicks[WatchStage::Admission.index()],
+        soak.watchdog_kicks[WatchStage::Batcher.index()],
+        soak.watchdog_kicks[WatchStage::Backend.index()],
+        soak.watchdog_kicks[WatchStage::Release.index()],
+        soak.watchdog_alarms,
+        soak.watchdog_proofs,
+    );
+    for stage in WatchStage::ALL {
+        emit_stat(
+            &format!("e15_soak/stats/watchdog/kicks_{}", stage.tag()),
+            soak.watchdog_kicks[stage.index()] as f64,
+        );
+    }
+    emit_stat(
+        "e15_soak/stats/watchdog/alarms",
+        soak.watchdog_alarms as f64,
+    );
+    emit_stat(
+        "e15_soak/stats/watchdog/proofs",
+        soak.watchdog_proofs as f64,
+    );
+    assert!(soak.watchdog_kicks.iter().all(|&k| k > 0));
+    assert_eq!(soak.watchdog_alarms, 0, "healthy pipeline: no alarms");
+
+    // ---- 2. Restore fidelity: resumed run == uninterrupted run. ----------
+    let bytes = base.snapshot.clone().expect("plan captured a snapshot");
+    let mut restored =
+        Server::restore(soak_config(), three_member_fleet(&engine), &bytes).expect("restore");
+    let plan = OpsPlan::none().with_snapshot_at(600).with_swap(SwapOp {
+        at_request: 720,
+        model: beta,
+        incoming: PoolBackend::new(&engine2, 1).expect("pool"),
+        expected_digest: Some(good_digest),
+    });
+    let resumed = restored
+        .run_soak_with(&trace, plan, &mut SimClock, strikes)
+        .expect("resume");
+    let fidelity = u64::from(
+        resumed.report.replay_json().to_string_compact()
+            == base.report.replay_json().to_string_compact(),
+    );
+    let chain_delta = restored.evidence().len() as f64 - server.evidence().len() as f64;
+    println!(
+        "  restore: snapshot {} bytes, replay byte-identical={}, chain delta={} (the runtime_restored record)",
+        bytes.len(),
+        fidelity,
+        chain_delta
+    );
+    assert_eq!(fidelity, 1, "restored continuation diverged from baseline");
+    assert_eq!(resumed.report.replay_digest(), base.report.replay_digest());
+    emit_stat("e15_soak/stats/restore_fidelity", fidelity as f64);
+    emit_stat("e15_soak/stats/restore_chain_delta", chain_delta);
+    emit_stat("e15_soak/stats/snapshot_bytes", bytes.len() as f64);
+    println!();
+    bytes
+}
+
+fn bench(c: &mut Criterion) {
+    let bytes = print_tables();
+    let inputs = wide_inputs();
+    let engine = hardened(&fixture(0xF1EE7), &inputs);
+    let trace = TrafficConfig {
+        seed: 0xE15,
+        requests: 300,
+        mean_interarrival: 3.0,
+        deadline: 400,
+        ..TrafficConfig::default()
+    }
+    .synthesize(&inputs)
+    .expect("trace");
+
+    let mut group = c.benchmark_group("e15_soak");
+    group.sample_size(10);
+    // The watchdog's per-tick cost on a healthy pipeline: the same replay
+    // loop with liveness tracking armed.
+    let mut server = Server::new(soak_config(), three_member_fleet(&engine)).expect("server");
+    group.bench_function("soak_replay_300_watchdog_on", |b| {
+        b.iter(|| {
+            let outcome = server
+                .run_soak(&trace, OpsPlan::none(), &mut SimClock)
+                .expect("run");
+            std::hint::black_box(outcome.report.responses.len())
+        })
+    });
+    // Snapshot codec: decode + re-encode of a captured mid-traffic state.
+    group.bench_function("snapshot_codec_roundtrip", |b| {
+        b.iter(|| {
+            let snapshot = ServerSnapshot::decode(&bytes).expect("decode");
+            std::hint::black_box(snapshot.encode().len())
+        })
+    });
+    // Restore latency: decode, validate against config + fleet shape, and
+    // stage the run state onto a fresh server.
+    group.bench_function("restore_stage", |b| {
+        b.iter(|| {
+            let server = Server::restore(soak_config(), three_member_fleet(&engine), &bytes)
+                .expect("restore");
+            std::hint::black_box(server.pending_restore())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

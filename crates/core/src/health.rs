@@ -345,6 +345,139 @@ impl HealthMonitor {
     pub fn transitions(&self) -> &[Transition] {
         &self.transitions
     }
+
+    /// Exports the complete ladder state — rung, windows, streak,
+    /// counters, and the transition log — for a process snapshot.
+    ///
+    /// [`HealthMonitor::restore`] is the inverse; together they let a
+    /// restarted runtime resume the ladder exactly where it left off
+    /// instead of silently resetting to Nominal.
+    pub fn export_state(&self) -> LadderState {
+        LadderState {
+            state: self.state,
+            history: self.history,
+            warn_history: self.warn_history,
+            clean_streak: self.clean_streak,
+            decisions: self.decisions,
+            time_in: self.time_in,
+            transitions: self.transitions.clone(),
+        }
+    }
+
+    /// Rebuilds a monitor from an exported [`LadderState`], validating
+    /// the state against `config` so a corrupted or mismatched snapshot
+    /// fails closed instead of resuming a ladder the thresholds cannot
+    /// have produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadAssembly`] when `config` itself is
+    /// invalid, a history window holds bits outside the configured
+    /// window, the transition log is inconsistent with the final state,
+    /// or counters disagree with the decision count.
+    pub fn restore(config: HealthConfig, ladder: LadderState) -> Result<Self, CoreError> {
+        config.validate()?;
+        let bad = |msg: String| Err(CoreError::BadAssembly(msg));
+        let mask = if config.window == 64 {
+            u64::MAX
+        } else {
+            (1u64 << config.window) - 1
+        };
+        if ladder.history & !mask != 0 || ladder.warn_history & !mask != 0 {
+            return bad(format!(
+                "ladder history extends beyond the {}-decision window",
+                config.window
+            ));
+        }
+        if let Some(last) = ladder.transitions.last() {
+            if last.to != ladder.state {
+                return bad(format!(
+                    "ladder state {} disagrees with last logged transition to {}",
+                    ladder.state, last.to
+                ));
+            }
+        } else if ladder.state != HealthState::Nominal {
+            return bad(format!(
+                "ladder state {} with an empty transition log",
+                ladder.state
+            ));
+        }
+        let mut prev = HealthState::Nominal;
+        for t in &ladder.transitions {
+            if t.from != prev {
+                return bad(format!(
+                    "transition log breaks continuity at {} -> {}",
+                    t.from, t.to
+                ));
+            }
+            if t.at_decision > ladder.decisions {
+                return bad(format!(
+                    "transition at decision {} beyond decision count {}",
+                    t.at_decision, ladder.decisions
+                ));
+            }
+            prev = t.to;
+        }
+        if ladder.time_in.iter().sum::<u64>() > ladder.decisions {
+            return bad("time-in-state counters exceed the decision count".into());
+        }
+        if u64::from(ladder.clean_streak) > ladder.decisions {
+            return bad("clean streak exceeds the decision count".into());
+        }
+        Ok(HealthMonitor {
+            config,
+            state: ladder.state,
+            history: ladder.history,
+            warn_history: ladder.warn_history,
+            clean_streak: ladder.clean_streak,
+            decisions: ladder.decisions,
+            time_in: ladder.time_in,
+            transitions: ladder.transitions,
+        })
+    }
+
+    /// Forces the ladder to `to` by supervisory action (watchdog
+    /// escalation, maintenance override), bypassing the windowed verdict
+    /// path. The windows and streak are cleared — the declared rung
+    /// starts from scratch — and the transition is logged like any
+    /// other. Returns `None` when already at `to`.
+    pub fn force(&mut self, to: HealthState) -> Option<Transition> {
+        if to == self.state {
+            return None;
+        }
+        self.history = 0;
+        self.warn_history = 0;
+        self.clean_streak = 0;
+        let t = Transition {
+            from: self.state,
+            to,
+            at_decision: self.decisions,
+        };
+        self.state = to;
+        self.transitions.push(t);
+        Some(t)
+    }
+}
+
+/// The complete internal state of a [`HealthMonitor`] ladder, as
+/// exported by [`HealthMonitor::export_state`] for snapshotting. Plain
+/// data: every field is what the monitor tracks, nothing derived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderState {
+    /// Current rung.
+    pub state: HealthState,
+    /// Recent-unhealthy window bitmask (newest in bit 0).
+    pub history: u64,
+    /// Recent-warning window bitmask (warn-budget consumption).
+    pub warn_history: u64,
+    /// Consecutive clean decisions so far.
+    pub clean_streak: u32,
+    /// Decisions stepped so far.
+    pub decisions: u64,
+    /// Decisions spent in each state `[nominal, degraded, safe_stop]`.
+    pub time_in: [u64; 3],
+    /// Transition log, in order.
+    pub transitions: Vec<Transition>,
 }
 
 #[cfg(test)]
@@ -673,5 +806,118 @@ mod tests {
             at_decision: 7,
         };
         assert_eq!(t.to_string(), "nominal -> degraded @ 7");
+    }
+
+    #[test]
+    fn export_restore_round_trips_mid_walk() {
+        // Walk a ladder into Degraded with a live window and a partial
+        // streak, export, restore, and check both monitors step
+        // identically from there on.
+        let mut m = monitor(quick());
+        m.step(true);
+        m.step(true); // degraded
+        m.step(false);
+        m.step_verdict(HealthVerdict::Warning);
+        let exported = m.export_state();
+        let mut restored = HealthMonitor::restore(quick(), exported.clone()).expect("restore");
+        assert_eq!(restored.state(), m.state());
+        assert_eq!(restored.decision_count(), m.decision_count());
+        assert_eq!(restored.clean_streak(), m.clean_streak());
+        assert_eq!(restored.unhealthy_in_window(), m.unhealthy_in_window());
+        assert_eq!(restored.warnings_in_window(), m.warnings_in_window());
+        assert_eq!(restored.export_state(), exported);
+        for verdict in [
+            HealthVerdict::Clean,
+            HealthVerdict::Warning,
+            HealthVerdict::Unhealthy,
+            HealthVerdict::Clean,
+            HealthVerdict::Clean,
+            HealthVerdict::Clean,
+            HealthVerdict::Clean,
+        ] {
+            assert_eq!(m.step_verdict(verdict), restored.step_verdict(verdict));
+            assert_eq!(m.state(), restored.state());
+        }
+    }
+
+    #[test]
+    fn restore_fails_closed_on_inconsistent_state() {
+        let mut m = monitor(quick());
+        m.step(true);
+        m.step(true); // degraded
+        let good = m.export_state();
+
+        // History bits outside the window.
+        let mut bad = good.clone();
+        bad.history |= 1 << 60;
+        assert!(HealthMonitor::restore(quick(), bad).is_err());
+
+        // State disagreeing with the transition log.
+        let mut bad = good.clone();
+        bad.state = HealthState::SafeStop;
+        assert!(HealthMonitor::restore(quick(), bad).is_err());
+
+        // Non-nominal state with no transitions at all.
+        let bad = LadderState {
+            state: HealthState::Degraded,
+            history: 0,
+            warn_history: 0,
+            clean_streak: 0,
+            decisions: 5,
+            time_in: [5, 0, 0],
+            transitions: Vec::new(),
+        };
+        assert!(HealthMonitor::restore(quick(), bad).is_err());
+
+        // Broken transition continuity.
+        let mut bad = good.clone();
+        bad.transitions.insert(
+            0,
+            Transition {
+                from: HealthState::Degraded,
+                to: HealthState::SafeStop,
+                at_decision: 1,
+            },
+        );
+        assert!(HealthMonitor::restore(quick(), bad).is_err());
+
+        // Counters beyond the decision count.
+        let mut bad = good.clone();
+        bad.time_in = [100, 100, 100];
+        assert!(HealthMonitor::restore(quick(), bad).is_err());
+        let mut bad = good.clone();
+        bad.clean_streak = 99;
+        assert!(HealthMonitor::restore(quick(), bad).is_err());
+
+        // A transition stamped after the decision count.
+        let mut bad = good.clone();
+        bad.transitions[0].at_decision = 50;
+        assert!(HealthMonitor::restore(quick(), bad).is_err());
+
+        // The untouched export still restores.
+        assert!(HealthMonitor::restore(quick(), good).is_ok());
+    }
+
+    #[test]
+    fn force_walks_the_ladder_and_logs_like_any_transition() {
+        let mut m = monitor(quick());
+        m.step(false);
+        assert_eq!(m.force(HealthState::Nominal), None, "no-op force");
+        let t = m.force(HealthState::Degraded).expect("forced degrade");
+        assert_eq!(
+            (t.from, t.to),
+            (HealthState::Nominal, HealthState::Degraded)
+        );
+        assert_eq!(t.at_decision, 1);
+        let t = m.force(HealthState::SafeStop).expect("forced stop");
+        assert_eq!(
+            (t.from, t.to),
+            (HealthState::Degraded, HealthState::SafeStop)
+        );
+        assert_eq!(m.transitions().len(), 2);
+        assert_eq!(m.state(), HealthState::SafeStop);
+        // Forcing cleared the windows: the exported state restores.
+        let restored = HealthMonitor::restore(quick(), m.export_state()).expect("restorable");
+        assert_eq!(restored.state(), HealthState::SafeStop);
     }
 }

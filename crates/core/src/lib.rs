@@ -52,5 +52,7 @@ pub use campaign::{
     CampaignConfig, CampaignPattern, CampaignReport, CellReport, FaultClass, InputSupervision,
 };
 pub use error::CoreError;
-pub use health::{HealthConfig, HealthMonitor, HealthState, HealthVerdict, Transition};
+pub use health::{
+    HealthConfig, HealthMonitor, HealthState, HealthVerdict, LadderState, Transition,
+};
 pub use pipeline::{PipelineBuilder, SafePipeline};

@@ -198,6 +198,34 @@ impl EccCode {
         }
         RepairOutcome::Uncorrectable
     }
+
+    /// Non-mutating parity check: `true` when every column and row parity
+    /// matches the encoded state. The hot-swap verify path uses this to
+    /// confirm a freshly rebuilt sidecar actually describes the incoming
+    /// weights before the swap commits — a pure read, never a repair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` has a different length than the encoded buffer,
+    /// matching [`EccCode::repair`].
+    pub fn check(&self, words: &[u32]) -> bool {
+        assert_eq!(
+            words.len(),
+            self.words,
+            "sidecar encodes {} words, got {}",
+            self.words,
+            words.len()
+        );
+        for (b, block) in words.chunks(self.block_words).enumerate() {
+            if block.iter().fold(self.columns[b], |acc, &w| acc ^ w) != 0 {
+                return false;
+            }
+        }
+        words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| (w.count_ones() & 1) == self.row_parity(i))
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +322,26 @@ mod tests {
         let empty = EccCode::encode(&[], EccConfig::default()).unwrap();
         assert_eq!(empty.sidecar_bits(), 0);
         assert_eq!(empty.repair(&mut []), RepairOutcome::Clean);
+    }
+
+    #[test]
+    fn check_is_pure_and_agrees_with_repair() {
+        let words = buffer(11);
+        let code = EccCode::encode(&words, EccConfig { block_words: 4 }).unwrap();
+        assert!(code.check(&words));
+        for word in 0..words.len() {
+            let mut corrupt = words.clone();
+            corrupt[word] ^= 1 << (word % 32);
+            let damaged = corrupt.clone();
+            assert!(!code.check(&corrupt), "word {word}");
+            assert_eq!(corrupt, damaged, "check must never modify the buffer");
+        }
+        // Double flip: still detected (unlike repair, check only answers
+        // clean / not-clean).
+        let mut corrupt = words.clone();
+        corrupt[0] ^= 1 << 3;
+        corrupt[5] ^= 1 << 3;
+        assert!(!code.check(&corrupt));
     }
 
     #[test]

@@ -844,6 +844,40 @@ impl HardenedEngine {
         &self.golden
     }
 
+    /// Verifies the current parameters against the golden baseline as a
+    /// pure read: every protected layer's CRC-32 must match its golden
+    /// checksum and, when repair is enabled, every ECC sidecar's parities
+    /// must describe the layer's words ([`EccCode::check`]). This is the
+    /// hot-swap gate — run after [`HardenedEngine::rebaseline`] on
+    /// incoming weights it confirms the re-golden is self-consistent
+    /// (e.g. no non-finite encoding surprise); run at any other time it
+    /// detects corruption that landed between scheduled checks. Nothing
+    /// is repaired or escalated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Fault`] naming the first layer whose CRC or
+    /// sidecar parity disagrees.
+    pub fn verify_weights(&self) -> Result<(), NnError> {
+        for (gi, &(layer, expected)) in self.golden.iter().enumerate() {
+            let (weights, bias) = parametric_buffers(&self.model.layers()[layer])
+                .expect("golden entries index parametric layers");
+            let words: Vec<u32> = weights.iter().chain(bias).map(|v| v.to_bits()).collect();
+            let actual = crc32_words(words.iter().copied());
+            if actual != expected {
+                return Err(NnError::Fault(format!(
+                    "layer {layer} crc mismatch: golden {expected:#010x}, actual {actual:#010x}"
+                )));
+            }
+            if self.config.repair.is_some() && !self.sidecars[gi].check(&words) {
+                return Err(NnError::Fault(format!(
+                    "layer {layer} ecc sidecar parity disagrees with weights"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Decisions completed via [`HardenedEngine::infer`] /
     /// [`HardenedEngine::classify`].
     pub fn decision_count(&self) -> u64 {
@@ -1127,6 +1161,58 @@ impl HardenedPool {
     /// index).
     pub fn dispatched(&self) -> u64 {
         self.dispatched
+    }
+
+    /// Read-only access to every replica (e.g. to inspect golden
+    /// checksums without the mutable-borrow commitments of
+    /// [`HardenedPool::engines_mut`]).
+    pub fn engines(&self) -> &[HardenedEngine] {
+        &self.workers
+    }
+
+    /// Restores the pool's dispatch clock after a snapshot restore: sets
+    /// the global decision index and declares every replica synchronised
+    /// up to it. All scheduled-check and fault-plan state is keyed off
+    /// the global index, so a pool with clean (golden-matching) weights
+    /// resynced to the snapshot's `dispatched` continues bit-identically
+    /// to the uninterrupted pool.
+    pub fn resync(&mut self, dispatched: u64) {
+        self.dispatched = dispatched;
+        for worker in &mut self.workers {
+            worker.sync_to(dispatched);
+        }
+    }
+
+    /// Re-goldens every replica on its current weights and verifies the
+    /// result: each replica re-captures CRC-32 checksums and rebuilds its
+    /// ECC sidecars ([`HardenedEngine::rebaseline`]), then must pass
+    /// [`HardenedEngine::verify_weights`] and agree bit-for-bit with
+    /// replica 0's golden set — divergent replicas would make batch
+    /// output depend on worker assignment, which is exactly the silent
+    /// corruption a hot swap must not introduce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Fault`] (per-replica verify failure) or
+    /// [`NnError::Pool`] (cross-replica golden divergence). The pool is
+    /// left re-goldened but the caller must treat any error as a failed
+    /// swap and discard the pool.
+    pub fn regolden(&mut self) -> Result<(), NnError> {
+        for worker in &mut self.workers {
+            worker.rebaseline();
+        }
+        let reference: Vec<(usize, u32)> = self.workers[0].golden_checksums().to_vec();
+        for (i, worker) in self.workers.iter().enumerate() {
+            worker.verify_weights().map_err(|e| {
+                NnError::Fault(format!("replica {i} failed post-regolden verify: {e}"))
+            })?;
+            if worker.golden_checksums() != reference.as_slice() {
+                return Err(NnError::Pool(format!(
+                    "replica {i} golden checksums diverge from replica 0 after regolden"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Classifies a batch in parallel, preserving input order; global
@@ -1656,6 +1742,81 @@ mod tests {
             (0.05..0.10).contains(&overhead),
             "unexpected overhead {overhead}"
         );
+    }
+
+    #[test]
+    fn verify_weights_is_a_pure_corruption_probe() {
+        let config = HardenConfig {
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let mut hardened = HardenedEngine::new(model(40), config).unwrap();
+        assert!(hardened.verify_weights().is_ok());
+        let layer = hardened.golden_checksums()[0].0;
+        flip_weight_bit(hardened.model_mut(), layer);
+        let err = hardened.verify_weights().unwrap_err();
+        assert!(
+            err.to_string().contains("crc mismatch"),
+            "unexpected error: {err}"
+        );
+        // The probe must not have repaired or escalated anything: the
+        // flip is still there and a second probe still fails.
+        assert!(hardened.verify_weights().is_err());
+        // rebaseline accepts the current weights as the new golden state
+        // (the hot-swap path), after which verify passes again.
+        hardened.rebaseline();
+        assert!(hardened.verify_weights().is_ok());
+    }
+
+    #[test]
+    fn pool_resync_continues_bit_identically() {
+        let config = HardenConfig {
+            crc_cadence: 2,
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let engine = HardenedEngine::new(model(41), config).unwrap();
+        let inputs = calibration();
+        let mut continuous = HardenedPool::new(&engine, 3).unwrap();
+        continuous.classify_batch(&inputs[..7]).unwrap();
+        let expected = continuous.classify_batch(&inputs[7..]).unwrap();
+        // A fresh pool resynced to the old dispatch clock — the restore
+        // path — must produce the same tail batch.
+        let mut restored = HardenedPool::new(&engine, 3).unwrap();
+        restored.resync(7);
+        assert_eq!(restored.dispatched(), 7);
+        let got = restored.classify_batch(&inputs[7..]).unwrap();
+        assert_eq!(got, expected, "resynced pool diverged from continuous run");
+    }
+
+    #[test]
+    fn pool_regolden_accepts_uniform_and_rejects_divergent_replicas() {
+        let config = HardenConfig {
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let engine = HardenedEngine::new(model(42), config).unwrap();
+        let mut pool = HardenedPool::new(&engine, 3).unwrap();
+        let before: Vec<(usize, u32)> = pool.engines()[0].golden_checksums().to_vec();
+        let layer = before[0].0;
+        // A uniform weight change across every replica (the swap path:
+        // incoming weights land on all of them) re-goldens cleanly.
+        for replica in pool.engines_mut() {
+            flip_weight_bit(replica.model_mut(), layer);
+        }
+        pool.regolden().unwrap();
+        let after: Vec<(usize, u32)> = pool.engines()[0].golden_checksums().to_vec();
+        assert_ne!(before, after, "regolden must track the new weights");
+        for replica in pool.engines() {
+            assert!(replica.verify_weights().is_ok());
+        }
+        // A change on only one replica is exactly the divergence the
+        // verify step exists to catch.
+        flip_weight_bit(pool.engines_mut()[1].model_mut(), layer);
+        match pool.regolden() {
+            Err(NnError::Pool(msg)) => assert!(msg.contains("diverge"), "msg: {msg}"),
+            other => panic!("divergent replicas must fail regolden, got {other:?}"),
+        }
     }
 
     #[test]

@@ -72,8 +72,8 @@ pub use fault::{
     InputFault, WeightFlip,
 };
 pub use harden::{
-    layer_checksum, layer_checksums, ActivationGuard, CheckedClassification, CrcStrategy,
-    HardenConfig, HardenedEngine, HardenedPool, HealthEvent, HealthSink,
+    crc32, crc32_words, layer_checksum, layer_checksums, ActivationGuard, CheckedClassification,
+    CrcStrategy, HardenConfig, HardenedEngine, HardenedPool, HealthEvent, HealthSink,
 };
 pub use model::{Model, ModelBuilder};
 pub use pool::{EnginePool, QEnginePool};

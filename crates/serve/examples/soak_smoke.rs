@@ -1,0 +1,199 @@
+//! Bounded wall-clock soak smoke: a ~6 second real-time run of the soak
+//! runtime under `WallClock` pacing, with seeded SEU faults, one atomic
+//! hot swap, the layered watchdog armed, and a mid-traffic snapshot whose
+//! restored continuation must reproduce the paced run byte-for-byte.
+//!
+//! Driven by `scripts/check.sh --soak-smoke`. Exits non-zero (panics) on
+//! any violated invariant, so the tier is a pass/fail gate.
+
+use std::time::{Duration, Instant};
+
+use safex_core::health::{HealthConfig, HealthState};
+use safex_nn::model::ModelBuilder;
+use safex_nn::{EccConfig, HardenConfig, HardenedEngine, Model};
+use safex_serve::{
+    Backend, CacheConfig, Fleet, ModelId, OpsPlan, PoolBackend, Request, RoutingKind, Server,
+    ServerConfig, SimClock, SwapOp, TrafficConfig, WallClock, WatchStage, WatchdogConfig,
+};
+use safex_tensor::{DetRng, Shape};
+use safex_trace::RecordKind;
+
+fn fixture(seed: u64) -> Model {
+    let mut rng = DetRng::new(seed);
+    ModelBuilder::new(Shape::vector(6))
+        .dense(10, &mut rng)
+        .unwrap()
+        .relu()
+        .dense(4, &mut rng)
+        .unwrap()
+        .softmax()
+        .build()
+        .unwrap()
+}
+
+fn hardened(model: &Model, inputs: &[Vec<f32>]) -> HardenedEngine {
+    let config = HardenConfig {
+        repair: Some(EccConfig::default()),
+        ..HardenConfig::default()
+    };
+    let mut engine = HardenedEngine::new(model.clone(), config).unwrap();
+    engine.calibrate(inputs).unwrap();
+    engine
+}
+
+fn fleet(engine: &HardenedEngine) -> Fleet<PoolBackend> {
+    Fleet::builder()
+        .register("alpha", PoolBackend::new(engine, 1).unwrap())
+        .register("beta", PoolBackend::new(engine, 1).unwrap())
+        .register("gamma", PoolBackend::new(engine, 1).unwrap())
+        .build()
+        .unwrap()
+}
+
+fn config() -> ServerConfig {
+    ServerConfig::default()
+        .with_routing(RoutingKind::RoundRobin)
+        .with_health(HealthConfig {
+            window: 8,
+            degrade_events: 2,
+            stop_events: 6,
+            recover_after: 16,
+            resume_after: 0,
+            warn_budget: 3,
+        })
+        .with_cache(CacheConfig::enabled(256))
+        .with_watchdog(WatchdogConfig::enabled(1024).with_proof_cadence(1800))
+        .with_campaign("soak-smoke")
+}
+
+fn strikes(request: &Request, fleet: &mut Fleet<PoolBackend>) {
+    let alpha = ModelId::new(0);
+    if request.id == 100 {
+        // Correctable single-bit SEU: the ECC sidecar repairs it in place.
+        fleet
+            .backend_mut(alpha)
+            .unwrap()
+            .strike_weights(0xA11CE, 1, 1)
+            .unwrap();
+    }
+    if request.id == 1600 {
+        // Uncorrectable double-bit SEU: alpha must walk to SafeStop.
+        fleet
+            .backend_mut(alpha)
+            .unwrap()
+            .strike_weights(0xBAD5EED, 1, 2)
+            .unwrap();
+    }
+}
+
+fn main() {
+    let started = Instant::now();
+    let mut rng = DetRng::new(0x50A1);
+    let inputs: Vec<Vec<f32>> = (0..800)
+        .map(|_| (0..6).map(|_| rng.next_f32()).collect())
+        .collect();
+    let engine = hardened(&fixture(0xF1EE7), &inputs);
+    let engine2 = hardened(&fixture(0xB0B2), &inputs);
+    let good_digest = PoolBackend::new(&engine2, 1)
+        .unwrap()
+        .swap_digest()
+        .unwrap();
+    let trace = TrafficConfig {
+        seed: 0x50AC50AC,
+        requests: 2_000,
+        mean_interarrival: 3.0,
+        deadline: 600,
+        ..TrafficConfig::default()
+    }
+    .synthesize(&inputs)
+    .unwrap();
+    let plan = |incoming: PoolBackend| {
+        OpsPlan::none().with_snapshot_at(800).with_swap(SwapOp {
+            at_request: 1_000,
+            model: ModelId::new(1),
+            incoming,
+            expected_digest: Some(good_digest),
+        })
+    };
+
+    // --- The paced run: one tick of simulated time = 1 ms of wall time. ---
+    let mut clock = WallClock::new(Duration::from_millis(1));
+    let mut server = Server::new(config(), fleet(&engine)).unwrap();
+    let paced = server
+        .run_soak_with(
+            &trace,
+            plan(PoolBackend::new(&engine2, 1).unwrap()),
+            &mut clock,
+            strikes,
+        )
+        .unwrap();
+    let wall = started.elapsed();
+    assert_eq!(paced.report.responses.len(), trace.len(), "no silent drops");
+
+    let swap = &paced.report.soak.swaps[0];
+    assert!(swap.committed, "the pinned-digest swap must commit");
+    assert_eq!(
+        server.model_state(ModelId::new(0)),
+        Some(HealthState::SafeStop),
+        "the uncorrectable strike must stop alpha"
+    );
+    assert_eq!(
+        server.model_state(ModelId::new(1)),
+        Some(HealthState::Nominal)
+    );
+    let evidence = server.evidence();
+    evidence.verify().unwrap();
+    assert_eq!(evidence.records_of_kind(RecordKind::ModelSwapped).len(), 1);
+    assert!(!evidence
+        .records_of_kind(RecordKind::FaultCorrected)
+        .is_empty());
+    let soak = &paced.report.soak;
+    assert!(soak.watchdog_kicks.iter().all(|&k| k > 0));
+    assert_eq!(soak.watchdog_alarms, 0, "healthy stages must not alarm");
+    assert!(soak.watchdog_proofs > 0);
+
+    // --- Restore the mid-traffic snapshot and re-derive the same report. --
+    // The sim clock is byte-equivalent to the paced clock, so the resumed
+    // comparison run does not cost a second wall-clock soak.
+    let bytes = paced.snapshot.as_ref().expect("snapshot captured");
+    let mut restored = Server::restore(config(), fleet(&engine), bytes).unwrap();
+    let resumed = restored
+        .run_soak_with(
+            &trace,
+            plan(PoolBackend::new(&engine2, 1).unwrap()),
+            &mut SimClock,
+            strikes,
+        )
+        .unwrap();
+    assert_eq!(
+        resumed.report.replay_digest(),
+        paced.report.replay_digest(),
+        "restored continuation diverged from the paced run"
+    );
+    assert_eq!(
+        restored.evidence().len(),
+        evidence.len() + 1,
+        "restored chain = paced chain + one runtime_restored record"
+    );
+
+    let last_tick = paced
+        .report
+        .responses
+        .iter()
+        .map(|r| r.resolved_at)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "soak-smoke: {} requests in {:.2}s wall ({} sim ticks), swap drained {} ticks, \
+         watchdog kicks a/b/b/r = {}/{}/{}/{}, proofs = {}, restore byte-identical",
+        trace.len(),
+        wall.as_secs_f64(),
+        last_tick,
+        swap.latency(),
+        soak.watchdog_kicks[WatchStage::Admission.index()],
+        soak.watchdog_kicks[WatchStage::Batcher.index()],
+        soak.watchdog_kicks[WatchStage::Backend.index()],
+        soak.watchdog_kicks[WatchStage::Release.index()],
+        soak.watchdog_proofs,
+    );
+}

@@ -55,6 +55,39 @@ pub trait Backend {
     /// Returns [`ServeError`] on infrastructure failure (wrong input
     /// shape etc.); the whole batch fails, no partial verdicts.
     fn serve(&mut self, inputs: &[&[f32]]) -> Result<Vec<BatchVerdict>, ServeError>;
+
+    /// Prepares this backend to take over a fleet slot in a hot swap:
+    /// re-golden reference checksums, rebuild ECC sidecars, and verify
+    /// the weights. An error here aborts the swap with the old backend
+    /// untouched. The default accepts unconditionally (backends with no
+    /// hardening state need no preparation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::SwapFailed`] when the incoming weights fail
+    /// verification.
+    fn prepare_swap(&mut self) -> Result<(), ServeError> {
+        Ok(())
+    }
+
+    /// A stable digest of this backend's verified weights, when it can
+    /// produce one. Swaps with an `expected_digest` compare against this
+    /// after [`Backend::prepare_swap`]; `None` means the backend cannot
+    /// attest its weights and digest-pinned swaps will abort.
+    fn swap_digest(&self) -> Option<u64> {
+        None
+    }
+
+    /// The backend's deterministic work counter (e.g. items dispatched),
+    /// captured into snapshots so a restore can resume check scheduling
+    /// bit-for-bit. Backends without such a counter report 0.
+    fn clock(&self) -> u64 {
+        0
+    }
+
+    /// Restores the work counter captured by [`Backend::clock`] after a
+    /// process restart. The default is a no-op.
+    fn resync(&mut self, _clock: u64) {}
 }
 
 /// Boxed backends forward, so a heterogeneous fleet can be assembled as
@@ -67,6 +100,22 @@ impl<T: Backend + ?Sized> Backend for Box<T> {
 
     fn serve(&mut self, inputs: &[&[f32]]) -> Result<Vec<BatchVerdict>, ServeError> {
         (**self).serve(inputs)
+    }
+
+    fn prepare_swap(&mut self) -> Result<(), ServeError> {
+        (**self).prepare_swap()
+    }
+
+    fn swap_digest(&self) -> Option<u64> {
+        (**self).swap_digest()
+    }
+
+    fn clock(&self) -> u64 {
+        (**self).clock()
+    }
+
+    fn resync(&mut self, clock: u64) {
+        (**self).resync(clock)
     }
 }
 
@@ -127,6 +176,35 @@ impl PoolBackend {
 impl Backend for PoolBackend {
     fn name(&self) -> &'static str {
         "hardened_pool"
+    }
+
+    /// Re-goldens every replica on the *current* weights (fresh CRC-32
+    /// references plus rebuilt ECC sidecars) and verifies the replicas
+    /// agree; the hot-swap verification gate.
+    fn prepare_swap(&mut self) -> Result<(), ServeError> {
+        self.pool
+            .regolden()
+            .map_err(|e| ServeError::SwapFailed(e.to_string()))
+    }
+
+    /// FNV-1a over replica 0's golden `(layer, crc32)` table. Replicas
+    /// are verified identical by `prepare_swap`, so one table attests
+    /// the whole pool.
+    fn swap_digest(&self) -> Option<u64> {
+        let mut fnv = safex_trace::Fnv64::new();
+        for &(layer, crc) in self.pool.engines()[0].golden_checksums() {
+            fnv.write_u64(layer as u64);
+            fnv.write_u64(crc as u64);
+        }
+        Some(fnv.finish())
+    }
+
+    fn clock(&self) -> u64 {
+        self.pool.dispatched()
+    }
+
+    fn resync(&mut self, clock: u64) {
+        self.pool.resync(clock);
     }
 
     fn serve(&mut self, inputs: &[&[f32]]) -> Result<Vec<BatchVerdict>, ServeError> {

@@ -176,6 +176,27 @@ impl ResultCache {
         );
         self.order.push_back(digest);
     }
+
+    /// Drops every entry computed by `model`, returning how many were
+    /// purged. Called when a member's model is hot-swapped or its ladder
+    /// reaches SafeStop: entries verified against the *old* weights (or by
+    /// a member the ladder no longer trusts) must not serve further hits.
+    pub fn purge_model(&mut self, model: ModelId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, entry| entry.result.model != model);
+        self.order
+            .retain(|digest| self.entries.contains_key(digest));
+        before - self.entries.len()
+    }
+
+    /// Entries in insertion (eviction) order, for snapshotting.
+    pub(crate) fn entries_in_order(&self) -> Vec<(&[f32], &CachedResult)> {
+        self.order
+            .iter()
+            .filter_map(|digest| self.entries.get(digest))
+            .map(|entry| (entry.input.as_slice(), &entry.result))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +239,21 @@ mod tests {
         assert!(c.lookup(&[1.0]).is_none(), "oldest entry evicted first");
         assert!(c.lookup(&[2.0]).is_some());
         assert!(c.lookup(&[3.0]).is_some());
+    }
+
+    #[test]
+    fn purge_model_removes_only_that_members_entries() {
+        let mut c = cache(8);
+        c.insert(&[1.0], 0, 0.5, ModelId::new(0));
+        c.insert(&[2.0], 1, 0.5, ModelId::new(1));
+        c.insert(&[3.0], 2, 0.5, ModelId::new(0));
+        assert_eq!(c.purge_model(ModelId::new(0)), 2);
+        assert!(c.lookup(&[1.0]).is_none());
+        assert!(c.lookup(&[3.0]).is_none());
+        assert_eq!(c.lookup(&[2.0]).unwrap().class, 1);
+        // Insertion order stays consistent after a purge.
+        assert_eq!(c.entries_in_order().len(), 1);
+        assert_eq!(c.purge_model(ModelId::new(0)), 0);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Clock sources for the serving loop.
+//!
+//! The server's event loop is driven entirely by logical ticks: arrivals,
+//! flush deadlines, and batch retirements are scheduled on a `u64` tick
+//! axis and processed in a deterministic order. A [`ClockSource`] does not
+//! *decide* anything — it only *paces* the loop, optionally stretching
+//! logical ticks onto real time. Because pacing happens strictly between
+//! event ticks and never reorders or drops them, a run produces the exact
+//! same [`crate::ServeReport`] under every clock source.
+//!
+//! * [`SimClock`] — the default. Pacing is a no-op, so a multi-hour soak
+//!   trace replays in milliseconds. Every deterministic test runs on it.
+//! * [`WallClock`] — maps each tick to a fixed real-time duration and
+//!   sleeps until that tick's wall deadline. Used by soak deployments and
+//!   the bounded `--soak-smoke` CI tier.
+
+use std::time::{Duration, Instant};
+
+/// Paces the serving loop onto a time axis.
+///
+/// Implementations must treat `pace` as a pure delay: they may sleep, but
+/// they must not influence which event the loop processes next.
+pub trait ClockSource {
+    /// Stable identifier for reports and logs.
+    fn name(&self) -> &'static str;
+
+    /// Called once per event tick, before the tick is processed. `tick` is
+    /// monotonically non-decreasing within a run.
+    fn pace(&mut self, tick: u64);
+}
+
+/// The simulated clock: logical ticks, zero wall time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimClock;
+
+impl ClockSource for SimClock {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn pace(&mut self, _tick: u64) {}
+}
+
+/// A wall clock that stretches each logical tick to a fixed duration.
+///
+/// The first `pace` call anchors the tick axis to `Instant::now()`; every
+/// later call sleeps until `anchor + (tick - first_tick) * tick_duration`.
+/// If the loop falls behind (a slow backend step), pacing simply does not
+/// sleep — it never skips events.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    tick_duration: Duration,
+    anchor: Option<(Instant, u64)>,
+}
+
+impl WallClock {
+    /// A wall clock where one logical tick lasts `tick_duration`.
+    pub fn new(tick_duration: Duration) -> Self {
+        WallClock {
+            tick_duration,
+            anchor: None,
+        }
+    }
+
+    /// The configured real-time duration of one logical tick.
+    pub fn tick_duration(&self) -> Duration {
+        self.tick_duration
+    }
+}
+
+impl ClockSource for WallClock {
+    fn name(&self) -> &'static str {
+        "wall"
+    }
+
+    fn pace(&mut self, tick: u64) {
+        let (start, first) = *self.anchor.get_or_insert((Instant::now(), tick));
+        let elapsed_ticks = tick.saturating_sub(first);
+        let nanos = self
+            .tick_duration
+            .as_nanos()
+            .saturating_mul(elapsed_ticks as u128)
+            .min(u64::MAX as u128) as u64;
+        let target = start + Duration::from_nanos(nanos);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_is_free() {
+        let mut clock = SimClock;
+        let start = Instant::now();
+        for t in 0..10_000 {
+            clock.pace(t);
+        }
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(clock.name(), "sim");
+    }
+
+    #[test]
+    fn wall_clock_paces_ticks_onto_real_time() {
+        let mut clock = WallClock::new(Duration::from_millis(5));
+        assert_eq!(clock.name(), "wall");
+        let start = Instant::now();
+        clock.pace(100);
+        clock.pace(104);
+        // Four ticks after the anchor: at least ~20ms must have passed.
+        assert!(start.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn wall_clock_never_sleeps_when_behind() {
+        let mut clock = WallClock::new(Duration::from_millis(1));
+        clock.pace(0);
+        std::thread::sleep(Duration::from_millis(5));
+        let start = Instant::now();
+        clock.pace(2); // wall deadline already passed
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+}

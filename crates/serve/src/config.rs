@@ -8,6 +8,7 @@ use crate::error::ServeError;
 use crate::queue::FairnessPolicy;
 use crate::request::Tier;
 use crate::route::RoutingKind;
+use crate::soak::WatchdogConfig;
 
 /// Everything a [`crate::server::Server`] needs besides its fleet.
 ///
@@ -40,6 +41,9 @@ pub struct ServerConfig {
     pub cache: CacheConfig,
     /// Built-in routing policy selector.
     pub routing: RoutingKind,
+    /// Layered watchdog knobs (disabled by default; soak runs enable
+    /// per-stage liveness deadlines).
+    pub watchdog: WatchdogConfig,
     /// Evidence-chain campaign name.
     pub campaign: String,
 }
@@ -54,6 +58,7 @@ impl Default for ServerConfig {
             fairness: FairnessPolicy::default(),
             cache: CacheConfig::default(),
             routing: RoutingKind::default(),
+            watchdog: WatchdogConfig::default(),
             campaign: "serving".into(),
         }
     }
@@ -109,6 +114,13 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the layered-watchdog policy.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
     /// Sets the evidence-chain campaign name.
     #[must_use]
     pub fn with_campaign(mut self, campaign: impl Into<String>) -> Self {
@@ -128,6 +140,7 @@ impl ServerConfig {
             .validate()
             .map_err(|e| ServeError::BadConfig(e.to_string()))?;
         self.cache.validate()?;
+        self.watchdog.validate()?;
         Ok(())
     }
 }
@@ -153,6 +166,12 @@ mod tests {
         assert!(bad_health.validate().is_err());
         let bad_cache = ServerConfig::default().with_cache(CacheConfig::enabled(0));
         assert!(bad_cache.validate().is_err());
+        let bad_watchdog = ServerConfig::default().with_watchdog(WatchdogConfig {
+            enabled: true,
+            stage_deadline: [0; 4],
+            proof_cadence: 0,
+        });
+        assert!(bad_watchdog.validate().is_err());
     }
 
     #[test]
@@ -167,6 +186,7 @@ mod tests {
             .with_fairness(FairnessPolicy::strict())
             .with_cache(CacheConfig::enabled(64))
             .with_routing(RoutingKind::RoundRobin)
+            .with_watchdog(WatchdogConfig::enabled(128))
             .with_campaign("fleet");
         assert_eq!(config.policy.max_batch, 4);
         assert_eq!(config.service.per_item, 1);
@@ -174,6 +194,7 @@ mod tests {
         assert_eq!(config.fairness, FairnessPolicy::strict());
         assert!(config.cache.enabled);
         assert_eq!(config.routing, RoutingKind::RoundRobin);
+        assert!(config.watchdog.enabled);
         assert_eq!(config.campaign, "fleet");
         assert!(config.validate().is_ok());
     }

@@ -17,6 +17,14 @@ pub enum ServeError {
     Nn(NnError),
     /// A pipeline-backed deployment failed below the serving layer.
     Core(CoreError),
+    /// A snapshot failed to decode or did not match the restoring server.
+    ///
+    /// Restores fail closed: no partial state is ever applied.
+    BadSnapshot(String),
+    /// A fleet was constructed with two members claiming the same identity.
+    DuplicateMember(String),
+    /// A hot model swap could not be prepared or verified.
+    SwapFailed(String),
 }
 
 impl fmt::Display for ServeError {
@@ -26,6 +34,11 @@ impl fmt::Display for ServeError {
             ServeError::BadTrace(msg) => write!(f, "bad arrival trace: {msg}"),
             ServeError::Nn(e) => write!(f, "backend failure: {e}"),
             ServeError::Core(e) => write!(f, "pipeline failure: {e}"),
+            ServeError::BadSnapshot(msg) => write!(f, "bad snapshot: {msg}"),
+            ServeError::DuplicateMember(name) => {
+                write!(f, "duplicate fleet member: {name}")
+            }
+            ServeError::SwapFailed(msg) => write!(f, "hot swap failed: {msg}"),
         }
     }
 }

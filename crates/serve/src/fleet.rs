@@ -99,6 +99,15 @@ impl<B: Backend> Fleet<B> {
     pub fn backend_mut(&mut self, id: ModelId) -> Option<&mut B> {
         self.members.get_mut(id.index()).map(|m| &mut m.backend)
     }
+
+    /// Atomically replaces one member's backend, returning the old one.
+    /// This is the commit step of a hot model swap: the member keeps its
+    /// name and id, only the serving weights change.
+    pub fn replace_backend(&mut self, id: ModelId, backend: B) -> Option<B> {
+        self.members
+            .get_mut(id.index())
+            .map(|m| std::mem::replace(&mut m.backend, backend))
+    }
 }
 
 /// Builds a [`Fleet`] member by member.
@@ -123,8 +132,11 @@ impl<B: Backend> FleetBuilder<B> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadConfig`] for an empty fleet, a duplicate
-    /// member name, or more members than [`ModelId`] can index.
+    /// Returns [`ServeError::BadConfig`] for an empty fleet or more
+    /// members than [`ModelId`] can index, and
+    /// [`ServeError::DuplicateMember`] when two members claim the same
+    /// name — duplicates would alias one [`ModelId`] across two
+    /// deployments, so they are rejected rather than last-write-wins.
     pub fn build(self) -> Result<Fleet<B>, ServeError> {
         if self.members.is_empty() {
             return Err(ServeError::BadConfig(
@@ -139,10 +151,7 @@ impl<B: Backend> FleetBuilder<B> {
         }
         for (i, m) in self.members.iter().enumerate() {
             if self.members[..i].iter().any(|p| p.name == m.name) {
-                return Err(ServeError::BadConfig(format!(
-                    "duplicate fleet member name {:?}",
-                    m.name
-                )));
+                return Err(ServeError::DuplicateMember(m.name.clone()));
             }
         }
         Ok(Fleet {
@@ -157,6 +166,7 @@ mod tests {
     use crate::backend::BatchVerdict;
 
     /// A trivial test backend.
+    #[derive(Debug)]
     struct Fixed;
 
     impl Backend for Fixed {
@@ -196,11 +206,27 @@ mod tests {
     #[test]
     fn empty_and_duplicate_fleets_are_rejected() {
         assert!(Fleet::<Fixed>::builder().build().is_err());
-        assert!(Fleet::builder()
+        let dup = Fleet::builder()
             .register("alpha", Fixed)
             .register("alpha", Fixed)
+            .build();
+        assert!(
+            matches!(dup, Err(ServeError::DuplicateMember(ref name)) if name == "alpha"),
+            "duplicate names must fail with the typed error, got {dup:?}"
+        );
+    }
+
+    #[test]
+    fn replace_backend_swaps_in_place() {
+        let mut fleet = Fleet::builder()
+            .register("alpha", Fixed)
+            .register("beta", Fixed)
             .build()
-            .is_err());
+            .unwrap();
+        assert!(fleet.replace_backend(ModelId::new(1), Fixed).is_some());
+        assert!(fleet.replace_backend(ModelId::new(9), Fixed).is_none());
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet.members()[1].name(), "beta");
     }
 
     #[test]

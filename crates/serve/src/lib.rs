@@ -109,6 +109,7 @@
 pub mod backend;
 pub mod batcher;
 pub mod cache;
+pub mod clock;
 pub mod config;
 pub mod error;
 pub mod fleet;
@@ -117,11 +118,14 @@ pub mod queue;
 pub mod request;
 pub mod route;
 pub mod server;
+pub mod snapshot;
+pub mod soak;
 pub mod traffic;
 
 pub use backend::{Backend, BatchVerdict, PipelineBackend, PoolBackend};
 pub use batcher::{BatchPolicy, ServiceModel};
 pub use cache::{CacheConfig, CachedResult, ResultCache};
+pub use clock::{ClockSource, SimClock, WallClock};
 pub use config::ServerConfig;
 pub use error::ServeError;
 pub use fleet::{Fleet, FleetBuilder, FleetMember};
@@ -131,5 +135,10 @@ pub use request::{ModelId, Outcome, Request, Response, ShedReason, Tier};
 pub use route::{
     CandidateView, RoundRobin, RouteView, RoutingKind, RoutingPolicy, TierLeastLoaded,
 };
-pub use server::{ModelSummary, ServeReport, Server, ServiceTransition};
+pub use server::{InFlightBatch, ModelSummary, ServeReport, Server, ServiceTransition};
+pub use snapshot::{trace_digest, CacheEntrySnapshot, ChainEntry, RunSnapshot, ServerSnapshot};
+pub use soak::{
+    OpsPlan, SoakOutcome, SoakStats, StallOp, SwapEvent, SwapOp, WatchStage, WatchdogConfig,
+    WatchdogState,
+};
 pub use traffic::{Arrival, ArrivalTrace, TrafficConfig};

@@ -23,29 +23,33 @@ use safex_trace::json::Json;
 use crate::request::{ModelId, Outcome, Response, ShedReason, Tier};
 
 /// Aggregated counters for one serving run.
+///
+/// Fields are crate-visible so the snapshot codec can serialize and
+/// rebuild mid-run counters bit-for-bit; outside the crate the only
+/// window is [`Metrics::snapshot`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Metrics {
-    latencies: Vec<u64>,
-    tier_latencies: [Vec<u64>; 3],
-    batch_sizes: BTreeMap<usize, u64>,
-    completed: [u64; 3],
-    cached: [u64; 3],
-    shed_queue_full: [u64; 3],
-    shed_displaced: [u64; 3],
-    shed_degraded: [u64; 3],
-    timeout: [u64; 3],
-    safe_stop: [u64; 3],
-    peak_queue_depth: usize,
-    cache_lookups: u64,
-    cache_hits: u64,
-    models: Vec<ModelCounters>,
+    pub(crate) latencies: Vec<u64>,
+    pub(crate) tier_latencies: [Vec<u64>; 3],
+    pub(crate) batch_sizes: BTreeMap<usize, u64>,
+    pub(crate) completed: [u64; 3],
+    pub(crate) cached: [u64; 3],
+    pub(crate) shed_queue_full: [u64; 3],
+    pub(crate) shed_displaced: [u64; 3],
+    pub(crate) shed_degraded: [u64; 3],
+    pub(crate) timeout: [u64; 3],
+    pub(crate) safe_stop: [u64; 3],
+    pub(crate) peak_queue_depth: usize,
+    pub(crate) cache_lookups: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) models: Vec<ModelCounters>,
 }
 
 #[derive(Debug, Clone, PartialEq, Default)]
-struct ModelCounters {
-    batches: u64,
-    items: u64,
-    completed: u64,
+pub(crate) struct ModelCounters {
+    pub(crate) batches: u64,
+    pub(crate) items: u64,
+    pub(crate) completed: u64,
 }
 
 impl Metrics {

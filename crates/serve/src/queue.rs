@@ -120,6 +120,21 @@ impl AdmissionQueue {
         }
     }
 
+    /// Rebuilds a queue from snapshotted parts, preserving admission
+    /// order and the historical peak.
+    pub(crate) fn from_parts(items: Vec<Pending>, cap: usize, peak: usize) -> Self {
+        AdmissionQueue {
+            items,
+            cap: cap.max(1),
+            peak,
+        }
+    }
+
+    /// Configured capacity bound.
+    pub(crate) fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Queued entries in admission order (front is oldest).
     pub fn items(&self) -> &[Pending] {
         &self.items

@@ -1,5 +1,5 @@
 //! The fleet serving loop: admission → fairness → routing → dispatch →
-//! retirement.
+//! retirement — plus the soak runtime wrapped around it.
 //!
 //! [`Server::run_trace`] replays an [`ArrivalTrace`] through a
 //! discrete-event simulation of a multi-model serving runtime. The clock
@@ -7,11 +7,14 @@
 //! [`ServiceModel`]'s execution cost — never a wall clock — so the entire
 //! run, including batch boundaries, routing decisions, shedding, and
 //! every member's degradation-ladder walk, is a pure function of its
-//! inputs and replays byte-for-byte.
+//! inputs and replays byte-for-byte. [`Server::run_soak`] is the same
+//! loop paced by a pluggable [`ClockSource`] (a real soak run uses
+//! [`crate::clock::WallClock`]; tests use the free-running sim clock) and
+//! driven by an [`OpsPlan`] of scripted operational events.
 //!
 //! ## The event loop
 //!
-//! Three event kinds drive the clock, processed in strict time order
+//! Four event kinds drive the clock, processed in strict time order
 //! (and in a fixed order within a tick):
 //!
 //! 1. **Retirement** — a dispatched batch reaches its completion tick:
@@ -26,34 +29,56 @@
 //!    member failing costs the fleet latency, not answers.
 //! 2. **Arrival** — a request is admitted: fault-injection hook, fleet
 //!    health gate, result-cache lookup, bounded queue with tier-ordered
-//!    displacement.
+//!    displacement. Scripted soak events (snapshot capture, hot-swap
+//!    requests) trigger on request ids, immediately before admission.
 //! 3. **Flush** — the batch policy says the queue should dispatch:
 //!    fairness selects the round's requests, the routing policy places
 //!    each on an eligible member, one batch per idle member starts.
+//! 4. **Watchdog** — when enabled, a per-stage liveness deadline or
+//!    proof cadence comes due (see [`crate::soak`]). With the watchdog
+//!    disabled this source contributes no events and the loop is
+//!    tick-for-tick the plain replay loop.
 //!
-//! ## Per-member service levels
+//! ## Soak runtime: snapshot, restore, hot swap
 //!
-//! Every fleet member owns a full [`HealthMonitor`] ladder fed only by
-//! its *own* verdicts. A struck member walks Nominal → Degraded →
-//! SafeStop and sheds its own tiers while the rest of the fleet keeps
-//! serving; the fleet as a whole refuses work only when every member
-//! has stopped. Every ladder transition is appended to the evidence
-//! chain with the tick, the member, and the request that triggered it.
+//! A soak run can capture a [`ServerSnapshot`] immediately before a
+//! scripted request id: ladder states, queue residue, in-flight batches,
+//! metrics counters, the evidence chain, the result cache, and backend
+//! work clocks. [`Server::restore`] rebuilds a server from those bytes
+//! (failing closed on any corruption) and resumes the same trace
+//! mid-stream; the resumed run's [`ServeReport::replay_json`] is
+//! byte-identical to the uninterrupted run's. The chains differ by
+//! exactly one `runtime_restored` record — restores are themselves
+//! evidence — which is why fidelity is defined over `replay_json` (the
+//! report minus `chain_head`) rather than the full JSON.
+//!
+//! A hot swap ([`SwapOp`]) quiesces one member: the member stops taking
+//! new batches, its in-flight batches retire, then the incoming backend
+//! re-goldens and verifies its weights ([`Backend::prepare_swap`]), the
+//! digest gate checks any pinned expectation, and the swap commits —
+//! fresh Nominal ladder, member's cache entries purged, `model_swapped`
+//! on the chain. Any verification failure aborts the swap with the old
+//! model still serving, untouched.
 
 use safex_core::health::{HealthMonitor, HealthState, HealthVerdict};
 use safex_trace::json::Json;
-use safex_trace::{EvidenceChain, RecordKind, Value};
+use safex_trace::{EvidenceChain, Fnv64, RecordKind, Value};
 
 use crate::backend::{Backend, BatchVerdict};
-use crate::batcher::{BatchPolicy, ServiceModel};
+use crate::batcher::ServiceModel;
 use crate::cache::ResultCache;
+use crate::clock::{ClockSource, SimClock};
 use crate::config::ServerConfig;
 use crate::error::ServeError;
 use crate::fleet::Fleet;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::queue::{Admission, AdmissionQueue, FairnessPolicy, Pending};
-use crate::request::{ModelId, Outcome, Request, Response, ShedReason, Tier};
+use crate::queue::{Admission, AdmissionQueue, Pending};
+use crate::request::{ModelId, Outcome, Request, Response, ShedReason};
 use crate::route::{admits, severity, CandidateView, RouteView, RoutingPolicy};
+use crate::snapshot::{trace_digest, CacheEntrySnapshot, ChainEntry, RunSnapshot, ServerSnapshot};
+use crate::soak::{
+    OpsPlan, SoakOutcome, SoakStats, StallOp, SwapEvent, SwapOp, WatchStage, WatchdogState,
+};
 use crate::traffic::ArrivalTrace;
 
 /// One recorded service-level change on one fleet member.
@@ -93,8 +118,9 @@ pub struct ModelSummary {
 /// The complete, reproducible result of one trace replay.
 ///
 /// `#[non_exhaustive]`: reports are produced by the server and read by
-/// callers; new fields (the fleet redesign added `models` and `routing`)
-/// append without breaking downstream matches.
+/// callers; new fields (the fleet redesign added `models` and `routing`,
+/// the soak runtime added `soak`) append without breaking downstream
+/// matches.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct ServeReport {
@@ -111,6 +137,9 @@ pub struct ServeReport {
     /// Head hash of the evidence chain after the run (binds the report
     /// to the recorded transition and cache-hit evidence).
     pub chain_head: u64,
+    /// Soak-runtime counters (swaps, watchdog activity); stays at
+    /// `Default` — and out of the JSON — for plain replay runs.
+    pub soak: SoakStats,
 }
 
 impl ServeReport {
@@ -118,6 +147,18 @@ impl ServeReport {
     /// summaries, metrics) to deterministic JSON — the byte-for-byte
     /// replay artefact.
     pub fn to_json(&self) -> Json {
+        let mut root = self.replay_json();
+        root.set("chain_head", Json::Str(format!("{:016x}", self.chain_head)));
+        root
+    }
+
+    /// The report JSON *minus* `chain_head` — the restore-fidelity
+    /// artefact. A restored run's chain carries one extra
+    /// `runtime_restored` record (the restore itself is evidence), so its
+    /// head hash legitimately differs from the uninterrupted run's; every
+    /// observable serving outcome must still match byte-for-byte, and
+    /// this projection is what that claim is checked against.
+    pub fn replay_json(&self) -> Json {
         let responses: Vec<Json> = self
             .responses
             .iter()
@@ -195,31 +236,157 @@ impl ServeReport {
             .set("transitions", Json::Arr(transitions))
             .set("models", models)
             .set("routing", Json::from(self.routing.as_str()))
-            .set("metrics", self.snapshot.to_json())
-            .set("chain_head", Json::Str(format!("{:016x}", self.chain_head)));
+            .set("metrics", self.snapshot.to_json());
+        if !self.soak.is_default() {
+            root.set("soak", self.soak.to_json());
+        }
         root
+    }
+
+    /// FNV-1a digest of [`ServeReport::replay_json`] — the compact form
+    /// of the restore-fidelity comparison.
+    pub fn replay_digest(&self) -> u64 {
+        let mut fnv = Fnv64::new();
+        fnv.write_bytes(self.replay_json().to_string_compact().as_bytes());
+        fnv.finish()
     }
 }
 
 /// A batch that has been executed but whose effects have not yet landed:
-/// verdicts are computed at dispatch, applied at `done_at`.
-struct InFlight {
-    model: ModelId,
-    done_at: u64,
-    items: Vec<(Pending, BatchVerdict)>,
+/// verdicts are computed at dispatch, applied at `done_at`. Public so
+/// snapshots can carry mid-flight batches across a restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InFlightBatch {
+    /// The member executing the batch.
+    pub model: ModelId,
+    /// Tick at which the batch's effects land.
+    pub done_at: u64,
+    /// The batch items with their precomputed verdicts.
+    pub items: Vec<(Pending, BatchVerdict)>,
+}
+
+/// Everything the event loop mutates while replaying a trace. Factored
+/// out of the loop body so a snapshot can freeze it mid-run and a
+/// restore can resume from it.
+pub(crate) struct RunState {
+    responses: Vec<Response>,
+    transitions: Vec<ServiceTransition>,
+    metrics: Metrics,
+    queue: AdmissionQueue,
+    inflight: Vec<InFlightBatch>,
+    free_at: Vec<u64>,
+    decisions: u64,
+    next: usize,
+    now: u64,
+    /// Set when a flush round at the current state cannot place
+    /// anything (every target busy); cleared by the next retirement
+    /// or arrival, which are the only events that change that state.
+    stalled: bool,
+    watchdog: WatchdogState,
+    stats: SoakStats,
+}
+
+impl RunState {
+    fn fresh(models: usize, queue_cap: usize, arrivals: usize) -> Self {
+        RunState {
+            responses: Vec::with_capacity(arrivals),
+            transitions: Vec::new(),
+            metrics: Metrics::new(models),
+            queue: AdmissionQueue::new(queue_cap),
+            inflight: Vec::new(),
+            free_at: vec![0u64; models],
+            decisions: 0,
+            next: 0,
+            now: 0,
+            stalled: false,
+            watchdog: WatchdogState::default(),
+            stats: SoakStats::default(),
+        }
+    }
+
+    fn to_snapshot(&self) -> RunSnapshot {
+        RunSnapshot {
+            responses: self.responses.clone(),
+            transitions: self.transitions.clone(),
+            metrics: self.metrics.clone(),
+            queue_items: self.queue.items().to_vec(),
+            queue_cap: self.queue.cap() as u64,
+            queue_peak: self.queue.peak() as u64,
+            inflight: self.inflight.clone(),
+            free_at: self.free_at.clone(),
+            decisions: self.decisions,
+            next_arrival: self.next as u64,
+            now: self.now,
+            stalled: self.stalled,
+            watchdog: self.watchdog,
+            stats: self.stats.clone(),
+        }
+    }
+
+    fn from_snapshot(snap: RunSnapshot) -> Self {
+        RunState {
+            responses: snap.responses,
+            transitions: snap.transitions,
+            metrics: snap.metrics,
+            queue: AdmissionQueue::from_parts(
+                snap.queue_items,
+                snap.queue_cap as usize,
+                snap.queue_peak as usize,
+            ),
+            inflight: snap.inflight,
+            free_at: snap.free_at,
+            decisions: snap.decisions,
+            next: snap.next_arrival as usize,
+            now: snap.now,
+            stalled: snap.stalled,
+            watchdog: snap.watchdog,
+            stats: snap.stats,
+        }
+    }
+}
+
+/// A hot swap whose member is draining its in-flight batches.
+struct DrainingSwap<B> {
+    op: SwapOp<B>,
+    requested_at: u64,
+}
+
+/// Scripted-operations bookkeeping for one soak run.
+struct SoakCtx<B> {
+    swaps: Vec<SwapOp<B>>,
+    stalls: Vec<StallOp>,
+    snapshot_at: Option<u64>,
+    draining: Vec<DrainingSwap<B>>,
+    captured: Option<Vec<u8>>,
+}
+
+/// Repeatedly bumps `t` out of any `stage` stall window containing it.
+fn stall_clamp(stalls: &[StallOp], stage: WatchStage, mut t: u64) -> u64 {
+    loop {
+        let mut bumped = false;
+        for stall in stalls {
+            if stall.stage == stage && stall.from <= t && t < stall.until {
+                t = stall.until;
+                bumped = true;
+            }
+        }
+        if !bumped {
+            return t;
+        }
+    }
 }
 
 /// The deterministic fleet serving runtime.
 pub struct Server<B: Backend> {
     fleet: Fleet<B>,
-    policy: BatchPolicy,
-    service: ServiceModel,
-    fairness: FairnessPolicy,
-    degraded_floor: Tier,
+    config: ServerConfig,
     router: Box<dyn RoutingPolicy>,
     monitors: Vec<HealthMonitor>,
     cache: ResultCache,
     chain: EvidenceChain,
+    /// Set by [`Server::restore`]: the trace digest the restored state
+    /// belongs to, plus the state itself. Consumed by the next run.
+    resume: Option<(u64, RunState)>,
 }
 
 impl<B: Backend> Server<B> {
@@ -229,7 +396,8 @@ impl<B: Backend> Server<B> {
     /// # Errors
     ///
     /// Returns [`ServeError::BadConfig`] for an invalid batch policy,
-    /// health, or cache configuration.
+    /// health, cache, or watchdog configuration, and
+    /// [`ServeError::DuplicateMember`] when two members share a name.
     pub fn new(config: ServerConfig, fleet: Fleet<B>) -> Result<Self, ServeError> {
         let router = config.routing.policy();
         Server::with_router(config, fleet, router)
@@ -250,29 +418,130 @@ impl<B: Backend> Server<B> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadConfig`] as [`Server::new`] does.
+    /// Returns [`ServeError::BadConfig`] as [`Server::new`] does, and
+    /// [`ServeError::DuplicateMember`] for aliased member names (the
+    /// builder already rejects them; this guards fleets assembled
+    /// through other paths).
     pub fn with_router(
         config: ServerConfig,
         fleet: Fleet<B>,
         router: Box<dyn RoutingPolicy>,
     ) -> Result<Self, ServeError> {
         config.validate()?;
+        for (i, member) in fleet.members().iter().enumerate() {
+            if fleet.members()[..i]
+                .iter()
+                .any(|p| p.name() == member.name())
+            {
+                return Err(ServeError::DuplicateMember(member.name().to_string()));
+            }
+        }
         let monitors = fleet
             .ids()
             .map(|_| HealthMonitor::new(config.health))
             .collect::<Result<Vec<_>, _>>()
             .map_err(|e| ServeError::BadConfig(e.to_string()))?;
         Ok(Server {
+            cache: ResultCache::new(config.cache),
+            chain: EvidenceChain::new(config.campaign.clone()),
             fleet,
-            policy: config.policy,
-            service: config.service,
-            fairness: config.fairness,
-            degraded_floor: config.degraded_floor,
+            config,
             router,
             monitors,
-            cache: ResultCache::new(config.cache),
-            chain: EvidenceChain::new(config.campaign),
+            resume: None,
         })
+    }
+
+    /// Rebuilds a server from snapshot bytes and arms it to resume the
+    /// interrupted run: the next `run_trace`/`run_soak` against the same
+    /// trace continues from the captured tick instead of starting fresh.
+    ///
+    /// The caller supplies `fleet` with the same weights the snapshot was
+    /// captured under (weights live in the backends, not the snapshot);
+    /// backend work clocks are resynced from the snapshot. The restore
+    /// appends a `runtime_restored` evidence record — restores are
+    /// auditable events, not silent ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadSnapshot`] on any corruption, version or
+    /// checksum mismatch, configuration/fleet-shape mismatch, invalid
+    /// ladder state, or evidence-chain head mismatch. Restores fail
+    /// closed: on error the snapshot is fully rejected, no partial state
+    /// is applied.
+    pub fn restore(
+        config: ServerConfig,
+        fleet: Fleet<B>,
+        bytes: &[u8],
+    ) -> Result<Self, ServeError> {
+        let snap = ServerSnapshot::decode(bytes)?;
+        let mut server = Server::new(config, fleet)?;
+        if server.config_digest() != snap.config_digest {
+            return Err(ServeError::BadSnapshot(
+                "server configuration does not match the snapshot's".into(),
+            ));
+        }
+        let members = server.fleet.len();
+        if snap.monitors.len() != members
+            || snap.backend_clocks.len() != members
+            || snap.run.free_at.len() != members
+        {
+            return Err(ServeError::BadSnapshot(format!(
+                "snapshot shape ({} monitors, {} clocks) does not fit a fleet of {members}",
+                snap.monitors.len(),
+                snap.backend_clocks.len()
+            )));
+        }
+        // Stage everything fallible before committing any of it.
+        let monitors = snap
+            .monitors
+            .iter()
+            .map(|ladder| HealthMonitor::restore(server.config.health, ladder.clone()))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| ServeError::BadSnapshot(e.to_string()))?;
+        let mut chain = EvidenceChain::new(server.config.campaign.clone());
+        for entry in &snap.chain {
+            chain.append(entry.kind, entry.fields.clone());
+        }
+        if chain.head_hash() != snap.chain_head {
+            return Err(ServeError::BadSnapshot(
+                "re-appended evidence chain does not reproduce the snapshot head".into(),
+            ));
+        }
+        let mut cache = ResultCache::new(server.config.cache);
+        for entry in &snap.cache_entries {
+            cache.insert(&entry.input, entry.class, entry.confidence, entry.model);
+        }
+        // Commit.
+        server.monitors = monitors;
+        server.chain = chain;
+        server.cache = cache;
+        for (i, &work) in snap.backend_clocks.iter().enumerate() {
+            server
+                .fleet
+                .backend_mut(ModelId::new(i as u16))
+                .expect("shape checked above")
+                .resync(work);
+        }
+        let checksum = ServerSnapshot::stored_checksum(bytes).unwrap_or(0);
+        server.chain.append(
+            RecordKind::RuntimeRestored,
+            vec![
+                ("server".into(), Value::Str("safex-serve".into())),
+                ("at_tick".into(), Value::U64(snap.run.now)),
+                ("checksum".into(), Value::Str(format!("{checksum:08x}"))),
+                ("records".into(), Value::U64(snap.chain.len() as u64)),
+                ("members".into(), Value::U64(members as u64)),
+            ],
+        );
+        server.resume = Some((snap.trace_digest, RunState::from_snapshot(snap.run)));
+        Ok(server)
+    }
+
+    /// `true` when this server holds restored mid-run state waiting for
+    /// its trace to be re-run.
+    pub fn pending_restore(&self) -> bool {
+        self.resume.is_some()
     }
 
     /// The fleet-wide service level: the *worst* member state, so a
@@ -306,6 +575,46 @@ impl<B: Backend> Server<B> {
         self.fleet.members()[0].backend()
     }
 
+    /// FNV-1a digest of every behaviour-relevant configuration knob plus
+    /// the router name. Snapshots carry it so a restore against a
+    /// different configuration fails closed instead of resuming a run
+    /// the new configuration would never have produced.
+    pub fn config_digest(&self) -> u64 {
+        let c = &self.config;
+        let mut fnv = Fnv64::new();
+        fnv.write_u64(c.policy.max_batch as u64);
+        fnv.write_u64(c.policy.flush_slack);
+        fnv.write_u64(c.policy.max_linger);
+        fnv.write_u64(c.policy.queue_cap as u64);
+        fnv.write_u64(c.service.batch_overhead);
+        fnv.write_u64(c.service.per_item);
+        for v in [
+            c.health.window,
+            c.health.degrade_events,
+            c.health.stop_events,
+            c.health.recover_after,
+            c.health.resume_after,
+            c.health.warn_budget,
+        ] {
+            fnv.write_u64(u64::from(v));
+        }
+        fnv.write_u64(c.degraded_floor.index() as u64);
+        fnv.write_u64(c.fairness.age_step);
+        for r in c.fairness.reserved {
+            fnv.write_u64(r as u64);
+        }
+        fnv.write_u64(u64::from(c.cache.enabled));
+        fnv.write_u64(c.cache.capacity as u64);
+        fnv.write_u64(u64::from(c.watchdog.enabled));
+        for d in c.watchdog.stage_deadline {
+            fnv.write_u64(d);
+        }
+        fnv.write_u64(c.watchdog.proof_cadence);
+        fnv.write_bytes(c.campaign.as_bytes());
+        fnv.write_bytes(self.router.name().as_bytes());
+        fnv.finish()
+    }
+
     /// Replays a trace to completion.
     ///
     /// # Errors
@@ -327,132 +636,565 @@ impl<B: Backend> Server<B> {
     pub fn run_trace_with<F>(
         &mut self,
         trace: &ArrivalTrace,
-        mut on_arrival: F,
+        on_arrival: F,
     ) -> Result<ServeReport, ServeError>
     where
         F: FnMut(&Request, &mut Fleet<B>),
     {
-        let arrivals = trace.arrivals();
-        let models = self.fleet.len();
-        let mut responses: Vec<Response> = Vec::with_capacity(arrivals.len());
-        let mut transitions: Vec<ServiceTransition> = Vec::new();
-        let mut metrics = Metrics::new(models);
-        let mut queue = AdmissionQueue::new(self.policy.queue_cap);
-        let mut inflight: Vec<InFlight> = Vec::new();
-        let mut free_at = vec![0u64; models];
-        let mut decisions = 0u64;
-        let mut next = 0usize;
-        let mut now = 0u64;
-        // Set when a flush round at the current state cannot place
-        // anything (every target busy); cleared by the next retirement
-        // or arrival, which are the only events that change that state.
-        let mut stalled = false;
+        let mut clock = SimClock;
+        self.run_inner(trace, OpsPlan::none(), &mut clock, on_arrival)
+            .map(|outcome| outcome.report)
+    }
 
-        while next < arrivals.len() || !queue.is_empty() || !inflight.is_empty() {
-            let next_arrival = arrivals.get(next).map(|a| a.at);
-            let next_retire = inflight.iter().map(|b| b.done_at).min();
-            let next_flush = if queue.is_empty() || stalled {
-                None
-            } else if self.all_stopped() {
-                // Nothing can ever serve the queued work: drain it now.
-                Some(now)
+    /// Runs the trace as a soak: the replay loop paced by `clock` and
+    /// driven by the scripted [`OpsPlan`] (hot swaps, stage stalls, a
+    /// snapshot capture point). With an empty plan, a disabled watchdog,
+    /// and the sim clock, this is byte-identical to [`Server::run_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend infrastructure failures, an invalid plan, and
+    /// [`ServeError::BadSnapshot`] when a capture point lands while a
+    /// hot swap is still draining (snapshots of half-performed swaps are
+    /// not representable, by design).
+    pub fn run_soak(
+        &mut self,
+        trace: &ArrivalTrace,
+        ops: OpsPlan<B>,
+        clock: &mut dyn ClockSource,
+    ) -> Result<SoakOutcome, ServeError> {
+        self.run_inner(trace, ops, clock, |_, _| {})
+    }
+
+    /// [`Server::run_soak`] with a fault-injection hook, so soak
+    /// campaigns can combine scripted operations with weight strikes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::run_soak`].
+    pub fn run_soak_with<F>(
+        &mut self,
+        trace: &ArrivalTrace,
+        ops: OpsPlan<B>,
+        clock: &mut dyn ClockSource,
+        on_arrival: F,
+    ) -> Result<SoakOutcome, ServeError>
+    where
+        F: FnMut(&Request, &mut Fleet<B>),
+    {
+        self.run_inner(trace, ops, clock, on_arrival)
+    }
+
+    /// The unified event loop behind both `run_trace` and `run_soak`.
+    fn run_inner<F>(
+        &mut self,
+        trace: &ArrivalTrace,
+        ops: OpsPlan<B>,
+        clock: &mut dyn ClockSource,
+        mut on_arrival: F,
+    ) -> Result<SoakOutcome, ServeError>
+    where
+        F: FnMut(&Request, &mut Fleet<B>),
+    {
+        ops.validate(self.fleet.len())?;
+        let arrivals = trace.arrivals();
+        let mut run = match self.resume.take() {
+            Some((digest, run)) => {
+                if digest != trace_digest(trace) {
+                    return Err(ServeError::BadSnapshot(
+                        "restored run state belongs to a different arrival trace".into(),
+                    ));
+                }
+                run
+            }
+            None => {
+                let mut fresh = RunState::fresh(
+                    self.fleet.len(),
+                    self.config.policy.queue_cap,
+                    arrivals.len(),
+                );
+                if self.config.watchdog.enabled && self.config.watchdog.proof_cadence > 0 {
+                    fresh.watchdog.next_proof = self.config.watchdog.proof_cadence;
+                }
+                fresh
+            }
+        };
+        let mut ctx = SoakCtx {
+            swaps: ops.swaps,
+            stalls: ops.stalls,
+            snapshot_at: ops.snapshot_at,
+            draining: Vec::new(),
+            captured: None,
+        };
+
+        while run.next < arrivals.len() || !run.queue.is_empty() || !run.inflight.is_empty() {
+            let next_arrival = arrivals.get(run.next).map(|a| a.at);
+            let next_retire = run.inflight.iter().map(|b| b.done_at).min();
+            let next_flush = self.next_flush_tick(&run, &ctx.stalls);
+            let next_watchdog = if self.config.watchdog.enabled {
+                self.next_watchdog_tick(&run, arrivals.len())
             } else {
-                let fleet_free = self
-                    .monitors
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, m)| m.state() != HealthState::SafeStop)
-                    .map(|(i, _)| free_at[i])
-                    .min()
-                    .expect("non-stopped member exists");
-                self.policy
-                    .flush_at(queue.items(), fleet_free)
-                    .map(|f| f.max(now))
+                None
             };
-            let Some(tick) = [next_arrival, next_retire, next_flush]
+            let Some(tick) = [next_arrival, next_retire, next_flush, next_watchdog]
                 .into_iter()
                 .flatten()
                 .min()
             else {
                 unreachable!("loop invariant: pending work implies a pending event");
             };
-            now = tick;
+            run.now = tick;
+            clock.pace(tick);
+
+            // 0. Watchdog checks precede the pipeline stages they judge:
+            //    a stage is late only relative to the tick being entered.
+            if self.config.watchdog.enabled {
+                self.watchdog_tick(&mut run, arrivals.len());
+            }
 
             // 1. Retire every batch completing at this tick, in dispatch
             //    order, before anything at this tick observes health.
-            if next_retire == Some(now) {
+            if next_retire == Some(run.now) {
                 let mut retiring = Vec::new();
                 let mut rest = Vec::new();
-                for batch in inflight.drain(..) {
-                    if batch.done_at <= now {
+                for batch in run.inflight.drain(..) {
+                    if batch.done_at <= run.now {
                         retiring.push(batch);
                     } else {
                         rest.push(batch);
                     }
                 }
-                inflight = rest;
+                run.inflight = rest;
+                let watched = self.config.watchdog.enabled;
                 for batch in retiring {
-                    self.retire(
-                        batch,
-                        &mut queue,
-                        &mut responses,
-                        &mut transitions,
-                        &mut metrics,
-                    );
+                    self.retire(batch, &mut run);
+                    if watched {
+                        Self::kick(&mut run, WatchStage::Backend);
+                        Self::kick(&mut run, WatchStage::Release);
+                    }
                 }
-                stalled = false;
+                run.stalled = false;
+                // A draining member whose last batch just retired is now
+                // quiesced: its swap can resolve.
+                if !ctx.draining.is_empty() {
+                    self.try_commit_swaps(&mut run, &mut ctx);
+                }
             }
 
-            // 2. Admit every arrival at this tick.
-            while next < arrivals.len() && arrivals[next].at == now {
-                let arrival = arrivals[next].clone();
-                next += 1;
-                self.admit(
-                    arrival.request,
-                    now,
-                    &mut queue,
-                    &mut responses,
-                    &mut metrics,
-                    &mut on_arrival,
-                );
-                stalled = false;
+            // 2. Admit every arrival at this tick; scripted soak events
+            //    keyed on a request id fire immediately before it is
+            //    admitted.
+            while run.next < arrivals.len() && arrivals[run.next].at == run.now {
+                let rid = arrivals[run.next].request.id;
+                if ctx.snapshot_at == Some(rid) && ctx.captured.is_none() {
+                    if !ctx.draining.is_empty() {
+                        return Err(ServeError::BadSnapshot(
+                            "cannot snapshot during a pending hot swap".into(),
+                        ));
+                    }
+                    ctx.captured = Some(self.capture_snapshot(trace, &run));
+                }
+                let mut i = 0;
+                while i < ctx.swaps.len() {
+                    if ctx.swaps[i].at_request == rid {
+                        let op = ctx.swaps.remove(i);
+                        ctx.draining.push(DrainingSwap {
+                            op,
+                            requested_at: run.now,
+                        });
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !ctx.draining.is_empty() {
+                    // An idle member swaps instantly; a busy one drains.
+                    self.try_commit_swaps(&mut run, &mut ctx);
+                }
+                let arrival = arrivals[run.next].clone();
+                run.next += 1;
+                self.admit(arrival.request, &mut run, &mut on_arrival);
+                if self.config.watchdog.enabled {
+                    Self::kick(&mut run, WatchStage::Admission);
+                }
+                run.stalled = false;
             }
 
             // 3. Dispatch when the (recomputed) flush tick has come.
-            if !queue.is_empty() && !stalled {
-                let due = if self.all_stopped() {
-                    true
-                } else {
-                    let fleet_free = self
-                        .monitors
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, m)| m.state() != HealthState::SafeStop)
-                        .map(|(i, _)| free_at[i])
-                        .min()
-                        .expect("non-stopped member exists");
-                    self.policy
-                        .flush_at(queue.items(), fleet_free)
-                        .is_some_and(|f| f <= now)
-                };
+            if !run.queue.is_empty() && !run.stalled {
+                let due = self
+                    .next_flush_tick(&run, &ctx.stalls)
+                    .is_some_and(|f| f <= run.now);
                 if due {
-                    let progressed = self.dispatch_round(
-                        now,
-                        &mut queue,
-                        &mut free_at,
-                        &mut decisions,
-                        &mut inflight,
-                        &mut responses,
-                        &mut metrics,
-                    )?;
+                    let progressed = self.dispatch_round(&mut run, &ctx.draining, &ctx.stalls)?;
                     if !progressed {
-                        stalled = true;
+                        run.stalled = true;
                     }
                 }
             }
         }
 
-        debug_assert_eq!(responses.len(), arrivals.len(), "one response per request");
+        // Safety net: a swap whose member idled out exactly at trace end.
+        if !ctx.draining.is_empty() {
+            self.try_commit_swaps(&mut run, &mut ctx);
+        }
+        debug_assert_eq!(
+            run.responses.len(),
+            arrivals.len(),
+            "one response per request"
+        );
+        let report = self.finish_report(run);
+        Ok(SoakOutcome {
+            report,
+            snapshot: ctx.captured,
+        })
+    }
+
+    /// The tick at which the current queue should flush, if any:
+    /// `None` while the queue is empty or the last round stalled;
+    /// the current tick when the whole fleet is stopped (drain);
+    /// otherwise the batch policy's flush tick, clamped forward out of
+    /// any scripted batcher stall.
+    fn next_flush_tick(&self, run: &RunState, stalls: &[StallOp]) -> Option<u64> {
+        if run.queue.is_empty() || run.stalled {
+            return None;
+        }
+        let flush = if self.all_stopped() {
+            // Nothing can ever serve the queued work: drain it now.
+            run.now
+        } else {
+            let fleet_free = self
+                .monitors
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.state() != HealthState::SafeStop)
+                .map(|(i, _)| run.free_at[i])
+                .min()
+                .expect("non-stopped member exists");
+            self.config.policy.flush_at(run.queue.items(), fleet_free)?
+        };
+        Some(stall_clamp(stalls, WatchStage::Batcher, flush.max(run.now)))
+    }
+
+    /// Records one stage's liveness heartbeat: progress resets its
+    /// strike ladder.
+    fn kick(run: &mut RunState, stage: WatchStage) {
+        let i = stage.index();
+        run.watchdog.last_progress[i] = run.now;
+        run.watchdog.strikes[i] = 0;
+        run.stats.watchdog_kicks[i] += 1;
+    }
+
+    /// Whether a stage currently has work it must be making progress on.
+    fn stage_armed(run: &RunState, stage: WatchStage, total_arrivals: usize) -> bool {
+        match stage {
+            WatchStage::Admission => run.next < total_arrivals,
+            WatchStage::Batcher => !run.queue.is_empty(),
+            WatchStage::Backend | WatchStage::Release => !run.inflight.is_empty(),
+        }
+    }
+
+    /// The next tick at which the watchdog itself needs to run: the
+    /// earliest stage strike deadline, or the proof cadence.
+    fn next_watchdog_tick(&self, run: &RunState, total_arrivals: usize) -> Option<u64> {
+        let cfg = &self.config.watchdog;
+        let mut next: Option<u64> = None;
+        for stage in WatchStage::ALL {
+            let i = stage.index();
+            if !Self::stage_armed(run, stage, total_arrivals) || run.watchdog.strikes[i] >= 3 {
+                continue;
+            }
+            let due = run.watchdog.last_progress[i]
+                + cfg.stage_deadline[i] * (u64::from(run.watchdog.strikes[i]) + 1);
+            next = Some(next.map_or(due, |n: u64| n.min(due)));
+        }
+        if cfg.proof_cadence > 0 {
+            next = Some(next.map_or(run.watchdog.next_proof, |n| n.min(run.watchdog.next_proof)));
+        }
+        next.map(|t| t.max(run.now))
+    }
+
+    /// One watchdog pass at the tick being entered: unarmed stages are
+    /// refreshed, armed stages past their deadline take a strike, and
+    /// strikes walk the escalation ladder — warning alarm, fleet
+    /// Degraded, fleet SafeStop — each step on the evidence chain.
+    fn watchdog_tick(&mut self, run: &mut RunState, total_arrivals: usize) {
+        let cfg = self.config.watchdog;
+        let now = run.now;
+        for stage in WatchStage::ALL {
+            let i = stage.index();
+            if !Self::stage_armed(run, stage, total_arrivals) {
+                // Nothing to prove: an idle stage is trivially live.
+                run.watchdog.last_progress[i] = now;
+                run.watchdog.strikes[i] = 0;
+                continue;
+            }
+            if run.watchdog.strikes[i] >= 3 {
+                continue;
+            }
+            let due = run.watchdog.last_progress[i]
+                + cfg.stage_deadline[i] * (u64::from(run.watchdog.strikes[i]) + 1);
+            if now < due {
+                continue;
+            }
+            run.watchdog.strikes[i] += 1;
+            let stalled_for = now - run.watchdog.last_progress[i];
+            match run.watchdog.strikes[i] {
+                1 => {
+                    self.chain.append(
+                        RecordKind::WatchdogAlarm,
+                        vec![
+                            ("server".into(), Value::Str("safex-serve".into())),
+                            ("stage".into(), Value::Str(stage.tag().into())),
+                            ("at_tick".into(), Value::U64(now)),
+                            ("stalled_for".into(), Value::U64(stalled_for)),
+                            ("strike".into(), Value::U64(1)),
+                        ],
+                    );
+                    run.stats.watchdog_alarms += 1;
+                }
+                2 => {
+                    self.chain.append(
+                        RecordKind::WatchdogEscalation,
+                        vec![
+                            ("server".into(), Value::Str("safex-serve".into())),
+                            ("stage".into(), Value::Str(stage.tag().into())),
+                            ("at_tick".into(), Value::U64(now)),
+                            ("action".into(), Value::Str("degrade_fleet".into())),
+                            ("strike".into(), Value::U64(2)),
+                        ],
+                    );
+                    run.stats.watchdog_escalations += 1;
+                    self.force_fleet(run, HealthState::Nominal, HealthState::Degraded);
+                }
+                _ => {
+                    self.chain.append(
+                        RecordKind::WatchdogEscalation,
+                        vec![
+                            ("server".into(), Value::Str("safex-serve".into())),
+                            ("stage".into(), Value::Str(stage.tag().into())),
+                            ("at_tick".into(), Value::U64(now)),
+                            ("action".into(), Value::Str("safe_stop_fleet".into())),
+                            ("strike".into(), Value::U64(3)),
+                        ],
+                    );
+                    run.stats.watchdog_escalations += 1;
+                    self.force_fleet(run, HealthState::Nominal, HealthState::SafeStop);
+                    self.force_fleet(run, HealthState::Degraded, HealthState::SafeStop);
+                    // The drain path must run even if the last dispatch
+                    // round stalled: everything queued now resolves to a
+                    // typed refusal.
+                    run.stalled = false;
+                }
+            }
+        }
+        if cfg.proof_cadence > 0 && now >= run.watchdog.next_proof {
+            while run.watchdog.next_proof <= now {
+                run.watchdog.next_proof += cfg.proof_cadence;
+            }
+            let age = |i: usize| now - run.watchdog.last_progress[i].min(now);
+            self.chain.append(
+                RecordKind::WatchdogProof,
+                vec![
+                    ("server".into(), Value::Str("safex-serve".into())),
+                    ("at_tick".into(), Value::U64(now)),
+                    ("admission_age".into(), Value::U64(age(0))),
+                    ("batcher_age".into(), Value::U64(age(1))),
+                    ("backend_age".into(), Value::U64(age(2))),
+                    ("release_age".into(), Value::U64(age(3))),
+                ],
+            );
+            run.stats.watchdog_proofs += 1;
+        }
+    }
+
+    /// Forces every member currently in `from` to `to`, recording the
+    /// transitions exactly as verdict-driven ones are recorded. Members
+    /// forced to SafeStop also lose their cache entries: the ladder no
+    /// longer vouches for them.
+    fn force_fleet(&mut self, run: &mut RunState, from: HealthState, to: HealthState) {
+        let after_request = (run.next as u64).saturating_sub(1);
+        for i in 0..self.monitors.len() {
+            if self.monitors[i].state() != from {
+                continue;
+            }
+            let model = ModelId::new(i as u16);
+            if let Some(t) = self.monitors[i].force(to) {
+                run.transitions.push(ServiceTransition {
+                    model,
+                    from: t.from,
+                    to: t.to,
+                    at_tick: run.now,
+                    after_request,
+                });
+                self.chain.append(
+                    RecordKind::HealthTransition,
+                    vec![
+                        ("server".into(), Value::Str("safex-serve".into())),
+                        ("model".into(), Value::Str(model.to_string())),
+                        ("from".into(), Value::Str(t.from.tag().into())),
+                        ("to".into(), Value::Str(t.to.tag().into())),
+                        ("at_tick".into(), Value::U64(run.now)),
+                        ("after_request".into(), Value::U64(after_request)),
+                    ],
+                );
+                if t.to == HealthState::SafeStop {
+                    self.cache.purge_model(model);
+                }
+            }
+        }
+    }
+
+    /// Resolves every draining swap whose member has quiesced (no batch
+    /// in flight): verify the incoming backend, then commit or abort.
+    fn try_commit_swaps(&mut self, run: &mut RunState, ctx: &mut SoakCtx<B>) {
+        let mut i = 0;
+        while i < ctx.draining.len() {
+            let member = ctx.draining[i].op.model;
+            if run.inflight.iter().any(|b| b.model == member) {
+                i += 1;
+                continue;
+            }
+            let draining = ctx.draining.remove(i);
+            self.resolve_swap(run, draining);
+        }
+    }
+
+    /// The commit point of one quiesced hot swap: re-golden and verify
+    /// the incoming weights, check the digest gate, then atomically
+    /// replace the backend — or abort with the old model untouched.
+    fn resolve_swap(&mut self, run: &mut RunState, draining: DrainingSwap<B>) {
+        let DrainingSwap { op, requested_at } = draining;
+        let SwapOp {
+            model,
+            mut incoming,
+            expected_digest,
+            ..
+        } = op;
+        let now = run.now;
+        let verdict: Result<u64, String> = match incoming.prepare_swap() {
+            Err(e) => Err(e.to_string()),
+            Ok(()) => match (expected_digest, incoming.swap_digest()) {
+                (Some(want), Some(got)) if want != got => Err(format!(
+                    "weight digest mismatch: expected {want:016x}, got {got:016x}"
+                )),
+                (Some(_), None) => Err("incoming backend cannot attest its weights".into()),
+                (_, got) => Ok(got.unwrap_or(0)),
+            },
+        };
+        match verdict {
+            Err(reason) => {
+                self.chain.append(
+                    RecordKind::SwapAborted,
+                    vec![
+                        ("server".into(), Value::Str("safex-serve".into())),
+                        ("model".into(), Value::Str(model.to_string())),
+                        ("at_tick".into(), Value::U64(now)),
+                        ("requested_at".into(), Value::U64(requested_at)),
+                        ("reason".into(), Value::Str(reason)),
+                    ],
+                );
+                run.stats.swaps.push(SwapEvent {
+                    model,
+                    requested_at,
+                    resolved_at: now,
+                    committed: false,
+                    digest: 0,
+                });
+            }
+            Ok(digest) => {
+                let old_state = self.monitors[model.index()].state();
+                self.fleet.replace_backend(model, incoming);
+                self.monitors[model.index()] =
+                    HealthMonitor::new(self.config.health).expect("config validated at assembly");
+                if old_state != HealthState::Nominal {
+                    // The ladder was replaced, not stepped: the service
+                    // level change is recorded, but it is the swap — not a
+                    // health verdict — that explains it.
+                    run.transitions.push(ServiceTransition {
+                        model,
+                        from: old_state,
+                        to: HealthState::Nominal,
+                        at_tick: now,
+                        after_request: (run.next as u64).saturating_sub(1),
+                    });
+                }
+                let purged = self.cache.purge_model(model);
+                self.chain.append(
+                    RecordKind::ModelSwapped,
+                    vec![
+                        ("server".into(), Value::Str("safex-serve".into())),
+                        ("model".into(), Value::Str(model.to_string())),
+                        ("at_tick".into(), Value::U64(now)),
+                        ("requested_at".into(), Value::U64(requested_at)),
+                        ("digest".into(), Value::Str(format!("{digest:016x}"))),
+                        ("purged_cache_entries".into(), Value::U64(purged as u64)),
+                        ("ladder_was".into(), Value::Str(old_state.tag().into())),
+                    ],
+                );
+                run.stats.swaps.push(SwapEvent {
+                    model,
+                    requested_at,
+                    resolved_at: now,
+                    committed: true,
+                    digest,
+                });
+            }
+        }
+        // Either way the member serves again (old or new weights), which
+        // may unblock a stalled dispatch round.
+        run.stalled = false;
+    }
+
+    /// Freezes the full runtime — ladders, cache, chain, backend clocks,
+    /// mid-run loop state — into versioned, checksummed snapshot bytes.
+    fn capture_snapshot(&self, trace: &ArrivalTrace, run: &RunState) -> Vec<u8> {
+        let snap = ServerSnapshot {
+            campaign: self.config.campaign.clone(),
+            config_digest: self.config_digest(),
+            trace_digest: trace_digest(trace),
+            monitors: self.monitors.iter().map(|m| m.export_state()).collect(),
+            cache_entries: self
+                .cache
+                .entries_in_order()
+                .into_iter()
+                .map(|(input, result)| CacheEntrySnapshot {
+                    input: input.to_vec(),
+                    class: result.class,
+                    confidence: result.confidence,
+                    model: result.model,
+                })
+                .collect(),
+            chain: self
+                .chain
+                .records()
+                .iter()
+                .map(|r| ChainEntry {
+                    kind: r.kind,
+                    fields: r.fields.clone(),
+                })
+                .collect(),
+            chain_head: self.chain.head_hash(),
+            backend_clocks: self
+                .fleet
+                .members()
+                .iter()
+                .map(|m| m.backend().clock())
+                .collect(),
+            run: run.to_snapshot(),
+        };
+        snap.encode()
+    }
+
+    /// Seals a finished run into its report.
+    fn finish_report(&self, run: RunState) -> ServeReport {
+        let RunState {
+            mut responses,
+            transitions,
+            mut metrics,
+            queue,
+            stats,
+            ..
+        } = run;
         metrics.record_peak_queue(queue.peak());
         responses.sort_by_key(|r| r.id);
         let summaries = self
@@ -471,14 +1213,15 @@ impl<B: Backend> Server<B> {
                 transitions: monitor.transitions().len(),
             })
             .collect();
-        Ok(ServeReport {
+        ServeReport {
             responses,
             transitions,
             models: summaries,
             routing: self.router.name().to_string(),
             snapshot: metrics.snapshot(),
             chain_head: self.chain.head_hash(),
-        })
+            soak: stats,
+        }
     }
 
     fn all_stopped(&self) -> bool {
@@ -501,18 +1244,17 @@ impl<B: Backend> Server<B> {
     }
 
     /// Admits one arrival (hook → fleet health gate → cache → queue).
-    #[allow(clippy::too_many_arguments)]
-    fn admit<F>(
-        &mut self,
-        request: Request,
-        now: u64,
-        queue: &mut AdmissionQueue,
-        responses: &mut Vec<Response>,
-        metrics: &mut Metrics,
-        on_arrival: &mut F,
-    ) where
+    fn admit<F>(&mut self, request: Request, run: &mut RunState, on_arrival: &mut F)
+    where
         F: FnMut(&Request, &mut Fleet<B>),
     {
+        let now = run.now;
+        let RunState {
+            queue,
+            responses,
+            metrics,
+            ..
+        } = run;
         on_arrival(&request, &mut self.fleet);
         let respond = |outcome: Outcome, responses: &mut Vec<Response>, metrics: &mut Metrics| {
             let response = Response {
@@ -539,7 +1281,7 @@ impl<B: Backend> Server<B> {
                     return;
                 }
                 Some(state) => {
-                    if !admits(state, request.tier, self.degraded_floor) {
+                    if !admits(state, request.tier, self.config.degraded_floor) {
                         respond(
                             Outcome::Shed(ShedReason::DegradedTier { model: pin }),
                             responses,
@@ -555,7 +1297,7 @@ impl<B: Backend> Server<B> {
         } else if !self
             .monitors
             .iter()
-            .any(|m| admits(m.state(), request.tier, self.degraded_floor))
+            .any(|m| admits(m.state(), request.tier, self.config.degraded_floor))
         {
             // Some member is still running, but every running member is
             // degraded below this tier's floor.
@@ -635,32 +1377,46 @@ impl<B: Backend> Server<B> {
         metrics.record_peak_queue(queue.len());
     }
 
-    /// Runs one dispatch round at `now`: fairness selects, gates refuse,
-    /// the routing policy places, one batch per idle member executes.
-    /// Returns `false` when the round made no progress (everything
-    /// selected was put back).
-    #[allow(clippy::too_many_arguments)]
+    /// Runs one dispatch round at the current tick: fairness selects,
+    /// gates refuse, the routing policy places, one batch per idle
+    /// member executes. Draining members (mid hot swap) take no new
+    /// batches; release stalls push completion ticks forward. Returns
+    /// `false` when the round made no progress (everything selected was
+    /// put back).
     fn dispatch_round(
         &mut self,
-        now: u64,
-        queue: &mut AdmissionQueue,
-        free_at: &mut [u64],
-        decisions: &mut u64,
-        inflight: &mut Vec<InFlight>,
-        responses: &mut Vec<Response>,
-        metrics: &mut Metrics,
+        run: &mut RunState,
+        draining: &[DrainingSwap<B>],
+        stalls: &[StallOp],
     ) -> Result<bool, ServeError> {
+        let now = run.now;
         let models = self.fleet.len();
-        // Members that can *start* a batch this round: running and idle.
+        let service: ServiceModel = self.config.service;
+        let max_batch = self.config.policy.max_batch;
+        let RunState {
+            queue,
+            inflight,
+            free_at,
+            decisions,
+            responses,
+            metrics,
+            ..
+        } = run;
+        // Members that can *start* a batch this round: running, idle, and
+        // not quiescing for a swap.
         let idle: Vec<bool> = (0..models)
-            .map(|i| self.monitors[i].state() != HealthState::SafeStop && free_at[i] <= now)
+            .map(|i| {
+                self.monitors[i].state() != HealthState::SafeStop
+                    && free_at[i] <= now
+                    && !draining.iter().any(|d| d.op.model.index() == i)
+            })
             .collect();
-        let capacity: usize = idle.iter().filter(|&&b| b).count() * self.policy.max_batch;
+        let capacity: usize = idle.iter().filter(|&&b| b).count() * max_batch;
         let selected = if self.all_stopped() {
             // Drain: every queued entry resolves to a typed refusal.
             queue.take(queue.len())
         } else {
-            queue.select(capacity.max(1), now, &self.fairness)
+            queue.select(capacity.max(1), now, &self.config.fairness)
         };
         if selected.is_empty() {
             return Ok(false);
@@ -700,7 +1456,7 @@ impl<B: Backend> Server<B> {
                         respond(Outcome::SafeStop { model: Some(pin) }, &pending);
                         progressed = true;
                     }
-                    Some(state) if !admits(state, request.tier, self.degraded_floor) => {
+                    Some(state) if !admits(state, request.tier, self.config.degraded_floor) => {
                         respond(
                             Outcome::Shed(ShedReason::DegradedTier { model: pin }),
                             &pending,
@@ -708,8 +1464,7 @@ impl<B: Backend> Server<B> {
                         progressed = true;
                     }
                     Some(_) => {
-                        if idle[pin.index()] && assigned[pin.index()].len() < self.policy.max_batch
-                        {
+                        if idle[pin.index()] && assigned[pin.index()].len() < max_batch {
                             assigned[pin.index()].push(pending);
                         } else {
                             put_back.push(pending);
@@ -723,13 +1478,17 @@ impl<B: Backend> Server<B> {
             let candidates: Vec<CandidateView> = (0..models)
                 .filter(|&i| {
                     idle[i]
-                        && assigned[i].len() < self.policy.max_batch
-                        && admits(self.monitors[i].state(), request.tier, self.degraded_floor)
+                        && assigned[i].len() < max_batch
+                        && admits(
+                            self.monitors[i].state(),
+                            request.tier,
+                            self.config.degraded_floor,
+                        )
                 })
                 .map(|i| CandidateView {
                     id: ModelId::new(i as u16),
                     state: self.monitors[i].state(),
-                    free_at: now + self.service.duration(assigned[i].len() + 1),
+                    free_at: now + service.duration(assigned[i].len() + 1),
                     assigned: assigned[i].len(),
                 })
                 .collect();
@@ -739,7 +1498,11 @@ impl<B: Backend> Server<B> {
                 // otherwise every running member refuses it by health.
                 let eventually = (0..models).any(|i| {
                     self.monitors[i].state() != HealthState::SafeStop
-                        && admits(self.monitors[i].state(), request.tier, self.degraded_floor)
+                        && admits(
+                            self.monitors[i].state(),
+                            request.tier,
+                            self.config.degraded_floor,
+                        )
                 });
                 if eventually {
                     put_back.push(pending);
@@ -773,13 +1536,19 @@ impl<B: Backend> Server<B> {
         }
         // Execute one batch per member, in member order. Verdicts are
         // computed now (the batch runs now); effects land at retirement.
+        let mut batches_launched = 0u32;
         for (i, batch) in assigned.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
             progressed = true;
+            batches_launched += 1;
             let model = ModelId::new(i as u16);
-            let done_at = now + self.service.duration(batch.len());
+            let done_at = stall_clamp(
+                stalls,
+                WatchStage::Release,
+                now + service.duration(batch.len()),
+            );
             free_at[i] = done_at;
             metrics.record_batch(model, batch.len());
             let inputs: Vec<&[f32]> = batch.iter().map(|p| p.request.input.as_slice()).collect();
@@ -789,32 +1558,39 @@ impl<B: Backend> Server<B> {
                 .expect("assigned member exists");
             let verdicts = backend.serve(&inputs)?;
             debug_assert_eq!(verdicts.len(), batch.len(), "backend verdict count");
-            inflight.push(InFlight {
+            inflight.push(InFlightBatch {
                 model,
                 done_at,
                 items: batch.into_iter().zip(verdicts).collect(),
             });
         }
         queue.put_back(put_back);
+        if self.config.watchdog.enabled && batches_launched > 0 {
+            for _ in 0..batches_launched {
+                Self::kick(run, WatchStage::Backend);
+            }
+            Self::kick(run, WatchStage::Batcher);
+        }
         Ok(progressed)
     }
 
     /// Applies one completed batch's effects at its completion tick:
     /// monitor stepping, evidence, response release (or fail-over),
-    /// cache insertion.
-    fn retire(
-        &mut self,
-        batch: InFlight,
-        queue: &mut AdmissionQueue,
-        responses: &mut Vec<Response>,
-        transitions: &mut Vec<ServiceTransition>,
-        metrics: &mut Metrics,
-    ) {
-        let InFlight {
+    /// cache insertion — and, when a ladder reaches SafeStop, the purge
+    /// of that member's cache entries.
+    fn retire(&mut self, batch: InFlightBatch, run: &mut RunState) {
+        let InFlightBatch {
             model,
             done_at,
             items,
         } = batch;
+        let RunState {
+            queue,
+            responses,
+            transitions,
+            metrics,
+            ..
+        } = run;
         let mut failover: Vec<Pending> = Vec::new();
         for (pending, verdict) in items {
             let (stop, flagged, corrected, class, confidence) = match verdict {
@@ -867,6 +1643,11 @@ impl<B: Backend> Server<B> {
                         ("after_request".into(), Value::U64(pending.request.id)),
                     ],
                 );
+                if t.to == HealthState::SafeStop {
+                    // A stopped ladder no longer vouches for the results
+                    // its member computed: they must not serve hits.
+                    self.cache.purge_model(model);
+                }
             }
             // Release gate: a result is returned only when (a) the
             // backend did not demand a stop, (b) the member's ladder has

@@ -35,6 +35,27 @@ pub enum RecordKind {
     /// original (verified) result, keeping cached answers on the
     /// evidence chain.
     CacheHit,
+    /// A runtime resumed from a verified state snapshot: the record
+    /// binds the restored ladder/queue/metrics state to the snapshot's
+    /// checksum, so a restart is itself audit evidence rather than a
+    /// silent reset to Nominal.
+    RuntimeRestored,
+    /// A fleet member's model was hot-swapped: the old backend was
+    /// quiesced and the incoming weights were re-goldened (CRC-32),
+    /// ECC-sidecar rebuilt, and verified before commit.
+    ModelSwapped,
+    /// A hot swap was aborted because the incoming weights failed
+    /// verification; the old model kept serving untouched.
+    SwapAborted,
+    /// A watchdog stage missed its liveness deadline (the dog barked):
+    /// warning rung of the escalation ladder.
+    WatchdogAlarm,
+    /// A watchdog escalation fired: repeated missed heartbeats forced a
+    /// member Degraded or the fleet to SafeStop.
+    WatchdogEscalation,
+    /// A periodic watchdog liveness proof: per-stage heartbeat ages at a
+    /// configured cadence, recording that every stage was recently alive.
+    WatchdogProof,
 }
 
 impl RecordKind {
@@ -54,6 +75,12 @@ impl RecordKind {
             RecordKind::HealthTransition => "health_transition",
             RecordKind::FaultCorrected => "fault_corrected",
             RecordKind::CacheHit => "cache_hit",
+            RecordKind::RuntimeRestored => "runtime_restored",
+            RecordKind::ModelSwapped => "model_swapped",
+            RecordKind::SwapAborted => "swap_aborted",
+            RecordKind::WatchdogAlarm => "watchdog_alarm",
+            RecordKind::WatchdogEscalation => "watchdog_escalation",
+            RecordKind::WatchdogProof => "watchdog_proof",
         }
     }
 }

@@ -6,8 +6,12 @@
 #   scripts/check.sh              # full gate: fmt, clippy, benches, tests, quick bench
 #   scripts/check.sh --tests-only # fast tier: just the workspace test suite
 #                                 # (plus the test-count floor below)
+#   scripts/check.sh --soak-smoke # bounded wall-clock soak tier: ~6 s of
+#                                 # real-time pacing with seeded SEU faults,
+#                                 # one atomic hot swap, the watchdog armed,
+#                                 # and a snapshot/restore fidelity check
 #
-# Either mode counts the tests the workspace actually ran and fails if
+# The test modes count the tests the workspace actually ran and fail if
 # the total drops below the floor recorded in scripts/test_baseline —
 # a silently deleted or no-longer-compiled test binary is a regression,
 # not a cleanup.
@@ -18,6 +22,13 @@ cd "$(dirname "$0")/.."
 TESTS_ONLY=0
 if [[ "${1:-}" == "--tests-only" ]]; then
     TESTS_ONLY=1
+fi
+
+if [[ "${1:-}" == "--soak-smoke" ]]; then
+    echo "==> cargo run --release -p safex-serve --example soak_smoke"
+    cargo run --release -p safex-serve --example soak_smoke
+    echo "Soak smoke passed."
+    exit 0
 fi
 
 if [[ "$TESTS_ONLY" == 0 ]]; then
