@@ -1,0 +1,91 @@
+//! Experiment E16: fused verify-on-read kernels and batch-major arenas.
+//!
+//! Measures what folding the CRC/parity sweep into the layer kernels
+//! buys over the second-sweep strategies (E11's `crc_every_decision`
+//! paid ~4.5x bare; fused rides the memory traffic inference already
+//! pays), and where the batch-major activation arena puts the
+//! batch=16 per-request cost relative to batch=1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_bench::workload;
+use safex_nn::{CrcStrategy, Engine, HardenConfig, HardenedEngine};
+
+fn inputs() -> Vec<Vec<f32>> {
+    let (_, test, _, _) = workload();
+    test.samples().iter().map(|s| s.input.clone()).collect()
+}
+
+fn hardened(strategy: CrcStrategy, cadence: u64, stream: &[Vec<f32>]) -> HardenedEngine {
+    let (_, _, model, _) = workload();
+    let mut engine = HardenedEngine::new(
+        model.clone(),
+        HardenConfig {
+            crc_cadence: cadence,
+            crc_strategy: strategy,
+            ..HardenConfig::default()
+        },
+    )
+    .expect("harden");
+    engine.calibrate(stream).expect("calibrate");
+    engine
+}
+
+fn bench(c: &mut Criterion) {
+    let (_, _, model, _) = workload();
+    let stream = inputs();
+
+    // Per-decision hardened inference cost: the fused strategy against
+    // the bare engine and the second-sweep strategies it replaces.
+    let mut group = c.benchmark_group("e16_fused");
+    group.sample_size(40);
+    let mut plain = Engine::new(model.clone());
+    group.bench_function("bare_engine", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = &stream[i % stream.len()];
+            i += 1;
+            std::hint::black_box(plain.classify(x).expect("classify"))
+        })
+    });
+    for (name, strategy, cadence) in [
+        ("full_every_decision", CrcStrategy::Full, 1u64),
+        ("fused_every_decision", CrcStrategy::Fused, 1),
+        ("fused_cadence_8", CrcStrategy::Fused, 8),
+        ("rotating_cadence_8", CrcStrategy::Rotating, 8),
+    ] {
+        let mut engine = hardened(strategy, cadence, &stream);
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = &stream[i % stream.len()];
+                i += 1;
+                std::hint::black_box(engine.classify(x).expect("classify"))
+            })
+        });
+    }
+
+    // Batch-major arena: 16 requests served one at a time vs as one
+    // batch through the ping-pong slab (same engine, same answers —
+    // the arena amortises allocation and streams each dense weight row
+    // once per batch instead of once per item).
+    let batch: Vec<&[f32]> = stream.iter().take(16).map(Vec::as_slice).collect();
+    let mut single = Engine::new(model.clone());
+    group.bench_function("requests16_batch1", |b| {
+        b.iter(|| {
+            for x in &batch {
+                std::hint::black_box(single.classify(x).expect("classify"));
+            }
+        })
+    });
+    let mut batched = Engine::new(model.clone());
+    // Warm the arena once so steady-state cost is measured, matching a
+    // serving loop that reuses the engine across batches.
+    batched.classify_batch(&batch).expect("classify");
+    group.bench_function("requests16_batch16", |b| {
+        b.iter(|| std::hint::black_box(batched.classify_batch(&batch).expect("classify")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

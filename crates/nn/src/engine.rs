@@ -1,7 +1,7 @@
 //! Statically-allocated deterministic inference engine.
 
 use safex_tensor::ops::{self, DenseKernel};
-use safex_tensor::{Shape, Tensor};
+use safex_tensor::{Shape, Tensor, WeightDigest};
 
 use crate::error::NnError;
 use crate::layer::Layer;
@@ -58,6 +58,12 @@ pub struct Engine {
     model: Model,
     buf_a: Vec<f32>,
     buf_b: Vec<f32>,
+    /// Batch-major ping-pong arenas for [`Engine::infer_batch`] /
+    /// [`Engine::classify_batch`]: `batch × max_activation_len` each,
+    /// allocated on first batch use, grown on demand, and reused across
+    /// layers *and* across calls.
+    arena_a: Vec<f32>,
+    arena_b: Vec<f32>,
     inferences: u64,
     kernel: DenseKernel,
 }
@@ -84,6 +90,8 @@ impl Engine {
             model,
             buf_a: vec![0.0; cap],
             buf_b: vec![0.0; cap],
+            arena_a: Vec::new(),
+            arena_b: Vec::new(),
             inferences: 0,
             kernel,
         }
@@ -212,20 +220,141 @@ impl Engine {
     /// Returns [`NnError::InputShape`] on a wrong-sized input.
     pub fn classify(&mut self, input: &[f32]) -> Result<Classification, NnError> {
         let out = self.infer(input)?;
-        let mut best = Classification {
-            class: 0,
-            confidence: f32::NEG_INFINITY,
-        };
-        for (i, &v) in out.iter().enumerate() {
-            if v > best.confidence {
-                best = Classification {
-                    class: i,
-                    confidence: v,
-                };
-            }
-        }
-        Ok(best)
+        Ok(argmax(out))
     }
+
+    /// Runs the whole batch through the layer stack inside the
+    /// batch-major arena, leaving the final activations in place.
+    ///
+    /// Returns `(output_len, output_in_arena_a)`; item `i`'s output lives
+    /// at `arena[i * max_activation_len ..][..output_len]`. Dense layers
+    /// run the batched kernel (each weight row streamed once per batch);
+    /// every other layer runs per item over its arena slot. Results are
+    /// bit-identical to per-item [`Engine::infer`].
+    fn run_batch<I: AsRef<[f32]>>(&mut self, inputs: &[I]) -> Result<(usize, bool), NnError> {
+        let expected = self.model.input_shape();
+        let n = inputs.len();
+        let stride = self.model.max_activation_len();
+        let need = n * stride;
+        if self.arena_a.len() < need {
+            self.arena_a.resize(need, 0.0);
+            self.arena_b.resize(need, 0.0);
+        }
+        for (item, input) in inputs.iter().enumerate() {
+            let input = input.as_ref();
+            if input.len() != expected.len() {
+                return Err(NnError::InputShape {
+                    expected: self.model.input_shape(),
+                    actual: input.len(),
+                });
+            }
+            self.arena_a[item * stride..item * stride + input.len()].copy_from_slice(input);
+        }
+        let mut cur_shape = expected;
+        let mut cur_in_a = true;
+        for (i, layer) in self.model.layers().iter().enumerate() {
+            let out_shape = self
+                .model
+                .layer_output_shape(i)
+                .expect("layer index in range");
+            let (src, dst) = if cur_in_a {
+                (&self.arena_a, &mut self.arena_b)
+            } else {
+                (&self.arena_b, &mut self.arena_a)
+            };
+            if let Layer::Dense(d) = layer {
+                ops::dense_batch_into_with(
+                    self.kernel,
+                    &d.weights,
+                    &d.bias,
+                    src,
+                    dst,
+                    d.inputs,
+                    d.outputs,
+                    n,
+                    stride,
+                    stride,
+                )?;
+            } else {
+                for item in 0..n {
+                    run_layer(
+                        layer,
+                        &src[item * stride..item * stride + cur_shape.len()],
+                        &mut dst[item * stride..item * stride + out_shape.len()],
+                        &cur_shape,
+                        self.kernel,
+                    )?;
+                }
+            }
+            cur_shape = out_shape;
+            cur_in_a = !cur_in_a;
+        }
+        self.inferences += n as u64;
+        Ok((cur_shape.len(), cur_in_a))
+    }
+
+    /// Runs the model over a batch, returning one owned output per item.
+    ///
+    /// One arena (re)allocation per call at most — activations for the
+    /// whole batch live in two ping-pong slabs reused across layers and
+    /// across calls — and dense weight rows are streamed once per batch
+    /// instead of once per item. Outputs are bit-identical to calling
+    /// [`Engine::infer`] on each item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] if any item has the wrong length;
+    /// the whole batch fails.
+    pub fn infer_batch<I: AsRef<[f32]>>(&mut self, inputs: &[I]) -> Result<Vec<Vec<f32>>, NnError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (out_len, in_a) = self.run_batch(inputs)?;
+        let stride = self.model.max_activation_len();
+        let slab = if in_a { &self.arena_a } else { &self.arena_b };
+        Ok((0..inputs.len())
+            .map(|item| slab[item * stride..item * stride + out_len].to_vec())
+            .collect())
+    }
+
+    /// Runs the model over a batch, returning one [`Classification`] per
+    /// item. The argmax is taken straight from the arena — no per-item
+    /// copy of the output activation is made.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] if any item has the wrong length.
+    pub fn classify_batch<I: AsRef<[f32]>>(
+        &mut self,
+        inputs: &[I],
+    ) -> Result<Vec<Classification>, NnError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (out_len, in_a) = self.run_batch(inputs)?;
+        let stride = self.model.max_activation_len();
+        let slab = if in_a { &self.arena_a } else { &self.arena_b };
+        Ok((0..inputs.len())
+            .map(|item| argmax(&slab[item * stride..item * stride + out_len]))
+            .collect())
+    }
+}
+
+/// Argmax over a final activation, ties broken toward the lower index.
+pub(crate) fn argmax(out: &[f32]) -> Classification {
+    let mut best = Classification {
+        class: 0,
+        confidence: f32::NEG_INFINITY,
+    };
+    for (i, &v) in out.iter().enumerate() {
+        if v > best.confidence {
+            best = Classification {
+                class: i,
+                confidence: v,
+            };
+        }
+    }
+    best
 }
 
 /// Executes a single layer from `src` into `dst`.
@@ -287,6 +416,46 @@ pub(crate) fn run_layer(
         }
     }
     Ok(())
+}
+
+/// Executes a single layer like [`run_layer`], but through the fused
+/// verify-on-read kernels: parametric layers (dense, conv) return the
+/// [`WeightDigest`] their sweep accumulated over weights-then-bias, all
+/// other layers run the plain kernel and return `None`. Outputs are
+/// bit-identical to [`run_layer`].
+pub(crate) fn run_layer_digest(
+    layer: &Layer,
+    src: &[f32],
+    dst: &mut [f32],
+    in_shape: &Shape,
+    kernel: DenseKernel,
+) -> Result<Option<WeightDigest>, NnError> {
+    match layer {
+        Layer::Dense(d) => Ok(Some(ops::dense_into_digest(
+            kernel, &d.weights, &d.bias, src, dst, d.inputs, d.outputs,
+        )?)),
+        Layer::Conv2d(c) => {
+            let dims = in_shape.dims();
+            Ok(Some(ops::conv2d_into_digest(
+                src,
+                &c.weights,
+                &c.bias,
+                dst,
+                dims[0],
+                dims[1],
+                dims[2],
+                c.out_channels,
+                c.kernel,
+                c.kernel,
+                c.stride,
+                c.padding,
+            )?))
+        }
+        _ => {
+            run_layer(layer, src, dst, in_shape, kernel)?;
+            Ok(None)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +611,110 @@ mod tests {
         // Failed inference does not count.
         let _ = e.infer(&[0.0; 2]);
         assert_eq!(e.inference_count(), 2);
+    }
+
+    #[test]
+    fn infer_batch_bit_identical_to_per_item() {
+        let m = small_mlp();
+        for kernel in [DenseKernel::Exact, DenseKernel::Chunked] {
+            let mut solo = Engine::with_kernel(m.clone(), kernel);
+            let mut batched = Engine::with_kernel(m.clone(), kernel);
+            let inputs: Vec<Vec<f32>> = (0..7)
+                .map(|i| vec![i as f32 * 0.3, -0.5 + i as f32 * 0.1, 0.25])
+                .collect();
+            let outs = batched.infer_batch(&inputs).unwrap();
+            assert_eq!(outs.len(), inputs.len());
+            for (input, out) in inputs.iter().zip(&outs) {
+                assert_eq!(
+                    solo.infer(input).unwrap(),
+                    out.as_slice(),
+                    "{kernel:?}: arena batch must match per-item inference"
+                );
+            }
+            assert_eq!(batched.inference_count(), inputs.len() as u64);
+            // Re-running with a different batch size reuses the arena.
+            let again = batched.infer_batch(&inputs[..3]).unwrap();
+            assert_eq!(again.as_slice(), &outs[..3]);
+        }
+    }
+
+    #[test]
+    fn classify_batch_reads_straight_from_arena() {
+        let m = small_mlp();
+        let mut solo = Engine::new(m.clone());
+        let mut batched = Engine::new(m);
+        let inputs: Vec<Vec<f32>> = (0..16)
+            .map(|i| vec![(i as f32).sin(), (i as f32).cos(), i as f32 * 0.05])
+            .collect();
+        let classes = batched.classify_batch(&inputs).unwrap();
+        for (input, c) in inputs.iter().zip(&classes) {
+            assert_eq!(solo.classify(input).unwrap(), *c);
+        }
+        assert!(batched.classify_batch::<Vec<f32>>(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn infer_batch_on_convnet_matches_per_item() {
+        let mut rng = DetRng::new(9);
+        let m = ModelBuilder::new(Shape::chw(1, 8, 8))
+            .conv2d(4, 3, 1, 1, &mut rng)
+            .unwrap()
+            .relu()
+            .maxpool2d(2, 2)
+            .unwrap()
+            .flatten()
+            .dense(3, &mut rng)
+            .unwrap()
+            .softmax()
+            .build()
+            .unwrap();
+        let mut solo = Engine::new(m.clone());
+        let mut batched = Engine::new(m);
+        let inputs: Vec<Vec<f32>> = (0..4)
+            .map(|s| (0..64).map(|i| ((i + s * 7) as f32 / 64.0).sin()).collect())
+            .collect();
+        let outs = batched.infer_batch(&inputs).unwrap();
+        for (input, out) in inputs.iter().zip(&outs) {
+            assert_eq!(solo.infer(input).unwrap(), out.as_slice());
+        }
+    }
+
+    #[test]
+    fn infer_batch_rejects_any_bad_item() {
+        let mut e = Engine::new(small_mlp());
+        let inputs = [vec![0.0f32; 3], vec![0.0f32; 2]];
+        assert!(matches!(
+            e.infer_batch(&inputs),
+            Err(NnError::InputShape { .. })
+        ));
+    }
+
+    #[test]
+    fn run_layer_digest_matches_plain_layer_and_golden_crc() {
+        use crate::harden::layer_checksum;
+        let m = small_mlp();
+        let dense = &m.layers()[0];
+        let input = [0.5f32, -0.25, 0.75];
+        let mut plain = [0.0f32; 5];
+        let mut fused = [0.0f32; 5];
+        let shape = Shape::vector(3);
+        run_layer(dense, &input, &mut plain, &shape, DenseKernel::Exact).unwrap();
+        let digest = run_layer_digest(dense, &input, &mut fused, &shape, DenseKernel::Exact)
+            .unwrap()
+            .expect("dense layer is parametric");
+        assert_eq!(fused, plain);
+        assert_eq!(Some(digest.crc), layer_checksum(dense));
+        // Non-parametric layers return no digest.
+        let mut relu_out = [0.0f32; 5];
+        assert!(run_layer_digest(
+            &Layer::Relu,
+            &plain,
+            &mut relu_out,
+            &Shape::vector(5),
+            DenseKernel::Exact
+        )
+        .unwrap()
+        .is_none());
     }
 
     #[test]

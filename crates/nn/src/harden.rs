@@ -27,10 +27,10 @@
 
 use std::sync::{Arc, Mutex};
 
-use safex_tensor::DenseKernel;
+use safex_tensor::{CrcAccumulator, DenseKernel, WeightDigest};
 
 use crate::ecc::{EccCode, EccConfig, RepairOutcome};
-use crate::engine::{run_layer, Classification, Engine};
+use crate::engine::{run_layer, run_layer_digest, Classification, Engine};
 use crate::error::NnError;
 use crate::fault::{apply_input_fault, FaultPlan, Injection, InjectionLog};
 use crate::layer::Layer;
@@ -225,88 +225,10 @@ impl HealthSink {
     }
 }
 
-/// Slicing tables for CRC-32 (IEEE 802.3, reflected), computed at compile
-/// time: no lazy initialization, no per-call table rebuild, and the
-/// constants land in read-only data.
-///
-/// `CRC_TABLES[0]` is the classic byte-at-a-time table; `CRC_TABLES[k]`
-/// advances a byte through `k` additional zero bytes, which is what the
-/// slicing-by-4/8 steps in [`crc32_words`] consume.
-const CRC_TABLES: [[u32; 256]; 8] = make_crc_tables();
-
-const fn make_crc_tables() -> [[u32; 256]; 8] {
-    let mut t = [[0u32; 256]; 8];
-    let mut i = 0usize;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
-            bit += 1;
-        }
-        t[0][i] = crc;
-        i += 1;
-    }
-    let mut k = 1usize;
-    while k < 8 {
-        let mut i = 0usize;
-        while i < 256 {
-            let prev = t[k - 1][i];
-            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
-            i += 1;
-        }
-        k += 1;
-    }
-    t
-}
-
-/// CRC-32 (IEEE 802.3, reflected) over a byte stream. Table-driven,
-/// dependency-free; the lookup table is a compile-time constant.
-pub fn crc32(bytes: impl IntoIterator<Item = u8>) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
-
-/// CRC-32 over a stream of 32-bit words taken as little-endian bytes —
-/// bit-identical to [`crc32`] over the equivalent byte stream, but
-/// processed 8 bytes per step (slicing-by-8 over word pairs, slicing-by-4
-/// on an odd tail word).
-///
-/// This is the checksum the hardened hot path runs: model parameters are
-/// `f32`/`Q16.16` buffers, i.e. natural 32-bit word streams, and the wide
-/// step is what makes per-decision verification affordable (see the E11
-/// overhead table).
-pub fn crc32_words(words: impl IntoIterator<Item = u32>) -> u32 {
-    let t = &CRC_TABLES;
-    let mut crc = 0xFFFF_FFFFu32;
-    let mut it = words.into_iter();
-    while let Some(w0) = it.next() {
-        let a = crc ^ w0;
-        match it.next() {
-            Some(w1) => {
-                crc = t[7][(a & 0xFF) as usize]
-                    ^ t[6][((a >> 8) & 0xFF) as usize]
-                    ^ t[5][((a >> 16) & 0xFF) as usize]
-                    ^ t[4][(a >> 24) as usize]
-                    ^ t[3][(w1 & 0xFF) as usize]
-                    ^ t[2][((w1 >> 8) & 0xFF) as usize]
-                    ^ t[1][((w1 >> 16) & 0xFF) as usize]
-                    ^ t[0][(w1 >> 24) as usize];
-            }
-            None => {
-                crc = t[3][(a & 0xFF) as usize]
-                    ^ t[2][((a >> 8) & 0xFF) as usize]
-                    ^ t[1][((a >> 16) & 0xFF) as usize]
-                    ^ t[0][(a >> 24) as usize];
-                break;
-            }
-        }
-    }
-    !crc
-}
+// The CRC-32 primitives moved to `safex_tensor::crc` in PR 8 so the
+// fused verify-on-read kernels can accumulate them inside the matmul
+// sweep; re-exported here unchanged for every existing caller.
+pub use safex_tensor::crc::{crc32, crc32_words};
 
 /// The parametric buffers checksums cover, if the layer has any.
 fn parametric_buffers(layer: &Layer) -> Option<(&[f32], &[f32])> {
@@ -346,9 +268,17 @@ fn encode_sidecars(
 }
 
 /// CRC-32 of one layer's parameters (`None` for non-parametric layers).
+///
+/// Runs the slice fast path ([`CrcAccumulator`]) over the weight and
+/// bias buffers instead of a chained per-word iterator; the value is
+/// bit-identical to `crc32_words` over the concatenated word stream.
 pub fn layer_checksum(layer: &Layer) -> Option<u32> {
-    parametric_buffers(layer)
-        .map(|(weights, bias)| crc32_words(weights.iter().chain(bias).map(|v| v.to_bits())))
+    parametric_buffers(layer).map(|(weights, bias)| {
+        let mut acc = CrcAccumulator::new();
+        acc.update_f32(weights);
+        acc.update_f32(bias);
+        acc.finish().crc
+    })
 }
 
 /// CRC-32 of every parametric layer: `(layer index, crc)` pairs.
@@ -428,6 +358,17 @@ impl ActivationGuard {
     /// first offending element) to bound per-decision event volume.
     fn check(&self, layer: usize, activation: &[f32], events: &mut Vec<HealthEvent>) {
         let (lo, hi) = self.ranges[layer];
+        // Branch-free pass/fail reduction first (`&`, not `&&`, keeps
+        // the clean common case free of per-element branches so it
+        // auto-vectorizes); the offending element is located — and
+        // classified as non-finite vs out-of-range — only on failure.
+        let mut ok = true;
+        for &value in activation {
+            ok &= value.is_finite() & (value >= lo) & (value <= hi);
+        }
+        if ok {
+            return;
+        }
         for (index, &value) in activation.iter().enumerate() {
             if !value.is_finite() {
                 events.push(HealthEvent::NonFiniteActivation { layer, index });
@@ -454,9 +395,12 @@ impl ActivationGuard {
 /// cadence tick (O(total params) per verifying decision, staleness ≤
 /// cadence); [`CrcStrategy::Rotating`] verifies *one* layer per tick in
 /// round-robin (O(largest layer) per verifying decision, staleness ≤
-/// cadence × parametric layer count). The rotation cursor is derived
-/// purely from the global decision index, so pooled and sequential runs
-/// of the same decision check the same layer — determinism survives.
+/// cadence × parametric layer count); [`CrcStrategy::Fused`] covers the
+/// whole model like `Full` but accumulates the digests *inside* the
+/// layer kernels, riding the memory traffic inference pays anyway. The
+/// rotation cursor is derived purely from the global decision index, so
+/// pooled and sequential runs of the same decision check the same layer
+/// — determinism survives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CrcStrategy {
     /// Verify every parametric layer on each cadence tick (the original
@@ -466,6 +410,15 @@ pub enum CrcStrategy {
     /// Verify one parametric layer per cadence tick, round-robin by
     /// `(decision_index / cadence) % parametric_layer_count`.
     Rotating,
+    /// Verify every parametric layer on each cadence tick, like `Full`,
+    /// but fused into the layer kernels: the CRC-32 word stream (and the
+    /// ECC parity signature) accumulates over weights and bias in the
+    /// exact traversal order the matmul streams them, so a verifying
+    /// decision pays one parameter sweep instead of two. Verdicts,
+    /// events, event order, and the staleness bound are identical to
+    /// `Full`; the parity cross-check can additionally flag corruption
+    /// that a CRC collision would hide.
+    Fused,
 }
 
 /// Detection settings for a [`HardenedEngine`].
@@ -525,7 +478,7 @@ impl HardenConfig {
             return None;
         }
         Some(match self.crc_strategy {
-            CrcStrategy::Full => self.crc_cadence,
+            CrcStrategy::Full | CrcStrategy::Fused => self.crc_cadence,
             CrcStrategy::Rotating => self.crc_cadence * parametric_layers as u64,
         })
     }
@@ -567,6 +520,11 @@ pub struct HardenedEngine {
     /// the silent repairs the sequential reference performed in between.
     synced_to: u64,
     kernel: DenseKernel,
+    /// [`HardenConfig::staleness_bound`] evaluated once at construction
+    /// (and on rebaseline) — it is pure in `(config, golden.len())`, both
+    /// fixed between rebaselines, and the hot path reads it on every
+    /// emission.
+    staleness_cached: Option<u64>,
 }
 
 impl HardenedEngine {
@@ -584,6 +542,7 @@ impl HardenedEngine {
             Some(ecc) => encode_sidecars(&model, &golden, ecc)?,
             None => Vec::new(),
         };
+        let staleness_cached = config.staleness_bound(golden.len());
         Ok(HardenedEngine {
             model,
             buf_a: vec![0.0; cap],
@@ -601,6 +560,7 @@ impl HardenedEngine {
             events_seen: 0,
             synced_to: 0,
             kernel: DenseKernel::Exact,
+            staleness_cached,
         })
     }
 
@@ -620,9 +580,10 @@ impl HardenedEngine {
 
     /// Worst-case decisions between a parameter corruption and detection
     /// under the configured cadence and [`CrcStrategy`] (`None` when
-    /// checksums are disabled).
+    /// checksums are disabled). Cached at construction; both inputs
+    /// (config, golden layer count) only change on rebaseline.
     pub fn staleness_bound(&self) -> Option<u64> {
-        self.config.staleness_bound(self.golden.len())
+        self.staleness_cached
     }
 
     /// Learns activation envelopes from clean calibration inputs using the
@@ -706,6 +667,7 @@ impl HardenedEngine {
             self.sidecars = encode_sidecars(&self.model, &self.golden, ecc)
                 .expect("ecc config was validated at construction");
         }
+        self.staleness_cached = self.config.staleness_bound(self.golden.len());
     }
 
     /// ECC sidecar memory as a fraction of the protected parameter bits
@@ -747,7 +709,9 @@ impl HardenedEngine {
             return;
         }
         match self.config.crc_strategy {
-            CrcStrategy::Full => {
+            // Fused covers the whole model per tick exactly like Full, so
+            // the catch-up replay is identical.
+            CrcStrategy::Full | CrcStrategy::Fused => {
                 for gi in 0..self.golden.len() {
                     self.silent_repair(gi);
                 }
@@ -964,124 +928,227 @@ impl HardenedEngine {
     }
 
     /// The core decision: inject → execute → detect.
+    ///
+    /// Under [`CrcStrategy::Fused`] a cadence tick verifies *inside* the
+    /// layer loop: the fused kernels accumulate each parametric layer's
+    /// CRC/parity digest in the exact order the matmul streams the
+    /// weights, and the digests are judged after the loop (spliced into
+    /// the event position the pre-pass check would have used, so event
+    /// order matches `Full`). When an ECC repair corrects a fault found
+    /// this way, the decision re-runs once on the repaired weights —
+    /// `Full` repairs *before* its layer loop, so the re-run is what
+    /// keeps outputs bit-identical. The repaired weights are verified,
+    /// so the re-run uses the plain kernels.
     fn run(&mut self, index: u64, input: &[f32]) -> Result<(usize, bool), NnError> {
-        let expected = self.model.input_shape();
-        if input.len() != expected.len() {
+        if input.len() != self.model.input_shape().len() {
             return Err(NnError::InputShape {
-                expected,
+                expected: self.model.input_shape(),
                 actual: input.len(),
             });
         }
-        self.events.clear();
-        self.injections.clear();
-        self.buf_a[..input.len()].copy_from_slice(input);
+        let crc_scheduled = self.config.crc_cadence > 0 && !self.golden.is_empty();
+        let on_tick = crc_scheduled && index.is_multiple_of(self.config.crc_cadence);
+        let mut verify_in_pass = on_tick && self.config.crc_strategy == CrcStrategy::Fused;
+        let mut first_attempt = true;
+        // CRC events found in-pass, carried across a repair re-run.
+        let mut crc_events: Vec<HealthEvent> = Vec::new();
 
-        // One fault stream per decision, derived from (plan seed, index):
-        // the sequence of draws below is fixed, so pooled and sequential
-        // replays of the same decision are identical.
-        let mut fault_rng = self.plan.map(|p| p.decision_rng(index));
-        if let (Some(plan), Some(rng)) = (self.plan, fault_rng.as_mut()) {
-            if let Some(fault) = plan.input {
-                apply_input_fault(
-                    fault,
-                    &mut self.buf_a[..input.len()],
-                    rng,
-                    &mut self.injections,
-                );
-            }
-        }
-        for (i, &v) in self.buf_a[..input.len()].iter().enumerate() {
-            if !v.is_finite() {
-                self.events.push(HealthEvent::NonFiniteInput { index: i });
-                break;
-            }
-        }
+        let (out_len, out_in_a) = loop {
+            self.events.clear();
+            self.injections.clear();
+            self.buf_a[..input.len()].copy_from_slice(input);
 
-        if self.config.crc_cadence > 0 && !self.golden.is_empty() {
-            // With repair enabled, first replay the silent repairs any
-            // scheduled checks in `[synced_to, index)` would have applied
-            // — a pooled replica may be served a non-contiguous index
-            // stream, and its weights must match the sequential reference
-            // *before* the layer loop reads them. Sequentially,
-            // `synced_to == index` and this is a no-op.
-            if self.config.repair.is_some() {
-                self.catch_up(index);
-            }
-            if index.is_multiple_of(self.config.crc_cadence) {
-                // The staleness bound is Some whenever we get here
-                // (cadence and golden are both non-zero).
-                let staleness = self.staleness_bound().unwrap_or(0);
-                match self.config.crc_strategy {
-                    CrcStrategy::Full => {
-                        for gi in 0..self.golden.len() {
-                            self.check_slot(gi, staleness);
-                        }
-                    }
-                    CrcStrategy::Rotating => {
-                        // Cursor derived from the global decision index,
-                        // never from engine-local state: pooled replicas
-                        // replaying the same decision verify the same
-                        // layer.
-                        let tick = index / self.config.crc_cadence;
-                        let slot = (tick % self.golden.len() as u64) as usize;
-                        self.check_slot(slot, staleness);
-                    }
+            // One fault stream per decision, derived from (plan seed,
+            // index): the sequence of draws below is fixed, so pooled and
+            // sequential replays of the same decision are identical — as
+            // is a fused repair re-run.
+            let mut fault_rng = self.plan.map(|p| p.decision_rng(index));
+            if let (Some(plan), Some(rng)) = (self.plan, fault_rng.as_mut()) {
+                if let Some(fault) = plan.input {
+                    apply_input_fault(
+                        fault,
+                        &mut self.buf_a[..input.len()],
+                        rng,
+                        &mut self.injections,
+                    );
                 }
             }
-            self.synced_to = self.synced_to.max(index + 1);
-        }
+            // Branch-free finiteness reduction: the all-finite common
+            // case auto-vectorizes; the offending index is located only
+            // once a fault is known to exist.
+            let mut all_finite = true;
+            for &v in &self.buf_a[..input.len()] {
+                all_finite &= v.is_finite();
+            }
+            if !all_finite {
+                if let Some(i) = self.buf_a[..input.len()]
+                    .iter()
+                    .position(|v| !v.is_finite())
+                {
+                    self.events.push(HealthEvent::NonFiniteInput { index: i });
+                }
+            }
 
-        let activation_fault = self.plan.and_then(|p| p.activation);
-        let mut cur_shape = expected;
-        let mut cur_in_a = true;
-        for (i, layer) in self.model.layers().iter().enumerate() {
-            let out_shape = self
-                .model
-                .layer_output_shape(i)
-                .expect("layer index in range");
-            let (src, dst) = if cur_in_a {
-                (&self.buf_a, &mut self.buf_b)
-            } else {
-                (&self.buf_b, &mut self.buf_a)
-            };
-            let dst = &mut dst[..out_shape.len()];
-            run_layer(layer, &src[..cur_shape.len()], dst, &cur_shape, self.kernel)?;
-            if let (Some(fault), Some(rng)) = (activation_fault, fault_rng.as_mut()) {
-                if rng.chance(fault.p) {
-                    let element = rng.below_usize(dst.len());
-                    let mut bits = dst[element].to_bits();
-                    for b in rng.sample_indices(32, fault.bits as usize) {
-                        bits ^= 1u32 << b;
+            if crc_scheduled && first_attempt {
+                // With repair enabled, first replay the silent repairs any
+                // scheduled checks in `[synced_to, index)` would have
+                // applied — a pooled replica may be served a
+                // non-contiguous index stream, and its weights must match
+                // the sequential reference *before* the layer loop reads
+                // them. Sequentially, `synced_to == index` and this is a
+                // no-op.
+                if self.config.repair.is_some() {
+                    self.catch_up(index);
+                }
+                if on_tick {
+                    // The staleness bound is Some whenever we get here
+                    // (cadence and golden are both non-zero).
+                    let staleness = self.staleness_bound().unwrap_or(0);
+                    match self.config.crc_strategy {
+                        CrcStrategy::Full => {
+                            for gi in 0..self.golden.len() {
+                                self.check_slot(gi, staleness);
+                            }
+                        }
+                        CrcStrategy::Rotating => {
+                            // Cursor derived from the global decision
+                            // index, never from engine-local state: pooled
+                            // replicas replaying the same decision verify
+                            // the same layer.
+                            let tick = index / self.config.crc_cadence;
+                            let slot = (tick % self.golden.len() as u64) as usize;
+                            self.check_slot(slot, staleness);
+                        }
+                        // Verified inside the layer loop below.
+                        CrcStrategy::Fused => {}
                     }
-                    dst[element] = f32::from_bits(bits);
-                    self.injections.push(Injection::ActivationFlip {
-                        layer: i,
-                        index: element,
+                }
+                self.synced_to = self.synced_to.max(index + 1);
+            }
+            // Where the pre-pass check would have emitted: in-pass CRC
+            // events splice in here so event order matches `Full`.
+            let splice_at = self.events.len();
+
+            let activation_fault = self.plan.and_then(|p| p.activation);
+            let mut cur_shape = self.model.input_shape();
+            let mut cur_in_a = true;
+            // In-pass digests, one per parametric layer. The layer loop
+            // visits parametric layers in ascending order — the same
+            // order `layer_checksums` built `golden` in — so `sweep[gi]`
+            // judges golden slot `gi`.
+            let mut sweep: Vec<WeightDigest> = Vec::new();
+            for (i, layer) in self.model.layers().iter().enumerate() {
+                let out_shape = self
+                    .model
+                    .layer_output_shape(i)
+                    .expect("layer index in range");
+                let (src, dst) = if cur_in_a {
+                    (&self.buf_a, &mut self.buf_b)
+                } else {
+                    (&self.buf_b, &mut self.buf_a)
+                };
+                let dst = &mut dst[..out_shape.len()];
+                if verify_in_pass {
+                    if let Some(digest) = run_layer_digest(
+                        layer,
+                        &src[..cur_shape.len()],
+                        dst,
+                        &cur_shape,
+                        self.kernel,
+                    )? {
+                        sweep.push(digest);
+                    }
+                } else {
+                    run_layer(layer, &src[..cur_shape.len()], dst, &cur_shape, self.kernel)?;
+                }
+                if let (Some(fault), Some(rng)) = (activation_fault, fault_rng.as_mut()) {
+                    if rng.chance(fault.p) {
+                        let element = rng.below_usize(dst.len());
+                        let mut bits = dst[element].to_bits();
+                        for b in rng.sample_indices(32, fault.bits as usize) {
+                            bits ^= 1u32 << b;
+                        }
+                        dst[element] = f32::from_bits(bits);
+                        self.injections.push(Injection::ActivationFlip {
+                            layer: i,
+                            index: element,
+                        });
+                    }
+                }
+                if let Some(guard) = &self.guard {
+                    guard.check(i, dst, &mut self.events);
+                }
+                cur_shape = out_shape;
+                cur_in_a = !cur_in_a;
+            }
+
+            if verify_in_pass {
+                let staleness = self.staleness_bound().unwrap_or(0);
+                let mut repaired = false;
+                for (gi, digest) in sweep.iter().enumerate() {
+                    let (layer, expected) = self.golden[gi];
+                    // The parity signature rides the same sweep; it can
+                    // only disagree while the CRC matches on a CRC
+                    // collision, so checking both strictly tightens
+                    // detection relative to `Full` without ever changing
+                    // a verdict `Full` would give.
+                    let parity_ok = self
+                        .sidecars
+                        .get(gi)
+                        .is_none_or(|s| s.parity_signature() == digest.parity);
+                    if digest.crc == expected && parity_ok {
+                        continue;
+                    }
+                    if self.config.repair.is_some() {
+                        if let Some((word, bit)) = self.attempt_repair(gi) {
+                            crc_events.push(HealthEvent::CorrectedFault {
+                                layer,
+                                word,
+                                bit,
+                                staleness,
+                            });
+                            repaired = true;
+                            continue;
+                        }
+                    }
+                    crc_events.push(HealthEvent::ChecksumMismatch {
+                        layer,
+                        expected,
+                        actual: digest.crc,
+                        staleness,
+                    });
+                }
+                if repaired {
+                    // The layer loop above consumed pre-repair weights;
+                    // re-run the decision on the corrected parameters so
+                    // the output matches `Full`, which repairs before its
+                    // layer loop ever runs.
+                    verify_in_pass = false;
+                    first_attempt = false;
+                    continue;
+                }
+            }
+            self.events
+                .splice(splice_at..splice_at, crc_events.drain(..));
+
+            // Without a guard, still refuse to stay silent on a
+            // non-finite final activation.
+            if self.guard.is_none() {
+                let out = if cur_in_a { &self.buf_a } else { &self.buf_b };
+                if let Some((index, _)) = out[..cur_shape.len()]
+                    .iter()
+                    .enumerate()
+                    .find(|(_, v)| !v.is_finite())
+                {
+                    self.events.push(HealthEvent::NonFiniteActivation {
+                        layer: self.model.len() - 1,
+                        index,
                     });
                 }
             }
-            if let Some(guard) = &self.guard {
-                guard.check(i, dst, &mut self.events);
-            }
-            cur_shape = out_shape;
-            cur_in_a = !cur_in_a;
-        }
 
-        // Without a guard, still refuse to stay silent on a non-finite
-        // final activation.
-        if self.guard.is_none() {
-            let out = if cur_in_a { &self.buf_a } else { &self.buf_b };
-            if let Some((index, _)) = out[..cur_shape.len()]
-                .iter()
-                .enumerate()
-                .find(|(_, v)| !v.is_finite())
-            {
-                self.events.push(HealthEvent::NonFiniteActivation {
-                    layer: self.model.len() - 1,
-                    index,
-                });
-            }
-        }
+            break (cur_shape.len(), cur_in_a);
+        };
 
         self.events_seen += self.events.len() as u64;
         if let Some(sink) = &self.sink {
@@ -1092,7 +1159,7 @@ impl HardenedEngine {
                 log.push(injection);
             }
         }
-        Ok((cur_shape.len(), cur_in_a))
+        Ok((out_len, out_in_a))
     }
 }
 
@@ -1462,6 +1529,227 @@ mod tests {
             let mut pool = HardenedPool::new(&engine, workers).unwrap();
             let got = pool.classify_batch(&inputs).unwrap();
             assert_eq!(got, reference, "rotating CRC, {workers} workers diverged");
+        }
+    }
+
+    /// Replays `inputs` through `engine`, applying `strike` before each
+    /// decision, and records everything observable per decision.
+    fn run_stream(
+        engine: &mut HardenedEngine,
+        inputs: &[Vec<f32>],
+        strike: &dyn Fn(&mut HardenedEngine, u64),
+    ) -> Vec<(Vec<f32>, Vec<HealthEvent>, Vec<Injection>)> {
+        let mut out = Vec::new();
+        for (i, input) in inputs.iter().enumerate() {
+            strike(engine, i as u64);
+            let o = engine.infer(input).unwrap().to_vec();
+            out.push((
+                o,
+                engine.last_events().to_vec(),
+                engine.last_injections().to_vec(),
+            ));
+        }
+        out
+    }
+
+    /// Full and Fused must be indistinguishable from the outside: same
+    /// outputs, same events (order included), same injections, on every
+    /// decision of the same stream.
+    fn assert_fused_equals_full(
+        seed: u64,
+        cadence: u64,
+        repair: Option<EccConfig>,
+        strike: &dyn Fn(&mut HardenedEngine, u64),
+    ) {
+        let m = model(seed);
+        let mk = |strategy: CrcStrategy| {
+            let config = HardenConfig {
+                crc_cadence: cadence,
+                crc_strategy: strategy,
+                repair,
+                ..HardenConfig::default()
+            };
+            let mut e = HardenedEngine::new(m.clone(), config).unwrap();
+            e.calibrate(&calibration()).unwrap();
+            e.set_plan(FaultPlan {
+                seed: 31,
+                input: Some(InputFault::Noise { sigma: 0.2, p: 0.3 }),
+                activation: Some(ActivationFault { p: 0.2, bits: 2 }),
+            })
+            .unwrap();
+            e
+        };
+        let inputs = calibration();
+        let full = run_stream(&mut mk(CrcStrategy::Full), &inputs, strike);
+        let fused = run_stream(&mut mk(CrcStrategy::Fused), &inputs, strike);
+        assert_eq!(
+            full, fused,
+            "Fused diverged from Full (seed {seed}, cadence {cadence}, repair {repair:?})"
+        );
+    }
+
+    fn flip_weight(engine: &mut HardenedEngine, layer: usize, word: usize, bit: u32) {
+        if let Layer::Dense(d) = &mut engine.model_mut().layers_mut()[layer] {
+            let w = &mut d.weights_mut()[word];
+            *w = f32::from_bits(w.to_bits() ^ (1 << bit));
+        } else {
+            panic!("layer {layer} is not dense");
+        }
+    }
+
+    #[test]
+    fn fused_matches_full_on_clean_streams() {
+        for cadence in [1, 3] {
+            assert_fused_equals_full(30, cadence, None, &|_, _| {});
+            assert_fused_equals_full(30, cadence, Some(EccConfig::default()), &|_, _| {});
+        }
+    }
+
+    #[test]
+    fn fused_matches_full_on_detected_corruption() {
+        // Detect-only: a mid-stream single flip must produce the same
+        // ChecksumMismatch (same tick, same staleness) and the same
+        // faulty outputs until rebaseline.
+        let strike = |e: &mut HardenedEngine, i: u64| {
+            if i == 5 {
+                flip_weight(e, 2, 0, 30);
+            }
+        };
+        assert_fused_equals_full(31, 1, None, &strike);
+        assert_fused_equals_full(31, 4, None, &strike);
+    }
+
+    #[test]
+    fn fused_matches_full_on_repaired_corruption() {
+        // Detect-and-correct: the in-pass digest finds the flip, the ECC
+        // repair lands, and the decision re-runs — output and events must
+        // equal Full, which repaired before its layer loop.
+        let strike = |e: &mut HardenedEngine, i: u64| {
+            if i == 5 {
+                flip_weight(e, 2, 0, 30);
+            }
+        };
+        assert_fused_equals_full(32, 1, Some(EccConfig::default()), &strike);
+        assert_fused_equals_full(32, 2, Some(EccConfig { block_words: 8 }), &strike);
+    }
+
+    #[test]
+    fn fused_matches_full_on_uncorrectable_corruption() {
+        // A double flip defeats the single-error ECC on both paths and
+        // must escalate identically.
+        let strike = |e: &mut HardenedEngine, i: u64| {
+            if i == 3 {
+                flip_weight(e, 0, 0, 1);
+                flip_weight(e, 0, 1, 7);
+            }
+        };
+        assert_fused_equals_full(33, 1, Some(EccConfig::default()), &strike);
+    }
+
+    #[test]
+    fn fused_repair_restores_pristine_output() {
+        let config = HardenConfig {
+            crc_strategy: CrcStrategy::Fused,
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let m = model(34);
+        let mut pristine = Engine::new(m.clone());
+        let mut hardened = HardenedEngine::new(m, config).unwrap();
+        let input = [0.1, -0.2, 0.3, -0.4];
+        hardened.infer(&input).unwrap();
+        assert!(hardened.last_events().is_empty());
+
+        flip_weight(&mut hardened, 2, 0, 30);
+        let expected = pristine.infer(&input).unwrap().to_vec();
+        let got = hardened.infer(&input).unwrap().to_vec();
+        assert_eq!(got, expected, "corrected decision must match pristine");
+        assert!(
+            matches!(
+                hardened.last_events(),
+                [HealthEvent::CorrectedFault {
+                    layer: 2,
+                    word: 0,
+                    bit: 30,
+                    staleness: 1
+                }]
+            ),
+            "events: {:?}",
+            hardened.last_events()
+        );
+        hardened.infer(&input).unwrap();
+        assert!(hardened.last_events().is_empty(), "the fault is gone");
+    }
+
+    #[test]
+    fn fused_respects_cadence_and_staleness() {
+        let config = HardenConfig {
+            crc_cadence: 4,
+            crc_strategy: CrcStrategy::Fused,
+            ..HardenConfig::default()
+        };
+        let mut hardened = HardenedEngine::new(model(35), config).unwrap();
+        assert_eq!(hardened.staleness_bound(), Some(4), "Fused bound = cadence");
+        let input = [0.0; 4];
+        hardened.infer(&input).unwrap(); // index 0: verified in-pass, clean
+        flip_weight(&mut hardened, 2, 0, 3);
+        for index in 1..4 {
+            hardened.infer(&input).unwrap();
+            assert!(
+                hardened.last_events().is_empty(),
+                "index {index} is off-cadence"
+            );
+        }
+        hardened.infer(&input).unwrap(); // index 4: verified in-pass
+        assert!(matches!(
+            hardened.last_events(),
+            [HealthEvent::ChecksumMismatch { staleness: 4, .. }]
+        ));
+        // Rebaseline accepts the current weights and refreshes the
+        // cached staleness bound.
+        hardened.rebaseline();
+        assert_eq!(hardened.staleness_bound(), Some(4));
+        hardened.infer(&input).unwrap();
+        assert!(hardened.last_events().is_empty());
+    }
+
+    #[test]
+    fn fused_pool_matches_sequential_for_any_worker_count() {
+        let config = HardenConfig {
+            crc_cadence: 2,
+            crc_strategy: CrcStrategy::Fused,
+            repair: Some(EccConfig { block_words: 8 }),
+            ..HardenConfig::default()
+        };
+        let mut engine = HardenedEngine::new(model(36), config).unwrap();
+        engine.calibrate(&calibration()).unwrap();
+        // Strike before cloning: every replica carries the corruption and
+        // the scheduled in-pass check must repair it mid-stream.
+        flip_weight(&mut engine, 0, 1, 12);
+        let inputs = calibration();
+        let mut reference = Vec::new();
+        {
+            let mut seq = engine.clone();
+            for (i, input) in inputs.iter().enumerate() {
+                let classification = seq.classify_indexed(i as u64, input).unwrap();
+                reference.push(CheckedClassification {
+                    classification,
+                    events: seq.last_events().to_vec(),
+                    injections: seq.last_injections().to_vec(),
+                });
+            }
+        }
+        assert!(
+            reference
+                .iter()
+                .flat_map(|r| &r.events)
+                .any(|e| matches!(e, HealthEvent::CorrectedFault { .. })),
+            "the strike must be corrected somewhere"
+        );
+        for workers in [1, 2, 4, 8] {
+            let mut pool = HardenedPool::new(&engine, workers).unwrap();
+            let got = pool.classify_batch(&inputs).unwrap();
+            assert_eq!(got, reference, "fused CRC, {workers} workers diverged");
         }
     }
 

@@ -90,6 +90,52 @@ where
     })
 }
 
+/// [`run_partitioned`]'s chunk-granular sibling: `per_chunk` receives a
+/// worker's whole contiguous chunk at once, so engines with a batch-major
+/// arena path ([`Engine::infer_batch`], [`QEngine::infer_batch`]) can run
+/// it per chunk instead of per item. The partitioning and stitching are
+/// identical to [`run_partitioned`], so the determinism argument carries
+/// over unchanged — provided `per_chunk` itself is item-order preserving
+/// and item-independent, which the arena batch paths are (bit-identical
+/// to their per-item loops).
+pub(crate) fn run_partitioned_chunks<'a, W, I, O, F>(
+    workers: &mut [W],
+    inputs: &'a [I],
+    per_chunk: F,
+) -> Result<Vec<O>, NnError>
+where
+    W: Send,
+    I: Sync,
+    O: Send,
+    F: Fn(&mut W, &'a [I]) -> Result<Vec<O>, NnError> + Send + Sync + Copy,
+{
+    let used = workers.len().min(inputs.len());
+    if used <= 1 {
+        // Small batches and single-worker pools run inline: same results,
+        // no thread-spawn cost.
+        return per_chunk(&mut workers[0], inputs);
+    }
+    let lens = chunk_lens(inputs.len(), used);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(lens.len());
+        let mut rest = inputs;
+        for (worker, &len) in workers.iter_mut().zip(&lens) {
+            let (chunk, tail) = rest.split_at(len);
+            rest = tail;
+            handles.push(scope.spawn(move || per_chunk(worker, chunk)));
+        }
+        let mut out = Vec::with_capacity(inputs.len());
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(chunk_out)) => out.extend(chunk_out),
+                Ok(Err(e)) => return Err(e),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        Ok(out)
+    })
+}
+
 /// A pool of float [`Engine`] replicas for parallel batch inference.
 ///
 /// # Examples
@@ -182,8 +228,8 @@ impl EnginePool {
         &mut self,
         inputs: &[I],
     ) -> Result<Vec<Vec<f32>>, NnError> {
-        run_partitioned(&mut self.workers, inputs, |engine, input| {
-            engine.infer(input.as_ref()).map(<[f32]>::to_vec)
+        run_partitioned_chunks(&mut self.workers, inputs, |engine, chunk| {
+            engine.infer_batch(chunk)
         })
     }
 
@@ -197,8 +243,8 @@ impl EnginePool {
         &mut self,
         inputs: &[I],
     ) -> Result<Vec<Classification>, NnError> {
-        run_partitioned(&mut self.workers, inputs, |engine, input| {
-            engine.classify(input.as_ref())
+        run_partitioned_chunks(&mut self.workers, inputs, |engine, chunk| {
+            engine.classify_batch(chunk)
         })
     }
 }
@@ -246,8 +292,8 @@ impl QEnginePool {
         &mut self,
         inputs: &[I],
     ) -> Result<Vec<Vec<Q16_16>>, NnError> {
-        run_partitioned(&mut self.workers, inputs, |engine, input| {
-            engine.infer(input.as_ref()).map(<[Q16_16]>::to_vec)
+        run_partitioned_chunks(&mut self.workers, inputs, |engine, chunk| {
+            engine.infer_batch(chunk)
         })
     }
 
@@ -261,8 +307,8 @@ impl QEnginePool {
         &mut self,
         inputs: &[I],
     ) -> Result<Vec<Classification>, NnError> {
-        run_partitioned(&mut self.workers, inputs, |engine, input| {
-            engine.classify(input.as_ref())
+        run_partitioned_chunks(&mut self.workers, inputs, |engine, chunk| {
+            engine.classify_batch(chunk)
         })
     }
 }

@@ -28,6 +28,7 @@
 //! [`HardenedQEngine::classify_indexed`] loop for any worker count.
 
 use safex_tensor::fixed::Q16_16;
+use safex_tensor::{CrcAccumulator, WeightDigest};
 
 use crate::ecc::{EccCode, EccConfig, RepairOutcome};
 use crate::engine::Classification;
@@ -36,7 +37,7 @@ use crate::harden::{
     crc32_words, CheckedClassification, CrcStrategy, HardenConfig, HealthEvent, HealthSink,
 };
 use crate::pool::run_partitioned;
-use crate::quant::{run_qlayer, QLayer, QModel};
+use crate::quant::{run_qlayer, run_qlayer_digest, QLayer, QModel};
 
 /// The parametric buffers checksums cover, if the layer has any.
 fn q_parametric_buffers(layer: &QLayer) -> Option<(&[Q16_16], &[Q16_16])> {
@@ -85,8 +86,12 @@ fn encode_q_sidecars(
 /// layers). Runs over the raw Q16.16 bit words, so it is exactly as cheap
 /// as the float path's [`crate::harden::layer_checksum`].
 pub fn qlayer_checksum(layer: &QLayer) -> Option<u32> {
-    q_parametric_buffers(layer)
-        .map(|(weights, bias)| crc32_words(weights.iter().chain(bias).map(|q| q.to_bits() as u32)))
+    q_parametric_buffers(layer).map(|(weights, bias)| {
+        let mut acc = CrcAccumulator::new();
+        acc.update_q16(weights);
+        acc.update_q16(bias);
+        acc.finish().crc
+    })
 }
 
 /// CRC-32 of every parametric quantised layer: `(layer index, crc)` pairs.
@@ -274,6 +279,9 @@ pub struct HardenedQEngine {
     /// Decisions `< synced_to` have had their scheduled repairs applied to
     /// *this* replica's weights (see the float twin in `harden.rs`).
     synced_to: u64,
+    /// [`HardenConfig::staleness_bound`] evaluated once at construction
+    /// (and on rebaseline); the hot path reads it on every emission.
+    staleness_cached: Option<u64>,
 }
 
 impl HardenedQEngine {
@@ -291,6 +299,7 @@ impl HardenedQEngine {
             Some(ecc) => encode_q_sidecars(&model, &golden, ecc)?,
             None => Vec::new(),
         };
+        let staleness_cached = config.staleness_bound(golden.len());
         Ok(HardenedQEngine {
             model,
             buf_a: vec![Q16_16::ZERO; cap],
@@ -304,14 +313,16 @@ impl HardenedQEngine {
             decisions: 0,
             events_seen: 0,
             synced_to: 0,
+            staleness_cached,
         })
     }
 
     /// Worst-case decisions between a parameter corruption and detection
     /// under the configured cadence and [`CrcStrategy`] (`None` when
-    /// checksums are disabled).
+    /// checksums are disabled). Cached at construction; both inputs
+    /// (config, golden layer count) only change on rebaseline.
     pub fn staleness_bound(&self) -> Option<u64> {
-        self.config.staleness_bound(self.golden.len())
+        self.staleness_cached
     }
 
     /// Learns activation envelopes from clean fixed-point calibration
@@ -391,6 +402,7 @@ impl HardenedQEngine {
             self.sidecars = encode_q_sidecars(&self.model, &self.golden, ecc)
                 .expect("ecc config was validated at construction");
         }
+        self.staleness_cached = self.config.staleness_bound(self.golden.len());
     }
 
     /// ECC sidecar memory as a fraction of the protected parameter bits.
@@ -428,7 +440,9 @@ impl HardenedQEngine {
             return;
         }
         match self.config.crc_strategy {
-            CrcStrategy::Full => {
+            // Fused covers the whole model per tick exactly like Full, so
+            // the catch-up replay is identical.
+            CrcStrategy::Full | CrcStrategy::Fused => {
                 for gi in 0..self.golden.len() {
                     self.silent_repair(gi);
                 }
@@ -612,89 +626,155 @@ impl HardenedQEngine {
     }
 
     /// The core decision: verify checksums → execute → guard.
+    ///
+    /// [`CrcStrategy::Fused`] cadence ticks verify inside the layer loop
+    /// via the digest kernels and re-run once after an in-pass ECC
+    /// repair, exactly like the float twin in `harden.rs` — see
+    /// `HardenedEngine::run` for the full rationale.
     fn run(&mut self, index: u64, input: &[Q16_16]) -> Result<(usize, bool), NnError> {
-        let expected = self.model.input_shape();
-        if input.len() != expected.len() {
+        if input.len() != self.model.input_shape().len() {
             return Err(NnError::InputShape {
-                expected,
+                expected: self.model.input_shape(),
                 actual: input.len(),
             });
         }
-        self.events.clear();
-        self.buf_a[..input.len()].copy_from_slice(input);
+        let crc_scheduled = self.config.crc_cadence > 0 && !self.golden.is_empty();
+        let on_tick = crc_scheduled && index.is_multiple_of(self.config.crc_cadence);
+        let mut verify_in_pass = on_tick && self.config.crc_strategy == CrcStrategy::Fused;
+        let mut first_attempt = true;
+        let mut crc_events: Vec<HealthEvent> = Vec::new();
 
-        if self.config.crc_cadence > 0 && !self.golden.is_empty() {
-            // See the float twin in `harden.rs`: pooled replicas first
-            // replay the silent repairs of skipped scheduled checks so
-            // their weights match the sequential reference before the
-            // layer loop reads them.
-            if self.config.repair.is_some() {
-                self.catch_up(index);
-            }
-            if index.is_multiple_of(self.config.crc_cadence) {
-                let staleness = self.staleness_bound().unwrap_or(0);
-                match self.config.crc_strategy {
-                    CrcStrategy::Full => {
-                        for gi in 0..self.golden.len() {
-                            self.check_slot(gi, staleness);
+        let (out_len, out_in_a) = loop {
+            self.events.clear();
+            self.buf_a[..input.len()].copy_from_slice(input);
+
+            if crc_scheduled && first_attempt {
+                // See the float twin in `harden.rs`: pooled replicas
+                // first replay the silent repairs of skipped scheduled
+                // checks so their weights match the sequential reference
+                // before the layer loop reads them.
+                if self.config.repair.is_some() {
+                    self.catch_up(index);
+                }
+                if on_tick {
+                    let staleness = self.staleness_bound().unwrap_or(0);
+                    match self.config.crc_strategy {
+                        CrcStrategy::Full => {
+                            for gi in 0..self.golden.len() {
+                                self.check_slot(gi, staleness);
+                            }
                         }
-                    }
-                    CrcStrategy::Rotating => {
-                        // Cursor derived from the global decision index,
-                        // never from engine-local state: pooled replicas
-                        // replaying the same decision verify the same
-                        // layer.
-                        let tick = index / self.config.crc_cadence;
-                        let slot = (tick % self.golden.len() as u64) as usize;
-                        self.check_slot(slot, staleness);
+                        CrcStrategy::Rotating => {
+                            // Cursor derived from the global decision
+                            // index, never from engine-local state: pooled
+                            // replicas replaying the same decision verify
+                            // the same layer.
+                            let tick = index / self.config.crc_cadence;
+                            let slot = (tick % self.golden.len() as u64) as usize;
+                            self.check_slot(slot, staleness);
+                        }
+                        // Verified inside the layer loop below.
+                        CrcStrategy::Fused => {}
                     }
                 }
+                self.synced_to = self.synced_to.max(index + 1);
             }
-            self.synced_to = self.synced_to.max(index + 1);
-        }
+            let splice_at = self.events.len();
 
-        let mut cur_shape = expected;
-        let mut cur_in_a = true;
-        for (i, layer) in self.model.layers().iter().enumerate() {
-            let out_shape = self
-                .model
-                .layer_output_shape(i)
-                .expect("layer index in range");
-            let (src, dst) = if cur_in_a {
-                (&self.buf_a, &mut self.buf_b)
-            } else {
-                (&self.buf_b, &mut self.buf_a)
-            };
-            let dst = &mut dst[..out_shape.len()];
-            run_qlayer(layer, &src[..cur_shape.len()], dst, &cur_shape)?;
-            if let Some(guard) = &self.guard {
-                guard.check(i, dst, &mut self.events);
+            let mut cur_shape = self.model.input_shape();
+            let mut cur_in_a = true;
+            let mut sweep: Vec<WeightDigest> = Vec::new();
+            for (i, layer) in self.model.layers().iter().enumerate() {
+                let out_shape = self
+                    .model
+                    .layer_output_shape(i)
+                    .expect("layer index in range");
+                let (src, dst) = if cur_in_a {
+                    (&self.buf_a, &mut self.buf_b)
+                } else {
+                    (&self.buf_b, &mut self.buf_a)
+                };
+                let dst = &mut dst[..out_shape.len()];
+                if verify_in_pass {
+                    if let Some(digest) =
+                        run_qlayer_digest(layer, &src[..cur_shape.len()], dst, &cur_shape)?
+                    {
+                        sweep.push(digest);
+                    }
+                } else {
+                    run_qlayer(layer, &src[..cur_shape.len()], dst, &cur_shape)?;
+                }
+                if let Some(guard) = &self.guard {
+                    guard.check(i, dst, &mut self.events);
+                }
+                cur_shape = out_shape;
+                cur_in_a = !cur_in_a;
             }
-            cur_shape = out_shape;
-            cur_in_a = !cur_in_a;
-        }
 
-        // Without a guard, still refuse to stay silent on a saturated
-        // final activation (the fixed-point "non-finite").
-        if self.guard.is_none() {
-            let out = if cur_in_a { &self.buf_a } else { &self.buf_b };
-            if let Some((index, _)) = out[..cur_shape.len()]
-                .iter()
-                .enumerate()
-                .find(|(_, v)| v.is_saturated())
-            {
-                self.events.push(HealthEvent::SaturatedActivation {
-                    layer: self.model.layers().len() - 1,
-                    index,
-                });
+            if verify_in_pass {
+                let staleness = self.staleness_bound().unwrap_or(0);
+                let mut repaired = false;
+                for (gi, digest) in sweep.iter().enumerate() {
+                    let (layer, expected) = self.golden[gi];
+                    let parity_ok = self
+                        .sidecars
+                        .get(gi)
+                        .is_none_or(|s| s.parity_signature() == digest.parity);
+                    if digest.crc == expected && parity_ok {
+                        continue;
+                    }
+                    if self.config.repair.is_some() {
+                        if let Some((word, bit)) = self.attempt_repair(gi) {
+                            crc_events.push(HealthEvent::CorrectedFault {
+                                layer,
+                                word,
+                                bit,
+                                staleness,
+                            });
+                            repaired = true;
+                            continue;
+                        }
+                    }
+                    crc_events.push(HealthEvent::ChecksumMismatch {
+                        layer,
+                        expected,
+                        actual: digest.crc,
+                        staleness,
+                    });
+                }
+                if repaired {
+                    verify_in_pass = false;
+                    first_attempt = false;
+                    continue;
+                }
             }
-        }
+            self.events
+                .splice(splice_at..splice_at, crc_events.drain(..));
+
+            // Without a guard, still refuse to stay silent on a saturated
+            // final activation (the fixed-point "non-finite").
+            if self.guard.is_none() {
+                let out = if cur_in_a { &self.buf_a } else { &self.buf_b };
+                if let Some((index, _)) = out[..cur_shape.len()]
+                    .iter()
+                    .enumerate()
+                    .find(|(_, v)| v.is_saturated())
+                {
+                    self.events.push(HealthEvent::SaturatedActivation {
+                        layer: self.model.layers().len() - 1,
+                        index,
+                    });
+                }
+            }
+
+            break (cur_shape.len(), cur_in_a);
+        };
 
         self.events_seen += self.events.len() as u64;
         if let Some(sink) = &self.sink {
             sink.extend(&self.events);
         }
-        Ok((cur_shape.len(), cur_in_a))
+        Ok((out_len, out_in_a))
     }
 }
 
@@ -1048,12 +1128,117 @@ mod tests {
         );
     }
 
+    /// Full and Fused must be indistinguishable from the outside on the
+    /// quantised path too: same outputs and same events per decision.
+    fn assert_qfused_equals_full(
+        seed: u64,
+        cadence: u64,
+        repair: Option<EccConfig>,
+        strike: &dyn Fn(&mut HardenedQEngine, u64),
+    ) {
+        let q = qmodel(seed);
+        let mk = |strategy: CrcStrategy| {
+            let config = HardenConfig {
+                crc_cadence: cadence,
+                crc_strategy: strategy,
+                repair,
+                ..HardenConfig::default()
+            };
+            let mut e = HardenedQEngine::new(q.clone(), config).unwrap();
+            e.calibrate(&qinputs(16)).unwrap();
+            e
+        };
+        let inputs = qinputs(16);
+        let mut streams = [CrcStrategy::Full, CrcStrategy::Fused].map(|strategy| {
+            let mut engine = mk(strategy);
+            let mut out = Vec::new();
+            for (i, input) in inputs.iter().enumerate() {
+                strike(&mut engine, i as u64);
+                let o = engine.infer(input).unwrap().to_vec();
+                out.push((o, engine.last_events().to_vec()));
+            }
+            out
+        });
+        let fused = streams[1].clone();
+        assert_eq!(
+            std::mem::take(&mut streams[0]),
+            fused,
+            "Fused diverged from Full (seed {seed}, cadence {cadence}, repair {repair:?})"
+        );
+    }
+
+    fn qflip_weight(engine: &mut HardenedQEngine, layer: usize, word: usize, bit: u32) {
+        if let QLayer::Dense { weights, .. } = &mut engine.model_mut().layers_mut()[layer] {
+            weights[word] = Q16_16::from_bits(weights[word].to_bits() ^ (1 << bit));
+        } else {
+            panic!("layer {layer} is not dense");
+        }
+    }
+
+    #[test]
+    fn qfused_matches_full_across_scenarios() {
+        // Clean streams.
+        assert_qfused_equals_full(12, 1, None, &|_, _| {});
+        assert_qfused_equals_full(12, 3, Some(EccConfig::default()), &|_, _| {});
+        // Detect-only mid-stream flip.
+        let single = |e: &mut HardenedQEngine, i: u64| {
+            if i == 5 {
+                qflip_weight(e, 2, 0, 30);
+            }
+        };
+        assert_qfused_equals_full(13, 1, None, &single);
+        assert_qfused_equals_full(13, 4, None, &single);
+        // Repaired flip (in-pass digest → ECC correction → re-run).
+        assert_qfused_equals_full(14, 1, Some(EccConfig::default()), &single);
+        assert_qfused_equals_full(14, 2, Some(EccConfig { block_words: 8 }), &single);
+        // Uncorrectable double flip escalates identically.
+        let double = |e: &mut HardenedQEngine, i: u64| {
+            if i == 3 {
+                qflip_weight(e, 0, 0, 1);
+                qflip_weight(e, 0, 1, 7);
+            }
+        };
+        assert_qfused_equals_full(15, 1, Some(EccConfig::default()), &double);
+    }
+
+    #[test]
+    fn qfused_repair_restores_pristine_and_reports_staleness() {
+        let config = HardenConfig {
+            crc_strategy: CrcStrategy::Fused,
+            repair: Some(EccConfig::default()),
+            ..HardenConfig::default()
+        };
+        let q = qmodel(16);
+        let mut reference = QEngine::new(q.clone());
+        let mut hardened = HardenedQEngine::new(q, config).unwrap();
+        assert_eq!(hardened.staleness_bound(), Some(1), "Fused bound = cadence");
+        let input = &qinputs(1)[0];
+        hardened.infer(input).unwrap();
+        assert!(hardened.last_events().is_empty());
+        let last_layer = hardened.golden_checksums().last().unwrap().0;
+        qflip_weight(&mut hardened, last_layer, 0, 30);
+        let expected = reference.classify(input).unwrap();
+        let got = hardened.classify(input).unwrap();
+        assert_eq!(got, expected, "corrected decision must match pristine");
+        assert!(
+            matches!(
+                hardened.last_events(),
+                [HealthEvent::CorrectedFault { layer, word: 0, bit: 30, staleness: 1 }]
+                    if *layer == last_layer
+            ),
+            "events: {:?}",
+            hardened.last_events()
+        );
+        hardened.infer(input).unwrap();
+        assert!(hardened.last_events().is_empty(), "the fault is gone");
+    }
+
     #[test]
     fn repair_pool_matches_sequential_for_any_worker_count() {
         // Replicas cloned from a struck engine all carry the corruption;
         // the scheduled repair mutates their weight state mid-stream, and
         // catch-up must keep pooled output byte-identical to sequential.
-        for strategy in [CrcStrategy::Full, CrcStrategy::Rotating] {
+        for strategy in [CrcStrategy::Full, CrcStrategy::Rotating, CrcStrategy::Fused] {
             let config = HardenConfig {
                 crc_cadence: 2,
                 crc_strategy: strategy,

@@ -10,7 +10,7 @@
 
 use safex_tensor::fixed::Q16_16;
 use safex_tensor::ops;
-use safex_tensor::Shape;
+use safex_tensor::{Shape, WeightDigest};
 
 use crate::engine::Classification;
 use crate::error::NnError;
@@ -237,6 +237,11 @@ pub struct QEngine {
     model: QModel,
     buf_a: Vec<Q16_16>,
     buf_b: Vec<Q16_16>,
+    /// Batch-major ping-pong arenas (see [`crate::engine::Engine`]):
+    /// allocated on first batch use, grown on demand, reused across
+    /// layers and across calls.
+    arena_a: Vec<Q16_16>,
+    arena_b: Vec<Q16_16>,
     inferences: u64,
 }
 
@@ -248,6 +253,8 @@ impl QEngine {
             model,
             buf_a: vec![Q16_16::ZERO; cap],
             buf_b: vec![Q16_16::ZERO; cap],
+            arena_a: Vec::new(),
+            arena_b: Vec::new(),
             inferences: 0,
         }
     }
@@ -332,6 +339,122 @@ impl QEngine {
             confidence: best.1.to_f32(),
         })
     }
+
+    /// Runs the whole batch through the model inside the batch-major
+    /// arenas, returning `(output_len, output_in_arena_a)`. Dense layers
+    /// execute batch-wide (each weight row streams from memory once per
+    /// batch instead of once per item); everything else runs per item
+    /// over the strided rows. Bit-identical to a per-item [`QEngine::infer`]
+    /// loop: integer arithmetic has no ordering latitude at all.
+    fn run_batch<I: AsRef<[Q16_16]>>(&mut self, inputs: &[I]) -> Result<(usize, bool), NnError> {
+        let n = inputs.len();
+        let stride = self.model.max_activation_len();
+        if self.arena_a.len() < n * stride {
+            self.arena_a.resize(n * stride, Q16_16::ZERO);
+            self.arena_b.resize(n * stride, Q16_16::ZERO);
+        }
+        let expected_len = self.model.input_shape().len();
+        for (item, input) in inputs.iter().enumerate() {
+            let input = input.as_ref();
+            if input.len() != expected_len {
+                return Err(NnError::InputShape {
+                    expected: self.model.input_shape(),
+                    actual: input.len(),
+                });
+            }
+            self.arena_a[item * stride..item * stride + expected_len].copy_from_slice(input);
+        }
+        let mut cur_shape = self.model.input_shape();
+        let mut cur_in_a = true;
+        for (i, layer) in self.model.layers.iter().enumerate() {
+            let out_shape = self.model.shapes[i];
+            let (src, dst) = if cur_in_a {
+                (&self.arena_a, &mut self.arena_b)
+            } else {
+                (&self.arena_b, &mut self.arena_a)
+            };
+            if let QLayer::Dense {
+                weights,
+                bias,
+                inputs,
+                outputs,
+            } = layer
+            {
+                ops::dense_q16_batch_into(
+                    weights, bias, src, dst, *inputs, *outputs, n, stride, stride,
+                )?;
+            } else {
+                for item in 0..n {
+                    run_qlayer(
+                        layer,
+                        &src[item * stride..item * stride + cur_shape.len()],
+                        &mut dst[item * stride..item * stride + out_shape.len()],
+                        &cur_shape,
+                    )?;
+                }
+            }
+            cur_shape = out_shape;
+            cur_in_a = !cur_in_a;
+        }
+        self.inferences += n as u64;
+        Ok((cur_shape.len(), cur_in_a))
+    }
+
+    /// Runs inference over a batch, one arena allocation for the whole
+    /// call (amortised to zero across calls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] if any input has the wrong element
+    /// count; the whole batch fails (no partial results).
+    pub fn infer_batch<I: AsRef<[Q16_16]>>(
+        &mut self,
+        inputs: &[I],
+    ) -> Result<Vec<Vec<Q16_16>>, NnError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (out_len, in_a) = self.run_batch(inputs)?;
+        let stride = self.model.max_activation_len();
+        let slab = if in_a { &self.arena_a } else { &self.arena_b };
+        Ok((0..inputs.len())
+            .map(|item| slab[item * stride..item * stride + out_len].to_vec())
+            .collect())
+    }
+
+    /// Classifies a batch, reading each argmax straight from the arena —
+    /// no per-item output copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] if any input has the wrong element
+    /// count; the whole batch fails (no partial results).
+    pub fn classify_batch<I: AsRef<[Q16_16]>>(
+        &mut self,
+        inputs: &[I],
+    ) -> Result<Vec<Classification>, NnError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (out_len, in_a) = self.run_batch(inputs)?;
+        let stride = self.model.max_activation_len();
+        let slab = if in_a { &self.arena_a } else { &self.arena_b };
+        Ok((0..inputs.len())
+            .map(|item| {
+                let out = &slab[item * stride..item * stride + out_len];
+                let mut best = (0usize, Q16_16::MIN);
+                for (i, &v) in out.iter().enumerate() {
+                    if v > best.1 {
+                        best = (i, v);
+                    }
+                }
+                Classification {
+                    class: best.0,
+                    confidence: best.1.to_f32(),
+                }
+            })
+            .collect())
+    }
 }
 
 pub(crate) fn run_qlayer(
@@ -407,6 +530,56 @@ pub(crate) fn run_qlayer(
         }
     }
     Ok(())
+}
+
+/// [`run_qlayer`] with fused verify-on-read: parametric layers execute
+/// through the digest kernels, which accumulate the CRC-32/parity
+/// [`WeightDigest`] over weights and bias in the exact order the kernel
+/// streams them (`Some`); non-parametric layers run plainly (`None`).
+pub(crate) fn run_qlayer_digest(
+    layer: &QLayer,
+    src: &[Q16_16],
+    dst: &mut [Q16_16],
+    in_shape: &Shape,
+) -> Result<Option<WeightDigest>, NnError> {
+    match layer {
+        QLayer::Dense {
+            weights,
+            bias,
+            inputs,
+            outputs,
+        } => Ok(Some(ops::dense_q16_into_digest(
+            weights, bias, src, dst, *inputs, *outputs,
+        )?)),
+        QLayer::Conv2d {
+            weights,
+            bias,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => {
+            let dims = in_shape.dims();
+            Ok(Some(ops::conv2d_q16_into_digest(
+                src,
+                weights,
+                bias,
+                dst,
+                dims[0],
+                dims[1],
+                dims[2],
+                *out_channels,
+                *kernel,
+                *kernel,
+                *stride,
+                *padding,
+            )?))
+        }
+        other => {
+            run_qlayer(other, src, dst, in_shape)?;
+            Ok(None)
+        }
+    }
 }
 
 fn avgpool_q16_into(
@@ -630,6 +803,40 @@ mod tests {
         let c = qe.classify(&input).unwrap();
         assert_eq!(c.class, 2);
         assert_eq!(c.confidence, 3.0);
+    }
+
+    #[test]
+    fn qengine_batch_is_bit_identical_to_per_item() {
+        let m = float_model(7);
+        let q = QModel::quantize(&m).unwrap();
+        let mut per_item = QEngine::new(q.clone());
+        let mut batched = QEngine::new(q);
+        let mut rng = DetRng::new(42);
+        let inputs: Vec<Vec<Q16_16>> = (0..7)
+            .map(|_| {
+                (0..4)
+                    .map(|_| Q16_16::from_f32(rng.next_f32() * 2.0 - 1.0))
+                    .collect()
+            })
+            .collect();
+        let batch_out = batched.infer_batch(&inputs).unwrap();
+        for (input, out) in inputs.iter().zip(&batch_out) {
+            assert_eq!(per_item.infer(input).unwrap(), out.as_slice());
+        }
+        let classes = batched.classify_batch(&inputs).unwrap();
+        for (input, c) in inputs.iter().zip(&classes) {
+            assert_eq!(per_item.classify(input).unwrap(), *c);
+        }
+        assert_eq!(batched.inference_count(), 14);
+        // Smaller follow-up batch reuses the arena; empty batch is a no-op.
+        let again = batched.infer_batch(&inputs[..3]).unwrap();
+        assert_eq!(again.len(), 3);
+        assert_eq!(again[0], batch_out[0]);
+        assert!(batched.infer_batch::<Vec<Q16_16>>(&[]).unwrap().is_empty());
+        assert!(matches!(
+            batched.infer_batch(&[vec![Q16_16::ZERO; 3]]),
+            Err(NnError::InputShape { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! CRC-32 primitives and the streaming verification digest the fused
+//! kernels accumulate.
+//!
+//! The hardened engines in `safex-nn` pin every parametric layer to a
+//! CRC-32 golden checksum and (optionally) an ECC parity sidecar. Until
+//! PR 8 that verification was a *second* sweep over weight memory that
+//! the inference pass had just streamed — the dominant share of the
+//! hardening tax. This module hosts the checksum machinery at the tensor
+//! layer so the kernels in [`crate::ops`] can fold it into the matmul
+//! sweep itself:
+//!
+//! * [`crc32`] / [`crc32_words`] — the one-shot checksums (moved here
+//!   from `safex-nn`, which re-exports them unchanged).
+//! * [`CrcAccumulator`] — a streaming accumulator that is bit-identical
+//!   to [`crc32_words`] for *any* chunking of the word stream, so a
+//!   kernel can feed it one cache-hot weight row at a time.
+//! * [`WeightDigest`] — what a fused sweep returns: the CRC-32 word
+//!   checksum plus the XOR parity fold the ECC sidecar's column
+//!   signature is built from.
+
+use crate::fixed::Q16_16;
+
+/// Carry-less-multiply CRC-32 folding for the bulk interior of large
+/// buffers (reflected polynomial `0xEDB8_8320`), after the Intel
+/// PCLMULQDQ white paper as deployed in zlib: fold 64-byte blocks across
+/// four 128-bit lanes, reduce to one lane, then Barrett-reduce back to
+/// the 32-bit running register.
+///
+/// Bit-identical to the slicing tables for any input — it computes the
+/// same polynomial remainder, just ~an order of magnitude faster — so the
+/// fused verify-on-read kernels can checksum entire weight matrices for a
+/// small fraction of the inference cost. Heads, tails, and machines
+/// without the instructions stay on the table path.
+#[cfg(all(target_arch = "x86_64", target_endian = "little"))]
+mod clmul {
+    use std::arch::x86_64::{
+        __m128i, _mm_and_si128, _mm_clmulepi64_si128, _mm_cvtsi32_si128, _mm_extract_epi32,
+        _mm_set_epi64x, _mm_setr_epi32, _mm_srli_si128, _mm_xor_si128,
+    };
+    use std::sync::OnceLock;
+
+    // Folding constants for the reflected CRC-32 polynomial: bit-reflected
+    // `x^T mod P` factors (T = 4*128+64, 4*128, 128+64, 128, 64) plus the
+    // Barrett pair (P', mu). These are the published zlib/Intel constants;
+    // the unit tests pin the whole path against the slicing tables.
+    const K1: i64 = 0x0000_0001_5444_2bd4;
+    const K2: i64 = 0x0000_0001_c6e4_1596;
+    const K3: i64 = 0x0000_0001_7519_97d0;
+    const K4: i64 = 0x0000_0000_ccaa_009e;
+    const K5: i64 = 0x0000_0001_63cd_6124;
+    const P_PRIME: i64 = 0x0000_0001_db71_0641;
+    const MU: i64 = 0x0000_0001_f701_1641;
+
+    /// Runtime check for `pclmulqdq` + `sse4.1`, detected once.
+    pub fn available() -> bool {
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("pclmulqdq")
+                && std::arch::is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    /// Packs four words (via `to_bits`) into one 128-bit lane in stream
+    /// order. LLVM fuses the shift/or assembly into plain vector loads,
+    /// so no raw-pointer access is needed anywhere in the fold.
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    #[inline]
+    fn lane<T: Copy>(quad: &[T], to_bits: &impl Fn(T) -> u32) -> __m128i {
+        let lo = to_bits(quad[0]) as u64 | (to_bits(quad[1]) as u64) << 32;
+        let hi = to_bits(quad[2]) as u64 | (to_bits(quad[3]) as u64) << 32;
+        _mm_set_epi64x(hi as i64, lo as i64)
+    }
+
+    /// Advances the (non-inverted) CRC register over `values`, whose
+    /// length must be a multiple of 4 words no smaller than 16.
+    ///
+    /// This is the only dispatch into `#[target_feature]` code in the
+    /// workspace: the intrinsics themselves are safe to call inside the
+    /// annotated functions (the features are statically enabled there),
+    /// and [`available`] has proven at runtime that the CPU executes
+    /// them, so the single `unsafe` block below carries exactly that
+    /// obligation and nothing else — no raw pointers, no transmutes, no
+    /// aliasing.
+    pub fn fold_words<T: Copy>(crc: u32, values: &[T], to_bits: impl Fn(T) -> u32) -> u32 {
+        debug_assert!(available());
+        debug_assert!(values.len() >= 16 && values.len().is_multiple_of(4));
+        #[allow(unsafe_code)]
+        // SAFETY: `available()` confirmed pclmulqdq + sse4.1 on this CPU.
+        unsafe {
+            fold_impl(crc, values, &to_bits)
+        }
+    }
+
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    fn fold_impl<T: Copy>(crc: u32, values: &[T], to_bits: &impl Fn(T) -> u32) -> u32 {
+        let mut rest = values;
+
+        // Seed four lanes from the first 64-byte block; the running
+        // register XORs into the low dword of the stream, exactly as the
+        // table recurrence would consume it.
+        let k1k2 = _mm_set_epi64x(K2, K1);
+        let mut x1 = lane(&rest[0..4], to_bits);
+        let mut x2 = lane(&rest[4..8], to_bits);
+        let mut x3 = lane(&rest[8..12], to_bits);
+        let mut x4 = lane(&rest[12..16], to_bits);
+        x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(crc as i32));
+        rest = &rest[16..];
+
+        // Fold 64 bytes per iteration, four independent lanes.
+        while rest.len() >= 16 {
+            let x5 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+            let x6 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+            let x7 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+            let x8 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+            x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+            x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+            x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+            x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+            x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), lane(&rest[0..4], to_bits));
+            x2 = _mm_xor_si128(_mm_xor_si128(x2, x6), lane(&rest[4..8], to_bits));
+            x3 = _mm_xor_si128(_mm_xor_si128(x3, x7), lane(&rest[8..12], to_bits));
+            x4 = _mm_xor_si128(_mm_xor_si128(x4, x8), lane(&rest[12..16], to_bits));
+            rest = &rest[16..];
+        }
+
+        // Reduce the four lanes to one, then fold any remaining 16-byte
+        // blocks into it.
+        let k3k4 = _mm_set_epi64x(K4, K3);
+        for extra in [x2, x3, x4] {
+            let x5 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+            x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+            x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), extra);
+        }
+        while rest.len() >= 4 {
+            let x5 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+            x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+            x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), lane(&rest[0..4], to_bits));
+            rest = &rest[4..];
+        }
+
+        // 128 -> 64 bits.
+        let mask32 = _mm_setr_epi32(-1, 0, -1, 0);
+        let upper = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+        x1 = _mm_xor_si128(_mm_srli_si128(x1, 8), upper);
+        let k5 = _mm_set_epi64x(0, K5);
+        let high = _mm_srli_si128(x1, 4);
+        x1 = _mm_and_si128(x1, mask32);
+        x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+        x1 = _mm_xor_si128(x1, high);
+
+        // Barrett reduction 64 -> 32 bits.
+        let poly = _mm_set_epi64x(MU, P_PRIME);
+        let mut t = _mm_and_si128(x1, mask32);
+        t = _mm_clmulepi64_si128(t, poly, 0x10);
+        t = _mm_and_si128(t, mask32);
+        t = _mm_clmulepi64_si128(t, poly, 0x00);
+        x1 = _mm_xor_si128(x1, t);
+        _mm_extract_epi32(x1, 1) as u32
+    }
+}
+
+/// Slicing tables for CRC-32 (IEEE 802.3, reflected), computed at compile
+/// time: no lazy initialization, no per-call table rebuild, and the
+/// constants land in read-only data.
+///
+/// `CRC_TABLES[0]` is the classic byte-at-a-time table; `CRC_TABLES[k]`
+/// advances a byte through `k` additional zero bytes, which is what the
+/// slicing-by-4/8 steps in [`crc32_words`] consume.
+const CRC_TABLES: [[u32; 256]; 8] = make_crc_tables();
+
+const fn make_crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
+            bit += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1usize;
+    while k < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte stream. Table-driven,
+/// dependency-free; the lookup table is a compile-time constant.
+pub fn crc32(bytes: impl IntoIterator<Item = u8>) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// CRC-32 over a stream of 32-bit words taken as little-endian bytes —
+/// bit-identical to [`crc32`] over the equivalent byte stream, but
+/// processed 8 bytes per step (slicing-by-8 over word pairs, slicing-by-4
+/// on an odd tail word).
+///
+/// This is the checksum the hardened hot path runs: model parameters are
+/// `f32`/`Q16.16` buffers, i.e. natural 32-bit word streams, and the wide
+/// step is what makes per-decision verification affordable (see the E11
+/// overhead table).
+pub fn crc32_words(words: impl IntoIterator<Item = u32>) -> u32 {
+    let t = &CRC_TABLES;
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut it = words.into_iter();
+    while let Some(w0) = it.next() {
+        let a = crc ^ w0;
+        match it.next() {
+            Some(w1) => {
+                crc = t[7][(a & 0xFF) as usize]
+                    ^ t[6][((a >> 8) & 0xFF) as usize]
+                    ^ t[5][((a >> 16) & 0xFF) as usize]
+                    ^ t[4][(a >> 24) as usize]
+                    ^ t[3][(w1 & 0xFF) as usize]
+                    ^ t[2][((w1 >> 8) & 0xFF) as usize]
+                    ^ t[1][((w1 >> 16) & 0xFF) as usize]
+                    ^ t[0][(w1 >> 24) as usize];
+            }
+            None => {
+                crc = t[3][(a & 0xFF) as usize]
+                    ^ t[2][((a >> 8) & 0xFF) as usize]
+                    ^ t[1][((a >> 16) & 0xFF) as usize]
+                    ^ t[0][(a >> 24) as usize];
+                break;
+            }
+        }
+    }
+    !crc
+}
+
+/// What one fused kernel sweep attests about the parameters it streamed.
+///
+/// `crc` is bit-identical to [`crc32_words`] over the layer's
+/// weights-then-bias word stream (the golden-checksum order); `parity`
+/// is the XOR fold of the same words, which equals the XOR of the ECC
+/// sidecar's per-block column parities — a second, independent signature
+/// that rides along for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WeightDigest {
+    /// CRC-32 over the streamed words, identical to [`crc32_words`].
+    pub crc: u32,
+    /// XOR fold of the streamed words (the ECC column-parity signature).
+    pub parity: u32,
+}
+
+/// Streaming CRC-32 + parity accumulator.
+///
+/// Feeding it any sequence of slices whose concatenation is the word
+/// stream produces the same [`WeightDigest`] as a single
+/// [`crc32_words`] pass — chunk boundaries are invisible because an odd
+/// trailing word is held back (`pending`) and paired with the first word
+/// of the next slice, preserving the slicing-by-8 pair alignment. That
+/// is exactly what the fused kernels need: they digest one weight row at
+/// a time, while it is still cache-hot from the MAC loop, and rows may
+/// have odd lengths.
+#[derive(Debug, Clone)]
+pub struct CrcAccumulator {
+    crc: u32,
+    parity: u32,
+    pending: Option<u32>,
+}
+
+impl Default for CrcAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrcAccumulator {
+    /// Starts a fresh digest (CRC preconditioned, empty parity).
+    pub fn new() -> Self {
+        CrcAccumulator {
+            crc: 0xFFFF_FFFF,
+            parity: 0,
+            pending: None,
+        }
+    }
+
+    /// One slicing-by-8 step over an aligned word pair.
+    #[inline]
+    fn pair_step(&mut self, w0: u32, w1: u32) {
+        let t = &CRC_TABLES;
+        let a = self.crc ^ w0;
+        self.crc = t[7][(a & 0xFF) as usize]
+            ^ t[6][((a >> 8) & 0xFF) as usize]
+            ^ t[5][((a >> 16) & 0xFF) as usize]
+            ^ t[4][(a >> 24) as usize]
+            ^ t[3][(w1 & 0xFF) as usize]
+            ^ t[2][((w1 >> 8) & 0xFF) as usize]
+            ^ t[1][((w1 >> 16) & 0xFF) as usize]
+            ^ t[0][(w1 >> 24) as usize];
+    }
+
+    /// Slice fast path shared by the typed `update_*` entry points.
+    ///
+    /// A held odd word is flushed first to keep chunk boundaries
+    /// invisible; then, on x86-64 with `pclmulqdq`, the bulk interior is
+    /// folded 64 bytes at a time by [`clmul::fold_words`] (the parity XOR
+    /// over the same prefix auto-vectorises); the remainder runs through
+    /// the slicing-by-8 pair step. Every path computes the identical CRC
+    /// — the fold is an algebraic shortcut, not a different checksum.
+    #[inline]
+    fn update_with<T: Copy>(&mut self, values: &[T], to_bits: impl Fn(T) -> u32) {
+        let mut rest = values;
+        if let Some(held) = self.pending {
+            let Some((&first, tail)) = rest.split_first() else {
+                return;
+            };
+            let w = to_bits(first);
+            self.parity ^= w;
+            self.pair_step(held, w);
+            self.pending = None;
+            rest = tail;
+        }
+        #[cfg(all(target_arch = "x86_64", target_endian = "little"))]
+        {
+            // 16-byte granules, at least one 64-byte block.
+            let fold_len = rest.len() & !3;
+            if fold_len >= 16 && clmul::available() {
+                let (head, tail) = rest.split_at(fold_len);
+                for &v in head {
+                    self.parity ^= to_bits(v);
+                }
+                self.crc = clmul::fold_words(self.crc, head, &to_bits);
+                rest = tail;
+            }
+        }
+        let mut pairs = rest.chunks_exact(2);
+        for pair in &mut pairs {
+            let w0 = to_bits(pair[0]);
+            let w1 = to_bits(pair[1]);
+            self.parity ^= w0 ^ w1;
+            self.pair_step(w0, w1);
+        }
+        if let Some(&last) = pairs.remainder().first() {
+            let w = to_bits(last);
+            self.parity ^= w;
+            self.pending = Some(w);
+        }
+    }
+
+    /// Digests a slice of raw 32-bit words.
+    pub fn update_words(&mut self, words: &[u32]) {
+        self.update_with(words, |w| w);
+    }
+
+    /// Digests an `f32` buffer as its IEEE-754 bit words.
+    pub fn update_f32(&mut self, values: &[f32]) {
+        self.update_with(values, f32::to_bits);
+    }
+
+    /// Digests a Q16.16 buffer as its raw bit words.
+    pub fn update_q16(&mut self, values: &[Q16_16]) {
+        self.update_with(values, |q| q.to_bits() as u32);
+    }
+
+    /// Finalises the digest: flushes a held odd word through the
+    /// slicing-by-4 tail step and applies the CRC final inversion.
+    pub fn finish(self) -> WeightDigest {
+        let t = &CRC_TABLES;
+        let mut crc = self.crc;
+        if let Some(w0) = self.pending {
+            let a = crc ^ w0;
+            crc = t[3][(a & 0xFF) as usize]
+                ^ t[2][((a >> 8) & 0xFF) as usize]
+                ^ t[1][((a >> 16) & 0xFF) as usize]
+                ^ t[0][(a >> 24) as usize];
+        }
+        WeightDigest {
+            crc: !crc,
+            parity: self.parity,
+        }
+    }
+}
+
+/// One-shot [`WeightDigest`] over an `f32` weights-then-bias stream —
+/// the reference the fused kernels are pinned against.
+pub fn digest_f32(weights: &[f32], bias: &[f32]) -> WeightDigest {
+    let mut acc = CrcAccumulator::new();
+    acc.update_f32(weights);
+    acc.update_f32(bias);
+    acc.finish()
+}
+
+/// One-shot [`WeightDigest`] over a Q16.16 weights-then-bias stream.
+pub fn digest_q16(weights: &[Q16_16], bias: &[Q16_16]) -> WeightDigest {
+    let mut acc = CrcAccumulator::new();
+    acc.update_q16(weights);
+    acc.update_q16(bias);
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic CRC-32 check value.
+        assert_eq!(crc32(*b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32([]), 0);
+    }
+
+    #[test]
+    fn crc32_words_matches_bytewise() {
+        for n in [0usize, 1, 2, 3, 7, 8, 64, 129] {
+            let ws = words(n);
+            let bytes: Vec<u8> = ws.iter().flat_map(|w| w.to_le_bytes()).collect();
+            assert_eq!(crc32_words(ws.iter().copied()), crc32(bytes), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn accumulator_is_chunking_independent() {
+        let ws = words(129);
+        let expected = crc32_words(ws.iter().copied());
+        let expected_parity = ws.iter().fold(0u32, |acc, &w| acc ^ w);
+        // Every split point, including ones that leave an odd word
+        // pending across the boundary.
+        for split in 0..=ws.len() {
+            let mut acc = CrcAccumulator::new();
+            acc.update_words(&ws[..split]);
+            acc.update_words(&ws[split..]);
+            let digest = acc.finish();
+            assert_eq!(digest.crc, expected, "split at {split}");
+            assert_eq!(digest.parity, expected_parity, "split at {split}");
+        }
+        // Many tiny odd-sized chunks.
+        let mut acc = CrcAccumulator::new();
+        for chunk in ws.chunks(3) {
+            acc.update_words(chunk);
+        }
+        assert_eq!(acc.finish().crc, expected);
+    }
+
+    #[test]
+    fn accumulator_matches_tables_across_fold_thresholds() {
+        // Sweep every length around the clmul entry thresholds (16-word
+        // granules, 64-byte minimum) plus large buffers, so the folded
+        // fast path, the table path, and every head/tail split agree
+        // with the reference slicing implementation bit for bit.
+        let lengths: Vec<usize> = (0..=68).chain([127, 128, 129, 1000, 4096, 16387]).collect();
+        for n in lengths {
+            let ws = words(n);
+            let expected = crc32_words(ws.iter().copied());
+            let expected_parity = ws.iter().fold(0u32, |acc, &w| acc ^ w);
+            let mut acc = CrcAccumulator::new();
+            acc.update_words(&ws);
+            let digest = acc.finish();
+            assert_eq!(digest.crc, expected, "n = {n}");
+            assert_eq!(digest.parity, expected_parity, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn accumulator_fold_survives_odd_chunk_boundaries() {
+        // An odd head chunk leaves a word pending; the following large
+        // slice must flush it and still take the folded bulk path.
+        let ws = words(1025);
+        let expected = crc32_words(ws.iter().copied());
+        for head in [1usize, 3, 5, 17, 63] {
+            let mut acc = CrcAccumulator::new();
+            acc.update_words(&ws[..head]);
+            acc.update_words(&ws[head..]);
+            assert_eq!(acc.finish().crc, expected, "head = {head}");
+        }
+    }
+
+    #[test]
+    fn empty_digest_matches_empty_crc() {
+        let digest = CrcAccumulator::new().finish();
+        assert_eq!(digest.crc, crc32_words(std::iter::empty()));
+        assert_eq!(digest.parity, 0);
+    }
+
+    #[test]
+    fn typed_updates_match_bit_streams() {
+        let fs: Vec<f32> = (0..11).map(|i| i as f32 * 0.37 - 1.5).collect();
+        let expected = crc32_words(fs.iter().map(|v| v.to_bits()));
+        assert_eq!(digest_f32(&fs, &[]).crc, expected);
+
+        let qs: Vec<Q16_16> = (0..11).map(|i| Q16_16::from_f32(i as f32 * 0.25)).collect();
+        let expected_q = crc32_words(qs.iter().map(|q| q.to_bits() as u32));
+        assert_eq!(digest_q16(&qs, &[]).crc, expected_q);
+    }
+
+    #[test]
+    fn weights_then_bias_matches_chained_stream() {
+        let w: Vec<f32> = (0..7).map(|i| i as f32 + 0.5).collect();
+        let b: Vec<f32> = (0..3).map(|i| i as f32 - 0.25).collect();
+        let expected = crc32_words(w.iter().chain(&b).map(|v| v.to_bits()));
+        assert_eq!(digest_f32(&w, &b).crc, expected);
+    }
+}

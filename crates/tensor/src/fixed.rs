@@ -26,6 +26,7 @@ macro_rules! fixed_type {
     ($(#[$doc:meta])* $name:ident, $frac:expr) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        #[repr(transparent)]
         pub struct $name(i32);
 
         impl $name {

@@ -15,6 +15,7 @@
 //!   the fixed-point variants) accumulators, so results are bit-for-bit
 //!   reproducible.
 
+use crate::crc::{CrcAccumulator, WeightDigest};
 use crate::error::TensorError;
 use crate::fixed::Q16_16;
 
@@ -94,13 +95,50 @@ pub fn dense_into(
     check_len(out, outputs)?;
     for o in 0..outputs {
         let row = &weights[o * inputs..(o + 1) * inputs];
-        let mut acc = bias[o] as f64;
-        for (w, xi) in row.iter().zip(x) {
-            acc += *w as f64 * *xi as f64;
-        }
-        out[o] = acc as f32;
+        out[o] = dense_row_exact(row, x, bias[o]);
     }
     Ok(())
+}
+
+/// One [`DenseKernel::Exact`] inner product: strict left-to-right f64
+/// accumulation seeded with the bias.
+#[inline]
+fn dense_row_exact(row: &[f32], x: &[f32], bias: f32) -> f32 {
+    let mut acc = bias as f64;
+    for (w, xi) in row.iter().zip(x) {
+        acc += *w as f64 * *xi as f64;
+    }
+    acc as f32
+}
+
+/// One [`DenseKernel::Chunked`] inner product: four independent f64
+/// lanes over 4-element chunks plus a sequential tail, combined in a
+/// fixed order.
+#[inline]
+fn dense_row_chunked(row: &[f32], x: &[f32], bias: f32) -> f32 {
+    let mut lanes = [0.0f64; 4];
+    let mut rw = row.chunks_exact(4);
+    let mut rx = x.chunks_exact(4);
+    for (w4, x4) in (&mut rw).zip(&mut rx) {
+        lanes[0] += w4[0] as f64 * x4[0] as f64;
+        lanes[1] += w4[1] as f64 * x4[1] as f64;
+        lanes[2] += w4[2] as f64 * x4[2] as f64;
+        lanes[3] += w4[3] as f64 * x4[3] as f64;
+    }
+    let mut tail = bias as f64;
+    for (w, xi) in rw.remainder().iter().zip(rx.remainder()) {
+        tail += *w as f64 * *xi as f64;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail) as f32
+}
+
+/// One inner product dispatching on the kernel strategy.
+#[inline]
+fn dense_row(kernel: DenseKernel, row: &[f32], x: &[f32], bias: f32) -> f32 {
+    match kernel {
+        DenseKernel::Exact => dense_row_exact(row, x, bias),
+        DenseKernel::Chunked => dense_row_chunked(row, x, bias),
+    }
 }
 
 /// Dense layer with the [`DenseKernel::Chunked`] inner product: four
@@ -125,20 +163,7 @@ pub fn dense_into_chunked(
     check_len(out, outputs)?;
     for o in 0..outputs {
         let row = &weights[o * inputs..(o + 1) * inputs];
-        let mut lanes = [0.0f64; 4];
-        let mut rw = row.chunks_exact(4);
-        let mut rx = x.chunks_exact(4);
-        for (w4, x4) in (&mut rw).zip(&mut rx) {
-            lanes[0] += w4[0] as f64 * x4[0] as f64;
-            lanes[1] += w4[1] as f64 * x4[1] as f64;
-            lanes[2] += w4[2] as f64 * x4[2] as f64;
-            lanes[3] += w4[3] as f64 * x4[3] as f64;
-        }
-        let mut tail = bias[o] as f64;
-        for (w, xi) in rw.remainder().iter().zip(rx.remainder()) {
-            tail += *w as f64 * *xi as f64;
-        }
-        out[o] = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail) as f32;
+        out[o] = dense_row_chunked(row, x, bias[o]);
     }
     Ok(())
 }
@@ -161,6 +186,154 @@ pub fn dense_into_with(
         DenseKernel::Exact => dense_into(weights, bias, x, out, inputs, outputs),
         DenseKernel::Chunked => dense_into_chunked(weights, bias, x, out, inputs, outputs),
     }
+}
+
+/// Dense layer with fused verify-on-read: one sweep computes the outputs
+/// *and* accumulates the [`WeightDigest`] over the weights-then-bias word
+/// stream, i.e. the golden-checksum order.
+///
+/// Each weight row is digested immediately after its MAC loop, while the
+/// row is still cache-hot, so verification rides the memory traffic the
+/// inference pass already paid for instead of a second sweep. The bias
+/// (a few words) is digested in a trailing pass to preserve the stream
+/// order. Outputs are bit-identical to [`dense_into_with`] with the same
+/// kernel; the digest is bit-identical to [`crate::crc::digest_f32`]
+/// over the same buffers.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] on dimension disagreement.
+pub fn dense_into_digest(
+    kernel: DenseKernel,
+    weights: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    out: &mut [f32],
+    inputs: usize,
+    outputs: usize,
+) -> Result<WeightDigest, TensorError> {
+    check_len(weights, inputs * outputs)?;
+    check_len(bias, outputs)?;
+    check_len(x, inputs)?;
+    check_len(out, outputs)?;
+    let mut digest = CrcAccumulator::new();
+    for o in 0..outputs {
+        let row = &weights[o * inputs..(o + 1) * inputs];
+        out[o] = dense_row(kernel, row, x, bias[o]);
+        digest.update_f32(row);
+    }
+    digest.update_f32(bias);
+    Ok(digest.finish())
+}
+
+/// Dense layer over a batch-major activation arena: `batch` input rows
+/// spaced `src_stride` apart in `src`, output rows written `dst_stride`
+/// apart in `dst`.
+///
+/// The loop order is output-row outer, batch-item inner, so each weight
+/// row is streamed from memory once per *batch* instead of once per
+/// item. Every per-item inner product uses exactly the arithmetic of
+/// [`dense_into_with`], so results are bit-identical to running the
+/// per-item kernel on each row separately.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] on dimension disagreement and
+/// [`TensorError::InvalidArgument`] when a stride is smaller than the row
+/// it must hold.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_batch_into_with(
+    kernel: DenseKernel,
+    weights: &[f32],
+    bias: &[f32],
+    src: &[f32],
+    dst: &mut [f32],
+    inputs: usize,
+    outputs: usize,
+    batch: usize,
+    src_stride: usize,
+    dst_stride: usize,
+) -> Result<(), TensorError> {
+    check_len(weights, inputs * outputs)?;
+    check_len(bias, outputs)?;
+    if batch == 0 {
+        return Ok(());
+    }
+    if src_stride < inputs || dst_stride < outputs {
+        return Err(TensorError::InvalidArgument(
+            "arena stride smaller than the activation row it must hold".into(),
+        ));
+    }
+    let src_need = (batch - 1) * src_stride + inputs;
+    if src.len() < src_need {
+        return Err(TensorError::LengthMismatch {
+            expected: src_need,
+            actual: src.len(),
+        });
+    }
+    let dst_need = (batch - 1) * dst_stride + outputs;
+    if dst.len() < dst_need {
+        return Err(TensorError::LengthMismatch {
+            expected: dst_need,
+            actual: dst.len(),
+        });
+    }
+    match kernel {
+        DenseKernel::Exact => {
+            for o in 0..outputs {
+                let row = &weights[o * inputs..(o + 1) * inputs];
+                let b = bias[o];
+                // Four items per step: each keeps its own accumulator
+                // chain, so the serial f64-add latency that bounds the
+                // one-item kernel overlaps across items. Per (o, item)
+                // the operation sequence is exactly `dense_row_exact`,
+                // so outputs stay bit-identical to the per-item path —
+                // this reordering across independent chains is where the
+                // batch arena beats batch=1.
+                let mut item = 0usize;
+                while item + 4 <= batch {
+                    let x0 = &src[item * src_stride..item * src_stride + inputs];
+                    let x1 = &src[(item + 1) * src_stride..(item + 1) * src_stride + inputs];
+                    let x2 = &src[(item + 2) * src_stride..(item + 2) * src_stride + inputs];
+                    let x3 = &src[(item + 3) * src_stride..(item + 3) * src_stride + inputs];
+                    let mut a0 = b as f64;
+                    let mut a1 = b as f64;
+                    let mut a2 = b as f64;
+                    let mut a3 = b as f64;
+                    for i in 0..inputs {
+                        let w = row[i] as f64;
+                        a0 += w * x0[i] as f64;
+                        a1 += w * x1[i] as f64;
+                        a2 += w * x2[i] as f64;
+                        a3 += w * x3[i] as f64;
+                    }
+                    dst[item * dst_stride + o] = a0 as f32;
+                    dst[(item + 1) * dst_stride + o] = a1 as f32;
+                    dst[(item + 2) * dst_stride + o] = a2 as f32;
+                    dst[(item + 3) * dst_stride + o] = a3 as f32;
+                    item += 4;
+                }
+                while item < batch {
+                    let x = &src[item * src_stride..item * src_stride + inputs];
+                    dst[item * dst_stride + o] = dense_row_exact(row, x, b);
+                    item += 1;
+                }
+            }
+        }
+        DenseKernel::Chunked => {
+            // The chunked kernel already runs four lanes per item; keep
+            // the straightforward item loop.
+            for o in 0..outputs {
+                let row = &weights[o * inputs..(o + 1) * inputs];
+                let b = bias[o];
+                for item in 0..batch {
+                    let x = &src[item * src_stride..item * src_stride + inputs];
+                    dst[item * dst_stride + o] = dense_row_chunked(row, x, b);
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// 2-D convolution, NCHW single image, `valid` padding semantics with an
@@ -192,6 +365,73 @@ pub fn conv2d_into(
     stride: usize,
     padding: usize,
 ) -> Result<(), TensorError> {
+    conv2d_into_impl(
+        x, weights, bias, out, in_c, in_h, in_w, out_c, k_h, k_w, stride, padding, None,
+    )
+}
+
+/// 2-D convolution with fused verify-on-read: identical outputs to
+/// [`conv2d_into`], plus the [`WeightDigest`] over the weights-then-bias
+/// word stream accumulated during the sweep. Each output channel's
+/// weight block is digested right after that channel's spatial loop
+/// finishes streaming it; blocks in channel order concatenate to the
+/// linear weight buffer, so the digest is bit-identical to
+/// [`crate::crc::digest_f32`] over the same buffers.
+///
+/// # Errors
+///
+/// Same contract as [`conv2d_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into_digest(
+    x: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    out_c: usize,
+    k_h: usize,
+    k_w: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<WeightDigest, TensorError> {
+    let mut digest = CrcAccumulator::new();
+    conv2d_into_impl(
+        x,
+        weights,
+        bias,
+        out,
+        in_c,
+        in_h,
+        in_w,
+        out_c,
+        k_h,
+        k_w,
+        stride,
+        padding,
+        Some(&mut digest),
+    )?;
+    digest.update_f32(bias);
+    Ok(digest.finish())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv2d_into_impl(
+    x: &[f32],
+    weights: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    out_c: usize,
+    k_h: usize,
+    k_w: usize,
+    stride: usize,
+    padding: usize,
+    mut digest: Option<&mut CrcAccumulator>,
+) -> Result<(), TensorError> {
     if stride == 0 {
         return Err(TensorError::InvalidArgument(
             "stride must be non-zero".into(),
@@ -203,6 +443,7 @@ pub fn conv2d_into(
     check_len(bias, out_c)?;
     check_len(out, out_c * out_h * out_w)?;
 
+    let block = in_c * k_h * k_w;
     for oc in 0..out_c {
         for oy in 0..out_h {
             for ox in 0..out_w {
@@ -228,6 +469,11 @@ pub fn conv2d_into(
                 }
                 out[oc * out_h * out_w + oy * out_w + ox] = acc as f32;
             }
+        }
+        // Digest this channel's weight block while it is still cache-hot
+        // from the spatial loop above.
+        if let Some(acc) = digest.as_deref_mut() {
+            acc.update_f32(&weights[oc * block..(oc + 1) * block]);
         }
     }
     Ok(())
@@ -424,12 +670,130 @@ pub fn dense_q16_into(
     check_len(out, outputs)?;
     for o in 0..outputs {
         let row = &weights[o * inputs..(o + 1) * inputs];
-        // Q32.32 accumulator: product of two Q16.16 raws is Q32.32.
-        let mut acc: i64 = (bias[o].to_bits() as i64) << Q16_16::FRAC_BITS;
-        for (w, xi) in row.iter().zip(x) {
-            acc = acc.saturating_add(w.to_bits() as i64 * xi.to_bits() as i64);
+        out[o] = dense_q16_row(row, x, bias[o]);
+    }
+    Ok(())
+}
+
+/// One fixed-point inner product with the widened Q32.32 accumulator.
+#[inline]
+fn dense_q16_row(row: &[Q16_16], x: &[Q16_16], bias: Q16_16) -> Q16_16 {
+    // Q32.32 accumulator: product of two Q16.16 raws is Q32.32.
+    let mut acc: i64 = (bias.to_bits() as i64) << Q16_16::FRAC_BITS;
+    for (w, xi) in row.iter().zip(x) {
+        acc = acc.saturating_add(w.to_bits() as i64 * xi.to_bits() as i64);
+    }
+    q32_32_to_q16_16(acc)
+}
+
+/// Fixed-point dense layer with fused verify-on-read: the Q16.16
+/// counterpart of [`dense_into_digest`]. Outputs are bit-identical to
+/// [`dense_q16_into`]; the digest is bit-identical to
+/// [`crate::crc::digest_q16`] over the same buffers.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] on dimension disagreement.
+pub fn dense_q16_into_digest(
+    weights: &[Q16_16],
+    bias: &[Q16_16],
+    x: &[Q16_16],
+    out: &mut [Q16_16],
+    inputs: usize,
+    outputs: usize,
+) -> Result<WeightDigest, TensorError> {
+    check_len(weights, inputs * outputs)?;
+    check_len(bias, outputs)?;
+    check_len(x, inputs)?;
+    check_len(out, outputs)?;
+    let mut digest = CrcAccumulator::new();
+    for o in 0..outputs {
+        let row = &weights[o * inputs..(o + 1) * inputs];
+        out[o] = dense_q16_row(row, x, bias[o]);
+        digest.update_q16(row);
+    }
+    digest.update_q16(bias);
+    Ok(digest.finish())
+}
+
+/// Fixed-point dense layer over a batch-major activation arena: the
+/// Q16.16 counterpart of [`dense_batch_into_with`], bit-identical per
+/// item to [`dense_q16_into`].
+///
+/// # Errors
+///
+/// Same contract as [`dense_batch_into_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn dense_q16_batch_into(
+    weights: &[Q16_16],
+    bias: &[Q16_16],
+    src: &[Q16_16],
+    dst: &mut [Q16_16],
+    inputs: usize,
+    outputs: usize,
+    batch: usize,
+    src_stride: usize,
+    dst_stride: usize,
+) -> Result<(), TensorError> {
+    check_len(weights, inputs * outputs)?;
+    check_len(bias, outputs)?;
+    if batch == 0 {
+        return Ok(());
+    }
+    if src_stride < inputs || dst_stride < outputs {
+        return Err(TensorError::InvalidArgument(
+            "arena stride smaller than the activation row it must hold".into(),
+        ));
+    }
+    let src_need = (batch - 1) * src_stride + inputs;
+    if src.len() < src_need {
+        return Err(TensorError::LengthMismatch {
+            expected: src_need,
+            actual: src.len(),
+        });
+    }
+    let dst_need = (batch - 1) * dst_stride + outputs;
+    if dst.len() < dst_need {
+        return Err(TensorError::LengthMismatch {
+            expected: dst_need,
+            actual: dst.len(),
+        });
+    }
+    for o in 0..outputs {
+        let row = &weights[o * inputs..(o + 1) * inputs];
+        let b = bias[o];
+        // Same four-chain unroll as the float batch kernel: the i64
+        // saturating-add chain per item is reproduced operation for
+        // operation, so each lane is bit-identical to `dense_q16_row`.
+        let mut item = 0usize;
+        while item + 4 <= batch {
+            let x0 = &src[item * src_stride..item * src_stride + inputs];
+            let x1 = &src[(item + 1) * src_stride..(item + 1) * src_stride + inputs];
+            let x2 = &src[(item + 2) * src_stride..(item + 2) * src_stride + inputs];
+            let x3 = &src[(item + 3) * src_stride..(item + 3) * src_stride + inputs];
+            let seed = (b.to_bits() as i64) << Q16_16::FRAC_BITS;
+            let mut a0 = seed;
+            let mut a1 = seed;
+            let mut a2 = seed;
+            let mut a3 = seed;
+            for i in 0..inputs {
+                let w = row[i].to_bits() as i64;
+                a0 = a0.saturating_add(w * x0[i].to_bits() as i64);
+                a1 = a1.saturating_add(w * x1[i].to_bits() as i64);
+                a2 = a2.saturating_add(w * x2[i].to_bits() as i64);
+                a3 = a3.saturating_add(w * x3[i].to_bits() as i64);
+            }
+            dst[item * dst_stride + o] = q32_32_to_q16_16(a0);
+            dst[(item + 1) * dst_stride + o] = q32_32_to_q16_16(a1);
+            dst[(item + 2) * dst_stride + o] = q32_32_to_q16_16(a2);
+            dst[(item + 3) * dst_stride + o] = q32_32_to_q16_16(a3);
+            item += 4;
         }
-        out[o] = q32_32_to_q16_16(acc);
+        while item < batch {
+            let x = &src[item * src_stride..item * src_stride + inputs];
+            dst[item * dst_stride + o] = dense_q16_row(row, x, b);
+            item += 1;
+        }
     }
     Ok(())
 }
@@ -468,11 +832,76 @@ pub fn conv2d_q16_into(
     stride: usize,
     padding: usize,
 ) -> Result<(), TensorError> {
+    conv2d_q16_into_impl(
+        x, weights, bias, out, in_c, in_h, in_w, out_c, k_h, k_w, stride, padding, None,
+    )
+}
+
+/// Fixed-point 2-D convolution with fused verify-on-read: the Q16.16
+/// counterpart of [`conv2d_into_digest`]. Outputs are bit-identical to
+/// [`conv2d_q16_into`]; the digest is bit-identical to
+/// [`crate::crc::digest_q16`] over the same buffers.
+///
+/// # Errors
+///
+/// Same contract as [`conv2d_q16_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_q16_into_digest(
+    x: &[Q16_16],
+    weights: &[Q16_16],
+    bias: &[Q16_16],
+    out: &mut [Q16_16],
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    out_c: usize,
+    k_h: usize,
+    k_w: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<WeightDigest, TensorError> {
+    let mut digest = CrcAccumulator::new();
+    conv2d_q16_into_impl(
+        x,
+        weights,
+        bias,
+        out,
+        in_c,
+        in_h,
+        in_w,
+        out_c,
+        k_h,
+        k_w,
+        stride,
+        padding,
+        Some(&mut digest),
+    )?;
+    digest.update_q16(bias);
+    Ok(digest.finish())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv2d_q16_into_impl(
+    x: &[Q16_16],
+    weights: &[Q16_16],
+    bias: &[Q16_16],
+    out: &mut [Q16_16],
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    out_c: usize,
+    k_h: usize,
+    k_w: usize,
+    stride: usize,
+    padding: usize,
+    mut digest: Option<&mut CrcAccumulator>,
+) -> Result<(), TensorError> {
     let (out_h, out_w) = conv2d_output_dims(in_h, in_w, k_h, k_w, stride, padding)?;
     check_len(x, in_c * in_h * in_w)?;
     check_len(weights, out_c * in_c * k_h * k_w)?;
     check_len(bias, out_c)?;
     check_len(out, out_c * out_h * out_w)?;
+    let block = in_c * k_h * k_w;
     for oc in 0..out_c {
         for oy in 0..out_h {
             for ox in 0..out_w {
@@ -497,6 +926,10 @@ pub fn conv2d_q16_into(
                 }
                 out[oc * out_h * out_w + oy * out_w + ox] = q32_32_to_q16_16(acc);
             }
+        }
+        // Digest this channel's weight block while it is still cache-hot.
+        if let Some(acc) = digest.as_deref_mut() {
+            acc.update_q16(&weights[oc * block..(oc + 1) * block]);
         }
     }
     Ok(())
@@ -845,5 +1278,178 @@ mod tests {
         dense_q16_into(&w, &b, &x, &mut out, n, 1).unwrap();
         // 1000 * 0.01 = 10 (small quantisation error on 0.01 allowed)
         assert!((out[0].to_f32() - 10.0).abs() < 0.01);
+    }
+
+    fn ramp(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * scale).sin()).collect()
+    }
+
+    #[test]
+    fn fused_dense_matches_plain_and_reference_digest() {
+        let (inputs, outputs) = (11, 5); // odd row length crosses pair alignment
+        let w = ramp(inputs * outputs, 0.37);
+        let b = ramp(outputs, 0.11);
+        let x = ramp(inputs, 0.23);
+        for kernel in [DenseKernel::Exact, DenseKernel::Chunked] {
+            let mut plain = vec![0.0f32; outputs];
+            dense_into_with(kernel, &w, &b, &x, &mut plain, inputs, outputs).unwrap();
+            let mut fused = vec![0.0f32; outputs];
+            let digest =
+                dense_into_digest(kernel, &w, &b, &x, &mut fused, inputs, outputs).unwrap();
+            assert_eq!(
+                fused, plain,
+                "{kernel:?}: fused outputs must be bit-identical"
+            );
+            assert_eq!(digest, crate::crc::digest_f32(&w, &b), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn fused_conv_matches_plain_and_reference_digest() {
+        let (in_c, in_h, in_w, out_c, k) = (2, 5, 4, 3, 2);
+        let x = ramp(in_c * in_h * in_w, 0.19);
+        let w = ramp(out_c * in_c * k * k, 0.29);
+        let b = ramp(out_c, 0.41);
+        let (oh, ow) = conv2d_output_dims(in_h, in_w, k, k, 1, 1).unwrap();
+        let mut plain = vec![0.0f32; out_c * oh * ow];
+        conv2d_into(&x, &w, &b, &mut plain, in_c, in_h, in_w, out_c, k, k, 1, 1).unwrap();
+        let mut fused = vec![0.0f32; out_c * oh * ow];
+        let digest =
+            conv2d_into_digest(&x, &w, &b, &mut fused, in_c, in_h, in_w, out_c, k, k, 1, 1)
+                .unwrap();
+        assert_eq!(fused, plain);
+        assert_eq!(digest, crate::crc::digest_f32(&w, &b));
+    }
+
+    #[test]
+    fn fused_q16_kernels_match_plain_and_reference_digest() {
+        let q = |v: &[f32]| -> Vec<Q16_16> { v.iter().map(|&f| Q16_16::from_f32(f)).collect() };
+        let (inputs, outputs) = (7, 3);
+        let w = q(&ramp(inputs * outputs, 0.31));
+        let b = q(&ramp(outputs, 0.13));
+        let x = q(&ramp(inputs, 0.27));
+        let mut plain = vec![Q16_16::ZERO; outputs];
+        dense_q16_into(&w, &b, &x, &mut plain, inputs, outputs).unwrap();
+        let mut fused = vec![Q16_16::ZERO; outputs];
+        let digest = dense_q16_into_digest(&w, &b, &x, &mut fused, inputs, outputs).unwrap();
+        assert_eq!(fused, plain);
+        assert_eq!(digest, crate::crc::digest_q16(&w, &b));
+
+        let (in_c, in_h, in_w, out_c, k) = (1, 4, 4, 2, 2);
+        let cx = q(&ramp(in_c * in_h * in_w, 0.17));
+        let cw = q(&ramp(out_c * in_c * k * k, 0.21));
+        let cb = q(&ramp(out_c, 0.33));
+        let (oh, ow) = conv2d_output_dims(in_h, in_w, k, k, 1, 0).unwrap();
+        let mut cplain = vec![Q16_16::ZERO; out_c * oh * ow];
+        conv2d_q16_into(
+            &cx,
+            &cw,
+            &cb,
+            &mut cplain,
+            in_c,
+            in_h,
+            in_w,
+            out_c,
+            k,
+            k,
+            1,
+            0,
+        )
+        .unwrap();
+        let mut cfused = vec![Q16_16::ZERO; out_c * oh * ow];
+        let cdigest = conv2d_q16_into_digest(
+            &cx,
+            &cw,
+            &cb,
+            &mut cfused,
+            in_c,
+            in_h,
+            in_w,
+            out_c,
+            k,
+            k,
+            1,
+            0,
+        )
+        .unwrap();
+        assert_eq!(cfused, cplain);
+        assert_eq!(cdigest, crate::crc::digest_q16(&cw, &cb));
+    }
+
+    #[test]
+    fn batched_dense_is_bit_identical_to_per_item() {
+        let (inputs, outputs, batch, stride) = (9, 4, 5, 12); // stride > rows: arena slack
+        let w = ramp(inputs * outputs, 0.37);
+        let b = ramp(outputs, 0.11);
+        let mut src = vec![0.0f32; batch * stride];
+        for item in 0..batch {
+            let x = ramp(inputs, 0.1 + item as f32 * 0.07);
+            src[item * stride..item * stride + inputs].copy_from_slice(&x);
+        }
+        for kernel in [DenseKernel::Exact, DenseKernel::Chunked] {
+            let mut dst = vec![0.0f32; batch * stride];
+            dense_batch_into_with(
+                kernel, &w, &b, &src, &mut dst, inputs, outputs, batch, stride, stride,
+            )
+            .unwrap();
+            for item in 0..batch {
+                let mut solo = vec![0.0f32; outputs];
+                let x = &src[item * stride..item * stride + inputs];
+                dense_into_with(kernel, &w, &b, x, &mut solo, inputs, outputs).unwrap();
+                assert_eq!(
+                    &dst[item * stride..item * stride + outputs],
+                    solo.as_slice(),
+                    "{kernel:?} item {item}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_dense_q16_is_bit_identical_to_per_item() {
+        let q = |v: &[f32]| -> Vec<Q16_16> { v.iter().map(|&f| Q16_16::from_f32(f)).collect() };
+        let (inputs, outputs, batch, stride) = (6, 3, 4, 8);
+        let w = q(&ramp(inputs * outputs, 0.37));
+        let b = q(&ramp(outputs, 0.11));
+        let mut src = vec![Q16_16::ZERO; batch * stride];
+        for item in 0..batch {
+            let x = q(&ramp(inputs, 0.1 + item as f32 * 0.07));
+            src[item * stride..item * stride + inputs].copy_from_slice(&x);
+        }
+        let mut dst = vec![Q16_16::ZERO; batch * stride];
+        dense_q16_batch_into(
+            &w, &b, &src, &mut dst, inputs, outputs, batch, stride, stride,
+        )
+        .unwrap();
+        for item in 0..batch {
+            let mut solo = vec![Q16_16::ZERO; outputs];
+            let x = &src[item * stride..item * stride + inputs];
+            dense_q16_into(&w, &b, x, &mut solo, inputs, outputs).unwrap();
+            assert_eq!(
+                &dst[item * stride..item * stride + outputs],
+                solo.as_slice(),
+                "item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_dense_rejects_bad_arena_geometry() {
+        let w = [1.0f32; 6];
+        let b = [0.0f32; 3];
+        let src = [0.0f32; 8];
+        let mut dst = [0.0f32; 8];
+        // Stride smaller than the input row.
+        assert!(
+            dense_batch_into_with(DenseKernel::Exact, &w, &b, &src, &mut dst, 2, 3, 4, 1, 4)
+                .is_err()
+        );
+        // Arena too short for the batch.
+        assert!(
+            dense_batch_into_with(DenseKernel::Exact, &w, &b, &src, &mut dst, 2, 3, 5, 4, 4)
+                .is_err()
+        );
+        // Empty batch is a no-op.
+        dense_batch_into_with(DenseKernel::Exact, &w, &b, &src, &mut dst, 2, 3, 0, 4, 4).unwrap();
     }
 }

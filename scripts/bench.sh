@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Benchmark runner: executes the overhead-relevant experiment benches
 # (E6 pipeline cost, E10 throughput, E11 hardening overhead, E12 serving,
-# E14 fleet serving, E15 soak runtime)
+# E14 fleet serving, E15 soak runtime, E16 fused verify-on-read)
 # and collects machine-readable medians.
 #
 # Usage:
-#   scripts/bench.sh           # full run, writes BENCH_pr7.json at repo root
+#   scripts/bench.sh           # full run, writes BENCH_pr8.json at repo root
 #   scripts/bench.sh --quick   # CI smoke: short budgets, writes
 #                              # target/BENCH_quick.json and validates that
 #                              # every expected bench emitted an entry
@@ -22,13 +22,13 @@ if [[ "${1:-}" == "--quick" ]]; then
     QUICK=1
 fi
 
-BENCHES=(e6_overhead e10_throughput e11_fault_campaign e12_serving e13_repair e14_fleet e15_soak)
+BENCHES=(e6_overhead e10_throughput e11_fault_campaign e12_serving e13_repair e14_fleet e15_soak e16_fused)
 
 if [[ "$QUICK" == 1 ]]; then
     OUT="target/BENCH_quick.json"
     export SAFEX_BENCH_QUICK=1
 else
-    OUT="BENCH_pr7.json"
+    OUT="BENCH_pr8.json"
 fi
 mkdir -p "$(dirname "$OUT")" 2>/dev/null || true
 rm -f "$OUT"
@@ -43,10 +43,32 @@ echo "==> wrote $OUT ($(wc -l <"$OUT") entries)"
 
 # Every bench binary must have emitted at least one entry; a missing
 # prefix means a bench silently stopped registering its group.
-for prefix in e6_pipeline_decide e10_batch_256 e11_hardened_inference e12_serving e13_repair_overhead e14_fleet/fleet_replay e14_fleet/stats/cache_hit_rate e14_fleet/stats/time_in_state e14_fleet/stats/fairness e15_soak/soak_replay e15_soak/snapshot_codec e15_soak/restore_stage e15_soak/stats/swap_latency e15_soak/stats/watchdog e15_soak/stats/restore_fidelity; do
+for prefix in e6_pipeline_decide e10_batch_256 e11_hardened_inference e12_serving e13_repair_overhead e14_fleet/fleet_replay e14_fleet/stats/cache_hit_rate e14_fleet/stats/time_in_state e14_fleet/stats/fairness e15_soak/soak_replay e15_soak/snapshot_codec e15_soak/restore_stage e15_soak/stats/swap_latency e15_soak/stats/watchdog e15_soak/stats/restore_fidelity e16_fused/bare_engine e16_fused/fused_every_decision e16_fused/fused_cadence_8 e16_fused/requests16_batch1 e16_fused/requests16_batch16; do
     if ! grep -q "\"id\":\"$prefix" "$OUT"; then
         echo "error: no benchmark entries matching '$prefix' in $OUT" >&2
         exit 1
     fi
 done
 echo "All expected benchmark groups present."
+
+# Perf floor for the fused verify-on-read kernels: hardened inference
+# with in-pass digests must stay within 2.0x of the bare engine. The
+# ratio is generous against the 1.5x full-run target so CI jitter in
+# --quick mode does not flap the gate.
+median() {
+    grep "\"id\":\"$1\"" "$OUT" | sed -n 's/.*"median_ns":\([0-9]*\).*/\1/p' | head -1
+}
+BARE=$(median "e16_fused/bare_engine")
+FUSED=$(median "e16_fused/fused_every_decision")
+if [[ -n "$BARE" && -n "$FUSED" && "$BARE" -gt 0 ]]; then
+    RATIO_X100=$((FUSED * 100 / BARE))
+    echo "fused/bare per-decision ratio: ${RATIO_X100}% (fused ${FUSED}ns vs bare ${BARE}ns)"
+    if [[ "$RATIO_X100" -gt 200 ]]; then
+        echo "error: fused every-decision hardening costs ${RATIO_X100}% of bare (>200%)." >&2
+        echo "       The in-pass digest sweep regressed; see crates/tensor/src/ops.rs." >&2
+        exit 1
+    fi
+else
+    echo "error: could not extract e16 medians from $OUT" >&2
+    exit 1
+fi

@@ -3,7 +3,8 @@
 # Mirrors what CI would run; keep it green before pushing.
 #
 # Usage:
-#   scripts/check.sh              # full gate: fmt, clippy, benches, tests, quick bench
+#   scripts/check.sh              # full gate: fmt, clippy, benches, tests,
+#                                 # quick bench + fused-overhead perf smoke
 #   scripts/check.sh --tests-only # fast tier: just the workspace test suite
 #                                 # (plus the test-count floor below)
 #   scripts/check.sh --soak-smoke # bounded wall-clock soak tier: ~6 s of

@@ -293,6 +293,97 @@ fn chunked_kernel_bit_identical_across_runs_and_worker_counts() {
     }
 }
 
+/// The fused verify-on-read strategy joins the kernel matrix: hardened
+/// pools running `CrcStrategy::Fused` must be bit-identical to the
+/// sequential hardened engine for every worker count in {1, 2, 4, 8},
+/// for both the float and the Q16.16 engine — and, with pristine
+/// weights, must reproduce the bare engines' answers exactly (the
+/// in-pass digest accumulation may not perturb the arithmetic).
+#[test]
+fn fused_pool_matrix_bit_identical_for_float_and_quant() {
+    use safexplain::nn::{
+        CrcStrategy, HardenConfig, HardenedEngine, HardenedPool, HardenedQEngine, HardenedQPool,
+    };
+
+    let data = dataset(10, 17);
+    let model = demo::train_mlp(&data, 10, 7).expect("train");
+    let inputs: Vec<Vec<f32>> = data.samples().iter().map(|s| s.input.clone()).collect();
+    let harden = HardenConfig {
+        crc_strategy: CrcStrategy::Fused,
+        crc_cadence: 2,
+        ..HardenConfig::default()
+    };
+
+    // Float matrix.
+    let mut seq = HardenedEngine::new(model.clone(), harden).expect("harden");
+    seq.calibrate(&inputs).expect("calibrate");
+    let mut bare = Engine::new(model.clone());
+    let mut expected = Vec::new();
+    for (i, x) in inputs.iter().enumerate() {
+        let c = seq.classify_indexed(i as u64, x).expect("classify");
+        assert!(
+            seq.last_events().is_empty(),
+            "clean weights must stay silent"
+        );
+        let b = bare.classify(x).expect("classify");
+        assert_eq!(
+            (c.class, c.confidence.to_bits()),
+            (b.class, b.confidence.to_bits()),
+            "fused verification perturbed the bare float answer"
+        );
+        expected.push(c);
+    }
+    for workers in [1usize, 2, 4, 8] {
+        let mut fresh = HardenedEngine::new(model.clone(), harden).expect("harden");
+        fresh.calibrate(&inputs).expect("calibrate");
+        let mut pool = HardenedPool::new(&fresh, workers).expect("pool");
+        let out = pool.classify_batch(&inputs).expect("batch");
+        assert_eq!(out.len(), expected.len());
+        for (got, exp) in out.iter().zip(&expected) {
+            assert_eq!(
+                got.classification, *exp,
+                "fused float pool diverged at {workers} workers"
+            );
+            assert!(got.events.is_empty());
+        }
+    }
+
+    // Q16.16 matrix: fixed-point outputs are integers, so equality is
+    // already bitwise.
+    let qmodel = QModel::quantize(&model).expect("quantize");
+    let qinputs: Vec<Vec<Q16_16>> = inputs
+        .iter()
+        .map(|x| x.iter().map(|&v| Q16_16::from_f32(v)).collect())
+        .collect();
+    let mut qseq = HardenedQEngine::new(qmodel.clone(), harden).expect("harden");
+    qseq.calibrate(&qinputs).expect("calibrate");
+    let mut qbare = QEngine::new(qmodel.clone());
+    let mut qexpected = Vec::new();
+    for (i, x) in qinputs.iter().enumerate() {
+        let c = qseq.classify_indexed(i as u64, x).expect("classify");
+        let b = qbare.classify(x).expect("classify");
+        assert_eq!(
+            c.class, b.class,
+            "fused verification perturbed the bare quant answer"
+        );
+        qexpected.push(c);
+    }
+    for workers in [1usize, 2, 4, 8] {
+        let mut fresh = HardenedQEngine::new(qmodel.clone(), harden).expect("harden");
+        fresh.calibrate(&qinputs).expect("calibrate");
+        let mut pool = HardenedQPool::new(&fresh, workers).expect("pool");
+        let out = pool.classify_batch(&qinputs).expect("batch");
+        assert_eq!(out.len(), qexpected.len());
+        for (got, exp) in out.iter().zip(&qexpected) {
+            assert_eq!(
+                got.classification, *exp,
+                "fused quant pool diverged at {workers} workers"
+            );
+            assert!(got.events.is_empty());
+        }
+    }
+}
+
 /// `SafePipeline::decide_batch` must append evidence records in input
 /// order, and its decisions must match one-at-a-time `decide` calls.
 #[test]
