@@ -1,0 +1,189 @@
+//! Experiment E17: adversarial scenario search (falsification).
+//!
+//! Three questions, in certification order:
+//!
+//! 1. **Search efficiency** — how many pipeline evaluations does the
+//!    falsifier spend before the first counterexample in each scenario
+//!    domain, and how much of the search budget lands in violating
+//!    regions after refinement?
+//! 2. **Region geometry** — what fraction of each scenario space does
+//!    the reported counterexample region cover? (A tiny region means a
+//!    needle the fixed-dataset experiments would have missed.)
+//! 3. **Evaluation economics** — what does one falsification evaluation
+//!    cost: a single-shot classification run vs a full temporal
+//!    trajectory episode where steering errors compound for 40 steps?
+//!
+//! Besides criterion timings, this bench appends `e17_falsify/stats/*`
+//! JSON lines (iterations to first counterexample, violation counts and
+//! margins, region-volume fractions) to `SAFEX_BENCH_JSON` for
+//! `BENCH_pr9.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safex_falsify::{
+    BackendKind, ClassificationRunner, ConfidentMisclass, CounterexampleCell, Domain, Falsifier,
+    FalsifyConfig, FalsifyReport, ParamDomain, ScenarioRunner, Specification, SupervisorMisGate,
+    TemporalErrorBound, TrajectoryRunner,
+};
+
+const TRAIN_SEED: u64 = 11;
+
+/// Appends one `{"id":..., "value":...}` stat line next to the criterion
+/// timing lines, so `scripts/bench.sh` collects experiment numbers and
+/// timings in the same artefact.
+fn emit_stat(id: &str, value: f64) {
+    use std::io::Write;
+    if let Some(path) = std::env::var_os("SAFEX_BENCH_JSON") {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{{\"id\":\"{id}\",\"value\":{value}}}");
+            }
+            Err(e) => eprintln!("warning: could not append to {path:?}: {e}"),
+        }
+    }
+}
+
+fn search_config() -> FalsifyConfig {
+    FalsifyConfig {
+        workers: 4,
+        ..FalsifyConfig::default()
+    }
+}
+
+fn class_specs() -> Vec<Box<dyn Specification>> {
+    vec![
+        Box::new(SupervisorMisGate),
+        Box::new(ConfidentMisclass::new(0.7).expect("floor")),
+    ]
+}
+
+/// Fraction of the scenario space's volume the counterexample region
+/// covers: the product over dimensions of the violating interval's share
+/// of its domain (discrete dimensions count levels inclusively).
+fn volume_fraction(runner: &dyn ScenarioRunner, cell: &CounterexampleCell) -> f64 {
+    runner
+        .space()
+        .params()
+        .iter()
+        .zip(&cell.region)
+        .map(|(param, range)| match param.domain {
+            ParamDomain::Continuous { lo, hi } => (range.hi - range.lo) / (hi - lo),
+            ParamDomain::Discrete { levels } => (range.hi - range.lo + 1.0) / levels as f64,
+        })
+        .product()
+}
+
+fn report_domain(label: &str, runner: &dyn ScenarioRunner, report: &FalsifyReport, expect: &str) {
+    let first = report.first_violation_eval.map_or(-1.0, |e| e as f64);
+    println!(
+        "  {label}: {} evaluations, first counterexample at eval {first}",
+        report.evaluations
+    );
+    emit_stat(
+        &format!("e17_falsify/stats/{label}/evaluations"),
+        report.evaluations as f64,
+    );
+    emit_stat(
+        &format!("e17_falsify/stats/{label}/first_violation_eval"),
+        first,
+    );
+    let cell = report
+        .cell(expect)
+        .unwrap_or_else(|| panic!("{label} must falsify {expect:?}"));
+    let volume = volume_fraction(runner, cell);
+    println!(
+        "    {}: {} violations, worst margin {:.3}, region volume {:.4} of the space",
+        cell.spec, cell.violations, cell.margin, volume
+    );
+    emit_stat(
+        &format!("e17_falsify/stats/{label}/violations"),
+        cell.violations as f64,
+    );
+    emit_stat(
+        &format!("e17_falsify/stats/{label}/worst_margin"),
+        cell.margin,
+    );
+    emit_stat(
+        &format!("e17_falsify/stats/{label}/region_volume_frac"),
+        volume,
+    );
+}
+
+fn print_tables() {
+    println!("\n=== E17: falsification — counterexamples per scenario domain ===");
+    let driver = Falsifier::new(search_config()).expect("config");
+    for (label, domain) in [
+        ("automotive", Domain::Automotive),
+        ("railway", Domain::Railway),
+        ("space", Domain::Space),
+    ] {
+        let runner =
+            ClassificationRunner::new(domain, BackendKind::F32, TRAIN_SEED).expect("runner");
+        let report = driver.falsify(&runner, &class_specs()).expect("search");
+        report_domain(label, &runner, &report, "confident_misclass");
+    }
+
+    let runner = TrajectoryRunner::new(BackendKind::F32, TRAIN_SEED).expect("runner");
+    let specs: Vec<Box<dyn Specification>> = vec![
+        Box::new(SupervisorMisGate),
+        Box::new(TemporalErrorBound::new(3.0).expect("bound")),
+    ];
+    let report = driver.falsify(&runner, &specs).expect("search");
+    report_domain("trajectory", &runner, &report, "temporal_error_bound");
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+
+    let auto = ClassificationRunner::new(Domain::Automotive, BackendKind::F32, TRAIN_SEED)
+        .expect("runner");
+    let taxi = TrajectoryRunner::new(BackendKind::F32, TRAIN_SEED).expect("runner");
+    let auto_point = auto.space().grid(1).expect("grid").remove(0);
+    let taxi_point = taxi.space().grid(1).expect("grid").remove(0);
+
+    let mut group = c.benchmark_group("e17_falsify");
+    group.sample_size(10);
+    // One single-shot classification evaluation: dataset synthesis, shift
+    // application, and the supervised pipeline over every sample.
+    group.bench_function("classification_eval", |b| {
+        b.iter(|| {
+            let outcome = auto.run(&auto_point, 7).expect("eval");
+            std::hint::black_box(outcome.witness_digest)
+        })
+    });
+    // One temporal episode: 40 closed-loop steps where each frame is
+    // rendered from the cte the model's previous decision produced.
+    group.bench_function("trajectory_episode", |b| {
+        b.iter(|| {
+            let outcome = taxi.run(&taxi_point, 7).expect("eval");
+            std::hint::black_box(outcome.witness_digest)
+        })
+    });
+    // A bounded end-to-end search: coarse grid plus one refinement round
+    // on the trajectory task.
+    let small = Falsifier::new(FalsifyConfig {
+        grid: 2,
+        rounds: 1,
+        samples_per_round: 8,
+        elite: 3,
+        workers: 4,
+        ..FalsifyConfig::default()
+    })
+    .expect("config");
+    let specs: Vec<Box<dyn Specification>> =
+        vec![Box::new(TemporalErrorBound::new(3.0).expect("bound"))];
+    group.bench_function("search_trajectory_grid2", |b| {
+        b.iter(|| {
+            let report = small.falsify(&taxi, &specs).expect("search");
+            std::hint::black_box(report.evaluations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -407,10 +407,14 @@ struct CellSpec {
     cell_seed: u64,
 }
 
-/// Splits `n` cells into `workers` contiguous chunk lengths that differ
-/// by at most one (earlier chunks take the remainder) — the same static
-/// partitioning `safex_nn`'s engine pools use.
-fn chunk_lens(n: usize, workers: usize) -> Vec<usize> {
+/// Splits `n` work items into `workers` contiguous chunk lengths that
+/// differ by at most one (earlier chunks take the remainder) — the same
+/// static partitioning `safex_nn`'s engine pools use. Public so other
+/// deterministic sweep drivers (`safex-falsify`) partition identically:
+/// as long as each item's seed is fixed *before* partitioning, the chunk
+/// layout cannot influence any RNG stream and results stitched in chunk
+/// order are byte-identical for any worker count.
+pub fn chunk_lens(n: usize, workers: usize) -> Vec<usize> {
     let base = n / workers;
     let rem = n % workers;
     (0..workers)

@@ -49,7 +49,8 @@ pub mod pipeline;
 pub mod report;
 
 pub use campaign::{
-    CampaignConfig, CampaignPattern, CampaignReport, CellReport, FaultClass, InputSupervision,
+    chunk_lens, CampaignConfig, CampaignPattern, CampaignReport, CellReport, FaultClass,
+    InputSupervision,
 };
 pub use error::CoreError;
 pub use health::{

@@ -1,0 +1,90 @@
+//! Bounded falsification smoke check, driven by `scripts/check.sh
+//! --falsify-smoke`.
+//!
+//! Runs the default search budget against the automotive classification
+//! workload and the temporal trajectory task and exits non-zero unless
+//! both rediscover a seeded violation region. This is the cheap
+//! end-to-end guard that the search driver, runners, and specification
+//! catalogue still compose: a few hundred pipeline evaluations, a couple
+//! of seconds in release.
+
+use safex_falsify::{
+    BackendKind, ClassificationRunner, ConfidentMisclass, Domain, Falsifier, FalsifyConfig,
+    FalsifyReport, ScenarioRunner, Specification, SupervisorMisGate, TemporalErrorBound,
+};
+
+fn summarize(label: &str, report: &FalsifyReport) {
+    println!(
+        "{label}: {} evaluations, first violation at {:?}",
+        report.evaluations, report.first_violation_eval
+    );
+    for cell in &report.cells {
+        let region: Vec<String> = cell
+            .region
+            .iter()
+            .map(|r| format!("{} in [{:.3}, {:.3}]", r.name, r.lo, r.hi))
+            .collect();
+        println!(
+            "  {}: {} violations, worst margin {:.3}, region {{{}}}",
+            cell.spec,
+            cell.violations,
+            cell.margin,
+            region.join(", ")
+        );
+    }
+}
+
+fn search(
+    label: &str,
+    runner: &dyn ScenarioRunner,
+    specs: &[Box<dyn Specification>],
+    expect: &str,
+) -> Result<bool, safex_falsify::FalsifyError> {
+    let report = Falsifier::new(FalsifyConfig {
+        workers: 4,
+        ..FalsifyConfig::default()
+    })?
+    .falsify(runner, specs)?;
+    summarize(label, &report);
+    let found = report.cell(expect).is_some();
+    if !found {
+        println!("  MISSING expected counterexample for {expect:?}");
+    }
+    Ok(found)
+}
+
+fn main() -> Result<(), safex_falsify::FalsifyError> {
+    let train_seed = 11;
+
+    let automotive = ClassificationRunner::new(Domain::Automotive, BackendKind::F32, train_seed)?;
+    let class_specs: Vec<Box<dyn Specification>> = vec![
+        Box::new(SupervisorMisGate),
+        Box::new(ConfidentMisclass::new(0.7)?),
+    ];
+    let auto_ok = search(
+        "automotive",
+        &automotive,
+        &class_specs,
+        "confident_misclass",
+    )?;
+
+    let trajectory = safex_falsify::TrajectoryRunner::new(BackendKind::F32, train_seed)?;
+    let traj_specs: Vec<Box<dyn Specification>> = vec![
+        Box::new(SupervisorMisGate),
+        Box::new(TemporalErrorBound::new(3.0)?),
+    ];
+    let traj_ok = search(
+        "trajectory",
+        &trajectory,
+        &traj_specs,
+        "temporal_error_bound",
+    )?;
+
+    if auto_ok && traj_ok {
+        println!("falsify smoke: OK");
+        Ok(())
+    } else {
+        println!("falsify smoke: FAILED");
+        std::process::exit(1);
+    }
+}

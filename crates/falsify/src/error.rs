@@ -1,0 +1,106 @@
+//! Error type for the falsification engine.
+
+use std::error::Error;
+use std::fmt;
+
+use safex_core::CoreError;
+use safex_nn::NnError;
+use safex_patterns::PatternError;
+use safex_scenarios::ScenarioError;
+use safex_supervision::SupervisionError;
+
+/// Errors produced by scenario spaces, runners, and the search driver.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FalsifyError {
+    /// A search configuration field is invalid; the message names it.
+    BadConfig(String),
+    /// A scenario space or point is malformed.
+    BadSpace(String),
+    /// Scenario generation failed.
+    Scenario(ScenarioError),
+    /// Model construction, training, or inference failed.
+    Nn(NnError),
+    /// Safety-pattern construction failed.
+    Pattern(PatternError),
+    /// Pipeline construction or decision failed.
+    Core(CoreError),
+    /// Input supervision failed.
+    Supervision(SupervisionError),
+}
+
+impl fmt::Display for FalsifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FalsifyError::BadConfig(msg) => write!(f, "invalid falsifier config: {msg}"),
+            FalsifyError::BadSpace(msg) => write!(f, "invalid scenario space: {msg}"),
+            FalsifyError::Scenario(e) => write!(f, "scenario generation failed: {e}"),
+            FalsifyError::Nn(e) => write!(f, "model evaluation failed: {e}"),
+            FalsifyError::Pattern(e) => write!(f, "pattern construction failed: {e}"),
+            FalsifyError::Core(e) => write!(f, "pipeline failed: {e}"),
+            FalsifyError::Supervision(e) => write!(f, "supervision failed: {e}"),
+        }
+    }
+}
+
+impl Error for FalsifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FalsifyError::BadConfig(_) | FalsifyError::BadSpace(_) => None,
+            FalsifyError::Scenario(e) => Some(e),
+            FalsifyError::Nn(e) => Some(e),
+            FalsifyError::Pattern(e) => Some(e),
+            FalsifyError::Core(e) => Some(e),
+            FalsifyError::Supervision(e) => Some(e),
+        }
+    }
+}
+
+impl From<ScenarioError> for FalsifyError {
+    fn from(e: ScenarioError) -> Self {
+        FalsifyError::Scenario(e)
+    }
+}
+
+impl From<NnError> for FalsifyError {
+    fn from(e: NnError) -> Self {
+        FalsifyError::Nn(e)
+    }
+}
+
+impl From<PatternError> for FalsifyError {
+    fn from(e: PatternError) -> Self {
+        FalsifyError::Pattern(e)
+    }
+}
+
+impl From<CoreError> for FalsifyError {
+    fn from(e: CoreError) -> Self {
+        FalsifyError::Core(e)
+    }
+}
+
+impl From<SupervisionError> for FalsifyError {
+    fn from(e: SupervisionError) -> Self {
+        FalsifyError::Supervision(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_layer() {
+        let e = FalsifyError::BadConfig("workers".into());
+        assert!(e.to_string().contains("workers"));
+        let e = FalsifyError::from(ScenarioError::InvalidConfig("noise".into()));
+        assert!(e.to_string().contains("noise"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FalsifyError>();
+    }
+}

@@ -1,0 +1,63 @@
+#![forbid(unsafe_code)]
+//! # safex-falsify
+//!
+//! Deterministic falsification engine for the SAFEXPLAIN reproduction,
+//! in the spirit of VerifAI's scenario-level verification: instead of
+//! evaluating fixed datasets, it *searches* the scenario generators'
+//! parameter spaces for regions where a real [`safex_core::SafePipeline`]
+//! violates a safety specification.
+//!
+//! The pieces:
+//!
+//! * [`ScenarioSpace`] — named, typed search dimensions (continuous
+//!   intervals and discrete level sets) over generator config fields and
+//!   [`safex_scenarios::shift::Shift`] severities.
+//! * [`Specification`] — a falsifiable property over one scenario run,
+//!   with a signed robustness margin (non-positive = violated). The
+//!   catalogue: [`SupervisorMisGate`], [`PatternDisagreement`],
+//!   [`ConfidentMisclass`], [`TemporalErrorBound`].
+//! * [`ScenarioRunner`] — maps a [`ScenarioPoint`] onto a concrete
+//!   workload and executes it through a fresh pipeline per evaluation:
+//!   [`ClassificationRunner`] for the three single-shot domains,
+//!   [`TrajectoryRunner`] for the temporal taxiing task where steering
+//!   errors compound across an episode.
+//! * [`Falsifier`] — the search driver: coarse grid seeding plus
+//!   cross-entropy-style refinement, every RNG stream keyed by
+//!   `(seed, evaluation index)` before work is partitioned, so the
+//!   [`FalsifyReport`] is byte-identical for any worker count — the same
+//!   contract campaign sweeps and the serve runtime already pin with
+//!   golden digests.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! # fn main() -> Result<(), safex_falsify::FalsifyError> {
+//! use safex_falsify::{
+//!     BackendKind, ClassificationRunner, ConfidentMisclass, Domain, Falsifier, FalsifyConfig,
+//!     Specification,
+//! };
+//!
+//! let runner = ClassificationRunner::new(Domain::Automotive, BackendKind::F32, 11)?;
+//! let specs: Vec<Box<dyn Specification>> = vec![Box::new(ConfidentMisclass::new(0.7)?)];
+//! let report = Falsifier::new(FalsifyConfig::default())?.falsify(&runner, &specs)?;
+//! for cell in &report.cells {
+//!     println!("{}: margin {:.3} over {:?}", cell.spec, cell.margin, cell.region);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod falsifier;
+pub mod runner;
+pub mod space;
+pub mod spec;
+
+pub use error::FalsifyError;
+pub use falsifier::{CounterexampleCell, Falsifier, FalsifyConfig, FalsifyReport, SpecSummary};
+pub use runner::{BackendKind, ClassificationRunner, Domain, ScenarioRunner, TrajectoryRunner};
+pub use space::{ParamDomain, ParamRange, ParamSpec, ScenarioPoint, ScenarioSpace};
+pub use spec::{
+    ConfidentMisclass, PatternDisagreement, RunOutcome, Specification, StepRecord,
+    SupervisorMisGate, TemporalErrorBound, Verdict, ViolationKind,
+};

@@ -1,0 +1,605 @@
+//! Scenario runners: map a [`ScenarioPoint`] onto a concrete workload and
+//! execute it through a real [`SafePipeline`].
+//!
+//! Runners own everything the evaluation needs — a trained model, its
+//! Q16.16 quantisation, and a fitted ODD envelope — and build a *fresh*
+//! pipeline per evaluation so no health-ladder state leaks between
+//! points. Every evaluation is a pure function of `(point, seed)`: the
+//! search driver fixes the seed before partitioning work across threads,
+//! which is the whole determinism argument.
+
+use safex_core::{HealthConfig, HealthMonitor, PipelineBuilder, SafePipeline};
+use safex_nn::model::ModelBuilder;
+use safex_nn::train::{SgdConfig, Trainer};
+use safex_nn::{Engine, HealthEvent, HealthSink, Model, QEngine, QModel};
+use safex_patterns::channel::{ModelChannel, QuantChannel};
+use safex_patterns::pattern::MonitorActuator;
+use safex_patterns::Sil;
+use safex_scenarios::shift::{apply_all, Shift};
+use safex_scenarios::trajectory::{self, EpisodeTrace, TaxiConfig};
+use safex_scenarios::{automotive, railway, space, Dataset};
+use safex_supervision::odd::OddEnvelope;
+use safex_tensor::fixed::Q16_16;
+use safex_tensor::DetRng;
+use safex_trace::{input_digest, Fnv64};
+
+use crate::error::FalsifyError;
+use crate::space::{ParamSpec, ScenarioPoint, ScenarioSpace};
+use crate::spec::{RunOutcome, StepRecord};
+
+/// Which arithmetic backend the pipeline's primary channel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// f32 reference engine.
+    F32,
+    /// Q16.16 fixed-point engine (the diverse replica arithmetic).
+    Q16,
+}
+
+impl BackendKind {
+    /// Stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BackendKind::F32 => "f32",
+            BackendKind::Q16 => "q16_16",
+        }
+    }
+}
+
+/// The single-shot classification domain a runner searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Forward-camera object classification.
+    Automotive,
+    /// Signal-aspect classification.
+    Railway,
+    /// Landing-site terrain classification.
+    Space,
+}
+
+impl Domain {
+    /// Stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Domain::Automotive => "automotive",
+            Domain::Railway => "railway",
+            Domain::Space => "space",
+        }
+    }
+}
+
+/// Executes one scenario evaluation for the search driver.
+///
+/// Implementations must be pure in `(point, seed)`: repeated calls with
+/// the same arguments return the same [`RunOutcome`], and calls may run
+/// concurrently (`Sync`).
+pub trait ScenarioRunner: Send + Sync {
+    /// The parameter space this runner understands.
+    fn space(&self) -> &ScenarioSpace;
+    /// Evaluates one point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, inference, and pipeline failures.
+    fn run(&self, point: &ScenarioPoint, seed: u64) -> Result<RunOutcome, FalsifyError>;
+}
+
+/// Trains the reference MLP the runners evaluate (the same topology the
+/// demo helpers use: `flatten -> dense 48 -> relu -> dense classes ->
+/// softmax`, lr 0.02 for cross-domain stability).
+fn train_classifier(data: &Dataset, epochs: usize, seed: u64) -> Result<Model, FalsifyError> {
+    let mut rng = DetRng::new(seed);
+    let mut model = ModelBuilder::new(data.shape())
+        .flatten()
+        .dense(48, &mut rng)?
+        .relu()
+        .dense(data.classes(), &mut rng)?
+        .softmax()
+        .build()?;
+    let inputs = data.inputs_owned();
+    let labels = data.labels();
+    let mut trainer = Trainer::new(SgdConfig {
+        learning_rate: 0.02,
+        momentum: 0.9,
+        batch_size: 16,
+    })?;
+    for _ in 0..epochs {
+        trainer.train_epoch(&mut model, &inputs, &labels, &mut rng)?;
+    }
+    Ok(model)
+}
+
+/// The pipeline every evaluation runs through: a monitor/actuator pattern
+/// over the chosen backend, a fresh health ladder, and the runner's ODD
+/// envelope feeding supervisor rejections into the sink before each
+/// decision — the same wiring campaign cells use.
+struct EvalPipeline {
+    pipeline: SafePipeline,
+    f32_engine: Engine,
+    q_engine: QEngine,
+}
+
+impl EvalPipeline {
+    fn build(
+        model: &Model,
+        qmodel: &QModel,
+        backend: BackendKind,
+        confidence_floor: f32,
+    ) -> Result<Self, FalsifyError> {
+        let sink = HealthSink::new();
+        let monitor = HealthMonitor::new(HealthConfig::default())?;
+        let builder = PipelineBuilder::new("falsify", Sil::Sil2);
+        let pipeline = match backend {
+            BackendKind::F32 => builder.pattern(MonitorActuator::new(
+                ModelChannel::new("primary_f32", Engine::new(model.clone())),
+                confidence_floor,
+                0,
+            )?),
+            BackendKind::Q16 => builder.pattern(MonitorActuator::new(
+                QuantChannel::new("primary_q16", QEngine::new(qmodel.clone())),
+                confidence_floor,
+                0,
+            )?),
+        }
+        .allow_under_provisioned()
+        .health(monitor, sink)
+        .build()?;
+        Ok(EvalPipeline {
+            pipeline,
+            f32_engine: Engine::new(model.clone()),
+            q_engine: QEngine::new(qmodel.clone()),
+        })
+    }
+
+    /// Runs one input through the pipeline (with the envelope screening
+    /// it first) and records the step.
+    fn step(
+        &mut self,
+        envelope: &OddEnvelope,
+        input: &[f32],
+        true_label: usize,
+    ) -> Result<StepRecord, FalsifyError> {
+        if !envelope.contains(input)? {
+            self.pipeline.report_health(HealthEvent::SupervisorReject {
+                monitor: "odd_envelope",
+            });
+        }
+        let decision = self.pipeline.decide(input)?;
+        let health_events = self.pipeline.last_health_events().len();
+        let (class, confidence, proceeded) = match decision.action {
+            safex_patterns::Action::Proceed { class, confidence } => {
+                (Some(class), confidence, true)
+            }
+            other => (other.class(), 0.0, false),
+        };
+        let f32_class = self.f32_engine.classify(input)?.class;
+        let q_input: Vec<Q16_16> = input.iter().map(|&v| Q16_16::from_f32(v)).collect();
+        let q_class = self.q_engine.classify(&q_input)?.class;
+        Ok(StepRecord {
+            true_label,
+            class,
+            confidence,
+            proceeded,
+            health_events,
+            disagreement: f32_class != q_class,
+            cte: None,
+        })
+    }
+}
+
+/// Falsification runner for the three single-shot classification domains.
+///
+/// The searched knobs per domain:
+///
+/// | domain     | generator knobs            | shift knobs               |
+/// |------------|----------------------------|---------------------------|
+/// | automotive | `noise_std`, `object_level`| `brightness`, `occlusion` |
+/// | railway    | `noise_std`, `signal_level`| `brightness`, `dead_pixels` |
+/// | space      | `noise_std`, `terrain_level`| `contrast`, `occlusion`  |
+///
+/// `occlusion` is discrete (level 0 = none, level `k` = a `k + 1` px
+/// patch); everything else is continuous.
+pub struct ClassificationRunner {
+    domain: Domain,
+    backend: BackendKind,
+    model: Model,
+    qmodel: QModel,
+    envelope: OddEnvelope,
+    space: ScenarioSpace,
+    eval_samples_per_class: usize,
+    confidence_floor: f32,
+}
+
+impl ClassificationRunner {
+    /// Trains the domain's reference classifier on clean data, quantises
+    /// it, and fits the ODD envelope on the training inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, training, and envelope-fitting failures.
+    pub fn new(
+        domain: Domain,
+        backend: BackendKind,
+        train_seed: u64,
+    ) -> Result<Self, FalsifyError> {
+        let mut rng = DetRng::new(train_seed);
+        let data = match domain {
+            Domain::Automotive => automotive::generate(
+                &automotive::AutomotiveConfig {
+                    samples_per_class: 40,
+                    ..Default::default()
+                },
+                &mut rng,
+            )?,
+            Domain::Railway => railway::generate(
+                &railway::RailwayConfig {
+                    samples_per_class: 40,
+                    ..Default::default()
+                },
+                &mut rng,
+            )?,
+            Domain::Space => space::generate(
+                &space::SpaceConfig {
+                    samples_per_class: 40,
+                    ..Default::default()
+                },
+                &mut rng,
+            )?,
+        };
+        let model = train_classifier(&data, 40, train_seed)?;
+        let qmodel = QModel::quantize(&model)?;
+        let envelope = OddEnvelope::fit(&data.inputs_owned(), 0.1, 0.0)?;
+        let space = ScenarioSpace::new(match domain {
+            Domain::Automotive => vec![
+                ParamSpec::continuous("noise_std", 0.0, 0.35),
+                ParamSpec::continuous("object_level", 0.25, 1.0),
+                ParamSpec::continuous("brightness", -0.5, 0.5),
+                ParamSpec::discrete("occlusion", 7),
+            ],
+            Domain::Railway => vec![
+                ParamSpec::continuous("noise_std", 0.0, 0.35),
+                ParamSpec::continuous("signal_level", 0.2, 1.0),
+                ParamSpec::continuous("brightness", -0.5, 0.5),
+                ParamSpec::continuous("dead_pixels", 0.0, 0.35),
+            ],
+            Domain::Space => vec![
+                ParamSpec::continuous("noise_std", 0.0, 0.35),
+                ParamSpec::continuous("terrain_level", 0.1, 0.9),
+                ParamSpec::continuous("contrast", 0.4, 1.6),
+                ParamSpec::discrete("occlusion", 7),
+            ],
+        })?;
+        Ok(ClassificationRunner {
+            domain,
+            backend,
+            model,
+            qmodel,
+            envelope,
+            space,
+            eval_samples_per_class: 2,
+            confidence_floor: 0.4,
+        })
+    }
+
+    /// The domain this runner evaluates.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// The backend the pipeline's primary channel uses.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Materialises the evaluation dataset for a point: generate with the
+    /// point's generator knobs, then apply its shift knobs.
+    fn dataset(&self, point: &ScenarioPoint, rng: &mut DetRng) -> Result<Dataset, FalsifyError> {
+        let noise_std = point.require(&self.space, "noise_std")?;
+        let data = match self.domain {
+            Domain::Automotive => automotive::generate(
+                &automotive::AutomotiveConfig {
+                    samples_per_class: self.eval_samples_per_class,
+                    noise_std,
+                    object_level: point.require(&self.space, "object_level")? as f32,
+                    ..Default::default()
+                },
+                rng,
+            )?,
+            Domain::Railway => railway::generate(
+                &railway::RailwayConfig {
+                    samples_per_class: self.eval_samples_per_class,
+                    noise_std,
+                    signal_level: point.require(&self.space, "signal_level")? as f32,
+                    ..Default::default()
+                },
+                rng,
+            )?,
+            Domain::Space => space::generate(
+                &space::SpaceConfig {
+                    samples_per_class: self.eval_samples_per_class,
+                    noise_std,
+                    terrain_level: point.require(&self.space, "terrain_level")? as f32,
+                    ..Default::default()
+                },
+                rng,
+            )?,
+        };
+        let mut shifts = Vec::new();
+        match self.domain {
+            Domain::Automotive | Domain::Railway => {
+                let b = point.require(&self.space, "brightness")?;
+                if b != 0.0 {
+                    shifts.push(Shift::Brightness(b));
+                }
+            }
+            Domain::Space => {
+                let c = point.require(&self.space, "contrast")?;
+                if c != 1.0 {
+                    shifts.push(Shift::Contrast(c));
+                }
+            }
+        }
+        match self.domain {
+            Domain::Automotive | Domain::Space => {
+                let level = point.require(&self.space, "occlusion")? as usize;
+                if level > 0 {
+                    shifts.push(Shift::Occlusion { size: level + 1 });
+                }
+            }
+            Domain::Railway => {
+                let p = point.require(&self.space, "dead_pixels")?;
+                if p > 0.0 {
+                    shifts.push(Shift::DeadPixels(p));
+                }
+            }
+        }
+        if shifts.is_empty() {
+            Ok(data)
+        } else {
+            Ok(apply_all(&shifts, &data, rng)?)
+        }
+    }
+}
+
+impl ScenarioRunner for ClassificationRunner {
+    fn space(&self) -> &ScenarioSpace {
+        &self.space
+    }
+
+    fn run(&self, point: &ScenarioPoint, seed: u64) -> Result<RunOutcome, FalsifyError> {
+        let mut rng = DetRng::new(seed);
+        let data = self.dataset(point, &mut rng)?;
+        let mut eval = EvalPipeline::build(
+            &self.model,
+            &self.qmodel,
+            self.backend,
+            self.confidence_floor,
+        )?;
+        let mut digest = Fnv64::new();
+        let mut steps = Vec::with_capacity(data.len());
+        for sample in data.samples() {
+            digest.write_u64(input_digest(&sample.input));
+            steps.push(eval.step(&self.envelope, &sample.input, sample.label)?);
+        }
+        Ok(RunOutcome {
+            steps,
+            witness_digest: digest.finish(),
+        })
+    }
+}
+
+/// Falsification runner for the temporal taxiing workload: the searched
+/// knobs are the episode dynamics (`drift`, `disturbance_std`,
+/// `initial_cte`) and the observation quality (`noise_std`); the model's
+/// steering decisions close the loop, so a mis-read frame — or a
+/// conservative fallback that withholds the correction — compounds into
+/// the next frame's cross-track error.
+pub struct TrajectoryRunner {
+    backend: BackendKind,
+    base: TaxiConfig,
+    model: Model,
+    qmodel: QModel,
+    envelope: OddEnvelope,
+    space: ScenarioSpace,
+    confidence_floor: f32,
+}
+
+impl TrajectoryRunner {
+    /// Trains the steering classifier on clean frames and fits the ODD
+    /// envelope on its training inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, training, and envelope-fitting failures.
+    pub fn new(backend: BackendKind, train_seed: u64) -> Result<Self, FalsifyError> {
+        let base = TaxiConfig::default();
+        let mut rng = DetRng::new(train_seed);
+        let data = trajectory::generate(
+            &TaxiConfig {
+                samples_per_class: 60,
+                ..base
+            },
+            &mut rng,
+        )?;
+        let model = train_classifier(&data, 40, train_seed)?;
+        let qmodel = QModel::quantize(&model)?;
+        let envelope = OddEnvelope::fit(&data.inputs_owned(), 0.1, 0.0)?;
+        let space = ScenarioSpace::new(vec![
+            ParamSpec::continuous("drift", -0.15, 0.15),
+            ParamSpec::continuous("disturbance_std", 0.0, 0.2),
+            ParamSpec::continuous("initial_cte", -2.5, 2.5),
+            ParamSpec::continuous("noise_std", 0.0, 0.5),
+        ])?;
+        Ok(TrajectoryRunner {
+            backend,
+            base,
+            model,
+            qmodel,
+            envelope,
+            space,
+            confidence_floor: 0.4,
+        })
+    }
+
+    /// The backend the pipeline's primary channel uses.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The episode configuration a point maps to.
+    pub fn episode_config(&self, point: &ScenarioPoint) -> Result<TaxiConfig, FalsifyError> {
+        Ok(TaxiConfig {
+            drift: point.require(&self.space, "drift")?,
+            disturbance_std: point.require(&self.space, "disturbance_std")?,
+            noise_std: point.require(&self.space, "noise_std")?,
+            ..self.base
+        })
+    }
+
+    fn run_internal(
+        &self,
+        point: &ScenarioPoint,
+        seed: u64,
+    ) -> Result<(RunOutcome, EpisodeTrace), FalsifyError> {
+        let config = self.episode_config(point)?;
+        let initial_cte = point.require(&self.space, "initial_cte")?;
+        let mut rng = DetRng::new(seed);
+        let mut eval = EvalPipeline::build(
+            &self.model,
+            &self.qmodel,
+            self.backend,
+            self.confidence_floor,
+        )?;
+        let mut records: Vec<StepRecord> = Vec::with_capacity(config.steps);
+        let mut failure: Option<FalsifyError> = None;
+        let trace = trajectory::run_episode(
+            &config,
+            initial_cte,
+            |obs, _step| {
+                if failure.is_some() {
+                    // A prior pipeline failure poisons the episode; steer
+                    // nothing and surface the error after the loop.
+                    return None;
+                }
+                // The true label is filled in post-hoc from the cte trace;
+                // 0 here is a placeholder.
+                match eval.step(&self.envelope, obs, 0) {
+                    Ok(record) => {
+                        let action = record.proceeded.then_some(record.class).flatten();
+                        records.push(record);
+                        action
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        None
+                    }
+                }
+            },
+            &mut rng,
+        )?;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        let mut digest = Fnv64::new();
+        for (i, record) in records.iter_mut().enumerate() {
+            record.true_label = trajectory::ideal_action(&config, trace.ctes[i]);
+            record.cte = Some(trace.ctes[i + 1]);
+            digest.write_u64(input_digest(&trace.observations[i]));
+        }
+        Ok((
+            RunOutcome {
+                steps: records,
+                witness_digest: digest.finish(),
+            },
+            trace,
+        ))
+    }
+
+    /// Replays a point's full episode — the hook the serve soak tests use
+    /// to turn a counterexample witness into shaped request traffic.
+    ///
+    /// The same `(point, seed)` pair that produced a [`RunOutcome`] in
+    /// the search reproduces the identical episode here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, inference, and pipeline failures.
+    pub fn episode(&self, point: &ScenarioPoint, seed: u64) -> Result<EpisodeTrace, FalsifyError> {
+        Ok(self.run_internal(point, seed)?.1)
+    }
+}
+
+impl ScenarioRunner for TrajectoryRunner {
+    fn space(&self) -> &ScenarioSpace {
+        &self.space
+    }
+
+    fn run(&self, point: &ScenarioPoint, seed: u64) -> Result<RunOutcome, FalsifyError> {
+        Ok(self.run_internal(point, seed)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid_point(space: &ScenarioSpace) -> ScenarioPoint {
+        ScenarioPoint {
+            values: space
+                .params()
+                .iter()
+                .map(|p| match p.domain {
+                    crate::space::ParamDomain::Continuous { lo, hi } => (lo + hi) / 2.0,
+                    crate::space::ParamDomain::Discrete { .. } => 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn classification_runs_are_pure_in_point_and_seed() {
+        let runner = ClassificationRunner::new(Domain::Automotive, BackendKind::F32, 11).unwrap();
+        let p = mid_point(runner.space());
+        let a = runner.run(&p, 42).unwrap();
+        let b = runner.run(&p, 42).unwrap();
+        assert_eq!(a, b);
+        let c = runner.run(&p, 43).unwrap();
+        assert_ne!(a.witness_digest, c.witness_digest);
+        assert_eq!(a.steps.len(), 8, "4 classes x 2 samples");
+        assert!(a.steps.iter().all(|s| s.cte.is_none()));
+    }
+
+    #[test]
+    fn trajectory_runs_record_compounding_state() {
+        let runner = TrajectoryRunner::new(BackendKind::F32, 11).unwrap();
+        let p = mid_point(runner.space());
+        let run = runner.run(&p, 7).unwrap();
+        assert_eq!(run.steps.len(), TaxiConfig::default().steps);
+        assert!(run.steps.iter().all(|s| s.cte.is_some()));
+        assert!(run.max_abs_cte().is_some());
+        // The replay hook reproduces the searched episode exactly.
+        let trace_a = runner.episode(&p, 7).unwrap();
+        let trace_b = runner.episode(&p, 7).unwrap();
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(trace_a.observations.len(), run.steps.len());
+        assert_eq!(
+            run.steps.last().unwrap().cte.unwrap(),
+            *trace_a.ctes.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn q16_backend_builds_and_runs() {
+        let runner = ClassificationRunner::new(Domain::Space, BackendKind::Q16, 11).unwrap();
+        let p = mid_point(runner.space());
+        let run = runner.run(&p, 1).unwrap();
+        assert_eq!(run.steps.len(), 6, "3 classes x 2 samples");
+    }
+
+    #[test]
+    fn missing_dimensions_are_reported() {
+        let runner = ClassificationRunner::new(Domain::Railway, BackendKind::F32, 11).unwrap();
+        let short = ScenarioPoint { values: vec![0.1] };
+        assert!(runner.run(&short, 0).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Typed scenario parameter spaces.
+//!
+//! A [`ScenarioSpace`] names the knobs a falsification run searches over —
+//! generator config fields (noise level, object intensity, drift) and
+//! [`safex_scenarios::shift::Shift`] severities — each as a continuous
+//! interval or a discrete level set. A [`ScenarioPoint`] is one assignment
+//! of all knobs; the runner maps it onto a concrete generator
+//! configuration. Keeping the space typed and validated up front is what
+//! lets the report describe counterexamples as *regions* ([`ParamRange`])
+//! instead of bare sample lists.
+
+use safex_tensor::DetRng;
+
+use crate::error::FalsifyError;
+
+/// Hard cap on the coarse seeding grid's cross product, so a fat space
+/// cannot silently turn the seeding phase into an exhaustive sweep.
+pub const MAX_GRID_POINTS: usize = 4096;
+
+/// The domain of one named parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamDomain {
+    /// A closed real interval `[lo, hi]`.
+    Continuous {
+        /// Lower bound (finite, `< hi`).
+        lo: f64,
+        /// Upper bound (finite).
+        hi: f64,
+    },
+    /// An enumerated level set `0..levels`; points store the level index.
+    Discrete {
+        /// Number of levels (at least 1).
+        levels: usize,
+    },
+}
+
+impl ParamDomain {
+    /// Interval width (for discrete domains, the index span).
+    pub fn width(&self) -> f64 {
+        match self {
+            ParamDomain::Continuous { lo, hi } => hi - lo,
+            ParamDomain::Discrete { levels } => (levels - 1) as f64,
+        }
+    }
+
+    /// Clamps a raw value into the domain (discrete values round to the
+    /// nearest valid level index).
+    pub fn clamp(&self, value: f64) -> f64 {
+        match self {
+            ParamDomain::Continuous { lo, hi } => value.clamp(*lo, *hi),
+            ParamDomain::Discrete { levels } => value.round().clamp(0.0, (levels - 1) as f64),
+        }
+    }
+}
+
+/// One named, typed search dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Stable name the runner resolves (e.g. `"noise_std"`).
+    pub name: String,
+    /// The values this dimension may take.
+    pub domain: ParamDomain,
+}
+
+impl ParamSpec {
+    /// Creates a continuous dimension.
+    pub fn continuous(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        ParamSpec {
+            name: name.into(),
+            domain: ParamDomain::Continuous { lo, hi },
+        }
+    }
+
+    /// Creates a discrete dimension with `levels` levels.
+    pub fn discrete(name: impl Into<String>, levels: usize) -> Self {
+        ParamSpec {
+            name: name.into(),
+            domain: ParamDomain::Discrete { levels },
+        }
+    }
+}
+
+/// A validated, ordered set of search dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpace {
+    params: Vec<ParamSpec>,
+}
+
+impl ScenarioSpace {
+    /// Creates a space, validating every dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FalsifyError::BadSpace`] for an empty space, duplicate
+    /// names, a non-finite or inverted continuous interval, or a
+    /// zero-level discrete domain.
+    pub fn new(params: Vec<ParamSpec>) -> Result<Self, FalsifyError> {
+        if params.is_empty() {
+            return Err(FalsifyError::BadSpace(
+                "a scenario space needs at least one parameter".into(),
+            ));
+        }
+        for (i, p) in params.iter().enumerate() {
+            if p.name.is_empty() {
+                return Err(FalsifyError::BadSpace(format!("parameter {i} has no name")));
+            }
+            if params[..i].iter().any(|q| q.name == p.name) {
+                return Err(FalsifyError::BadSpace(format!(
+                    "duplicate parameter name {:?}",
+                    p.name
+                )));
+            }
+            match p.domain {
+                ParamDomain::Continuous { lo, hi } => {
+                    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+                        return Err(FalsifyError::BadSpace(format!(
+                            "parameter {:?} needs a finite interval with lo < hi, got [{lo}, {hi}]",
+                            p.name
+                        )));
+                    }
+                }
+                ParamDomain::Discrete { levels } => {
+                    if levels == 0 {
+                        return Err(FalsifyError::BadSpace(format!(
+                            "parameter {:?} needs at least one level",
+                            p.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(ScenarioSpace { params })
+    }
+
+    /// The dimensions, in search order.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Index of a named dimension.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// The coarse seeding lattice: continuous dimensions contribute
+    /// `grid` cell midpoints, discrete dimensions enumerate every level.
+    /// Point order is the row-major cross product over dimensions in
+    /// declaration order — a pure function of `(space, grid)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FalsifyError::BadConfig`] for a zero `grid` or a lattice
+    /// larger than [`MAX_GRID_POINTS`].
+    pub fn grid(&self, grid: usize) -> Result<Vec<ScenarioPoint>, FalsifyError> {
+        if grid == 0 {
+            return Err(FalsifyError::BadConfig(
+                "grid must have at least one point per dimension".into(),
+            ));
+        }
+        let axes: Vec<Vec<f64>> = self
+            .params
+            .iter()
+            .map(|p| match p.domain {
+                ParamDomain::Continuous { lo, hi } => (0..grid)
+                    .map(|i| lo + (i as f64 + 0.5) * (hi - lo) / grid as f64)
+                    .collect(),
+                ParamDomain::Discrete { levels } => (0..levels).map(|l| l as f64).collect(),
+            })
+            .collect();
+        let total: usize = axes.iter().map(Vec::len).product();
+        if total > MAX_GRID_POINTS {
+            return Err(FalsifyError::BadConfig(format!(
+                "seeding grid has {total} points, above the cap of {MAX_GRID_POINTS}; \
+                 reduce grid or the number of discrete levels"
+            )));
+        }
+        let mut points = Vec::with_capacity(total);
+        let mut idx = vec![0usize; axes.len()];
+        loop {
+            points.push(ScenarioPoint {
+                values: idx.iter().zip(&axes).map(|(&i, axis)| axis[i]).collect(),
+            });
+            // Row-major increment: last dimension varies fastest.
+            let mut d = axes.len();
+            loop {
+                if d == 0 {
+                    return Ok(points);
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < axes[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// Draws one uniform point from the space.
+    pub fn sample(&self, rng: &mut DetRng) -> ScenarioPoint {
+        ScenarioPoint {
+            values: self
+                .params
+                .iter()
+                .map(|p| match p.domain {
+                    ParamDomain::Continuous { lo, hi } => rng.range_f64(lo, hi),
+                    ParamDomain::Discrete { levels } => rng.below_usize(levels) as f64,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One assignment of every dimension of a [`ScenarioSpace`] (discrete
+/// dimensions store the level index as `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPoint {
+    /// Values in the space's dimension order.
+    pub values: Vec<f64>,
+}
+
+impl ScenarioPoint {
+    /// Looks a value up by dimension name.
+    pub fn get(&self, space: &ScenarioSpace, name: &str) -> Option<f64> {
+        space
+            .index_of(name)
+            .and_then(|i| self.values.get(i))
+            .copied()
+    }
+
+    /// Like [`ScenarioPoint::get`] but returns a [`FalsifyError::BadSpace`]
+    /// naming the missing dimension — the runner-side accessor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FalsifyError::BadSpace`] when the dimension is absent.
+    pub fn require(&self, space: &ScenarioSpace, name: &str) -> Result<f64, FalsifyError> {
+        self.get(space, name)
+            .ok_or_else(|| FalsifyError::BadSpace(format!("point is missing dimension {name:?}")))
+    }
+}
+
+/// One dimension of a counterexample region: the closed interval the
+/// violating points span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamRange {
+    /// Dimension name.
+    pub name: String,
+    /// Lowest violating value seen.
+    pub lo: f64,
+    /// Highest violating value seen.
+    pub hi: f64,
+}
+
+impl ParamRange {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ScenarioSpace {
+        ScenarioSpace::new(vec![
+            ParamSpec::continuous("noise", 0.0, 0.3),
+            ParamSpec::discrete("occlusion", 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_malformed_spaces() {
+        assert!(ScenarioSpace::new(vec![]).is_err());
+        assert!(ScenarioSpace::new(vec![ParamSpec::continuous("", 0.0, 1.0)]).is_err());
+        assert!(ScenarioSpace::new(vec![ParamSpec::continuous("a", 1.0, 0.0)]).is_err());
+        assert!(ScenarioSpace::new(vec![ParamSpec::continuous("a", 0.0, f64::NAN)]).is_err());
+        assert!(ScenarioSpace::new(vec![ParamSpec::discrete("a", 0)]).is_err());
+        assert!(ScenarioSpace::new(vec![
+            ParamSpec::continuous("a", 0.0, 1.0),
+            ParamSpec::discrete("a", 2),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn grid_is_the_row_major_cross_product() {
+        let pts = space().grid(2).unwrap();
+        // 2 midpoints x 3 levels.
+        assert_eq!(pts.len(), 6);
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
+        assert!(close(pts[0].values[0], 0.075) && pts[0].values[1] == 0.0);
+        assert!(close(pts[1].values[0], 0.075) && pts[1].values[1] == 1.0);
+        assert!(close(pts[5].values[0], 0.225) && pts[5].values[1] == 2.0);
+        assert!(space().grid(0).is_err());
+    }
+
+    #[test]
+    fn grid_size_is_capped() {
+        let s = ScenarioSpace::new(
+            (0..4)
+                .map(|i| ParamSpec::continuous(format!("p{i}"), 0.0, 1.0))
+                .collect(),
+        )
+        .unwrap();
+        assert!(s.grid(9).is_err(), "9^4 = 6561 exceeds the cap");
+        assert_eq!(s.grid(8).unwrap().len(), 4096);
+    }
+
+    #[test]
+    fn lookups_resolve_by_name() {
+        let s = space();
+        let p = ScenarioPoint {
+            values: vec![0.1, 2.0],
+        };
+        assert_eq!(p.get(&s, "noise"), Some(0.1));
+        assert_eq!(p.require(&s, "occlusion").unwrap(), 2.0);
+        assert!(p.require(&s, "missing").is_err());
+    }
+
+    #[test]
+    fn clamping_respects_the_domain() {
+        let c = ParamDomain::Continuous { lo: 0.0, hi: 1.0 };
+        assert_eq!(c.clamp(1.7), 1.0);
+        assert_eq!(c.clamp(-0.2), 0.0);
+        let d = ParamDomain::Discrete { levels: 4 };
+        assert_eq!(d.clamp(2.4), 2.0);
+        assert_eq!(d.clamp(9.0), 3.0);
+        assert_eq!(d.clamp(-1.0), 0.0);
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_domain() {
+        let s = space();
+        let mut rng = DetRng::new(3);
+        for _ in 0..100 {
+            let p = s.sample(&mut rng);
+            assert!((0.0..=0.3).contains(&p.values[0]));
+            assert!([0.0, 1.0, 2.0].contains(&p.values[1]));
+        }
+    }
+}

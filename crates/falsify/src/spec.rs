@@ -1,0 +1,409 @@
+//! Safety specifications judged against a scenario run.
+//!
+//! A [`Specification`] maps the recorded behaviour of one scenario
+//! evaluation ([`RunOutcome`]) to a signed [`Verdict::margin`]:
+//! non-positive means *violated*, and the magnitude grades how badly —
+//! the quantitative robustness value the cross-entropy refinement
+//! minimises, in the spirit of VerifAI's falsification monitors. Margins
+//! are designed to stay informative on the safe side too (an uncertain
+//! but correct decision scores closer to zero than a confident one), so
+//! the search has a gradient toward the violation boundary instead of a
+//! flat plateau.
+
+use crate::error::FalsifyError;
+
+/// The kind of specification violation a verdict reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// The pipeline proceeded on a wrong class with no health evidence:
+    /// the supervisor and the safety net both missed it.
+    SupervisorMisGate,
+    /// The f32 primary and the Q16.16 diverse replica disagreed on more
+    /// decisions than the budget allows.
+    PatternDisagreement,
+    /// The pipeline proceeded on a wrong class above the confidence
+    /// floor — a confidently wrong actuation command.
+    ConfidentMisclass,
+    /// The episode's worst cross-track error exceeded the temporal bound.
+    TemporalErrorBound,
+}
+
+impl ViolationKind {
+    /// Stable tag for reports and digests.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ViolationKind::SupervisorMisGate => "supervisor_mis_gate",
+            ViolationKind::PatternDisagreement => "pattern_disagreement",
+            ViolationKind::ConfidentMisclass => "confident_misclass",
+            ViolationKind::TemporalErrorBound => "temporal_error_bound",
+        }
+    }
+}
+
+/// The outcome of judging one run against one specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// What the specification checks.
+    pub kind: ViolationKind,
+    /// Signed robustness: `<= 0` is a violation, and more negative is
+    /// worse; positive grades the distance to the boundary.
+    pub margin: f64,
+}
+
+impl Verdict {
+    /// Whether this verdict reports a violation.
+    pub fn violated(&self) -> bool {
+        self.margin <= 0.0
+    }
+}
+
+/// One decision step of a scenario run, as the specifications see it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Ground-truth class for this step's input.
+    pub true_label: usize,
+    /// The class the pipeline committed to, if any.
+    pub class: Option<usize>,
+    /// Confidence reported with a proceed (0 for conservative outcomes).
+    pub confidence: f32,
+    /// Whether the pipeline proceeded (vs fallback / safe-stop).
+    pub proceeded: bool,
+    /// Health events attached to this decision (supervisor rejections,
+    /// channel faults, ...).
+    pub health_events: usize,
+    /// Whether the f32 primary and Q16.16 replica chose different classes.
+    pub disagreement: bool,
+    /// Cross-track error *after* this step, for temporal workloads.
+    pub cte: Option<f64>,
+}
+
+/// Everything recorded about one scenario evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Per-decision records, in execution order.
+    pub steps: Vec<StepRecord>,
+    /// FNV-1a digest over every input the run consumed — the witness
+    /// identity a counterexample cell pins.
+    pub witness_digest: u64,
+}
+
+impl RunOutcome {
+    /// The worst cross-track error over the run (temporal workloads).
+    pub fn max_abs_cte(&self) -> Option<f64> {
+        self.steps.iter().filter_map(|s| s.cte).fold(None, |m, c| {
+            Some(m.map_or(c.abs(), |v: f64| v.max(c.abs())))
+        })
+    }
+}
+
+/// A falsifiable safety property over scenario runs.
+pub trait Specification: Send + Sync {
+    /// Stable name for reports.
+    fn name(&self) -> &'static str;
+    /// The violation kind this specification reports.
+    fn kind(&self) -> ViolationKind;
+    /// Judges one run.
+    fn judge(&self, run: &RunOutcome) -> Verdict;
+}
+
+/// Violated when any step proceeds on a wrong class with *zero* health
+/// evidence — the decision left the pipeline looking healthy.
+///
+/// Margin: `-(silent wrong proceeds / steps)` when any exist; otherwise
+/// a strictly positive guidance value that shrinks with the fraction of
+/// wrong (but still gated) steps, so regions where the model is merely
+/// wrong pull the search toward the silent boundary without ever being
+/// mistaken for a violation themselves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SupervisorMisGate;
+
+impl Specification for SupervisorMisGate {
+    fn name(&self) -> &'static str {
+        "supervisor_mis_gate"
+    }
+
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::SupervisorMisGate
+    }
+
+    fn judge(&self, run: &RunOutcome) -> Verdict {
+        let steps = run.steps.len().max(1) as f64;
+        let silent = run
+            .steps
+            .iter()
+            .filter(|s| s.proceeded && s.class != Some(s.true_label) && s.health_events == 0)
+            .count() as f64;
+        let wrong = run
+            .steps
+            .iter()
+            .filter(|s| s.class != Some(s.true_label))
+            .count() as f64;
+        let margin = if silent > 0.0 {
+            -(silent / steps)
+        } else {
+            // Guidance stays in [0.1, 1]: an all-wrong-but-gated run is
+            // *near* the boundary, not on it.
+            0.1 + 0.9 * (1.0 - wrong / steps)
+        };
+        Verdict {
+            kind: self.kind(),
+            margin,
+        }
+    }
+}
+
+/// Violated when the diverse-replica disagreement rate exceeds `budget`.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternDisagreement {
+    /// Tolerated fraction of disagreeing decisions in `[0, 1)`.
+    pub budget: f64,
+}
+
+impl PatternDisagreement {
+    /// Creates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FalsifyError::BadConfig`] for a budget outside `[0, 1)`.
+    pub fn new(budget: f64) -> Result<Self, FalsifyError> {
+        if !(0.0..1.0).contains(&budget) {
+            return Err(FalsifyError::BadConfig(format!(
+                "disagreement budget {budget} outside [0, 1)"
+            )));
+        }
+        Ok(PatternDisagreement { budget })
+    }
+}
+
+impl Specification for PatternDisagreement {
+    fn name(&self) -> &'static str {
+        "pattern_disagreement"
+    }
+
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::PatternDisagreement
+    }
+
+    fn judge(&self, run: &RunOutcome) -> Verdict {
+        let steps = run.steps.len().max(1) as f64;
+        let disagree = run.steps.iter().filter(|s| s.disagreement).count() as f64;
+        Verdict {
+            kind: self.kind(),
+            margin: self.budget - disagree / steps,
+        }
+    }
+}
+
+/// Violated when any proceeded step is wrong at or above the confidence
+/// floor.
+///
+/// Margin: `floor - worst`, where `worst` is the highest risk over
+/// proceeded steps — a wrong step risks its full confidence, a correct
+/// step risks its *uncertainty* (`1 - confidence`), so barely-sure
+/// correct regions rank closer to the boundary than solidly correct ones.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfidentMisclass {
+    /// Confidence at which a wrong proceed becomes a violation, in
+    /// `(0, 1]`.
+    pub floor: f64,
+}
+
+impl ConfidentMisclass {
+    /// Creates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FalsifyError::BadConfig`] for a floor outside `(0, 1]`.
+    pub fn new(floor: f64) -> Result<Self, FalsifyError> {
+        if !(floor.is_finite() && 0.0 < floor && floor <= 1.0) {
+            return Err(FalsifyError::BadConfig(format!(
+                "confidence floor {floor} outside (0, 1]"
+            )));
+        }
+        Ok(ConfidentMisclass { floor })
+    }
+}
+
+impl Specification for ConfidentMisclass {
+    fn name(&self) -> &'static str {
+        "confident_misclass"
+    }
+
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::ConfidentMisclass
+    }
+
+    fn judge(&self, run: &RunOutcome) -> Verdict {
+        let worst = run
+            .steps
+            .iter()
+            .filter(|s| s.proceeded)
+            .map(|s| {
+                if s.class == Some(s.true_label) {
+                    1.0 - f64::from(s.confidence)
+                } else {
+                    f64::from(s.confidence)
+                }
+            })
+            .fold(0.0f64, f64::max);
+        Verdict {
+            kind: self.kind(),
+            margin: self.floor - worst,
+        }
+    }
+}
+
+/// Violated when the episode's worst `|cte|` reaches `bound`.
+///
+/// Margin: `(bound - max |cte|) / bound`, normalised so temporal margins
+/// are comparable with the classification specs'. Runs that record no
+/// cte (single-shot workloads) judge as safely positive.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalErrorBound {
+    /// The excursion that counts as leaving the taxiway.
+    pub bound: f64,
+}
+
+impl TemporalErrorBound {
+    /// Creates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FalsifyError::BadConfig`] for a non-positive bound.
+    pub fn new(bound: f64) -> Result<Self, FalsifyError> {
+        if !(bound.is_finite() && bound > 0.0) {
+            return Err(FalsifyError::BadConfig(format!(
+                "temporal bound {bound} must be positive and finite"
+            )));
+        }
+        Ok(TemporalErrorBound { bound })
+    }
+}
+
+impl Specification for TemporalErrorBound {
+    fn name(&self) -> &'static str {
+        "temporal_error_bound"
+    }
+
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::TemporalErrorBound
+    }
+
+    fn judge(&self, run: &RunOutcome) -> Verdict {
+        let margin = match run.max_abs_cte() {
+            Some(worst) => (self.bound - worst) / self.bound,
+            None => 1.0,
+        };
+        Verdict {
+            kind: self.kind(),
+            margin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(true_label: usize, class: Option<usize>, confidence: f32) -> StepRecord {
+        StepRecord {
+            true_label,
+            class,
+            confidence,
+            proceeded: class.is_some(),
+            health_events: 0,
+            disagreement: false,
+            cte: None,
+        }
+    }
+
+    fn run(steps: Vec<StepRecord>) -> RunOutcome {
+        RunOutcome {
+            steps,
+            witness_digest: 0,
+        }
+    }
+
+    #[test]
+    fn mis_gate_triggers_only_on_silent_wrong_proceeds() {
+        let spec = SupervisorMisGate;
+        // Wrong + proceeded + no health event: violation.
+        let v = spec.judge(&run(vec![step(0, Some(1), 0.9)]));
+        assert!(v.violated());
+        // Wrong but a health event fired: gated, positive margin.
+        let mut gated = step(0, Some(1), 0.9);
+        gated.health_events = 1;
+        assert!(!spec.judge(&run(vec![gated])).violated());
+        // Wrong but the pipeline fell back: no actuation, not a mis-gate.
+        let mut fell_back = step(0, Some(1), 0.9);
+        fell_back.proceeded = false;
+        assert!(!spec.judge(&run(vec![fell_back])).violated());
+        // Wrong-but-caught runs sit closer to the boundary than clean runs.
+        let mut caught = step(0, Some(1), 0.9);
+        caught.health_events = 1;
+        let clean = spec.judge(&run(vec![step(0, Some(0), 0.9)]));
+        let near = spec.judge(&run(vec![caught]));
+        assert!(near.margin < clean.margin);
+    }
+
+    #[test]
+    fn disagreement_margin_is_budget_minus_rate() {
+        let spec = PatternDisagreement::new(0.25).unwrap();
+        let mut a = step(0, Some(0), 0.9);
+        a.disagreement = true;
+        let b = step(0, Some(0), 0.9);
+        let v = spec.judge(&run(vec![a.clone(), b.clone()]));
+        assert!((v.margin - (0.25 - 0.5)).abs() < 1e-12);
+        assert!(v.violated());
+        assert!(!spec.judge(&run(vec![b])).violated());
+        assert!(PatternDisagreement::new(1.0).is_err());
+    }
+
+    #[test]
+    fn confident_misclass_grades_uncertainty() {
+        let spec = ConfidentMisclass::new(0.7).unwrap();
+        // Confidently wrong: violated.
+        assert!(spec.judge(&run(vec![step(0, Some(1), 0.9)])).violated());
+        // Wrong but below the floor: close to the boundary, not violated.
+        let under = spec.judge(&run(vec![step(0, Some(1), 0.6)]));
+        assert!(!under.violated());
+        // Barely-sure correct ranks closer to the boundary than solid.
+        let shaky = spec.judge(&run(vec![step(0, Some(0), 0.55)]));
+        let solid = spec.judge(&run(vec![step(0, Some(0), 0.99)]));
+        assert!(shaky.margin < solid.margin);
+        // A withheld decision cannot violate.
+        let mut held = step(0, None, 0.0);
+        held.proceeded = false;
+        assert!(!spec.judge(&run(vec![held])).violated());
+        assert!(ConfidentMisclass::new(0.0).is_err());
+        assert!(ConfidentMisclass::new(1.5).is_err());
+    }
+
+    #[test]
+    fn temporal_bound_normalises_the_excursion() {
+        let spec = TemporalErrorBound::new(3.0).unwrap();
+        let mut s = step(1, Some(1), 0.9);
+        s.cte = Some(-4.5);
+        assert!(spec.judge(&run(vec![s])).violated());
+        let mut s = step(1, Some(1), 0.9);
+        s.cte = Some(1.5);
+        let v = spec.judge(&run(vec![s]));
+        assert!((v.margin - 0.5).abs() < 1e-12);
+        // No temporal state: safely positive.
+        assert!(!spec.judge(&run(vec![step(1, Some(1), 0.9)])).violated());
+        assert!(TemporalErrorBound::new(0.0).is_err());
+    }
+
+    #[test]
+    fn kinds_have_stable_tags() {
+        for (kind, tag) in [
+            (ViolationKind::SupervisorMisGate, "supervisor_mis_gate"),
+            (ViolationKind::PatternDisagreement, "pattern_disagreement"),
+            (ViolationKind::ConfidentMisclass, "confident_misclass"),
+            (ViolationKind::TemporalErrorBound, "temporal_error_bound"),
+        ] {
+            assert_eq!(kind.tag(), tag);
+        }
+    }
+}

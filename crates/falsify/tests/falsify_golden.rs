@@ -1,0 +1,143 @@
+//! Golden snapshot: the falsification report is byte-identical for any
+//! worker count, for both inference backends, on a classification domain
+//! and on the temporal trajectory task — and its canonical digest is
+//! pinned so a refactor cannot silently shift the counterexamples.
+
+use safex_falsify::{
+    BackendKind, ClassificationRunner, ConfidentMisclass, Domain, Falsifier, FalsifyConfig,
+    FalsifyReport, PatternDisagreement, ScenarioRunner, Specification, SupervisorMisGate,
+    TemporalErrorBound, TrajectoryRunner,
+};
+
+const TRAIN_SEED: u64 = 11;
+
+fn config(workers: usize) -> FalsifyConfig {
+    FalsifyConfig {
+        seed: 0xFA15,
+        grid: 2,
+        rounds: 2,
+        samples_per_round: 12,
+        elite: 4,
+        workers,
+    }
+}
+
+fn class_specs() -> Vec<Box<dyn Specification>> {
+    vec![
+        Box::new(SupervisorMisGate),
+        Box::new(PatternDisagreement::new(0.3).unwrap()),
+        Box::new(ConfidentMisclass::new(0.7).unwrap()),
+    ]
+}
+
+fn trajectory_specs() -> Vec<Box<dyn Specification>> {
+    vec![
+        Box::new(SupervisorMisGate),
+        Box::new(ConfidentMisclass::new(0.7).unwrap()),
+        Box::new(TemporalErrorBound::new(3.0).unwrap()),
+    ]
+}
+
+/// FNV-1a over a canonical little-endian encoding of every report field;
+/// floats hash by bit pattern so the digest is exact, not approximate.
+fn digest(report: &FalsifyReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&report.seed.to_le_bytes());
+    eat(&report.evaluations.to_le_bytes());
+    eat(&report
+        .first_violation_eval
+        .unwrap_or(u64::MAX)
+        .to_le_bytes());
+    for summary in &report.specs {
+        eat(summary.spec.as_bytes());
+        eat(summary.kind.tag().as_bytes());
+        eat(&summary.best_margin.to_bits().to_le_bytes());
+        eat(&summary.violations.to_le_bytes());
+    }
+    for cell in &report.cells {
+        eat(cell.spec.as_bytes());
+        eat(cell.kind.tag().as_bytes());
+        for range in &cell.region {
+            eat(range.name.as_bytes());
+            eat(&range.lo.to_bits().to_le_bytes());
+            eat(&range.hi.to_bits().to_le_bytes());
+        }
+        for value in &cell.witness.values {
+            eat(&value.to_bits().to_le_bytes());
+        }
+        eat(&cell.witness_eval.to_le_bytes());
+        eat(&cell.witness_digest.to_le_bytes());
+        eat(&cell.margin.to_bits().to_le_bytes());
+        eat(&cell.violations.to_le_bytes());
+    }
+    h
+}
+
+fn check_pinned(
+    runner: &dyn ScenarioRunner,
+    specs: &[Box<dyn Specification>],
+    pinned: u64,
+    label: &str,
+) {
+    let reference = Falsifier::new(config(1))
+        .unwrap()
+        .falsify(runner, specs)
+        .unwrap();
+    assert_eq!(
+        digest(&reference),
+        pinned,
+        "golden digest drifted for {label}: got {:#018x}",
+        digest(&reference)
+    );
+    for workers in [2usize, 4, 8] {
+        let parallel = Falsifier::new(config(workers))
+            .unwrap()
+            .falsify(runner, specs)
+            .unwrap();
+        assert_eq!(
+            parallel, reference,
+            "{workers}-worker report diverged from sequential ({label})"
+        );
+        assert_eq!(digest(&parallel), pinned);
+    }
+}
+
+#[test]
+fn classification_report_is_byte_identical_across_workers_and_pinned() {
+    let golden: [(BackendKind, u64); 2] = [
+        (BackendKind::F32, 0xf3a2_6e3f_699f_bffc),
+        (BackendKind::Q16, 0x80a5_0967_b16a_6384),
+    ];
+    for (backend, pinned) in golden {
+        let runner = ClassificationRunner::new(Domain::Automotive, backend, TRAIN_SEED).unwrap();
+        check_pinned(
+            &runner,
+            &class_specs(),
+            pinned,
+            &format!("automotive/{}", backend.tag()),
+        );
+    }
+}
+
+#[test]
+fn trajectory_report_is_byte_identical_across_workers_and_pinned() {
+    let golden: [(BackendKind, u64); 2] = [
+        (BackendKind::F32, 0xa8a9_bbfc_7a12_b042),
+        (BackendKind::Q16, 0xa27c_418e_b13c_715e),
+    ];
+    for (backend, pinned) in golden {
+        let runner = TrajectoryRunner::new(backend, TRAIN_SEED).unwrap();
+        check_pinned(
+            &runner,
+            &trajectory_specs(),
+            pinned,
+            &format!("trajectory/{}", backend.tag()),
+        );
+    }
+}

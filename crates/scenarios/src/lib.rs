@@ -20,6 +20,10 @@
 //!   (noise, brightness, contrast, occlusion, dead pixels) create
 //!   out-of-distribution variants with a known severity knob, which is what
 //!   the supervisor experiments (E1) sweep.
+//! * **Temporal dynamics.** [`trajectory`] adds a closed-loop
+//!   taxiing-style task where a cross-track error compounds across an
+//!   episode under the model's steering decisions — the workload
+//!   `safex-falsify` searches for specification violations.
 //!
 //! All generation is driven by an explicit [`safex_tensor::DetRng`]; a
 //! `(config, seed)` pair identifies a dataset exactly.
@@ -45,6 +49,7 @@ pub mod error;
 pub mod railway;
 pub mod shift;
 pub mod space;
+pub mod trajectory;
 
 pub use dataset::{Dataset, Region, Sample};
 pub use error::ScenarioError;

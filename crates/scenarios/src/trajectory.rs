@@ -1,0 +1,530 @@
+//! Temporal trajectory scenario: aircraft-taxiing-style centerline
+//! tracking where per-step error compounds.
+//!
+//! Unlike the single-shot domains, this workload has *state*: a
+//! cross-track error (cte) evolves over an episode under the model's
+//! steering decisions. The camera frame (`1 x size x size` CHW) shows a
+//! centerline whose horizontal offset encodes the current cte, and the
+//! model classifies the correct steering response:
+//!
+//! | label | class        | ideal when                       |
+//! |-------|--------------|----------------------------------|
+//! | 0     | `steer_left` | cte > deadband (drifted right)   |
+//! | 1     | `straight`   | abs(cte) <= deadband             |
+//! | 2     | `steer_right`| cte < -deadband (drifted left)   |
+//!
+//! Each step the chosen action's correction, a constant drift, and a
+//! Gaussian disturbance are added to the cte, so a wrong (or withheld)
+//! steering decision does not merely cost one frame of accuracy — it
+//! moves the *next* frame further off-distribution, and errors compound
+//! exactly the way Fremont et al.'s TaxiNet falsification study
+//! exercises. The end-to-end safety specification is a bound on
+//! `max |cte|` over the whole episode, which `safex-falsify` searches
+//! against.
+
+use safex_tensor::{DetRng, Shape};
+
+use crate::dataset::{Dataset, Region, Sample};
+use crate::error::ScenarioError;
+
+/// Configuration for the taxiing trajectory task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaxiConfig {
+    /// Square image side in pixels (minimum 12).
+    pub image_size: usize,
+    /// Samples generated per class by [`generate`].
+    pub samples_per_class: usize,
+    /// Episode length in steps for [`run_episode`].
+    pub steps: usize,
+    /// Half-width of the "straight is correct" band in cte units.
+    pub deadband: f64,
+    /// Correction applied by one steer step, in cte units.
+    pub steer_effect: f64,
+    /// Constant per-step drift added to the cte (crosswind / camber).
+    pub drift: f64,
+    /// Standard deviation of the per-step Gaussian disturbance.
+    pub disturbance_std: f64,
+    /// The cte magnitude mapped to the image edge; also the episode
+    /// safety bound falsification specs judge against.
+    pub max_cte: f64,
+    /// Standard deviation of additive Gaussian pixel noise.
+    pub noise_std: f64,
+    /// Background tarmac intensity.
+    pub tarmac_level: f32,
+    /// Centerline intensity.
+    pub line_level: f32,
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        TaxiConfig {
+            image_size: 16,
+            samples_per_class: 50,
+            steps: 40,
+            deadband: 0.3,
+            steer_effect: 0.35,
+            drift: 0.05,
+            disturbance_std: 0.05,
+            max_cte: 3.0,
+            noise_std: 0.05,
+            tarmac_level: 0.15,
+            line_level: 0.9,
+        }
+    }
+}
+
+impl TaxiConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidConfig`] for an image smaller than
+    /// 12 px, zero samples or steps, non-finite dynamics parameters, a
+    /// non-positive steer effect, a negative deadband or noise level, or
+    /// a `max_cte` that does not exceed the deadband.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.image_size < 12 {
+            return Err(ScenarioError::InvalidConfig(
+                "image_size must be at least 12".into(),
+            ));
+        }
+        if self.samples_per_class == 0 {
+            return Err(ScenarioError::InvalidConfig(
+                "samples_per_class must be non-zero".into(),
+            ));
+        }
+        if self.steps == 0 {
+            return Err(ScenarioError::InvalidConfig(
+                "steps must be non-zero".into(),
+            ));
+        }
+        if !self.deadband.is_finite() || self.deadband < 0.0 {
+            return Err(ScenarioError::InvalidConfig(
+                "deadband must be finite and non-negative".into(),
+            ));
+        }
+        if !self.steer_effect.is_finite() || self.steer_effect <= 0.0 {
+            return Err(ScenarioError::InvalidConfig(
+                "steer_effect must be finite and positive".into(),
+            ));
+        }
+        if !self.drift.is_finite() {
+            return Err(ScenarioError::InvalidConfig("drift must be finite".into()));
+        }
+        if !self.disturbance_std.is_finite() || self.disturbance_std < 0.0 {
+            return Err(ScenarioError::InvalidConfig(
+                "disturbance_std must be finite and non-negative".into(),
+            ));
+        }
+        if !self.max_cte.is_finite() || self.max_cte <= self.deadband {
+            return Err(ScenarioError::InvalidConfig(
+                "max_cte must be finite and exceed the deadband".into(),
+            ));
+        }
+        if !self.noise_std.is_finite() || self.noise_std < 0.0 {
+            return Err(ScenarioError::InvalidConfig(
+                "noise_std must be finite and non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Class names in label order.
+pub const CLASS_NAMES: [&str; 3] = ["steer_left", "straight", "steer_right"];
+
+/// The steering class a perfect controller picks at this cte.
+pub fn ideal_action(config: &TaxiConfig, cte: f64) -> usize {
+    if cte > config.deadband {
+        0
+    } else if cte < -config.deadband {
+        2
+    } else {
+        1
+    }
+}
+
+/// The cte correction an action applies (left steers negative).
+pub fn steer_correction(config: &TaxiConfig, action: usize) -> f64 {
+    match action {
+        0 => -config.steer_effect,
+        2 => config.steer_effect,
+        _ => 0.0,
+    }
+}
+
+/// Renders the camera frame for a cte: a 2-wide bright centerline whose
+/// column offset encodes the error, over dim edge stripes marking the
+/// taxiway borders. Pixel noise is drawn from `rng` when configured.
+pub fn render(config: &TaxiConfig, cte: f64, rng: &mut DetRng) -> Vec<f32> {
+    let n = config.image_size;
+    let mut img = vec![config.tarmac_level; n * n];
+
+    // Taxiway edge stripes: dim verticals one pixel in from each border.
+    for y in 0..n {
+        img[y * n + 1] = config.tarmac_level + 0.1;
+        img[y * n + (n - 2)] = config.tarmac_level + 0.1;
+    }
+
+    let x0 = line_column(config, cte);
+    for y in 0..n {
+        // Dashed centerline, matching the automotive lane idiom.
+        if y % 4 != 3 {
+            img[y * n + x0] = config.line_level;
+            img[y * n + x0 + 1] = config.line_level;
+        }
+    }
+
+    if config.noise_std > 0.0 {
+        for p in &mut img {
+            *p = (*p as f64 + rng.gaussian(0.0, config.noise_std)) as f32;
+        }
+    }
+    img
+}
+
+/// Leftmost column of the 2-wide centerline for a cte. A *positive* cte
+/// (vehicle right of the line) shows the line *left* of centre; the
+/// mapping saturates at the image border, modelling a camera that loses
+/// the line past `max_cte`.
+fn line_column(config: &TaxiConfig, cte: f64) -> usize {
+    let n = config.image_size;
+    let half = (n / 2 - 1) as f64;
+    let offset = (-cte / config.max_cte * half).clamp(-half, half);
+    let x = (n as f64 / 2.0 + offset).floor();
+    (x.max(0.0) as usize).min(n - 2)
+}
+
+/// Generates a balanced steering-frame dataset: per class, ctes are drawn
+/// uniformly from that class's ideal region and rendered. The salient
+/// region is the centerline band the decision must attend to.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::InvalidConfig`] if the configuration fails
+/// [`TaxiConfig::validate`].
+pub fn generate(config: &TaxiConfig, rng: &mut DetRng) -> Result<Dataset, ScenarioError> {
+    config.validate()?;
+    let n = config.image_size;
+    let mut samples = Vec::with_capacity(3 * config.samples_per_class);
+    for label in 0..3 {
+        for _ in 0..config.samples_per_class {
+            samples.push(generate_sample(config, label, rng));
+        }
+    }
+    Dataset::new(
+        Shape::chw(1, n, n),
+        3,
+        CLASS_NAMES.iter().map(|s| s.to_string()).collect(),
+        samples,
+    )
+}
+
+/// Generates a single frame whose cte lies in the given class's ideal
+/// region.
+///
+/// # Panics
+///
+/// Panics if `label >= 3` (internal helper contract; [`generate`] only
+/// passes valid labels). Public so downstream crates can synthesise
+/// streams of single frames.
+pub fn generate_sample(config: &TaxiConfig, label: usize, rng: &mut DetRng) -> Sample {
+    assert!(label < 3, "trajectory label out of range");
+    let cte = match label {
+        0 => rng.range_f64(config.deadband, config.max_cte),
+        2 => rng.range_f64(-config.max_cte, -config.deadband),
+        _ => rng.range_f64(-config.deadband, config.deadband),
+    };
+    let input = render(config, cte, rng);
+    let n = config.image_size;
+    let x0 = line_column(config, cte);
+    Sample {
+        input,
+        label,
+        salient: Some(Region::new(0, x0, n, 2).expect("line band is non-empty")),
+    }
+}
+
+/// One completed episode: the cte trace, every rendered observation, and
+/// the action taken at each step (`None` when the controller withheld a
+/// command — a fallback or safe-stop leaves the vehicle uncorrected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeTrace {
+    /// Cross-track error before each step plus the final value
+    /// (`steps + 1` entries).
+    pub ctes: Vec<f64>,
+    /// The frame observed at each step (`steps` entries).
+    pub observations: Vec<Vec<f32>>,
+    /// The action applied at each step (`steps` entries).
+    pub actions: Vec<Option<usize>>,
+}
+
+impl EpisodeTrace {
+    /// The worst excursion over the episode — what the temporal safety
+    /// specification bounds.
+    pub fn max_abs_cte(&self) -> f64 {
+        self.ctes.iter().fold(0.0, |m, c| m.max(c.abs()))
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+/// Runs one closed-loop episode from `initial_cte`: render a frame, ask
+/// the policy for a steering class, apply its correction plus drift and
+/// disturbance, repeat for [`TaxiConfig::steps`].
+///
+/// The policy sees the observation and the step index and returns
+/// `Some(class)` to steer or `None` to withhold actuation (how a
+/// conservative pipeline outcome maps into the loop). All randomness —
+/// disturbances and pixel noise — comes from `rng`, so the episode is a
+/// pure function of `(config, initial_cte, policy, rng)`.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::InvalidConfig`] if the configuration fails
+/// [`TaxiConfig::validate`] or `initial_cte` is not finite.
+pub fn run_episode(
+    config: &TaxiConfig,
+    initial_cte: f64,
+    mut policy: impl FnMut(&[f32], usize) -> Option<usize>,
+    rng: &mut DetRng,
+) -> Result<EpisodeTrace, ScenarioError> {
+    config.validate()?;
+    if !initial_cte.is_finite() {
+        return Err(ScenarioError::InvalidConfig(
+            "initial_cte must be finite".into(),
+        ));
+    }
+    let mut cte = initial_cte;
+    let mut ctes = Vec::with_capacity(config.steps + 1);
+    let mut observations = Vec::with_capacity(config.steps);
+    let mut actions = Vec::with_capacity(config.steps);
+    ctes.push(cte);
+    for step in 0..config.steps {
+        let obs = render(config, cte, rng);
+        let action = policy(&obs, step);
+        let correction = action.map_or(0.0, |a| steer_correction(config, a));
+        let disturbance = if config.disturbance_std > 0.0 {
+            rng.gaussian(0.0, config.disturbance_std)
+        } else {
+            0.0
+        };
+        cte += config.drift + correction + disturbance;
+        observations.push(obs);
+        actions.push(action);
+        ctes.push(cte);
+    }
+    Ok(EpisodeTrace {
+        ctes,
+        observations,
+        actions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_balanced_dataset() {
+        let mut rng = DetRng::new(1);
+        let cfg = TaxiConfig {
+            samples_per_class: 10,
+            ..Default::default()
+        };
+        let d = generate(&cfg, &mut rng).unwrap();
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.classes(), 3);
+        assert_eq!(d.class_counts(), vec![10, 10, 10]);
+        assert_eq!(d.shape().dims(), &[1, 16, 16]);
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = TaxiConfig::default();
+        assert!(ok.validate().is_ok());
+        for bad in [
+            TaxiConfig {
+                image_size: 8,
+                ..ok
+            },
+            TaxiConfig {
+                samples_per_class: 0,
+                ..ok
+            },
+            TaxiConfig { steps: 0, ..ok },
+            TaxiConfig {
+                deadband: -0.1,
+                ..ok
+            },
+            TaxiConfig {
+                steer_effect: 0.0,
+                ..ok
+            },
+            TaxiConfig {
+                drift: f64::NAN,
+                ..ok
+            },
+            TaxiConfig {
+                disturbance_std: -1.0,
+                ..ok
+            },
+            TaxiConfig { max_cte: 0.2, ..ok },
+            TaxiConfig {
+                noise_std: f64::INFINITY,
+                ..ok
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn ideal_action_partitions_the_cte_axis() {
+        let cfg = TaxiConfig::default();
+        assert_eq!(ideal_action(&cfg, 1.0), 0);
+        assert_eq!(ideal_action(&cfg, 0.0), 1);
+        assert_eq!(ideal_action(&cfg, -1.0), 2);
+        // Corrections oppose the error.
+        assert!(steer_correction(&cfg, 0) < 0.0);
+        assert_eq!(steer_correction(&cfg, 1), 0.0);
+        assert!(steer_correction(&cfg, 2) > 0.0);
+    }
+
+    #[test]
+    fn line_position_encodes_cte() {
+        let cfg = TaxiConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let mut rng = DetRng::new(0);
+        let centered = render(&cfg, 0.0, &mut rng);
+        let right_of_line = render(&cfg, 2.0, &mut rng);
+        let left_of_line = render(&cfg, -2.0, &mut rng);
+        let col = |img: &[f32]| {
+            let n = cfg.image_size;
+            (0..n)
+                .max_by(|&a, &b| {
+                    let sum = |x: usize| (0..n).map(|y| img[y * n + x]).sum::<f32>();
+                    sum(a).total_cmp(&sum(b))
+                })
+                .unwrap()
+        };
+        // Positive cte (vehicle right of line) puts the line left of centre.
+        assert!(col(&right_of_line) < col(&centered));
+        assert!(col(&left_of_line) > col(&centered));
+    }
+
+    #[test]
+    fn rendering_saturates_past_max_cte() {
+        let cfg = TaxiConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let mut rng = DetRng::new(0);
+        let at_edge = render(&cfg, cfg.max_cte, &mut rng);
+        let beyond = render(&cfg, cfg.max_cte * 10.0, &mut rng);
+        assert_eq!(at_edge, beyond, "camera loses the line past max_cte");
+    }
+
+    #[test]
+    fn perfect_policy_holds_the_centerline() {
+        let cfg = TaxiConfig {
+            noise_std: 0.0,
+            disturbance_std: 0.0,
+            ..Default::default()
+        };
+        let cfg_ref = cfg;
+        let mut cte_now = 1.0;
+        let trace = run_episode(
+            &cfg,
+            1.0,
+            |_obs, step| {
+                // Oracle policy: steer from the true state (tests the
+                // dynamics, not the renderer).
+                let action = ideal_action(&cfg_ref, cte_now);
+                cte_now += cfg_ref.drift + steer_correction(&cfg_ref, action);
+                let _ = step;
+                Some(action)
+            },
+            &mut DetRng::new(5),
+        )
+        .unwrap();
+        assert!(
+            trace.max_abs_cte() <= 1.0 + cfg.steer_effect,
+            "oracle steering must keep the excursion bounded, got {}",
+            trace.max_abs_cte()
+        );
+        assert!(trace.ctes.last().unwrap().abs() < cfg.deadband + cfg.steer_effect);
+    }
+
+    #[test]
+    fn withheld_actuation_compounds_drift() {
+        let cfg = TaxiConfig {
+            noise_std: 0.0,
+            disturbance_std: 0.0,
+            ..Default::default()
+        };
+        let trace = run_episode(&cfg, 0.0, |_, _| None, &mut DetRng::new(5)).unwrap();
+        let expected = cfg.drift * cfg.steps as f64;
+        assert!(
+            (trace.ctes.last().unwrap() - expected).abs() < 1e-9,
+            "uncorrected drift must integrate linearly"
+        );
+        assert_eq!(trace.steps(), cfg.steps);
+        assert_eq!(trace.ctes.len(), cfg.steps + 1);
+        assert_eq!(trace.observations.len(), cfg.steps);
+    }
+
+    #[test]
+    fn episodes_are_deterministic() {
+        let cfg = TaxiConfig::default();
+        let run = |seed| {
+            run_episode(&cfg, 0.5, |_, step| Some(step % 3), &mut DetRng::new(seed)).unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "a different seed must change the episode");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = TaxiConfig::default();
+        let a = generate(&cfg, &mut DetRng::new(7)).unwrap();
+        let b = generate(&cfg, &mut DetRng::new(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_carry_the_line_band_as_salient() {
+        let mut rng = DetRng::new(3);
+        let cfg = TaxiConfig {
+            noise_std: 0.0,
+            ..Default::default()
+        };
+        let s = generate_sample(&cfg, 0, &mut rng);
+        let r = s.salient.unwrap();
+        assert_eq!(r.w, 2);
+        assert_eq!(r.h, cfg.image_size);
+        let n = cfg.image_size;
+        // The band's top-left pixel is on the (dashed) line.
+        assert_eq!(s.input[r.x], cfg.line_level);
+        let _ = n;
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        generate_sample(&TaxiConfig::default(), 3, &mut DetRng::new(0));
+    }
+
+    #[test]
+    fn bad_episode_inputs_are_rejected() {
+        let cfg = TaxiConfig::default();
+        assert!(run_episode(&cfg, f64::NAN, |_, _| None, &mut DetRng::new(0)).is_err());
+        let bad = TaxiConfig { steps: 0, ..cfg };
+        assert!(run_episode(&bad, 0.0, |_, _| None, &mut DetRng::new(0)).is_err());
+    }
+}

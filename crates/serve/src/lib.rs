@@ -141,4 +141,4 @@ pub use soak::{
     OpsPlan, SoakOutcome, SoakStats, StallOp, SwapEvent, SwapOp, WatchStage, WatchdogConfig,
     WatchdogState,
 };
-pub use traffic::{Arrival, ArrivalTrace, TrafficConfig};
+pub use traffic::{Arrival, ArrivalTrace, TrafficConfig, TrafficShape};

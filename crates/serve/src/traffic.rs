@@ -173,6 +173,93 @@ impl TrafficConfig {
     }
 }
 
+/// A deterministic shape for replaying a recorded payload sequence —
+/// e.g. the observation stream of a falsifier counterexample episode —
+/// as serving load.
+///
+/// Unlike [`TrafficConfig`], nothing is drawn from an RNG and inputs are
+/// not cycled: request `i` carries payload `i` exactly, so a temporal
+/// workload's frame order survives the trip through the server. The
+/// shape only decides *pacing*: requests arrive in bursts of `burst`
+/// sharing one tick, consecutive bursts `gap` ticks apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficShape {
+    /// Tick of the first burst (the trace's earliest arrival).
+    pub start: u64,
+    /// Requests per burst; a whole burst shares one arrival tick.
+    pub burst: usize,
+    /// Gap in ticks between consecutive bursts.
+    pub gap: u64,
+    /// Tier every shaped request carries.
+    pub tier: Tier,
+    /// Relative deadline in ticks (absolute deadline = arrival + this).
+    pub deadline: u64,
+}
+
+impl Default for TrafficShape {
+    fn default() -> Self {
+        TrafficShape {
+            start: 1,
+            burst: 1,
+            gap: 4,
+            tier: Tier::High,
+            deadline: 200,
+        }
+    }
+}
+
+impl TrafficShape {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for a zero burst, gap, or
+    /// deadline.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let bad = |msg: &str| Err(ServeError::BadConfig(msg.into()));
+        if self.burst == 0 {
+            return bad("burst must contain at least one request");
+        }
+        if self.gap == 0 {
+            return bad("burst gap must be at least one tick");
+        }
+        if self.deadline == 0 {
+            return bad("relative deadline must be at least one tick");
+        }
+        Ok(())
+    }
+
+    /// Shapes the payload sequence into a trace: one request per input,
+    /// in order, paced by the burst structure. A pure function of
+    /// `(shape, inputs)` — replaying the same pair reproduces the trace
+    /// byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for invalid parameters or an
+    /// empty payload sequence.
+    pub fn shape(&self, inputs: &[Vec<f32>]) -> Result<ArrivalTrace, ServeError> {
+        self.validate()?;
+        if inputs.is_empty() {
+            return Err(ServeError::BadConfig(
+                "a traffic shape needs payloads to carry".into(),
+            ));
+        }
+        let arrivals = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let at = self.start + (i / self.burst) as u64 * self.gap;
+                Arrival {
+                    at,
+                    request: Request::new(i as u64, input.clone(), self.tier, at + self.deadline),
+                }
+            })
+            .collect();
+        ArrivalTrace::from_arrivals(arrivals)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +306,42 @@ mod tests {
         assert!(ArrivalTrace::from_arrivals(vec![mk(0, 5, 5)]).is_err());
         // Valid.
         assert!(ArrivalTrace::from_arrivals(vec![mk(0, 1, 10), mk(1, 1, 12)]).is_ok());
+    }
+
+    #[test]
+    fn shaping_preserves_payload_order_and_paces_in_bursts() {
+        let payloads: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32]).collect();
+        let shape = TrafficShape {
+            start: 10,
+            burst: 2,
+            gap: 7,
+            ..TrafficShape::default()
+        };
+        let trace = shape.shape(&payloads).unwrap();
+        assert_eq!(trace.len(), 5);
+        for (i, a) in trace.arrivals().iter().enumerate() {
+            assert_eq!(a.request.input, payloads[i], "payload {i} not cycled");
+            assert_eq!(a.at, 10 + (i as u64 / 2) * 7);
+            assert_eq!(a.request.deadline, a.at + shape.deadline);
+            assert_eq!(a.request.tier, shape.tier);
+        }
+        assert_eq!(shape.shape(&payloads).unwrap(), trace, "pure function");
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected() {
+        let base = TrafficShape::default();
+        for bad in [
+            TrafficShape { burst: 0, ..base },
+            TrafficShape { gap: 0, ..base },
+            TrafficShape {
+                deadline: 0,
+                ..base
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+        assert!(base.shape(&[]).is_err(), "empty payloads are rejected");
     }
 
     #[test]

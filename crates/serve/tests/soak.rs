@@ -573,3 +573,81 @@ fn duplicate_members_and_bad_swap_targets_are_typed_errors() {
         Err(ServeError::BadConfig(_))
     ));
 }
+
+/// A falsifier-found counterexample replays as shaped soak traffic: the
+/// witness episode of a temporal-bound violation becomes an ordered
+/// request trace via `TrafficShape`, and two soak runs over it are
+/// byte-identical — adversarial scenario search feeding the serving
+/// evidence chain end to end.
+#[test]
+fn counterexample_replay_is_deterministic_soak_traffic() {
+    use safex_falsify::{
+        BackendKind, Falsifier, FalsifyConfig, Specification, TemporalErrorBound, TrajectoryRunner,
+    };
+    use safex_serve::TrafficShape;
+
+    // Search the trajectory task for an episode that leaves the taxiway.
+    let falsify_config = FalsifyConfig {
+        workers: 2,
+        ..FalsifyConfig::default()
+    };
+    let runner = TrajectoryRunner::new(BackendKind::F32, 11).unwrap();
+    let specs: Vec<Box<dyn Specification>> = vec![Box::new(TemporalErrorBound::new(3.0).unwrap())];
+    let report = Falsifier::new(falsify_config)
+        .unwrap()
+        .falsify(&runner, &specs)
+        .unwrap();
+    let cell = report
+        .cell("temporal_error_bound")
+        .expect("the trajectory task must yield a temporal counterexample");
+
+    // Replay the exact witness episode and lift its observation stream.
+    let episode = runner
+        .episode(&cell.witness, falsify_config.eval_seed(cell.witness_eval))
+        .unwrap();
+    assert!(
+        episode.max_abs_cte() > 3.0,
+        "witness episode must actually violate the bound"
+    );
+    assert!(!episode.observations.is_empty());
+
+    // A server dimensioned for the episode's frames.
+    let mut rng = DetRng::new(0x7A11);
+    let obs_len = episode.observations[0].len();
+    let model = ModelBuilder::new(Shape::vector(obs_len))
+        .dense(12, &mut rng)
+        .unwrap()
+        .relu()
+        .dense(3, &mut rng)
+        .unwrap()
+        .softmax()
+        .build()
+        .unwrap();
+    let engine = hardened(&model, &episode.observations[..8]);
+
+    // Frame order must survive: the shape carries payload i as request i.
+    let shape = TrafficShape {
+        burst: 4,
+        gap: 3,
+        ..TrafficShape::default()
+    };
+    let trace = shape.shape(&episode.observations).unwrap();
+    assert_eq!(trace.len(), episode.observations.len());
+    for (arrival, obs) in trace.arrivals().iter().zip(&episode.observations) {
+        assert_eq!(&arrival.request.input, obs, "payloads must not be cycled");
+    }
+
+    let run = || {
+        Server::new(ServerConfig::default(), three_member_fleet(&engine))
+            .unwrap()
+            .run_soak(&trace, OpsPlan::none(), &mut SimClock)
+            .unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first.report, second.report,
+        "counterexample replay must be byte-identical"
+    );
+    assert_no_silent_drops(&first.report.responses, episode.observations.len());
+}

@@ -11,6 +11,10 @@
 #                                 # real-time pacing with seeded SEU faults,
 #                                 # one atomic hot swap, the watchdog armed,
 #                                 # and a snapshot/restore fidelity check
+#   scripts/check.sh --falsify-smoke # bounded adversarial-search tier: a few
+#                                 # seconds of scenario search that must
+#                                 # rediscover a seeded violation region in
+#                                 # the automotive and trajectory workloads
 #
 # The test modes count the tests the workspace actually ran and fail if
 # the total drops below the floor recorded in scripts/test_baseline —
@@ -29,6 +33,13 @@ if [[ "${1:-}" == "--soak-smoke" ]]; then
     echo "==> cargo run --release -p safex-serve --example soak_smoke"
     cargo run --release -p safex-serve --example soak_smoke
     echo "Soak smoke passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--falsify-smoke" ]]; then
+    echo "==> cargo run --release -p safex-falsify --example falsify_smoke"
+    cargo run --release -p safex-falsify --example falsify_smoke
+    echo "Falsify smoke passed."
     exit 0
 fi
 
