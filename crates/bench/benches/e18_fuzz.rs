@@ -1,0 +1,143 @@
+//! Experiment E18: structure-aware fuzzing & differential oracles.
+//!
+//! Two questions, in CI-economics order:
+//!
+//! 1. **Smoke-tier cost** — what does the bounded `--fuzz-smoke` gate
+//!    cost end to end (wall time for the full default budget across all
+//!    surfaces), and how is that budget split between the byte decoders,
+//!    the state machines, and the differential oracles?
+//! 2. **Per-case economics** — how expensive is one fuzzing case on each
+//!    surface: a typed mutation plus a fail-closed decode probe vs a
+//!    whole admission-queue command sequence checked against the
+//!    reference model?
+//!
+//! Besides criterion timings, this bench runs one full-budget smoke
+//! (scaled down under `SAFEX_BENCH_QUICK`) and appends
+//! `e18_fuzz/stats/*` JSON lines — wall time, total and per-surface
+//! case counts, finding count — to `SAFEX_BENCH_JSON` for
+//! `BENCH_pr10.json`.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use safex_fuzz::{
+    fuzz_queue, gen, mutate, probe_model, probe_snapshot, run_smoke, ContainerLayout, SmokeConfig,
+};
+use safex_tensor::DetRng;
+
+/// Appends one `{"id":..., "value":...}` stat line next to the criterion
+/// timing lines, so `scripts/bench.sh` collects experiment numbers and
+/// timings in the same artefact.
+fn emit_stat(id: &str, value: f64) {
+    use std::io::Write;
+    if let Some(path) = std::env::var_os("SAFEX_BENCH_JSON") {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{{\"id\":\"{id}\",\"value\":{value}}}");
+            }
+            Err(e) => eprintln!("warning: could not append to {path:?}: {e}"),
+        }
+    }
+}
+
+fn quick() -> bool {
+    std::env::var_os("SAFEX_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+const FRAMED: ContainerLayout = ContainerLayout {
+    payload_start: 16,
+    length_field: Some(8),
+    crc_trailer: true,
+};
+
+/// One full smoke run at the budget the `--fuzz-smoke` gate uses (a
+/// proportionally scaled-down budget in quick mode), timed wall to wall.
+fn report_smoke() {
+    let config = if quick() {
+        SmokeConfig::default().scaled_to(1_500)
+    } else {
+        SmokeConfig::default()
+    };
+    let started = Instant::now();
+    let report = run_smoke(&config, true);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    println!("\n=== E18: fuzz smoke — cases per surface, one full budget ===");
+    for (surface, cases) in &report.cases {
+        println!("  {surface}: {cases} cases");
+        emit_stat(&format!("e18_fuzz/stats/cases/{surface}"), *cases as f64);
+    }
+    println!(
+        "  total: {} cases, {} findings, {wall_ms:.1} ms wall",
+        report.total_cases(),
+        report.findings.len()
+    );
+    emit_stat("e18_fuzz/stats/smoke_wall_ms", wall_ms);
+    emit_stat("e18_fuzz/stats/smoke_cases", report.total_cases() as f64);
+    emit_stat(
+        "e18_fuzz/stats/smoke_findings",
+        report.findings.len() as f64,
+    );
+    assert!(
+        report.findings.is_empty(),
+        "fuzz smoke found regressions during bench: {:?}",
+        report.findings
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    // The probes intentionally trip panics to classify them; their
+    // backtraces would drown the timing output.
+    std::panic::set_hook(Box::new(|_| {}));
+    report_smoke();
+
+    // Per-case economics on the byte surfaces: one typed mutation plus
+    // one fail-closed probe, over the grammar-aware base pool.
+    let snapshot_base = gen::snapshot_bytes(0);
+    let snapshot_other = gen::snapshot_bytes(1);
+    let model_base = gen::model_bytes(0);
+    let model_other = gen::model_bytes(3);
+
+    let mut seed = 0u64;
+    c.bench_function("e18_fuzz/mutate_probe_snapshot", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut rng = DetRng::new(seed);
+            let (mutated, _) = mutate(&snapshot_base, &snapshot_other, FRAMED, &mut rng);
+            black_box(probe_snapshot(&mutated))
+        })
+    });
+
+    let mut seed = 0u64;
+    c.bench_function("e18_fuzz/mutate_probe_model", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut rng = DetRng::new(seed);
+            let (mutated, _) = mutate(
+                &model_base,
+                &model_other,
+                ContainerLayout::opaque(),
+                &mut rng,
+            );
+            black_box(probe_model(&mutated))
+        })
+    });
+
+    // One whole admission-queue command sequence, mirrored against the
+    // reference model after every operation.
+    let mut seed = 0u64;
+    c.bench_function("e18_fuzz/queue_sequence", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(fuzz_queue(seed, 1))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -418,11 +418,61 @@ impl HealthMonitor {
             }
             prev = t.to;
         }
-        if ladder.time_in.iter().sum::<u64>() > ladder.decisions {
-            return bad("time-in-state counters exceed the decision count".into());
+        if ladder.time_in.iter().sum::<u64>() != ladder.decisions {
+            return bad(format!(
+                "time-in-state counters sum to {}, expected the decision count {}",
+                ladder.time_in.iter().sum::<u64>(),
+                ladder.decisions
+            ));
         }
         if u64::from(ladder.clean_streak) > ladder.decisions {
             return bad("clean streak exceeds the decision count".into());
+        }
+        // Producibility: after d decisions only the low min(d, window)
+        // history bits can be set — each decision shifts exactly one bit
+        // in, and nothing else ever sets one.
+        let lived_bits = ladder.decisions.min(u64::from(config.window)) as u32;
+        if lived_bits < 64
+            && (ladder.history >> lived_bits != 0 || ladder.warn_history >> lived_bits != 0)
+        {
+            return bad(format!(
+                "history bits set beyond the {} decisions stepped",
+                ladder.decisions
+            ));
+        }
+        // Producibility: the clean streak counts decisions since the most
+        // recent unhealthy one, and an unhealthy decision both sets
+        // history bit 0 and zeroes the streak — so while any unhealthy
+        // bit remains in the window the streak equals the distance to the
+        // nearest one. (Paths that clear the streak — de-escalation,
+        // `force` — clear the history with it, so `history != 0` always
+        // pins the streak exactly.)
+        if ladder.history != 0 && ladder.clean_streak != ladder.history.trailing_zeros() {
+            return bad(format!(
+                "clean streak {} disagrees with the unhealthy history (last unhealthy {} decisions ago)",
+                ladder.clean_streak,
+                ladder.history.trailing_zeros()
+            ));
+        }
+        // Producibility: a resting state never sits at or above the
+        // threshold that would have moved it — the decision that reached
+        // the threshold transitioned then and there, and de-escalation
+        // clears the window on the way down.
+        let count = ladder.history.count_ones();
+        match ladder.state {
+            HealthState::Nominal if count >= config.degrade_events => {
+                return bad(format!(
+                    "nominal ladder with {count} unhealthy decisions in window (degrades at {})",
+                    config.degrade_events
+                ));
+            }
+            HealthState::Degraded if count >= config.stop_events => {
+                return bad(format!(
+                    "degraded ladder with {count} unhealthy decisions in window (stops at {})",
+                    config.stop_events
+                ));
+            }
+            _ => {}
         }
         Ok(HealthMonitor {
             config,
@@ -895,6 +945,61 @@ mod tests {
         assert!(HealthMonitor::restore(quick(), bad).is_err());
 
         // The untouched export still restores.
+        assert!(HealthMonitor::restore(quick(), good).is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_unproducible_states() {
+        // Found by the structure-aware fuzz harness (safex-fuzz, ladder
+        // surface): the pre-hardening validator accepted exported states
+        // no sequence of verdicts can produce, letting a tampered
+        // snapshot resume a ladder with forged recovery credit.
+        let mut m = monitor(quick());
+        m.step(true);
+        m.step(true); // degraded
+        let good = m.export_state();
+
+        // (a) History bits claiming more decisions than were stepped.
+        let bad_state = LadderState {
+            state: HealthState::Nominal,
+            history: 0b1,
+            warn_history: 0,
+            clean_streak: 0,
+            decisions: 0,
+            time_in: [0, 0, 0],
+            transitions: Vec::new(),
+        };
+        assert!(HealthMonitor::restore(quick(), bad_state).is_err());
+
+        // (b) A clean streak coexisting with an unhealthy bit at the
+        // newest window position — stepping unhealthy always zeroes the
+        // streak, so this pair is forged recovery credit.
+        let mut forged = good.clone();
+        assert_eq!(forged.history & 1, 1, "last decision was unhealthy");
+        forged.clean_streak = 1;
+        forged.time_in = [1, 1, 0];
+        forged.decisions = 2;
+        assert!(HealthMonitor::restore(quick(), forged).is_err());
+
+        // (c) Time-in-state counters that undercount decisions (the old
+        // check only rejected overcounts).
+        let mut skewed = good.clone();
+        skewed.time_in = [0, 0, 0];
+        assert!(HealthMonitor::restore(quick(), skewed).is_err());
+
+        // (d) A resting state at or above its own escalation threshold.
+        let nominal_over = LadderState {
+            state: HealthState::Nominal,
+            history: 0b11,
+            warn_history: 0,
+            clean_streak: 0,
+            decisions: 2,
+            time_in: [2, 0, 0],
+            transitions: Vec::new(),
+        };
+        assert!(HealthMonitor::restore(quick(), nominal_over).is_err());
+
+        // The genuine export still restores after all added checks.
         assert!(HealthMonitor::restore(quick(), good).is_ok());
     }
 

@@ -17,6 +17,9 @@ pub enum FalsifyError {
     BadConfig(String),
     /// A scenario space or point is malformed.
     BadSpace(String),
+    /// A witness file failed structural or semantic validation; nothing
+    /// was decoded.
+    BadWitness(String),
     /// Scenario generation failed.
     Scenario(ScenarioError),
     /// Model construction, training, or inference failed.
@@ -34,6 +37,7 @@ impl fmt::Display for FalsifyError {
         match self {
             FalsifyError::BadConfig(msg) => write!(f, "invalid falsifier config: {msg}"),
             FalsifyError::BadSpace(msg) => write!(f, "invalid scenario space: {msg}"),
+            FalsifyError::BadWitness(msg) => write!(f, "invalid witness file: {msg}"),
             FalsifyError::Scenario(e) => write!(f, "scenario generation failed: {e}"),
             FalsifyError::Nn(e) => write!(f, "model evaluation failed: {e}"),
             FalsifyError::Pattern(e) => write!(f, "pattern construction failed: {e}"),
@@ -46,7 +50,9 @@ impl fmt::Display for FalsifyError {
 impl Error for FalsifyError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            FalsifyError::BadConfig(_) | FalsifyError::BadSpace(_) => None,
+            FalsifyError::BadConfig(_)
+            | FalsifyError::BadSpace(_)
+            | FalsifyError::BadWitness(_) => None,
             FalsifyError::Scenario(e) => Some(e),
             FalsifyError::Nn(e) => Some(e),
             FalsifyError::Pattern(e) => Some(e),

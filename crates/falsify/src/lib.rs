@@ -52,6 +52,7 @@ pub mod falsifier;
 pub mod runner;
 pub mod space;
 pub mod spec;
+pub mod witness;
 
 pub use error::FalsifyError;
 pub use falsifier::{CounterexampleCell, Falsifier, FalsifyConfig, FalsifyReport, SpecSummary};
@@ -61,3 +62,4 @@ pub use spec::{
     ConfidentMisclass, PatternDisagreement, RunOutcome, Specification, StepRecord,
     SupervisorMisGate, TemporalErrorBound, Verdict, ViolationKind,
 };
+pub use witness::{WitnessFile, WITNESS_MAGIC, WITNESS_VERSION};

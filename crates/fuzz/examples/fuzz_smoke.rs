@@ -1,0 +1,56 @@
+//! The `check.sh --fuzz-smoke` entry point: one bounded, seed-printed
+//! smoke run across all five fuzzing surfaces.
+//!
+//! ```text
+//! SAFEX_FUZZ_SEED=0x5afef02220260808 SAFEX_FUZZ_ITERS=12000 \
+//!     cargo run --release -p safex-fuzz --example fuzz_smoke
+//! ```
+//!
+//! Exits nonzero if any surface produced a finding; byte-surface
+//! findings are printed with their minimised reproducer hex, ready to
+//! land in `crates/fuzz/corpus/` as a named regression test.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use safex_fuzz::{run_smoke, SmokeConfig};
+
+fn main() -> ExitCode {
+    let config = SmokeConfig::from_env();
+    println!(
+        "fuzz-smoke seed {:#018x} (override: SAFEX_FUZZ_SEED; scale: SAFEX_FUZZ_ITERS)",
+        config.seed
+    );
+    let start = Instant::now();
+    let report = run_smoke(&config, true);
+    let wall = start.elapsed().as_secs_f64();
+
+    for (surface, cases) in &report.cases {
+        let found = report
+            .findings
+            .iter()
+            .filter(|f| f.surface.starts_with(surface.as_str()))
+            .count();
+        println!("  {surface:<10} {cases:>6} cases  {found} findings");
+    }
+    println!(
+        "fuzz-smoke: {} cases, {} findings, {wall:.2}s wall",
+        report.total_cases(),
+        report.findings.len()
+    );
+
+    if report.findings.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.findings {
+        println!(
+            "FINDING [{}] seed {:#x} case {}: {}",
+            f.surface, f.seed, f.case, f.detail
+        );
+        if let Some(bytes) = &f.reproducer {
+            let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+            println!("  minimised reproducer ({} bytes): {hex}", bytes.len());
+        }
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,79 @@
+//! The crash/divergence corpus: every finding the harness ever made,
+//! minimised and checked in as a named byte file.
+//!
+//! Files live in `crates/fuzz/corpus/` and are named
+//! `<surface>__<slug>.bin`, where `<surface>` is one of `snapshot`,
+//! `model`, or `witness`. The corpus is replayed twice:
+//!
+//! * inside every smoke run ([`crate::runner::run_smoke`]), so a fixed
+//!   bug cannot quietly regress between fuzzing sessions, and
+//! * by `tests/corpus.rs`, so plain `cargo test` pins each finding as a
+//!   permanent named regression test.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// One minimised corpus artefact.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// File stem, e.g. `snapshot__length_overflow`.
+    pub name: String,
+    /// Surface prefix parsed from the name.
+    pub surface: String,
+    /// The minimised reproducer bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The on-disk corpus directory (rooted at this crate's manifest, so it
+/// resolves identically under `cargo test` and `cargo run`).
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every `*.bin` corpus entry, sorted by name so replay order is
+/// deterministic. A missing directory is an empty corpus, not an error.
+pub fn load_corpus() -> Vec<CorpusEntry> {
+    let mut entries = Vec::new();
+    let Ok(dir) = fs::read_dir(corpus_dir()) else {
+        return entries;
+    };
+    for entry in dir.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("bin") {
+            continue;
+        }
+        let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let Some((surface, _)) = name.split_once("__") else {
+            continue;
+        };
+        let Ok(bytes) = fs::read(&path) else {
+            continue;
+        };
+        entries.push(CorpusEntry {
+            name: name.to_string(),
+            surface: surface.to_string(),
+            bytes,
+        });
+    }
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_entries_parse_and_are_nonempty() {
+        for entry in load_corpus() {
+            assert!(
+                ["snapshot", "model", "witness"].contains(&entry.surface.as_str()),
+                "unknown corpus surface in {}",
+                entry.name
+            );
+            assert!(!entry.bytes.is_empty(), "{} is empty", entry.name);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Grammar-aware generators: *valid* instances of every untrusted
+//! container, produced through the real encoders.
+//!
+//! Mutation-based fuzzing is only as good as its seeds. Random bytes die
+//! at the magic check; these generators instead build semantically valid
+//! snapshots (via a real soak run), model blobs (via the real
+//! serializer), and falsifier witnesses, so a mutation lands *inside*
+//! the grammar — past the CRC, into the field validators — where the
+//! interesting bugs live.
+
+use safex_falsify::{CounterexampleCell, ParamRange, ScenarioPoint, ViolationKind, WitnessFile};
+use safex_nn::io::save_model;
+use safex_nn::model::ModelBuilder;
+use safex_nn::{EccConfig, HardenConfig, HardenedEngine, Model};
+use safex_serve::{
+    CacheConfig, Fleet, OpsPlan, PoolBackend, Server, ServerConfig, SimClock, TrafficConfig,
+    WatchdogConfig,
+};
+use safex_tensor::{DetRng, Shape};
+
+/// A small dense classifier plus a calibration set, keyed by `seed`.
+pub fn small_model(seed: u64) -> (Model, Vec<Vec<f32>>) {
+    let mut rng = DetRng::new(seed);
+    let model = ModelBuilder::new(Shape::vector(6))
+        .dense(10, &mut rng)
+        .expect("dense")
+        .relu()
+        .dense(4, &mut rng)
+        .expect("dense")
+        .softmax()
+        .build()
+        .expect("model");
+    let inputs: Vec<Vec<f32>> = (0..16)
+        .map(|_| (0..6).map(|_| rng.next_f32()).collect())
+        .collect();
+    (model, inputs)
+}
+
+fn hardened(model: &Model, inputs: &[Vec<f32>]) -> HardenedEngine {
+    let config = HardenConfig {
+        repair: Some(EccConfig::default()),
+        ..HardenConfig::default()
+    };
+    let mut engine = HardenedEngine::new(model.clone(), config).expect("engine");
+    engine.calibrate(inputs).expect("calibrate");
+    engine
+}
+
+/// Encodes a genuine [`safex_serve::ServerSnapshot`] by running a short
+/// seeded soak with a mid-traffic capture point — live ladders, queue
+/// residue, cache entries, and an evidence chain included, so mutations
+/// reach every payload section.
+pub fn snapshot_bytes(seed: u64) -> Vec<u8> {
+    let (model, inputs) = small_model(seed);
+    let engine = hardened(&model, &inputs);
+    let fleet = Fleet::builder()
+        .register("alpha", PoolBackend::new(&engine, 1).expect("backend"))
+        .register("beta", PoolBackend::new(&engine, 1).expect("backend"))
+        .build()
+        .expect("fleet");
+    let trace = TrafficConfig {
+        seed,
+        requests: 48,
+        mean_interarrival: 3.0,
+        deadline: 400,
+        ..TrafficConfig::default()
+    }
+    .synthesize(&inputs)
+    .expect("trace");
+    let config = ServerConfig::default()
+        .with_cache(CacheConfig::enabled(32))
+        .with_watchdog(WatchdogConfig::enabled(2048))
+        .with_campaign("fuzz-gen");
+    let mut server = Server::new(config, fleet).expect("server");
+    let outcome = server
+        .run_soak(&trace, OpsPlan::none().with_snapshot_at(24), &mut SimClock)
+        .expect("soak");
+    outcome.snapshot.expect("snapshot captured")
+}
+
+/// Serializes a valid model blob; `seed` also picks the architecture so
+/// mutations see every layer tag the format defines.
+pub fn model_bytes(seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    let model = match seed % 3 {
+        0 => small_model(seed).0,
+        1 => ModelBuilder::new(Shape::chw(1, 6, 6))
+            .conv2d(2, 3, 1, 1, &mut rng)
+            .expect("conv")
+            .relu()
+            .maxpool2d(2, 2)
+            .expect("pool")
+            .flatten()
+            .dense(3, &mut rng)
+            .expect("dense")
+            .softmax()
+            .build()
+            .expect("model"),
+        _ => ModelBuilder::new(Shape::vector(5))
+            .dense(8, &mut rng)
+            .expect("dense")
+            .leaky_relu(0.1)
+            .dense(8, &mut rng)
+            .expect("dense")
+            .relu()
+            .dense(2, &mut rng)
+            .expect("dense")
+            .softmax()
+            .build()
+            .expect("model"),
+    };
+    let mut out = Vec::new();
+    save_model(&model, &mut out).expect("serialize");
+    out
+}
+
+/// Encodes a valid falsifier witness file with seeded-but-consistent
+/// fields (regions contain their witness values, the margin is a real
+/// violation).
+pub fn witness_bytes(seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    let kinds = [
+        ViolationKind::SupervisorMisGate,
+        ViolationKind::PatternDisagreement,
+        ViolationKind::ConfidentMisclass,
+        ViolationKind::TemporalErrorBound,
+    ];
+    let dims = 1 + rng.below_usize(4);
+    let names = ["noise_std", "shift", "drift", "initial_cte", "severity"];
+    let mut region = Vec::with_capacity(dims);
+    let mut values = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let lo = rng.next_f64() * 2.0 - 1.0;
+        let hi = lo + rng.next_f64();
+        region.push(ParamRange {
+            name: names[d % names.len()].to_string(),
+            lo,
+            hi,
+        });
+        values.push(lo + (hi - lo) * rng.next_f64());
+    }
+    let cell = CounterexampleCell {
+        spec: format!("spec_{}", seed % 7),
+        kind: kinds[rng.below_usize(kinds.len())],
+        region,
+        witness: ScenarioPoint { values },
+        witness_eval: rng.next_u64() % 10_000,
+        witness_digest: rng.next_u64(),
+        margin: -rng.next_f64(),
+        violations: 1 + rng.next_u64() % 100,
+    };
+    WitnessFile::new(seed, cell).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safex_falsify::WitnessFile;
+    use safex_nn::io::load_model;
+    use safex_serve::ServerSnapshot;
+
+    #[test]
+    fn generated_bases_are_valid_and_deterministic() {
+        let snap = snapshot_bytes(1);
+        assert_eq!(snap, snapshot_bytes(1), "same seed, same bytes");
+        let decoded = ServerSnapshot::decode(&snap).expect("valid snapshot");
+        assert!(!decoded.monitors.is_empty());
+        assert!(!decoded.chain.is_empty());
+
+        for seed in 0..3 {
+            let blob = model_bytes(seed);
+            assert_eq!(blob, model_bytes(seed));
+            load_model(&blob[..]).expect("valid model blob");
+
+            let wit = witness_bytes(seed);
+            assert_eq!(wit, witness_bytes(seed));
+            WitnessFile::decode(&wit).expect("valid witness");
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The bounded smoke orchestrator behind `check.sh --fuzz-smoke`.
+//!
+//! One [`run_smoke`] call drives all five fuzzing surfaces — three byte
+//! decoders, two state machines, plus the differential oracles and a
+//! full corpus replay — from a single master seed, within fixed
+//! per-surface iteration budgets. Everything downstream of the seed is
+//! deterministic, so a finding's coordinates (`surface`, seed, case
+//! index) are a complete reproduction recipe, and the whole run is
+//! byte-reproducible from the one line the smoke tier prints.
+//!
+//! Budgets and seed can be overridden without recompiling:
+//! `SAFEX_FUZZ_SEED` (u64, decimal or 0x-hex) repins the master seed and
+//! `SAFEX_FUZZ_ITERS` rescales every per-surface budget proportionally
+//! toward the requested total case count.
+
+use std::panic;
+
+use safex_tensor::DetRng;
+
+use crate::corpus::load_corpus;
+use crate::diff::fuzz_diff;
+use crate::gen;
+use crate::mutate::{minimize, mutate, ContainerLayout};
+use crate::state::{fuzz_ladder, fuzz_queue};
+use crate::surface::{probe_model, probe_snapshot, probe_witness, ProbeOutcome};
+
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Per-surface iteration budgets plus the master seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SmokeConfig {
+    /// Master seed; every surface derives its streams from it.
+    pub seed: u64,
+    /// Mutated snapshot decodes.
+    pub snapshot_cases: u64,
+    /// Mutated model-blob loads.
+    pub model_cases: u64,
+    /// Mutated witness-file decodes.
+    pub witness_cases: u64,
+    /// Admission-queue command sequences.
+    pub queue_sequences: u64,
+    /// Health-ladder command sequences.
+    pub ladder_sequences: u64,
+    /// Differential-oracle rounds (fresh model seed per round).
+    pub diff_rounds: u64,
+    /// Inputs per oracle per differential round.
+    pub diff_cases: usize,
+}
+
+impl Default for SmokeConfig {
+    fn default() -> Self {
+        SmokeConfig {
+            seed: 0x5AFE_F022_2026_0808,
+            snapshot_cases: 3_000,
+            model_cases: 3_200,
+            witness_cases: 2_400,
+            queue_sequences: 1_600,
+            ladder_sequences: 1_600,
+            diff_rounds: 3,
+            diff_cases: 50,
+        }
+    }
+}
+
+impl SmokeConfig {
+    /// Default budgets, with `SAFEX_FUZZ_SEED` / `SAFEX_FUZZ_ITERS`
+    /// environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut config = SmokeConfig::default();
+        if let Ok(raw) = std::env::var("SAFEX_FUZZ_SEED") {
+            let parsed = raw
+                .strip_prefix("0x")
+                .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16));
+            if let Ok(seed) = parsed {
+                config.seed = seed;
+            }
+        }
+        if let Ok(raw) = std::env::var("SAFEX_FUZZ_ITERS") {
+            if let Ok(target) = raw.parse::<u64>() {
+                config = config.scaled_to(target);
+            }
+        }
+        config
+    }
+
+    /// Rescales every budget proportionally so the nominal total case
+    /// count is roughly `target` (each surface keeps at least one case).
+    pub fn scaled_to(mut self, target: u64) -> Self {
+        let base = SmokeConfig::default().nominal_total();
+        let scale = |v: u64| -> u64 {
+            ((u128::from(v) * u128::from(target) / u128::from(base)) as u64).max(1)
+        };
+        self.snapshot_cases = scale(self.snapshot_cases);
+        self.model_cases = scale(self.model_cases);
+        self.witness_cases = scale(self.witness_cases);
+        self.queue_sequences = scale(self.queue_sequences);
+        self.ladder_sequences = scale(self.ladder_sequences);
+        self.diff_rounds = scale(self.diff_rounds);
+        self
+    }
+
+    /// The planned case count (diff counted per round × oracle input).
+    pub fn nominal_total(&self) -> u64 {
+        self.snapshot_cases
+            + self.model_cases
+            + self.witness_cases
+            + self.queue_sequences
+            + self.ladder_sequences
+            + self.diff_rounds * 4 * self.diff_cases as u64
+    }
+}
+
+/// One finding, in reproducible coordinates.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Surface that produced it.
+    pub surface: String,
+    /// Seed coordinate (master seed for byte surfaces, sequence seed
+    /// for state surfaces, model seed for differential oracles).
+    pub seed: u64,
+    /// Case / operation index within that seed's stream.
+    pub case: u64,
+    /// What went wrong.
+    pub detail: String,
+    /// Minimised reproducer bytes (byte surfaces only) — the artefact
+    /// to check into `crates/fuzz/corpus/` as a named regression test.
+    pub reproducer: Option<Vec<u8>>,
+}
+
+/// Cases run and findings made, per surface and overall.
+#[derive(Debug, Clone, Default)]
+pub struct SmokeReport {
+    /// `(surface, cases run)` in execution order.
+    pub cases: Vec<(String, u64)>,
+    /// Every finding, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl SmokeReport {
+    /// Total cases across all surfaces.
+    pub fn total_cases(&self) -> u64 {
+        self.cases.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// The boxed process panic hook, as `std::panic::take_hook` returns it.
+type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+/// Restores the previous panic hook on drop, so a quiet run cannot
+/// leak its silence past the smoke call even if the runner unwinds.
+struct HookGuard {
+    prev: Option<PanicHook>,
+}
+
+impl HookGuard {
+    fn silence() -> Self {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        HookGuard { prev: Some(prev) }
+    }
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            panic::set_hook(prev);
+        }
+    }
+}
+
+/// One byte-decoding attack surface: its base pool, container layout,
+/// seed salt, and fail-closed probe.
+struct ByteSurface<'a> {
+    name: &'static str,
+    salt: u64,
+    bases: &'a [Vec<u8>],
+    layout: ContainerLayout,
+    probe: fn(&[u8]) -> ProbeOutcome,
+}
+
+fn fuzz_bytes(
+    surface: &ByteSurface<'_>,
+    seed: u64,
+    cases: u64,
+    findings: &mut Vec<Finding>,
+) -> u64 {
+    for case in 0..cases {
+        let mut rng = DetRng::new(seed ^ surface.salt.wrapping_add(case.wrapping_mul(PHI)));
+        let base = &surface.bases[rng.below_usize(surface.bases.len())];
+        let other = &surface.bases[rng.below_usize(surface.bases.len())];
+        let (mutated, mutation) = mutate(base, other, surface.layout, &mut rng);
+        let outcome = (surface.probe)(&mutated);
+        if outcome.is_finding() {
+            let probe = surface.probe;
+            let reproducer = minimize(&mutated, |bytes| probe(bytes).is_finding());
+            findings.push(Finding {
+                surface: surface.name.to_string(),
+                seed,
+                case,
+                detail: format!("{outcome:?} via {}", mutation.tag()),
+                reproducer: Some(reproducer),
+            });
+        }
+    }
+    cases
+}
+
+/// Runs the full smoke: byte surfaces, state machines, differential
+/// oracles, corpus replay. `quiet` silences the process panic hook for
+/// the duration (the probes intentionally trip panics to classify them;
+/// their backtraces are noise, and the typed outcome is the record).
+pub fn run_smoke(config: &SmokeConfig, quiet: bool) -> SmokeReport {
+    let _hook = quiet.then(HookGuard::silence);
+    let mut report = SmokeReport::default();
+
+    // Grammar-aware bases, a handful per surface: snapshots come out of
+    // real soak runs (expensive, so few), blobs and witnesses are cheap.
+    let framed = ContainerLayout {
+        payload_start: 16,
+        length_field: Some(8),
+        crc_trailer: true,
+    };
+    let snapshot_bases: Vec<Vec<u8>> = (0..3).map(gen::snapshot_bytes).collect();
+    let n = fuzz_bytes(
+        &ByteSurface {
+            name: "snapshot",
+            salt: 0x534E_4150,
+            bases: &snapshot_bases,
+            layout: framed,
+            probe: probe_snapshot,
+        },
+        config.seed,
+        config.snapshot_cases,
+        &mut report.findings,
+    );
+    report.cases.push(("snapshot".into(), n));
+
+    let model_bases: Vec<Vec<u8>> = (0..6).map(gen::model_bytes).collect();
+    let n = fuzz_bytes(
+        &ByteSurface {
+            name: "model",
+            salt: 0x4D4F_4445,
+            bases: &model_bases,
+            layout: ContainerLayout::opaque(),
+            probe: probe_model,
+        },
+        config.seed,
+        config.model_cases,
+        &mut report.findings,
+    );
+    report.cases.push(("model".into(), n));
+
+    let witness_bases: Vec<Vec<u8>> = (0..8).map(gen::witness_bytes).collect();
+    let n = fuzz_bytes(
+        &ByteSurface {
+            name: "witness",
+            salt: 0x5749_544E,
+            bases: &witness_bases,
+            layout: framed,
+            probe: probe_witness,
+        },
+        config.seed,
+        config.witness_cases,
+        &mut report.findings,
+    );
+    report.cases.push(("witness".into(), n));
+
+    let (n, found) = fuzz_queue(config.seed, config.queue_sequences);
+    report.findings.extend(found.into_iter().map(|f| Finding {
+        surface: "queue".into(),
+        seed: f.seed,
+        case: f.op as u64,
+        detail: f.invariant,
+        reproducer: None,
+    }));
+    report.cases.push(("queue".into(), n));
+
+    let (n, found) = fuzz_ladder(config.seed, config.ladder_sequences);
+    report.findings.extend(found.into_iter().map(|f| Finding {
+        surface: "ladder".into(),
+        seed: f.seed,
+        case: f.op as u64,
+        detail: f.invariant,
+        reproducer: None,
+    }));
+    report.cases.push(("ladder".into(), n));
+
+    let (n, found) = fuzz_diff(config.seed, config.diff_rounds, config.diff_cases);
+    report.findings.extend(found.into_iter().map(|f| Finding {
+        surface: format!("diff/{}", f.oracle),
+        seed: f.seed,
+        case: f.case as u64,
+        detail: f.detail,
+        reproducer: None,
+    }));
+    report.cases.push(("diff".into(), n));
+
+    // Corpus replay: every past finding must still be handled cleanly.
+    let corpus = load_corpus();
+    for entry in &corpus {
+        let outcome = match entry.surface.as_str() {
+            "snapshot" => probe_snapshot(&entry.bytes),
+            "model" => probe_model(&entry.bytes),
+            "witness" => probe_witness(&entry.bytes),
+            _ => continue,
+        };
+        if outcome.is_finding() {
+            report.findings.push(Finding {
+                surface: format!("corpus/{}", entry.name),
+                seed: config.seed,
+                case: 0,
+                detail: format!("{outcome:?}"),
+                reproducer: Some(entry.bytes.clone()),
+            });
+        }
+    }
+    report.cases.push(("corpus".into(), corpus.len() as u64));
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_smoke_is_clean_and_reproducible() {
+        let config = SmokeConfig {
+            snapshot_cases: 40,
+            model_cases: 40,
+            witness_cases: 40,
+            queue_sequences: 24,
+            ladder_sequences: 24,
+            diff_rounds: 1,
+            diff_cases: 8,
+            ..SmokeConfig::default()
+        };
+        let a = run_smoke(&config, true);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        let b = run_smoke(&config, true);
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.total_cases(), b.total_cases());
+    }
+
+    #[test]
+    fn budget_scaling_keeps_proportions_and_floors() {
+        // The diff surface floors at one full round, so a small target
+        // may overshoot by up to one round's worth of oracle cases.
+        let scaled = SmokeConfig::default().scaled_to(1_000);
+        let ceiling = 1_000 + 4 * scaled.diff_cases as u64;
+        assert!(
+            scaled.nominal_total() <= ceiling,
+            "{}",
+            scaled.nominal_total()
+        );
+        assert!(scaled.snapshot_cases >= 1);
+        assert!(scaled.diff_rounds >= 1);
+        let default_total = SmokeConfig::default().nominal_total();
+        assert!(default_total >= 10_000, "smoke floor: {default_total}");
+    }
+}

@@ -1,0 +1,520 @@
+//! Stateful command-sequence fuzzing for the admission machinery and
+//! the health ladder.
+//!
+//! Byte fuzzing covers what comes *off the wire*; these drivers cover
+//! what happens *after* — arbitrary interleavings of operations against
+//! the [`AdmissionQueue`] + [`BatchPolicy`] + [`FairnessPolicy`] stack
+//! and the [`HealthMonitor`] ladder, each checked against explicit
+//! invariants rather than example-based expectations:
+//!
+//! **Queue:** full-state agreement with an independently written
+//! reference model after every operation, request conservation (nothing
+//! silently dropped: admitted = queued + selected + displaced), bounded
+//! depth, admission-ordered selection output, displacement legality
+//! (victim strictly below the incoming tier, only when full), and
+//! [`BatchPolicy::flush_at`] bounds (never before `free_at` or the
+//! oldest entry, exact on a full batch, never past the linger bound).
+//!
+//! **Ladder:** time-in-state accounting equals the decision count,
+//! transition-log continuity, latched SafeStop under `resume_after = 0`,
+//! and export → restore → lockstep equivalence, including tampered
+//! exports that must fail closed or restore to a state indistinguishable
+//! from a live monitor.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use safex_core::health::{HealthConfig, HealthMonitor, HealthState, HealthVerdict, LadderState};
+use safex_serve::{Admission, AdmissionQueue, BatchPolicy, FairnessPolicy, Pending, Request, Tier};
+use safex_tensor::DetRng;
+
+/// One invariant violation found by a state-machine driver.
+#[derive(Debug, Clone)]
+pub struct StateFinding {
+    /// Which invariant broke.
+    pub invariant: String,
+    /// The sequence seed that reproduces it.
+    pub seed: u64,
+    /// Operation index within the sequence.
+    pub op: usize,
+}
+
+fn tier_of(rng: &mut DetRng) -> Tier {
+    match rng.next_u64() % 3 {
+        0 => Tier::Low,
+        1 => Tier::Medium,
+        _ => Tier::High,
+    }
+}
+
+/// Reference reimplementation of the documented fairness selection:
+/// reserved slots highest tier first (admission order within a tier),
+/// then aged priority with FIFO tie-breaks. Returns chosen indices.
+fn reference_select(
+    items: &[Pending],
+    n: usize,
+    now: u64,
+    fairness: &FairnessPolicy,
+) -> Vec<usize> {
+    let n = n.min(items.len());
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut chosen = vec![false; items.len()];
+    let mut slots = n;
+    for tier in [Tier::High, Tier::Medium, Tier::Low] {
+        let mut quota = fairness.reserved[tier.index()].min(slots);
+        for (i, p) in items.iter().enumerate() {
+            if quota == 0 {
+                break;
+            }
+            if !chosen[i] && p.request.tier == tier {
+                chosen[i] = true;
+                quota -= 1;
+                slots -= 1;
+            }
+        }
+    }
+    if slots > 0 {
+        let effective = |p: &Pending| -> u64 {
+            let waited = now.saturating_sub(p.queued_at);
+            let base = p.request.tier.index() as u64;
+            match waited.checked_div(fairness.age_step) {
+                Some(promoted) => base.saturating_add(promoted),
+                None => base,
+            }
+        };
+        let mut rest: Vec<usize> = (0..items.len()).filter(|&i| !chosen[i]).collect();
+        rest.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(effective(&items[i])),
+                items[i].queued_at,
+                items[i].request.id,
+            )
+        });
+        for &i in rest.iter().take(slots) {
+            chosen[i] = true;
+        }
+    }
+    (0..items.len()).filter(|&i| chosen[i]).collect()
+}
+
+/// Runs `sequences` seeded operation sequences against the admission
+/// stack; returns `(cases, findings)`.
+pub fn fuzz_queue(seed: u64, sequences: u64) -> (u64, Vec<StateFinding>) {
+    let mut findings = Vec::new();
+    for s in 0..sequences {
+        let seq_seed = seed.wrapping_add(s.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = DetRng::new(seq_seed);
+        let cap = 1 + rng.below_usize(6);
+        let mut fairness = FairnessPolicy::default();
+        fairness.age_step = if rng.next_u64().is_multiple_of(4) {
+            0
+        } else {
+            1 + rng.next_u64() % 80
+        };
+        fairness.reserved = [rng.below_usize(3), rng.below_usize(3), rng.below_usize(3)];
+        let policy = BatchPolicy::default()
+            .with_max_batch(1 + rng.below_usize(8))
+            .with_flush_slack(rng.next_u64() % 64)
+            .with_max_linger(rng.next_u64() % 64)
+            .with_queue_cap(cap);
+        let mut q = AdmissionQueue::new(cap);
+        let mut mirror: Vec<Pending> = Vec::new();
+        let mut next_id = 0u64;
+        let mut now = 0u64;
+        let mut admitted = 0u64;
+        let mut displaced = 0u64;
+        let mut selected_total = 0u64;
+        let mut last_selected: Vec<Pending> = Vec::new();
+        let ops = 8 + rng.below_usize(24);
+        let fail = |invariant: String, op: usize| StateFinding {
+            invariant,
+            seed: seq_seed,
+            op,
+        };
+        for op in 0..ops {
+            now += rng.next_u64() % 16;
+            match rng.next_u64() % 8 {
+                // Offer dominates: admission is the displacement surface.
+                0..=3 => {
+                    let tier = tier_of(&mut rng);
+                    let request = Request::new(next_id, vec![0.0], tier, now + 1_000);
+                    next_id += 1;
+                    let before = mirror.len();
+                    let result = q.offer(request.clone(), now);
+                    // Reference admission.
+                    let expected = if before < cap {
+                        mirror.push(Pending {
+                            request: request.clone(),
+                            queued_at: now,
+                        });
+                        Admission::Accepted
+                    } else {
+                        let victim = mirror
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| p.request.tier < tier)
+                            .min_by_key(|(i, p)| (p.request.tier, std::cmp::Reverse(*i)))
+                            .map(|(i, _)| i);
+                        match victim {
+                            Some(i) => {
+                                let evicted = mirror.remove(i);
+                                mirror.push(Pending {
+                                    request: request.clone(),
+                                    queued_at: now,
+                                });
+                                Admission::Displaced(evicted)
+                            }
+                            None => Admission::Rejected,
+                        }
+                    };
+                    match (&result, &expected) {
+                        (Admission::Accepted, Admission::Accepted)
+                        | (Admission::Rejected, Admission::Rejected) => {}
+                        (Admission::Displaced(got), Admission::Displaced(want)) => {
+                            if got != want {
+                                findings.push(fail(
+                                    format!(
+                                        "displacement victim {} != reference {}",
+                                        got.request.id, want.request.id
+                                    ),
+                                    op,
+                                ));
+                                break;
+                            }
+                            if got.request.tier >= tier {
+                                findings.push(fail(
+                                    "displaced a victim at or above the incoming tier".into(),
+                                    op,
+                                ));
+                                break;
+                            }
+                        }
+                        _ => {
+                            findings.push(fail(
+                                format!("admission {result:?} != reference {expected:?}"),
+                                op,
+                            ));
+                            break;
+                        }
+                    }
+                    match result {
+                        Admission::Accepted => admitted += 1,
+                        Admission::Displaced(_) => {
+                            admitted += 1;
+                            displaced += 1;
+                        }
+                        Admission::Rejected => {}
+                    }
+                    // Admission must never grow the queue beyond cap;
+                    // only `put_back` may (transiently) overfill it.
+                    if q.len() > cap.max(before) {
+                        findings.push(fail(
+                            format!("offer grew depth to {} over cap {cap}", q.len()),
+                            op,
+                        ));
+                        break;
+                    }
+                }
+                4 | 5 => {
+                    let n = rng.below_usize(cap + 2);
+                    let chosen = reference_select(&mirror, n, now, &fairness);
+                    let batch = q.select(n, now, &fairness);
+                    let want: Vec<u64> = chosen
+                        .iter()
+                        .map(|&i| mirror[i.to_owned()].request.id)
+                        .collect();
+                    let got: Vec<u64> = batch.iter().map(|p| p.request.id).collect();
+                    if got != want {
+                        findings.push(fail(format!("selection {got:?} != reference {want:?}"), op));
+                        break;
+                    }
+                    // Selection output must be in admission order.
+                    let ordered = batch.windows(2).all(|w| {
+                        (w[0].queued_at, w[0].request.id) <= (w[1].queued_at, w[1].request.id)
+                    });
+                    if !ordered {
+                        findings.push(fail("selected batch out of admission order".into(), op));
+                        break;
+                    }
+                    let mut keep = Vec::new();
+                    for (i, p) in mirror.drain(..).enumerate() {
+                        if !chosen.contains(&i) {
+                            keep.push(p);
+                        }
+                    }
+                    mirror = keep;
+                    selected_total += batch.len() as u64;
+                    last_selected = batch;
+                }
+                6 => {
+                    // Return a random subset of the last selection.
+                    let mut back = Vec::new();
+                    let mut rest = Vec::new();
+                    for p in last_selected.drain(..) {
+                        if rng.next_u64().is_multiple_of(2) {
+                            back.push(p);
+                        } else {
+                            rest.push(p);
+                        }
+                    }
+                    selected_total -= back.len() as u64;
+                    mirror.extend(back.iter().cloned());
+                    mirror.sort_by_key(|p| (p.queued_at, p.request.id));
+                    q.put_back(back);
+                    last_selected = rest;
+                }
+                _ => {
+                    // flush_at bounds against a random free_at.
+                    let free_at = rng.next_u64() % 256;
+                    match policy.flush_at(q.items(), free_at) {
+                        None => {
+                            if !q.is_empty() {
+                                findings.push(fail(
+                                    "flush_at returned None on a non-empty queue".into(),
+                                    op,
+                                ));
+                                break;
+                            }
+                        }
+                        Some(t) => {
+                            let oldest = &q.items()[0];
+                            let floor = free_at.max(oldest.queued_at);
+                            if t < floor {
+                                findings.push(fail(
+                                    format!("flush tick {t} below the floor {floor}"),
+                                    op,
+                                ));
+                                break;
+                            }
+                            if q.len() >= policy.max_batch && t != floor {
+                                findings.push(fail(
+                                    format!("full batch must flush at {floor}, got {t}"),
+                                    op,
+                                ));
+                                break;
+                            }
+                            let linger_cap =
+                                free_at.max(oldest.queued_at.saturating_add(policy.max_linger));
+                            if q.len() < policy.max_batch && t > linger_cap {
+                                findings.push(fail(
+                                    format!("flush tick {t} past the linger cap {linger_cap}"),
+                                    op,
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // Full-state agreement and structural invariants, every op.
+            if q.items() != mirror.as_slice() {
+                findings.push(fail("queue state diverged from the reference".into(), op));
+                break;
+            }
+            let queued = q.len() as u64 + selected_total + displaced;
+            if queued != admitted {
+                findings.push(fail(
+                    format!("conservation broke: admitted {admitted}, accounted {queued}"),
+                    op,
+                ));
+                break;
+            }
+        }
+    }
+    (sequences, findings)
+}
+
+fn verdict_of(rng: &mut DetRng) -> HealthVerdict {
+    match rng.next_u64() % 8 {
+        0 | 1 => HealthVerdict::Unhealthy,
+        2 | 3 => HealthVerdict::Warning,
+        _ => HealthVerdict::Clean,
+    }
+}
+
+fn random_config(rng: &mut DetRng) -> HealthConfig {
+    let window = 1 + (rng.next_u64() % 64) as u32;
+    let degrade = 1 + (rng.next_u64() % u64::from(window)) as u32;
+    let stop = degrade + (rng.next_u64() % u64::from(window - degrade + 1)) as u32;
+    HealthConfig {
+        window,
+        degrade_events: degrade,
+        stop_events: stop,
+        recover_after: 1 + (rng.next_u64() % 24) as u32,
+        resume_after: (rng.next_u64() % 4) as u32,
+        warn_budget: (rng.next_u64() % 8) as u32,
+    }
+}
+
+fn tamper(ladder: &mut LadderState, rng: &mut DetRng) {
+    match rng.next_u64() % 6 {
+        0 => ladder.history ^= 1 << (rng.next_u64() % 64),
+        1 => ladder.warn_history ^= 1 << (rng.next_u64() % 64),
+        2 => {
+            ladder.clean_streak = ladder
+                .clean_streak
+                .wrapping_add(1 + (rng.next_u64() % 8) as u32)
+        }
+        3 => ladder.decisions = ladder.decisions.wrapping_add(rng.next_u64() % 16),
+        4 => {
+            ladder.state = match rng.next_u64() % 3 {
+                0 => HealthState::Nominal,
+                1 => HealthState::Degraded,
+                _ => HealthState::SafeStop,
+            }
+        }
+        _ => {
+            ladder.time_in[(rng.next_u64() % 3) as usize] =
+                ladder.time_in[(rng.next_u64() % 3) as usize].wrapping_add(1)
+        }
+    }
+}
+
+/// Runs `sequences` seeded verdict sequences against the health ladder;
+/// returns `(cases, findings)`.
+pub fn fuzz_ladder(seed: u64, sequences: u64) -> (u64, Vec<StateFinding>) {
+    let mut findings = Vec::new();
+    'seqs: for s in 0..sequences {
+        let seq_seed = seed.wrapping_add(s.wrapping_mul(0xA076_1D64_78BD_642F));
+        let mut rng = DetRng::new(seq_seed);
+        let config = random_config(&mut rng);
+        let mut monitor = HealthMonitor::new(config).expect("random config is valid");
+        // A restored twin stepped in lockstep: export/restore must be
+        // behaviourally invisible at every point of the walk.
+        let mut twin = HealthMonitor::restore(config, monitor.export_state()).expect("restore");
+        let mut latched = false;
+        let steps = 16 + rng.below_usize(48);
+        for op in 0..steps {
+            let verdict = verdict_of(&mut rng);
+            let t_live = monitor.step_verdict(verdict);
+            let t_twin = twin.step_verdict(verdict);
+            let fail = |invariant: String| StateFinding {
+                invariant,
+                seed: seq_seed,
+                op,
+            };
+            if t_live != t_twin || monitor.state() != twin.state() {
+                findings.push(fail("restored twin diverged from the live ladder".into()));
+                continue 'seqs;
+            }
+            let time_total = monitor.time_in(HealthState::Nominal)
+                + monitor.time_in(HealthState::Degraded)
+                + monitor.time_in(HealthState::SafeStop);
+            if time_total != monitor.decision_count() {
+                findings.push(fail(format!(
+                    "time-in-state {time_total} != decisions {}",
+                    monitor.decision_count()
+                )));
+                continue 'seqs;
+            }
+            let log_state = monitor
+                .transitions()
+                .last()
+                .map_or(HealthState::Nominal, |t| t.to);
+            if log_state != monitor.state() {
+                findings.push(fail("transition log disagrees with the state".into()));
+                continue 'seqs;
+            }
+            let continuous = monitor
+                .transitions()
+                .windows(2)
+                .all(|w| w[0].to == w[1].from);
+            if !continuous {
+                findings.push(fail("transition log breaks continuity".into()));
+                continue 'seqs;
+            }
+            if config.resume_after == 0 {
+                if monitor.state() == HealthState::SafeStop {
+                    latched = true;
+                } else if latched {
+                    findings.push(fail("SafeStop un-latched with resume_after = 0".into()));
+                    continue 'seqs;
+                }
+            }
+            // Periodically re-derive the twin from a fresh export, so
+            // restore is exercised mid-walk, not just at the start.
+            if op % 13 == 7 {
+                match HealthMonitor::restore(config, monitor.export_state()) {
+                    Ok(m) => twin = m,
+                    Err(e) => {
+                        findings.push(fail(format!("live export failed to restore: {e}")));
+                        continue 'seqs;
+                    }
+                }
+            }
+        }
+        // Tampered exports: every mutation must fail closed, or restore
+        // to a monitor whose own export is stable and which steps without
+        // panicking — never a wedged or impossible ladder.
+        let mut forged = monitor.export_state();
+        tamper(&mut forged, &mut rng);
+        if forged != monitor.export_state() {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                HealthMonitor::restore(config, forged.clone())
+            }));
+            match outcome {
+                Err(_) => findings.push(StateFinding {
+                    invariant: "restore panicked on a tampered export".into(),
+                    seed: seq_seed,
+                    op: steps,
+                }),
+                Ok(Err(_)) => {}
+                Ok(Ok(mut accepted)) => {
+                    let replay = HealthMonitor::restore(config, accepted.export_state());
+                    if replay.is_err() {
+                        findings.push(StateFinding {
+                            invariant: "accepted tampered state does not re-restore".into(),
+                            seed: seq_seed,
+                            op: steps,
+                        });
+                    }
+                    let stepped = catch_unwind(AssertUnwindSafe(|| {
+                        for i in 0..32u64 {
+                            accepted.step_verdict(if i % 3 == 0 {
+                                HealthVerdict::Unhealthy
+                            } else {
+                                HealthVerdict::Clean
+                            });
+                        }
+                    }));
+                    if stepped.is_err() {
+                        findings.push(StateFinding {
+                            invariant: "accepted tampered state panics when stepped".into(),
+                            seed: seq_seed,
+                            op: steps,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    (sequences, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_driver_finds_nothing_on_the_real_queue() {
+        let (cases, findings) = fuzz_queue(0xF00D, 64);
+        assert_eq!(cases, 64);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn ladder_driver_finds_nothing_on_the_real_ladder() {
+        let (cases, findings) = fuzz_ladder(0xF00D, 64);
+        assert_eq!(cases, 64);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn drivers_are_seed_deterministic() {
+        let a = fuzz_queue(42, 16);
+        let b = fuzz_queue(42, 16);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.len(), b.1.len());
+    }
+}

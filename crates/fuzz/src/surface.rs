@@ -1,0 +1,137 @@
+//! Decode harnesses for the byte-level surfaces.
+//!
+//! Every untrusted decoder in the workspace promises the same contract:
+//! **fail closed with a typed error, never panic, never partially
+//! apply**. A probe runs one decoder on one (usually mutated) byte
+//! string under `catch_unwind` and classifies the outcome:
+//!
+//! * [`ProbeOutcome::Rejected`] — a typed error; the promised behaviour
+//!   for invalid input.
+//! * [`ProbeOutcome::Accepted`] — decoded successfully *and* survived a
+//!   round-trip stability check (re-encode → re-decode → equal value).
+//!   Mutations that keep the container coherent — CRC-preserving
+//!   corruption that still passes every field validator — are allowed to
+//!   decode, but what decodes must be a fixed point of the codec.
+//! * [`ProbeOutcome::Panicked`] — a crash escaped the decoder; always a
+//!   finding.
+//! * [`ProbeOutcome::FailOpen`] — an accepted value failed the
+//!   stability check, i.e. the decoder manufactured state the encoder
+//!   cannot represent; always a finding.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use safex_falsify::WitnessFile;
+use safex_nn::io::{load_model, save_model};
+use safex_serve::ServerSnapshot;
+
+/// Classified result of one decode probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Typed error — the contract held.
+    Rejected,
+    /// Decoded and round-trip stable.
+    Accepted,
+    /// A panic escaped the decoder (payload message when extractable).
+    Panicked(String),
+    /// Decoded but not round-trip stable.
+    FailOpen(String),
+}
+
+impl ProbeOutcome {
+    /// `true` for the two outcome classes that constitute a finding.
+    pub fn is_finding(&self) -> bool {
+        matches!(self, ProbeOutcome::Panicked(_) | ProbeOutcome::FailOpen(_))
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Probes [`ServerSnapshot::decode`].
+pub fn probe_snapshot(bytes: &[u8]) -> ProbeOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| ServerSnapshot::decode(bytes)));
+    match result {
+        Err(payload) => ProbeOutcome::Panicked(panic_message(payload)),
+        Ok(Err(_)) => ProbeOutcome::Rejected,
+        Ok(Ok(snapshot)) => {
+            let reencoded = snapshot.encode();
+            match ServerSnapshot::decode(&reencoded) {
+                Ok(again) if again == snapshot => ProbeOutcome::Accepted,
+                Ok(_) => ProbeOutcome::FailOpen("re-decode disagrees with first decode".into()),
+                Err(e) => ProbeOutcome::FailOpen(format!("re-encode does not decode: {e}")),
+            }
+        }
+    }
+}
+
+/// Probes [`load_model`]. Stability oracle: a loaded model re-saves to
+/// bytes that load again; weight equality is enforced by the format's
+/// own content digest.
+pub fn probe_model(bytes: &[u8]) -> ProbeOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| load_model(bytes)));
+    match result {
+        Err(payload) => ProbeOutcome::Panicked(panic_message(payload)),
+        Ok(Err(_)) => ProbeOutcome::Rejected,
+        Ok(Ok(model)) => {
+            let mut reencoded = Vec::new();
+            if save_model(&model, &mut reencoded).is_err() {
+                return ProbeOutcome::FailOpen("loaded model does not re-save".into());
+            }
+            match load_model(&reencoded[..]) {
+                Ok(_) => ProbeOutcome::Accepted,
+                Err(e) => ProbeOutcome::FailOpen(format!("re-save does not load: {e}")),
+            }
+        }
+    }
+}
+
+/// Probes [`WitnessFile::decode`].
+pub fn probe_witness(bytes: &[u8]) -> ProbeOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| WitnessFile::decode(bytes)));
+    match result {
+        Err(payload) => ProbeOutcome::Panicked(panic_message(payload)),
+        Ok(Err(_)) => ProbeOutcome::Rejected,
+        Ok(Ok(witness)) => {
+            let reencoded = witness.encode();
+            match WitnessFile::decode(&reencoded) {
+                Ok(again) if again == witness => ProbeOutcome::Accepted,
+                Ok(_) => ProbeOutcome::FailOpen("re-decode disagrees with first decode".into()),
+                Err(e) => ProbeOutcome::FailOpen(format!("re-encode does not decode: {e}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn valid_inputs_are_accepted_garbage_is_rejected() {
+        assert_eq!(
+            probe_snapshot(&gen::snapshot_bytes(2)),
+            ProbeOutcome::Accepted
+        );
+        assert_eq!(probe_model(&gen::model_bytes(2)), ProbeOutcome::Accepted);
+        assert_eq!(
+            probe_witness(&gen::witness_bytes(2)),
+            ProbeOutcome::Accepted
+        );
+
+        for probe in [probe_snapshot, probe_model, probe_witness] {
+            assert_eq!(probe(b""), ProbeOutcome::Rejected);
+            assert_eq!(
+                probe(b"garbage that is not a container"),
+                ProbeOutcome::Rejected
+            );
+        }
+    }
+}

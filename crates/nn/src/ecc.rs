@@ -208,6 +208,37 @@ impl EccCode {
         RepairOutcome::Uncorrectable
     }
 
+    /// Fault-injection aid: XORs `mask` into block `block`'s stored
+    /// column parity, simulating an SEU landing in the sidecar itself
+    /// rather than the protected data. The adversarial property suite
+    /// uses this to prove the decoder never *miscorrects* when its own
+    /// redundancy is damaged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is out of range — sidecar tampering targets a
+    /// stored parity that must exist.
+    pub fn corrupt_column(&mut self, block: usize, mask: u32) {
+        self.columns[block] ^= mask;
+    }
+
+    /// Fault-injection aid: flips word `word`'s stored row-parity bit
+    /// (the companion of [`EccCode::corrupt_column`] for the row half of
+    /// the sidecar).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `word` is at or beyond [`EccCode::protected_words`].
+    pub fn corrupt_row(&mut self, word: usize) {
+        assert!(word < self.words, "row {word} beyond {} words", self.words);
+        self.rows[word / 64] ^= 1u64 << (word % 64);
+    }
+
+    /// Number of column-parity blocks in the sidecar.
+    pub fn blocks(&self) -> usize {
+        self.columns.len()
+    }
+
     /// Non-mutating parity check: `true` when every column and row parity
     /// matches the encoded state. The hot-swap verify path uses this to
     /// confirm a freshly rebuilt sidecar actually describes the incoming

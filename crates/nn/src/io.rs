@@ -158,6 +158,18 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<Model, NnError> {
     }
     let input_shape =
         Shape::new(&dims).map_err(|e| NnError::Serialization(format!("bad input shape: {e}")))?;
+    // Bound the element count with checked arithmetic: `Shape::len` is a
+    // plain product, and dims of 1e8 each are individually plausible but
+    // overflow it — and would size every downstream buffer.
+    let elems = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .filter(|&n| n <= MAX_INPUT_ELEMS);
+    if elems.is_none() {
+        return Err(NnError::Serialization(format!(
+            "implausible input shape {input_shape}"
+        )));
+    }
 
     let layer_count = r.u32()? as usize;
     if layer_count == 0 || layer_count > 10_000 {
@@ -176,6 +188,19 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<Model, NnError> {
                 let outputs = r.usize()?;
                 let weights = r.f32s(checked_mul(inputs, outputs)?)?;
                 let bias = r.f32s(outputs)?;
+                // The builder will allocate `current.len() x outputs`
+                // weights. Bind the stream's declared fan-in to the
+                // reconstructed shape *before* that: the weights just
+                // read are backed by real stream bytes, so with `inputs`
+                // verified, the layer allocation is too. A lying fan-in
+                // otherwise buys an allocation sized by two plausible
+                // fields multiplied — an abort, not a catchable error.
+                if inputs != builder.current_shape().len() {
+                    return Err(NnError::Serialization(format!(
+                        "dense fan-in {inputs} disagrees with reconstructed shape {}",
+                        builder.current_shape()
+                    )));
+                }
                 let mut rng = safex_tensor::DetRng::new(0);
                 builder = builder.dense_with_init(outputs, crate::init::Init::Zeros, &mut rng)?;
                 pending.push(PendingParams::Dense { weights, bias });
@@ -183,12 +208,23 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<Model, NnError> {
             TAG_CONV2D => {
                 let in_c = r.usize()?;
                 let out_c = r.usize()?;
-                let kernel = r.usize()?;
-                let stride = r.usize()?;
-                let padding = r.usize()?;
+                let kernel = plausible_extent(r.usize()?, "conv kernel")?;
+                let stride = plausible_extent(r.usize()?, "conv stride")?;
+                let padding = plausible_extent(r.usize()?, "conv padding")?;
                 let wlen = checked_mul(checked_mul(out_c, in_c)?, checked_mul(kernel, kernel)?)?;
                 let weights = r.f32s(wlen)?;
                 let bias = r.f32s(out_c)?;
+                // Same argument as the dense fan-in: the builder sizes
+                // the kernel buffer from *its* input channels, so the
+                // stream's claim must match before the allocation. A
+                // non-CHW current shape is left for `conv2d` itself to
+                // refuse — it does so before allocating anything.
+                let current = builder.current_shape();
+                if current.rank() == 3 && in_c != current.dims()[0] {
+                    return Err(NnError::Serialization(format!(
+                        "conv input channels {in_c} disagree with reconstructed shape {current}"
+                    )));
+                }
                 let mut rng = safex_tensor::DetRng::new(0);
                 builder = builder.conv2d(out_c, kernel, stride, padding, &mut rng)?;
                 pending.push(PendingParams::Conv {
@@ -198,14 +234,14 @@ pub fn load_model<R: Read>(mut reader: R) -> Result<Model, NnError> {
                 });
             }
             TAG_MAXPOOL => {
-                let pool = r.usize()?;
-                let stride = r.usize()?;
+                let pool = plausible_extent(r.usize()?, "pool window")?;
+                let stride = plausible_extent(r.usize()?, "pool stride")?;
                 builder = builder.maxpool2d(pool, stride)?;
                 pending.push(PendingParams::None);
             }
             TAG_AVGPOOL => {
-                let pool = r.usize()?;
-                let stride = r.usize()?;
+                let pool = plausible_extent(r.usize()?, "pool window")?;
+                let stride = plausible_extent(r.usize()?, "pool stride")?;
                 builder = builder.avgpool2d(pool, stride)?;
                 pending.push(PendingParams::None);
             }
@@ -324,6 +360,21 @@ fn checked_mul(a: usize, b: usize) -> Result<usize, NnError> {
         .ok_or_else(|| NnError::Serialization("parameter count overflow".into()))
 }
 
+/// Largest input tensor a deployment artifact may declare (elements).
+/// Generous for embedded perception inputs, small enough that shape
+/// products stay far from overflow.
+const MAX_INPUT_ELEMS: usize = 16_777_216;
+
+/// Largest spatial extent (kernel, stride, padding, pool window) a
+/// stream may declare. Keeps the shape arithmetic the builder performs
+/// on these fields inside checked territory.
+fn plausible_extent(v: usize, what: &str) -> Result<usize, NnError> {
+    if v > 65_536 {
+        return Err(NnError::Serialization(format!("implausible {what} {v}")));
+    }
+    Ok(v)
+}
+
 struct Emitter<'a, W: Write>(&'a mut W);
 
 impl<W: Write> Emitter<'_, W> {
@@ -395,7 +446,11 @@ impl<R: Read> Parser<'_, R> {
                 "parameter vector length {len}, expected {expected}"
             )));
         }
-        let mut out = Vec::with_capacity(len);
+        // Cap the upfront reservation: `len` comes from an untrusted
+        // header, and a lying count field must not buy a ~400 MB
+        // allocation before the stream inevitably hits EOF. Growth past
+        // the cap is amortised doubling, paid only by real data.
+        let mut out = Vec::with_capacity(len.min(4096));
         for _ in 0..len {
             out.push(self.f32()?);
         }

@@ -268,6 +268,14 @@ impl ModelBuilder {
         }
     }
 
+    /// Output shape of the stack built so far (the input shape while no
+    /// layers have been added). Deserialisation uses this to bind a
+    /// stream's declared layer fan-in to the reconstructed shape
+    /// *before* the layer — and its parameter buffers — are allocated.
+    pub fn current_shape(&self) -> Shape {
+        self.current
+    }
+
     fn push(mut self, layer: Layer) -> Self {
         if self.error.is_some() {
             return self;

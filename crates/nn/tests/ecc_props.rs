@@ -72,4 +72,94 @@ proptest! {
             "an uncorrectable buffer must not be modified"
         );
     }
+
+    /// An aligned burst — the same bit flipped in `k >= 2` consecutive
+    /// words, the signature of a row-hammer / wordline fault — must
+    /// never be "corrected". Within one block an even-length burst
+    /// cancels in the column syndrome entirely, so the row parities are
+    /// the only witness; the decoder must still refuse.
+    #[test]
+    fn aligned_multiword_bursts_never_miscorrect(
+        seed in any::<u64>(),
+        block_words in 1usize..64,
+        len in 2usize..160,
+        start_pick in any::<u64>(),
+        burst in 2usize..9,
+        bit in 0u32..32,
+    ) {
+        let golden = golden_words(seed, len);
+        let code = EccCode::encode(&golden, EccConfig { block_words }).expect("encode");
+        let burst = burst.min(len);
+        let start = (start_pick % (len - burst + 1) as u64) as usize;
+
+        let mut damaged = golden.clone();
+        for word in damaged.iter_mut().skip(start).take(burst) {
+            *word ^= 1u32 << bit;
+        }
+        let snapshot = damaged.clone();
+        prop_assert_eq!(code.repair(&mut damaged), RepairOutcome::Uncorrectable);
+        prop_assert_eq!(&damaged, &snapshot, "burst damage must be left untouched");
+    }
+
+    /// A flip landing in the sidecar's *column* parity — alone or paired
+    /// with one data-word flip — must never produce a correction: the
+    /// decoder cannot tell redundancy damage from data damage, so the
+    /// only safe verdict is escalation.
+    #[test]
+    fn single_column_parity_flip_never_miscorrects(
+        seed in any::<u64>(),
+        block_words in 1usize..64,
+        len in 1usize..160,
+        block_pick in any::<u64>(),
+        parity_bit in 0u32..32,
+        data_pick in any::<u64>(),
+        data_bit in 0u32..32,
+        also_flip_data in any::<bool>(),
+    ) {
+        let golden = golden_words(seed, len);
+        let mut code = EccCode::encode(&golden, EccConfig { block_words }).expect("encode");
+        let block = (block_pick % code.blocks() as u64) as usize;
+        code.corrupt_column(block, 1u32 << parity_bit);
+
+        let mut damaged = golden.clone();
+        if also_flip_data {
+            let word = (data_pick % len as u64) as usize;
+            damaged[word] ^= 1u32 << data_bit;
+        }
+        let snapshot = damaged.clone();
+        prop_assert_eq!(code.repair(&mut damaged), RepairOutcome::Uncorrectable);
+        prop_assert_eq!(&damaged, &snapshot, "no write-back under sidecar damage");
+    }
+
+    /// The row half of the same argument: one flipped row-parity bit in
+    /// the sidecar — alone or paired with one data-word flip, including
+    /// the nasty case where the data flip lands on the very word whose
+    /// row bit was forged (the two parities then cancel) — must never
+    /// yield a correction.
+    #[test]
+    fn single_row_parity_flip_never_miscorrects(
+        seed in any::<u64>(),
+        block_words in 1usize..64,
+        len in 1usize..160,
+        row_pick in any::<u64>(),
+        data_pick in any::<u64>(),
+        data_bit in 0u32..32,
+        also_flip_data in any::<bool>(),
+        collide in any::<bool>(),
+    ) {
+        let golden = golden_words(seed, len);
+        let mut code = EccCode::encode(&golden, EccConfig { block_words }).expect("encode");
+        let row = (row_pick % len as u64) as usize;
+        code.corrupt_row(row);
+
+        let mut damaged = golden.clone();
+        if also_flip_data {
+            // Half the cases aim the data flip at the forged row itself.
+            let word = if collide { row } else { (data_pick % len as u64) as usize };
+            damaged[word] ^= 1u32 << data_bit;
+        }
+        let snapshot = damaged.clone();
+        prop_assert_eq!(code.repair(&mut damaged), RepairOutcome::Uncorrectable);
+        prop_assert_eq!(&damaged, &snapshot, "no write-back under sidecar damage");
+    }
 }

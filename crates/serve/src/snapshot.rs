@@ -188,10 +188,14 @@ impl ServerSnapshot {
                 "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
             )));
         }
-        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-        if bytes.len() != 16 + len + 4 {
+        let len64 = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        // The declared payload length is attacker-controlled: compare against
+        // the actual remainder (header + trailer already bounds-checked above)
+        // rather than computing `16 + len + 4`, which overflows on a lie.
+        let len = bytes.len() - 20;
+        if len64 != len as u64 {
             return Err(ServeError::BadSnapshot(format!(
-                "container length {} does not match declared payload of {len} bytes",
+                "container length {} does not match declared payload of {len64} bytes",
                 bytes.len()
             )));
         }

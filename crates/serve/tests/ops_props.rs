@@ -1,0 +1,212 @@
+//! Property tests for [`TrafficShape`] replay and [`OpsPlan`]
+//! swap/snapshot interleavings.
+//!
+//! The shape properties pin the replay contract the falsifier's temporal
+//! workloads depend on: request `i` carries payload `i` exactly, pacing
+//! is a pure function of the shape, and invalid knobs are typed errors.
+//! The ops properties drive random swap/snapshot schedules through real
+//! soak runs: a capture point landing inside a draining hot swap must be
+//! refused with [`ServeError::BadSnapshot`] — and the server must come
+//! out of the refusal fully serviceable, never wedged.
+
+use proptest::prelude::*;
+use safex_nn::model::ModelBuilder;
+use safex_nn::{EccConfig, HardenConfig, HardenedEngine, Model};
+use safex_serve::{
+    Fleet, ModelId, OpsPlan, PoolBackend, ServeError, Server, ServerConfig, ServerSnapshot,
+    SimClock, SwapOp, Tier, TrafficConfig, TrafficShape,
+};
+use safex_tensor::{DetRng, Shape};
+
+fn fixture(seed: u64) -> (Model, Vec<Vec<f32>>) {
+    let mut rng = DetRng::new(seed);
+    let model = ModelBuilder::new(Shape::vector(6))
+        .dense(10, &mut rng)
+        .unwrap()
+        .relu()
+        .dense(4, &mut rng)
+        .unwrap()
+        .softmax()
+        .build()
+        .unwrap();
+    let inputs: Vec<Vec<f32>> = (0..16)
+        .map(|_| (0..6).map(|_| rng.next_f32()).collect())
+        .collect();
+    (model, inputs)
+}
+
+fn hardened(model: &Model, inputs: &[Vec<f32>]) -> HardenedEngine {
+    let config = HardenConfig {
+        repair: Some(EccConfig::default()),
+        ..HardenConfig::default()
+    };
+    let mut engine = HardenedEngine::new(model.clone(), config).unwrap();
+    engine.calibrate(inputs).unwrap();
+    engine
+}
+
+fn tier_from(pick: u64) -> Tier {
+    match pick % 3 {
+        0 => Tier::Low,
+        1 => Tier::Medium,
+        _ => Tier::High,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For every valid shape and payload sequence: one request per
+    /// payload, in order, with exact burst pacing and deadlines — and
+    /// the whole trace is a pure function of `(shape, inputs)`.
+    #[test]
+    fn traffic_shape_replay_is_exact(
+        seed in any::<u64>(),
+        start in 0u64..1_000,
+        burst in 1usize..9,
+        gap in 1u64..64,
+        deadline in 1u64..500,
+        tier_pick in any::<u64>(),
+        payloads in 1usize..48,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let inputs: Vec<Vec<f32>> = (0..payloads)
+            .map(|_| (0..4).map(|_| rng.next_f32()).collect())
+            .collect();
+        let shape = TrafficShape {
+            start,
+            burst,
+            gap,
+            tier: tier_from(tier_pick),
+            deadline,
+        };
+        let trace = shape.shape(&inputs).expect("valid shape");
+        prop_assert_eq!(trace.len(), payloads, "one request per payload");
+        let again = shape.shape(&inputs).expect("valid shape");
+        prop_assert_eq!(&trace, &again, "replay must be deterministic");
+
+        let mut prev_at = 0u64;
+        for (i, arrival) in trace.arrivals().iter().enumerate() {
+            // Payload identity: never cycled, never reordered.
+            prop_assert_eq!(arrival.request.id, i as u64);
+            prop_assert_eq!(&arrival.request.input, &inputs[i]);
+            prop_assert_eq!(arrival.request.tier, shape.tier);
+            // Exact burst pacing and deadline arithmetic.
+            let want_at = start + (i / burst) as u64 * gap;
+            prop_assert_eq!(arrival.at, want_at);
+            prop_assert_eq!(arrival.request.deadline, want_at + deadline);
+            prop_assert!(arrival.at >= prev_at, "arrivals in time order");
+            prev_at = arrival.at;
+        }
+    }
+
+    /// Every invalid knob is a typed `BadConfig`, never a panic and
+    /// never a silently clamped trace.
+    #[test]
+    fn degenerate_shapes_are_typed_errors(
+        start in 0u64..1_000,
+        burst in 0usize..9,
+        gap in 0u64..64,
+        deadline in 0u64..500,
+        empty_payloads in any::<bool>(),
+    ) {
+        let shape = TrafficShape {
+            start,
+            burst,
+            gap,
+            tier: Tier::High,
+            deadline,
+        };
+        let inputs: Vec<Vec<f32>> = if empty_payloads {
+            Vec::new()
+        } else {
+            vec![vec![0.5; 4]]
+        };
+        let invalid = burst == 0 || gap == 0 || deadline == 0 || empty_payloads;
+        match shape.shape(&inputs) {
+            Ok(trace) => {
+                prop_assert!(!invalid, "invalid shape must not produce a trace");
+                prop_assert_eq!(trace.len(), inputs.len());
+            }
+            Err(ServeError::BadConfig(_)) => prop_assert!(invalid),
+            Err(other) => prop_assert!(false, "wrong error type: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    // Each case runs two short soaks against a real fleet; keep the
+    // case count modest so the suite stays in test-tier budget.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random swap/snapshot interleavings: a soak either completes (and
+    /// any captured snapshot decodes) or is refused with the typed
+    /// mid-swap `BadSnapshot` error — after which the *same* server must
+    /// still run a full plan-free soak with zero dropped requests.
+    #[test]
+    fn mid_swap_snapshots_fail_closed_without_wedging_the_server(
+        seed in any::<u64>(),
+        snapshot_at in 0u64..48,
+        swap_at in 0u64..48,
+        swap_member in 0u16..2,
+    ) {
+        let (model, inputs) = fixture(seed);
+        let engine = hardened(&model, &inputs);
+        let (swap_model, swap_inputs) = fixture(seed ^ 0x50AF);
+        let swap_engine = hardened(&swap_model, &swap_inputs);
+        let fleet = Fleet::builder()
+            .register("alpha", PoolBackend::new(&engine, 1).unwrap())
+            .register("beta", PoolBackend::new(&engine, 1).unwrap())
+            .build()
+            .unwrap();
+        let trace = TrafficConfig {
+            seed,
+            requests: 40,
+            mean_interarrival: 2.0,
+            deadline: 400,
+            ..TrafficConfig::default()
+        }
+        .synthesize(&inputs)
+        .unwrap();
+        let ops = OpsPlan::none()
+            .with_snapshot_at(snapshot_at)
+            .with_swap(SwapOp {
+                at_request: swap_at,
+                model: ModelId::new(swap_member),
+                incoming: PoolBackend::new(&swap_engine, 1).unwrap(),
+                expected_digest: None,
+            });
+        let mut server =
+            Server::new(ServerConfig::default().with_campaign("ops-props"), fleet).unwrap();
+
+        match server.run_soak(&trace, ops, &mut SimClock) {
+            Ok(outcome) => {
+                prop_assert_eq!(
+                    outcome.report.responses.len(),
+                    trace.len(),
+                    "no silent drops on the happy path"
+                );
+                if let Some(bytes) = outcome.snapshot {
+                    ServerSnapshot::decode(&bytes).expect("captured snapshot decodes");
+                }
+            }
+            Err(ServeError::BadSnapshot(msg)) => {
+                prop_assert!(
+                    msg.contains("hot swap"),
+                    "refusal must name the mid-swap cause, got: {msg}"
+                );
+                // Refused, not wedged: the same server instance must
+                // complete a plan-free soak over the full trace.
+                let retry = server
+                    .run_soak(&trace, OpsPlan::none(), &mut SimClock)
+                    .expect("server must stay serviceable after a refused snapshot");
+                prop_assert_eq!(
+                    retry.report.responses.len(),
+                    trace.len(),
+                    "no silent drops after recovery"
+                );
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+        }
+    }
+}

@@ -2,11 +2,11 @@
 # Benchmark runner: executes the overhead-relevant experiment benches
 # (E6 pipeline cost, E10 throughput, E11 hardening overhead, E12 serving,
 # E14 fleet serving, E15 soak runtime, E16 fused verify-on-read,
-# E17 falsification search)
+# E17 falsification search, E18 fuzz smoke)
 # and collects machine-readable medians.
 #
 # Usage:
-#   scripts/bench.sh           # full run, writes BENCH_pr9.json at repo root
+#   scripts/bench.sh           # full run, writes BENCH_pr10.json at repo root
 #   scripts/bench.sh --quick   # CI smoke: short budgets, writes
 #                              # target/BENCH_quick.json and validates that
 #                              # every expected bench emitted an entry
@@ -23,13 +23,13 @@ if [[ "${1:-}" == "--quick" ]]; then
     QUICK=1
 fi
 
-BENCHES=(e6_overhead e10_throughput e11_fault_campaign e12_serving e13_repair e14_fleet e15_soak e16_fused e17_falsify)
+BENCHES=(e6_overhead e10_throughput e11_fault_campaign e12_serving e13_repair e14_fleet e15_soak e16_fused e17_falsify e18_fuzz)
 
 if [[ "$QUICK" == 1 ]]; then
     OUT="target/BENCH_quick.json"
     export SAFEX_BENCH_QUICK=1
 else
-    OUT="BENCH_pr9.json"
+    OUT="BENCH_pr10.json"
 fi
 mkdir -p "$(dirname "$OUT")" 2>/dev/null || true
 rm -f "$OUT"
@@ -44,7 +44,7 @@ echo "==> wrote $OUT ($(wc -l <"$OUT") entries)"
 
 # Every bench binary must have emitted at least one entry; a missing
 # prefix means a bench silently stopped registering its group.
-for prefix in e6_pipeline_decide e10_batch_256 e11_hardened_inference e12_serving e13_repair_overhead e14_fleet/fleet_replay e14_fleet/stats/cache_hit_rate e14_fleet/stats/time_in_state e14_fleet/stats/fairness e15_soak/soak_replay e15_soak/snapshot_codec e15_soak/restore_stage e15_soak/stats/swap_latency e15_soak/stats/watchdog e15_soak/stats/restore_fidelity e16_fused/bare_engine e16_fused/fused_every_decision e16_fused/fused_cadence_8 e16_fused/requests16_batch1 e16_fused/requests16_batch16 e17_falsify/classification_eval e17_falsify/trajectory_episode e17_falsify/search_trajectory e17_falsify/stats/automotive e17_falsify/stats/railway e17_falsify/stats/space e17_falsify/stats/trajectory; do
+for prefix in e6_pipeline_decide e10_batch_256 e11_hardened_inference e12_serving e13_repair_overhead e14_fleet/fleet_replay e14_fleet/stats/cache_hit_rate e14_fleet/stats/time_in_state e14_fleet/stats/fairness e15_soak/soak_replay e15_soak/snapshot_codec e15_soak/restore_stage e15_soak/stats/swap_latency e15_soak/stats/watchdog e15_soak/stats/restore_fidelity e16_fused/bare_engine e16_fused/fused_every_decision e16_fused/fused_cadence_8 e16_fused/requests16_batch1 e16_fused/requests16_batch16 e17_falsify/classification_eval e17_falsify/trajectory_episode e17_falsify/search_trajectory e17_falsify/stats/automotive e17_falsify/stats/railway e17_falsify/stats/space e17_falsify/stats/trajectory e18_fuzz/mutate_probe_snapshot e18_fuzz/mutate_probe_model e18_fuzz/queue_sequence e18_fuzz/stats/smoke_wall_ms e18_fuzz/stats/smoke_cases; do
     if ! grep -q "\"id\":\"$prefix" "$OUT"; then
         echo "error: no benchmark entries matching '$prefix' in $OUT" >&2
         exit 1

@@ -15,6 +15,13 @@
 #                                 # seconds of scenario search that must
 #                                 # rediscover a seeded violation region in
 #                                 # the automotive and trajectory workloads
+#   scripts/check.sh --fuzz-smoke # bounded structure-aware fuzzing tier:
+#                                 # >= 10k seed-reproducible cases across the
+#                                 # byte decoders, the admission/ladder state
+#                                 # machines, and the differential oracles;
+#                                 # nonzero exit on any panic, fail-open
+#                                 # decode, or divergence (seed printed, so
+#                                 # SAFEX_FUZZ_SEED=... replays the run)
 #
 # The test modes count the tests the workspace actually ran and fail if
 # the total drops below the floor recorded in scripts/test_baseline —
@@ -40,6 +47,13 @@ if [[ "${1:-}" == "--falsify-smoke" ]]; then
     echo "==> cargo run --release -p safex-falsify --example falsify_smoke"
     cargo run --release -p safex-falsify --example falsify_smoke
     echo "Falsify smoke passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--fuzz-smoke" ]]; then
+    echo "==> cargo run --release -p safex-fuzz --example fuzz_smoke"
+    cargo run --release -p safex-fuzz --example fuzz_smoke
+    echo "Fuzz smoke passed."
     exit 0
 fi
 
